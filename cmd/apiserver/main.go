@@ -1,0 +1,49 @@
+// Command apiserver serves a tsdb snapshot over the system's public JSON
+// query API (the InfluxDB/Grafana substitute; §1 contribution 4).
+//
+// Usage:
+//
+//	apiserver -in snapshot.tsdb [-addr :8080]
+//
+// Endpoints: /api/v1/measurements, /api/v1/tags, /api/v1/query,
+// /api/v1/congestion, /healthz. See package interdomain/internal/api.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"interdomain/internal/api"
+	"interdomain/internal/tsdb"
+)
+
+func main() {
+	inPath := flag.String("in", "", "tsdb snapshot (required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	if *inPath == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+	db := tsdb.Open()
+	if err := db.Restore(f); err != nil {
+		fatal(err)
+	}
+	f.Close()
+
+	fmt.Printf("apiserver: serving %d series (%d points) on %s\n", db.SeriesCount(), db.PointCount(), *addr)
+	if err := http.ListenAndServe(*addr, api.New(db)); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "apiserver:", err)
+	os.Exit(1)
+}

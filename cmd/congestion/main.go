@@ -1,0 +1,123 @@
+// Command congestion analyzes a tsdb snapshot produced by tslpd: it lists
+// the links with TSLP data and runs the level-shift and autocorrelation
+// detectors over a chosen window, printing inferred congestion windows and
+// day-link congestion percentages.
+//
+// Usage:
+//
+//	congestion -in snapshot.tsdb [-link <near-far>] [-vp <name>] [-days N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"interdomain/internal/analysis"
+	"interdomain/internal/netsim"
+	"interdomain/internal/tsdb"
+	"interdomain/internal/tslp"
+)
+
+func main() {
+	inPath := flag.String("in", "", "tsdb snapshot (required)")
+	link := flag.String("link", "", "link id (default: all)")
+	vp := flag.String("vp", "", "vantage point filter")
+	days := flag.Int("days", 1, "analysis window in days from the epoch")
+	autocorr := flag.Bool("autocorr", false, "also run the autocorrelation method (needs >= 50 days of data; use -days 50)")
+	flag.Parse()
+
+	if *inPath == "" {
+		fatal(fmt.Errorf("-in is required"))
+	}
+	f, err := os.Open(*inPath)
+	if err != nil {
+		fatal(err)
+	}
+	db := tsdb.Open()
+	if err := db.Restore(f); err != nil {
+		fatal(err)
+	}
+	f.Close()
+
+	links := db.TagValues(tslp.MeasLatency, "link")
+	if len(links) == 0 {
+		fatal(fmt.Errorf("snapshot holds no TSLP data"))
+	}
+	fmt.Printf("congestion: %d links with TSLP data\n", len(links))
+
+	start := netsim.Epoch
+	end := start.AddDate(0, 0, *days)
+	bins := *days * 288
+	for _, id := range links {
+		if *link != "" && id != *link {
+			continue
+		}
+		filter := map[string]string{"link": id, "side": "far"}
+		if *vp != "" {
+			filter["vp"] = *vp
+		}
+		far := analysis.NewBinSeries(start, 5*time.Minute, bins)
+		for _, s := range db.Query(tslp.MeasLatency, filter, start, end) {
+			for _, p := range s.Points {
+				far.Observe(p.Time, p.Value)
+			}
+		}
+		if far.Coverage() < 0.1 {
+			continue
+		}
+		res := analysis.DetectLevelShifts(far, analysis.DefaultLevelShift())
+		fmt.Printf("\nlink %s  coverage=%.0f%%  minRTT=%.1fms\n", id, 100*far.Coverage(), far.Min())
+		if len(res.Episodes) == 0 {
+			fmt.Println("  no level-shift episodes")
+		}
+		for _, ep := range res.Episodes {
+			fmt.Printf("  elevated %s .. %s (%s)\n",
+				ep.Start.Format("2006-01-02 15:04"), ep.End.Format("15:04"), ep.Duration())
+		}
+
+		if *autocorr {
+			cfg := analysis.DefaultAutocorr()
+			cfg.WindowDays = *days
+			binsPerWin := cfg.WindowDays * cfg.BinsPerDay
+			acFar := analysis.NewBinSeries(start, 15*time.Minute, binsPerWin)
+			acNear := analysis.NewBinSeries(start, 15*time.Minute, binsPerWin)
+			nearFilter := map[string]string{"link": id, "side": "near"}
+			if *vp != "" {
+				nearFilter["vp"] = *vp
+			}
+			for _, s := range db.Query(tslp.MeasLatency, filter, start, end) {
+				for _, p := range s.Points {
+					acFar.Observe(p.Time, p.Value)
+				}
+			}
+			for _, s := range db.Query(tslp.MeasLatency, nearFilter, start, end) {
+				for _, p := range s.Points {
+					acNear.Observe(p.Time, p.Value)
+				}
+			}
+			acRes, err := analysis.Autocorrelation(acFar, acNear, cfg)
+			if err != nil {
+				fmt.Printf("  autocorrelation: %v\n", err)
+				continue
+			}
+			congested := 0
+			for _, d := range acRes.Days {
+				if d.Classified && d.Congested {
+					congested++
+				}
+			}
+			fmt.Printf("  autocorrelation: recurring=%v congestedDays=%d/%d", acRes.Recurring, congested, len(acRes.Days))
+			if acRes.RejectReason != "" {
+				fmt.Printf(" (rejected: %s)", acRes.RejectReason)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "congestion:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Command tslpd runs the packet-mode measurement system end to end on the
+// simulated U.S. broadband ecosystem: it deploys vantage points, runs
+// bdrmap to discover interdomain links, probes them with TSLP every five
+// minutes of virtual time, arms reactive loss probing on links with
+// level-shift episodes, and finally writes a tsdb snapshot for the
+// congestion analyzer and API server.
+//
+// Usage:
+//
+//	tslpd [-seed N] [-hours H] [-vps comcast-nyc,verizon-nyc] [-out snapshot.tsdb]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"interdomain/internal/core"
+	"interdomain/internal/netsim"
+	"interdomain/internal/scenario"
+	"interdomain/internal/tsdb"
+	"interdomain/internal/tslp"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "determinism seed")
+	hours := flag.Int("hours", 26, "virtual hours to run")
+	vpsFlag := flag.String("vps", "comcast-nyc,verizon-nyc", "comma-separated <provider>-<metro> vantage points")
+	out := flag.String("out", "", "write a tsdb snapshot here when done")
+	lineOut := flag.String("lineout", "", "also export the data as InfluxDB line protocol (the public-release format)")
+	reactive := flag.Bool("reactive", false, "enable reactive probing-set maintenance")
+	flag.Parse()
+
+	in, _, err := scenario.Build(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	db := tsdb.Open()
+	sys := core.NewSystem(in, db, netsim.Epoch)
+	sys.ReactiveTSLP = *reactive
+
+	providerASN := map[string]int{
+		"comcast": scenario.Comcast, "att": scenario.ATT, "verizon": scenario.Verizon,
+		"centurylink": scenario.CenturyLink, "cox": scenario.Cox, "twc": scenario.TWC,
+		"charter": scenario.Charter, "rcn": scenario.RCN,
+	}
+	for _, spec := range strings.Split(*vpsFlag, ",") {
+		spec = strings.TrimSpace(spec)
+		i := strings.LastIndex(spec, "-")
+		if i <= 0 {
+			fatal(fmt.Errorf("bad VP spec %q, want <provider>-<metro>", spec))
+		}
+		asn, ok := providerASN[spec[:i]]
+		if !ok {
+			fatal(fmt.Errorf("unknown provider %q", spec[:i]))
+		}
+		if _, err := sys.AddVP(asn, spec[i+1:], netsim.Epoch); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("tslpd: %s\n", in)
+	sys.Start()
+	deadline := netsim.Epoch.Add(time.Duration(*hours) * time.Hour)
+	t0 := time.Now()
+	events := sys.RunUntil(deadline)
+	fmt.Printf("tslpd: ran %d virtual hours (%d events) in %.1fs wall\n", *hours, events, time.Since(t0).Seconds())
+
+	for _, sv := range sys.SortedVPs() {
+		links := 0
+		if sv.LastBdrmap != nil {
+			links = len(sv.LastBdrmap.Links)
+		}
+		fmt.Printf("  vp %-22s links=%-3d tslpRounds=%-4d responseRate=%.1f%%\n",
+			sv.VP.Name, links, sv.TSLP.RoundsRun, 100*sv.TSLP.ResponseRate())
+		if sv.LastBdrmap == nil {
+			continue
+		}
+		// Arm reactive loss probing on links with level-shift episodes in
+		// the first day (§3.3's trigger).
+		congested := map[string]bool{}
+		for _, l := range sv.LastBdrmap.Links {
+			id := tslp.LinkID(l)
+			eps := sys.DetectEpisodes(sv.VP.Name, id, netsim.Epoch, 1)
+			if len(eps) > 0 {
+				congested[id] = true
+				fmt.Printf("    level-shift episodes on %s: %d\n", id, len(eps))
+			}
+		}
+		if n := sys.ArmLossProbing(sv, congested, nil); n > 0 {
+			fmt.Printf("    armed loss probing on %d interfaces\n", n)
+		}
+	}
+	fmt.Printf("tslpd: store holds %d series, %d points\n", db.SeriesCount(), db.PointCount())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.Snapshot(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tslpd: snapshot written to %s\n", *out)
+	}
+	if *lineOut != "" {
+		f, err := os.Create(*lineOut)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := db.ExportLines(f)
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tslpd: %d line-protocol points written to %s\n", n, *lineOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tslpd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// API query: run the measurement system briefly, serve the collected data
+// on the JSON query API (the paper's public-access interface), and query
+// it back like an external researcher would.
+//
+//	go run ./examples/apiquery
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"interdomain/internal/api"
+	"interdomain/internal/core"
+	"interdomain/internal/netsim"
+	"interdomain/internal/scenario"
+	"interdomain/internal/tsdb"
+)
+
+func main() {
+	// 1. Collect four virtual hours of TSLP data from one VP.
+	in, _, err := scenario.Build(3)
+	if err != nil {
+		panic(err)
+	}
+	db := tsdb.Open()
+	sys := core.NewSystem(in, db, netsim.Epoch)
+	if _, err := sys.AddVP(scenario.Comcast, "nyc", netsim.Epoch); err != nil {
+		panic(err)
+	}
+	sys.Start()
+	sys.RunUntil(netsim.Epoch.Add(4 * time.Hour))
+	fmt.Printf("collected %d series (%d points)\n", db.SeriesCount(), db.PointCount())
+
+	// 2. Serve the store on a local port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	srv := &http.Server{Handler: api.New(db)}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("API server listening on", base)
+
+	// 3. Query it back.
+	var ms struct {
+		Measurements []string `json:"measurements"`
+	}
+	mustGet(base+"/api/v1/measurements", &ms)
+	fmt.Println("measurements:", ms.Measurements)
+
+	var links struct {
+		Values []string `json:"values"`
+	}
+	mustGet(base+"/api/v1/tags?m=tslp&tag=link", &links)
+	fmt.Printf("links with TSLP data: %d\n", len(links.Values))
+	if len(links.Values) == 0 {
+		return
+	}
+
+	var q struct {
+		Series []api.QuerySeries `json:"series"`
+	}
+	url := fmt.Sprintf("%s/api/v1/query?m=tslp&link=%s&side=far&from=%s&to=%s",
+		base, links.Values[0],
+		netsim.Epoch.Format(time.RFC3339),
+		netsim.Epoch.Add(4*time.Hour).Format(time.RFC3339))
+	mustGet(url, &q)
+	for _, s := range q.Series {
+		n := len(s.Values)
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("far-side series %v: %d points, first=%.2fms last=%.2fms\n",
+			s.Tags["dest"], n, s.Values[0], s.Values[n-1])
+		break
+	}
+}
+
+func mustGet(url string, out interface{}) {
+	resp, err := http.Get(url)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		panic(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		panic(fmt.Sprintf("%s -> %d: %s", url, resp.StatusCode, body))
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		panic(err)
+	}
+}

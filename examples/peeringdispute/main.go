@@ -1,0 +1,91 @@
+// Peering dispute: the lifecycle §6.2 observes — congestion between an
+// access provider and a content provider appears, persists for months
+// while the parties argue, then dissipates when they settle and augment
+// capacity. The example runs the fluid-mode longitudinal pipeline over a
+// year and prints the inferred monthly congestion, which should rise and
+// fall with the dispute without the inference code ever seeing the
+// schedule.
+//
+//	go run ./examples/peeringdispute
+package main
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"interdomain/internal/core"
+	"interdomain/internal/netsim"
+	"interdomain/internal/scenario"
+	"interdomain/internal/topology"
+)
+
+func main() {
+	in, _, err := scenario.Build(7)
+	if err != nil {
+		panic(err)
+	}
+
+	// Stage the dispute on the Verizon-Google pair: heavy congestion
+	// from month 2 through month 9, then settled.
+	for _, ic := range in.InterconnectsOf(scenario.Verizon, scenario.Google) {
+		for _, dir := range []netsim.Direction{netsim.AtoB, netsim.BtoA} {
+			if p := ic.Link.Profile(dir); p != nil {
+				p.Episodes = nil // drop the stock schedule for clarity
+			}
+		}
+		ic.Link.InvalidateQueueCache()
+	}
+	for _, ic := range in.InterconnectsOf(scenario.Verizon, scenario.Google) {
+		into := dirInto(ic, scenario.Verizon)
+		p := ic.Link.Profile(into)
+		p.Episodes = append(p.Episodes, netsim.Episode{
+			Start:     scenario.MonthStart(2),
+			End:       scenario.MonthStart(9),
+			ExtraPeak: 0.35,
+		})
+		ic.Link.InvalidateQueueCache()
+	}
+
+	// Run a year of the longitudinal pipeline from the Verizon VPs.
+	vps := []core.VPSpec{
+		{ASN: scenario.Verizon, Metro: "nyc"},
+		{ASN: scenario.Verizon, Metro: "losangeles"},
+	}
+	lg := core.RunLongitudinal(in, vps, netsim.Epoch, 350, core.LongitudinalConfig{Seed: 8})
+
+	fmt.Println("Verizon-Google inferred congestion by month (fraction of day-links congested):")
+	fmt.Println(strings.Repeat("-", 64))
+	for m := 0; m < 11; m++ {
+		from := dayIndex(scenario.MonthStart(m))
+		to := dayIndex(scenario.MonthStart(m + 1))
+		st := pairStats(lg, scenario.Verizon, scenario.Google, from, to)
+		bar := strings.Repeat("#", int(50*st))
+		staged := " "
+		if m >= 2 && m < 9 {
+			staged = "*"
+		}
+		fmt.Printf("month %2d %s |%-50s| %5.1f%%\n", m, staged, bar, 100*st)
+	}
+	fmt.Println("(* = months the dispute was staged; inference never sees this)")
+}
+
+func pairStats(lg *core.Longitudinal, ap, tcp, from, to int) float64 {
+	st := lg.PairStats(ap, tcp, from, to)
+	if st.Total == 0 {
+		return 0
+	}
+	return float64(st.Congested) / float64(st.Total)
+}
+
+func dayIndex(t time.Time) int {
+	return int(t.Sub(netsim.Epoch) / (24 * time.Hour))
+}
+
+func dirInto(ic *topology.Interconnect, asn int) netsim.Direction {
+	near, _, _ := ic.Side(asn)
+	if near == ic.Link.A {
+		return netsim.BtoA
+	}
+	return netsim.AtoB
+}

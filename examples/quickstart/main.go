@@ -1,0 +1,111 @@
+// Quickstart: build a small simulated internet with one under-provisioned
+// interdomain link, discover the access ISP's interdomain links with
+// bdrmap, probe them with TSLP for two days, and let the analysis pipeline
+// find the congested one.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"interdomain/internal/analysis"
+	"interdomain/internal/bdrmap"
+	"interdomain/internal/bgp"
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+	"interdomain/internal/topology"
+	"interdomain/internal/tsdb"
+	"interdomain/internal/tslp"
+)
+
+func main() {
+	// 1. A three-AS internet: an access ISP peering with a content
+	// provider and buying transit.
+	cfg := topology.Config{
+		Seed:   42,
+		Metros: []topology.Metro{{Name: "nyc", TZOffsetHours: -5}, {Name: "chicago", TZOffsetHours: -6}},
+		ASes: []topology.ASSpec{
+			{ASN: 100, Name: "access", Kind: topology.AccessISP, Metros: []string{"nyc", "chicago"}},
+			{ASN: 200, Name: "transit", Kind: topology.Transit, Metros: []string{"nyc", "chicago"}},
+			{ASN: 300, Name: "content", Kind: topology.Content, Metros: []string{"nyc"}},
+		},
+		Adjs: []topology.AdjSpec{
+			{A: 100, B: 200, Rel: topology.C2P},
+			{A: 100, B: 300, Rel: topology.P2P},
+			{A: 300, B: 200, Rel: topology.C2P},
+		},
+	}
+	in, err := topology.Build(cfg)
+	check(err)
+	_, err = bgp.InstallRoutes(in)
+	check(err)
+
+	// 2. Under-provision the access-content peering: the content->access
+	// direction exceeds capacity at the evening peak.
+	ic := in.InterconnectsOf(100, 300)[0]
+	ic.Link.SetProfile(netsim.BtoA, &netsim.LoadProfile{
+		Base: 0.45, PeakAmplitude: 0.75, PeakHour: 21, PeakWidthHours: 2.5,
+		WeekendFactor: 1, NoiseAmplitude: 0.03, TZOffsetHours: -5, Seed: 7,
+	})
+
+	// 3. bdrmap from a vantage point inside the access ISP.
+	vp := in.ASes[100].Hosts[0]
+	engine := probe.NewEngine(in.Net, vp)
+	var prefixes []netip.Prefix
+	for _, a := range in.ASList() {
+		if a.ASN != 100 {
+			prefixes = append(prefixes, a.Prefixes...)
+		}
+	}
+	res := bdrmap.Run(bdrmap.Input{
+		Engine:      engine,
+		VPASN:       100,
+		Siblings:    in.Siblings(100),
+		PrefixToAS:  in.PrefixToAS(),
+		IXPPrefixes: in.IXPPrefixes(),
+		Neighbors:   map[int]bool{200: true, 300: true},
+		Targets:     bdrmap.TargetsFromPrefixes(prefixes),
+	}, netsim.Epoch.Add(6*time.Hour))
+	fmt.Printf("bdrmap found %d interdomain links:\n", len(res.Links))
+	for _, l := range res.Links {
+		fmt.Printf("  %v -> %v  neighbor AS%d\n", l.NearAddr, l.FarAddr, l.NeighborAS)
+	}
+
+	// 4. TSLP every five minutes for two days.
+	db := tsdb.Open()
+	prober := tslp.NewProber(engine, db, "vp-quickstart")
+	prober.SetLinks(res.Links)
+	start := netsim.Day(1)
+	for i := 0; i < 2*288; i++ {
+		prober.Round(start.Add(time.Duration(i) * tslp.DefaultInterval))
+	}
+	fmt.Printf("\nTSLP: %d rounds, %.0f%% response rate, %d points stored\n",
+		prober.RoundsRun, 100*prober.ResponseRate(), db.PointCount())
+
+	// 5. Level-shift detection per link.
+	fmt.Println("\nlevel-shift episodes per link (2 days):")
+	for _, l := range res.Links {
+		id := tslp.LinkID(l)
+		far := analysis.NewBinSeries(start, 5*time.Minute, 2*288)
+		for _, s := range db.Query(tslp.MeasLatency, map[string]string{"link": id, "side": "far"}, start, start.AddDate(0, 0, 2)) {
+			for _, p := range s.Points {
+				far.Observe(p.Time, p.Value)
+			}
+		}
+		eps := analysis.DetectLevelShifts(far, analysis.DefaultLevelShift()).Episodes
+		marker := ""
+		if l.FarAddr == ic.Link.B.Addr || l.FarAddr == ic.Link.A.Addr {
+			marker = "  <= the link we congested"
+		}
+		fmt.Printf("  %-28s %d episodes%s\n", id, len(eps), marker)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

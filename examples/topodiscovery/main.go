@@ -1,0 +1,110 @@
+// Topology discovery: the measurement system's topology substrates in one
+// walkthrough — infer AS relationships from BGP paths (the CAIDA AS-rank
+// role), map the local border with bdrmap, enumerate ECMP siblings with
+// MDA, and extend coverage beyond the VP's border with MAP-IT.
+//
+//	go run ./examples/topodiscovery
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"interdomain/internal/bdrmap"
+	"interdomain/internal/mapit"
+	"interdomain/internal/netsim"
+	"interdomain/internal/scenario"
+	"interdomain/internal/topology"
+	"interdomain/internal/vantage"
+)
+
+func main() {
+	in, table, err := scenario.Build(17)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("ecosystem:", in)
+
+	// 1. AS-relationship inference from the BGP view.
+	var paths [][]int
+	for src := range in.ASes {
+		for dst := range in.ASes {
+			if src != dst {
+				if p := table.ASPath(src, dst); len(p) >= 2 {
+					paths = append(paths, p)
+				}
+			}
+		}
+	}
+	inferred := topology.InferRelationships(paths)
+	correct, total, covered := topology.RelationshipAccuracy(inferred, in.Rels)
+	fmt.Printf("\n1. relationship inference: %d edges inferred, precision %.0f%%, recall %.0f%%\n",
+		total, 100*float64(correct)/float64(total), 100*float64(covered)/float64(len(in.Rels)))
+
+	// 2. bdrmap from a Comcast VP.
+	vp, err := vantage.Deploy(in, scenario.Comcast, "nyc", netsim.Epoch)
+	if err != nil {
+		panic(err)
+	}
+	var prefixes []netip.Prefix
+	for _, a := range in.ASList() {
+		if a.ASN != scenario.Comcast {
+			prefixes = append(prefixes, a.Prefixes...)
+		}
+	}
+	neighbors := map[int]bool{}
+	for _, o := range in.Neighbors(scenario.Comcast) {
+		neighbors[o] = true
+	}
+	res := bdrmap.Run(bdrmap.Input{
+		Engine:      vp.Engine,
+		VPASN:       scenario.Comcast,
+		Siblings:    in.Siblings(scenario.Comcast),
+		PrefixToAS:  in.PrefixToAS(),
+		IXPPrefixes: in.IXPPrefixes(),
+		Neighbors:   neighbors,
+		Targets:     bdrmap.TargetsFromPrefixes(prefixes),
+	}, netsim.Epoch.Add(8*time.Hour))
+	fmt.Printf("\n2. bdrmap: %d interdomain links of %s visible from %s\n",
+		len(res.Links), scenario.Name(scenario.Comcast), vp.Name)
+
+	// 3. MDA parallel-link discovery.
+	added := bdrmap.DiscoverParallel(res, vp.Engine, netsim.Epoch.Add(20*time.Hour))
+	fmt.Printf("3. MDA: %d additional parallel links discovered (ECMP siblings)\n", len(added))
+	for _, l := range added {
+		fmt.Printf("   + %v -> %v (%s, flow 0x%04x)\n", l.NearAddr, l.FarAddr, scenario.Name(l.NeighborAS), l.Dests[0].FlowID)
+	}
+
+	// 4. MAP-IT over a multi-VP corpus: links beyond Comcast's border.
+	corpus := mapit.Input{PrefixToAS: in.PrefixToAS(), IXPPrefixes: in.IXPPrefixes(), MinCount: 2}
+	at := netsim.Epoch.Add(30 * time.Hour)
+	for _, spec := range []struct {
+		asn   int
+		metro string
+	}{{scenario.Comcast, "nyc"}, {scenario.Verizon, "chicago"}} {
+		v, err := vantage.Deploy(in, spec.asn, spec.metro, netsim.Epoch)
+		if err != nil {
+			panic(err)
+		}
+		var ps []netip.Prefix
+		for _, a := range in.ASList() {
+			if a.ASN != spec.asn {
+				ps = append(ps, a.Prefixes...)
+			}
+		}
+		for _, dst := range bdrmap.TargetsFromPrefixes(ps) {
+			corpus.Traces = append(corpus.Traces, v.Engine.Traceroute(dst, bdrmap.StableFlowID(dst), at))
+			at = at.Add(time.Second)
+		}
+	}
+	links := mapit.Infer(corpus)
+	remote := 0
+	for _, l := range links {
+		if l.NearAS != scenario.Comcast && l.FarAS != scenario.Comcast &&
+			l.NearAS != scenario.Verizon && l.FarAS != scenario.Verizon {
+			remote++
+		}
+	}
+	fmt.Printf("\n4. MAP-IT: %d interdomain links from the corpus, %d beyond both VPs' borders\n", len(links), remote)
+}

@@ -1,0 +1,113 @@
+// Validation: reproduce the §5 methodology on one congested link — after
+// the autocorrelation method classifies 15-minute periods, compare packet
+// loss (§5.1) and NDT throughput (§5.3) between congested and uncongested
+// periods, applying the paper's statistical tests.
+//
+//	go run ./examples/validation
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"interdomain/internal/analysis"
+	"interdomain/internal/ndt"
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+	"interdomain/internal/scenario"
+	"interdomain/internal/stats"
+	"interdomain/internal/tsdb"
+	"interdomain/internal/tslp"
+)
+
+func main() {
+	in, _, err := scenario.Build(11)
+	if err != nil {
+		panic(err)
+	}
+
+	// The CenturyLink-Google pair is congested throughout the study;
+	// take the link its chicago VP sees.
+	var ic = in.InterconnectsOf(scenario.CenturyLink, scenario.Google)[0]
+	fmt.Printf("link under test: %s CenturyLink<->Google (%v - %v)\n",
+		ic.Metro, ic.Link.A.Addr, ic.Link.B.Addr)
+
+	// 1. Classify a 50-day window with the production pipeline.
+	winStart := netsim.Day(100)
+	f := &tslp.FluidProber{IC: ic, VPASN: scenario.CenturyLink, SamplesPerBin: 3, Seed: 21}
+	f.BaseNearMs, f.BaseFarMs = tslp.CalibrateBaseRTTs(in, ic.Metro, ic)
+	ac := analysis.DefaultAutocorr()
+	far, near, err := f.BinnedSeries(winStart, ac.WindowDays, ac.BinsPerDay)
+	if err != nil {
+		panic(err)
+	}
+	cls, err := analysis.Autocorrelation(far, near, ac)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("autocorrelation: recurring=%v threshold=%.1fms\n", cls.Recurring, cls.Threshold)
+
+	// 2. Loss-rate validation (far-end and localization tests).
+	var farCongS, farCongL, farUncS, farUncL, nearCongS, nearCongL int
+	for d := 0; d < 10; d++ {
+		for b := 0; b < ac.BinsPerDay; b++ {
+			t := winStart.AddDate(0, 0, d).Add(time.Duration(b) * 15 * time.Minute)
+			fs, fl := f.LossSample(t, 5*time.Minute, "far")
+			if cls.CongestedAt(t, winStart, 15*time.Minute, ac.BinsPerDay) {
+				farCongS += fs
+				farCongL += fl
+				ns, nl := f.LossSample(t, 5*time.Minute, "near")
+				nearCongS += ns
+				nearCongL += nl
+			} else {
+				farUncS += fs
+				farUncL += fl
+			}
+		}
+	}
+	farTest, _ := stats.BinomialProportionTest(farCongL, farCongS, farUncL, farUncS)
+	locTest, _ := stats.BinomialProportionTest(farCongL, farCongS, nearCongL, nearCongS)
+	fmt.Printf("\nloss validation (10 days):\n")
+	fmt.Printf("  far-end loss: congested %.2f%% vs uncongested %.2f%% (p=%.3g) -> far-end test %s\n",
+		100*farTest.P1, 100*farTest.P2, farTest.P, pass(farTest.P < 0.05 && farTest.P1 > farTest.P2))
+	fmt.Printf("  localization: far %.2f%% vs near %.2f%% during congestion (p=%.3g) -> localization test %s\n",
+		100*locTest.P1, 100*locTest.P2, locTest.P, pass(locTest.P < 0.05 && locTest.P1 > locTest.P2))
+
+	// 3. NDT throughput validation.
+	vpHost := in.ASes[scenario.CenturyLink].Hosts[0]
+	client := &ndt.Client{
+		Net: in.Net, Engine: probe.NewEngine(in.Net, vpHost), DB: tsdb.Open(),
+		VPName: "validation", AccessMbps: 25, Seed: 23, SkipTrace: true,
+	}
+	server := ndt.Server{Name: "google-cache", Host: in.ASes[scenario.Google].Hosts[0]}
+	var cong, unc []float64
+	for d := 0; d < 10; d++ {
+		for h := 0; h < 24; h++ {
+			t := winStart.AddDate(0, 0, d).Add(time.Duration(h) * time.Hour)
+			res, ok := client.Test(server, t)
+			if !ok {
+				continue
+			}
+			if cls.CongestedAt(t, winStart, 15*time.Minute, ac.BinsPerDay) {
+				cong = append(cong, res.DownloadMbps)
+			} else {
+				unc = append(unc, res.DownloadMbps)
+			}
+		}
+	}
+	tt, err := stats.WelchTTest(unc, cong)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nNDT validation (10 days, hourly):\n")
+	fmt.Printf("  download: uncongested %.1f Mbps (n=%d) vs congested %.1f Mbps (n=%d), t-test p=%.3g -> %s\n",
+		stats.Mean(unc), len(unc), stats.Mean(cong), len(cong), tt.P,
+		pass(tt.Significant(0.05) && stats.Mean(cong) < stats.Mean(unc)))
+}
+
+func pass(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}

@@ -1,0 +1,3 @@
+module interdomain
+
+go 1.22

@@ -1,0 +1,246 @@
+// Package alias implements router alias resolution: deciding which
+// interface addresses belong to the same physical router. bdrmap depends
+// on it to turn interface-level traceroute data into router-level borders.
+//
+// The primary technique is Ally (Spring et al.): routers typically stamp
+// outgoing packets from a single shared IP-ID counter, so interleaved
+// probes to two aliases observe one interleaved, monotonically increasing
+// (mod 2^16) sequence, while two independent routers almost never do. The
+// package also applies a Mercator-style pre-filter: candidate pairs whose
+// round-trip times differ wildly cannot be the same router and are never
+// tested, which keeps the probe cost near-linear in practice.
+package alias
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+)
+
+// samplesPerPair is how many interleaved probes Ally sends to each
+// candidate address (total 2*samplesPerPair probes per test).
+const samplesPerPair = 4
+
+// pairGap paces the interleaved probes.
+const pairGap = 100 * time.Millisecond
+
+// maxIPIDSpan is the largest total IP-ID range an interleaved sequence may
+// cover and still count as one counter; real Ally uses a similar in-order
+// + proximity test.
+const maxIPIDSpan = 1000
+
+// rttPreFilter skips pairs whose observed RTTs differ by more than this;
+// interfaces of one router are (nearly) equidistant from the VP.
+const rttPreFilter = 25 * time.Millisecond
+
+// Resolver runs alias resolution from a vantage point.
+type Resolver struct {
+	Engine *probe.Engine
+	// PairsTested and PairsConfirmed count work done, for reporting.
+	PairsTested    int
+	PairsConfirmed int
+}
+
+// NewResolver returns a resolver using the given probe engine.
+func NewResolver(e *probe.Engine) *Resolver { return &Resolver{Engine: e} }
+
+// Resolve clusters the given addresses into routers. Unresponsive
+// addresses end up as singletons. The returned clusters are sorted for
+// determinism (each cluster internally, and clusters by first address).
+func (r *Resolver) Resolve(addrs []netip.Addr, at time.Time) [][]netip.Addr {
+	uniq := dedupe(addrs)
+
+	// First pass: measure a baseline RTT per address; drop unresponsive.
+	type meas struct {
+		addr netip.Addr
+		rtt  time.Duration
+		ok   bool
+	}
+	ms := make([]meas, len(uniq))
+	t := at
+	for i, a := range uniq {
+		res := r.Engine.Ping(a, 0x5a11, t)
+		t = t.Add(10 * time.Millisecond)
+		ms[i] = meas{addr: a, rtt: res.RTT, ok: !res.Lost()}
+	}
+
+	// Union-find over confirmed alias pairs.
+	parent := make(map[netip.Addr]netip.Addr, len(uniq))
+	var find func(netip.Addr) netip.Addr
+	find = func(x netip.Addr) netip.Addr {
+		p := parent[x]
+		if p == x {
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	for _, a := range uniq {
+		parent[a] = a
+	}
+	union := func(a, b netip.Addr) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+
+	for i := 0; i < len(ms); i++ {
+		if !ms[i].ok {
+			continue
+		}
+		for j := i + 1; j < len(ms); j++ {
+			if !ms[j].ok {
+				continue
+			}
+			if find(ms[i].addr) == find(ms[j].addr) {
+				continue // already clustered transitively
+			}
+			d := ms[i].rtt - ms[j].rtt
+			if d < 0 {
+				d = -d
+			}
+			if d > rttPreFilter {
+				continue
+			}
+			r.PairsTested++
+			if r.ally(ms[i].addr, ms[j].addr, t) {
+				r.PairsConfirmed++
+				union(ms[i].addr, ms[j].addr)
+			}
+			t = t.Add(pairGap)
+		}
+	}
+
+	groups := make(map[netip.Addr][]netip.Addr)
+	for _, a := range uniq {
+		root := find(a)
+		groups[root] = append(groups[root], a)
+	}
+	out := make([][]netip.Addr, 0, len(groups))
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool { return g[i].Less(g[j]) })
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Less(out[j][0]) })
+	return out
+}
+
+// TestPair runs a single Ally test on a candidate pair, reporting whether
+// the two addresses respond from one shared IP-ID counter. bdrmap uses it
+// for targeted mate-address tests when disambiguating third-party
+// addressing at borders.
+func (r *Resolver) TestPair(a, b netip.Addr, at time.Time) bool {
+	r.PairsTested++
+	ok := r.ally(a, b, at)
+	if ok {
+		r.PairsConfirmed++
+	}
+	return ok
+}
+
+// ally performs the interleaved IP-ID test on one candidate pair.
+func (r *Resolver) ally(a, b netip.Addr, at time.Time) bool {
+	type obs struct {
+		ipid uint32
+	}
+	var seq []obs
+	t := at
+	for i := 0; i < samplesPerPair; i++ {
+		for _, dst := range []netip.Addr{a, b} {
+			res := r.Engine.Ping(dst, uint16(0xa11+i), t)
+			t = t.Add(pairGap / 4)
+			if res.Lost() {
+				return false // demand a complete interleaved sequence
+			}
+			seq = append(seq, obs{ipid: res.IPID})
+		}
+	}
+	// The merged sequence must be increasing mod 2^16 with a small span.
+	var total uint32
+	for i := 1; i < len(seq); i++ {
+		delta := (seq[i].ipid - seq[i-1].ipid) & 0xffff
+		if delta == 0 || delta > maxIPIDSpan {
+			return false
+		}
+		total += delta
+	}
+	return total <= maxIPIDSpan
+}
+
+func dedupe(addrs []netip.Addr) []netip.Addr {
+	seen := make(map[netip.Addr]bool, len(addrs))
+	out := make([]netip.Addr, 0, len(addrs))
+	for _, a := range addrs {
+		if a.IsValid() && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// GroundTruthAccuracy compares inferred clusters against the simulator's
+// node ownership and returns (correctPairs, totalInferredPairs,
+// truePairsCovered, totalTruePairs): pair-level precision/recall inputs.
+// Only tests use it; the inference code never sees ground truth.
+func GroundTruthAccuracy(net *netsim.Network, clusters [][]netip.Addr) (correct, inferred, covered, truth int) {
+	owner := func(a netip.Addr) *netsim.Node {
+		return net.NodeByAddr(a)
+	}
+	addrSet := make(map[netip.Addr]bool)
+	for _, c := range clusters {
+		for _, a := range c {
+			addrSet[a] = true
+		}
+		for i := 0; i < len(c); i++ {
+			for j := i + 1; j < len(c); j++ {
+				inferred++
+				oa, ob := owner(c[i]), owner(c[j])
+				if oa != nil && oa == ob {
+					correct++
+				}
+			}
+		}
+	}
+	// True pairs among the addresses that were subject to clustering.
+	byNode := make(map[*netsim.Node][]netip.Addr)
+	for a := range addrSet {
+		if n := owner(a); n != nil {
+			byNode[n] = append(byNode[n], a)
+		}
+	}
+	inCluster := func(a, b netip.Addr) bool {
+		for _, c := range clusters {
+			hasA, hasB := false, false
+			for _, x := range c {
+				if x == a {
+					hasA = true
+				}
+				if x == b {
+					hasB = true
+				}
+			}
+			if hasA {
+				return hasB
+			}
+		}
+		return false
+	}
+	for _, as := range byNode {
+		for i := 0; i < len(as); i++ {
+			for j := i + 1; j < len(as); j++ {
+				truth++
+				if inCluster(as[i], as[j]) {
+					covered++
+				}
+			}
+		}
+	}
+	return correct, inferred, covered, truth
+}

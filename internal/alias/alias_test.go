@@ -1,0 +1,125 @@
+package alias_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"interdomain/internal/alias"
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+	"interdomain/internal/testnet"
+)
+
+func TestResolveClustersRealAliases(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 5})
+	e := probe.NewEngine(n.In.Net, n.VP)
+	r := alias.NewResolver(e)
+
+	// Candidate set: all interface addresses of the access AS's border
+	// routers plus the far sides of its interconnects — exactly what
+	// bdrmap collects from traceroutes.
+	var addrs []netip.Addr
+	want := make(map[netip.Addr]*netsim.Node)
+	for _, ic := range n.In.InterconnectsOf(testnet.AccessASN, 0) {
+		for _, br := range []*netsim.Node{ic.BorderA, ic.BorderB} {
+			for _, ifc := range br.Ifaces {
+				addrs = append(addrs, ifc.Addr)
+				want[ifc.Addr] = br
+			}
+		}
+	}
+
+	clusters := r.Resolve(addrs, netsim.Epoch.Add(13*time.Hour))
+	correct, inferred, covered, truth := alias.GroundTruthAccuracy(n.In.Net, clusters)
+	if inferred == 0 || truth == 0 {
+		t.Fatalf("degenerate accuracy inputs: inferred=%d truth=%d", inferred, truth)
+	}
+	prec := float64(correct) / float64(inferred)
+	rec := float64(covered) / float64(truth)
+	if prec < 0.95 {
+		t.Fatalf("alias precision %.2f (correct=%d inferred=%d), want >= 0.95", prec, correct, inferred)
+	}
+	if rec < 0.70 {
+		t.Fatalf("alias recall %.2f (covered=%d truth=%d), want >= 0.70", rec, covered, truth)
+	}
+}
+
+func TestResolveSingletonsForDistinctRouters(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 5})
+	e := probe.NewEngine(n.In.Net, n.VP)
+	r := alias.NewResolver(e)
+
+	// One address per distinct core router: no aliases should be found.
+	var addrs []netip.Addr
+	owners := map[*netsim.Node]bool{}
+	access := n.In.ASes[testnet.AccessASN]
+	for _, core := range access.Cores {
+		if !owners[core] && len(core.Ifaces) > 0 {
+			owners[core] = true
+			addrs = append(addrs, core.Ifaces[0].Addr)
+		}
+	}
+	clusters := r.Resolve(addrs, netsim.Epoch.Add(13*time.Hour))
+	for _, c := range clusters {
+		if len(c) != 1 {
+			t.Fatalf("distinct routers clustered together: %v", c)
+		}
+	}
+}
+
+func TestResolveHandlesUnresponsive(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 5})
+	ic := n.CongestedIC
+	ic.BorderB.Unresponsive = true
+	e := probe.NewEngine(n.In.Net, n.VP)
+	r := alias.NewResolver(e)
+
+	var addrs []netip.Addr
+	for _, ifc := range ic.BorderB.Ifaces {
+		addrs = append(addrs, ifc.Addr)
+	}
+	for _, ifc := range ic.BorderA.Ifaces {
+		addrs = append(addrs, ifc.Addr)
+	}
+	clusters := r.Resolve(addrs, netsim.Epoch.Add(13*time.Hour))
+	// Unresponsive addresses must remain singletons.
+	for _, c := range clusters {
+		if len(c) > 1 {
+			for _, a := range c {
+				if n.In.Net.NodeByAddr(a) == ic.BorderB {
+					t.Fatalf("unresponsive router's address %v was clustered", a)
+				}
+			}
+		}
+	}
+}
+
+func TestResolveDeterministic(t *testing.T) {
+	run := func() [][]netip.Addr {
+		n := testnet.Build(testnet.Config{Seed: 7})
+		e := probe.NewEngine(n.In.Net, n.VP)
+		r := alias.NewResolver(e)
+		var addrs []netip.Addr
+		for _, ic := range n.In.InterconnectsOf(testnet.AccessASN, testnet.TransitASN) {
+			for _, ifc := range ic.BorderA.Ifaces {
+				addrs = append(addrs, ifc.Addr)
+			}
+		}
+		return r.Resolve(addrs, netsim.Epoch.Add(8*time.Hour))
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic cluster count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("cluster %d size differs", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("cluster %d differs: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+}

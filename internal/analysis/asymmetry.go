@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"math"
+
+	"interdomain/internal/stats"
+)
+
+// This file implements the asymmetric-path detection techniques §7
+// proposes: responses to TSLP probes may return over a different
+// interconnect than the targeted one (a neighbor delivering packets at the
+// interconnection closest to the VP), which would attribute another path's
+// congestion to the targeted link.
+
+// BaselineAsymmetry applies the paper's first proposed detector:
+// "identifying significant differences in baseline delays to the near and
+// far sides of the link". For a symmetric path, the far baseline exceeds
+// the near baseline by roughly the link's round-trip propagation (well
+// under a millisecond for an intra-metro interconnect); a far baseline
+// several milliseconds higher implies the reply detoured over a distant
+// interconnect.
+//
+// near and far are min-filtered series; expectedLinkMs is the expected
+// near/far baseline gap for a symmetric path and tolMs the slack before
+// flagging.
+func BaselineAsymmetry(near, far *BinSeries, expectedLinkMs, tolMs float64) (deltaMs float64, asymmetric bool) {
+	nb, fb := near.Min(), far.Min()
+	if math.IsInf(nb, 1) || math.IsInf(fb, 1) {
+		return math.NaN(), false
+	}
+	deltaMs = fb - nb
+	return deltaMs, deltaMs > expectedLinkMs+tolMs
+}
+
+// SharedCongestionSignature applies the paper's second proposed detector:
+// "a simple correlation between two TSLP time-series provides a good
+// indication that return traffic from those two targets traversed the
+// same congested path". It correlates the *elevation* component of two
+// far-side series (each series minus its own baseline), so differing
+// absolute RTTs do not mask a shared queueing signature. Returns the
+// Pearson coefficient over bins where both series have data (NaN when
+// there is no overlap or no variance).
+func SharedCongestionSignature(a, b *BinSeries) float64 {
+	n := a.Len()
+	if b.Len() < n {
+		n = b.Len()
+	}
+	ab, bb := a.Min(), b.Min()
+	if math.IsInf(ab, 1) || math.IsInf(bb, 1) {
+		return math.NaN()
+	}
+	var xs, ys []float64
+	for i := 0; i < n; i++ {
+		va, vb := a.Values[i], b.Values[i]
+		if math.IsNaN(va) || math.IsNaN(vb) {
+			continue
+		}
+		xs = append(xs, va-ab)
+		ys = append(ys, vb-bb)
+	}
+	return stats.PearsonCorrelation(xs, ys)
+}
+
+// SharedPathThreshold is the correlation above which two targets are
+// judged to share a congested return path.
+const SharedPathThreshold = 0.75
+
+// DetectSharedReturnPaths clusters far-side series whose congestion
+// signatures correlate above SharedPathThreshold — series in one cluster
+// likely measure the same congested path even if they target different
+// links. The result maps each series index to a cluster id.
+func DetectSharedReturnPaths(series []*BinSeries) []int {
+	n := len(series)
+	cluster := make([]int, n)
+	for i := range cluster {
+		cluster[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if cluster[x] != x {
+			cluster[x] = find(cluster[x])
+		}
+		return cluster[x]
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c := SharedCongestionSignature(series[i], series[j])
+			if !math.IsNaN(c) && c >= SharedPathThreshold {
+				cluster[find(i)] = find(j)
+			}
+		}
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = find(i)
+	}
+	return out
+}

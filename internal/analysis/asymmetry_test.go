@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"interdomain/internal/netsim"
+)
+
+func mkSeries(n int, f func(i int) float64) *BinSeries {
+	s := NewBinSeries(start, 15*time.Minute, n)
+	for i := 0; i < n; i++ {
+		s.Values[i] = f(i)
+	}
+	return s
+}
+
+func TestBaselineAsymmetrySymmetricPath(t *testing.T) {
+	rng := netsim.NewRNG(1)
+	near := mkSeries(500, func(int) float64 { return 10 + rng.Float64()*0.3 })
+	far := mkSeries(500, func(int) float64 { return 10.8 + rng.Float64()*0.3 })
+	delta, asym := BaselineAsymmetry(near, far, 1.5, 2)
+	if asym {
+		t.Fatalf("symmetric path flagged (delta=%.2f)", delta)
+	}
+	if delta < 0.5 || delta > 1.2 {
+		t.Fatalf("delta %.2f, want ~0.8", delta)
+	}
+}
+
+func TestBaselineAsymmetryDetour(t *testing.T) {
+	rng := netsim.NewRNG(2)
+	near := mkSeries(500, func(int) float64 { return 10 + rng.Float64()*0.3 })
+	// Replies detour over an interconnect a coast away: +25 ms baseline.
+	far := mkSeries(500, func(int) float64 { return 35 + rng.Float64()*0.3 })
+	delta, asym := BaselineAsymmetry(near, far, 1.5, 2)
+	if !asym {
+		t.Fatalf("detour not flagged (delta=%.2f)", delta)
+	}
+}
+
+func TestBaselineAsymmetryNoData(t *testing.T) {
+	near := NewBinSeries(start, 15*time.Minute, 10)
+	far := NewBinSeries(start, 15*time.Minute, 10)
+	if d, asym := BaselineAsymmetry(near, far, 1, 1); asym || !math.IsNaN(d) {
+		t.Fatal("empty series should not flag")
+	}
+}
+
+func TestSharedCongestionSignature(t *testing.T) {
+	rng := netsim.NewRNG(3)
+	// Two targets whose replies cross the same congested path: identical
+	// diurnal elevation, different baselines.
+	elev := func(i int) float64 {
+		if i%96 >= 80 && i%96 < 90 {
+			return 30
+		}
+		return 0
+	}
+	a := mkSeries(960, func(i int) float64 { return 12 + elev(i) + rng.Float64() })
+	b := mkSeries(960, func(i int) float64 { return 47 + elev(i) + rng.Float64() })
+	if c := SharedCongestionSignature(a, b); c < 0.95 {
+		t.Fatalf("shared-path correlation %.3f, want ~1", c)
+	}
+	// An uncongested third target correlates with neither.
+	flat := mkSeries(960, func(i int) float64 { return 20 + rng.Float64() })
+	if c := SharedCongestionSignature(a, flat); !math.IsNaN(c) && c > 0.3 {
+		t.Fatalf("independent series correlate at %.3f", c)
+	}
+	// Different congestion phases do not correlate.
+	other := mkSeries(960, func(i int) float64 {
+		v := 15 + rng.Float64()
+		if i%96 >= 20 && i%96 < 30 {
+			v += 25
+		}
+		return v
+	})
+	if c := SharedCongestionSignature(a, other); c > 0.3 {
+		t.Fatalf("phase-shifted series correlate at %.3f", c)
+	}
+}
+
+func TestDetectSharedReturnPaths(t *testing.T) {
+	rng := netsim.NewRNG(4)
+	evening := func(i int) float64 {
+		if i%96 >= 80 && i%96 < 90 {
+			return 28
+		}
+		return 0
+	}
+	morning := func(i int) float64 {
+		if i%96 >= 20 && i%96 < 30 {
+			return 28
+		}
+		return 0
+	}
+	series := []*BinSeries{
+		mkSeries(960, func(i int) float64 { return 10 + evening(i) + rng.Float64() }),
+		mkSeries(960, func(i int) float64 { return 30 + evening(i) + rng.Float64() }),
+		mkSeries(960, func(i int) float64 { return 12 + morning(i) + rng.Float64() }),
+		mkSeries(960, func(i int) float64 { return 14 + morning(i) + rng.Float64() }),
+	}
+	clusters := DetectSharedReturnPaths(series)
+	if clusters[0] != clusters[1] {
+		t.Fatal("evening pair not clustered together")
+	}
+	if clusters[2] != clusters[3] {
+		t.Fatal("morning pair not clustered together")
+	}
+	if clusters[0] == clusters[2] {
+		t.Fatal("distinct congestion signatures merged")
+	}
+}

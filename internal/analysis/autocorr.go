@@ -1,0 +1,411 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// AutocorrConfig parameterizes the autocorrelation method (§4.2).
+type AutocorrConfig struct {
+	// WindowDays is the analysis window (paper: 50 days).
+	WindowDays int
+	// BinsPerDay is the aggregation granularity (paper: 96 = 15 min).
+	BinsPerDay int
+	// ThresholdMs is the elevation threshold above the window's minimum
+	// RTT (paper: 7 ms).
+	ThresholdMs float64
+	// MinPeakDays is the minimum number of days that must contribute
+	// elevated latency at the peak interval before recurrence is
+	// considered at all.
+	MinPeakDays int
+	// SufficientFrac: intervals adjacent to the peak join the recurring
+	// window when at least SufficientFrac of the peak's day count
+	// contributes there (default 0.5).
+	SufficientFrac float64
+	// MinDayCoverage is the minimum fraction of bins with data a day
+	// needs to be classified (default 0.5).
+	MinDayCoverage float64
+}
+
+// DefaultAutocorr returns the paper's tuning.
+func DefaultAutocorr() AutocorrConfig {
+	return AutocorrConfig{
+		WindowDays:     50,
+		BinsPerDay:     96,
+		ThresholdMs:    7,
+		MinPeakDays:    5,
+		SufficientFrac: 0.5,
+		MinDayCoverage: 0.5,
+	}
+}
+
+// DayResult classifies one day of one link from one VP.
+type DayResult struct {
+	Day time.Time
+	// Classified is false when the day lacked enough data.
+	Classified bool
+	// Congested reports whether any 15-minute interval within the
+	// recurring congestion window was elevated this day.
+	Congested bool
+	// Fraction is the day-link congestion percentage (elevated intervals
+	// in the recurring window / BinsPerDay), in [0, 1].
+	Fraction float64
+}
+
+// AutocorrResult is the outcome of the recurrence analysis for one
+// (VP, link) pair over the window.
+type AutocorrResult struct {
+	// Recurring reports whether the link shows recurring diurnal
+	// congestion at all.
+	Recurring bool
+	// RejectReason explains a false-positive rejection (empty when
+	// Recurring or when there was simply no elevation).
+	RejectReason string
+	// WindowBins marks the bins-of-day inside the recurring congestion
+	// window.
+	WindowBins []bool
+	// DayCounts[b] is the number of days with elevated latency in
+	// bin-of-day b (after near-side exclusion).
+	DayCounts []int
+	// Days holds the per-day classification.
+	Days []DayResult
+	// MinRTT and Threshold document the elevation baseline (ms).
+	MinRTT, Threshold float64
+	// Elevated[d][b] is the raw elevation matrix (far elevated, near
+	// not), exposed for validation comparisons.
+	Elevated [][]bool
+
+	dayCoverage []float64
+}
+
+// CongestedAt reports the binary 15-minute classification the validation
+// analyses (§5) compare loss/throughput/streaming metrics against: t is
+// congested when its day is congested and its bin-of-day lies in the
+// recurring window and was elevated that day.
+func (r *AutocorrResult) CongestedAt(t time.Time, start time.Time, interval time.Duration, binsPerDay int) bool {
+	if !r.Recurring {
+		return false
+	}
+	idx := int(t.Sub(start) / interval)
+	if idx < 0 {
+		return false
+	}
+	d, b := idx/binsPerDay, idx%binsPerDay
+	if d >= len(r.Elevated) {
+		return false
+	}
+	return r.WindowBins[b] && r.Elevated[d][b]
+}
+
+// Autocorrelation runs the §4.2 method. far and near are min-filtered
+// series at BinsPerDay resolution covering cfg.WindowDays whole days and
+// sharing Start/Interval.
+func Autocorrelation(far, near *BinSeries, cfg AutocorrConfig) (*AutocorrResult, error) {
+	B, D := cfg.BinsPerDay, cfg.WindowDays
+	if far.Len() < B*D {
+		return nil, fmt.Errorf("analysis: far series has %d bins, need %d", far.Len(), B*D)
+	}
+	if near != nil && near.Len() < B*D {
+		return nil, fmt.Errorf("analysis: near series has %d bins, need %d", near.Len(), B*D)
+	}
+	res := &AutocorrResult{
+		WindowBins: make([]bool, B),
+		DayCounts:  make([]int, B),
+	}
+
+	res.MinRTT = far.Min()
+	if math.IsInf(res.MinRTT, 1) {
+		return res, nil // no data at all
+	}
+	res.Threshold = res.MinRTT + cfg.ThresholdMs
+	nearThreshold := math.Inf(1)
+	if near != nil {
+		if nm := near.Min(); !math.IsInf(nm, 1) {
+			nearThreshold = nm + cfg.ThresholdMs
+		}
+	}
+
+	// Elevation matrix with near-side exclusion (§4.2: elevated latency
+	// to the near side indicates congestion inside the access network;
+	// those intervals are excluded). Days with too little data are left
+	// unclassified — "insufficient data to infer congestion periods" is
+	// one of the month-link exclusions §5.1 applies.
+	res.Elevated = make([][]bool, D)
+	res.dayCoverage = make([]float64, D)
+	for d := 0; d < D; d++ {
+		res.Elevated[d] = make([]bool, B)
+		present := 0
+		for b := 0; b < B; b++ {
+			i := d*B + b
+			v := far.Values[i]
+			if math.IsNaN(v) {
+				continue
+			}
+			present++
+			if v <= res.Threshold {
+				continue
+			}
+			if near != nil {
+				nv := near.Values[i]
+				if !math.IsNaN(nv) && nv > nearThreshold {
+					continue
+				}
+			}
+			res.Elevated[d][b] = true
+			res.DayCounts[b]++
+		}
+		res.dayCoverage[d] = float64(present) / float64(B)
+	}
+
+	// Peak interval and recurring window.
+	peak, peakBin := 0, -1
+	for b, c := range res.DayCounts {
+		if c > peak {
+			peak, peakBin = c, b
+		}
+	}
+	if peak < cfg.MinPeakDays {
+		res.fillDays(far.Start, B, cfg)
+		return res, nil // no recurrence
+	}
+	sufficient := int(math.Ceil(cfg.SufficientFrac * float64(peak)))
+	if sufficient < cfg.MinPeakDays {
+		sufficient = cfg.MinPeakDays
+	}
+
+	clusters := clusterBins(res.DayCounts, sufficient, B)
+	main := -1
+	for ci, cl := range clusters {
+		if containsBin(cl, peakBin, B) {
+			main = ci
+		}
+	}
+	if main < 0 {
+		res.fillDays(far.Start, B, cfg)
+		return res, nil
+	}
+
+	// False-positive rejection (§4.2): multiple comparable clusters
+	// spread across the day, or different days driving different peaks.
+	for ci, cl := range clusters {
+		if ci == main {
+			continue
+		}
+		clPeak := 0
+		for _, b := range cl {
+			if res.DayCounts[b] > clPeak {
+				clPeak = res.DayCounts[b]
+			}
+		}
+		if float64(clPeak) < 0.7*float64(peak) {
+			continue // clearly secondary; ignore
+		}
+		if binDistance(clusters[main], cl, B) <= 8 { // within 2 hours: same daily event
+			clusters[main] = append(clusters[main], cl...)
+			continue
+		}
+		// Comparable far-away peak: same days driving both?
+		if jaccardDays(res.Elevated, clusters[main], cl) < 0.3 {
+			res.RejectReason = "comparable peaks at different times of day driven by different days"
+			res.fillDays(far.Start, B, cfg)
+			return res, nil
+		}
+		// Same days: a long congestion period split by the clusterer.
+		clusters[main] = append(clusters[main], cl...)
+	}
+
+	res.Recurring = true
+	for _, b := range clusters[main] {
+		res.WindowBins[b] = true
+	}
+	res.fillDays(far.Start, B, cfg)
+	return res, nil
+}
+
+// fillDays computes the per-day classification given the recurring window.
+func (r *AutocorrResult) fillDays(start time.Time, B int, cfg AutocorrConfig) {
+	D := len(r.Elevated)
+	minCov := cfg.MinDayCoverage
+	r.Days = make([]DayResult, D)
+	for d := 0; d < D; d++ {
+		day := DayResult{Day: start.AddDate(0, 0, d), Classified: r.dayCoverage[d] >= minCov}
+		if !day.Classified {
+			r.Days[d] = day
+			continue
+		}
+		if r.Recurring {
+			n := 0
+			for b := 0; b < B; b++ {
+				if r.WindowBins[b] && r.Elevated[d][b] {
+					n++
+				}
+			}
+			day.Congested = n > 0
+			day.Fraction = float64(n) / float64(B)
+		}
+		r.Days[d] = day
+	}
+}
+
+// clusterBins groups bins with count >= threshold into contiguous runs
+// (circular over the day), merging runs separated by a single gap.
+func clusterBins(counts []int, threshold, B int) [][]int {
+	inSet := make([]bool, B)
+	for b, c := range counts {
+		if c >= threshold {
+			inSet[b] = true
+		}
+	}
+	// Close single-bin gaps.
+	for b := 0; b < B; b++ {
+		prev, next := (b+B-1)%B, (b+1)%B
+		if !inSet[b] && inSet[prev] && inSet[next] {
+			inSet[b] = true
+		}
+	}
+	var clusters [][]int
+	visited := make([]bool, B)
+	for b := 0; b < B; b++ {
+		if !inSet[b] || visited[b] {
+			continue
+		}
+		// Walk back to the run start (handling wraparound).
+		start := b
+		for inSet[(start+B-1)%B] && (start+B-1)%B != b {
+			start = (start + B - 1) % B
+		}
+		var cl []int
+		for i := start; inSet[i] && !visited[i]; i = (i + 1) % B {
+			visited[i] = true
+			cl = append(cl, i)
+		}
+		clusters = append(clusters, cl)
+	}
+	return clusters
+}
+
+func containsBin(cl []int, b, _ int) bool {
+	for _, x := range cl {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// binDistance returns the minimal circular distance between two clusters.
+func binDistance(a, b []int, B int) int {
+	best := B
+	for _, x := range a {
+		for _, y := range b {
+			d := x - y
+			if d < 0 {
+				d = -d
+			}
+			if B-d < d {
+				d = B - d
+			}
+			if d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}
+
+// jaccardDays measures the overlap between the day sets contributing to
+// two bin clusters.
+func jaccardDays(elev [][]bool, a, b []int) float64 {
+	da, db := map[int]bool{}, map[int]bool{}
+	for d := range elev {
+		for _, x := range a {
+			if elev[d][x] {
+				da[d] = true
+			}
+		}
+		for _, y := range b {
+			if elev[d][y] {
+				db[d] = true
+			}
+		}
+	}
+	inter, union := 0, 0
+	for d := range da {
+		if db[d] {
+			inter++
+		}
+	}
+	union = len(da) + len(db) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// CongestionWindows converts a result into explicit event windows: maximal
+// runs of elevated in-window bins per day, the "start and end timestamps
+// of each inferred congestion event" the system reports (§4).
+func (r *AutocorrResult) CongestionWindows(start time.Time, interval time.Duration) []Window {
+	if !r.Recurring {
+		return nil
+	}
+	B := len(r.WindowBins)
+	var out []Window
+	for d := range r.Elevated {
+		runStart := -1
+		for b := 0; b <= B; b++ {
+			on := b < B && r.WindowBins[b] && r.Elevated[d][b]
+			switch {
+			case on && runStart < 0:
+				runStart = b
+			case !on && runStart >= 0:
+				out = append(out, Window{
+					Start: start.Add(time.Duration(d*B+runStart) * interval),
+					End:   start.Add(time.Duration(d*B+b) * interval),
+				})
+				runStart = -1
+			}
+		}
+	}
+	return out
+}
+
+// MergeVPResults combines per-VP day classifications for one link into an
+// overall per-day view (§4.2's final stage): fractions are averaged over
+// the VPs that classified the day, and a day is congested when a majority
+// of classifying VPs agree.
+func MergeVPResults(perVP [][]DayResult) []DayResult {
+	if len(perVP) == 0 {
+		return nil
+	}
+	n := 0
+	for _, days := range perVP {
+		if len(days) > n {
+			n = len(days)
+		}
+	}
+	out := make([]DayResult, n)
+	for d := 0; d < n; d++ {
+		var frac float64
+		classified, congested := 0, 0
+		for _, days := range perVP {
+			if d >= len(days) || !days[d].Classified {
+				continue
+			}
+			classified++
+			frac += days[d].Fraction
+			if days[d].Congested {
+				congested++
+			}
+			out[d].Day = days[d].Day
+		}
+		if classified == 0 {
+			continue
+		}
+		out[d].Classified = true
+		out[d].Fraction = frac / float64(classified)
+		out[d].Congested = congested*2 > classified
+	}
+	return out
+}

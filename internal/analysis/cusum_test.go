@@ -1,0 +1,133 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"interdomain/internal/netsim"
+)
+
+func TestCUSUMFindsSingleShift(t *testing.T) {
+	rng := netsim.NewRNG(31)
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = 15 + rng.Float64()
+		if i >= 120 {
+			vals[i] += 20
+		}
+	}
+	cps := DetectChangePointsCUSUM(vals, DefaultCUSUM())
+	if len(cps) != 1 {
+		t.Fatalf("got change points %v, want exactly one", cps)
+	}
+	if cps[0] < 115 || cps[0] > 125 {
+		t.Fatalf("change point at %d, want ~120", cps[0])
+	}
+}
+
+func TestCUSUMFindsStepUpAndDown(t *testing.T) {
+	rng := netsim.NewRNG(32)
+	vals := make([]float64, 288)
+	for i := range vals {
+		vals[i] = 15 + rng.Float64()
+		if i >= 150 && i < 200 {
+			vals[i] += 25
+		}
+	}
+	cps := DetectChangePointsCUSUM(vals, DefaultCUSUM())
+	if len(cps) != 2 {
+		t.Fatalf("got %v, want two change points", cps)
+	}
+	if cps[0] < 144 || cps[0] > 156 || cps[1] < 194 || cps[1] > 206 {
+		t.Fatalf("change points %v, want ~150 and ~200", cps)
+	}
+}
+
+func TestCUSUMQuietSeries(t *testing.T) {
+	rng := netsim.NewRNG(33)
+	vals := make([]float64, 250)
+	for i := range vals {
+		vals[i] = 15 + rng.Float64()
+	}
+	if cps := DetectChangePointsCUSUM(vals, DefaultCUSUM()); len(cps) != 0 {
+		t.Fatalf("false change points on noise: %v", cps)
+	}
+}
+
+func TestCUSUMHandlesNaNs(t *testing.T) {
+	rng := netsim.NewRNG(34)
+	vals := make([]float64, 200)
+	for i := range vals {
+		switch {
+		case i%7 == 3:
+			vals[i] = math.NaN()
+		case i >= 100:
+			vals[i] = 35 + rng.Float64()
+		default:
+			vals[i] = 15 + rng.Float64()
+		}
+	}
+	cps := DetectChangePointsCUSUM(vals, DefaultCUSUM())
+	if len(cps) != 1 {
+		t.Fatalf("got %v with NaNs, want one change point", cps)
+	}
+	if cps[0] < 95 || cps[0] > 105 {
+		t.Fatalf("change point %d, want ~100 (original indexing)", cps[0])
+	}
+}
+
+func TestCUSUMShortSeries(t *testing.T) {
+	if cps := DetectChangePointsCUSUM([]float64{1, 2, 3}, DefaultCUSUM()); len(cps) != 0 {
+		t.Fatalf("short series produced %v", cps)
+	}
+	if cps := DetectChangePointsCUSUM(nil, DefaultCUSUM()); len(cps) != 0 {
+		t.Fatalf("empty series produced %v", cps)
+	}
+}
+
+func TestCUSUMEpisodesMatchWindowedDetector(t *testing.T) {
+	// Both detectors must find the same single evening episode.
+	rng := netsim.NewRNG(35)
+	s := NewBinSeries(start, 5*time.Minute, 288)
+	for i := range s.Values {
+		s.Values[i] = 15 + rng.Float64()
+		if i >= 150 && i < 174 {
+			s.Values[i] = 45 + rng.Float64()*2
+		}
+	}
+	windowed := DetectLevelShifts(s, DefaultLevelShift())
+	boot := DetectLevelShiftsCUSUM(s, DefaultCUSUM(), 1)
+	if len(windowed.Episodes) != 1 || len(boot.Episodes) != 1 {
+		t.Fatalf("episodes: windowed=%d cusum=%d, want 1 each", len(windowed.Episodes), len(boot.Episodes))
+	}
+	wd := windowed.Episodes[0]
+	bd := boot.Episodes[0]
+	if d := wd.Start.Sub(bd.Start); d > time.Hour || d < -time.Hour {
+		t.Fatalf("episode starts differ: %v vs %v", wd.Start, bd.Start)
+	}
+	if d := wd.End.Sub(bd.End); d > time.Hour || d < -time.Hour {
+		t.Fatalf("episode ends differ: %v vs %v", wd.End, bd.End)
+	}
+}
+
+func TestCUSUMDeterministic(t *testing.T) {
+	rng := netsim.NewRNG(36)
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = 10 + rng.Float64()
+		if i > 90 {
+			vals[i] += 8
+		}
+	}
+	a := DetectChangePointsCUSUM(vals, DefaultCUSUM())
+	b := DetectChangePointsCUSUM(vals, DefaultCUSUM())
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("non-deterministic change points")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"math"
+
+	"interdomain/internal/stats"
+)
+
+// LevelShiftConfig parameterizes the detector exactly as §4.1 does.
+type LevelShiftConfig struct {
+	// CutoffLen is l: the detector finds shifts lasting at least l/2
+	// bins. The paper uses l=12 with 5-minute bins (30 minutes).
+	CutoffLen int
+	// HuberP is the Huber weight tuning parameter P (paper: 1).
+	HuberP float64
+	// Confidence is the Student's t-test confidence level (paper: 0.95).
+	Confidence float64
+}
+
+// DefaultLevelShift returns the paper's parameters.
+func DefaultLevelShift() LevelShiftConfig {
+	return LevelShiftConfig{CutoffLen: 12, HuberP: 1, Confidence: 0.95}
+}
+
+// LevelShiftResult reports detected shifts and derived elevation episodes.
+type LevelShiftResult struct {
+	// ShiftIndexes are bin indexes where the level changed.
+	ShiftIndexes []int
+	// Episodes are maximal periods whose level sits significantly above
+	// the series baseline.
+	Episodes []Window
+	// Sigma2 is the estimated average variance; Delta the minimum
+	// significant level difference.
+	Sigma2, Delta float64
+}
+
+// DetectLevelShifts runs the CUSUM-style level-shift detection of §4.1 on
+// a min-filtered series.
+func DetectLevelShifts(s *BinSeries, cfg LevelShiftConfig) LevelShiftResult {
+	l := cfg.CutoffLen
+	if l < 4 {
+		l = 4
+	}
+	vals := s.Values
+	res := LevelShiftResult{}
+	if len(vals) < 2*l {
+		return res
+	}
+
+	// 1. Average variance in moving windows of length l.
+	res.Sigma2 = movingVariance(vals, l)
+	if res.Sigma2 <= 0 {
+		res.Sigma2 = 1e-9
+	}
+	// 2. Minimum significant difference between adjacent regime means.
+	res.Delta = stats.MinSignificantDiff(res.Sigma2, l, cfg.Confidence)
+
+	// 3. Scan for shift points: compare Huber-weighted means of the l
+	// bins before and after each candidate index; keep local maxima of
+	// the difference.
+	type shift struct {
+		idx  int
+		diff float64
+	}
+	var cands []shift
+	for i := l; i+l <= len(vals); i++ {
+		left := window(vals, i-l, i)
+		right := window(vals, i, i+l)
+		if len(left) < l/2 || len(right) < l/2 {
+			continue
+		}
+		ml := huberMean(left, cfg.HuberP)
+		mr := huberMean(right, cfg.HuberP)
+		d := math.Abs(mr - ml)
+		if d < res.Delta {
+			continue
+		}
+		if tt, err := stats.PooledTTest(left, right); err != nil || !tt.Significant(1-cfg.Confidence) {
+			continue
+		}
+		cands = append(cands, shift{idx: i, diff: d})
+	}
+	// Non-maximum suppression within l bins.
+	for i := 0; i < len(cands); {
+		best := i
+		j := i + 1
+		for j < len(cands) && cands[j].idx-cands[best].idx < l {
+			if cands[j].diff > cands[best].diff {
+				best = j
+			}
+			j++
+		}
+		res.ShiftIndexes = append(res.ShiftIndexes, cands[best].idx)
+		i = j
+	}
+
+	// 4. Segment the series at the shifts and flag elevated segments.
+	bounds := append([]int{0}, res.ShiftIndexes...)
+	bounds = append(bounds, len(vals))
+	type seg struct {
+		lo, hi int
+		mean   float64
+	}
+	var segs []seg
+	baseline := math.Inf(1)
+	for i := 0; i+1 < len(bounds); i++ {
+		w := window(vals, bounds[i], bounds[i+1])
+		if len(w) == 0 {
+			continue
+		}
+		m := huberMean(w, cfg.HuberP)
+		segs = append(segs, seg{lo: bounds[i], hi: bounds[i+1], mean: m})
+		if m < baseline {
+			baseline = m
+		}
+	}
+	inEpisode := false
+	var start int
+	for _, g := range segs {
+		elevated := g.mean > baseline+res.Delta/2
+		switch {
+		case elevated && !inEpisode:
+			inEpisode, start = true, g.lo
+		case !elevated && inEpisode:
+			inEpisode = false
+			res.Episodes = append(res.Episodes, Window{Start: s.TimeAt(start), End: s.TimeAt(g.lo)})
+		}
+	}
+	if inEpisode {
+		res.Episodes = append(res.Episodes, Window{Start: s.TimeAt(start), End: s.TimeAt(len(vals))})
+	}
+	return res
+}
+
+// movingVariance returns the mean variance across windows of length l.
+func movingVariance(vals []float64, l int) float64 {
+	var sum float64
+	var n int
+	for i := 0; i+l <= len(vals); i += l / 2 {
+		w := window(vals, i, i+l)
+		if len(w) < l/2 {
+			continue
+		}
+		sum += stats.Variance(w)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// window extracts the non-NaN values in [lo, hi).
+func window(vals []float64, lo, hi int) []float64 {
+	out := make([]float64, 0, hi-lo)
+	for _, v := range vals[lo:hi] {
+		if !math.IsNaN(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// huberMean computes a robust mean: one reweighting pass with Huber's
+// function, as the paper does to keep outliers from dragging regime means.
+func huberMean(vals []float64, p float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	m := stats.Mean(vals)
+	sd := stats.StdDev(vals)
+	if sd == 0 {
+		return m
+	}
+	ws := make([]float64, len(vals))
+	for i, v := range vals {
+		ws[i] = stats.HuberWeight(v-m, sd, p)
+	}
+	return stats.WeightedMean(vals, ws)
+}

@@ -1,0 +1,192 @@
+// Package api exposes the time-series store over HTTP, playing the role
+// of the system's public query API (§1 contribution 4: "interactive
+// visualization interface and query API to encourage reproducibility").
+//
+// Endpoints (all JSON):
+//
+//	GET /api/v1/measurements                 list measurement names
+//	GET /api/v1/tags?m=<meas>&tag=<key>      distinct tag values
+//	GET /api/v1/query?m=<meas>&from=<rfc3339>&to=<rfc3339>&<tagK>=<tagV>...
+//	GET /api/v1/congestion?m=tslp&link=...&vp=...&from=...&days=N
+//	     run the autocorrelation pipeline over stored TSLP data
+//	GET /healthz
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"interdomain/internal/analysis"
+	"interdomain/internal/tsdb"
+)
+
+// Server wires the store into an http.Handler.
+type Server struct {
+	DB  *tsdb.DB
+	mux *http.ServeMux
+}
+
+// New returns a server over db.
+func New(db *tsdb.DB) *Server {
+	s := &Server{DB: db, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/api/v1/measurements", s.handleMeasurements)
+	s.mux.HandleFunc("/api/v1/tags", s.handleTags)
+	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/api/v1/congestion", s.handleCongestion)
+	s.mux.HandleFunc(dashboardPath, s.handleDashboard)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleMeasurements(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]interface{}{"measurements": s.DB.Measurements()})
+}
+
+func (s *Server) handleTags(w http.ResponseWriter, r *http.Request) {
+	m := r.URL.Query().Get("m")
+	tag := r.URL.Query().Get("tag")
+	if m == "" || tag == "" {
+		httpError(w, http.StatusBadRequest, "need m and tag parameters")
+		return
+	}
+	writeJSON(w, map[string]interface{}{"values": s.DB.TagValues(m, tag)})
+}
+
+// QuerySeries is one series in a query response.
+type QuerySeries struct {
+	Tags   map[string]string `json:"tags"`
+	Times  []time.Time       `json:"times"`
+	Values []float64         `json:"values"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	m := q.Get("m")
+	if m == "" {
+		httpError(w, http.StatusBadRequest, "need m parameter")
+		return
+	}
+	from, err := time.Parse(time.RFC3339, q.Get("from"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad from: %v", err)
+		return
+	}
+	to, err := time.Parse(time.RFC3339, q.Get("to"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad to: %v", err)
+		return
+	}
+	filter := map[string]string{}
+	for k, vs := range q {
+		switch k {
+		case "m", "from", "to":
+			continue
+		}
+		if len(vs) > 0 {
+			filter[k] = vs[0]
+		}
+	}
+	var out []QuerySeries
+	for _, series := range s.DB.Query(m, filter, from, to) {
+		qs := QuerySeries{Tags: series.Tags}
+		for _, p := range series.Points {
+			qs.Times = append(qs.Times, p.Time)
+			qs.Values = append(qs.Values, p.Value)
+		}
+		out = append(out, qs)
+	}
+	writeJSON(w, map[string]interface{}{"series": out})
+}
+
+// CongestionResponse reports the autocorrelation analysis over stored TSLP
+// data for one link.
+type CongestionResponse struct {
+	Recurring bool      `json:"recurring"`
+	Reject    string    `json:"reject_reason,omitempty"`
+	Days      []DayJSON `json:"days"`
+}
+
+// DayJSON is one day's classification.
+type DayJSON struct {
+	Day       string  `json:"day"`
+	Congested bool    `json:"congested"`
+	Fraction  float64 `json:"fraction"`
+}
+
+func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	link, vp := q.Get("link"), q.Get("vp")
+	if link == "" {
+		httpError(w, http.StatusBadRequest, "need link parameter")
+		return
+	}
+	from, err := time.Parse(time.RFC3339, q.Get("from"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad from: %v", err)
+		return
+	}
+	days := 50
+	if d := q.Get("days"); d != "" {
+		days, err = strconv.Atoi(d)
+		if err != nil || days <= 0 {
+			httpError(w, http.StatusBadRequest, "bad days")
+			return
+		}
+	}
+	cfg := analysis.DefaultAutocorr()
+	cfg.WindowDays = days
+	bin := 24 * time.Hour / time.Duration(cfg.BinsPerDay)
+	n := days * cfg.BinsPerDay
+	to := from.Add(time.Duration(n) * bin)
+
+	build := func(side string) *analysis.BinSeries {
+		series := analysis.NewBinSeries(from, bin, n)
+		filter := map[string]string{"link": link, "side": side}
+		if vp != "" {
+			filter["vp"] = vp
+		}
+		for _, ser := range s.DB.Query("tslp", filter, from, to) {
+			for _, p := range ser.Points {
+				series.Observe(p.Time, p.Value)
+			}
+		}
+		return series
+	}
+	far, near := build("far"), build("near")
+	res, err := analysis.Autocorrelation(far, near, cfg)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "analysis: %v", err)
+		return
+	}
+	resp := CongestionResponse{Recurring: res.Recurring, Reject: res.RejectReason}
+	for _, d := range res.Days {
+		resp.Days = append(resp.Days, DayJSON{
+			Day:       d.Day.Format("2006-01-02"),
+			Congested: d.Congested,
+			Fraction:  d.Fraction,
+		})
+	}
+	writeJSON(w, resp)
+}

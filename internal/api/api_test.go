@@ -1,0 +1,210 @@
+package api_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"interdomain/internal/api"
+	"interdomain/internal/netsim"
+	"interdomain/internal/tsdb"
+)
+
+func newServer(t *testing.T) (*httptest.Server, *tsdb.DB) {
+	t.Helper()
+	db := tsdb.Open()
+	ts := httptest.NewServer(api.New(db))
+	t.Cleanup(ts.Close)
+	return ts, db
+}
+
+func getJSON(t *testing.T, url string, out interface{}) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthz(t *testing.T) {
+	ts, _ := newServer(t)
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz returned %d", code)
+	}
+}
+
+func TestMeasurementsAndTags(t *testing.T) {
+	ts, db := newServer(t)
+	db.Write("tslp", map[string]string{"vp": "a", "side": "far"}, netsim.Epoch, 1)
+	db.Write("loss_rate", map[string]string{"vp": "b"}, netsim.Epoch, 2)
+
+	var ms struct {
+		Measurements []string `json:"measurements"`
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/measurements", &ms); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(ms.Measurements) != 2 {
+		t.Fatalf("measurements %v", ms.Measurements)
+	}
+
+	var tags struct {
+		Values []string `json:"values"`
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/tags?m=tslp&tag=vp", &tags); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(tags.Values) != 1 || tags.Values[0] != "a" {
+		t.Fatalf("tag values %v", tags.Values)
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/tags?m=tslp", nil); code != 400 {
+		t.Fatalf("missing tag param should 400, got %d", code)
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	ts, db := newServer(t)
+	for i := 0; i < 10; i++ {
+		db.Write("tslp", map[string]string{"vp": "a", "side": "far"}, netsim.Epoch.Add(time.Duration(i)*time.Minute), float64(i))
+		db.Write("tslp", map[string]string{"vp": "b", "side": "far"}, netsim.Epoch.Add(time.Duration(i)*time.Minute), float64(-i))
+	}
+	from := netsim.Epoch.Format(time.RFC3339)
+	to := netsim.Epoch.Add(5 * time.Minute).Format(time.RFC3339)
+	var out struct {
+		Series []api.QuerySeries `json:"series"`
+	}
+	url := fmt.Sprintf("%s/api/v1/query?m=tslp&from=%s&to=%s&vp=a", ts.URL, from, to)
+	if code := getJSON(t, url, &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(out.Series) != 1 {
+		t.Fatalf("series %d, want 1 (vp filter)", len(out.Series))
+	}
+	if len(out.Series[0].Values) != 5 {
+		t.Fatalf("points %d, want 5 (range)", len(out.Series[0].Values))
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/query?m=tslp&from=bad&to=bad", nil); code != 400 {
+		t.Fatalf("bad time should 400, got %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/query?from=x&to=y", nil); code != 400 {
+		t.Fatalf("missing m should 400, got %d", code)
+	}
+}
+
+func TestDashboard(t *testing.T) {
+	ts, db := newServer(t)
+	// One day of 15-minute TSLP data with an evening plateau.
+	rng := netsim.NewRNG(7)
+	for b := 0; b < 96; b++ {
+		at := netsim.Epoch.Add(time.Duration(b) * 15 * time.Minute)
+		far := 20 + rng.Float64()
+		if b >= 80 && b < 92 {
+			far += 30
+		}
+		db.Write("tslp", map[string]string{"vp": "v", "link": "L", "side": "far"}, at, far)
+		db.Write("tslp", map[string]string{"vp": "v", "link": "L", "side": "near"}, at, 5+rng.Float64())
+	}
+	url := ts.URL + "/dashboard?link=L&vp=v&from=" + netsim.Epoch.Format(time.RFC3339) + "&days=1"
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	for _, want := range []string{"<svg", "polyline", "#c0392b", "rect"} {
+		if !contains(body, want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+	// Index page lists the link.
+	resp, err = http.Get(ts.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := readAll(t, resp); !contains(body, "L") {
+		t.Fatal("index missing link")
+	}
+	// Missing data -> 404.
+	resp, _ = http.Get(ts.URL + "/dashboard?link=nope&from=" + netsim.Epoch.Format(time.RFC3339))
+	readAll(t, resp)
+	if resp.StatusCode != 404 {
+		t.Fatalf("missing link status %d", resp.StatusCode)
+	}
+	// Bad params -> 400.
+	resp, _ = http.Get(ts.URL + "/dashboard?link=L&from=bad")
+	readAll(t, resp)
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad from status %d", resp.StatusCode)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var b []byte
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b = append(b, buf[:n]...)
+		if err != nil {
+			break
+		}
+	}
+	return string(b)
+}
+
+func contains(s, sub string) bool { return len(s) >= len(sub) && strings.Contains(s, sub) }
+
+func TestCongestionEndpoint(t *testing.T) {
+	ts, db := newServer(t)
+	// Synthesize 50 days of far/near TSLP with a daily evening plateau.
+	rng := netsim.NewRNG(5)
+	for d := 0; d < 50; d++ {
+		for b := 0; b < 96; b++ {
+			at := netsim.Day(d).Add(time.Duration(b) * 15 * time.Minute)
+			far := 20 + rng.Float64()
+			if b >= 80 && b < 90 {
+				far += 30
+			}
+			db.Write("tslp", map[string]string{"vp": "v", "link": "L", "side": "far"}, at, far)
+			db.Write("tslp", map[string]string{"vp": "v", "link": "L", "side": "near"}, at, 5+rng.Float64())
+		}
+	}
+	url := fmt.Sprintf("%s/api/v1/congestion?link=L&vp=v&from=%s&days=50",
+		ts.URL, netsim.Epoch.Format(time.RFC3339))
+	var out api.CongestionResponse
+	if code := getJSON(t, url, &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if !out.Recurring {
+		t.Fatalf("recurring congestion not detected: %+v", out.Reject)
+	}
+	if len(out.Days) != 50 {
+		t.Fatalf("days %d", len(out.Days))
+	}
+	congested := 0
+	for _, d := range out.Days {
+		if d.Congested {
+			congested++
+		}
+	}
+	if congested < 45 {
+		t.Fatalf("only %d/50 days congested", congested)
+	}
+	if code := getJSON(t, ts.URL+"/api/v1/congestion?from=bad", nil); code != 400 {
+		t.Fatalf("missing link should 400, got %d", code)
+	}
+}

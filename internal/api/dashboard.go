@@ -1,0 +1,168 @@
+package api
+
+import (
+	"fmt"
+	"html/template"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"interdomain/internal/analysis"
+)
+
+// This file provides the visualization front-end of the system (the
+// Grafana role in §3): /dashboard renders an HTML page with an inline SVG
+// of a link's far/near latency series and, when enough data exists, the
+// inferred recurring-congestion windows shaded — the same presentation as
+// the paper's Figures 3 and 6.
+
+const dashboardPath = "/dashboard"
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	link := q.Get("link")
+	if link == "" {
+		s.renderLinkIndex(w)
+		return
+	}
+	vp := q.Get("vp")
+	from, err := time.Parse(time.RFC3339, q.Get("from"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad from: %v", err)
+		return
+	}
+	days := 1
+	if d := q.Get("days"); d != "" {
+		if days, err = strconv.Atoi(d); err != nil || days <= 0 || days > 60 {
+			httpError(w, http.StatusBadRequest, "bad days")
+			return
+		}
+	}
+
+	bin := 15 * time.Minute
+	n := days * 96
+	to := from.Add(time.Duration(n) * bin)
+	build := func(side string) *analysis.BinSeries {
+		series := analysis.NewBinSeries(from, bin, n)
+		filter := map[string]string{"link": link, "side": side}
+		if vp != "" {
+			filter["vp"] = vp
+		}
+		for _, ser := range s.DB.Query("tslp", filter, from, to) {
+			for _, p := range ser.Points {
+				series.Observe(p.Time, p.Value)
+			}
+		}
+		return series
+	}
+	far, near := build("far"), build("near")
+	if far.Coverage() == 0 {
+		httpError(w, http.StatusNotFound, "no TSLP data for link %q in range", link)
+		return
+	}
+
+	// Congestion shading via the level-shift detector (works on short
+	// ranges, like the deployed real-time dashboards).
+	shifts := analysis.DetectLevelShifts(far, analysis.DefaultLevelShift())
+
+	page := dashboardData{
+		Link: link, VP: vp,
+		From: from.Format("2006-01-02 15:04"), Days: days,
+		SVG: template.HTML(renderSVG(far, near, shifts.Episodes, from, bin)),
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := dashboardTmpl.Execute(w, page); err != nil {
+		httpError(w, http.StatusInternalServerError, "render: %v", err)
+	}
+}
+
+func (s *Server) renderLinkIndex(w http.ResponseWriter) {
+	links := s.DB.TagValues("tslp", "link")
+	var b strings.Builder
+	b.WriteString("<!doctype html><title>interdomain links</title><h1>Links with TSLP data</h1><ul>")
+	for _, l := range links {
+		fmt.Fprintf(&b, `<li><a href="%s?link=%s&from=2016-03-01T00:00:00Z&days=1">%s</a></li>`,
+			dashboardPath, template.URLQueryEscaper(l), template.HTMLEscapeString(l))
+	}
+	b.WriteString("</ul>")
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, b.String())
+}
+
+type dashboardData struct {
+	Link, VP string
+	From     string
+	Days     int
+	SVG      template.HTML
+}
+
+var dashboardTmpl = template.Must(template.New("dash").Parse(`<!doctype html>
+<title>TSLP {{.Link}}</title>
+<style>body{font-family:sans-serif;margin:2em}h1{font-size:1.1em}</style>
+<h1>TSLP latency — link {{.Link}}{{if .VP}} from {{.VP}}{{end}}</h1>
+<p>{{.Days}} day(s) from {{.From}} UTC. Far side in red, near side in blue,
+inferred congestion episodes shaded.</p>
+{{.SVG}}
+`))
+
+// renderSVG draws the two series and shades episode windows.
+func renderSVG(far, near *analysis.BinSeries, episodes []analysis.Window, from time.Time, bin time.Duration) string {
+	const width, height, pad = 960, 280, 30
+	n := far.Len()
+	maxV := 10.0
+	for _, v := range far.Values {
+		if !math.IsNaN(v) && v > maxV {
+			maxV = v
+		}
+	}
+	maxV *= 1.1
+	x := func(i int) float64 { return pad + float64(i)/float64(n-1)*(width-2*pad) }
+	y := func(v float64) float64 { return height - pad - v/maxV*(height-2*pad) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`, width, height)
+	// Episode shading.
+	for _, ep := range episodes {
+		i0 := int(ep.Start.Sub(from) / bin)
+		i1 := int(ep.End.Sub(from) / bin)
+		if i1 <= 0 || i0 >= n {
+			continue
+		}
+		if i0 < 0 {
+			i0 = 0
+		}
+		if i1 > n-1 {
+			i1 = n - 1
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="#ddd"/>`,
+			x(i0), pad, x(i1)-x(i0), height-2*pad)
+	}
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, pad, height-pad, width-pad, height-pad)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`, pad, pad, pad, height-pad)
+	fmt.Fprintf(&b, `<text x="2" y="%d" font-size="10">%.0fms</text>`, pad+4, maxV)
+	fmt.Fprintf(&b, `<text x="2" y="%d" font-size="10">0</text>`, height-pad)
+	// Series.
+	b.WriteString(polyline(far, x, y, "#c0392b"))
+	b.WriteString(polyline(near, x, y, "#2980b9"))
+	b.WriteString(`</svg>`)
+	return b.String()
+}
+
+func polyline(s *analysis.BinSeries, x func(int) float64, y func(float64) float64, color string) string {
+	var pts strings.Builder
+	for i, v := range s.Values {
+		if math.IsNaN(v) {
+			continue
+		}
+		fmt.Fprintf(&pts, "%.1f,%.1f ", x(i), y(v))
+	}
+	if pts.Len() == 0 {
+		return ""
+	}
+	return fmt.Sprintf(`<polyline points="%s" fill="none" stroke="%s" stroke-width="1"/>`,
+		strings.TrimSpace(pts.String()), color)
+}

@@ -1,0 +1,432 @@
+// Package bdrmap infers the interdomain links of the network hosting a
+// vantage point, following Luckie et al., "bdrmap: Inference of Borders
+// Between IP Networks" (IMC 2016), which the congestion measurement system
+// runs continuously on every VP.
+//
+// The pipeline: traceroute toward every routed prefix observed in BGP
+// (holding per-destination flow identifiers constant across runs), alias-
+// resolve the discovered interface addresses into routers, annotate
+// interfaces with owner ASes by longest-prefix match against the
+// prefix-to-AS mapping, vote on router ownership (which resolves the
+// third-party addressing that point-to-point /30s allocated from the
+// neighbor's space create), and finally walk each trace to find the first
+// router owned by a different organization than the VP's — the far end of
+// an interdomain link.
+package bdrmap
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"interdomain/internal/alias"
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+)
+
+// Input collects the datasets the inference consumes. All of them are
+// "public data" in the deployed system: BGP-derived prefixes, CAIDA AS
+// relationships, PCH/PeeringDB IXP prefixes, and a curated sibling list.
+type Input struct {
+	Engine *probe.Engine
+	// VPASN is the AS hosting the vantage point.
+	VPASN int
+	// Siblings lists ASes in the VP's organization, including VPASN.
+	Siblings []int
+	// PrefixToAS maps announced prefixes to origin ASes.
+	PrefixToAS map[netip.Prefix]int
+	// IXPPrefixes lists exchange-point LAN prefixes.
+	IXPPrefixes []netip.Prefix
+	// Neighbors is the AS-relationship-derived neighbor set of the VP AS,
+	// used as a plausibility check on inferred borders.
+	Neighbors map[int]bool
+	// Targets are the destinations to trace (one per routed prefix).
+	Targets []netip.Addr
+}
+
+// DestMeta describes one usable destination behind an inferred link.
+type DestMeta struct {
+	Addr   netip.Addr
+	FlowID uint16
+	// NearTTL makes probes expire at the near router; NearTTL+1 reaches
+	// the far router.
+	NearTTL int
+}
+
+// Link is one inferred interdomain link.
+type Link struct {
+	NearAddr netip.Addr // address the near (VP-side) border replies from
+	FarAddr  netip.Addr // address the far border replies from
+	// NeighborAS is the inferred AS on the far side.
+	NeighborAS int
+	// ViaIXP marks links whose far address lies in an exchange LAN.
+	ViaIXP bool
+	// KnownNeighbor reports whether NeighborAS appears in the
+	// relationship data (high confidence).
+	KnownNeighbor bool
+	// Dests are destinations whose forward path crosses the link.
+	Dests []DestMeta
+}
+
+// Key identifies the link by its endpoints.
+func (l *Link) Key() [2]netip.Addr { return [2]netip.Addr{l.NearAddr, l.FarAddr} }
+
+// Result is the output of one bdrmap run.
+type Result struct {
+	Links   []*Link
+	Traces  []*probe.Traceroute
+	Routers [][]netip.Addr
+	// OwnerOf is the inferred owner AS of each interface (0 = unknown,
+	// -1 = IXP address).
+	OwnerOf map[netip.Addr]int
+	// RouterAS is the voted owner of each alias cluster, keyed by the
+	// cluster's first address.
+	RouterAS map[netip.Addr]int
+}
+
+// LinkByFar returns the inferred link whose far address is a, or nil.
+func (r *Result) LinkByFar(a netip.Addr) *Link {
+	for _, l := range r.Links {
+		if l.FarAddr == a {
+			return l
+		}
+	}
+	return nil
+}
+
+// StableFlowID derives the constant per-destination flow identifier (the
+// ICMP checksum in the real probes). Keeping it constant across bdrmap
+// runs and TSLP probing pins the forward path under per-flow ECMP (§3.1).
+func StableFlowID(dst netip.Addr) uint16 {
+	b := dst.As4()
+	h := netsim.Hash64(uint64(b[0])<<24|uint64(b[1])<<16|uint64(b[2])<<8|uint64(b[3]), 0xf10)
+	return uint16(h)
+}
+
+// Run executes a full bdrmap cycle starting at virtual time at.
+func Run(in Input, at time.Time) *Result {
+	res := &Result{
+		OwnerOf:  make(map[netip.Addr]int),
+		RouterAS: make(map[netip.Addr]int),
+	}
+
+	// 1. Trace every target.
+	targets := dedupeAddrs(in.Targets)
+	t := at
+	for _, dst := range targets {
+		tr := in.Engine.Traceroute(dst, StableFlowID(dst), t)
+		res.Traces = append(res.Traces, tr)
+		t = t.Add(2 * time.Second)
+	}
+
+	// 2. Collect intermediate interface addresses.
+	addrSet := map[netip.Addr]bool{}
+	for _, tr := range res.Traces {
+		for _, h := range tr.Hops {
+			if h.Responded() && h.Type == netsim.TimeExceeded {
+				addrSet[h.Addr] = true
+			}
+		}
+	}
+	var addrs []netip.Addr
+	for a := range addrSet {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i].Less(addrs[j]) })
+
+	// 3. Alias resolution.
+	resolver := alias.NewResolver(in.Engine)
+	res.Routers = resolver.Resolve(addrs, t)
+
+	// 4. Interface ownership.
+	for _, a := range addrs {
+		res.OwnerOf[a] = ownerOf(a, in)
+	}
+
+	// 5. Router ownership votes, with successor-AS fallback.
+	successors := successorOwners(res.Traces, res.OwnerOf)
+	clusterOf := map[netip.Addr]netip.Addr{}
+	for _, c := range res.Routers {
+		key := c[0]
+		for _, a := range c {
+			clusterOf[a] = key
+		}
+		res.RouterAS[key] = voteOwner(c, res.OwnerOf, successors)
+	}
+
+	// 6. Border detection per trace, with targeted mate-address alias
+	// probing to resolve third-party addressing.
+	siblings := map[int]bool{}
+	for _, s := range in.Siblings {
+		siblings[s] = true
+	}
+	det := &detector{
+		in:        in,
+		res:       res,
+		clusterOf: clusterOf,
+		siblings:  siblings,
+		resolver:  resolver,
+		now:       t.Add(time.Minute),
+		mateCache: map[[2]netip.Addr]bool{},
+	}
+	links := map[[2]netip.Addr]*Link{}
+	for _, tr := range res.Traces {
+		det.detectBorder(tr, links)
+	}
+	for _, l := range links {
+		sort.Slice(l.Dests, func(i, j int) bool { return l.Dests[i].Addr.Less(l.Dests[j].Addr) })
+		res.Links = append(res.Links, l)
+	}
+	sort.Slice(res.Links, func(i, j int) bool {
+		a, b := res.Links[i], res.Links[j]
+		if a.NearAddr != b.NearAddr {
+			return a.NearAddr.Less(b.NearAddr)
+		}
+		return a.FarAddr.Less(b.FarAddr)
+	})
+	return res
+}
+
+// detector carries the state border detection needs across traces,
+// including the targeted mate-address probing used to resolve third-party
+// addressing.
+type detector struct {
+	in        Input
+	res       *Result
+	clusterOf map[netip.Addr]netip.Addr
+	siblings  map[int]bool
+	resolver  *alias.Resolver
+	now       time.Time
+	// mateCache memoizes Ally mate tests: key is {addr, anchor}.
+	mateCache map[[2]netip.Addr]bool
+}
+
+// hopAS returns the effective AS of a hop: voted router owner, falling
+// back to the interface owner.
+func (d *detector) hopAS(h probe.Hop) int {
+	if !h.Responded() || h.Type != netsim.TimeExceeded {
+		return 0
+	}
+	if key, ok := d.clusterOf[h.Addr]; ok {
+		if asn := d.res.RouterAS[key]; asn != 0 && asn != -1 {
+			return asn
+		}
+	}
+	o := d.res.OwnerOf[h.Addr]
+	if o == -1 {
+		return 0 // IXP address alone says nothing about the owner
+	}
+	return o
+}
+
+// detectBorder finds the first cross-organization router transition in one
+// trace and records/updates the corresponding link.
+func (d *detector) detectBorder(tr *probe.Traceroute, links map[[2]netip.Addr]*Link) {
+	hops := tr.Hops
+	for i := 0; i+1 < len(hops); i++ {
+		near, far := hops[i], hops[i+1]
+		if !near.Responded() || !far.Responded() || far.Type != netsim.TimeExceeded {
+			continue
+		}
+		nearAS, farAS := d.hopAS(near), d.hopAS(far)
+		if nearAS == 0 || !d.siblings[nearAS] {
+			continue
+		}
+		if farAS == 0 || d.siblings[farAS] {
+			continue
+		}
+		// Transition found at (i, i+1). Before accepting, consider the
+		// third-party case: hop i may be the *neighbor's* border replying
+		// from a /30 allocated out of the VP AS's space. The telltale is
+		// that hop i's address is one half of a point-to-point /30 whose
+		// other half (the mate) belongs to the router at hop i-1 —
+		// internal links are numbered from shared infrastructure pools
+		// and never form such pairs.
+		if i >= 1 && hops[i-1].Responded() && d.siblings[d.hopAS(hops[i-1])] {
+			if m, ok := mate(near.Addr); ok && d.mateAliases(m, hops[i-1].Addr) {
+				d.record(links, tr, hops[i-1], near, farAS, d.res.OwnerOf[near.Addr] == -1)
+				return
+			}
+		}
+		d.record(links, tr, near, far, farAS, d.res.OwnerOf[far.Addr] == -1)
+		return
+	}
+}
+
+// mateAliases runs (and caches) the Ally test between a mate address and
+// an anchor hop address.
+func (d *detector) mateAliases(mateAddr, anchor netip.Addr) bool {
+	key := [2]netip.Addr{mateAddr, anchor}
+	if v, ok := d.mateCache[key]; ok {
+		return v
+	}
+	v := d.resolver.TestPair(mateAddr, anchor, d.now)
+	d.now = d.now.Add(2 * time.Second)
+	d.mateCache[key] = v
+	return v
+}
+
+// record stores or updates the inferred link for one observed crossing.
+func (d *detector) record(links map[[2]netip.Addr]*Link, tr *probe.Traceroute, near, far probe.Hop, neighbor int, viaIXP bool) {
+	key := [2]netip.Addr{near.Addr, far.Addr}
+	l, ok := links[key]
+	if !ok {
+		l = &Link{
+			NearAddr:      near.Addr,
+			FarAddr:       far.Addr,
+			NeighborAS:    neighbor,
+			ViaIXP:        viaIXP,
+			KnownNeighbor: d.in.Neighbors[neighbor],
+		}
+		links[key] = l
+	}
+	if len(l.Dests) < maxDestsPerLink && !hasDest(l, tr.Dst) {
+		l.Dests = append(l.Dests, DestMeta{Addr: tr.Dst, FlowID: tr.FlowID, NearTTL: near.TTL})
+	}
+}
+
+// mate returns the /30 host-pair partner of a (base+1 <-> base+2); ok is
+// false for addresses that cannot be half of a point-to-point /30.
+func mate(a netip.Addr) (netip.Addr, bool) {
+	b := a.As4()
+	v := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	switch v & 3 {
+	case 1:
+		v++
+	case 2:
+		v--
+	default:
+		return netip.Addr{}, false
+	}
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}), true
+}
+
+// maxDestsPerLink caps recorded destinations; TSLP uses up to three.
+const maxDestsPerLink = 8
+
+func hasDest(l *Link, dst netip.Addr) bool {
+	for _, d := range l.Dests {
+		if d.Addr == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// ownerOf maps an interface address to its owner AS by longest-prefix
+// match, returning -1 for IXP LAN addresses and 0 when unknown.
+func ownerOf(a netip.Addr, in Input) int {
+	for _, p := range in.IXPPrefixes {
+		if p.Contains(a) {
+			return -1
+		}
+	}
+	best, bestBits := 0, -1
+	for p, asn := range in.PrefixToAS {
+		if p.Contains(a) && p.Bits() > bestBits {
+			best, bestBits = asn, p.Bits()
+		}
+	}
+	return best
+}
+
+// successorOwners maps each address to the most common owner AS of the
+// hop that follows it across all traces — the fallback signal for routers
+// whose own interfaces are all third-party or IXP addressed.
+func successorOwners(traces []*probe.Traceroute, ownerOf map[netip.Addr]int) map[netip.Addr]int {
+	counts := map[netip.Addr]map[int]int{}
+	for _, tr := range traces {
+		hops := tr.Hops
+		for i := 0; i+1 < len(hops); i++ {
+			a, b := hops[i], hops[i+1]
+			if !a.Responded() || !b.Responded() || b.Type != netsim.TimeExceeded {
+				continue
+			}
+			o := ownerOf[b.Addr]
+			if o <= 0 {
+				continue
+			}
+			if counts[a.Addr] == nil {
+				counts[a.Addr] = map[int]int{}
+			}
+			counts[a.Addr][o]++
+		}
+	}
+	out := make(map[netip.Addr]int, len(counts))
+	for a, cs := range counts {
+		best, bestN := 0, 0
+		for asn, n := range cs {
+			if n > bestN || (n == bestN && asn < best) {
+				best, bestN = asn, n
+			}
+		}
+		out[a] = best
+	}
+	return out
+}
+
+// voteOwner assigns a router (alias cluster) to an AS by majority over its
+// interface owners; IXP addresses abstain. On a tie or no information, the
+// successor-AS signal of the cluster's addresses decides.
+func voteOwner(cluster []netip.Addr, ownerOf map[netip.Addr]int, successors map[netip.Addr]int) int {
+	votes := map[int]int{}
+	for _, a := range cluster {
+		o := ownerOf[a]
+		if o > 0 {
+			votes[o]++
+		}
+	}
+	best, bestN, tied := 0, 0, false
+	for asn, n := range votes {
+		switch {
+		case n > bestN:
+			best, bestN, tied = asn, n, false
+		case n == bestN && asn != best:
+			tied = true
+		}
+	}
+	if bestN > 0 && !tied {
+		return best
+	}
+	// Fallback: successor votes.
+	succ := map[int]int{}
+	for _, a := range cluster {
+		if o, ok := successors[a]; ok && o > 0 {
+			succ[o]++
+		}
+	}
+	best, bestN = 0, 0
+	for asn, n := range succ {
+		if n > bestN || (n == bestN && asn < best) {
+			best, bestN = asn, n
+		}
+	}
+	return best
+}
+
+func dedupeAddrs(addrs []netip.Addr) []netip.Addr {
+	seen := map[netip.Addr]bool{}
+	out := make([]netip.Addr, 0, len(addrs))
+	for _, a := range addrs {
+		if a.IsValid() && !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// TargetsFromPrefixes derives one traceable destination per announced
+// prefix (the first host address), deduplicating nested prefixes that
+// share a base address.
+func TargetsFromPrefixes(prefixes []netip.Prefix) []netip.Addr {
+	var out []netip.Addr
+	for _, p := range prefixes {
+		base := p.Masked().Addr().As4()
+		v := uint32(base[0])<<24 | uint32(base[1])<<16 | uint32(base[2])<<8 | uint32(base[3])
+		v += 2 // skip network and the conventional .1 gateway
+		out = append(out, netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}))
+	}
+	return dedupeAddrs(out)
+}

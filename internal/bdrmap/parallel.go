@@ -1,0 +1,82 @@
+package bdrmap
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"interdomain/internal/probe"
+)
+
+// DiscoverParallel extends a bdrmap result with the ECMP siblings of each
+// inferred link: for every link it runs an MDA traceroute toward one of
+// the link's destinations, and every additional (near, far) interface pair
+// at the border TTLs becomes a new inferred link carrying the exemplar
+// flow identifier that pins probes onto it. Without this step, per-flow
+// load balancing hides all but one member of a parallel interconnect from
+// TSLP (§3.1's flow-id discussion).
+//
+// It returns the links added.
+func DiscoverParallel(res *Result, engine *probe.Engine, at time.Time) []*Link {
+	known := map[[2]netip.Addr]*Link{}
+	for _, l := range res.Links {
+		known[l.Key()] = l
+	}
+	var added []*Link
+	t := at
+	for _, l := range append([]*Link(nil), res.Links...) {
+		if len(l.Dests) == 0 {
+			continue
+		}
+		d := l.Dests[0]
+		mda := engine.MDATraceroute(d.Addr, t, d.FlowID)
+		t = t.Add(30 * time.Second)
+		nears := mda.At(d.NearTTL)
+		fars := mda.At(d.NearTTL + 1)
+		if len(nears) <= 1 && len(fars) <= 1 {
+			continue // no parallelism at this border
+		}
+		// Pair near/far members by re-walking each far exemplar flow: the
+		// near interface that flow traverses is the far's sibling.
+		for _, fh := range fars {
+			if fh.Addr == l.FarAddr {
+				continue
+			}
+			// Probe the near TTL with the far member's flow id to find
+			// its near-side partner.
+			nearRes := engine.Probe(d.Addr, d.NearTTL, fh.FlowID, t)
+			t = t.Add(time.Second)
+			if nearRes.Lost() {
+				continue
+			}
+			key := [2]netip.Addr{nearRes.From, fh.Addr}
+			if _, dup := known[key]; dup {
+				continue
+			}
+			nl := &Link{
+				NearAddr:      nearRes.From,
+				FarAddr:       fh.Addr,
+				NeighborAS:    l.NeighborAS,
+				ViaIXP:        l.ViaIXP,
+				KnownNeighbor: l.KnownNeighbor,
+				Dests: []DestMeta{{
+					Addr:    d.Addr,
+					FlowID:  fh.FlowID,
+					NearTTL: d.NearTTL,
+				}},
+			}
+			known[key] = nl
+			added = append(added, nl)
+			res.Links = append(res.Links, nl)
+		}
+		_ = nears
+	}
+	sort.Slice(res.Links, func(i, j int) bool {
+		a, b := res.Links[i], res.Links[j]
+		if a.NearAddr != b.NearAddr {
+			return a.NearAddr.Less(b.NearAddr)
+		}
+		return a.FarAddr.Less(b.FarAddr)
+	})
+	return added
+}

@@ -1,0 +1,93 @@
+package bdrmap_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"interdomain/internal/bdrmap"
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+	"interdomain/internal/testnet"
+)
+
+func TestMDATracerouteEnumeratesECMP(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 160, ParallelNYC: 3})
+	e := probe.NewEngine(n.In.Net, n.VP) // nyc VP
+	dst := n.In.ASes[testnet.TransitASN].Hosts[0].Ifaces[0].Addr
+	mda := e.MDATraceroute(dst, netsim.Epoch.Add(11*time.Hour), 0x1000)
+	if mda.Width() < 2 {
+		t.Fatalf("MDA width %d, want >= 2 across 3 parallel links", mda.Width())
+	}
+	// The far-side interfaces of the three parallel interconnects should
+	// appear at one TTL.
+	fars := map[netip.Addr]bool{}
+	for _, ic := range n.In.InterconnectsOf(testnet.AccessASN, testnet.TransitASN) {
+		if ic.Metro == "nyc" {
+			_, far, _ := ic.Side(testnet.AccessASN)
+			fars[far.Addr] = true
+		}
+	}
+	found := 0
+	for _, hops := range mda.Hops {
+		for _, h := range hops {
+			if fars[h.Addr] {
+				found++
+			}
+		}
+	}
+	if found < 2 {
+		t.Fatalf("found %d of 3 parallel far interfaces, want >= 2", found)
+	}
+}
+
+func TestDiscoverParallelAddsSiblings(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 161, ParallelNYC: 3})
+	res := runBdrmap(n) // nyc VP
+	e := probe.NewEngine(n.In.Net, n.VP)
+
+	countTransit := func() int {
+		c := 0
+		for _, l := range res.Links {
+			if l.NeighborAS == testnet.TransitASN {
+				c++
+			}
+		}
+		return c
+	}
+	before := countTransit()
+	added := bdrmap.DiscoverParallel(res, e, netsim.Epoch.Add(15*time.Hour))
+	after := countTransit()
+	if after <= before {
+		t.Fatalf("parallel discovery added nothing: %d -> %d (added %d)", before, after, len(added))
+	}
+	// Every link (old and new) must be probe-consistent: a far-TTL probe
+	// with the link's flow id must answer from the link's far address.
+	for _, l := range res.Links {
+		if l.NeighborAS != testnet.TransitASN {
+			continue
+		}
+		d := l.Dests[0]
+		r := e.Probe(d.Addr, d.NearTTL+1, d.FlowID, netsim.Epoch.Add(16*time.Hour))
+		if r.Lost() || r.From != l.FarAddr {
+			t.Fatalf("link %v-%v: far probe answered by %v", l.NearAddr, l.FarAddr, r.From)
+		}
+	}
+	// And all discovered links are real interconnects.
+	truth := groundTruthFars(n)
+	for _, l := range added {
+		if truth[l.FarAddr] != testnet.TransitASN {
+			t.Fatalf("discovered phantom link %v-%v", l.NearAddr, l.FarAddr)
+		}
+	}
+}
+
+func TestDiscoverParallelNoopOnSingleLinks(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 162})
+	res := runBdrmap(n)
+	before := len(res.Links)
+	added := bdrmap.DiscoverParallel(res, probe.NewEngine(n.In.Net, n.VP), netsim.Epoch.Add(15*time.Hour))
+	if len(added) != 0 || len(res.Links) != before {
+		t.Fatalf("parallel discovery invented links on a single-link topology: %d added", len(added))
+	}
+}

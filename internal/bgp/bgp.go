@@ -1,0 +1,334 @@
+// Package bgp computes interdomain routes over a generated topology and
+// installs them into router FIBs.
+//
+// Route selection follows the standard Gao-Rexford policy model: an AS
+// prefers routes learned from customers over routes from peers over routes
+// from providers, breaking ties by shortest AS path and then lowest
+// next-hop ASN; export obeys the valley-free rule (customer routes are
+// exported to everyone, peer and provider routes only to customers). This
+// is the same model underlying CAIDA's AS-relationship work that the
+// paper's bdrmap stage consumes.
+//
+// At the router level, egress selection is hot potato: each core router
+// exits through the interconnect closest to it, with ECMP across parallel
+// links at the chosen metro. Path asymmetry between forward and reverse
+// directions — a methodological concern the paper discusses in §7 —
+// emerges naturally from this choice.
+package bgp
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"interdomain/internal/netsim"
+	"interdomain/internal/topology"
+)
+
+// RouteType classifies how a route was learned, in preference order.
+type RouteType int
+
+const (
+	// Origin marks the destination AS itself.
+	Origin RouteType = iota
+	// CustomerRoute was learned from a customer.
+	CustomerRoute
+	// PeerRoute was learned from a settlement-free peer.
+	PeerRoute
+	// ProviderRoute was learned from a provider.
+	ProviderRoute
+)
+
+func (t RouteType) String() string {
+	switch t {
+	case Origin:
+		return "origin"
+	case CustomerRoute:
+		return "customer"
+	case PeerRoute:
+		return "peer"
+	default:
+		return "provider"
+	}
+}
+
+// Route is an AS's best route toward some destination AS.
+type Route struct {
+	Via  int // next-hop neighbor ASN (0 at the origin)
+	Type RouteType
+	Len  int // AS-path length
+}
+
+// Table holds best routes for every (destination AS, AS) pair.
+type Table struct {
+	// routes[dst][asn] is asn's best route toward dst.
+	routes map[int]map[int]Route
+}
+
+// Lookup returns asn's best route toward dst.
+func (t *Table) Lookup(dst, asn int) (Route, bool) {
+	m, ok := t.routes[dst]
+	if !ok {
+		return Route{}, false
+	}
+	r, ok := m[asn]
+	return r, ok
+}
+
+// ASPath reconstructs the AS path from src to dst by following next hops.
+// It returns nil when no route exists.
+func (t *Table) ASPath(src, dst int) []int {
+	m, ok := t.routes[dst]
+	if !ok {
+		return nil
+	}
+	path := []int{src}
+	cur := src
+	for cur != dst {
+		r, ok := m[cur]
+		if !ok {
+			return nil
+		}
+		if r.Type == Origin {
+			break
+		}
+		cur = r.Via
+		path = append(path, cur)
+		if len(path) > 64 {
+			return nil // defensive: should be impossible
+		}
+	}
+	return path
+}
+
+// adjacency of one AS: neighbor sets by role.
+type adj struct {
+	customers []int
+	peers     []int
+	providers []int
+}
+
+// ComputeRoutes computes the best valley-free route from every AS to every
+// destination AS.
+func ComputeRoutes(in *topology.Internet) *Table {
+	adjs := make(map[int]*adj, len(in.ASes))
+	for asn := range in.ASes {
+		adjs[asn] = &adj{}
+	}
+	for _, r := range in.Rels {
+		switch r.Type {
+		case topology.C2P:
+			adjs[r.A].providers = append(adjs[r.A].providers, r.B)
+			adjs[r.B].customers = append(adjs[r.B].customers, r.A)
+		case topology.P2P:
+			adjs[r.A].peers = append(adjs[r.A].peers, r.B)
+			adjs[r.B].peers = append(adjs[r.B].peers, r.A)
+		}
+	}
+	for _, a := range adjs {
+		sort.Ints(a.customers)
+		sort.Ints(a.peers)
+		sort.Ints(a.providers)
+	}
+
+	t := &Table{routes: make(map[int]map[int]Route, len(in.ASes))}
+	for dst := range in.ASes {
+		t.routes[dst] = computeForDst(dst, adjs)
+	}
+	return t
+}
+
+// computeForDst runs the three-phase valley-free shortest-path computation
+// for a single destination.
+func computeForDst(dst int, adjs map[int]*adj) map[int]Route {
+	best := make(map[int]Route)
+	best[dst] = Route{Type: Origin}
+
+	// Phase 1: customer routes climb provider edges from the origin.
+	// Dijkstra with unit weights (a BFS ordered by (len, via)).
+	pq := &routeHeap{}
+	heap.Push(pq, cand{asn: dst, r: Route{Type: Origin}})
+	custLen := map[int]int{dst: 0}
+	settled := map[int]bool{}
+	for pq.Len() > 0 {
+		c := heap.Pop(pq).(cand)
+		if settled[c.asn] {
+			continue
+		}
+		settled[c.asn] = true
+		if c.asn != dst {
+			best[c.asn] = c.r
+			custLen[c.asn] = c.r.Len
+		}
+		for _, p := range adjs[c.asn].providers {
+			if !settled[p] {
+				heap.Push(pq, cand{asn: p, r: Route{Via: c.asn, Type: CustomerRoute, Len: c.r.Len + 1}})
+			}
+		}
+	}
+
+	// Phase 2: one peer hop off the customer cone.
+	peerRoutes := make(map[int]Route)
+	for asn, a := range adjs {
+		if _, hasCust := custLen[asn]; hasCust {
+			continue // customer route always preferred
+		}
+		for _, y := range a.peers {
+			l, ok := custLen[y]
+			if !ok {
+				continue
+			}
+			r := Route{Via: y, Type: PeerRoute, Len: l + 1}
+			if cur, exists := peerRoutes[asn]; !exists || less(r, cur) {
+				peerRoutes[asn] = r
+			}
+		}
+	}
+	for asn, r := range peerRoutes {
+		best[asn] = r
+	}
+
+	// Phase 3: provider routes descend customer edges from everyone who
+	// already has a route.
+	pq = &routeHeap{}
+	for asn, r := range best {
+		heap.Push(pq, cand{asn: asn, r: r})
+	}
+	settled = map[int]bool{}
+	for pq.Len() > 0 {
+		c := heap.Pop(pq).(cand)
+		if settled[c.asn] {
+			continue
+		}
+		settled[c.asn] = true
+		if _, ok := best[c.asn]; !ok {
+			best[c.asn] = c.r
+		}
+		for _, cust := range adjs[c.asn].customers {
+			if settled[cust] {
+				continue
+			}
+			if _, ok := best[cust]; ok {
+				continue // customer/peer routes beat provider routes
+			}
+			heap.Push(pq, cand{asn: cust, r: Route{Via: c.asn, Type: ProviderRoute, Len: c.r.Len + 1}})
+		}
+	}
+	return best
+}
+
+// less orders candidate routes by preference.
+func less(a, b Route) bool {
+	if a.Type != b.Type {
+		return a.Type < b.Type
+	}
+	if a.Len != b.Len {
+		return a.Len < b.Len
+	}
+	return a.Via < b.Via
+}
+
+type cand struct {
+	asn int
+	r   Route
+}
+
+type routeHeap []cand
+
+func (h routeHeap) Len() int { return len(h) }
+func (h routeHeap) Less(i, j int) bool {
+	if h[i].r.Len != h[j].r.Len {
+		return h[i].r.Len < h[j].r.Len
+	}
+	if h[i].r.Via != h[j].r.Via {
+		return h[i].r.Via < h[j].r.Via
+	}
+	return h[i].asn < h[j].asn
+}
+func (h routeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *routeHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
+func (h *routeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	c := old[n-1]
+	*h = old[:n-1]
+	return c
+}
+
+// InstallRoutes computes routes and programs every core and border router
+// FIB for all announced prefixes. It returns the route table for
+// inspection.
+func InstallRoutes(in *topology.Internet) (*Table, error) {
+	t := ComputeRoutes(in)
+	for dst, dstAS := range in.ASes {
+		routesForDst := t.routes[dst]
+		for asn, a := range in.ASes {
+			if asn == dst {
+				continue
+			}
+			r, ok := routesForDst[asn]
+			if !ok || r.Type == Origin {
+				continue
+			}
+			ics := in.InterconnectsOf(asn, r.Via)
+			if len(ics) == 0 {
+				return nil, fmt.Errorf("bgp: AS%d routes to AS%d via AS%d but has no interconnect", asn, dst, r.Via)
+			}
+			plumb := in.Plumb[asn]
+			egressMetros := uniqueMetros(ics)
+
+			for _, m := range a.Metros {
+				core := a.Cores[m]
+				target := nearest(in, m, egressMetros)
+				var hops []*netsim.Interface
+				if target == m {
+					for _, ic := range ics {
+						if ic.Metro == m {
+							hops = append(hops, plumb.ICCore[ic])
+						}
+					}
+				} else {
+					hops = append(hops, plumb.CoreIface[m][target])
+				}
+				for _, p := range dstAS.Prefixes {
+					core.FIB.Add(p, hops...)
+				}
+			}
+			// Egress borders forward the prefix across their link.
+			for _, ic := range ics {
+				near, _, _ := ic.Side(asn)
+				for _, p := range dstAS.Prefixes {
+					near.Node.FIB.Add(p, near)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+func uniqueMetros(ics []*topology.Interconnect) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, ic := range ics {
+		if !seen[ic.Metro] {
+			seen[ic.Metro] = true
+			out = append(out, ic.Metro)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// nearest picks the candidate metro closest to from.
+func nearest(in *topology.Internet, from string, candidates []string) string {
+	best := ""
+	bestD := 1e18
+	fm := in.Metros[from]
+	for _, c := range candidates {
+		d := topology.MetroDistance(fm, in.Metros[c])
+		if d < bestD || (d == bestD && c < best) {
+			best, bestD = c, d
+		}
+	}
+	return best
+}

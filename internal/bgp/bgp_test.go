@@ -1,0 +1,341 @@
+package bgp_test
+
+import (
+	"testing"
+	"time"
+
+	"interdomain/internal/bgp"
+	"interdomain/internal/netsim"
+	"interdomain/internal/testnet"
+	"interdomain/internal/topology"
+)
+
+func TestValleyFreeSelection(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 1})
+	tbl := n.Table
+
+	// Access -> Content: direct peering beats the provider path.
+	r, ok := tbl.Lookup(testnet.ContentASN, testnet.AccessASN)
+	if !ok {
+		t.Fatal("no route access->content")
+	}
+	if r.Via != testnet.ContentASN || r.Type != bgp.PeerRoute {
+		t.Fatalf("access->content via %d type %v, want direct peer", r.Via, r.Type)
+	}
+
+	// Access -> Stub: stub is a customer of transit and transit2; access
+	// peers with transit2 and buys from transit. The peer route through
+	// transit2 is preferred over the provider route through transit.
+	r, ok = tbl.Lookup(testnet.StubASN, testnet.AccessASN)
+	if !ok {
+		t.Fatal("no route access->stub")
+	}
+	if r.Type != bgp.PeerRoute || r.Via != testnet.Transit2ASN {
+		t.Fatalf("access->stub via %d type %v, want peer via transit2", r.Via, r.Type)
+	}
+
+	// Transit -> Stub is a customer route.
+	r, _ = tbl.Lookup(testnet.StubASN, testnet.TransitASN)
+	if r.Type != bgp.CustomerRoute {
+		t.Fatalf("transit->stub type %v, want customer", r.Type)
+	}
+
+	// Valley-free: content must NOT reach stub through the access peer
+	// (peer->peer is not exported); it must go via its provider transit.
+	r, ok = tbl.Lookup(testnet.StubASN, testnet.ContentASN)
+	if !ok {
+		t.Fatal("no route content->stub")
+	}
+	if r.Via != testnet.TransitASN || r.Type != bgp.ProviderRoute {
+		t.Fatalf("content->stub via %d type %v, want provider via transit", r.Via, r.Type)
+	}
+}
+
+func TestASPathReconstruction(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 1})
+	path := n.Table.ASPath(testnet.ContentASN, testnet.StubASN)
+	want := []int{testnet.ContentASN, testnet.TransitASN, testnet.StubASN}
+	if len(path) != len(want) {
+		t.Fatalf("path %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v, want %v", path, want)
+		}
+	}
+	if p := n.Table.ASPath(testnet.AccessASN, testnet.AccessASN); len(p) != 1 {
+		t.Fatalf("self path %v", p)
+	}
+}
+
+func TestEndToEndForwarding(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 1})
+	at := netsim.Epoch.Add(10 * time.Hour)
+	// Ping every host of every AS from the VP.
+	for _, a := range n.In.ASList() {
+		for _, h := range a.Hosts {
+			res := n.In.Net.Ping(n.VP, h.Ifaces[0].Addr, 42, at)
+			if res.Lost() {
+				t.Fatalf("ping from VP to %s (%v) lost", h.Name, h.Ifaces[0].Addr)
+			}
+			if res.Type != netsim.EchoReply {
+				t.Fatalf("ping to %s: %v", h.Name, res.Type)
+			}
+		}
+	}
+}
+
+func TestForwardPathIsValleyFree(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 1})
+	// Walk the actual router path from the content host to the stub host
+	// and check the AS sequence matches the BGP path.
+	content := n.In.ASes[testnet.ContentASN]
+	stub := n.In.ASes[testnet.StubASN]
+	src := content.Hosts[0]
+	dst := stub.Hosts[0].Ifaces[0].Addr
+	nodes, ok := n.In.Net.PathTo(src, dst, 7)
+	if !ok {
+		t.Fatal("no forwarding path content->stub")
+	}
+	var asSeq []int
+	for _, node := range nodes {
+		if len(asSeq) == 0 || asSeq[len(asSeq)-1] != node.ASN {
+			asSeq = append(asSeq, node.ASN)
+		}
+	}
+	want := n.Table.ASPath(testnet.ContentASN, testnet.StubASN)
+	if len(asSeq) != len(want) {
+		t.Fatalf("forwarding AS sequence %v, want %v", asSeq, want)
+	}
+	for i := range want {
+		if asSeq[i] != want[i] {
+			t.Fatalf("forwarding AS sequence %v, want %v", asSeq, want)
+		}
+	}
+}
+
+func TestHotPotatoEgress(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 1})
+	// From the nyc VP, traffic to transit should leave through the nyc
+	// interconnect, not chicago.
+	transit := n.In.ASes[testnet.TransitASN]
+	var dstNYC *netsim.Node
+	for _, h := range transit.Hosts {
+		if n.In.Plumb[testnet.TransitASN].HostMetro[h] == "losangeles" {
+			dstNYC = h
+		}
+	}
+	if dstNYC == nil {
+		t.Skip("no losangeles host in transit")
+	}
+	nodes, ok := n.In.Net.PathTo(n.VP, dstNYC.Ifaces[0].Addr, 9)
+	if !ok {
+		t.Fatal("no path")
+	}
+	crossed := ""
+	for _, node := range nodes {
+		if node.ASN == testnet.AccessASN {
+			for _, ic := range n.In.InterconnectsOf(testnet.AccessASN, testnet.TransitASN) {
+				if ic.BorderA == node || ic.BorderB == node {
+					crossed = ic.Metro
+				}
+			}
+		}
+	}
+	if crossed != "nyc" {
+		t.Fatalf("egress metro %q, want nyc (hot potato)", crossed)
+	}
+}
+
+func TestECMPParallelLinksRespectFlowID(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 1, ParallelNYC: 3})
+	transit := n.In.ASes[testnet.TransitASN]
+	dst := transit.Hosts[0].Ifaces[0].Addr
+
+	// Same flow id => same path, always.
+	first, _ := n.In.Net.PathTo(n.VP, dst, 77)
+	for i := 0; i < 10; i++ {
+		again, _ := n.In.Net.PathTo(n.VP, dst, 77)
+		if len(again) != len(first) {
+			t.Fatal("same flow id took different paths")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatal("same flow id took different paths")
+			}
+		}
+	}
+
+	// Different flow ids should spread across parallel links.
+	seen := map[*netsim.Node]bool{}
+	for f := 0; f < 64; f++ {
+		nodes, ok := n.In.Net.PathTo(n.VP, dst, uint16(f))
+		if !ok {
+			t.Fatal("no path")
+		}
+		for _, node := range nodes {
+			if node.ASN == testnet.AccessASN && node.Kind == netsim.Router {
+				seen[node] = true
+			}
+		}
+	}
+	// With 3 parallel nyc links there are 3 distinct access border
+	// routers; expect at least 2 exercised across 64 flow ids.
+	borders := 0
+	for node := range seen {
+		for _, ic := range n.In.InterconnectsOf(testnet.AccessASN, testnet.TransitASN) {
+			if ic.BorderA == node {
+				borders++
+			}
+		}
+	}
+	if borders < 2 {
+		t.Fatalf("only %d parallel borders exercised, want >= 2", borders)
+	}
+}
+
+func TestRoutesToInterfaceAddresses(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 1})
+	at := netsim.Epoch.Add(15 * time.Hour)
+	// Alias resolution pings interface addresses directly; every
+	// interdomain link endpoint must answer from the VP's AS or from the
+	// owning AS.
+	for _, ic := range n.In.InterconnectsOf(testnet.AccessASN, 0) {
+		for _, ifc := range []*netsim.Interface{ic.Link.A, ic.Link.B} {
+			res := n.In.Net.Ping(n.VP, ifc.Addr, 5, at)
+			if res.Lost() {
+				t.Errorf("ping to interconnect addr %v (%s) lost", ifc.Addr, ifc.Node.Name)
+			}
+		}
+	}
+}
+
+func TestRouteTableCompleteness(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 1})
+	for dst := range n.In.ASes {
+		for src := range n.In.ASes {
+			if src == dst {
+				continue
+			}
+			if _, ok := n.Table.Lookup(dst, src); !ok {
+				t.Errorf("no route %d -> %d", src, dst)
+			}
+		}
+	}
+}
+
+// TestAllPathsValleyFree verifies the fundamental policy invariant over
+// every computed path in the fixture: once a path crosses a peer or
+// provider edge, every subsequent edge must descend provider->customer.
+func TestAllPathsValleyFree(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 1})
+	relOf := func(a, b int) (string, bool) {
+		rel, swapped, ok := n.In.Relationship(a, b)
+		if !ok {
+			return "", false
+		}
+		switch {
+		case rel == topology.P2P:
+			return "peer", true
+		case swapped:
+			return "down", true // a is b's provider: a->b descends
+		default:
+			return "up", true // a is b's customer: a->b climbs
+		}
+	}
+	for src := range n.In.ASes {
+		for dst := range n.In.ASes {
+			if src == dst {
+				continue
+			}
+			path := n.Table.ASPath(src, dst)
+			if len(path) < 2 {
+				continue
+			}
+			descended := false
+			for i := 0; i+1 < len(path); i++ {
+				dir, ok := relOf(path[i], path[i+1])
+				if !ok {
+					t.Fatalf("path %v uses nonexistent edge %d-%d", path, path[i], path[i+1])
+				}
+				if descended && dir != "down" {
+					t.Fatalf("valley in path %v at edge %d-%d (%s)", path, path[i], path[i+1], dir)
+				}
+				if dir != "up" {
+					descended = true
+				}
+			}
+		}
+	}
+}
+
+// TestForwardingMatchesBGPEverywhere walks the actual router path for
+// every (source host, destination host) pair and checks the AS sequence
+// equals the computed BGP path.
+func TestForwardingMatchesBGPEverywhere(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 1})
+	for srcASN, srcAS := range n.In.ASes {
+		if len(srcAS.Hosts) == 0 {
+			continue
+		}
+		src := srcAS.Hosts[0]
+		for dstASN, dstAS := range n.In.ASes {
+			if srcASN == dstASN || len(dstAS.Hosts) == 0 {
+				continue
+			}
+			dst := dstAS.Hosts[0].Ifaces[0].Addr
+			nodes, ok := n.In.Net.PathTo(src, dst, 11)
+			if !ok {
+				t.Fatalf("no forwarding path %d->%d", srcASN, dstASN)
+			}
+			var asSeq []int
+			for _, node := range nodes {
+				if len(asSeq) == 0 || asSeq[len(asSeq)-1] != node.ASN {
+					asSeq = append(asSeq, node.ASN)
+				}
+			}
+			want := n.Table.ASPath(srcASN, dstASN)
+			if len(asSeq) != len(want) {
+				t.Fatalf("%d->%d: forwarding %v vs bgp %v", srcASN, dstASN, asSeq, want)
+			}
+			for i := range want {
+				if asSeq[i] != want[i] {
+					t.Fatalf("%d->%d: forwarding %v vs bgp %v", srcASN, dstASN, asSeq, want)
+				}
+			}
+		}
+	}
+}
+
+func TestComputeRoutesPrefersCustomer(t *testing.T) {
+	// Tiny triangle: 1 is customer of 2 and peer of 3; 3 is customer
+	// of 2. Destination 3: AS2 must use its customer link, AS1 its peer.
+	cfg := topology.Config{
+		Seed:   1,
+		Metros: []topology.Metro{{Name: "m", TZOffsetHours: 0}},
+		ASes: []topology.ASSpec{
+			{ASN: 1, Name: "one", Metros: []string{"m"}},
+			{ASN: 2, Name: "two", Metros: []string{"m"}},
+			{ASN: 3, Name: "three", Metros: []string{"m"}},
+		},
+		Adjs: []topology.AdjSpec{
+			{A: 1, B: 2, Rel: topology.C2P},
+			{A: 1, B: 3, Rel: topology.P2P},
+			{A: 3, B: 2, Rel: topology.C2P},
+		},
+	}
+	in, err := topology.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := bgp.ComputeRoutes(in)
+	r, _ := tbl.Lookup(3, 2)
+	if r.Type != bgp.CustomerRoute || r.Via != 3 {
+		t.Fatalf("AS2->AS3: %+v, want direct customer", r)
+	}
+	r, _ = tbl.Lookup(3, 1)
+	if r.Type != bgp.PeerRoute || r.Via != 3 {
+		t.Fatalf("AS1->AS3: %+v, want direct peer", r)
+	}
+	_ = time.Now
+}

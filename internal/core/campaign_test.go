@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"interdomain/internal/analysis"
+	"interdomain/internal/core"
+	"interdomain/internal/lossprobe"
+	"interdomain/internal/netsim"
+	"interdomain/internal/testnet"
+	"interdomain/internal/tsdb"
+	"interdomain/internal/tslp"
+)
+
+// TestWeekLongCampaign exercises the whole deployed pipeline in packet
+// mode for a simulated week: periodic bdrmap refresh, reactive TSLP,
+// the daily level-shift trigger arming loss probes, and a final
+// autocorrelation pass over the collected store — everything the paper's
+// Figure 1 shows, driven by the virtual-time scheduler.
+func TestWeekLongCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("week-long campaign")
+	}
+	n := testnet.Build(testnet.Config{Seed: 180})
+	db := tsdb.Open()
+	sys := core.NewSystem(n.In, db, netsim.Epoch)
+	sys.ReactiveTSLP = true
+	sv, err := sys.AddVP(testnet.AccessASN, "losangeles", netsim.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	sys.EnableReactiveLoss()
+
+	const days = 7
+	sys.RunUntil(netsim.Epoch.AddDate(0, 0, days))
+
+	// Probing health (TSLP starts two hours after the VP joins).
+	if sv.TSLP.RoundsRun < days*288-30 {
+		t.Fatalf("TSLP rounds %d, want ~%d", sv.TSLP.RoundsRun, days*288-24)
+	}
+	if rate := sv.TSLP.ResponseRate(); rate < 0.9 {
+		t.Fatalf("response rate %.2f (paper reports >90%%)", rate)
+	}
+	// bdrmap refreshed every 2 days.
+	if sv.LastBdrmap == nil {
+		t.Fatal("no bdrmap state")
+	}
+
+	// The reactive loss loop armed the congested link.
+	if sv.Loss.TargetCount() == 0 {
+		t.Fatal("loss probing never armed during a congested week")
+	}
+	sv.Loss.Flush()
+
+	// Loss localization over the collected data: far-side loss during the
+	// congested evening exceeds near-side loss.
+	_, far, _ := n.CongestedIC.Side(testnet.AccessASN)
+	var linkID string
+	for _, l := range sv.LastBdrmap.Links {
+		if l.FarAddr == far.Addr {
+			linkID = tslp.LinkID(l)
+		}
+	}
+	if linkID == "" {
+		t.Fatal("congested link unmapped")
+	}
+	lossOf := func(side string) (sum float64, n int) {
+		for _, s := range db.Query(lossprobe.MeasLossRate, map[string]string{"link": linkID, "side": side}, netsim.Epoch, netsim.Epoch.AddDate(0, 0, days)) {
+			for _, p := range s.Points {
+				sum += p.Value
+				n++
+			}
+		}
+		return sum, n
+	}
+	farSum, farN := lossOf("far")
+	nearSum, nearN := lossOf("near")
+	if farN == 0 || nearN == 0 {
+		t.Fatalf("loss series missing: far=%d near=%d", farN, nearN)
+	}
+	if farSum/float64(farN) <= nearSum/float64(nearN) {
+		t.Fatalf("loss not localized: far %.4f vs near %.4f", farSum/float64(farN), nearSum/float64(nearN))
+	}
+
+	// Final analysis pass: a 7-day autocorrelation window (test-scaled)
+	// classifies the congested link as recurring.
+	cfg := analysis.DefaultAutocorr()
+	cfg.WindowDays = days
+	cfg.MinPeakDays = 4
+	daysOut, err := sys.AnalyzeMerged(linkID, netsim.Epoch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	congested := 0
+	for _, d := range daysOut {
+		if d.Classified && d.Congested {
+			congested++
+		}
+	}
+	if congested < days-2 {
+		t.Fatalf("only %d/%d days classified congested", congested, days)
+	}
+
+	// Store hygiene: retention keeps the DB bounded for long campaigns.
+	before := db.PointCount()
+	dropped := db.Retain(netsim.Day(3), netsim.Day(days))
+	if dropped == 0 || db.PointCount() >= before {
+		t.Fatalf("retention dropped nothing (%d points)", before)
+	}
+}
+
+func TestCampaignScheduleOverhead(t *testing.T) {
+	// The virtual-time scheduler must process a week of events quickly;
+	// this guards against accidental per-event quadratic behavior.
+	n := testnet.Build(testnet.Config{Seed: 181})
+	db := tsdb.Open()
+	sys := core.NewSystem(n.In, db, netsim.Epoch)
+	if _, err := sys.AddVP(testnet.AccessASN, "nyc", netsim.Epoch); err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	start := time.Now()
+	events := sys.RunUntil(netsim.Epoch.AddDate(0, 0, 2))
+	if wall := time.Since(start); wall > 30*time.Second {
+		t.Fatalf("2 virtual days took %v wall (%d events)", wall, events)
+	}
+}

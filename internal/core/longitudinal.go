@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"interdomain/internal/analysis"
+	"interdomain/internal/netsim"
+	"interdomain/internal/topology"
+	"interdomain/internal/tslp"
+	"interdomain/internal/vantage"
+)
+
+// VPSpec places a fluid-mode vantage point. JoinDay/LeaveDay model the
+// volunteer churn the paper reports (86 VPs joined over the study, 63
+// remained by December 2017): the VP only contributes analysis windows
+// that fall entirely inside [JoinDay, LeaveDay). LeaveDay 0 means the VP
+// stays to the end.
+type VPSpec struct {
+	ASN      int
+	Metro    string
+	JoinDay  int
+	LeaveDay int
+}
+
+// activeForWindow reports whether the VP covers the whole analysis window
+// [fromDay, toDay).
+func (v VPSpec) activeForWindow(fromDay, toDay int) bool {
+	if fromDay < v.JoinDay {
+		return false
+	}
+	return v.LeaveDay == 0 || toDay <= v.LeaveDay
+}
+
+// VPLinkResult is the longitudinal outcome for one (VP, link) pair.
+type VPLinkResult struct {
+	VP VPSpec
+	IC *topology.Interconnect
+	// Days concatenates per-day classifications across all analysis
+	// windows (one entry per day of the run).
+	Days []analysis.DayResult
+	// ElevatedBins lists the start times (UTC) of 15-minute intervals
+	// classified as recurring congestion — the raw material for the
+	// time-of-day analysis (Figure 9).
+	ElevatedBins []time.Time
+}
+
+// Longitudinal is the dataset behind the §6 results.
+type Longitudinal struct {
+	In      *topology.Internet
+	Start   time.Time
+	Days    int
+	Results []*VPLinkResult
+	// Merged holds per-link day classifications after combining VPs
+	// (§4.2's final merge stage).
+	Merged map[*topology.Interconnect][]analysis.DayResult
+}
+
+// LongitudinalConfig tunes the fluid run.
+type LongitudinalConfig struct {
+	Autocorr analysis.AutocorrConfig
+	// Seed decorrelates sampling noise.
+	Seed uint64
+}
+
+// RunLongitudinal executes the fluid-mode study: for every VP and every
+// interconnect visible from it, synthesize TSLP series, run the
+// autocorrelation analysis in consecutive windows, and merge per link.
+func RunLongitudinal(in *topology.Internet, vps []VPSpec, start time.Time, days int, cfg LongitudinalConfig) *Longitudinal {
+	ac := cfg.Autocorr
+	if ac.WindowDays == 0 {
+		ac = analysis.DefaultAutocorr()
+	}
+	out := &Longitudinal{
+		In:     in,
+		Start:  start,
+		Days:   days,
+		Merged: make(map[*topology.Interconnect][]analysis.DayResult),
+	}
+	windows := days / ac.WindowDays
+
+	perLink := map[*topology.Interconnect][][]analysis.DayResult{}
+	for vpIdx, vp := range vps {
+		ics := vantage.VisibleInterconnects(in, vp.ASN, vp.Metro)
+		for icIdx, ic := range ics {
+			f := &tslp.FluidProber{
+				IC:            ic,
+				VPASN:         vp.ASN,
+				SamplesPerBin: 3,
+				MissingProb:   0.01,
+				Seed:          netsim.Hash64(cfg.Seed, uint64(vpIdx), uint64(icIdx), uint64(ic.Link.ID)),
+			}
+			f.BaseNearMs, f.BaseFarMs = tslp.CalibrateBaseRTTs(in, vp.Metro, ic)
+
+			r := &VPLinkResult{VP: vp, IC: ic}
+			for w := 0; w < windows; w++ {
+				if !vp.activeForWindow(w*ac.WindowDays, (w+1)*ac.WindowDays) {
+					// VP not collecting: emit unclassified days so the
+					// merge stage knows the gap.
+					for d := 0; d < ac.WindowDays; d++ {
+						r.Days = append(r.Days, analysis.DayResult{
+							Day: start.AddDate(0, 0, w*ac.WindowDays+d),
+						})
+					}
+					continue
+				}
+				wStart := start.AddDate(0, 0, w*ac.WindowDays)
+				far, near, err := f.BinnedSeries(wStart, ac.WindowDays, ac.BinsPerDay)
+				if err != nil {
+					continue
+				}
+				res, err := analysis.Autocorrelation(far, near, ac)
+				if err != nil {
+					continue
+				}
+				r.Days = append(r.Days, res.Days...)
+				if res.Recurring {
+					bin := 24 * time.Hour / time.Duration(ac.BinsPerDay)
+					for d := range res.Elevated {
+						for b := 0; b < ac.BinsPerDay; b++ {
+							if res.WindowBins[b] && res.Elevated[d][b] {
+								r.ElevatedBins = append(r.ElevatedBins,
+									wStart.AddDate(0, 0, d).Add(time.Duration(b)*bin))
+							}
+						}
+					}
+				}
+			}
+			out.Results = append(out.Results, r)
+			perLink[ic] = append(perLink[ic], r.Days)
+		}
+	}
+	for ic, sets := range perLink {
+		out.Merged[ic] = analysis.MergeVPResults(sets)
+	}
+	return out
+}
+
+// DayLinkStats summarizes merged day-links for one AP-T&CP pair over a day
+// range [fromDay, toDay).
+type DayLinkStats struct {
+	Total     int // classified day-links
+	Congested int // day-links with fraction >= MinFraction
+	// MeanCongestion averages the congestion fraction over congested
+	// day-links (the Figure 8 metric).
+	MeanCongestion float64
+}
+
+// MinFraction is the §6 reporting threshold: a day-link counts as
+// congested when congestion covers more than 4% of the day (~1 hour).
+const MinFraction = 0.04
+
+// PairStats aggregates the merged results for one AP-T&CP pair.
+func (l *Longitudinal) PairStats(ap, tcp int, fromDay, toDay int) DayLinkStats {
+	var st DayLinkStats
+	var fracSum float64
+	for ic, days := range l.Merged {
+		if !pairMatches(ic, ap, tcp) {
+			continue
+		}
+		for d := fromDay; d < toDay && d < len(days); d++ {
+			if !days[d].Classified {
+				continue
+			}
+			st.Total++
+			if days[d].Congested && days[d].Fraction >= MinFraction {
+				st.Congested++
+				fracSum += days[d].Fraction
+			}
+		}
+	}
+	if st.Congested > 0 {
+		st.MeanCongestion = fracSum / float64(st.Congested)
+	}
+	return st
+}
+
+// PairsFor lists the distinct neighbor ASNs with merged data for an AP.
+func (l *Longitudinal) PairsFor(ap int) []int {
+	set := map[int]bool{}
+	for ic := range l.Merged {
+		if ic.ASA == ap {
+			set[ic.ASB] = true
+		} else if ic.ASB == ap {
+			set[ic.ASA] = true
+		}
+	}
+	var out []int
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func pairMatches(ic *topology.Interconnect, ap, tcp int) bool {
+	return (ic.ASA == ap && ic.ASB == tcp) || (ic.ASA == tcp && ic.ASB == ap)
+}

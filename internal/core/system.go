@@ -1,0 +1,351 @@
+// Package core assembles the full measurement system of the paper
+// (Figure 1): vantage points running bdrmap to discover interdomain
+// links, TSLP probing those links every five minutes, reactive loss
+// probing on links with recent congestion, a time-series store, and the
+// congestion-inference pipeline on top.
+//
+// Two entry points mirror the two execution modes:
+//
+//   - System drives the packet-level simulation: real probes, real
+//     traceroutes, real budgets. Use it for validation-scale experiments
+//     (days to weeks).
+//   - RunLongitudinal drives the fluid fast path over the same topology
+//     for the multi-month §6 study.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"interdomain/internal/analysis"
+	"interdomain/internal/bdrmap"
+	"interdomain/internal/lossprobe"
+	"interdomain/internal/netsim"
+	"interdomain/internal/topology"
+	"interdomain/internal/tsdb"
+	"interdomain/internal/tslp"
+	"interdomain/internal/vantage"
+)
+
+// BdrmapInterval is how often each VP refreshes its probing set (§3.2:
+// a full cycle takes 1-3 days).
+const BdrmapInterval = 2 * 24 * time.Hour
+
+// System is the packet-mode measurement system.
+type System struct {
+	In    *topology.Internet
+	DB    *tsdb.DB
+	Sched *netsim.Scheduler
+
+	// ReactiveTSLP enables reactive probing-set maintenance (§9) on every
+	// VP's prober: destinations that lose link visibility are re-traced
+	// and rotated within minutes instead of waiting for the next bdrmap
+	// cycle. Set before AddVP.
+	ReactiveTSLP bool
+
+	// DiscoverParallel runs MDA-based parallel-link discovery after each
+	// bdrmap cycle, so every ECMP member of an interconnect gets its own
+	// TSLP probing state. Set before Start.
+	DiscoverParallel bool
+
+	// LossStaticList is the §3.3 static list of large transit and content
+	// providers whose links are loss-probed even without a BGP
+	// relationship entry.
+	LossStaticList map[int]bool
+
+	VPs []*SystemVP
+}
+
+// SystemVP couples a vantage point with its measurement modules.
+type SystemVP struct {
+	VP   *vantage.VP
+	TSLP *tslp.Prober
+	Loss *lossprobe.Prober
+	// LastBdrmap is the most recent border-mapping result.
+	LastBdrmap *bdrmap.Result
+
+	lossScheduled bool
+}
+
+// NewSystem creates an empty system over a built internet.
+func NewSystem(in *topology.Internet, db *tsdb.DB, start time.Time) *System {
+	return &System{In: in, DB: db, Sched: netsim.NewScheduler(start)}
+}
+
+// AddVP deploys a vantage point and wires its probers.
+func (s *System) AddVP(asn int, metro string, joined time.Time) (*SystemVP, error) {
+	vp, err := vantage.Deploy(s.In, asn, metro, joined)
+	if err != nil {
+		return nil, err
+	}
+	sv := &SystemVP{
+		VP:   vp,
+		TSLP: tslp.NewProber(vp.Engine, s.DB, vp.Name),
+		Loss: lossprobe.NewProber(vp.LossEngine, s.DB, vp.Name),
+	}
+	sv.TSLP.Reactive = s.ReactiveTSLP
+	s.VPs = append(s.VPs, sv)
+	return sv, nil
+}
+
+// bdrmapInput assembles the public-data inputs for a VP (§3.2).
+func (s *System) bdrmapInput(sv *SystemVP) bdrmap.Input {
+	var prefixes []netip.Prefix
+	siblings := map[int]bool{}
+	for _, sib := range s.In.Siblings(sv.VP.ASN) {
+		siblings[sib] = true
+	}
+	for _, a := range s.In.ASList() {
+		if siblings[a.ASN] {
+			continue
+		}
+		prefixes = append(prefixes, a.Prefixes...)
+	}
+	neighbors := map[int]bool{}
+	for _, o := range s.In.Neighbors(sv.VP.ASN) {
+		neighbors[o] = true
+	}
+	return bdrmap.Input{
+		Engine:      sv.VP.Engine,
+		VPASN:       sv.VP.ASN,
+		Siblings:    s.In.Siblings(sv.VP.ASN),
+		PrefixToAS:  s.In.PrefixToAS(),
+		IXPPrefixes: s.In.IXPPrefixes(),
+		Neighbors:   neighbors,
+		Targets:     bdrmap.TargetsFromPrefixes(prefixes),
+	}
+}
+
+// RunBdrmap executes a border-mapping cycle for one VP and updates its
+// TSLP probing set.
+func (s *System) RunBdrmap(sv *SystemVP, at time.Time) *bdrmap.Result {
+	res := bdrmap.Run(s.bdrmapInput(sv), at)
+	if s.DiscoverParallel {
+		bdrmap.DiscoverParallel(res, sv.VP.Engine, at.Add(time.Hour))
+	}
+	sv.LastBdrmap = res
+	sv.TSLP.SetLinks(res.Links)
+	return res
+}
+
+// EnableReactiveLoss schedules the §3.3 trigger: once per day (after
+// enough data has accumulated), each VP's links are scanned with the
+// level-shift detector over the trailing week; links with episodes — and
+// an eligible neighbor — get loss probing armed, replacing the previous
+// target set.
+func (s *System) EnableReactiveLoss() {
+	for _, sv := range s.VPs {
+		sv := sv
+		first := sv.VP.Joined.Add(26 * time.Hour)
+		s.Sched.Every(first, 24*time.Hour, func(t time.Time) {
+			if !sv.VP.Active(t) || sv.LastBdrmap == nil {
+				return
+			}
+			lookback := 7
+			if span := int(t.Sub(sv.VP.Joined) / (24 * time.Hour)); span < lookback {
+				lookback = span
+			}
+			if lookback < 1 {
+				return
+			}
+			start := t.Add(-time.Duration(lookback) * 24 * time.Hour).Truncate(24 * time.Hour)
+			congested := map[string]bool{}
+			for _, l := range sv.LastBdrmap.Links {
+				id := tslp.LinkID(l)
+				if eps := s.DetectEpisodes(sv.VP.Name, id, start, lookback); len(eps) > 0 {
+					congested[id] = true
+				}
+			}
+			s.armLossTargets(sv, congested)
+		})
+	}
+}
+
+// armLossTargets updates the loss target set without re-registering the
+// per-second schedule more than once.
+func (s *System) armLossTargets(sv *SystemVP, linkIDs map[string]bool) {
+	var targets []lossprobe.Target
+	for _, l := range sv.LastBdrmap.Links {
+		if !linkIDs[tslp.LinkID(l)] {
+			continue
+		}
+		if !s.lossEligible(sv.VP.ASN, l.NeighborAS, s.LossStaticList) {
+			continue
+		}
+		targets = append(targets, lossprobe.TargetsForLink(l)...)
+	}
+	sv.Loss.SetTargets(targets)
+	if len(targets) > 0 && !sv.lossScheduled {
+		sv.lossScheduled = true
+		s.Sched.Every(s.Sched.Now(), time.Second, func(t time.Time) {
+			if sv.VP.Active(t) {
+				sv.Loss.Second(t)
+			}
+		})
+	}
+}
+
+// Start schedules the continuous measurements: an immediate bdrmap cycle
+// per VP, refreshed every BdrmapInterval, and TSLP rounds every five
+// minutes. Loss probing is armed separately (reactive, §3.3).
+func (s *System) Start() {
+	for _, sv := range s.VPs {
+		sv := sv
+		s.Sched.At(sv.VP.Joined, func(t time.Time) { s.RunBdrmap(sv, t) })
+		s.Sched.Every(sv.VP.Joined.Add(time.Hour), BdrmapInterval, func(t time.Time) {
+			if sv.VP.Active(t) {
+				s.RunBdrmap(sv, t)
+			}
+		})
+		s.Sched.Every(sv.VP.Joined.Add(2*time.Hour), tslp.DefaultInterval, func(t time.Time) {
+			if sv.VP.Active(t) {
+				sv.TSLP.Round(t)
+			}
+		})
+	}
+}
+
+// ArmLossProbing selects the loss-probing targets for a VP per §3.3: the
+// link's neighbor must be a peer or provider of the VP's AS (or on the
+// static major-T&CP list), and the link must have shown congestion
+// recently — the caller passes those link ids. Loss probes then run every
+// second.
+func (s *System) ArmLossProbing(sv *SystemVP, linkIDs map[string]bool, staticList map[int]bool) int {
+	if sv.LastBdrmap == nil {
+		return 0
+	}
+	var targets []lossprobe.Target
+	for _, l := range sv.LastBdrmap.Links {
+		id := tslp.LinkID(l)
+		if !linkIDs[id] {
+			continue
+		}
+		if !s.lossEligible(sv.VP.ASN, l.NeighborAS, staticList) {
+			continue
+		}
+		targets = append(targets, lossprobe.TargetsForLink(l)...)
+	}
+	sv.Loss.SetTargets(targets)
+	if len(targets) > 0 {
+		s.Sched.Every(s.Sched.Now(), time.Second, func(t time.Time) {
+			if sv.VP.Active(t) {
+				sv.Loss.Second(t)
+			}
+		})
+	}
+	return len(targets)
+}
+
+// lossEligible implements the §3.3 eligibility rule.
+func (s *System) lossEligible(vpASN, neighbor int, staticList map[int]bool) bool {
+	if staticList[neighbor] {
+		return true
+	}
+	rel, swapped, ok := s.In.Relationship(vpASN, neighbor)
+	if !ok {
+		return false
+	}
+	switch rel {
+	case topology.P2P:
+		return true
+	case topology.C2P:
+		return !swapped // vp is the customer: neighbor is a provider
+	}
+	return false
+}
+
+// RunUntil advances the simulation.
+func (s *System) RunUntil(deadline time.Time) int { return s.Sched.RunUntil(deadline) }
+
+// LinkSeries extracts min-filtered far and near series for one link as
+// seen by one VP.
+func (s *System) LinkSeries(vpName, linkID string, start time.Time, bin time.Duration, n int) (far, near *analysis.BinSeries) {
+	far = analysis.NewBinSeries(start, bin, n)
+	near = analysis.NewBinSeries(start, bin, n)
+	end := start.Add(time.Duration(n) * bin)
+	for _, side := range []string{"far", "near"} {
+		series := s.DB.Query(tslp.MeasLatency, map[string]string{"vp": vpName, "link": linkID, "side": side}, start, end)
+		dst := far
+		if side == "near" {
+			dst = near
+		}
+		for _, ser := range series {
+			for _, p := range ser.Points {
+				dst.Observe(p.Time, p.Value)
+			}
+		}
+	}
+	return far, near
+}
+
+// AnalyzeMerged runs the autocorrelation method on one link's stored TSLP
+// data from every VP that probed it and merges the per-VP classifications
+// (§4.2's final stage). start must align to a day boundary; the window is
+// cfg.WindowDays long.
+func (s *System) AnalyzeMerged(linkID string, start time.Time, cfg analysis.AutocorrConfig) ([]analysis.DayResult, error) {
+	bin := 24 * time.Hour / time.Duration(cfg.BinsPerDay)
+	n := cfg.WindowDays * cfg.BinsPerDay
+	end := start.Add(time.Duration(n) * bin)
+
+	var perVP [][]analysis.DayResult
+	for _, sv := range s.SortedVPs() {
+		far := analysis.NewBinSeries(start, bin, n)
+		near := analysis.NewBinSeries(start, bin, n)
+		found := false
+		for _, side := range []string{"far", "near"} {
+			dst := far
+			if side == "near" {
+				dst = near
+			}
+			series := s.DB.Query(tslp.MeasLatency, map[string]string{"vp": sv.VP.Name, "link": linkID, "side": side}, start, end)
+			for _, ser := range series {
+				found = true
+				for _, p := range ser.Points {
+					dst.Observe(p.Time, p.Value)
+				}
+			}
+		}
+		if !found {
+			continue
+		}
+		res, err := analysis.Autocorrelation(far, near, cfg)
+		if err != nil {
+			return nil, err
+		}
+		perVP = append(perVP, res.Days)
+	}
+	if len(perVP) == 0 {
+		return nil, fmt.Errorf("core: no VP has TSLP data for link %q", linkID)
+	}
+	return analysis.MergeVPResults(perVP), nil
+}
+
+// DetectEpisodes runs the level-shift detector over one link's recent far
+// series (the trigger for reactive loss probing).
+func (s *System) DetectEpisodes(vpName, linkID string, start time.Time, days int) []analysis.Window {
+	bins := days * 288
+	far, _ := s.LinkSeries(vpName, linkID, start, 5*time.Minute, bins)
+	res := analysis.DetectLevelShifts(far, analysis.DefaultLevelShift())
+	return res.Episodes
+}
+
+// Describe summarizes the system state.
+func (s *System) Describe() string {
+	links := 0
+	for _, sv := range s.VPs {
+		if sv.LastBdrmap != nil {
+			links += len(sv.LastBdrmap.Links)
+		}
+	}
+	return fmt.Sprintf("system{vps=%d links=%d series=%d points=%d}",
+		len(s.VPs), links, s.DB.SeriesCount(), s.DB.PointCount())
+}
+
+// SortedVPs returns VPs ordered by name for deterministic iteration.
+func (s *System) SortedVPs() []*SystemVP {
+	out := append([]*SystemVP(nil), s.VPs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].VP.Name < out[j].VP.Name })
+	return out
+}

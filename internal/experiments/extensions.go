@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+
+	"interdomain/internal/analysis"
+	"interdomain/internal/bdrmap"
+	"interdomain/internal/mapit"
+	"interdomain/internal/netsim"
+	"interdomain/internal/scenario"
+	"interdomain/internal/topology"
+	"interdomain/internal/tslp"
+	"interdomain/internal/vantage"
+)
+
+// AsymmetryResult demonstrates the §7 asymmetric-path techniques on the
+// simulated system.
+type AsymmetryResult struct {
+	// SharedCorrelation is the congestion-signature correlation between
+	// two destinations probed over the same congested link.
+	SharedCorrelation float64
+	// IndependentCorrelation is the correlation between destinations on
+	// links with different congestion states.
+	IndependentCorrelation float64
+	// Clustered reports whether DetectSharedReturnPaths grouped the
+	// shared pair and separated the independent one.
+	Clustered bool
+	// DetourDeltaMs is the near/far baseline gap of a rigged detour
+	// (replies returning over a distant interconnect); DetourFlagged is
+	// the detector's verdict.
+	DetourDeltaMs float64
+	DetourFlagged bool
+}
+
+// AsymmetryStudy exercises both proposed detectors.
+func AsymmetryStudy(seed uint64) (*AsymmetryResult, error) {
+	in, _, err := scenario.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	winStart := netsim.Day(20)
+	const days = 10
+	bins := days * 96
+
+	congested := pickIC(in, scenario.CenturyLink, scenario.Google, "")
+	quiet := pickIC(in, scenario.Comcast, scenario.Amazon, "")
+	if congested == nil || quiet == nil {
+		return nil, fmt.Errorf("experiments: asymmetry links missing")
+	}
+
+	series := func(ic *topology.Interconnect, vpASN int, jitterSeed uint64) (*analysis.BinSeries, error) {
+		f := &tslp.FluidProber{IC: ic, VPASN: vpASN, SamplesPerBin: 3, Seed: jitterSeed}
+		f.BaseNearMs, f.BaseFarMs = tslp.CalibrateBaseRTTs(in, ic.Metro, ic)
+		far, _, err := f.BinnedSeries(winStart, days, 96)
+		return far, err
+	}
+	// Two destinations over the same congested link (distinct probe
+	// noise), plus one over a quiet link.
+	a, err := series(congested, scenario.CenturyLink, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	b, err := series(congested, scenario.CenturyLink, seed+2)
+	if err != nil {
+		return nil, err
+	}
+	c, err := series(quiet, scenario.Comcast, seed+3)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AsymmetryResult{
+		SharedCorrelation:      analysis.SharedCongestionSignature(a, b),
+		IndependentCorrelation: analysis.SharedCongestionSignature(a, c),
+	}
+	clusters := analysis.DetectSharedReturnPaths([]*analysis.BinSeries{a, b, c})
+	res.Clustered = clusters[0] == clusters[1] && clusters[0] != clusters[2]
+
+	// Detour detection: synthesize the far series of a link whose replies
+	// return via a coast-distant interconnect (+2x28ms of backbone).
+	near := analysis.NewBinSeries(winStart, 15*time.Minute, bins)
+	farDetour := analysis.NewBinSeries(winStart, 15*time.Minute, bins)
+	rng := netsim.NewRNG(seed + 9)
+	for i := 0; i < bins; i++ {
+		near.Values[i] = 2 + rng.Float64()*0.3
+		farDetour.Values[i] = 2 + 56 + rng.Float64()*0.3
+	}
+	res.DetourDeltaMs, res.DetourFlagged = analysis.BaselineAsymmetry(near, farDetour, 1.5, 3)
+	return res, nil
+}
+
+// RenderAsymmetry prints the study.
+func RenderAsymmetry(r *AsymmetryResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "shared return path correlation:      %.3f (same congested link)\n", r.SharedCorrelation)
+	fmt.Fprintf(&b, "independent return path correlation: %.3f (different links)\n", r.IndependentCorrelation)
+	fmt.Fprintf(&b, "clustering separates them:           %v\n", r.Clustered)
+	fmt.Fprintf(&b, "detour baseline gap:                 %.1f ms, flagged=%v\n", r.DetourDeltaMs, r.DetourFlagged)
+	return b.String()
+}
+
+// MapitResult summarizes the §9 bdrmap+MAP-IT coverage extension.
+type MapitResult struct {
+	Links   int
+	Correct int
+	Wrong   int
+	// Remote links are beyond every VP's own border — invisible to
+	// per-VP bdrmap.
+	Remote int
+}
+
+// MapitStudy runs traceroutes from three VPs and infers interdomain links
+// passively, scoring against ground truth.
+func MapitStudy(seed uint64) (*MapitResult, error) {
+	in, _, err := scenario.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	vps := []struct {
+		asn   int
+		metro string
+	}{
+		{scenario.Comcast, "nyc"},
+		{scenario.Verizon, "chicago"},
+		{scenario.Cox, "dallas"},
+	}
+	res := &MapitResult{}
+	at := netsim.Epoch.Add(9 * time.Hour)
+	vpASNs := map[int]bool{}
+	var inferredInput mapit.Input
+	inferredInput.PrefixToAS = in.PrefixToAS()
+	inferredInput.IXPPrefixes = in.IXPPrefixes()
+	inferredInput.MinCount = 2
+	for _, v := range vps {
+		vpASNs[v.asn] = true
+		vp, err := vantage.Deploy(in, v.asn, v.metro, netsim.Epoch)
+		if err != nil {
+			return nil, err
+		}
+		var prefixes []netip.Prefix
+		for _, a := range in.ASList() {
+			if a.ASN == v.asn {
+				continue
+			}
+			prefixes = append(prefixes, a.Prefixes...)
+		}
+		for _, dst := range bdrmap.TargetsFromPrefixes(prefixes) {
+			inferredInput.Traces = append(inferredInput.Traces, vp.Engine.Traceroute(dst, bdrmap.StableFlowID(dst), at))
+			at = at.Add(time.Second)
+		}
+	}
+	links := mapit.Infer(inferredInput)
+	res.Links = len(links)
+
+	truthByAddr := map[netip.Addr]*topology.Interconnect{}
+	for _, ic := range in.Inters {
+		truthByAddr[ic.Link.A.Addr] = ic
+		truthByAddr[ic.Link.B.Addr] = ic
+	}
+	for _, l := range links {
+		ic, ok := truthByAddr[l.Far]
+		pairOK := ok && ((ic.ASA == l.NearAS && ic.ASB == l.FarAS) || (ic.ASB == l.NearAS && ic.ASA == l.FarAS))
+		if !pairOK {
+			res.Wrong++
+			continue
+		}
+		res.Correct++
+		if !vpASNs[ic.ASA] && !vpASNs[ic.ASB] {
+			res.Remote++
+		}
+	}
+	return res, nil
+}
+
+// RenderMapit prints the study.
+func RenderMapit(r *MapitResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "inferred interdomain links: %d (%d correct, %d wrong)\n", r.Links, r.Correct, r.Wrong)
+	fmt.Fprintf(&b, "links beyond any VP's own border: %d (invisible to per-VP bdrmap)\n", r.Remote)
+	return b.String()
+}

@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"interdomain/internal/analysis"
+	"interdomain/internal/bdrmap"
+	"interdomain/internal/lossprobe"
+	"interdomain/internal/ndt"
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+	"interdomain/internal/scenario"
+	"interdomain/internal/topology"
+	"interdomain/internal/tsdb"
+	"interdomain/internal/tslp"
+)
+
+// TimeSeriesData backs Figures 3 and 6: synchronized TSLP latency, loss
+// (or NDT throughput) series and the inferred congestion windows.
+type TimeSeriesData struct {
+	Start time.Time
+	Days  int
+	// FarRTT/NearRTT are 5-minute min-filtered latencies (ms).
+	FarRTT, NearRTT *analysis.BinSeries
+	// FarLoss/NearLoss are per-5-minute loss fractions (Figure 3).
+	FarLoss, NearLoss []tsdb.Point
+	// Throughput holds NDT download results (Figure 6).
+	Throughput []tsdb.Point
+	// CongestionWindows are the inferred congested periods (shaded gray
+	// in the paper's figures).
+	CongestionWindows []analysis.Window
+}
+
+// figureDays are chosen to land in early December 2017 like the paper's
+// Figure 3 (Dec 7-9) and Figure 6 (Dec 7-11).
+var figure3Start = time.Date(2017, time.December, 7, 0, 0, 0, 0, time.UTC)
+
+// Figure3 reproduces the Verizon-Google latency + loss time series: a
+// tailored build congests the Verizon-Google nyc link through December
+// 2017, then the packet-level system runs TSLP every five minutes and
+// loss probes once per second for three days.
+func Figure3(seed uint64) (*TimeSeriesData, error) {
+	in, _, err := scenario.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	ic := pickIC(in, scenario.Verizon, scenario.Google, "nyc")
+	if ic == nil {
+		return nil, fmt.Errorf("experiments: no Verizon-Google nyc link")
+	}
+	// Congest it from 60 days before the figure window so the
+	// autocorrelation stage has history.
+	congStart := figure3Start.AddDate(0, 0, -60)
+	setControlled(ic, scenario.Verizon, inbound, 0.3, congStart)
+
+	return timeSeries(in, ic, scenario.Verizon, "nyc", figure3Start, 3, true, nil, seed)
+}
+
+// Figure6 reproduces the Comcast-Tata latency + NDT throughput series over
+// five days, with NDT tests every 15 minutes during 5-11pm local and
+// hourly otherwise (§3.4's schedule).
+func Figure6(seed uint64) (*TimeSeriesData, error) {
+	in, _, err := scenario.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	ic := pickIC(in, scenario.Comcast, scenario.Tata, "nyc")
+	if ic == nil {
+		return nil, fmt.Errorf("experiments: no Comcast-Tata nyc link")
+	}
+	congStart := figure3Start.AddDate(0, 0, -60)
+	setControlled(ic, scenario.Comcast, inbound, 0.3, congStart)
+
+	server := ndt.Server{Name: "mlab-nyc", Host: hostIn(in, scenario.Tata, "nyc")}
+	return timeSeries(in, ic, scenario.Comcast, "nyc", figure3Start, 5, false, &server, seed)
+}
+
+// timeSeries runs the packet-mode collection for one link.
+func timeSeries(in *topology.Internet, ic *topology.Interconnect, vpASN int, vpMetro string,
+	start time.Time, days int, withLoss bool, server *ndt.Server, seed uint64) (*TimeSeriesData, error) {
+
+	vp := hostIn(in, vpASN, vpMetro)
+	engine := probe.NewEngine(in.Net, vp)
+	db := tsdb.Open()
+
+	// Map the link with a targeted trace toward a host behind it.
+	_, farIfc, _ := ic.Side(vpASN)
+	dst := hostIn(in, ic.Neighbor(vpASN), ic.Metro).Ifaces[0].Addr
+	flow := bdrmap.StableFlowID(dst)
+	tr := engine.Traceroute(dst, flow, start.Add(-time.Hour))
+	nearTTL := 0
+	var nearAddr = farIfc.Addr
+	for i, h := range tr.Hops {
+		if h.Addr == farIfc.Addr && i > 0 {
+			nearTTL = h.TTL - 1
+			nearAddr = tr.Hops[i-1].Addr
+		}
+	}
+	if nearTTL == 0 {
+		return nil, fmt.Errorf("experiments: link %s not on path to %v", ic.Metro, dst)
+	}
+	link := &bdrmap.Link{
+		NearAddr: nearAddr, FarAddr: farIfc.Addr,
+		NeighborAS: ic.Neighbor(vpASN),
+		Dests:      []bdrmap.DestMeta{{Addr: dst, FlowID: flow, NearTTL: nearTTL}},
+	}
+
+	// TSLP, every five minutes.
+	tp := tslp.NewProber(engine, db, "fig-vp")
+	tp.SetLinks([]*bdrmap.Link{link})
+	end := start.AddDate(0, 0, days)
+	for t := start; t.Before(end); t = t.Add(tslp.DefaultInterval) {
+		tp.Round(t)
+	}
+
+	// Loss, once per second (Figure 3 only).
+	var lp *lossprobe.Prober
+	if withLoss {
+		lp = lossprobe.NewProber(probe.NewEngine(in.Net, vp), db, "fig-vp")
+		lp.SetTargets(lossprobe.TargetsForLink(link))
+		for t := start; t.Before(end); t = t.Add(time.Second) {
+			lp.Second(t)
+		}
+		lp.Flush()
+	}
+
+	out := &TimeSeriesData{Start: start, Days: days}
+	bins := days * 288
+	id := tslp.LinkID(link)
+	out.FarRTT = analysis.NewBinSeries(start, 5*time.Minute, bins)
+	out.NearRTT = analysis.NewBinSeries(start, 5*time.Minute, bins)
+	for _, side := range []string{"far", "near"} {
+		dstSeries := out.FarRTT
+		if side == "near" {
+			dstSeries = out.NearRTT
+		}
+		for _, s := range db.Query(tslp.MeasLatency, map[string]string{"link": id, "side": side}, start, end) {
+			for _, p := range s.Points {
+				dstSeries.Observe(p.Time, p.Value)
+			}
+		}
+	}
+	if withLoss {
+		for _, s := range db.Query(lossprobe.MeasLossRate, map[string]string{"side": "far"}, start, end) {
+			out.FarLoss = append(out.FarLoss, s.Points...)
+		}
+		for _, s := range db.Query(lossprobe.MeasLossRate, map[string]string{"side": "near"}, start, end) {
+			out.NearLoss = append(out.NearLoss, s.Points...)
+		}
+	}
+
+	// NDT throughput (Figure 6): every 15 minutes 5-11pm local, hourly
+	// otherwise.
+	if server != nil {
+		client := &ndt.Client{
+			Net: in.Net, Engine: probe.NewEngine(in.Net, vp), DB: db,
+			VPName: "fig-vp", AccessMbps: 25, Seed: seed, SkipTrace: true,
+		}
+		tz := in.Metros[vpMetro].TZOffsetHours
+		for t := start; t.Before(end); {
+			res, ok := client.Test(*server, t)
+			if ok {
+				out.Throughput = append(out.Throughput, tsdb.Point{Time: t, Value: res.DownloadMbps})
+			}
+			localHour := t.Add(time.Duration(tz * float64(time.Hour))).Hour()
+			if localHour >= 17 && localHour < 23 {
+				t = t.Add(15 * time.Minute)
+			} else {
+				t = t.Add(time.Hour)
+			}
+		}
+	}
+
+	// Congestion windows from the production autocorrelation pipeline,
+	// run on the preceding 50 days via the fluid path (the deployed
+	// system had November's data; §5.1 did the same).
+	f := &tslp.FluidProber{IC: ic, VPASN: vpASN, SamplesPerBin: 3, Seed: seed ^ 0xf19}
+	f.BaseNearMs, f.BaseFarMs = tslp.CalibrateBaseRTTs(in, vpMetro, ic)
+	ac := analysis.DefaultAutocorr()
+	winStart := end.AddDate(0, 0, -ac.WindowDays)
+	farSeries, nearSeries, err := f.BinnedSeries(winStart, ac.WindowDays, ac.BinsPerDay)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := analysis.Autocorrelation(farSeries, nearSeries, ac)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range cls.CongestionWindows(winStart, 15*time.Minute) {
+		if w.End.After(start) && w.Start.Before(end) {
+			out.CongestionWindows = append(out.CongestionWindows, w)
+		}
+	}
+	return out, nil
+}
+
+// RenderTimeSeries summarizes a figure's series in 6-hour blocks: mean far
+// and near RTT, loss or throughput, and whether the block intersects an
+// inferred congestion window.
+func RenderTimeSeries(d *TimeSeriesData) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %9s %9s %9s %9s %5s\n", "block (UTC)", "far(ms)", "near(ms)", "loss(%)", "tput", "cong")
+	block := 6 * time.Hour
+	for t := d.Start; t.Before(d.Start.AddDate(0, 0, d.Days)); t = t.Add(block) {
+		tEnd := t.Add(block)
+		far := meanRange(d.FarRTT, t, tEnd)
+		near := meanRange(d.NearRTT, t, tEnd)
+		loss := meanPoints(d.FarLoss, t, tEnd) * 100
+		tput := meanPoints(d.Throughput, t, tEnd)
+		cong := " "
+		for _, w := range d.CongestionWindows {
+			if w.Start.Before(tEnd) && w.End.After(t) {
+				cong = "*"
+			}
+		}
+		fmt.Fprintf(&b, "%-18s %9.1f %9.1f %9.2f %9.1f %5s\n",
+			t.Format("01-02 15:04"), far, near, loss, tput, cong)
+	}
+	return b.String()
+}
+
+func meanRange(s *analysis.BinSeries, from, to time.Time) float64 {
+	lo, hi := s.IndexOf(from), s.IndexOf(to)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.Len() {
+		hi = s.Len()
+	}
+	sum, n := 0.0, 0
+	for i := lo; i < hi; i++ {
+		if !math.IsNaN(s.Values[i]) {
+			sum += s.Values[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+func meanPoints(pts []tsdb.Point, from, to time.Time) float64 {
+	sum, n := 0.0, 0
+	for _, p := range pts {
+		if !p.Time.Before(from) && p.Time.Before(to) {
+			sum += p.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+var _ = netsim.Epoch

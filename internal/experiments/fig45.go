@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"interdomain/internal/analysis"
+	"interdomain/internal/core"
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+	"interdomain/internal/scenario"
+	"interdomain/internal/stats"
+	"interdomain/internal/streaming"
+	"interdomain/internal/tsdb"
+	"interdomain/internal/tslp"
+	"interdomain/internal/vantage"
+)
+
+// YouTubeResult backs Figures 4 and 5: streaming metrics during congested
+// and uncongested periods, pooled (Figure 4) and per VP-link (Figure 5).
+type YouTubeResult struct {
+	// Pooled samples.
+	ThrCong, ThrUncong         []float64 // ON-period throughput, Mbps
+	StartupCong, StartupUncong []float64 // seconds
+	// PerLink failure rates.
+	PerLink []YouTubeLinkResult
+	// Links is the number of (VP, link) pairs with enough tests.
+	Links int
+}
+
+// YouTubeLinkResult is one Figure 5 bar pair.
+type YouTubeLinkResult struct {
+	VP          string
+	LinkID      int
+	FailCong    float64
+	FailUncong  float64
+	NCong, NUnc int
+}
+
+// ytTestsPerClass is how many tests are run per (link, class); the paper
+// requires at least 50 tests during congested periods per link.
+const ytTestsPerClass = 55
+
+// FigureYouTube runs the §5.2 experiment: for the Comcast VPs (plus one
+// CenturyLink VP), classify their visible Google links over a 50-day
+// window around December 2016 (when the schedule congests Comcast-Google),
+// then stream test videos during congested and uncongested 15-minute
+// periods and compare ON-period throughput, startup delay and failures.
+func FigureYouTube(seed uint64) (*YouTubeResult, error) {
+	in, _, err := scenario.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	// Window: 50 days starting Nov 1 2016 (schedule months 8-9).
+	winStart := time.Date(2016, time.November, 1, 0, 0, 0, 0, time.UTC)
+	ac := analysis.DefaultAutocorr()
+
+	vps := []core.VPSpec{
+		{ASN: scenario.Comcast, Metro: "nyc"},
+		{ASN: scenario.Comcast, Metro: "ashburn"},
+		{ASN: scenario.Comcast, Metro: "chicago"},
+		{ASN: scenario.Comcast, Metro: "denver"},
+		{ASN: scenario.Comcast, Metro: "losangeles"},
+		{ASN: scenario.Comcast, Metro: "seattle"},
+		{ASN: scenario.CenturyLink, Metro: "denver"},
+	}
+
+	out := &YouTubeResult{}
+	for vi, vp := range vps {
+		host := hostIn(in, vp.ASN, vp.Metro)
+		tester := &streaming.Tester{
+			Net:        in.Net,
+			Engine:     probe.NewEngine(in.Net, host),
+			DB:         tsdb.Open(),
+			VPName:     fmt.Sprintf("%s-%s", scenario.Name(vp.ASN), vp.Metro),
+			AccessMbps: 25,
+			Seed:       seed + uint64(vi),
+			SkipTrace:  true,
+		}
+		for _, ic := range vantage.VisibleInterconnects(in, vp.ASN, vp.Metro) {
+			if ic.Neighbor(vp.ASN) != scenario.Google {
+				continue
+			}
+			f := &tslp.FluidProber{IC: ic, VPASN: vp.ASN, SamplesPerBin: 3,
+				Seed: netsim.Hash64(seed, 0x47, uint64(vi), uint64(ic.Link.ID))}
+			f.BaseNearMs, f.BaseFarMs = tslp.CalibrateBaseRTTs(in, vp.Metro, ic)
+			far, near, err := f.BinnedSeries(winStart, ac.WindowDays, ac.BinsPerDay)
+			if err != nil {
+				continue
+			}
+			cls, err := analysis.Autocorrelation(far, near, ac)
+			if err != nil || !cls.Recurring {
+				continue
+			}
+			// Collect congested and uncongested test times.
+			congTimes, uncongTimes := sampleTimes(cls, winStart, ac, ytTestsPerClass)
+			if len(congTimes) < 50 {
+				continue
+			}
+			out.Links++
+			cache := streaming.Cache{
+				Name: fmt.Sprintf("google-%s", ic.Metro),
+				Host: hostIn(in, scenario.Google, ic.Metro),
+			}
+			lr := YouTubeLinkResult{VP: tester.VPName, LinkID: ic.Link.ID}
+			for _, t := range congTimes {
+				r, ok := tester.Test(cache, t)
+				if !ok {
+					continue
+				}
+				lr.NCong++
+				if r.Failed {
+					lr.FailCong++
+				} else {
+					out.ThrCong = append(out.ThrCong, r.ONThroughputMbps)
+					out.StartupCong = append(out.StartupCong, r.StartupDelay.Seconds())
+				}
+			}
+			for _, t := range uncongTimes {
+				r, ok := tester.Test(cache, t)
+				if !ok {
+					continue
+				}
+				lr.NUnc++
+				if r.Failed {
+					lr.FailUncong++
+				} else {
+					out.ThrUncong = append(out.ThrUncong, r.ONThroughputMbps)
+					out.StartupUncong = append(out.StartupUncong, r.StartupDelay.Seconds())
+				}
+			}
+			if lr.NCong > 0 {
+				lr.FailCong /= float64(lr.NCong)
+			}
+			if lr.NUnc > 0 {
+				lr.FailUncong /= float64(lr.NUnc)
+			}
+			out.PerLink = append(out.PerLink, lr)
+		}
+	}
+	sort.Slice(out.PerLink, func(i, j int) bool {
+		if out.PerLink[i].VP != out.PerLink[j].VP {
+			return out.PerLink[i].VP < out.PerLink[j].VP
+		}
+		return out.PerLink[i].LinkID < out.PerLink[j].LinkID
+	})
+	return out, nil
+}
+
+// sampleTimes picks up to n congested and n uncongested 15-minute bin
+// midpoints across the window, deterministically spread.
+func sampleTimes(cls *analysis.AutocorrResult, winStart time.Time, ac analysis.AutocorrConfig, n int) (cong, uncong []time.Time) {
+	bin := 24 * time.Hour / time.Duration(ac.BinsPerDay)
+	var congAll, uncongAll []time.Time
+	for d := range cls.Elevated {
+		for b := 0; b < ac.BinsPerDay; b++ {
+			t := winStart.AddDate(0, 0, d).Add(time.Duration(b)*bin + bin/2)
+			if cls.WindowBins[b] && cls.Elevated[d][b] {
+				congAll = append(congAll, t)
+			} else if !cls.WindowBins[b] {
+				uncongAll = append(uncongAll, t)
+			}
+		}
+	}
+	return thin(congAll, n), thin(uncongAll, n)
+}
+
+func thin(ts []time.Time, n int) []time.Time {
+	if len(ts) <= n {
+		return ts
+	}
+	out := make([]time.Time, 0, n)
+	step := len(ts) / n
+	for i := 0; i < len(ts) && len(out) < n; i += step {
+		out = append(out, ts[i])
+	}
+	return out
+}
+
+// Fig4Summary extracts the headline Figure 4 statistics.
+type Fig4Summary struct {
+	MedianThrCong, MedianThrUncong         float64
+	MedianStartCong, MedianStartUncong     float64
+	StartWithin2sCong, StartWithin2sUncong float64
+}
+
+// Summary computes Figure 4's reported numbers.
+func (r *YouTubeResult) Summary() Fig4Summary {
+	s := Fig4Summary{
+		MedianThrCong:     stats.Median(r.ThrCong),
+		MedianThrUncong:   stats.Median(r.ThrUncong),
+		MedianStartCong:   stats.Median(r.StartupCong),
+		MedianStartUncong: stats.Median(r.StartupUncong),
+	}
+	within := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		n := 0
+		for _, x := range xs {
+			if x <= 2 {
+				n++
+			}
+		}
+		return float64(n) / float64(len(xs))
+	}
+	s.StartWithin2sCong = within(r.StartupCong)
+	s.StartWithin2sUncong = within(r.StartupUncong)
+	return s
+}
+
+// RenderYouTube prints the Figure 4 summary and the Figure 5 bars.
+func RenderYouTube(r *YouTubeResult) string {
+	var b strings.Builder
+	s := r.Summary()
+	fmt.Fprintf(&b, "links with >=50 congested tests: %d\n", r.Links)
+	fmt.Fprintf(&b, "ON-throughput median: congested %.1f Mbps vs uncongested %.1f Mbps (%+.1f%%)\n",
+		s.MedianThrCong, s.MedianThrUncong, 100*(s.MedianThrCong-s.MedianThrUncong)/s.MedianThrUncong)
+	fmt.Fprintf(&b, "startup delay median: congested %.2fs vs uncongested %.2fs (%+.1f%%)\n",
+		s.MedianStartCong, s.MedianStartUncong, 100*(s.MedianStartCong-s.MedianStartUncong)/s.MedianStartUncong)
+	fmt.Fprintf(&b, "streams starting within 2s: congested %.1f%% vs uncongested %.1f%%\n",
+		100*s.StartWithin2sCong, 100*s.StartWithin2sUncong)
+	fmt.Fprintf(&b, "%-24s %8s %10s %10s\n", "vp", "link", "failCong", "failUnc")
+	for _, l := range r.PerLink {
+		fmt.Fprintf(&b, "%-24s %8d %9.1f%% %9.1f%%\n", l.VP, l.LinkID, 100*l.FailCong, 100*l.FailUncong)
+	}
+	return b.String()
+}

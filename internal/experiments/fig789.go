@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"interdomain/internal/scenario"
+)
+
+// Fig7Point is one month of one AP-T&CP pair: the percentage of observed
+// day-links classified congested that month (Figure 7).
+type Fig7Point struct {
+	AP, TCP string
+	Month   int
+	Pct     float64
+	// Observed is false when the pair had no classified day-links.
+	Observed bool
+}
+
+// Figure7 computes the temporal evolution of congestion per pair.
+func Figure7(s *Study) []Fig7Point {
+	var out []Fig7Point
+	months := s.MonthsCovered()
+	for _, tcp := range Table4TCPs {
+		for _, ap := range scenario.AccessProviders {
+			for m := 0; m < months; m++ {
+				from, to := s.MonthRange(m)
+				st := s.LG.PairStats(ap, tcp, from, to)
+				p := Fig7Point{AP: scenario.Name(ap), TCP: scenario.Name(tcp), Month: m, Observed: st.Total > 0}
+				if st.Total > 0 {
+					p.Pct = 100 * float64(st.Congested) / float64(st.Total)
+				}
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// RenderFigure7 prints, per pair with any congestion, the monthly series.
+func RenderFigure7(points []Fig7Point) string {
+	type key struct{ ap, tcp string }
+	series := map[key][]Fig7Point{}
+	var order []key
+	for _, p := range points {
+		k := key{p.AP, p.TCP}
+		if _, ok := series[k]; !ok {
+			order = append(order, k)
+		}
+		series[k] = append(series[k], p)
+	}
+	var b strings.Builder
+	for _, k := range order {
+		pts := series[k]
+		any := false
+		for _, p := range pts {
+			if p.Pct > 0 {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %-9s", k.ap, k.tcp)
+		for _, p := range pts {
+			if !p.Observed {
+				b.WriteString("    -")
+				continue
+			}
+			fmt.Fprintf(&b, " %4.0f", p.Pct)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig8Point is one month's mean day-link congestion percentage for an
+// AP toward Google or Tata (Figure 8).
+type Fig8Point struct {
+	TCP, AP string
+	Month   int
+	MeanPct float64
+}
+
+// Figure8 computes mean congestion for the two most frequently congested
+// T&CPs.
+func Figure8(s *Study) []Fig8Point {
+	var out []Fig8Point
+	months := s.MonthsCovered()
+	for _, tcp := range []int{scenario.Google, scenario.Tata} {
+		for _, ap := range scenario.AccessProviders {
+			for m := 0; m < months; m++ {
+				from, to := s.MonthRange(m)
+				st := s.LG.PairStats(ap, tcp, from, to)
+				if st.Total == 0 {
+					continue
+				}
+				out = append(out, Fig8Point{
+					TCP: scenario.Name(tcp), AP: scenario.Name(ap), Month: m,
+					MeanPct: 100 * st.MeanCongestion,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RenderFigure8 prints the monthly mean congestion series.
+func RenderFigure8(points []Fig8Point) string {
+	var b strings.Builder
+	type key struct{ tcp, ap string }
+	series := map[key][]Fig8Point{}
+	var order []key
+	for _, p := range points {
+		k := key{p.TCP, p.AP}
+		if _, ok := series[k]; !ok {
+			order = append(order, k)
+		}
+		series[k] = append(series[k], p)
+	}
+	for _, k := range order {
+		pts := series[k]
+		any := false
+		for _, p := range pts {
+			if p.MeanPct > 0 {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		fmt.Fprintf(&b, "%-7s %-12s", k.tcp, k.ap)
+		for _, p := range pts {
+			fmt.Fprintf(&b, " %4.0f", p.MeanPct)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig9Hist is one histogram of Figure 9: the fraction of recurring
+// congestion 15-minute periods falling in each local hour.
+type Fig9Hist struct {
+	Label string
+	// Hours[h] is the fraction of periods in local hour h; each weekday/
+	// weekend histogram sums to 1 over the hours (when it has any data).
+	Hours [24]float64
+	N     int
+}
+
+// Figure9 computes the time-of-day distributions for Comcast VPs: one
+// east-coast VP, one west-coast VP, and the consolidated view, split into
+// weekday and weekend, in VP-local time (the FCC peak is 7pm-11pm local).
+func Figure9(s *Study) []Fig9Hist {
+	type sel struct {
+		label string
+		metro string // "" = all Comcast VPs
+		wkend bool
+	}
+	sels := []sel{
+		{"east-weekday", "nyc", false},
+		{"east-weekend", "nyc", true},
+		{"west-weekday", "losangeles", false},
+		{"west-weekend", "losangeles", true},
+		{"all-weekday", "", false},
+		{"all-weekend", "", true},
+	}
+	var out []Fig9Hist
+	for _, se := range sels {
+		h := Fig9Hist{Label: se.label}
+		for _, r := range s.LG.Results {
+			if r.VP.ASN != scenario.Comcast {
+				continue
+			}
+			if se.metro != "" && r.VP.Metro != se.metro {
+				continue
+			}
+			tz := s.In.Metros[r.VP.Metro].TZOffsetHours
+			for _, bin := range r.ElevatedBins {
+				local := bin.Add(time.Duration(tz * float64(time.Hour)))
+				wd := local.Weekday()
+				isWeekend := wd == time.Saturday || wd == time.Sunday
+				if isWeekend != se.wkend {
+					continue
+				}
+				h.Hours[local.Hour()]++
+				h.N++
+			}
+		}
+		if h.N > 0 {
+			for i := range h.Hours {
+				h.Hours[i] /= float64(h.N)
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// PeakHour returns the mode of the histogram.
+func (h Fig9Hist) PeakHour() int {
+	best, bestV := 0, -1.0
+	for i, v := range h.Hours {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// FCCPeakFraction returns the mass inside the FCC's 7pm-11pm local peak.
+func (h Fig9Hist) FCCPeakFraction() float64 {
+	sum := 0.0
+	for hh := 19; hh <= 22; hh++ {
+		sum += h.Hours[hh]
+	}
+	return sum
+}
+
+// RenderFigure9 prints the distributions.
+func RenderFigure9(hists []Fig9Hist) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %6s %9s %8s  hourly pdf (00..23)\n", "vp-set", "n", "peak(h)", "fcc-frac")
+	for _, h := range hists {
+		fmt.Fprintf(&b, "%-14s %6d %9d %8.2f ", h.Label, h.N, h.PeakHour(), h.FCCPeakFraction())
+		for _, v := range h.Hours {
+			fmt.Fprintf(&b, " %.2f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

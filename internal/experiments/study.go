@@ -1,0 +1,120 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5 validation and §6 longitudinal study) on the simulated
+// ecosystem. Each experiment returns structured rows plus a Render
+// function producing the text the paper's table/figure reports, so the
+// benchmark harness and the benchtables binary share one implementation.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"interdomain/internal/analysis"
+	"interdomain/internal/bgp"
+	"interdomain/internal/core"
+	"interdomain/internal/netsim"
+	"interdomain/internal/scenario"
+	"interdomain/internal/topology"
+)
+
+// Study is one longitudinal run over the U.S. broadband scenario: the
+// built internet plus the merged day-link classifications.
+type Study struct {
+	Seed  uint64
+	Days  int
+	In    *topology.Internet
+	Table *bgp.Table
+	LG    *core.Longitudinal
+}
+
+// StudyDays is the full-length run: 650 days = 13 autocorrelation windows
+// covering March 2016 through December 2017.
+const StudyDays = 650
+
+// NewStudy builds the scenario and runs the fluid-mode longitudinal
+// pipeline over the given number of days.
+func NewStudy(seed uint64, days int) (*Study, error) {
+	in, table, err := scenario.Build(seed)
+	if err != nil {
+		return nil, err
+	}
+	lg := core.RunLongitudinal(in, scenario.VPs(), netsim.Epoch, days, core.LongitudinalConfig{Seed: seed + 1})
+	return &Study{Seed: seed, Days: days, In: in, Table: table, LG: lg}, nil
+}
+
+var (
+	studyMu    sync.Mutex
+	studyCache = map[[2]uint64]*Study{}
+)
+
+// CachedStudy memoizes NewStudy so that the several table/figure
+// benchmarks sharing one longitudinal run pay for it once.
+func CachedStudy(seed uint64, days int) (*Study, error) {
+	key := [2]uint64{seed, uint64(days)}
+	studyMu.Lock()
+	defer studyMu.Unlock()
+	if s, ok := studyCache[key]; ok {
+		return s, nil
+	}
+	s, err := NewStudy(seed, days)
+	if err != nil {
+		return nil, err
+	}
+	studyCache[key] = s
+	return s, nil
+}
+
+// MonthRange converts a schedule month into day indexes [from, to),
+// clipped to the study length.
+func (s *Study) MonthRange(m int) (from, to int) {
+	start := scenario.MonthStart(m)
+	end := scenario.MonthStart(m + 1)
+	from = int(start.Sub(netsim.Epoch) / (24 * time.Hour))
+	to = int(end.Sub(netsim.Epoch) / (24 * time.Hour))
+	if to > s.Days {
+		to = s.Days
+	}
+	if from > s.Days {
+		from = s.Days
+	}
+	return from, to
+}
+
+// MonthsCovered is the number of whole schedule months inside the study.
+func (s *Study) MonthsCovered() int {
+	for m := 0; m < scenario.Months; m++ {
+		_, to := s.MonthRange(m)
+		if to < int(scenario.MonthStart(m+1).Sub(netsim.Epoch)/(24*time.Hour)) {
+			return m
+		}
+	}
+	return scenario.Months
+}
+
+// dayOf maps a time to a study day index.
+func dayOf(t time.Time) int { return int(t.Sub(netsim.Epoch) / (24 * time.Hour)) }
+
+// fmtPct renders the Table 4 cell convention: "Z" for <0.01%, "-" for no
+// observations.
+func fmtPct(p float64, observed bool) string {
+	switch {
+	case !observed:
+		return "-"
+	case p < 0.01:
+		return "Z"
+	default:
+		return fmt.Sprintf("%.2f", p)
+	}
+}
+
+// vpLinkDays reports whether a VP-link result has a congested day (>=
+// MinFraction) within [fromDay, toDay).
+func congestedDayIn(days []analysis.DayResult, fromDay, toDay int) bool {
+	for d := fromDay; d < toDay && d < len(days); d++ {
+		if days[d].Classified && days[d].Congested && days[d].Fraction >= core.MinFraction {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"interdomain/internal/core"
+	"interdomain/internal/scenario"
+)
+
+// Table3Row is one access network's summary (paper Table 3): observed
+// transit & content providers, how many showed congestion, and the
+// percentage of congested day-links.
+type Table3Row struct {
+	AP                   string
+	ObservedTCPs         int
+	CongestedTCPs        int
+	PctCongestedDayLinks float64
+}
+
+// Table3 computes the §6.1 summary over the study window.
+func Table3(s *Study) []Table3Row {
+	var rows []Table3Row
+	for _, ap := range scenario.AccessProviders {
+		row := Table3Row{AP: scenario.Name(ap)}
+		var total, congested int
+		for _, tcp := range s.LG.PairsFor(ap) {
+			if !isMajorTCP(tcp) {
+				continue
+			}
+			st := s.LG.PairStats(ap, tcp, 0, s.Days)
+			if st.Total == 0 {
+				continue
+			}
+			row.ObservedTCPs++
+			if st.Congested > 0 {
+				row.CongestedTCPs++
+			}
+			total += st.Total
+			congested += st.Congested
+		}
+		if total > 0 {
+			row.PctCongestedDayLinks = 100 * float64(congested) / float64(total)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// RenderTable3 prints the table in the paper's layout.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %10s %14s\n", "Access", "Obs.T&CPs", "Cong.T&CPs", "%Cong.DayLinks")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %10d %10d %14.2f\n", r.AP, r.ObservedTCPs, r.CongestedTCPs, r.PctCongestedDayLinks)
+	}
+	return b.String()
+}
+
+// Table4TCPs is the marquee provider set the paper's Table 4 reports.
+var Table4TCPs = []int{scenario.Google, scenario.Tata, scenario.NTT, scenario.XO,
+	scenario.Netflix, scenario.Level3, scenario.Vodafone, scenario.Telia, scenario.Zayo}
+
+// Table4Cell is one AP x T&CP entry.
+type Table4Cell struct {
+	AP, TCP  string
+	Pct      float64
+	Observed bool
+}
+
+// Table4 computes the §6.1 provider matrix.
+func Table4(s *Study) []Table4Cell {
+	var out []Table4Cell
+	for _, tcp := range Table4TCPs {
+		for _, ap := range scenario.AccessProviders {
+			st := s.LG.PairStats(ap, tcp, 0, s.Days)
+			c := Table4Cell{AP: scenario.Name(ap), TCP: scenario.Name(tcp), Observed: st.Total > 0}
+			if st.Total > 0 {
+				c.Pct = 100 * float64(st.Congested) / float64(st.Total)
+			}
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RenderTable4 prints the matrix in the paper's layout (T&CP rows, AP
+// columns).
+func RenderTable4(cells []Table4Cell) string {
+	byTCP := map[string]map[string]Table4Cell{}
+	var tcps []string
+	for _, c := range cells {
+		if byTCP[c.TCP] == nil {
+			byTCP[c.TCP] = map[string]Table4Cell{}
+			tcps = append(tcps, c.TCP)
+		}
+		byTCP[c.TCP][c.AP] = c
+	}
+	var aps []string
+	for _, ap := range scenario.AccessProviders {
+		aps = append(aps, scenario.Name(ap))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "T&CP")
+	for _, ap := range aps {
+		fmt.Fprintf(&b, " %11s", ap)
+	}
+	b.WriteByte('\n')
+	sort.SliceStable(tcps, func(i, j int) bool { return false }) // preserve Table4TCPs order
+	for _, tcp := range tcps {
+		fmt.Fprintf(&b, "%-10s", tcp)
+		for _, ap := range aps {
+			fmt.Fprintf(&b, " %11s", fmtPct(byTCP[tcp][ap].Pct, byTCP[tcp][ap].Observed))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func isMajorTCP(asn int) bool {
+	for _, t := range scenario.MajorTCPs {
+		if t == asn {
+			return true
+		}
+	}
+	return false
+}
+
+var _ = core.MinFraction

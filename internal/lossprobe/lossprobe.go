@@ -1,0 +1,123 @@
+// Package lossprobe implements the high-frequency packet-loss measurement
+// module (§3.3): TTL-limited ICMP probes toward the near and far ends of
+// selected interdomain links, one probe per interface per second within a
+// 150 pps budget, producing ~300 samples per link side per five-minute
+// window. The system triggers it reactively on links that showed
+// congestion in the previous week.
+package lossprobe
+
+import (
+	"time"
+
+	"interdomain/internal/bdrmap"
+	"interdomain/internal/probe"
+	"interdomain/internal/tsdb"
+)
+
+// Measurement names.
+const (
+	// MeasLossRate points carry the loss fraction per flush window,
+	// tagged vp, link, side.
+	MeasLossRate = "loss_rate"
+	// MeasLossSent carries the probe count per flush window.
+	MeasLossSent = "loss_sent"
+)
+
+// FlushWindow aggregates raw per-second outcomes into stored points.
+const FlushWindow = 5 * time.Minute
+
+// Budget is the module's probing budget (§3.3: 150 pps).
+const Budget = 150
+
+// Target is one link side to probe.
+type Target struct {
+	LinkID string
+	Side   string // "near" or "far"
+	Dest   bdrmap.DestMeta
+	// TTL makes the probe expire at the targeted interface.
+	TTL int
+}
+
+// TargetsForLink expands a bdrmap link into its near and far targets,
+// using the link's first destination.
+func TargetsForLink(l *bdrmap.Link) []Target {
+	if len(l.Dests) == 0 {
+		return nil
+	}
+	d := l.Dests[0]
+	id := l.NearAddr.String() + "-" + l.FarAddr.String()
+	return []Target{
+		{LinkID: id, Side: "near", Dest: d, TTL: d.NearTTL},
+		{LinkID: id, Side: "far", Dest: d, TTL: d.NearTTL + 1},
+	}
+}
+
+// Prober runs the loss measurement from one VP (packet mode).
+type Prober struct {
+	Engine *probe.Engine
+	DB     *tsdb.DB
+	VPName string
+
+	targets []Target
+	acc     map[accKey]*counter
+}
+
+type accKey struct {
+	linkID, side string
+}
+
+type counter struct {
+	windowStart time.Time
+	sent, lost  int
+}
+
+// NewProber returns a loss prober writing into db.
+func NewProber(e *probe.Engine, db *tsdb.DB, vpName string) *Prober {
+	return &Prober{Engine: e, DB: db, VPName: vpName, acc: make(map[accKey]*counter)}
+}
+
+// SetTargets replaces the probed set (reactive selection is the caller's
+// job, per §3.3's eligibility rules).
+func (p *Prober) SetTargets(ts []Target) { p.targets = ts }
+
+// TargetCount returns the number of probed interfaces.
+func (p *Prober) TargetCount() int { return len(p.targets) }
+
+// Second probes every target once at virtual time at, flushing any
+// completed windows.
+func (p *Prober) Second(at time.Time) {
+	off := time.Duration(0)
+	for _, tg := range p.targets {
+		res := p.Engine.Probe(tg.Dest.Addr, tg.TTL, tg.Dest.FlowID, at.Add(off))
+		off += 4 * time.Millisecond
+		key := accKey{tg.LinkID, tg.Side}
+		c, ok := p.acc[key]
+		if !ok || at.Sub(c.windowStart) >= FlushWindow {
+			if ok {
+				p.flush(key, c)
+			}
+			c = &counter{windowStart: at.Truncate(FlushWindow)}
+			p.acc[key] = c
+		}
+		c.sent++
+		if res.Lost() {
+			c.lost++
+		}
+	}
+}
+
+// Flush forces all pending windows out (call at the end of a collection).
+func (p *Prober) Flush() {
+	for key, c := range p.acc {
+		if c.sent > 0 {
+			p.flush(key, c)
+		}
+		delete(p.acc, key)
+	}
+}
+
+func (p *Prober) flush(key accKey, c *counter) {
+	tags := map[string]string{"vp": p.VPName, "link": key.linkID, "side": key.side}
+	p.DB.Write(MeasLossRate, tags, c.windowStart, float64(c.lost)/float64(c.sent))
+	p.DB.Write(MeasLossSent, tags, c.windowStart, float64(c.sent))
+}

@@ -1,0 +1,138 @@
+package lossprobe_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"interdomain/internal/bdrmap"
+	"interdomain/internal/lossprobe"
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+	"interdomain/internal/testnet"
+	"interdomain/internal/tsdb"
+)
+
+// congestedTargets builds loss targets for the fixture's congested link
+// using ground-truth addressing (bdrmap's job is tested elsewhere).
+func congestedTargets(n *testnet.Net) []lossprobe.Target {
+	near, far, _ := n.CongestedIC.Side(testnet.AccessASN)
+	_ = near
+	// Destination behind the link: a content host in losangeles.
+	content := n.In.ASes[testnet.ContentASN]
+	var dst netip.Addr
+	for _, h := range content.Hosts {
+		if n.In.Plumb[testnet.ContentASN].HostMetro[h] == "losangeles" {
+			dst = h.Ifaces[0].Addr
+		}
+	}
+	vp := n.VPIn("losangeles")
+	e := probe.NewEngine(n.In.Net, vp)
+	tr := e.Traceroute(dst, 7, netsim.Epoch.Add(9*time.Hour))
+	nearTTL := 0
+	for _, h := range tr.Hops {
+		if h.Addr == far.Addr {
+			nearTTL = h.TTL - 1
+		}
+	}
+	if nearTTL == 0 {
+		panic("congested link not on path to content host")
+	}
+	l := &bdrmap.Link{
+		NearAddr: tr.Hops[nearTTL-1].Addr,
+		FarAddr:  far.Addr,
+		Dests:    []bdrmap.DestMeta{{Addr: dst, FlowID: 7, NearTTL: nearTTL}},
+	}
+	return lossprobe.TargetsForLink(l)
+}
+
+func TestLossElevatedDuringCongestion(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 41})
+	vp := n.VPIn("losangeles")
+	db := tsdb.Open()
+	p := lossprobe.NewProber(probe.NewEngine(n.In.Net, vp), db, "vp-la")
+	p.SetTargets(congestedTargets(n))
+	if p.TargetCount() != 2 {
+		t.Fatalf("targets %d, want 2 (near+far)", p.TargetCount())
+	}
+
+	run := func(start time.Time) {
+		for s := 0; s < 300; s++ {
+			p.Second(start.Add(time.Duration(s) * time.Second))
+		}
+	}
+	run(testnet.PeakTime(1))
+	run(testnet.OffPeakTime(2))
+	p.Flush()
+
+	get := func(side string, from time.Time) float64 {
+		out := db.Query(lossprobe.MeasLossRate, map[string]string{"side": side}, from, from.Add(10*time.Minute))
+		if len(out) == 0 {
+			t.Fatalf("no %s series at %v", side, from)
+		}
+		sum, n := 0.0, 0
+		for _, s := range out {
+			for _, pt := range s.Points {
+				sum += pt.Value
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	farPeak := get("far", testnet.PeakTime(1))
+	nearPeak := get("near", testnet.PeakTime(1))
+	farOff := get("far", testnet.OffPeakTime(2))
+
+	if farPeak < 0.02 {
+		t.Fatalf("far-side peak loss %.3f, want >= 2%%", farPeak)
+	}
+	if farPeak < nearPeak+0.02 {
+		t.Fatalf("localization failed: far %.3f vs near %.3f", farPeak, nearPeak)
+	}
+	if farOff > 0.01 {
+		t.Fatalf("off-peak far loss %.3f, want ~0", farOff)
+	}
+	// Sample counts recorded.
+	sent := db.Query(lossprobe.MeasLossSent, map[string]string{"side": "far"}, testnet.PeakTime(1), testnet.PeakTime(1).Add(10*time.Minute))
+	if len(sent) == 0 || sent[0].Points[0].Value < 250 {
+		t.Fatal("sent counts missing or low")
+	}
+}
+
+func TestFlushWindows(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 41})
+	vp := n.VPIn("losangeles")
+	db := tsdb.Open()
+	p := lossprobe.NewProber(probe.NewEngine(n.In.Net, vp), db, "vp-la")
+	p.SetTargets(congestedTargets(n))
+
+	start := testnet.OffPeakTime(1).Truncate(lossprobe.FlushWindow)
+	// 11 minutes of probing spans three 5-minute windows; the first two
+	// must be flushed automatically.
+	for s := 0; s < 660; s++ {
+		p.Second(start.Add(time.Duration(s) * time.Second))
+	}
+	out := db.Query(lossprobe.MeasLossRate, map[string]string{"side": "far"}, start, start.Add(time.Hour))
+	points := 0
+	for _, s := range out {
+		points += len(s.Points)
+	}
+	if points != 2 {
+		t.Fatalf("auto-flushed %d windows, want 2", points)
+	}
+	p.Flush()
+	out = db.Query(lossprobe.MeasLossRate, map[string]string{"side": "far"}, start, start.Add(time.Hour))
+	points = 0
+	for _, s := range out {
+		points += len(s.Points)
+	}
+	if points != 3 {
+		t.Fatalf("after Flush: %d windows, want 3", points)
+	}
+}
+
+func TestTargetsForLinkEmpty(t *testing.T) {
+	if got := lossprobe.TargetsForLink(&bdrmap.Link{}); got != nil {
+		t.Fatalf("link without destinations produced targets: %v", got)
+	}
+}

@@ -1,0 +1,248 @@
+// Package mapit implements a simplified MAP-IT (Marder & Smith, IMC
+// 2016): multipass inference of interdomain links from a corpus of
+// traceroutes. The paper's §9 proposes combining bdrmap with MAP-IT to
+// measure interdomain links farther than one AS hop from the VP's
+// network; this package provides that capability over any traceroute
+// corpus, not just a VP's own border.
+//
+// The inference: annotate every observed interface with its IP2AS owner,
+// then iteratively refine an "operator" label — an interface whose
+// downstream neighbors unanimously belong to a different AS, while its
+// upstream neighbors match its owner, is the far side of an interdomain
+// link numbered from the near network's space (third-party addressing),
+// so its operator is the downstream AS. After the labels reach a fixed
+// point, every trace edge whose endpoints have different operators is an
+// interdomain link, aggregated with observation counts.
+package mapit
+
+import (
+	"net/netip"
+	"sort"
+
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+)
+
+// Input is the corpus plus the public datasets.
+type Input struct {
+	Traces      []*probe.Traceroute
+	PrefixToAS  map[netip.Prefix]int
+	IXPPrefixes []netip.Prefix
+	// MinCount drops links observed fewer times (noise suppression);
+	// default 1.
+	MinCount int
+	// Passes bounds the refinement iterations; default 3.
+	Passes int
+}
+
+// Link is one inferred interdomain link.
+type Link struct {
+	Near, Far     netip.Addr
+	NearAS, FarAS int
+	Count         int
+	FarThirdParty bool // far address owned by the near AS (reassigned)
+	ViaIXP        bool
+}
+
+// Infer runs the multipass inference.
+func Infer(in Input) []Link {
+	if in.Passes <= 0 {
+		in.Passes = 3
+	}
+	if in.MinCount <= 0 {
+		in.MinCount = 1
+	}
+
+	// Edge list of consecutive responsive hops.
+	type edge struct{ x, y netip.Addr }
+	edgeCount := map[edge]int{}
+	succ := map[netip.Addr]map[netip.Addr]int{}
+	pred := map[netip.Addr]map[netip.Addr]int{}
+	addrs := map[netip.Addr]bool{}
+	for _, tr := range in.Traces {
+		var prev netip.Addr
+		for _, h := range tr.Hops {
+			if !h.Responded() || h.Type != netsim.TimeExceeded {
+				prev = netip.Addr{}
+				continue
+			}
+			addrs[h.Addr] = true
+			if prev.IsValid() && prev != h.Addr {
+				edgeCount[edge{prev, h.Addr}]++
+				if succ[prev] == nil {
+					succ[prev] = map[netip.Addr]int{}
+				}
+				succ[prev][h.Addr]++
+				if pred[h.Addr] == nil {
+					pred[h.Addr] = map[netip.Addr]int{}
+				}
+				pred[h.Addr][prev]++
+			}
+			prev = h.Addr
+		}
+	}
+
+	// IP2AS owner (-1 = IXP, 0 = unknown).
+	owner := map[netip.Addr]int{}
+	for a := range addrs {
+		owner[a] = ip2as(a, in)
+	}
+
+	// Operator refinement. Third-party reassignment is decided against
+	// the immutable IP2AS *owner* labels: an address owned by A whose
+	// downstream neighbors are unanimously owned by B (and whose upstream
+	// matches A) is B's border replying from A's space. Deciding against
+	// evolving operator labels instead would cascade the relabeling back
+	// through A's internal routers one hop per pass.
+	op := map[netip.Addr]int{}
+	for a, o := range owner {
+		op[a] = o
+	}
+	reassigned := map[netip.Addr]bool{}
+	for a := range addrs {
+		cur := owner[a]
+		if cur <= 0 {
+			continue
+		}
+		down := majorityOp(succ[a], owner)
+		if down > 0 && down != cur && unanimousOp(succ[a], owner, down) &&
+			ownerMajority(pred[a], owner, cur) && isPtpHalf(a) {
+			op[a] = down
+			reassigned[a] = true
+		}
+	}
+	// Multipass propagation fills in IXP and unknown addresses from their
+	// downstream operators.
+	for pass := 0; pass < in.Passes; pass++ {
+		changed := false
+		for a := range addrs {
+			if cur := op[a]; cur == -1 || cur == 0 {
+				if down := majorityOp(succ[a], op); down > 0 && down != cur {
+					op[a] = down
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Emit links.
+	var out []Link
+	for e, n := range edgeCount {
+		if n < in.MinCount {
+			continue
+		}
+		a, b := op[e.x], op[e.y]
+		if a <= 0 || b <= 0 || a == b {
+			continue
+		}
+		out = append(out, Link{
+			Near: e.x, Far: e.y,
+			NearAS: a, FarAS: b,
+			Count:         n,
+			FarThirdParty: reassigned[e.y],
+			ViaIXP:        owner[e.y] == -1,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Near != out[j].Near {
+			return out[i].Near.Less(out[j].Near)
+		}
+		return out[i].Far.Less(out[j].Far)
+	})
+	return out
+}
+
+// isPtpHalf reports whether the address can be a usable half of a
+// point-to-point /30 (offset 1 or 2 in its /30) — the addressing shape of
+// interdomain links. Third-party reassignment only applies to such
+// addresses; infrastructure-pool addresses at other offsets are never the
+// far side of a /30-numbered border. This filter is heuristic: a border
+// interface drawn from an infrastructure pool can still land on a /30
+// half, which bounds passive precision (the MAP-IT paper reports the same
+// class of residual errors).
+func isPtpHalf(a netip.Addr) bool {
+	v := a.As4()[3] & 3
+	return v == 1 || v == 2
+}
+
+func ip2as(a netip.Addr, in Input) int {
+	for _, p := range in.IXPPrefixes {
+		if p.Contains(a) {
+			return -1
+		}
+	}
+	best, bits := 0, -1
+	for p, asn := range in.PrefixToAS {
+		if p.Contains(a) && p.Bits() > bits {
+			best, bits = asn, p.Bits()
+		}
+	}
+	return best
+}
+
+// majorityOp returns the operator with the most weight among neighbors
+// (0 when empty or tied).
+func majorityOp(neigh map[netip.Addr]int, op map[netip.Addr]int) int {
+	votes := map[int]int{}
+	for a, n := range neigh {
+		if o := op[a]; o > 0 {
+			votes[o] += n
+		}
+	}
+	best, bestN, tied := 0, 0, false
+	for o, n := range votes {
+		switch {
+		case n > bestN:
+			best, bestN, tied = o, n, false
+		case n == bestN && o != best:
+			tied = true
+		}
+	}
+	if tied {
+		return 0
+	}
+	return best
+}
+
+// unanimousOp reports whether every neighbor with a known operator has
+// operator want.
+func unanimousOp(neigh map[netip.Addr]int, op map[netip.Addr]int, want int) bool {
+	any := false
+	for a := range neigh {
+		o := op[a]
+		if o <= 0 {
+			continue
+		}
+		any = true
+		if o != want {
+			return false
+		}
+	}
+	return any
+}
+
+// ownerMajority reports whether the majority of upstream neighbors'
+// operators match want (vacuously true with no upstream data).
+func ownerMajority(neigh map[netip.Addr]int, op map[netip.Addr]int, want int) bool {
+	if want <= 0 {
+		return false
+	}
+	match, total := 0, 0
+	for a, n := range neigh {
+		o := op[a]
+		if o <= 0 {
+			continue
+		}
+		total += n
+		if o == want {
+			match += n
+		}
+	}
+	if total == 0 {
+		return true
+	}
+	return match*2 > total
+}

@@ -1,0 +1,155 @@
+// Package ndt implements the Network Diagnostic Tool throughput
+// measurements of §3.4: 10-second download and upload TCP tests from a
+// vantage point against a measurement server, followed by a traceroute to
+// identify the interdomain link on the forward path. Server selection
+// mirrors the paper's procedure: traceroute from the VP to every candidate
+// server, keep servers whose path crosses a congested link, and prefer the
+// closest by RTT.
+package ndt
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+	"interdomain/internal/tcpmodel"
+	"interdomain/internal/tsdb"
+)
+
+// TestDuration matches NDT's per-direction test length.
+const TestDuration = 10 * time.Second
+
+// Measurement names.
+const (
+	// MeasDownload/MeasUpload carry Mbps, tagged vp, server.
+	MeasDownload = "ndt_download"
+	MeasUpload   = "ndt_upload"
+)
+
+// Server is one NDT measurement server.
+type Server struct {
+	Name string
+	Host *netsim.Node
+}
+
+// Addr returns the server's address.
+func (s Server) Addr() netip.Addr { return s.Host.Ifaces[0].Addr }
+
+// Result is one NDT test outcome.
+type Result struct {
+	Server       string
+	At           time.Time
+	DownloadMbps float64
+	UploadMbps   float64
+	// Trace is the post-test traceroute toward the server (used to map
+	// the test to an interdomain link).
+	Trace *probe.Traceroute
+}
+
+// Client runs NDT tests from one VP.
+type Client struct {
+	Net    *netsim.Network
+	Engine *probe.Engine
+	DB     *tsdb.DB
+	VPName string
+	// AccessMbps is the subscriber plan rate capping measured throughput.
+	AccessMbps float64
+	// Seed drives measurement noise.
+	Seed uint64
+	// SkipTrace suppresses the post-test traceroute; bulk experiment
+	// sweeps run thousands of tests against already-mapped paths.
+	SkipTrace bool
+}
+
+// noiseFrac is the relative standard deviation of throughput measurements
+// (server load, cross traffic in the home).
+const noiseFrac = 0.06
+
+// Test runs a download+upload pair against the server at virtual time at,
+// stores the results, and returns them.
+func (c *Client) Test(s Server, at time.Time) (Result, bool) {
+	res := Result{Server: s.Name, At: at}
+	vp := c.Engine.VP
+	rng := netsim.NewRNG(netsim.Hash64(c.Seed, uint64(at.UnixNano()), uint64(s.Host.ID)))
+	flow := uint16(netsim.Hash64(c.Seed, uint64(s.Host.ID)))
+
+	// Download: data flows server -> VP.
+	if len(vp.Ifaces) == 0 {
+		return res, false
+	}
+	down, ok := tcpmodel.PathEstimate(c.Net, s.Host, vp.Ifaces[0].Addr, flow, at)
+	if !ok {
+		return res, false
+	}
+	// Upload: data flows VP -> server.
+	up, ok := tcpmodel.PathEstimate(c.Net, vp, s.Addr(), flow, at)
+	if !ok {
+		return res, false
+	}
+	res.DownloadMbps = noisy(tcpmodel.Transfer(down, TestDuration, c.AccessMbps), rng)
+	res.UploadMbps = noisy(tcpmodel.Transfer(up, TestDuration, c.AccessMbps/4), rng)
+
+	// Post-test traceroute toward the server (§3.4).
+	if !c.SkipTrace {
+		res.Trace = c.Engine.Traceroute(s.Addr(), flow, at.Add(2*TestDuration))
+	}
+
+	tags := map[string]string{"vp": c.VPName, "server": s.Name}
+	c.DB.Write(MeasDownload, tags, at, res.DownloadMbps)
+	c.DB.Write(MeasUpload, tags, at, res.UploadMbps)
+	return res, true
+}
+
+func noisy(v float64, rng *netsim.RNG) float64 {
+	out := v * (1 + rng.Normal(0, noiseFrac))
+	if out < 0.1 {
+		out = 0.1
+	}
+	return out
+}
+
+// SelectServers implements the paper's server-selection procedure: probe
+// every candidate, keep those whose forward path crosses one of the links
+// in congestedLinks (identified by far-side address), and return them
+// sorted by ascending RTT — the caller typically takes the first per link.
+func SelectServers(e *probe.Engine, servers []Server, congestedFars map[netip.Addr]bool, at time.Time) []ServerPath {
+	var out []ServerPath
+	t := at
+	for _, s := range servers {
+		flow := uint16(netsim.Hash64(uint64(s.Host.ID), 0x5e1))
+		tr := e.Traceroute(s.Addr(), flow, t)
+		t = t.Add(5 * time.Second)
+		if !tr.Reached {
+			continue
+		}
+		var crossed netip.Addr
+		for _, h := range tr.Hops {
+			if h.Responded() && congestedFars[h.Addr] {
+				crossed = h.Addr
+				break
+			}
+		}
+		if !crossed.IsValid() {
+			continue
+		}
+		last := tr.Hops[len(tr.Hops)-1]
+		out = append(out, ServerPath{Server: s, LinkFar: crossed, RTT: last.RTT})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LinkFar != out[j].LinkFar {
+			return out[i].LinkFar.Less(out[j].LinkFar)
+		}
+		return out[i].RTT < out[j].RTT
+	})
+	return out
+}
+
+// ServerPath is a selected server together with the congested link its
+// path crosses.
+type ServerPath struct {
+	Server  Server
+	LinkFar netip.Addr
+	RTT     time.Duration
+}

@@ -1,0 +1,97 @@
+package ndt_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"interdomain/internal/ndt"
+	"interdomain/internal/probe"
+	"interdomain/internal/testnet"
+	"interdomain/internal/tsdb"
+)
+
+// laSetup returns a client at the losangeles VP and a server behind the
+// congested link (a content host in losangeles).
+func laSetup(t *testing.T, seed uint64) (*testnet.Net, *ndt.Client, ndt.Server) {
+	t.Helper()
+	n := testnet.Build(testnet.Config{Seed: seed})
+	vp := n.VPIn("losangeles")
+	var host = n.In.ASes[testnet.ContentASN].Hosts[0]
+	for _, h := range n.In.ASes[testnet.ContentASN].Hosts {
+		if n.In.Plumb[testnet.ContentASN].HostMetro[h] == "losangeles" {
+			host = h
+		}
+	}
+	c := &ndt.Client{
+		Net:        n.In.Net,
+		Engine:     probe.NewEngine(n.In.Net, vp),
+		DB:         tsdb.Open(),
+		VPName:     "vp-la",
+		AccessMbps: 25,
+		Seed:       seed,
+	}
+	return n, c, ndt.Server{Name: "mlab-la", Host: host}
+}
+
+func TestNDTThroughputCongestedVsNot(t *testing.T) {
+	_, c, server := laSetup(t, 61)
+	var peakSum, offSum float64
+	const runs = 10
+	for i := 0; i < runs; i++ {
+		pr, ok := c.Test(server, testnet.PeakTime(1).Add(time.Duration(i)*time.Minute))
+		if !ok {
+			t.Fatal("peak test failed to run")
+		}
+		or, ok := c.Test(server, testnet.OffPeakTime(1).Add(time.Duration(i)*time.Minute))
+		if !ok {
+			t.Fatal("off-peak test failed to run")
+		}
+		peakSum += pr.DownloadMbps
+		offSum += or.DownloadMbps
+	}
+	peak, off := peakSum/runs, offSum/runs
+	if off < 18 || off > 27 {
+		t.Fatalf("uncongested download %.1f Mbps, want ~plan rate (25)", off)
+	}
+	if peak > off/2 {
+		t.Fatalf("congested download %.1f vs uncongested %.1f: drop too small", peak, off)
+	}
+}
+
+func TestNDTWritesAndTraces(t *testing.T) {
+	_, c, server := laSetup(t, 62)
+	res, ok := c.Test(server, testnet.OffPeakTime(2))
+	if !ok {
+		t.Fatal("test failed")
+	}
+	if res.Trace == nil || !res.Trace.Reached {
+		t.Fatal("post-test traceroute missing or incomplete")
+	}
+	if res.UploadMbps <= 0 {
+		t.Fatal("no upload result")
+	}
+	out := c.DB.Query(ndt.MeasDownload, map[string]string{"vp": "vp-la"}, testnet.OffPeakTime(2).Add(-time.Hour), testnet.OffPeakTime(2).Add(time.Hour))
+	if len(out) != 1 || len(out[0].Points) != 1 {
+		t.Fatal("download point not stored")
+	}
+}
+
+func TestSelectServers(t *testing.T) {
+	n, c, server := laSetup(t, 63)
+	// Also a server NOT behind the congested link (transit host in nyc).
+	other := ndt.Server{Name: "mlab-nyc", Host: n.In.ASes[testnet.TransitASN].Hosts[0]}
+
+	_, far, _ := n.CongestedIC.Side(testnet.AccessASN)
+	congested := map[netip.Addr]bool{far.Addr: true}
+	sel := ndt.SelectServers(c.Engine, []ndt.Server{server, other}, congested, testnet.OffPeakTime(3))
+	if len(sel) != 1 {
+		t.Fatalf("selected %d servers, want 1", len(sel))
+	}
+	if sel[0].Server.Name != "mlab-la" {
+		t.Fatalf("selected %s, want mlab-la", sel[0].Server.Name)
+	}
+	if sel[0].LinkFar != far.Addr {
+		t.Fatalf("link attribution %v, want %v", sel[0].LinkFar, far.Addr)
+	}
+}

@@ -1,0 +1,142 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func TestAccessorsAndStringers(t *testing.T) {
+	n, h1, r1, _, _, mid := buildChain(t, 3)
+	mid.SetProfile(BtoA, &LoadProfile{Base: 0.5, PeakAmplitude: 0.7, PeakHour: 21, PeakWidthHours: 2, Seed: 6})
+
+	if AtoB.String() == BtoA.String() {
+		t.Fatal("direction strings identical")
+	}
+	if AtoB.Reverse() != BtoA || BtoA.Reverse() != AtoB {
+		t.Fatal("Reverse broken")
+	}
+	if Router.String() == Host.String() {
+		t.Fatal("node kind strings identical")
+	}
+	if got := (ProbeResult{Type: EchoReply}).Lost(); got {
+		t.Fatal("echo reply counted lost")
+	}
+	for _, ty := range []ICMPType{NoReply, EchoReply, TimeExceeded} {
+		if ty.String() == "" {
+			t.Fatal("empty ICMP type string")
+		}
+	}
+
+	if mid.Profile(BtoA) == nil || mid.Profile(AtoB) != nil {
+		t.Fatal("Profile accessor wrong")
+	}
+	peak := Epoch.Add(21 * time.Hour)
+	if u := mid.Utilization(peak, BtoA); u < 1 {
+		t.Fatalf("peak utilization %.2f, want > 1", u)
+	}
+	if u := mid.Utilization(peak, AtoB); u != 0 {
+		t.Fatalf("nil-profile utilization %.2f", u)
+	}
+	if p := mid.Profile(BtoA); p.PeakLoad(Epoch) < 1 {
+		t.Fatalf("PeakLoad %.2f, want > 1", p.PeakLoad(Epoch))
+	}
+
+	if h1.Addr() != h1.Ifaces[0].Addr {
+		t.Fatal("Node.Addr wrong")
+	}
+	if r1.FIB.Routes() == 0 {
+		t.Fatal("router FIB empty")
+	}
+	if n.InterfaceByAddr(mustAddr("10.0.1.1")) == nil {
+		t.Fatal("InterfaceByAddr miss")
+	}
+	if n.NodeByAddr(mustAddr("10.0.1.1")) != r1 {
+		t.Fatal("NodeByAddr wrong")
+	}
+	if n.NodeByAddr(mustAddr("203.0.113.1")) != nil {
+		t.Fatal("NodeByAddr phantom")
+	}
+	if n.String() == "" {
+		t.Fatal("network string empty")
+	}
+	_ = SimTime(time.Hour)
+}
+
+func TestPathLinksWalk(t *testing.T) {
+	n, h1, _, _, _, mid := buildChain(t, 4)
+	links, ok := n.PathLinks(h1, mustAddr("10.0.2.2"), 5)
+	if !ok || len(links) != 3 {
+		t.Fatalf("path links %d ok=%v, want 3", len(links), ok)
+	}
+	if links[1].Link != mid || links[1].Dir != AtoB {
+		t.Fatalf("middle traversal wrong: %+v", links[1])
+	}
+	if _, ok := n.PathLinks(h1, mustAddr("203.0.113.9"), 5); ok {
+		t.Fatal("unroutable address walked successfully")
+	}
+	nodes, ok := n.PathTo(h1, mustAddr("10.0.2.2"), 5)
+	if !ok || len(nodes) != 4 {
+		t.Fatalf("PathTo %d nodes ok=%v", len(nodes), ok)
+	}
+}
+
+func TestSchedulerNowAndPending(t *testing.T) {
+	s := NewScheduler(Epoch)
+	if !s.Now().Equal(Epoch) {
+		t.Fatal("initial Now wrong")
+	}
+	s.At(Epoch.Add(time.Minute), func(time.Time) {})
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d", s.Pending())
+	}
+	// Scheduling in the past clamps to now.
+	fired := false
+	s.At(Epoch.Add(-time.Hour), func(tm time.Time) { fired = !tm.Before(Epoch) })
+	s.RunUntil(Epoch.Add(time.Second))
+	if !fired {
+		t.Fatal("past event not clamped to now")
+	}
+	s.RunUntil(Epoch.Add(time.Hour))
+	if s.Pending() != 0 {
+		t.Fatal("events left")
+	}
+	if !s.Now().Equal(Epoch.Add(time.Hour)) {
+		t.Fatal("Now not advanced to deadline")
+	}
+}
+
+func TestAllocatorBlockAndLimits(t *testing.T) {
+	a := NewAddrAllocator(mustPrefix("10.9.0.0/24"))
+	if a.Block() != mustPrefix("10.9.0.0/24") {
+		t.Fatal("Block accessor wrong")
+	}
+	if _, err := a.Subnet(16); err == nil {
+		t.Fatal("subnet larger than block accepted")
+	}
+	if _, err := a.Subnet(33); err == nil {
+		t.Fatal("/33 accepted")
+	}
+	// One /25 aligns past the .1 already reserved for addresses, so it
+	// takes the upper half and exhausts the block.
+	if _, err := a.Subnet(25); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Subnet(25); err == nil {
+		t.Fatal("second /25 should exhaust the /24")
+	}
+	if _, _, _, err := a.PointToPoint(); err == nil {
+		t.Fatal("exhausted block still allocating")
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

@@ -1,0 +1,75 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// AddrAllocator hands out IPv4 addresses and subnets from a block,
+// mimicking an RIR delegation to an AS. The topology generator gives each
+// AS one or more blocks and draws interface addresses, point-to-point /30s
+// and host addresses from them; bdrmap's address-ownership heuristics then
+// operate on longest-prefix matches against the announced blocks.
+type AddrAllocator struct {
+	block netip.Prefix
+	next  uint32
+	limit uint32
+}
+
+// NewAddrAllocator returns an allocator over the given IPv4 prefix.
+// It panics on non-IPv4 or invalid prefixes (programmer error).
+func NewAddrAllocator(block netip.Prefix) *AddrAllocator {
+	if !block.IsValid() || !block.Addr().Is4() {
+		panic(fmt.Sprintf("netsim: invalid allocator block %v", block))
+	}
+	base := addrToU32(block.Masked().Addr())
+	size := uint32(1) << (32 - block.Bits())
+	return &AddrAllocator{block: block.Masked(), next: base + 1, limit: base + size - 1}
+}
+
+// Block returns the prefix the allocator draws from.
+func (a *AddrAllocator) Block() netip.Prefix { return a.block }
+
+// Addr allocates the next single address.
+func (a *AddrAllocator) Addr() (netip.Addr, error) {
+	if a.next >= a.limit {
+		return netip.Addr{}, fmt.Errorf("netsim: block %v exhausted", a.block)
+	}
+	addr := u32ToAddr(a.next)
+	a.next++
+	return addr, nil
+}
+
+// Subnet allocates the next aligned subnet of the given prefix length and
+// returns it; subsequent Addr calls continue after it.
+func (a *AddrAllocator) Subnet(bits int) (netip.Prefix, error) {
+	if bits < a.block.Bits() || bits > 32 {
+		return netip.Prefix{}, fmt.Errorf("netsim: bad subnet length /%d from %v", bits, a.block)
+	}
+	size := uint32(1) << (32 - bits)
+	start := (a.next + size - 1) / size * size // align
+	if start+size-1 > a.limit {
+		return netip.Prefix{}, fmt.Errorf("netsim: block %v exhausted for /%d", a.block, bits)
+	}
+	a.next = start + size
+	return netip.PrefixFrom(u32ToAddr(start), bits), nil
+}
+
+// PointToPoint allocates a /30 and returns its two usable addresses.
+func (a *AddrAllocator) PointToPoint() (p netip.Prefix, x, y netip.Addr, err error) {
+	p, err = a.Subnet(30)
+	if err != nil {
+		return netip.Prefix{}, netip.Addr{}, netip.Addr{}, err
+	}
+	base := addrToU32(p.Addr())
+	return p, u32ToAddr(base + 1), u32ToAddr(base + 2), nil
+}
+
+func addrToU32(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func u32ToAddr(v uint32) netip.Addr {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}

@@ -1,0 +1,39 @@
+// Package netsim implements the network substrate the measurement system
+// runs on: a simulated Internet with routers, interfaces, links, FIFO
+// queues driven by diurnal background traffic, TTL handling, ICMP
+// generation, and per-flow ECMP.
+//
+// The real system (Dhamdhere et al., SIGCOMM 2018) probes the actual
+// Internet from 86 vantage points. That substrate is not available here,
+// so netsim provides the closest synthetic equivalent: probe packets
+// experience propagation delay plus the queueing delay and loss induced by
+// each link's offered load, which is exactly the physical signal the TSLP
+// method measures.
+//
+// Background traffic is modeled as a fluid: each link direction carries an
+// offered load (fraction of capacity) that follows a configurable diurnal
+// profile. Probe packets are simulated individually on top of that fluid;
+// they sample the queue state of every link they traverse. This hybrid is
+// standard practice for latency-signal studies and keeps multi-month
+// simulations tractable while preserving the per-packet semantics (TTL
+// expiry, Paris-style flow pinning, ICMP rate limiting) that the probing
+// and inference code paths depend on.
+package netsim
+
+import "time"
+
+// Epoch is the start of simulated time. It matches the start of the
+// paper's measurement campaign (March 2016). All simulation timestamps are
+// derived from it; library code never reads the wall clock.
+var Epoch = time.Date(2016, time.March, 1, 0, 0, 0, 0, time.UTC)
+
+// SimTime converts an offset from the epoch into an absolute simulated time.
+func SimTime(d time.Duration) time.Time { return Epoch.Add(d) }
+
+// Day returns the start of the n-th simulated day (UTC).
+func Day(n int) time.Time { return Epoch.AddDate(0, 0, n) }
+
+// DayIndex returns the number of whole UTC days between the epoch and t.
+func DayIndex(t time.Time) int {
+	return int(t.Sub(Epoch) / (24 * time.Hour))
+}

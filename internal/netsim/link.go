@@ -1,0 +1,225 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Direction identifies one of the two directions of a link.
+type Direction int
+
+const (
+	// AtoB is the direction from interface A toward interface B.
+	AtoB Direction = iota
+	// BtoA is the direction from interface B toward interface A.
+	BtoA
+)
+
+func (d Direction) String() string {
+	if d == AtoB {
+		return "A->B"
+	}
+	return "B->A"
+}
+
+// Reverse returns the opposite direction.
+func (d Direction) Reverse() Direction { return 1 - d }
+
+// Link is a point-to-point link between two interfaces. Each direction has
+// its own capacity share, background load profile and FIFO queue. The
+// queue is modeled as a fluid: occupancy (expressed in seconds of delay)
+// integrates the difference between offered load and capacity, clamped to
+// the buffer size, which reproduces the latency plateau and loss that an
+// under-provisioned interdomain link exhibits during peak hours.
+type Link struct {
+	ID           int
+	A, B         *Interface
+	CapacityMbps float64
+	PropDelay    time.Duration
+	// BufferDelay is the maximum queueing delay (buffer size divided by
+	// capacity). Typical interdomain router buffers sit in the tens of
+	// milliseconds.
+	BufferDelay time.Duration
+
+	profiles [2]*LoadProfile
+
+	mu     sync.Mutex
+	qcache map[qkey][]float32
+}
+
+type qkey struct {
+	dir Direction
+	day int
+}
+
+// queueStep is the fluid integration step.
+const queueStep = time.Minute
+
+// queueWarmup is how far before the requested day integration starts; the
+// diurnal trough guarantees the queue is empty somewhere in this window.
+const queueWarmup = 12 * time.Hour
+
+// SetProfile assigns the background load profile for one direction and
+// invalidates cached queue trajectories.
+func (l *Link) SetProfile(dir Direction, p *LoadProfile) {
+	l.profiles[dir] = p
+	l.InvalidateQueueCache()
+}
+
+// InvalidateQueueCache drops cached queue trajectories. Call it after
+// mutating a profile in place (e.g. editing its episodes).
+func (l *Link) InvalidateQueueCache() {
+	l.mu.Lock()
+	l.qcache = nil
+	l.mu.Unlock()
+}
+
+// Profile returns the background load profile for one direction (may be nil).
+func (l *Link) Profile(dir Direction) *LoadProfile { return l.profiles[dir] }
+
+// DirectionFrom returns the direction of travel for a packet leaving
+// through interface out (which must be one of the link's endpoints).
+func (l *Link) DirectionFrom(out *Interface) Direction {
+	if out == l.A {
+		return AtoB
+	}
+	if out == l.B {
+		return BtoA
+	}
+	panic(fmt.Sprintf("netsim: interface %v is not an endpoint of link %d", out.Addr, l.ID))
+}
+
+// Other returns the endpoint opposite to in.
+func (l *Link) Other(in *Interface) *Interface {
+	if in == l.A {
+		return l.B
+	}
+	if in == l.B {
+		return l.A
+	}
+	panic(fmt.Sprintf("netsim: interface %v is not an endpoint of link %d", in.Addr, l.ID))
+}
+
+// Utilization returns the offered load (fraction of capacity) in the given
+// direction at time t. Values above 1 indicate overload.
+func (l *Link) Utilization(t time.Time, dir Direction) float64 {
+	return l.profiles[dir].Load(t)
+}
+
+// QueueDelay returns the fluid queueing delay experienced by a packet
+// entering the link in the given direction at time t.
+func (l *Link) QueueDelay(t time.Time, dir Direction) time.Duration {
+	if l.profiles[dir] == nil {
+		return 0
+	}
+	q := l.occupancy(t, dir)
+	return time.Duration(q * float64(time.Second))
+}
+
+// baseLossFloor is the loss probability on an uncongested path segment
+// (line errors, transient micro-bursts).
+const baseLossFloor = 5e-5
+
+// LossProb returns the probability that a packet entering the link in the
+// given direction at time t is dropped. Loss occurs when the buffer is
+// full and offered load exceeds capacity; the excess fraction is shed.
+func (l *Link) LossProb(t time.Time, dir Direction) float64 {
+	p := l.profiles[dir]
+	if p == nil {
+		return baseLossFloor
+	}
+	rho := p.Load(t)
+	if rho <= 1 {
+		return baseLossFloor
+	}
+	q := l.occupancy(t, dir)
+	bufS := l.BufferDelay.Seconds()
+	if q < bufS*0.999 {
+		// Buffer still filling; no overflow yet.
+		return baseLossFloor
+	}
+	return (rho-1)/rho + baseLossFloor
+}
+
+// occupancy returns the queue occupancy (seconds of delay) at time t for
+// the given direction, integrating the fluid queue over the containing day
+// with a 12-hour warmup, and caching the per-minute trajectory.
+func (l *Link) occupancy(t time.Time, dir Direction) float64 {
+	day := DayIndex(t)
+	traj := l.dayTrajectory(day, dir)
+	dayStart := Day(day)
+	off := t.Sub(dayStart)
+	idx := int(off / queueStep)
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(traj)-1 {
+		return float64(traj[len(traj)-1])
+	}
+	frac := float64(off%queueStep) / float64(queueStep)
+	return float64(traj[idx])*(1-frac) + float64(traj[idx+1])*frac
+}
+
+func (l *Link) dayTrajectory(day int, dir Direction) []float32 {
+	key := qkey{dir, day}
+	l.mu.Lock()
+	if l.qcache == nil {
+		l.qcache = make(map[qkey][]float32)
+	}
+	if traj, ok := l.qcache[key]; ok {
+		l.mu.Unlock()
+		return traj
+	}
+	l.mu.Unlock()
+
+	traj := l.integrateDay(day, dir)
+
+	l.mu.Lock()
+	// Bound cache growth for multi-year runs: keep a sliding window.
+	if len(l.qcache) > 128 {
+		for k := range l.qcache {
+			delete(l.qcache, k)
+		}
+	}
+	l.qcache[key] = traj
+	l.mu.Unlock()
+	return traj
+}
+
+// integrateDay computes the per-minute queue occupancy for one UTC day.
+func (l *Link) integrateDay(day int, dir Direction) []float32 {
+	p := l.profiles[dir]
+	steps := int(24*time.Hour/queueStep) + 1
+	traj := make([]float32, steps)
+	if p == nil {
+		return traj
+	}
+	// Fast path for the multi-month fluid mode: if the offered load
+	// cannot reach saturation anywhere near this day, the queue stays
+	// empty and integration is unnecessary.
+	if p.maxPossibleLoad(Day(day+1)) < 0.995 {
+		return traj
+	}
+	bufS := l.BufferDelay.Seconds()
+	dayStart := Day(day)
+	t := dayStart.Add(-queueWarmup)
+	dt := queueStep.Seconds()
+	q := 0.0
+	warm := int(queueWarmup / queueStep)
+	for i := -warm; i < steps; i++ {
+		if i >= 0 {
+			traj[i] = float32(q)
+		}
+		rho := p.Load(t)
+		q += (rho - 1) * dt
+		if q < 0 {
+			q = 0
+		}
+		if q > bufS {
+			q = bufS
+		}
+		t = t.Add(queueStep)
+	}
+	return traj
+}

@@ -1,0 +1,358 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// buildChain creates a linear topology host -> r1 -> r2 -> host2 with
+// static routes in both directions and returns the pieces.
+func buildChain(t *testing.T, seed uint64) (*Network, *Node, *Node, *Node, *Node, *Link) {
+	t.Helper()
+	n := NewNetwork(seed)
+	h1 := n.AddNode("h1", 100, Host)
+	r1 := n.AddNode("r1", 100, Router)
+	r2 := n.AddNode("r2", 200, Router)
+	h2 := n.AddNode("h2", 200, Host)
+
+	p := LinkParams{CapacityMbps: 1000, PropDelay: 2 * time.Millisecond, BufferDelay: 50 * time.Millisecond}
+	l0, err := n.AddLink(h1, mustAddr("10.0.0.1"), r1, mustAddr("10.0.0.2"), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := n.AddLink(r1, mustAddr("10.0.1.1"), r2, mustAddr("10.0.1.2"), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := n.AddLink(r2, mustAddr("10.0.2.1"), h2, mustAddr("10.0.2.2"), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	all := netip.MustParsePrefix("0.0.0.0/0")
+	_ = all
+	h1.FIB.SetDefault(l0.A)
+	r1.FIB.Add(netip.MustParsePrefix("10.0.0.0/30"), l0.B)
+	r1.FIB.SetDefault(l1.A)
+	r2.FIB.Add(netip.MustParsePrefix("10.0.2.0/30"), l2.A)
+	r2.FIB.SetDefault(l1.B)
+	h2.FIB.SetDefault(l2.B)
+	return n, h1, r1, r2, h2, l1
+}
+
+func TestProbeEchoReply(t *testing.T) {
+	n, h1, _, _, _, _ := buildChain(t, 1)
+	res := n.Ping(h1, mustAddr("10.0.2.2"), 7, Epoch)
+	if res.Lost() {
+		t.Fatal("ping lost on idle network")
+	}
+	if res.Type != EchoReply {
+		t.Fatalf("got %v, want echo-reply", res.Type)
+	}
+	if res.From != mustAddr("10.0.2.2") {
+		t.Fatalf("reply from %v, want 10.0.2.2", res.From)
+	}
+	// 3 links out, 3 back: 6 * 2ms propagation plus small jitter.
+	if res.RTT < 12*time.Millisecond || res.RTT > 14*time.Millisecond {
+		t.Fatalf("idle RTT = %v, want ~12ms", res.RTT)
+	}
+}
+
+func TestProbeTTLExpiry(t *testing.T) {
+	n, h1, _, _, _, _ := buildChain(t, 1)
+	// TTL 2: expires at r2, whose incoming interface is 10.0.1.2.
+	res := n.Probe(h1, mustAddr("10.0.2.2"), 2, 7, Epoch)
+	if res.Type != TimeExceeded {
+		t.Fatalf("got %v, want time-exceeded", res.Type)
+	}
+	if res.From != mustAddr("10.0.1.2") {
+		t.Fatalf("time-exceeded from %v, want 10.0.1.2 (incoming interface)", res.From)
+	}
+	// TTL 1: expires at r1, incoming interface 10.0.0.2.
+	res = n.Probe(h1, mustAddr("10.0.2.2"), 1, 7, Epoch)
+	if res.From != mustAddr("10.0.0.2") {
+		t.Fatalf("time-exceeded from %v, want 10.0.0.2", res.From)
+	}
+}
+
+func TestCongestedLinkElevatesLatencyAndLoss(t *testing.T) {
+	n, h1, _, _, _, mid := buildChain(t, 1)
+	// Overload the reply direction (B->A) during a peak centered at 21h UTC.
+	mid.SetProfile(BtoA, &LoadProfile{
+		Base: 0.4, PeakAmplitude: 0.8, PeakHour: 21, PeakWidthHours: 3, Seed: 9,
+	})
+	offPeak := Epoch.Add(9 * time.Hour) // 09:00, load ~0.4
+	onPeak := Epoch.Add(21 * time.Hour) // 21:00, load ~1.2
+
+	idle := n.Ping(h1, mustAddr("10.0.2.2"), 7, offPeak)
+	if idle.Lost() {
+		t.Fatal("off-peak ping lost")
+	}
+	var got time.Duration
+	found := false
+	for i := 0; i < 50; i++ {
+		r := n.Ping(h1, mustAddr("10.0.2.2"), uint16(i), onPeak.Add(time.Duration(i)*time.Second))
+		if !r.Lost() {
+			got = r.RTT
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("all on-peak pings lost; loss too aggressive")
+	}
+	if got < idle.RTT+40*time.Millisecond {
+		t.Fatalf("peak RTT %v not elevated above idle %v by full buffer (~50ms)", got, idle.RTT)
+	}
+
+	// Loss should be present at peak (rho ~1.2 => ~17% loss) and near-absent off peak.
+	lossOn, lossOff := 0, 0
+	const N = 400
+	for i := 0; i < N; i++ {
+		if n.Ping(h1, mustAddr("10.0.2.2"), uint16(i), onPeak.Add(time.Duration(i)*time.Millisecond*137)).Lost() {
+			lossOn++
+		}
+		if n.Ping(h1, mustAddr("10.0.2.2"), uint16(i), offPeak.Add(time.Duration(i)*time.Millisecond*137)).Lost() {
+			lossOff++
+		}
+	}
+	if lossOn < N/20 {
+		t.Fatalf("on-peak loss %d/%d, want >= 5%%", lossOn, N)
+	}
+	if lossOff > N/50 {
+		t.Fatalf("off-peak loss %d/%d, want < 2%%", lossOff, N)
+	}
+}
+
+func TestProbeDeterminism(t *testing.T) {
+	n1, h1, _, _, _, _ := buildChain(t, 42)
+	n2, h2, _, _, _, _ := buildChain(t, 42)
+	at := Epoch.Add(3 * time.Hour)
+	a := n1.Ping(h1, mustAddr("10.0.2.2"), 99, at)
+	b := n2.Ping(h2, mustAddr("10.0.2.2"), 99, at)
+	if a != b {
+		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
+	}
+}
+
+func TestICMPRateLimit(t *testing.T) {
+	n, h1, r1, _, _, _ := buildChain(t, 1)
+	r1.ICMPRateLimit = 2
+	lost := 0
+	for i := 0; i < 10; i++ {
+		// All within the same second.
+		r := n.Probe(h1, mustAddr("10.0.2.2"), 1, uint16(i), Epoch.Add(time.Duration(i)*10*time.Millisecond))
+		if r.Lost() {
+			lost++
+		}
+	}
+	if lost < 7 {
+		t.Fatalf("rate limiter dropped %d/10, want >= 7", lost)
+	}
+}
+
+func TestFIBLongestPrefixMatch(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.AddNode("a", 1, Router)
+	b := n.AddNode("b", 1, Router)
+	c := n.AddNode("c", 1, Router)
+	l1, _ := n.AddLink(a, mustAddr("192.0.2.1"), b, mustAddr("192.0.2.2"), DefaultLinkParams())
+	l2, _ := n.AddLink(a, mustAddr("192.0.2.5"), c, mustAddr("192.0.2.6"), DefaultLinkParams())
+
+	f := NewFIB()
+	f.Add(netip.MustParsePrefix("10.0.0.0/8"), l1.A)
+	f.Add(netip.MustParsePrefix("10.1.0.0/16"), l2.A)
+	if got := f.Lookup(mustAddr("10.1.2.3")); got[0] != l2.A {
+		t.Fatal("LPM should prefer /16")
+	}
+	if got := f.Lookup(mustAddr("10.2.2.3")); got[0] != l1.A {
+		t.Fatal("fallback to /8 failed")
+	}
+	if got := f.Lookup(mustAddr("172.16.0.1")); got != nil {
+		t.Fatal("unroutable address should return nil")
+	}
+}
+
+func TestIPIDMonotonic(t *testing.T) {
+	n := NewNetwork(1)
+	r := n.AddNode("r", 1, Router)
+	prev := r.NextIPID()
+	for i := 0; i < 100; i++ {
+		cur := r.NextIPID()
+		if cur <= prev {
+			t.Fatalf("IP-ID not monotonic: %d then %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestLoadProfileShape(t *testing.T) {
+	p := &LoadProfile{Base: 0.3, PeakAmplitude: 0.6, PeakHour: 21, PeakWidthHours: 3, Seed: 5}
+	peak := p.Load(Epoch.Add(21 * time.Hour))
+	trough := p.Load(Epoch.Add(9 * time.Hour))
+	if peak < 0.85 || peak > 0.95 {
+		t.Fatalf("peak load %f, want ~0.9", peak)
+	}
+	if trough > 0.35 {
+		t.Fatalf("trough load %f, want ~0.3", trough)
+	}
+}
+
+func TestLoadProfileEpisode(t *testing.T) {
+	p := &LoadProfile{
+		Base: 0.3, PeakAmplitude: 0.4, PeakHour: 21, PeakWidthHours: 3, Seed: 5,
+		Episodes: []Episode{{Start: Epoch.AddDate(0, 1, 0), End: Epoch.AddDate(0, 2, 0), ExtraPeak: 0.5}},
+	}
+	before := p.Load(Epoch.Add(21 * time.Hour))
+	during := p.Load(Epoch.AddDate(0, 1, 10).Add(21 * time.Hour))
+	after := p.Load(Epoch.AddDate(0, 3, 0).Add(21 * time.Hour))
+	if during < before+0.4 {
+		t.Fatalf("episode not applied: before=%f during=%f", before, during)
+	}
+	if after > before+0.1 {
+		t.Fatalf("episode did not end: before=%f after=%f", before, after)
+	}
+}
+
+func TestQueueDrainsOvernight(t *testing.T) {
+	l := &Link{ID: 1, BufferDelay: 50 * time.Millisecond}
+	l.SetProfile(AtoB, &LoadProfile{Base: 0.5, PeakAmplitude: 0.7, PeakHour: 21, PeakWidthHours: 2, Seed: 3})
+	peakQ := l.QueueDelay(Epoch.Add(22*time.Hour), AtoB)
+	nightQ := l.QueueDelay(Epoch.Add(32*time.Hour), AtoB) // 8am next day
+	if peakQ < 30*time.Millisecond {
+		t.Fatalf("peak queue %v, want >= 30ms", peakQ)
+	}
+	if nightQ > time.Millisecond {
+		t.Fatalf("overnight queue %v, want drained", nightQ)
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler(Epoch)
+	var order []int
+	s.At(Epoch.Add(2*time.Second), func(time.Time) { order = append(order, 2) })
+	s.At(Epoch.Add(1*time.Second), func(time.Time) { order = append(order, 1) })
+	s.At(Epoch.Add(1*time.Second), func(time.Time) { order = append(order, 11) })
+	s.RunUntil(Epoch.Add(time.Minute))
+	if len(order) != 3 || order[0] != 1 || order[1] != 11 || order[2] != 2 {
+		t.Fatalf("bad order %v", order)
+	}
+}
+
+func TestSchedulerEvery(t *testing.T) {
+	s := NewScheduler(Epoch)
+	count := 0
+	cancel := s.Every(Epoch, time.Minute, func(time.Time) {
+		count++
+		if count == 5 {
+			// cancel from inside the callback
+		}
+	})
+	s.RunUntil(Epoch.Add(4*time.Minute + 30*time.Second))
+	if count != 5 {
+		t.Fatalf("expected 5 ticks, got %d", count)
+	}
+	cancel()
+	s.RunUntil(Epoch.Add(time.Hour))
+	if count != 5 {
+		t.Fatalf("ticks after cancel: %d", count)
+	}
+}
+
+func TestAddrAllocator(t *testing.T) {
+	a := NewAddrAllocator(netip.MustParsePrefix("10.5.0.0/16"))
+	x, err := a.Addr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x != mustAddr("10.5.0.1") {
+		t.Fatalf("first addr %v", x)
+	}
+	p, n1, n2, err := a.PointToPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bits() != 30 || !p.Contains(n1) || !p.Contains(n2) || n1 == n2 {
+		t.Fatalf("bad /30: %v %v %v", p, n1, n2)
+	}
+	sub, err := a.Subnet(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Bits() != 24 {
+		t.Fatalf("bad subnet %v", sub)
+	}
+}
+
+func TestAddrAllocatorExhaustion(t *testing.T) {
+	a := NewAddrAllocator(netip.MustParsePrefix("10.0.0.0/30"))
+	if _, err := a.Addr(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Addr(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Addr(); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+}
+
+func TestRNGDeterminismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a, b := NewRNG(seed), NewRNG(seed)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 32; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialBounds(t *testing.T) {
+	r := NewRNG(7)
+	f := func(n uint16, pRaw uint16) bool {
+		nn := int(n%2000) + 1
+		p := float64(pRaw%1000) / 1000
+		k := r.Binomial(nn, p)
+		return k >= 0 && k <= nn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLossProbBounds(t *testing.T) {
+	l := &Link{ID: 2, BufferDelay: 40 * time.Millisecond}
+	l.SetProfile(AtoB, &LoadProfile{Base: 0.6, PeakAmplitude: 0.9, PeakHour: 20, PeakWidthHours: 3, Seed: 4})
+	for h := 0; h < 48; h++ {
+		at := Epoch.Add(time.Duration(h) * time.Hour)
+		p := l.LossProb(at, AtoB)
+		if p < 0 || p > 0.6 {
+			t.Fatalf("loss prob %f at hour %d out of range", p, h)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+)
+
+// NodeKind distinguishes routers (which forward and emit ICMP Time
+// Exceeded) from hosts (which terminate probes and answer echoes).
+type NodeKind int
+
+const (
+	Router NodeKind = iota
+	Host
+)
+
+func (k NodeKind) String() string {
+	if k == Router {
+		return "router"
+	}
+	return "host"
+}
+
+// Node is a router or host in the simulated network.
+type Node struct {
+	ID   int
+	Name string
+	// ASN is the autonomous system the node belongs to (ground truth;
+	// inference code must not read it).
+	ASN  int
+	Kind NodeKind
+
+	Ifaces []*Interface
+	FIB    *FIB
+
+	// SlowPathProb is the probability that an ICMP response is generated
+	// on the router's slow path, adding SlowPathExtra (uniform up to that
+	// maximum) to the response time. These are the latency outliers the
+	// min-filter in the analysis exists to remove.
+	SlowPathProb  float64
+	SlowPathExtra float64 // seconds, maximum extra delay
+
+	// ICMPRateLimit caps generated ICMP responses per second (0 =
+	// unlimited). Some routers aggressively rate-limit, producing the
+	// "suspiciously high loss at all times" artifacts noted in §5.1.
+	ICMPRateLimit int
+
+	// Unresponsive marks a node that never answers probes.
+	Unresponsive bool
+
+	mu sync.Mutex
+	// ipid is a monotonically increasing IP-ID counter shared by all the
+	// node's interfaces; the Ally alias-resolution technique detects
+	// aliases by observing interleaved counter values.
+	ipid uint32
+	// rlSecond/rlCount implement the ICMP rate limiter.
+	rlSecond int64
+	rlCount  int
+}
+
+// Interface is an attachment point of a node to a link.
+type Interface struct {
+	Addr netip.Addr
+	Node *Node
+	Link *Link
+}
+
+// NextIPID atomically returns the node's next IP-ID value, a 16-bit
+// counter that wraps like the real IPv4 identification field. Routers use
+// a single shared counter across interfaces, which is the signal
+// Ally-style alias resolution relies on.
+func (n *Node) NextIPID() uint32 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.ipid += 1 + uint32(n.ID%3) // per-router stride, still monotonic
+	return n.ipid & 0xffff
+}
+
+// allowICMP consults the node's ICMP rate limiter for a response generated
+// at the given absolute time (in whole seconds since the epoch).
+func (n *Node) allowICMP(second int64) bool {
+	if n.ICMPRateLimit <= 0 {
+		return true
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if second != n.rlSecond {
+		n.rlSecond = second
+		n.rlCount = 0
+	}
+	n.rlCount++
+	return n.rlCount <= n.ICMPRateLimit
+}
+
+// HasAddr reports whether any of the node's interfaces carries addr.
+func (n *Node) HasAddr(addr netip.Addr) bool {
+	for _, ifc := range n.Ifaces {
+		if ifc.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
+
+// Addr returns the node's first interface address (its canonical address),
+// or the zero Addr if it has no interfaces.
+func (n *Node) Addr() netip.Addr {
+	if len(n.Ifaces) == 0 {
+		return netip.Addr{}
+	}
+	return n.Ifaces[0].Addr
+}
+
+// FIB is a longest-prefix-match forwarding table. Entries with multiple
+// next-hop interfaces form an ECMP group; the forwarding plane selects a
+// member by hashing the packet's flow identifier, so a constant flow id
+// always takes the same path (the property TSLP's Paris-style probing
+// depends on).
+type FIB struct {
+	byLen map[int]map[netip.Prefix][]*Interface
+	lens  []int // present prefix lengths, descending
+	dflt  []*Interface
+}
+
+// NewFIB returns an empty forwarding table.
+func NewFIB() *FIB {
+	return &FIB{byLen: make(map[int]map[netip.Prefix][]*Interface)}
+}
+
+// Add installs a route for prefix via the given next-hop interfaces.
+// Adding the same prefix again replaces the previous next hops.
+func (f *FIB) Add(prefix netip.Prefix, nexthops ...*Interface) {
+	if len(nexthops) == 0 {
+		return
+	}
+	prefix = prefix.Masked()
+	bits := prefix.Bits()
+	m, ok := f.byLen[bits]
+	if !ok {
+		m = make(map[netip.Prefix][]*Interface)
+		f.byLen[bits] = m
+		f.lens = append(f.lens, bits)
+		sort.Sort(sort.Reverse(sort.IntSlice(f.lens)))
+	}
+	m[prefix] = nexthops
+}
+
+// SetDefault installs a default route used when no prefix matches.
+func (f *FIB) SetDefault(nexthops ...*Interface) { f.dflt = nexthops }
+
+// Lookup returns the ECMP next-hop set for dst (longest prefix match),
+// falling back to the default route; nil means unroutable.
+func (f *FIB) Lookup(dst netip.Addr) []*Interface {
+	for _, bits := range f.lens {
+		p, err := dst.Prefix(bits)
+		if err != nil {
+			continue
+		}
+		if hops, ok := f.byLen[bits][p]; ok {
+			return hops
+		}
+	}
+	return f.dflt
+}
+
+// Routes returns the number of installed prefixes (excluding the default).
+func (f *FIB) Routes() int {
+	n := 0
+	for _, m := range f.byLen {
+		n += len(m)
+	}
+	return n
+}

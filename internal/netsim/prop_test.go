@@ -1,0 +1,143 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestFIBMatchesBruteForce checks longest-prefix-match against a brute-
+// force reference over randomized prefixes and lookups.
+func TestFIBMatchesBruteForce(t *testing.T) {
+	net := NewNetwork(1)
+	a := net.AddNode("a", 1, Router)
+	b := net.AddNode("b", 1, Router)
+	var ifaces []*Interface
+	for i := 0; i < 4; i++ {
+		l, err := net.AddLink(a, u32ToAddr(0xC0000001+uint32(i*4)), b, u32ToAddr(0xC0000002+uint32(i*4)), DefaultLinkParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ifaces = append(ifaces, l.A)
+	}
+
+	type entry struct {
+		p  netip.Prefix
+		nh *Interface
+	}
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		fib := NewFIB()
+		var entries []entry
+		for i := 0; i < 20; i++ {
+			bits := 8 + rng.Intn(25)
+			addr := u32ToAddr(uint32(rng.Uint64()) | 0x0a000000&0xff000000)
+			p, err := addr.Prefix(bits)
+			if err != nil {
+				continue
+			}
+			nh := ifaces[rng.Intn(len(ifaces))]
+			fib.Add(p, nh)
+			// Later Add with the same masked prefix replaces earlier.
+			kept := entries[:0]
+			for _, e := range entries {
+				if e.p != p.Masked() {
+					kept = append(kept, e)
+				}
+			}
+			entries = append(kept, entry{p.Masked(), nh})
+		}
+		for i := 0; i < 50; i++ {
+			dst := u32ToAddr(uint32(rng.Uint64()))
+			got := fib.Lookup(dst)
+			// Brute force: longest matching prefix wins.
+			var want *Interface
+			bestBits := -1
+			for _, e := range entries {
+				if e.p.Contains(dst) && e.p.Bits() > bestBits {
+					bestBits = e.p.Bits()
+					want = e.nh
+				}
+			}
+			switch {
+			case want == nil && got != nil:
+				return false
+			case want != nil && (len(got) != 1 || got[0] != want):
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueOccupancyBounds: the fluid queue never exceeds the buffer and
+// never goes negative, at any time, for arbitrary profiles.
+func TestQueueOccupancyBounds(t *testing.T) {
+	f := func(seed uint64, baseRaw, ampRaw uint16) bool {
+		l := &Link{ID: int(seed % 1024), BufferDelay: 50 * time.Millisecond}
+		l.SetProfile(AtoB, &LoadProfile{
+			Base:           float64(baseRaw%100) / 100,
+			PeakAmplitude:  float64(ampRaw%120) / 100,
+			PeakHour:       float64(seed % 24),
+			PeakWidthHours: 1 + float64(seed%5),
+			NoiseAmplitude: 0.05,
+			Seed:           seed,
+		})
+		for h := 0; h < 48; h++ {
+			q := l.QueueDelay(Epoch.Add(time.Duration(h)*time.Hour), AtoB)
+			if q < 0 || q > 50*time.Millisecond {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadProfileContinuity: the offered load is a smooth function of
+// time — adjacent minutes never differ by more than a small step, so the
+// fluid integration cannot alias.
+func TestLoadProfileContinuity(t *testing.T) {
+	p := &LoadProfile{
+		Base: 0.4, PeakAmplitude: 0.6, PeakHour: 21, PeakWidthHours: 2,
+		NoiseAmplitude: 0.05, Seed: 9,
+		Episodes: []Episode{{Start: Epoch.Add(10 * time.Hour), End: Epoch.Add(30 * time.Hour), ExtraPeak: 0.3}},
+	}
+	prev := p.Load(Epoch)
+	for m := 1; m < 48*60; m++ {
+		cur := p.Load(Epoch.Add(time.Duration(m) * time.Minute))
+		d := cur - prev
+		if d < 0 {
+			d = -d
+		}
+		// Worst step: diurnal slope + full noise swing within a minute.
+		if d > 0.15 {
+			t.Fatalf("load jumped %.3f at minute %d", d, m)
+		}
+		prev = cur
+	}
+}
+
+// TestProbeNeverNegativeRTT: any answered probe reports a positive RTT
+// larger than the forward propagation.
+func TestProbeNeverNegativeRTT(t *testing.T) {
+	n, h1, _, _, _, mid := buildChain(t, 7)
+	mid.SetProfile(BtoA, &LoadProfile{Base: 0.5, PeakAmplitude: 0.7, PeakHour: 12, PeakWidthHours: 3, Seed: 4})
+	f := func(hourRaw uint16, flow uint16) bool {
+		at := Epoch.Add(time.Duration(hourRaw%72) * time.Hour)
+		r := n.Ping(h1, mustAddr("10.0.2.2"), flow, at)
+		if r.Lost() {
+			return true
+		}
+		return r.RTT >= 12*time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

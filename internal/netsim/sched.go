@@ -1,0 +1,101 @@
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Scheduler is a discrete-event scheduler over virtual time. The
+// measurement system uses it to drive periodic tasks — TSLP rounds every
+// five minutes, loss probes every second, bdrmap cycles every one to three
+// days — without any relationship to the wall clock.
+type Scheduler struct {
+	now    time.Time
+	events eventHeap
+	seq    int
+}
+
+// NewScheduler returns a scheduler whose clock starts at start.
+func NewScheduler(start time.Time) *Scheduler {
+	return &Scheduler{now: start}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.now }
+
+// At schedules fn to run at the given virtual time. Times in the past run
+// at the current time. Events at the same instant run in scheduling order.
+func (s *Scheduler) At(t time.Time, fn func(time.Time)) {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// Every schedules fn to run at start and then every interval, until the
+// returned cancel function is called.
+func (s *Scheduler) Every(start time.Time, interval time.Duration, fn func(time.Time)) (cancel func()) {
+	stopped := false
+	var tick func(time.Time)
+	tick = func(t time.Time) {
+		if stopped {
+			return
+		}
+		fn(t)
+		if !stopped {
+			s.At(t.Add(interval), tick)
+		}
+	}
+	s.At(start, tick)
+	return func() { stopped = true }
+}
+
+// RunUntil executes events in time order until the queue is empty or the
+// next event is after deadline. It returns the number of events executed.
+func (s *Scheduler) RunUntil(deadline time.Time) int {
+	n := 0
+	for len(s.events) > 0 {
+		next := s.events[0]
+		if next.at.After(deadline) {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = next.at
+		next.fn(next.at)
+		n++
+	}
+	if s.now.Before(deadline) {
+		s.now = deadline
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (s *Scheduler) Pending() int { return len(s.events) }
+
+type event struct {
+	at  time.Time
+	seq int
+	fn  func(time.Time)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,322 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// ICMPType enumerates the reply kinds a probe can elicit.
+type ICMPType int
+
+const (
+	// NoReply means the probe or its response was lost.
+	NoReply ICMPType = iota
+	// EchoReply is returned by the destination host.
+	EchoReply
+	// TimeExceeded is returned by the router where the probe's TTL
+	// expired, sourced from the interface the probe arrived on.
+	TimeExceeded
+)
+
+func (t ICMPType) String() string {
+	switch t {
+	case EchoReply:
+		return "echo-reply"
+	case TimeExceeded:
+		return "time-exceeded"
+	default:
+		return "no-reply"
+	}
+}
+
+// ProbeResult describes the outcome of a single TTL-limited ICMP probe.
+type ProbeResult struct {
+	Sent    time.Time
+	Type    ICMPType
+	From    netip.Addr // responder address (zero when lost)
+	RTT     time.Duration
+	IPID    uint32 // IP-ID of the response, used by alias resolution
+	FwdHops int    // hops traversed on the forward path
+}
+
+// Lost reports whether no response arrived.
+func (r ProbeResult) Lost() bool { return r.Type == NoReply }
+
+// Network is the simulated internetwork: the set of nodes and links plus
+// the indexes needed to route and answer probes.
+type Network struct {
+	Seed  uint64
+	Nodes []*Node
+	Links []*Link
+
+	byAddr map[netip.Addr]*Interface
+	nextID int
+}
+
+// NewNetwork returns an empty network with the given determinism seed.
+func NewNetwork(seed uint64) *Network {
+	return &Network{Seed: seed, byAddr: make(map[netip.Addr]*Interface)}
+}
+
+// AddNode creates a node and registers it with the network. Each node's
+// IP-ID counter starts at a pseudo-random offset so that independent
+// routers rarely look interleaved to Ally-style alias resolution.
+func (n *Network) AddNode(name string, asn int, kind NodeKind) *Node {
+	node := &Node{ID: n.nextID, Name: name, ASN: asn, Kind: kind, FIB: NewFIB()}
+	node.ipid = uint32(Hash64(n.Seed, uint64(n.nextID), 0x1b1d) % 60000)
+	n.nextID++
+	n.Nodes = append(n.Nodes, node)
+	return node
+}
+
+// LinkParams collects the physical characteristics of a new link.
+type LinkParams struct {
+	CapacityMbps float64
+	PropDelay    time.Duration
+	BufferDelay  time.Duration
+}
+
+// DefaultLinkParams returns typical values for an interdomain link: 10G
+// capacity, 1 ms propagation, 50 ms of buffering.
+func DefaultLinkParams() LinkParams {
+	return LinkParams{CapacityMbps: 10000, PropDelay: time.Millisecond, BufferDelay: 50 * time.Millisecond}
+}
+
+// AddLink connects nodes a and b with a new link whose endpoints carry the
+// given addresses. It returns an error if either address is already in use.
+func (n *Network) AddLink(a *Node, aAddr netip.Addr, b *Node, bAddr netip.Addr, p LinkParams) (*Link, error) {
+	if _, dup := n.byAddr[aAddr]; dup {
+		return nil, fmt.Errorf("netsim: address %v already assigned", aAddr)
+	}
+	if _, dup := n.byAddr[bAddr]; dup {
+		return nil, fmt.Errorf("netsim: address %v already assigned", bAddr)
+	}
+	l := &Link{
+		ID:           len(n.Links),
+		CapacityMbps: p.CapacityMbps,
+		PropDelay:    p.PropDelay,
+		BufferDelay:  p.BufferDelay,
+	}
+	ia := &Interface{Addr: aAddr, Node: a, Link: l}
+	ib := &Interface{Addr: bAddr, Node: b, Link: l}
+	l.A, l.B = ia, ib
+	a.Ifaces = append(a.Ifaces, ia)
+	b.Ifaces = append(b.Ifaces, ib)
+	n.byAddr[aAddr] = ia
+	n.byAddr[bAddr] = ib
+	n.Links = append(n.Links, l)
+	return l, nil
+}
+
+// String summarizes the network for logs.
+func (n *Network) String() string {
+	return fmt.Sprintf("network{nodes=%d links=%d}", len(n.Nodes), len(n.Links))
+}
+
+// InterfaceByAddr returns the interface carrying addr, or nil.
+func (n *Network) InterfaceByAddr(addr netip.Addr) *Interface { return n.byAddr[addr] }
+
+// NodeByAddr returns the node owning addr, or nil.
+func (n *Network) NodeByAddr(addr netip.Addr) *Node {
+	if ifc := n.byAddr[addr]; ifc != nil {
+		return ifc.Node
+	}
+	return nil
+}
+
+// maxHops bounds forwarding walks; anything longer is treated as a loop.
+const maxHops = 64
+
+// hop-level processing jitter added per traversed router.
+const perHopJitterMean = 50e-6 // 50us
+
+// icmpGenBase is the fast-path ICMP generation time.
+const icmpGenBase = 100e-6 // 100us
+
+// Probe injects a single TTL-limited ICMP echo request from the first
+// interface of src toward dst at virtual time at, with the given TTL and
+// Paris-style flow identifier (the ICMP checksum in the real system), and
+// returns the outcome. The walk samples each traversed link's fluid queue,
+// so the result reflects the congestion state of the path at that moment.
+func (n *Network) Probe(src *Node, dst netip.Addr, ttl int, flowID uint16, at time.Time) ProbeResult {
+	res := ProbeResult{Sent: at}
+	if len(src.Ifaces) == 0 {
+		return res
+	}
+	srcAddr := src.Ifaces[0].Addr
+	rng := NewRNG(Hash64(n.Seed, uint64(src.ID), addrSeed(dst), uint64(ttl), uint64(flowID), uint64(at.UnixNano())))
+
+	// Forward path.
+	t := at
+	cur := src
+	var incoming *Interface
+	hops := 0
+	var responder *Node
+	var respAddr netip.Addr
+	var respType ICMPType
+
+	for {
+		if cur.HasAddr(dst) {
+			// Reached the destination node.
+			if cur.Unresponsive {
+				return res
+			}
+			responder, respAddr, respType = cur, dst, EchoReply
+			break
+		}
+		if ttl <= 1 && cur != src {
+			// TTL expired at this router.
+			if cur.Unresponsive {
+				return res
+			}
+			responder, respType = cur, TimeExceeded
+			if incoming != nil {
+				respAddr = incoming.Addr
+			} else {
+				respAddr = cur.Addr()
+			}
+			break
+		}
+		if cur != src {
+			ttl--
+		}
+		next, out, ok := n.forward(cur, dst, flowID)
+		if !ok {
+			return res // unroutable: silently dropped
+		}
+		link := out.Link
+		dir := link.DirectionFrom(out)
+		if rng.Bernoulli(link.LossProb(t, dir)) {
+			return res
+		}
+		t = t.Add(link.PropDelay).
+			Add(link.QueueDelay(t, dir)).
+			Add(time.Duration(rng.Exp(perHopJitterMean) * float64(time.Second)))
+		incoming = link.Other(out)
+		cur = next
+		hops++
+		if hops > maxHops {
+			return res
+		}
+	}
+	res.FwdHops = hops
+
+	// Response generation at the responder.
+	if !responder.allowICMP(t.Unix()) {
+		return res
+	}
+	gen := icmpGenBase
+	if responder.SlowPathProb > 0 && rng.Bernoulli(responder.SlowPathProb) {
+		gen += rng.Float64() * responder.SlowPathExtra
+	}
+	t = t.Add(time.Duration(gen * float64(time.Second)))
+	ipid := responder.NextIPID()
+
+	// Reverse path: the response routes back toward the probe's source
+	// address using each router's own FIB, so path asymmetry (§7) emerges
+	// naturally from the routing configuration.
+	cur = responder
+	hops = 0
+	for !cur.HasAddr(srcAddr) {
+		next, out, ok := n.forward(cur, srcAddr, flowID^0x5bd1)
+		if !ok {
+			return res
+		}
+		link := out.Link
+		dir := link.DirectionFrom(out)
+		if rng.Bernoulli(link.LossProb(t, dir)) {
+			return res
+		}
+		t = t.Add(link.PropDelay).
+			Add(link.QueueDelay(t, dir)).
+			Add(time.Duration(rng.Exp(perHopJitterMean) * float64(time.Second)))
+		cur = next
+		hops++
+		if hops > maxHops {
+			return res
+		}
+	}
+
+	res.Type = respType
+	res.From = respAddr
+	res.RTT = t.Sub(at)
+	res.IPID = ipid
+	return res
+}
+
+// Ping is a convenience wrapper sending a large-TTL probe expected to reach
+// dst itself.
+func (n *Network) Ping(src *Node, dst netip.Addr, flowID uint16, at time.Time) ProbeResult {
+	return n.Probe(src, dst, maxHops, flowID, at)
+}
+
+// forward resolves the next hop for dst at node cur, selecting among ECMP
+// candidates by flow hash. It returns the neighbor node and the egress
+// interface on cur through which the packet leaves.
+func (n *Network) forward(cur *Node, dst netip.Addr, flowID uint16) (*Node, *Interface, bool) {
+	hops := cur.FIB.Lookup(dst)
+	if len(hops) == 0 {
+		return nil, nil, false
+	}
+	var out *Interface
+	if len(hops) == 1 {
+		out = hops[0]
+	} else {
+		idx := int(Hash64(uint64(flowID), uint64(cur.ID)) % uint64(len(hops)))
+		out = hops[idx]
+	}
+	return out.Link.Other(out).Node, out, true
+}
+
+// TraversedLink is one link crossed by a forwarding walk, with the
+// direction of travel.
+type TraversedLink struct {
+	Link *Link
+	Dir  Direction
+}
+
+// PathLinks returns the sequence of links a packet with the given flow id
+// crosses from src to dst, with directions. ok is false if dst is
+// unreachable.
+func (n *Network) PathLinks(src *Node, dst netip.Addr, flowID uint16) ([]TraversedLink, bool) {
+	var out []TraversedLink
+	cur := src
+	for hops := 0; hops < maxHops; hops++ {
+		if cur.HasAddr(dst) {
+			return out, true
+		}
+		next, egress, ok := n.forward(cur, dst, flowID)
+		if !ok {
+			return out, false
+		}
+		out = append(out, TraversedLink{Link: egress.Link, Dir: egress.Link.DirectionFrom(egress)})
+		cur = next
+	}
+	return out, false
+}
+
+// PathTo returns the forward path (sequence of nodes) a packet with the
+// given flow id would take from src to dst, without simulating timing.
+// Useful for tests and ground-truth checks.
+func (n *Network) PathTo(src *Node, dst netip.Addr, flowID uint16) ([]*Node, bool) {
+	path := []*Node{src}
+	cur := src
+	for hops := 0; hops < maxHops; hops++ {
+		if cur.HasAddr(dst) {
+			return path, true
+		}
+		next, _, ok := n.forward(cur, dst, flowID)
+		if !ok {
+			return path, false
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path, false
+}
+
+func addrSeed(a netip.Addr) uint64 {
+	b := a.As4()
+	return uint64(b[0])<<24 | uint64(b[1])<<16 | uint64(b[2])<<8 | uint64(b[3])
+}

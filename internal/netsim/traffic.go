@@ -1,0 +1,172 @@
+package netsim
+
+import (
+	"math"
+	"time"
+)
+
+// Episode is a period during which a link direction carries additional
+// offered load, on top of its base profile. The longitudinal scenario
+// (§6 of the paper) is expressed as episodes: a peering dispute appears as
+// months of extra peak-hour load that later dissipates when capacity is
+// added or traffic is re-engineered.
+type Episode struct {
+	Start time.Time
+	End   time.Time
+	// ExtraPeak is added to the diurnal peak amplitude while the episode
+	// is active (fraction of link capacity, e.g. 0.3 = 30 points of
+	// utilization at peak hour).
+	ExtraPeak float64
+}
+
+// Active reports whether the episode covers time t.
+func (e Episode) Active(t time.Time) bool {
+	return !t.Before(e.Start) && t.Before(e.End)
+}
+
+// LoadProfile describes the offered background load on one direction of a
+// link as a fraction of capacity. The shape is a base load plus a diurnal
+// raised-Gaussian peak centered on PeakHour local time, modulated on
+// weekends, plus smooth noise and optional episodes.
+type LoadProfile struct {
+	// Base is the off-peak utilization fraction (e.g. 0.35).
+	Base float64
+	// PeakAmplitude is added at the top of the diurnal peak (e.g. 0.4
+	// puts the peak at Base+0.4).
+	PeakAmplitude float64
+	// PeakHour is the local hour of day (0-24) of the diurnal maximum.
+	// The FCC's Measuring Broadband America defines peak as 7pm-11pm
+	// local; profiles here default to ~21.0.
+	PeakHour float64
+	// PeakWidthHours is the standard deviation of the Gaussian peak.
+	PeakWidthHours float64
+	// WeekendFactor scales the peak amplitude on Saturdays and Sundays
+	// (1.0 = same as weekdays, which is what the paper observed; Fig 9).
+	WeekendFactor float64
+	// NoiseAmplitude is the magnitude of smooth per-5-minute noise.
+	NoiseAmplitude float64
+	// GrowthPerYear linearly scales (Base+peak) over time, modeling
+	// organic traffic growth.
+	GrowthPerYear float64
+	// TZOffsetHours shifts the diurnal pattern to the link's metro time
+	// zone (e.g. -5 for US Eastern, -8 for US Pacific).
+	TZOffsetHours float64
+	// Episodes lists extra-load periods (may be empty, need not be
+	// sorted).
+	Episodes []Episode
+	// Seed decorrelates the noise of different profiles.
+	Seed uint64
+}
+
+// noiseBin is the width of one noise sample; noise is linearly
+// interpolated between bins so the load curve stays smooth.
+const noiseBin = 5 * time.Minute
+
+// Load returns the offered load (fraction of capacity, >= 0, may exceed 1
+// when the link is under-provisioned) at time t.
+func (p *LoadProfile) Load(t time.Time) float64 {
+	if p == nil {
+		return 0
+	}
+	local := t.Add(time.Duration(p.TZOffsetHours * float64(time.Hour)))
+	h := float64(local.Hour()) + float64(local.Minute())/60 + float64(local.Second())/3600
+
+	// Distance from the peak hour on the 24h circle.
+	d := math.Abs(h - p.PeakHour)
+	if d > 12 {
+		d = 24 - d
+	}
+	w := p.PeakWidthHours
+	if w <= 0 {
+		w = 3
+	}
+	shape := math.Exp(-d * d / (2 * w * w))
+
+	amp := p.PeakAmplitude
+	switch local.Weekday() {
+	case time.Saturday, time.Sunday:
+		if p.WeekendFactor > 0 {
+			amp *= p.WeekendFactor
+		}
+	}
+
+	for _, ep := range p.Episodes {
+		if ep.Active(t) {
+			amp += ep.ExtraPeak
+		}
+	}
+
+	load := p.Base + amp*shape
+
+	if p.GrowthPerYear != 0 {
+		years := t.Sub(Epoch).Hours() / (24 * 365)
+		load *= 1 + p.GrowthPerYear*years
+	}
+
+	load += p.noise(t)
+	if load < 0 {
+		load = 0
+	}
+	return load
+}
+
+// noise returns a smooth, deterministic pseudo-random perturbation,
+// linearly interpolated between 5-minute bins so random access at any t
+// yields a continuous curve.
+func (p *LoadProfile) noise(t time.Time) float64 {
+	if p.NoiseAmplitude == 0 {
+		return 0
+	}
+	d := t.Sub(Epoch)
+	bin := int64(d / noiseBin)
+	frac := float64(d%noiseBin) / float64(noiseBin)
+	n0 := p.noiseAt(bin)
+	n1 := p.noiseAt(bin + 1)
+	return (n0*(1-frac) + n1*frac) * p.NoiseAmplitude
+}
+
+func (p *LoadProfile) noiseAt(bin int64) float64 {
+	r := NewRNG(Hash64(p.Seed, uint64(bin)))
+	return 2*r.Float64() - 1
+}
+
+// maxPossibleLoad bounds the load the profile can reach at or before time
+// t: base plus full peak amplitude plus every episode overlapping the
+// profile's life up to t, plus noise, scaled by growth. It exists so the
+// fluid integrator can skip days that cannot saturate.
+func (p *LoadProfile) maxPossibleLoad(t time.Time) float64 {
+	if p == nil {
+		return 0
+	}
+	amp := p.PeakAmplitude
+	if p.WeekendFactor > 1 {
+		amp *= p.WeekendFactor
+	}
+	extra := 0.0
+	horizon := t.Add(-36 * time.Hour) // covers the integration warmup
+	for _, ep := range p.Episodes {
+		if ep.Start.Before(t) && ep.End.After(horizon) && ep.ExtraPeak > extra {
+			extra = ep.ExtraPeak
+		}
+	}
+	load := p.Base + amp + extra + p.NoiseAmplitude
+	if p.GrowthPerYear > 0 {
+		years := t.Sub(Epoch).Hours() / (24 * 365)
+		load *= 1 + p.GrowthPerYear*years
+	}
+	return load
+}
+
+// PeakLoad returns the load at the top of the diurnal peak on day t
+// (ignoring noise), a convenience for scenario construction and tests.
+func (p *LoadProfile) PeakLoad(t time.Time) float64 {
+	local := t.Add(time.Duration(p.TZOffsetHours * float64(time.Hour)))
+	y, m, d := local.Date()
+	peak := time.Date(y, m, d, int(p.PeakHour), int(60*(p.PeakHour-math.Trunc(p.PeakHour))), 0, 0, time.UTC)
+	peakUTC := peak.Add(-time.Duration(p.TZOffsetHours * float64(time.Hour)))
+	save := p.NoiseAmplitude
+	p2 := *p
+	p2.NoiseAmplitude = 0
+	_ = save
+	return p2.Load(peakUTC)
+}

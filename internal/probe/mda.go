@@ -1,0 +1,101 @@
+package probe
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"interdomain/internal/netsim"
+)
+
+// MDA implements a simplified Multipath Detection Algorithm (Paris
+// traceroute MDA): at each TTL it probes with many flow identifiers to
+// enumerate the interfaces reachable under per-flow load balancing. The
+// deployed system needs this to discover *all* parallel links of an
+// interconnect — a single stable flow id only ever sees the ECMP member it
+// hashes onto.
+type MDA struct {
+	Dst netip.Addr
+	// Hops[ttl] lists the distinct responding interfaces at that TTL.
+	Hops map[int][]MDAHop
+	// MaxTTL is the deepest TTL probed.
+	MaxTTL int
+}
+
+// MDAHop is one interface discovered at a TTL, with an exemplar flow id
+// that reaches it (the id TSLP must pin to probe through it).
+type MDAHop struct {
+	Addr   netip.Addr
+	FlowID uint16
+	RTT    time.Duration
+}
+
+// mdaFlows is how many flow identifiers are tried per TTL. With up to 4
+// parallel links, 16 flows find all members with probability > 99%.
+const mdaFlows = 16
+
+// MDATraceroute enumerates per-TTL interface sets toward dst.
+func (e *Engine) MDATraceroute(dst netip.Addr, at time.Time, baseFlow uint16) *MDA {
+	out := &MDA{Dst: dst, Hops: make(map[int][]MDAHop)}
+	t := at
+	silent := 0
+	for ttl := 1; ttl <= MaxTTL; ttl++ {
+		seen := map[netip.Addr]MDAHop{}
+		reached := false
+		for f := 0; f < mdaFlows; f++ {
+			flow := baseFlow + uint16(f)*257
+			t = e.paced(t)
+			res := e.Net.Probe(e.VP, dst, ttl, flow, t)
+			e.ProbesSent++
+			t = t.Add(10 * time.Millisecond)
+			if res.Lost() {
+				continue
+			}
+			if res.Type == netsim.EchoReply {
+				reached = true
+				continue
+			}
+			if _, ok := seen[res.From]; !ok {
+				seen[res.From] = MDAHop{Addr: res.From, FlowID: flow, RTT: res.RTT}
+			}
+		}
+		if len(seen) == 0 {
+			if reached {
+				out.MaxTTL = ttl
+				break
+			}
+			silent++
+			if silent >= gapLimit {
+				break
+			}
+			continue
+		}
+		silent = 0
+		hops := make([]MDAHop, 0, len(seen))
+		for _, h := range seen {
+			hops = append(hops, h)
+		}
+		sort.Slice(hops, func(i, j int) bool { return hops[i].Addr.Less(hops[j].Addr) })
+		out.Hops[ttl] = hops
+		out.MaxTTL = ttl
+		if reached {
+			break
+		}
+	}
+	return out
+}
+
+// At returns the interfaces discovered at a TTL.
+func (m *MDA) At(ttl int) []MDAHop { return m.Hops[ttl] }
+
+// Width returns the maximum number of parallel interfaces seen at any TTL
+// (a lower bound on the path's ECMP width).
+func (m *MDA) Width() int {
+	w := 0
+	for _, hops := range m.Hops {
+		if len(hops) > w {
+			w = len(hops)
+		}
+	}
+	return w
+}

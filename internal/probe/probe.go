@@ -1,0 +1,168 @@
+// Package probe implements the active probing engine the measurement
+// modules share: Paris-style traceroute and ping over the simulated
+// network, with per-vantage-point rate budgets. It plays the role scamper
+// plays in the deployed system.
+package probe
+
+import (
+	"net/netip"
+	"time"
+
+	"interdomain/internal/netsim"
+)
+
+// MaxTTL bounds traceroute depth.
+const MaxTTL = 32
+
+// interProbeGap is the pacing between consecutive probes of one
+// traceroute.
+const interProbeGap = 20 * time.Millisecond
+
+// Engine issues probes from one vantage point.
+type Engine struct {
+	Net *netsim.Network
+	VP  *netsim.Node
+	// Budget, when non-nil, accounts every probe against a packets-per-
+	// second budget; probes beyond the budget are delayed to the next
+	// second (matching how the deployed VPs cap themselves at 100 pps for
+	// topology probing and TSLP).
+	Budget *RateBudget
+
+	// ProbesSent counts all probes issued, for reporting.
+	ProbesSent int
+}
+
+// NewEngine returns an engine probing from vp.
+func NewEngine(net *netsim.Network, vp *netsim.Node) *Engine {
+	return &Engine{Net: net, VP: vp}
+}
+
+// Hop is one traceroute hop.
+type Hop struct {
+	TTL  int
+	Addr netip.Addr // zero when no reply
+	RTT  time.Duration
+	Type netsim.ICMPType
+}
+
+// Responded reports whether the hop elicited any reply.
+func (h Hop) Responded() bool { return h.Type != netsim.NoReply }
+
+// Traceroute is the result of one Paris traceroute.
+type Traceroute struct {
+	Dst     netip.Addr
+	FlowID  uint16
+	Started time.Time
+	Hops    []Hop
+	// Reached reports whether the destination itself replied.
+	Reached bool
+}
+
+// ResponsiveHops returns the hops that replied.
+func (t *Traceroute) ResponsiveHops() []Hop {
+	out := make([]Hop, 0, len(t.Hops))
+	for _, h := range t.Hops {
+		if h.Responded() {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// gapLimit stops a traceroute after this many consecutive silent hops.
+const gapLimit = 3
+
+// attemptsPerHop retries silent hops this many times.
+const attemptsPerHop = 2
+
+// Traceroute performs a Paris traceroute toward dst holding flowID
+// constant, starting at virtual time at. It stops on reaching dst, on
+// gapLimit consecutive unresponsive hops, or at MaxTTL.
+func (e *Engine) Traceroute(dst netip.Addr, flowID uint16, at time.Time) *Traceroute {
+	tr := &Traceroute{Dst: dst, FlowID: flowID, Started: at}
+	t := at
+	silent := 0
+	for ttl := 1; ttl <= MaxTTL; ttl++ {
+		var res netsim.ProbeResult
+		for attempt := 0; attempt < attemptsPerHop; attempt++ {
+			t = e.paced(t)
+			res = e.Net.Probe(e.VP, dst, ttl, flowID, t)
+			e.ProbesSent++
+			t = t.Add(interProbeGap)
+			if !res.Lost() {
+				break
+			}
+		}
+		hop := Hop{TTL: ttl, Type: res.Type}
+		if !res.Lost() {
+			hop.Addr = res.From
+			hop.RTT = res.RTT
+			silent = 0
+		} else {
+			silent++
+		}
+		tr.Hops = append(tr.Hops, hop)
+		if res.Type == netsim.EchoReply {
+			tr.Reached = true
+			break
+		}
+		if silent >= gapLimit {
+			break
+		}
+	}
+	return tr
+}
+
+// Probe sends one TTL-limited probe.
+func (e *Engine) Probe(dst netip.Addr, ttl int, flowID uint16, at time.Time) netsim.ProbeResult {
+	at = e.paced(at)
+	e.ProbesSent++
+	return e.Net.Probe(e.VP, dst, ttl, flowID, at)
+}
+
+// Ping sends one echo request expected to reach dst.
+func (e *Engine) Ping(dst netip.Addr, flowID uint16, at time.Time) netsim.ProbeResult {
+	at = e.paced(at)
+	e.ProbesSent++
+	return e.Net.Ping(e.VP, dst, flowID, at)
+}
+
+func (e *Engine) paced(at time.Time) time.Time {
+	if e.Budget == nil {
+		return at
+	}
+	return e.Budget.Admit(at)
+}
+
+// RateBudget is a per-second probe budget. Admit returns the time the
+// probe may actually be sent: within the same second while the budget
+// lasts, pushed into subsequent seconds otherwise.
+type RateBudget struct {
+	PerSecond int
+
+	second int64
+	used   int
+}
+
+// NewRateBudget returns a budget of n probes per second.
+func NewRateBudget(n int) *RateBudget { return &RateBudget{PerSecond: n} }
+
+// Admit accounts one probe at time at and returns the (possibly delayed)
+// send time.
+func (b *RateBudget) Admit(at time.Time) time.Time {
+	if b.PerSecond <= 0 {
+		return at
+	}
+	sec := at.Unix()
+	if sec > b.second {
+		b.second = sec
+		b.used = 0
+	}
+	for b.used >= b.PerSecond {
+		b.second++
+		b.used = 0
+		at = time.Unix(b.second, 0).UTC()
+	}
+	b.used++
+	return at
+}

@@ -1,0 +1,147 @@
+package probe_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+	"interdomain/internal/testnet"
+)
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestTracerouteReachesContent(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 2})
+	e := probe.NewEngine(n.In.Net, n.VP)
+	dst := n.In.ASes[testnet.ContentASN].Hosts[0].Ifaces[0].Addr
+	tr := e.Traceroute(dst, 7, netsim.Epoch.Add(12*time.Hour))
+	if !tr.Reached {
+		t.Fatalf("traceroute did not reach %v; hops=%v", dst, tr.Hops)
+	}
+	last := tr.Hops[len(tr.Hops)-1]
+	if last.Addr != dst || last.Type != netsim.EchoReply {
+		t.Fatalf("last hop %+v, want echo from %v", last, dst)
+	}
+	// RTTs should be non-decreasing in the large (allow jitter slack).
+	prev := time.Duration(0)
+	for _, h := range tr.ResponsiveHops() {
+		if h.RTT < prev-5*time.Millisecond {
+			t.Fatalf("hop %d RTT %v way below previous %v", h.TTL, h.RTT, prev)
+		}
+		if h.RTT > prev {
+			prev = h.RTT
+		}
+	}
+}
+
+func TestTracerouteParisStability(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 2, ParallelNYC: 3})
+	e := probe.NewEngine(n.In.Net, n.VP)
+	dst := n.In.ASes[testnet.TransitASN].Hosts[0].Ifaces[0].Addr
+	at := netsim.Epoch.Add(12 * time.Hour)
+	a := e.Traceroute(dst, 99, at)
+	b := e.Traceroute(dst, 99, at.Add(time.Hour))
+	if len(a.Hops) != len(b.Hops) {
+		t.Fatalf("same flow id, different hop counts: %d vs %d", len(a.Hops), len(b.Hops))
+	}
+	for i := range a.Hops {
+		if a.Hops[i].Addr != b.Hops[i].Addr {
+			t.Fatalf("hop %d changed: %v vs %v", i+1, a.Hops[i].Addr, b.Hops[i].Addr)
+		}
+	}
+}
+
+func TestTracerouteStopsAfterGap(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 2})
+	e := probe.NewEngine(n.In.Net, n.VP)
+	// Unrouted destination inside a bogon range: nothing past the VP
+	// default can deliver it, so the trace must terminate by gap limit.
+	dst := mustAddr("203.0.113.5")
+	tr := e.Traceroute(dst, 7, netsim.Epoch.Add(12*time.Hour))
+	if tr.Reached {
+		t.Fatal("reached a bogon destination")
+	}
+	if len(tr.Hops) >= probe.MaxTTL {
+		t.Fatalf("trace ran to MaxTTL (%d hops), gap limit broken", len(tr.Hops))
+	}
+}
+
+func TestProbePingAndBudgetedPacing(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 3})
+	e := probe.NewEngine(n.In.Net, n.VP)
+	e.Budget = probe.NewRateBudget(100)
+	dst := n.In.ASes[testnet.ContentASN].Hosts[0].Ifaces[0].Addr
+	at := netsim.Epoch.Add(9 * time.Hour)
+
+	ping := e.Ping(dst, 7, at)
+	if ping.Lost() || ping.Type != netsim.EchoReply {
+		t.Fatalf("ping failed: %+v", ping)
+	}
+	hop := e.Probe(dst, 2, 7, at)
+	if hop.Lost() || hop.Type != netsim.TimeExceeded {
+		t.Fatalf("ttl probe failed: %+v", hop)
+	}
+	if e.ProbesSent != 2 {
+		t.Fatalf("probes sent %d", e.ProbesSent)
+	}
+	// Saturate the budget: the engine still answers, just paced into
+	// later seconds.
+	ok := 0
+	for i := 0; i < 250; i++ {
+		if !e.Ping(dst, uint16(i), at).Lost() {
+			ok++
+		}
+	}
+	if ok < 240 {
+		t.Fatalf("budgeted probes lost: %d/250 answered", ok)
+	}
+}
+
+func TestMDAWidthOneOnSinglePath(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 3})
+	e := probe.NewEngine(n.In.Net, n.VP)
+	dst := n.In.ASes[testnet.ContentASN].Hosts[0].Ifaces[0].Addr
+	mda := e.MDATraceroute(dst, netsim.Epoch.Add(9*time.Hour), 0x2000)
+	if mda.Width() != 1 {
+		t.Fatalf("single-path MDA width %d, want 1", mda.Width())
+	}
+	if mda.MaxTTL == 0 || len(mda.At(1)) != 1 {
+		t.Fatalf("MDA hops malformed: maxTTL=%d", mda.MaxTTL)
+	}
+	// Unroutable destination: only the hops before the routing hole
+	// answer, and the walk stops at the gap limit.
+	none := e.MDATraceroute(mustAddr("203.0.113.77"), netsim.Epoch.Add(9*time.Hour), 0x2000)
+	if none.Width() > 1 {
+		t.Fatalf("bogon MDA width %d", none.Width())
+	}
+	if none.MaxTTL > 8 {
+		t.Fatalf("bogon MDA ran to TTL %d; gap limit broken", none.MaxTTL)
+	}
+}
+
+func TestRateBudget(t *testing.T) {
+	b := probe.NewRateBudget(3)
+	at := netsim.Epoch
+	var last time.Time
+	for i := 0; i < 7; i++ {
+		last = b.Admit(at)
+	}
+	// 7 probes at 3 pps: the last lands in the 3rd second.
+	if got := last.Sub(at); got < 2*time.Second || got >= 3*time.Second {
+		t.Fatalf("7th probe admitted %v after start, want in [2s,3s)", got)
+	}
+}
+
+func TestRateBudgetRespectsRealGaps(t *testing.T) {
+	b := probe.NewRateBudget(2)
+	at := netsim.Epoch
+	b.Admit(at)
+	b.Admit(at)
+	// A probe in a later second is not delayed.
+	later := at.Add(10 * time.Second)
+	if got := b.Admit(later); !got.Equal(later) {
+		t.Fatalf("probe after idle period delayed to %v", got)
+	}
+}

@@ -1,0 +1,450 @@
+// Package scenario encodes the study's workload: a synthetic U.S.
+// broadband ecosystem with the paper's eight access providers, the major
+// transit and content providers of §6, interconnects across eight metros
+// and three IXPs, and a 22-month congestion schedule whose shape mirrors
+// the narrative of Tables 3-4 and Figures 7-8 (CenturyLink-Google
+// congested essentially throughout; Comcast-Google dissipating by July
+// 2017 as Comcast-Tata and Comcast-NTT rise; AT&T-Tata peaking around
+// January 2017; TWC's 2016-only congestion to Tata, Vodafone, XO and
+// Telia; and so on).
+//
+// The schedule is ground truth: the measurement and inference pipeline
+// never reads it. Experiments compare what the pipeline infers against
+// what the schedule injected.
+package scenario
+
+import (
+	"fmt"
+
+	"interdomain/internal/bgp"
+	"interdomain/internal/core"
+	"interdomain/internal/netsim"
+	"interdomain/internal/topology"
+)
+
+// Real ASNs for fidelity of presentation.
+const (
+	Comcast     = 7922
+	ATT         = 7018
+	Verizon     = 701
+	CenturyLink = 209
+	Cox         = 22773
+	TWC         = 11351
+	Charter     = 20115
+	RCN         = 6079
+
+	Tata     = 6453
+	NTT      = 2914
+	XO       = 2828
+	Level3   = 3356
+	Vodafone = 1273
+	Telia    = 1299
+	Zayo     = 6461
+	Cogent   = 174
+	GTT      = 3257
+
+	Google    = 15169
+	Netflix   = 2906
+	Akamai    = 20940
+	Amazon    = 16509
+	Microsoft = 8075
+	Facebook  = 32934
+
+	// Additional transit and content providers that interconnect widely
+	// but showed no significant congestion in the study. They matter for
+	// Table 3's denominators: the paper observes 18-34 providers per
+	// access network, the vast majority uncongested.
+	Hurricane  = 6939
+	Comcast2   = 33491 // regional sibling carrying no study VPs
+	Apple      = 714
+	Fastly     = 54113
+	Cloudflare = 13335
+	Twitter    = 13414
+	Limelight  = 22822
+	EdgeCast   = 15133
+	Yahoo      = 10310
+	Valve      = 32590
+)
+
+// AccessProviders lists the eight studied access networks.
+var AccessProviders = []int{CenturyLink, ATT, Cox, Comcast, Charter, TWC, Verizon, RCN}
+
+// MajorTCPs is the "reduced set" of §6: the transit and content providers
+// the analysis focuses on.
+var MajorTCPs = []int{
+	Google, Tata, NTT, XO, Netflix, Level3, Vodafone, Telia, Zayo, Cogent, GTT,
+	Akamai, Amazon, Microsoft, Facebook,
+	Hurricane, Apple, Fastly, Cloudflare, Twitter, Limelight, EdgeCast, Yahoo, Valve,
+}
+
+// Name returns the display name of a scenario ASN.
+func Name(asn int) string {
+	if n, ok := names[asn]; ok {
+		return n
+	}
+	return "AS?"
+}
+
+var names = map[int]string{
+	Comcast: "Comcast", ATT: "AT&T", Verizon: "Verizon", CenturyLink: "CenturyLink",
+	Cox: "Cox", TWC: "TWC", Charter: "Charter", RCN: "RCN",
+	Tata: "Tata", NTT: "NTT", XO: "XO", Level3: "Level3", Vodafone: "Vodafone",
+	Telia: "Telia", Zayo: "Zayo", Cogent: "Cogent", GTT: "GTT",
+	Google: "Google", Netflix: "Netflix", Akamai: "Akamai", Amazon: "Amazon",
+	Microsoft: "Microsoft", Facebook: "Facebook",
+	Hurricane: "Hurricane", Apple: "Apple", Fastly: "Fastly", Cloudflare: "Cloudflare",
+	Twitter: "Twitter", Limelight: "Limelight", EdgeCast: "EdgeCast",
+	Yahoo: "Yahoo", Valve: "Valve",
+}
+
+// metro shorthands
+var (
+	allMetros = []string{"nyc", "ashburn", "atlanta", "chicago", "dallas", "denver", "losangeles", "seattle"}
+)
+
+// Config returns the topology configuration for the ecosystem.
+func Config(seed uint64) topology.Config {
+	as := func(asn int, name string, kind topology.ASKind, metros ...string) topology.ASSpec {
+		return topology.ASSpec{ASN: asn, Name: name, Kind: kind, Metros: metros}
+	}
+	cfg := topology.Config{
+		Seed:   seed,
+		Metros: topology.USMetros(),
+		IXPs: []topology.IXPSpec{
+			{Name: "nyiix", Metro: "nyc"},
+			{Name: "equinix-chi", Metro: "chicago"},
+			{Name: "any2", Metro: "losangeles"},
+		},
+		ASes: []topology.ASSpec{
+			// Access providers.
+			as(Comcast, "comcast", topology.AccessISP, allMetros...),
+			as(ATT, "att", topology.AccessISP, "nyc", "atlanta", "chicago", "dallas", "losangeles"),
+			as(Verizon, "verizon", topology.AccessISP, "nyc", "ashburn", "chicago", "losangeles"),
+			as(CenturyLink, "centurylink", topology.AccessISP, "chicago", "dallas", "denver", "losangeles", "seattle"),
+			as(Cox, "cox", topology.AccessISP, "atlanta", "dallas", "losangeles"),
+			as(TWC, "twc", topology.AccessISP, "nyc", "dallas", "losangeles"),
+			as(Charter, "charter", topology.AccessISP, "atlanta", "denver", "losangeles"),
+			as(RCN, "rcn", topology.AccessISP, "nyc", "chicago"),
+			// Transit providers.
+			as(Tata, "tata", topology.Transit, "nyc", "chicago", "dallas", "losangeles"),
+			as(NTT, "ntt", topology.Transit, "nyc", "chicago", "losangeles", "seattle"),
+			as(XO, "xo", topology.Transit, "nyc", "chicago", "dallas", "losangeles"),
+			as(Level3, "level3", topology.Transit, allMetros...),
+			as(Vodafone, "vodafone", topology.Transit, "nyc", "ashburn"),
+			as(Telia, "telia", topology.Transit, "nyc", "chicago"),
+			as(Zayo, "zayo", topology.Transit, "nyc", "chicago", "denver", "dallas"),
+			as(Cogent, "cogent", topology.Transit, allMetros...),
+			as(GTT, "gtt", topology.Transit, "nyc", "dallas"),
+			// Content providers.
+			as(Google, "google", topology.Content, allMetros...),
+			as(Netflix, "netflix", topology.Content, "nyc", "ashburn", "dallas", "losangeles", "seattle"),
+			as(Akamai, "akamai", topology.Content, "nyc", "chicago", "losangeles"),
+			as(Amazon, "amazon", topology.Content, "ashburn", "seattle"),
+			as(Microsoft, "microsoft", topology.Content, "chicago", "seattle"),
+			as(Facebook, "facebook", topology.Content, "ashburn", "losangeles"),
+			// Widely-interconnected but uncongested providers (Table 3
+			// denominators).
+			as(Hurricane, "hurricane", topology.Transit, allMetros...),
+			as(Apple, "apple", topology.Content, "ashburn", "losangeles"),
+			as(Fastly, "fastly", topology.Content, "nyc", "chicago", "losangeles"),
+			as(Cloudflare, "cloudflare", topology.Content, allMetros...),
+			as(Twitter, "twitter", topology.Content, "ashburn", "losangeles"),
+			as(Limelight, "limelight", topology.Content, "chicago", "dallas", "losangeles"),
+			as(EdgeCast, "edgecast", topology.Content, "nyc", "losangeles"),
+			as(Yahoo, "yahoo", topology.Content, "nyc", "seattle"),
+			as(Valve, "valve", topology.Content, "seattle", "losangeles"),
+			// Stub networks to enrich the routed-prefix set.
+			as(64501, "stub-edu", topology.Stub, "chicago"),
+			as(64502, "stub-ent", topology.Stub, "dallas"),
+			as(64503, "stub-reg", topology.Stub, "atlanta"),
+			as(64504, "stub-biz", topology.Stub, "seattle"),
+		},
+	}
+	// Customer cones: every access provider and the large content
+	// networks have downstream customers (Comcast alone had 1353 in the
+	// paper's bdrmap data). Cones matter twice: they make the routed-
+	// prefix set realistic for bdrmap, and they give the AS-relationship
+	// inference the transit evidence it needs.
+	cone := 0
+	for _, parent := range append(append([]int{}, AccessProviders...), Google, Netflix) {
+		for k := 0; k < 2; k++ {
+			asn := 64600 + cone
+			cone++
+			parentSpec := specFor(cfg.ASes, parent)
+			metro := parentSpec.Metros[k%len(parentSpec.Metros)]
+			cfg.ASes = append(cfg.ASes, topology.ASSpec{
+				ASN: asn, Name: fmt.Sprintf("cust%d-of-%s", k, parentSpec.Name),
+				Kind: topology.Stub, Metros: []string{metro},
+			})
+			cfg.Adjs = append(cfg.Adjs, topology.AdjSpec{A: asn, B: parent, Rel: topology.C2P})
+		}
+	}
+	cfg.Adjs = append(cfg.Adjs, adjacencies()...)
+	return cfg
+}
+
+func specFor(specs []topology.ASSpec, asn int) *topology.ASSpec {
+	for i := range specs {
+		if specs[i].ASN == asn {
+			return &specs[i]
+		}
+	}
+	panic(fmt.Sprintf("scenario: no spec for AS%d", asn))
+}
+
+// adjacencies wires the relationship graph.
+func adjacencies() []topology.AdjSpec {
+	var adjs []topology.AdjSpec
+	add := func(a, b int, rel topology.Rel, metros []string, parallel int) {
+		adjs = append(adjs, topology.AdjSpec{A: a, B: b, Rel: rel, Metros: metros, Parallel: parallel})
+	}
+
+	// Every AP buys transit from Level3 and Cogent (both present in all
+	// metros, so any AP metro works).
+	for _, ap := range AccessProviders {
+		add(ap, Level3, topology.C2P, nil, 1)
+		add(ap, Cogent, topology.C2P, nil, 1)
+	}
+
+	// AP <-> transit peerings (metros chosen inside common footprints).
+	peer := func(a, b int, metros ...string) { add(a, b, topology.P2P, metros, 1) }
+	// The dallas instance is invisible from every VP (hot potato never
+	// routes probes through it) — the §5.3 "Link 2" reverse-path case.
+	peer(Comcast, Tata, "nyc", "chicago", "dallas")
+	peer(Comcast, NTT, "nyc", "chicago", "losangeles")
+	peer(Comcast, XO, "nyc", "dallas")
+	peer(Comcast, Vodafone, "nyc")
+	peer(Comcast, Telia, "nyc", "chicago")
+	peer(Comcast, Zayo, "nyc", "denver")
+	peer(ATT, Tata, "nyc", "chicago", "dallas")
+	peer(ATT, NTT, "nyc", "chicago")
+	peer(ATT, XO, "nyc", "dallas")
+	peer(ATT, Telia, "nyc")
+	peer(Verizon, Tata, "nyc", "losangeles")
+	peer(Verizon, XO, "nyc", "chicago")
+	peer(Verizon, Vodafone, "nyc", "ashburn")
+	peer(Verizon, Telia, "nyc")
+	peer(Verizon, Zayo, "nyc")
+	peer(CenturyLink, Tata, "chicago", "dallas")
+	peer(CenturyLink, XO, "chicago", "dallas")
+	peer(CenturyLink, Zayo, "denver", "chicago")
+	peer(TWC, Tata, "nyc", "dallas")
+	peer(TWC, XO, "nyc", "losangeles")
+	peer(TWC, Telia, "nyc")
+	peer(TWC, Vodafone, "nyc")
+	peer(TWC, Zayo, "nyc")
+	peer(Cox, Zayo, "dallas")
+	peer(RCN, Zayo, "nyc", "chicago")
+
+	// AP <-> content peerings.
+	add(Comcast, Google, topology.P2P, []string{"nyc", "chicago", "losangeles"}, 2)
+	add(ATT, Google, topology.P2P, []string{"chicago", "dallas", "losangeles"}, 1)
+	add(Verizon, Google, topology.P2P, []string{"nyc", "chicago", "losangeles"}, 1)
+	add(CenturyLink, Google, topology.P2P, []string{"chicago", "denver", "seattle"}, 1)
+	add(Cox, Google, topology.P2P, []string{"atlanta", "dallas"}, 1)
+	add(Charter, Google, topology.P2P, []string{"atlanta", "denver", "losangeles"}, 1)
+	add(RCN, Google, topology.P2P, []string{"nyc", "chicago"}, 1)
+	add(Comcast, Netflix, topology.P2P, []string{"nyc", "ashburn", "losangeles"}, 1)
+	add(ATT, Netflix, topology.P2P, []string{"nyc", "dallas"}, 1)
+	add(Verizon, Netflix, topology.P2P, []string{"nyc", "ashburn"}, 1)
+	add(CenturyLink, Netflix, topology.P2P, []string{"dallas", "seattle"}, 1)
+	add(Cox, Netflix, topology.P2P, []string{"dallas", "losangeles"}, 1)
+	add(TWC, Netflix, topology.P2P, []string{"nyc", "losangeles"}, 1)
+	add(Charter, Netflix, topology.P2P, []string{"losangeles"}, 1)
+	add(Comcast, Akamai, topology.P2P, []string{"nyc", "chicago"}, 1)
+	add(Verizon, Akamai, topology.P2P, []string{"nyc"}, 1)
+	add(Comcast, Amazon, topology.P2P, []string{"ashburn", "seattle"}, 1)
+	add(Comcast, Microsoft, topology.P2P, []string{"chicago", "seattle"}, 1)
+	add(Comcast, Facebook, topology.P2P, []string{"ashburn", "losangeles"}, 1)
+	add(Verizon, Facebook, topology.P2P, []string{"ashburn"}, 1)
+
+	// Widely-peered uncongested providers: every AP observes several more
+	// T&CPs that never congest, as in the paper's Table 3.
+	for _, ap := range AccessProviders {
+		peer(ap, Hurricane)
+		peer(ap, Cloudflare)
+	}
+	peer(Comcast, Apple)
+	peer(Verizon, Apple)
+	peer(ATT, Apple, "losangeles")
+	peer(TWC, Apple, "losangeles")
+	peer(Charter, Apple, "losangeles")
+	peer(Comcast, Fastly)
+	peer(Verizon, Fastly)
+	peer(Cox, Fastly, "losangeles")
+	peer(RCN, Fastly)
+	peer(CenturyLink, Fastly, "chicago", "losangeles")
+	peer(Comcast, Twitter)
+	peer(Verizon, Twitter)
+	peer(ATT, Twitter, "losangeles")
+	peer(Comcast, Limelight)
+	peer(ATT, Limelight)
+	peer(Cox, Limelight, "dallas", "losangeles")
+	peer(CenturyLink, Limelight)
+	peer(TWC, Limelight, "dallas", "losangeles")
+	peer(Verizon, EdgeCast)
+	peer(TWC, EdgeCast)
+	peer(Charter, EdgeCast, "losangeles")
+	peer(Comcast, Yahoo)
+	peer(Verizon, Yahoo, "nyc")
+	peer(CenturyLink, Yahoo, "seattle")
+	peer(Comcast, Valve)
+	peer(CenturyLink, Valve)
+	peer(Cox, Valve, "losangeles")
+	peer(Charter, Valve, "losangeles")
+
+	// IXP peerings (smaller APs reach content via exchanges).
+	adjs = append(adjs,
+		topology.AdjSpec{A: TWC, B: Google, Rel: topology.P2P, Via: "nyiix"},
+		topology.AdjSpec{A: RCN, B: Netflix, Rel: topology.P2P, Via: "nyiix"},
+		topology.AdjSpec{A: Charter, B: Akamai, Rel: topology.P2P, Via: "any2"},
+		topology.AdjSpec{A: Cox, B: Akamai, Rel: topology.P2P, Via: "any2"},
+	)
+
+	// Tier-1 / transit mesh (valley-free reachability for everyone).
+	tier1 := []int{Level3, Cogent, Tata, NTT, XO, Telia, Zayo, GTT, Vodafone, Hurricane}
+	for i := 0; i < len(tier1); i++ {
+		for j := i + 1; j < len(tier1); j++ {
+			add(tier1[i], tier1[j], topology.P2P, []string{"nyc"}, 1)
+		}
+	}
+
+	// Content providers buy transit too.
+	for _, cp := range []int{Google, Netflix, Akamai, Amazon, Microsoft, Facebook,
+		Apple, Fastly, Cloudflare, Twitter, Limelight, EdgeCast, Yahoo, Valve} {
+		add(cp, Level3, topology.C2P, nil, 1)
+		add(cp, Cogent, topology.C2P, nil, 1)
+	}
+
+	// Stubs.
+	add(64501, Level3, topology.C2P, nil, 1)
+	add(64501, Cogent, topology.C2P, nil, 1)
+	add(64502, GTT, topology.C2P, nil, 1)
+	add(64502, Level3, topology.C2P, nil, 1)
+	add(64503, Cogent, topology.C2P, nil, 1)
+	add(64504, NTT, topology.C2P, nil, 1)
+	add(64504, Level3, topology.C2P, nil, 1)
+	return adjs
+}
+
+// VPs returns the paper's deployment: 29 vantage points across the eight
+// access networks.
+func VPs() []core.VPSpec {
+	v := func(asn int, metros ...string) []core.VPSpec {
+		out := make([]core.VPSpec, len(metros))
+		for i, m := range metros {
+			out[i] = core.VPSpec{ASN: asn, Metro: m}
+		}
+		return out
+	}
+	var out []core.VPSpec
+	out = append(out, v(Comcast, "nyc", "ashburn", "chicago", "denver", "losangeles", "seattle")...)
+	out = append(out, v(ATT, "nyc", "chicago", "dallas", "losangeles")...)
+	out = append(out, v(Verizon, "nyc", "ashburn", "chicago", "losangeles")...)
+	out = append(out, v(CenturyLink, "chicago", "denver", "losangeles", "seattle")...)
+	out = append(out, v(Cox, "atlanta", "dallas", "losangeles")...)
+	out = append(out, v(TWC, "nyc", "dallas", "losangeles")...)
+	out = append(out, v(Charter, "atlanta", "denver", "losangeles")...)
+	out = append(out, v(RCN, "nyc", "chicago")...)
+	return out
+}
+
+// VPsWithChurn returns the deployment with the volunteer churn the paper
+// reports: a quarter of the VPs join a few months in, and a quarter leave
+// before the end (86 joined over the study; 63 remained by Dec 2017).
+func VPsWithChurn(days int) []core.VPSpec {
+	vps := VPs()
+	for i := range vps {
+		switch i % 4 {
+		case 1:
+			vps[i].JoinDay = 100 + (i%3)*50
+		case 3:
+			vps[i].LeaveDay = days - 100 - (i%3)*50
+		}
+	}
+	return vps
+}
+
+// Build constructs the ecosystem, installs routes, and applies the
+// congestion schedule.
+func Build(seed uint64) (*topology.Internet, *bgp.Table, error) {
+	in, err := topology.Build(Config(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	table, err := bgp.InstallRoutes(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	ApplyBaselines(in, seed)
+	ApplySchedule(in, seed)
+	ApplyArtifacts(in)
+	return in, table, nil
+}
+
+// ApplyArtifacts gives a few T&CP border routers aggressive ICMP rate
+// limiting, reproducing the "suspiciously high loss rate at all times"
+// month-links §5.1 reports.
+func ApplyArtifacts(in *topology.Internet) {
+	for _, pair := range [][2]int{{TWC, XO}, {Comcast, Vodafone}} {
+		ics := in.InterconnectsOf(pair[0], pair[1])
+		if len(ics) == 0 {
+			continue
+		}
+		_, far, ok := ics[0].Side(pair[0])
+		if ok {
+			far.Node.ICMPRateLimit = 1
+		}
+	}
+}
+
+// ApplyBaselines gives every interdomain link a realistic but uncongested
+// diurnal profile: busy in the T&CP-to-AP direction, light the other way.
+func ApplyBaselines(in *topology.Internet, seed uint64) {
+	for _, ic := range in.Inters {
+		tz := in.Metros[ic.Metro].TZOffsetHours
+		apSide, ok := apOf(ic)
+		if !ok {
+			// Transit-transit or content-transit links: light symmetric
+			// load.
+			for _, dir := range []netsim.Direction{netsim.AtoB, netsim.BtoA} {
+				ic.Link.SetProfile(dir, &netsim.LoadProfile{
+					Base: 0.2, PeakAmplitude: 0.25, PeakHour: 21, PeakWidthHours: 3.5,
+					WeekendFactor: 1, NoiseAmplitude: 0.02, TZOffsetHours: tz,
+					Seed: netsim.Hash64(seed, uint64(ic.Link.ID), 1),
+				})
+			}
+			continue
+		}
+		into := directionInto(ic, apSide)
+		ic.Link.SetProfile(into, &netsim.LoadProfile{
+			Base: 0.4, PeakAmplitude: 0.42, PeakHour: 21, PeakWidthHours: 3,
+			WeekendFactor: 1, NoiseAmplitude: 0.03, TZOffsetHours: tz,
+			Seed: netsim.Hash64(seed, uint64(ic.Link.ID), 2),
+		})
+		ic.Link.SetProfile(into.Reverse(), &netsim.LoadProfile{
+			Base: 0.15, PeakAmplitude: 0.2, PeakHour: 21, PeakWidthHours: 3,
+			WeekendFactor: 1, NoiseAmplitude: 0.02, TZOffsetHours: tz,
+			Seed: netsim.Hash64(seed, uint64(ic.Link.ID), 3),
+		})
+	}
+}
+
+// apOf returns the access-provider side of an interconnect.
+func apOf(ic *topology.Interconnect) (int, bool) {
+	for _, ap := range AccessProviders {
+		if ic.ASA == ap || ic.ASB == ap {
+			return ap, true
+		}
+	}
+	return 0, false
+}
+
+// directionInto returns the direction delivering traffic into asn.
+func directionInto(ic *topology.Interconnect, asn int) netsim.Direction {
+	near, _, _ := ic.Side(asn)
+	if near == ic.Link.A {
+		return netsim.BtoA
+	}
+	return netsim.AtoB
+}

@@ -1,0 +1,142 @@
+package scenario_test
+
+import (
+	"testing"
+	"time"
+
+	"interdomain/internal/netsim"
+	"interdomain/internal/scenario"
+	"interdomain/internal/topology"
+	"interdomain/internal/vantage"
+)
+
+func TestBuildEcosystem(t *testing.T) {
+	in, table, err := scenario.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.ASes) < 25 {
+		t.Fatalf("only %d ASes", len(in.ASes))
+	}
+	// Full reachability between all AS pairs.
+	for a := range in.ASes {
+		for b := range in.ASes {
+			if a == b {
+				continue
+			}
+			if _, ok := table.Lookup(b, a); !ok {
+				t.Fatalf("no route %s -> %s", scenario.Name(a), scenario.Name(b))
+			}
+		}
+	}
+	// Every AP has interconnects to Google (the paper's most prominent
+	// T&CP).
+	for _, ap := range scenario.AccessProviders {
+		if len(in.InterconnectsOf(ap, scenario.Google)) == 0 {
+			t.Errorf("%s has no Google interconnect", scenario.Name(ap))
+		}
+	}
+}
+
+func TestScheduleAppliesEpisodes(t *testing.T) {
+	in, _, err := scenario.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CenturyLink-Google is scheduled at Q=0.96 over the whole study:
+	// nearly every link-month must carry an episode.
+	total, want := 0, 0
+	for _, ic := range in.InterconnectsOf(scenario.CenturyLink, scenario.Google) {
+		for _, dir := range []netsim.Direction{netsim.AtoB, netsim.BtoA} {
+			p := ic.Link.Profile(dir)
+			if p == nil {
+				continue
+			}
+			total += len(p.Episodes)
+		}
+		want += scenario.Months
+	}
+	if total < want*80/100 {
+		t.Fatalf("CenturyLink-Google has %d episode-months of %d possible", total, want)
+	}
+	// An unscheduled pair stays clean.
+	for _, ic := range in.InterconnectsOf(scenario.Comcast, scenario.Amazon) {
+		for _, dir := range []netsim.Direction{netsim.AtoB, netsim.BtoA} {
+			if p := ic.Link.Profile(dir); p != nil && len(p.Episodes) > 0 {
+				t.Fatal("Comcast-Amazon should not be scheduled congested")
+			}
+		}
+	}
+}
+
+func TestCongestionManifestsAtPeak(t *testing.T) {
+	in, _, err := scenario.Build(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At a local 21:00 peak inside the study, at least one
+	// CenturyLink-Google link must be saturated in the into-AP direction,
+	// and all must be comfortably below capacity at 06:00 local.
+	saturated := false
+	for _, ic := range in.InterconnectsOf(scenario.CenturyLink, scenario.Google) {
+		tz := in.Metros[ic.Metro].TZOffsetHours
+		peakUTC := netsim.Day(40).Add(time.Duration((21 - tz) * float64(time.Hour)))
+		troughUTC := netsim.Day(40).Add(time.Duration((6 - tz) * float64(time.Hour)))
+		for _, dir := range []netsim.Direction{netsim.AtoB, netsim.BtoA} {
+			if ic.Link.Profile(dir) == nil {
+				continue
+			}
+			if ic.Link.Utilization(peakUTC, dir) > 1.02 {
+				saturated = true
+			}
+			if u := ic.Link.Utilization(troughUTC, dir); u > 0.9 {
+				t.Fatalf("trough utilization %.2f on %s link", u, ic.Metro)
+			}
+		}
+	}
+	if !saturated {
+		t.Fatal("no CenturyLink-Google link saturated at peak during the scheduled period")
+	}
+}
+
+func TestVPsMatchPaperDeployment(t *testing.T) {
+	vps := scenario.VPs()
+	if len(vps) != 29 {
+		t.Fatalf("got %d VPs, want 29 (paper §6)", len(vps))
+	}
+	networks := map[int]bool{}
+	for _, v := range vps {
+		networks[v.ASN] = true
+	}
+	if len(networks) != 8 {
+		t.Fatalf("VPs span %d networks, want 8", len(networks))
+	}
+	// Every VP must be deployable and see interconnects.
+	in, _, err := scenario.Build(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vps {
+		vp, err := vantage.Deploy(in, v.ASN, v.Metro, netsim.Epoch)
+		if err != nil {
+			t.Fatalf("deploy %s/%s: %v", scenario.Name(v.ASN), v.Metro, err)
+		}
+		ics := vantage.VisibleInterconnects(in, v.ASN, v.Metro)
+		if len(ics) == 0 {
+			t.Fatalf("VP %s sees no interconnects", vp.Name)
+		}
+	}
+}
+
+func TestMajorTCPsHaveNames(t *testing.T) {
+	for _, tcp := range scenario.MajorTCPs {
+		if scenario.Name(tcp) == "AS?" {
+			t.Fatalf("missing name for ASN %d", tcp)
+		}
+	}
+	if scenario.Name(424242) != "AS?" {
+		t.Fatal("unknown ASN should map to AS?")
+	}
+}
+
+var _ = topology.C2P

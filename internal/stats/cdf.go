@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function built from a
+// sample. It backs the CDF comparisons in the YouTube validation (§5.2,
+// Figure 4).
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from the sample xs (which it copies and sorts).
+func NewECDF(xs []float64) *ECDF {
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// N returns the number of samples behind the ECDF.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile of the sample.
+func (e *ECDF) Quantile(q float64) float64 { return SortedQuantile(e.sorted, q) }
+
+// Median returns the sample median.
+func (e *ECDF) Median() float64 { return e.Quantile(0.5) }
+
+// Points returns up to n evenly spaced (x, P(X<=x)) pairs suitable for
+// plotting the CDF curve.
+func (e *ECDF) Points(n int) (xs, ps []float64) {
+	if len(e.sorted) == 0 || n <= 0 {
+		return nil, nil
+	}
+	if n > len(e.sorted) {
+		n = len(e.sorted)
+	}
+	xs = make([]float64, n)
+	ps = make([]float64, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(e.sorted) - 1) / maxInt(n-1, 1)
+		xs[i] = e.sorted[idx]
+		ps[i] = float64(idx+1) / float64(len(e.sorted))
+	}
+	return xs, ps
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Autocorrelation returns the sample autocorrelation of xs at the given
+// lag, in [-1, 1]. It returns NaN when the series is too short or has zero
+// variance.
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 || lag >= n {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return math.NaN()
+	}
+	for i := 0; i+lag < n; i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	return num / den
+}
+
+// PearsonCorrelation returns the Pearson correlation coefficient of the
+// paired samples xs, ys. The asymmetric-path detector (§7) correlates two
+// TSLP series to decide whether return traffic shared a congested path.
+func PearsonCorrelation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

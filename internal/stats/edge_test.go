@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightedMean(t *testing.T) {
+	if m := WeightedMean([]float64{1, 2, 3}, []float64{1, 1, 1}); !almost(m, 2, 1e-12) {
+		t.Fatalf("uniform weighted mean %f", m)
+	}
+	if m := WeightedMean([]float64{1, 100}, []float64{1, 0}); !almost(m, 1, 1e-12) {
+		t.Fatalf("zero-weight outlier leaked: %f", m)
+	}
+	if !math.IsNaN(WeightedMean([]float64{1}, []float64{1, 2})) {
+		t.Fatal("length mismatch should yield NaN")
+	}
+	if !math.IsNaN(WeightedMean(nil, nil)) {
+		t.Fatal("empty should yield NaN")
+	}
+	if !math.IsNaN(WeightedMean([]float64{1, 2}, []float64{0, 0})) {
+		t.Fatal("zero total weight should yield NaN")
+	}
+}
+
+func TestTTestDegenerateInputs(t *testing.T) {
+	if _, err := WelchTTest([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("singleton sample accepted")
+	}
+	if _, err := PooledTTest(nil, []float64{1, 2}); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	// Zero variance, equal means: p = 1.
+	a := []float64{5, 5, 5}
+	b := []float64{5, 5, 5}
+	res, err := WelchTTest(a, b)
+	if err != nil || res.P != 1 {
+		t.Fatalf("identical constant samples: p=%f err=%v", res.P, err)
+	}
+	res, err = PooledTTest(a, b)
+	if err != nil || res.P != 1 {
+		t.Fatalf("pooled identical constants: p=%f err=%v", res.P, err)
+	}
+	// Zero variance, different means: p = 0.
+	c := []float64{6, 6, 6}
+	res, _ = WelchTTest(a, c)
+	if res.P != 0 {
+		t.Fatalf("constant separated samples: p=%f", res.P)
+	}
+	res, _ = PooledTTest(a, c)
+	if res.P != 0 {
+		t.Fatalf("pooled constant separated samples: p=%f", res.P)
+	}
+}
+
+func TestBinomialProportionEdge(t *testing.T) {
+	if _, err := BinomialProportionTest(1, 0, 1, 10); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+	// All successes in both: se = 0, equal proportions -> p = 1.
+	res, err := BinomialProportionTest(10, 10, 10, 10)
+	if err != nil || res.P != 1 {
+		t.Fatalf("identical saturated proportions: %+v err=%v", res, err)
+	}
+	// p1 carries through.
+	res, _ = BinomialProportionTest(5, 10, 2, 10)
+	if !almost(res.P1, 0.5, 1e-12) || !almost(res.P2, 0.2, 1e-12) {
+		t.Fatalf("proportions %f %f", res.P1, res.P2)
+	}
+}
+
+func TestTInvDegenerate(t *testing.T) {
+	if !math.IsNaN(TInv(0, 5)) || !math.IsNaN(TInv(1, 5)) || !math.IsNaN(TInv(0.5, -1)) {
+		t.Fatal("degenerate TInv inputs should be NaN")
+	}
+	if TInv(0.5, 7) != 0 {
+		t.Fatal("median of t distribution is 0")
+	}
+}
+
+func TestECDFEmptyAndAt(t *testing.T) {
+	e := NewECDF(nil)
+	if !math.IsNaN(e.At(1)) {
+		t.Fatal("empty ECDF At should be NaN")
+	}
+	if xs, ps := e.Points(5); xs != nil || ps != nil {
+		t.Fatal("empty ECDF points")
+	}
+	e = NewECDF([]float64{1, 1, 2})
+	if v := e.At(1); !almost(v, 2.0/3.0, 1e-12) {
+		t.Fatalf("At with duplicates: %f", v)
+	}
+	// Points with n=1.
+	xs, ps := e.Points(1)
+	if len(xs) != 1 || len(ps) != 1 {
+		t.Fatalf("single point request: %v %v", xs, ps)
+	}
+}
+
+func TestAutocorrelationDegenerate(t *testing.T) {
+	if !math.IsNaN(Autocorrelation([]float64{1, 2, 3}, -1)) {
+		t.Fatal("negative lag")
+	}
+	if !math.IsNaN(Autocorrelation([]float64{1, 2, 3}, 3)) {
+		t.Fatal("lag >= n")
+	}
+	if !math.IsNaN(Autocorrelation([]float64{2, 2, 2}, 1)) {
+		t.Fatal("zero variance")
+	}
+}
+
+func TestSortedQuantileEdge(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	if v := SortedQuantile(s, -0.5); v != 1 {
+		t.Fatalf("clamped low %f", v)
+	}
+	if v := SortedQuantile(s, 2); v != 4 {
+		t.Fatalf("clamped high %f", v)
+	}
+	if !math.IsNaN(SortedQuantile(nil, 0.5)) {
+		t.Fatal("empty sorted quantile")
+	}
+}

@@ -1,0 +1,141 @@
+// Package stats provides the statistical primitives used by the congestion
+// inference and validation pipelines: descriptive statistics, Student's
+// t-test, the binomial proportion test, Huber's weight function, empirical
+// CDFs and quantiles.
+//
+// Everything here is deterministic and allocation-conscious; the analysis
+// pipeline calls these functions once per 15-minute bin across years of
+// simulated data.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a test is asked to operate on fewer
+// samples than it can produce a meaningful answer for.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs.
+// It returns 0 for slices with fewer than two elements.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Median returns the median of xs (50th percentile), or NaN if empty.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. xs need not be sorted.
+// It returns NaN for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	return SortedQuantile(s, q)
+}
+
+// SortedQuantile is Quantile for data already sorted ascending.
+func SortedQuantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// HuberWeight implements Huber's weight function with tuning parameter p
+// (in units of standard deviations). Residuals within p standard deviations
+// get weight 1; beyond that the weight decays as p*sigma/|r|, limiting the
+// influence of outliers on the level-shift detector.
+func HuberWeight(residual, sigma, p float64) float64 {
+	if sigma <= 0 {
+		return 1
+	}
+	t := math.Abs(residual) / sigma
+	if t <= p {
+		return 1
+	}
+	return p / t
+}
+
+// WeightedMean returns the weighted arithmetic mean of xs with weights ws.
+// Slices must be the same length; zero total weight yields NaN.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) || len(xs) == 0 {
+		return math.NaN()
+	}
+	var sw, sx float64
+	for i, x := range xs {
+		sw += ws[i]
+		sx += ws[i] * x
+	}
+	if sw == 0 {
+		return math.NaN()
+	}
+	return sx / sw
+}

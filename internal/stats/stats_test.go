@@ -1,0 +1,268 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDescriptives(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5, 1e-12) {
+		t.Fatalf("mean %f", m)
+	}
+	if v := Variance(xs); !almost(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("variance %f", v)
+	}
+	if s := StdDev(xs); !almost(s, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("stddev %f", s)
+	}
+	if m := Median(xs); !almost(m, 4.5, 1e-12) {
+		t.Fatalf("median %f", m)
+	}
+	if mn, mx := Min(xs), Max(xs); mn != 2 || mx != 9 {
+		t.Fatalf("min/max %f %f", mn, mx)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("mean of empty should be NaN")
+	}
+	if Variance([]float64{1}) != 0 {
+		t.Error("variance of singleton should be 0")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("quantile of empty should be NaN")
+	}
+}
+
+func TestQuantileProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q0, q50, q100 := Quantile(xs, 0), Quantile(xs, 0.5), Quantile(xs, 1)
+		return q0 == Min(xs) && q100 == Max(xs) && q0 <= q50 && q50 <= q100
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHuberWeight(t *testing.T) {
+	if w := HuberWeight(0.5, 1, 1); w != 1 {
+		t.Fatalf("inlier weight %f", w)
+	}
+	if w := HuberWeight(4, 1, 1); !almost(w, 0.25, 1e-12) {
+		t.Fatalf("outlier weight %f", w)
+	}
+	if w := HuberWeight(10, 0, 1); w != 1 {
+		t.Fatalf("zero-sigma weight %f", w)
+	}
+	// P=5 tolerates up to 5 standard deviations (§4.1).
+	if w := HuberWeight(4.9, 1, 5); w != 1 {
+		t.Fatalf("P=5 should tolerate 4.9 sigma, got %f", w)
+	}
+}
+
+func TestWelchTTestSeparatesDistributions(t *testing.T) {
+	a := make([]float64, 50)
+	b := make([]float64, 50)
+	for i := range a {
+		a[i] = 10 + float64(i%7)*0.1
+		b[i] = 12 + float64(i%5)*0.1
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Significant(0.001) {
+		t.Fatalf("clearly different samples not significant: p=%g", res.P)
+	}
+	if res.T >= 0 {
+		t.Fatalf("t should be negative (a < b), got %f", res.T)
+	}
+}
+
+func TestWelchTTestSameDistribution(t *testing.T) {
+	a := make([]float64, 40)
+	b := make([]float64, 40)
+	for i := range a {
+		a[i] = 5 + float64((i*7)%13)*0.3
+		b[i] = 5 + float64((i*11)%13)*0.3
+	}
+	res, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Significant(0.01) {
+		t.Fatalf("same-distribution samples significant: p=%g", res.P)
+	}
+}
+
+func TestPooledTTestAgainstKnownValue(t *testing.T) {
+	// Two small samples with a hand-checkable t statistic.
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{3, 4, 5, 6, 7}
+	res, err := PooledTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.T, -2, 1e-9) {
+		t.Fatalf("t = %f, want -2", res.T)
+	}
+	if res.DF != 8 {
+		t.Fatalf("df = %f, want 8", res.DF)
+	}
+	// p for |t|=2, df=8 is ~0.0805.
+	if !almost(res.P, 0.0805, 0.002) {
+		t.Fatalf("p = %f, want ~0.0805", res.P)
+	}
+}
+
+func TestTInvRoundTrip(t *testing.T) {
+	for _, df := range []float64{2, 5, 10, 30, 100} {
+		for _, p := range []float64{0.6, 0.8, 0.95, 0.975, 0.99} {
+			x := TInv(p, df)
+			back := tCDF(x, df)
+			if !almost(back, p, 1e-6) {
+				t.Fatalf("tCDF(TInv(%f, %f)) = %f", p, df, back)
+			}
+		}
+	}
+	// Known critical value: t(0.975, 10) ~ 2.228.
+	if x := TInv(0.975, 10); !almost(x, 2.228, 0.002) {
+		t.Fatalf("t crit = %f, want 2.228", x)
+	}
+}
+
+func TestMinSignificantDiff(t *testing.T) {
+	d := MinSignificantDiff(4, 12, 0.95)
+	// se = sqrt(4*2/12) = 0.8165; tcrit(0.975, 22) ~ 2.074 => ~1.694
+	if !almost(d, 1.694, 0.01) {
+		t.Fatalf("delta = %f, want ~1.694", d)
+	}
+	if MinSignificantDiff(0, 12, 0.95) != 0 {
+		t.Fatal("zero variance should give zero delta")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := map[float64]float64{0: 0.5, 1.96: 0.975, -1.96: 0.025, 3: 0.99865}
+	for z, want := range cases {
+		if got := NormalCDF(z); !almost(got, want, 1e-4) {
+			t.Fatalf("Phi(%f) = %f, want %f", z, got, want)
+		}
+	}
+}
+
+func TestBinomialProportionTest(t *testing.T) {
+	// 60/100 vs 40/100: z ~ 2.83, p ~ 0.0047.
+	res, err := BinomialProportionTest(60, 100, 40, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(res.Z, 2.828, 0.01) {
+		t.Fatalf("z = %f, want ~2.83", res.Z)
+	}
+	if res.P > 0.006 || res.P < 0.004 {
+		t.Fatalf("p = %f, want ~0.0047", res.P)
+	}
+	// Identical proportions: not significant.
+	res, _ = BinomialProportionTest(10, 100, 10, 100)
+	if res.P < 0.99 {
+		t.Fatalf("identical proportions p = %f", res.P)
+	}
+}
+
+func TestRegIncBetaProperties(t *testing.T) {
+	if v := RegIncBeta(2, 3, 0); v != 0 {
+		t.Fatalf("I_0 = %f", v)
+	}
+	if v := RegIncBeta(2, 3, 1); v != 1 {
+		t.Fatalf("I_1 = %f", v)
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.9} {
+		l := RegIncBeta(2.5, 4, x)
+		r := 1 - RegIncBeta(4, 2.5, 1-x)
+		if !almost(l, r, 1e-10) {
+			t.Fatalf("symmetry broken at %f: %f vs %f", x, l, r)
+		}
+	}
+	// Monotonic in x.
+	prev := -1.0
+	for x := 0.0; x <= 1.0; x += 0.05 {
+		v := RegIncBeta(3, 3, x)
+		if v < prev {
+			t.Fatalf("not monotonic at %f", x)
+		}
+		prev = v
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 3, 4, 5})
+	if e.N() != 5 {
+		t.Fatalf("N = %d", e.N())
+	}
+	if v := e.At(3); !almost(v, 0.6, 1e-12) {
+		t.Fatalf("F(3) = %f", v)
+	}
+	if v := e.At(0.5); v != 0 {
+		t.Fatalf("F(0.5) = %f", v)
+	}
+	if v := e.At(10); v != 1 {
+		t.Fatalf("F(10) = %f", v)
+	}
+	if m := e.Median(); m != 3 {
+		t.Fatalf("median %f", m)
+	}
+	xs, ps := e.Points(3)
+	if len(xs) != 3 || len(ps) != 3 {
+		t.Fatalf("points: %v %v", xs, ps)
+	}
+}
+
+func TestAutocorrelationDiurnal(t *testing.T) {
+	// A 24-period sine sampled 10 periods: strong autocorrelation at the
+	// period, weak at half period offset by phase.
+	n := 240
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = math.Sin(2 * math.Pi * float64(i) / 24)
+	}
+	if ac := Autocorrelation(xs, 24); ac < 0.9 {
+		t.Fatalf("autocorr at period = %f, want ~1", ac)
+	}
+	if ac := Autocorrelation(xs, 12); ac > -0.8 {
+		t.Fatalf("autocorr at half period = %f, want ~-1", ac)
+	}
+}
+
+func TestPearsonCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if r := PearsonCorrelation(xs, ys); !almost(r, 1, 1e-12) {
+		t.Fatalf("r = %f", r)
+	}
+	zs := []float64{10, 8, 6, 4, 2}
+	if r := PearsonCorrelation(xs, zs); !almost(r, -1, 1e-12) {
+		t.Fatalf("r = %f", r)
+	}
+	if r := PearsonCorrelation(xs, []float64{1, 1, 1, 1, 1}); !math.IsNaN(r) {
+		t.Fatalf("constant series r = %f, want NaN", r)
+	}
+}

@@ -1,0 +1,224 @@
+package stats
+
+import "math"
+
+// TTestResult reports the outcome of a two-sample Student's t-test.
+type TTestResult struct {
+	T  float64 // t statistic
+	DF float64 // degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// Significant reports whether the two-sided p-value falls below alpha.
+func (r TTestResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// WelchTTest performs a two-sample t-test with Welch's correction for
+// unequal variances, the variant used throughout the paper's validation
+// (NDT throughput in congested vs. uncongested periods, §5.3).
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	se2 := va/na + vb/nb
+	if se2 == 0 {
+		if ma == mb {
+			return TTestResult{T: 0, DF: na + nb - 2, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(ma - mb)), DF: na + nb - 2, P: 0}, nil
+	}
+	t := (ma - mb) / math.Sqrt(se2)
+	// Welch–Satterthwaite degrees of freedom.
+	df := se2 * se2 / ((va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1)))
+	return TTestResult{T: t, DF: df, P: tTwoSidedP(t, df)}, nil
+}
+
+// PooledTTest performs the classic equal-variance two-sample t-test, as
+// used by the level-shift detector to decide whether two adjacent regimes
+// differ significantly (§4.1).
+func PooledTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	na, nb := float64(len(a)), float64(len(b))
+	va, vb := Variance(a), Variance(b)
+	df := na + nb - 2
+	sp2 := ((na-1)*va + (nb-1)*vb) / df
+	se := math.Sqrt(sp2 * (1/na + 1/nb))
+	if se == 0 {
+		if Mean(a) == Mean(b) {
+			return TTestResult{T: 0, DF: df, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(sign(Mean(a) - Mean(b))), DF: df, P: 0}, nil
+	}
+	t := (Mean(a) - Mean(b)) / se
+	return TTestResult{T: t, DF: df, P: tTwoSidedP(t, df)}, nil
+}
+
+// MinSignificantDiff returns the minimum difference between the means of
+// two regimes of length n each, with common variance sigma2, that is
+// significant at the given confidence level under a pooled t-test. The
+// level-shift detector uses this as its shift threshold Delta (§4.1).
+func MinSignificantDiff(sigma2 float64, n int, confidence float64) float64 {
+	if n < 2 || sigma2 <= 0 {
+		return 0
+	}
+	df := float64(2*n - 2)
+	tcrit := TInv(1-(1-confidence)/2, df)
+	se := math.Sqrt(sigma2 * 2 / float64(n))
+	return tcrit * se
+}
+
+// tTwoSidedP returns the two-sided p-value for a t statistic with df
+// degrees of freedom.
+func tTwoSidedP(t, df float64) float64 {
+	if math.IsInf(t, 0) {
+		return 0
+	}
+	x := df / (df + t*t)
+	// P(|T| > t) = I_x(df/2, 1/2) where x = df/(df+t^2).
+	return RegIncBeta(df/2, 0.5, x)
+}
+
+// TInv returns the quantile function (inverse CDF) of Student's t
+// distribution with df degrees of freedom, computed by bisection on the
+// CDF. p must be in (0, 1).
+func TInv(p, df float64) float64 {
+	if p <= 0 || p >= 1 || df <= 0 {
+		return math.NaN()
+	}
+	if p == 0.5 {
+		return 0
+	}
+	lo, hi := -1e3, 1e3
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if tCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// tCDF is the CDF of Student's t distribution.
+func tCDF(t, df float64) float64 {
+	x := df / (df + t*t)
+	half := RegIncBeta(df/2, 0.5, x) / 2
+	if t > 0 {
+		return 1 - half
+	}
+	return half
+}
+
+// NormalCDF is the standard normal cumulative distribution function.
+func NormalCDF(z float64) float64 { return 0.5 * math.Erfc(-z/math.Sqrt2) }
+
+// BinomialProportionTest implements the two-sample binomial proportion
+// z-test used by the loss-rate validation (§5.1): given k1 successes of n1
+// trials and k2 of n2, it tests H0: p1 == p2 and returns the z statistic
+// and two-sided p-value.
+type ProportionResult struct {
+	Z  float64
+	P  float64
+	P1 float64
+	P2 float64
+}
+
+// BinomialProportionTest computes the pooled two-proportion z-test.
+func BinomialProportionTest(k1, n1, k2, n2 int) (ProportionResult, error) {
+	if n1 <= 0 || n2 <= 0 {
+		return ProportionResult{}, ErrInsufficientData
+	}
+	p1 := float64(k1) / float64(n1)
+	p2 := float64(k2) / float64(n2)
+	pp := float64(k1+k2) / float64(n1+n2)
+	se := math.Sqrt(pp * (1 - pp) * (1/float64(n1) + 1/float64(n2)))
+	if se == 0 {
+		p := 1.0
+		if p1 != p2 {
+			p = 0
+		}
+		return ProportionResult{Z: 0, P: p, P1: p1, P2: p2}, nil
+	}
+	z := (p1 - p2) / se
+	p := 2 * (1 - NormalCDF(math.Abs(z)))
+	return ProportionResult{Z: z, P: p, P1: p1, P2: p2}, nil
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes §6.4).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta, _ := math.Lgamma(a + b)
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	front := math.Exp(lbeta - la - lb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		aa := float64(m) * (b - float64(m)) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + float64(m)) * (qab + float64(m)) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+func sign(x float64) int {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,179 @@
+// Package streaming implements the YouTube-style video streaming tests of
+// §3.5: download a video manifest from a cache, stream at the highest
+// supported bitrate, emulate the playback buffer, and report the three
+// metrics the paper validates against — ON-period throughput, startup
+// delay, and streaming failure.
+package streaming
+
+import (
+	"time"
+
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+	"interdomain/internal/tcpmodel"
+	"interdomain/internal/tsdb"
+)
+
+// Measurement names.
+const (
+	MeasONThroughput = "yt_on_throughput" // Mbps
+	MeasStartupDelay = "yt_startup"       // seconds
+	MeasFailure      = "yt_failure"       // 1 = failed, 0 = completed
+)
+
+// Bitrates a cache offers (Mbps); the client streams the highest its
+// connection supports.
+var Bitrates = []float64{1.0, 2.5, 4.5, 8.0}
+
+// VideoDuration is the length of the streamed test clip (>= 1 minute per
+// §3.5).
+const VideoDuration = 90 * time.Second
+
+// chunkDuration is one segment of video fetched per ON period.
+const chunkDuration = 5 * time.Second
+
+// Result is one streaming test outcome.
+type Result struct {
+	At time.Time
+	// Cache names the video cache used.
+	Cache string
+	// BitrateMbps is the selected encoding.
+	BitrateMbps float64
+	// ONThroughputMbps is the mean instantaneous download rate across ON
+	// periods.
+	ONThroughputMbps float64
+	// StartupDelay is the time to establish the connection and buffer
+	// the first two seconds of video.
+	StartupDelay time.Duration
+	// Rebuffers counts buffer-underrun events during playback.
+	Rebuffers int
+	// Failed reports an aborted stream (chunk download failed or stalls
+	// exceeded the player's give-up threshold).
+	Failed bool
+	// Trace is the post-test traceroute toward the cache.
+	Trace *probe.Traceroute
+}
+
+// Cache is a video cache endpoint.
+type Cache struct {
+	Name string
+	Host *netsim.Node
+}
+
+// Tester runs streaming tests from one VP.
+type Tester struct {
+	Net    *netsim.Network
+	Engine *probe.Engine
+	DB     *tsdb.DB
+	VPName string
+	// AccessMbps caps the client's download rate.
+	AccessMbps float64
+	Seed       uint64
+	// SkipTrace suppresses the post-test traceroute during bulk sweeps.
+	SkipTrace bool
+}
+
+// Test streams one video from the cache at virtual time at.
+func (t *Tester) Test(cache Cache, at time.Time) (Result, bool) {
+	res := Result{At: at, Cache: cache.Name}
+	vp := t.Engine.VP
+	if len(vp.Ifaces) == 0 || len(cache.Host.Ifaces) == 0 {
+		return res, false
+	}
+	rng := netsim.NewRNG(netsim.Hash64(t.Seed, uint64(at.UnixNano()), uint64(cache.Host.ID)))
+	flow := uint16(netsim.Hash64(t.Seed, uint64(cache.Host.ID), 0x717))
+
+	// Estimate the delivery path (data flows cache -> VP).
+	est, ok := tcpmodel.PathEstimate(t.Net, cache.Host, vp.Ifaces[0].Addr, flow, at)
+	if !ok {
+		return res, false
+	}
+	avail := est.ThroughputMbps * (1 + rng.Normal(0, 0.05))
+	if t.AccessMbps > 0 && avail > t.AccessMbps {
+		avail = t.AccessMbps
+	}
+	if avail < 0.05 {
+		avail = 0.05
+	}
+
+	// Bitrate selection from the manifest: highest bitrate the connection
+	// clearly supports (players use a safety margin).
+	res.BitrateMbps = Bitrates[0]
+	for _, b := range Bitrates {
+		if avail > b*1.3 {
+			res.BitrateMbps = b
+		}
+	}
+
+	// Startup: manifest fetch (2 RTTs) + TCP setup (1 RTT) + first two
+	// seconds of video at the available rate.
+	setup := 3 * est.RTT
+	first2s := time.Duration(2 * res.BitrateMbps / avail * float64(time.Second))
+	res.StartupDelay = setup + first2s + time.Duration(rng.Exp(0.05)*float64(time.Second))
+
+	// Playback emulation: the buffer drains at the bitrate and fills at
+	// the available rate during ON periods; per-chunk throughput wobbles.
+	buffer := 2.0 // seconds of video buffered after startup
+	played := 0.0
+	total := VideoDuration.Seconds()
+	var onSum float64
+	var onN int
+	stalls := 0
+	for played < total {
+		chunk := chunkDuration.Seconds()
+		rate := avail * (1 + rng.Normal(0, 0.15))
+		if rate < 0.02 {
+			rate = 0.02
+		}
+		// Per-chunk failure: deep loss can abort a segment fetch even
+		// after the player's retries, so the per-chunk probability is a
+		// heavily damped function of raw path loss (players tolerate a
+		// lot before giving up).
+		if pFail := (est.LossProb - 0.04) * 0.15; pFail > 0 {
+			if pFail > 0.05 {
+				pFail = 0.05
+			}
+			if rng.Bernoulli(pFail) {
+				res.Failed = true
+				break
+			}
+		}
+		dl := chunk * res.BitrateMbps / rate // seconds to fetch the chunk
+		onSum += rate
+		onN++
+		buffer -= dl
+		if buffer < 0 {
+			stalls++
+			res.Rebuffers++
+			buffer = 1 // player re-buffers a second before resuming
+			if stalls >= 4 {
+				res.Failed = true
+				break
+			}
+		}
+		buffer += chunk
+		played += chunk
+		if buffer > 30 {
+			// OFF period: buffer full, pause downloading.
+			buffer = 30
+		}
+	}
+	if onN > 0 {
+		res.ONThroughputMbps = onSum / float64(onN)
+	}
+
+	// Post-test traceroute toward the cache (§3.5).
+	if !t.SkipTrace {
+		res.Trace = t.Engine.Traceroute(cache.Host.Ifaces[0].Addr, flow, at.Add(VideoDuration))
+	}
+
+	tags := map[string]string{"vp": t.VPName, "cache": cache.Name}
+	t.DB.Write(MeasONThroughput, tags, at, res.ONThroughputMbps)
+	t.DB.Write(MeasStartupDelay, tags, at, res.StartupDelay.Seconds())
+	fail := 0.0
+	if res.Failed {
+		fail = 1
+	}
+	t.DB.Write(MeasFailure, tags, at, fail)
+	return res, true
+}

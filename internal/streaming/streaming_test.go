@@ -1,0 +1,120 @@
+package streaming_test
+
+import (
+	"testing"
+	"time"
+
+	"interdomain/internal/probe"
+	"interdomain/internal/streaming"
+	"interdomain/internal/testnet"
+	"interdomain/internal/tsdb"
+)
+
+func laTester(t *testing.T, seed uint64) (*streaming.Tester, streaming.Cache) {
+	t.Helper()
+	n := testnet.Build(testnet.Config{Seed: seed})
+	vp := n.VPIn("losangeles")
+	var host = n.In.ASes[testnet.ContentASN].Hosts[0]
+	for _, h := range n.In.ASes[testnet.ContentASN].Hosts {
+		if n.In.Plumb[testnet.ContentASN].HostMetro[h] == "losangeles" {
+			host = h
+		}
+	}
+	return &streaming.Tester{
+		Net:        n.In.Net,
+		Engine:     probe.NewEngine(n.In.Net, vp),
+		DB:         tsdb.Open(),
+		VPName:     "vp-la",
+		AccessMbps: 25,
+		Seed:       seed,
+	}, streaming.Cache{Name: "cache-la", Host: host}
+}
+
+func runMany(t *testing.T, tester *streaming.Tester, cache streaming.Cache, at time.Time, n int) []streaming.Result {
+	t.Helper()
+	var out []streaming.Result
+	for i := 0; i < n; i++ {
+		r, ok := tester.Test(cache, at.Add(time.Duration(i)*2*time.Minute))
+		if !ok {
+			t.Fatal("test failed to run")
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func TestStreamingDegradesUnderCongestion(t *testing.T) {
+	tester, cache := laTester(t, 71)
+	const N = 30
+	peak := runMany(t, tester, cache, testnet.PeakTime(1), N)
+	off := runMany(t, tester, cache, testnet.OffPeakTime(1), N)
+
+	mThr := func(rs []streaming.Result) float64 {
+		s := 0.0
+		for _, r := range rs {
+			s += r.ONThroughputMbps
+		}
+		return s / float64(len(rs))
+	}
+	mStart := func(rs []streaming.Result) float64 {
+		s := 0.0
+		for _, r := range rs {
+			s += r.StartupDelay.Seconds()
+		}
+		return s / float64(len(rs))
+	}
+	fails := func(rs []streaming.Result) int {
+		n := 0
+		for _, r := range rs {
+			if r.Failed {
+				n++
+			}
+		}
+		return n
+	}
+
+	if mThr(peak) >= mThr(off)*0.85 {
+		t.Fatalf("ON-throughput: peak %.1f vs off %.1f, want clear drop (paper: -25%%)", mThr(peak), mThr(off))
+	}
+	if mStart(peak) <= mStart(off) {
+		t.Fatalf("startup delay: peak %.2fs vs off %.2fs, want inflation (paper: +20%%)", mStart(peak), mStart(off))
+	}
+	if fails(peak) <= fails(off) {
+		t.Fatalf("failures: peak %d vs off %d, want more under congestion", fails(peak), fails(off))
+	}
+	if fails(off) > N/10 {
+		t.Fatalf("too many off-peak failures: %d/%d", fails(off), N)
+	}
+}
+
+func TestStreamingStoresMetrics(t *testing.T) {
+	tester, cache := laTester(t, 72)
+	r, ok := tester.Test(cache, testnet.OffPeakTime(2))
+	if !ok {
+		t.Fatal("test failed")
+	}
+	if r.Trace == nil || !r.Trace.Reached {
+		t.Fatal("post-test traceroute missing")
+	}
+	if r.BitrateMbps < streaming.Bitrates[0] {
+		t.Fatal("no bitrate selected")
+	}
+	for _, m := range []string{streaming.MeasONThroughput, streaming.MeasStartupDelay, streaming.MeasFailure} {
+		out := tester.DB.Query(m, nil, testnet.OffPeakTime(2).Add(-time.Minute), testnet.OffPeakTime(2).Add(time.Minute))
+		if len(out) == 0 {
+			t.Fatalf("measurement %s not stored", m)
+		}
+	}
+}
+
+func TestBitrateAdaptsToCongestion(t *testing.T) {
+	tester, cache := laTester(t, 73)
+	off, _ := tester.Test(cache, testnet.OffPeakTime(3))
+	peak, _ := tester.Test(cache, testnet.PeakTime(3))
+	if peak.BitrateMbps > off.BitrateMbps {
+		t.Fatalf("bitrate rose under congestion: %.1f > %.1f", peak.BitrateMbps, off.BitrateMbps)
+	}
+	if off.BitrateMbps < 4 {
+		t.Fatalf("uncongested 25 Mbps line should sustain a high bitrate, got %.1f", off.BitrateMbps)
+	}
+}

@@ -1,0 +1,134 @@
+// Package tcpmodel estimates the throughput a TCP flow achieves across a
+// path in the simulated network. The NDT (§3.4) and YouTube streaming
+// (§3.5) measurement modules both ride on it.
+//
+// The model combines two regimes, taking the minimum:
+//
+//   - headroom: on links below saturation the flow can grab the residual
+//     capacity (bounded below by a small fair share — other flows back
+//     off too);
+//   - loss-limited: once a link saturates and drops packets, throughput
+//     follows the Mathis et al. relation MSS/RTT * C/sqrt(p).
+//
+// The estimate is deterministic given the virtual time; callers add
+// measurement noise as appropriate.
+package tcpmodel
+
+import (
+	"math"
+	"net/netip"
+	"time"
+
+	"interdomain/internal/netsim"
+)
+
+// MSSBytes is the TCP maximum segment size assumed by the Mathis model.
+const MSSBytes = 1460
+
+// mathisC is the constant in the Mathis throughput relation.
+const mathisC = 1.22
+
+// Estimate is the model's output for one direction of a path.
+type Estimate struct {
+	// ThroughputMbps is the achievable steady-state TCP throughput.
+	ThroughputMbps float64
+	// RTT is the base round-trip time of the path (propagation plus
+	// current queueing).
+	RTT time.Duration
+	// LossProb is the end-to-end loss probability in the data direction.
+	LossProb float64
+	// BottleneckLink is the most constrained link (may be nil when the
+	// path is empty).
+	BottleneckLink *netsim.Link
+}
+
+// minShareFrac bounds how far a saturated-but-not-dropping link squeezes a
+// new flow: even at 100% offered load TCP flows converge to a share.
+const minShareFrac = 0.03
+
+// lossDamping converts the fluid model's aggregate excess-drop fraction
+// into the loss an individual adaptive flow experiences. The fluid queue
+// sheds the entire excess of a fixed offered load, but real background
+// traffic is itself TCP: sources back off, so the drop rate a probe flow
+// sees is far below the raw excess. The constant is calibrated so that a
+// ~10% overloaded 10G link yields the few-Mbps NDT throughputs reported
+// in the paper's Table 2 rather than collapsing to zero.
+const lossDamping = 0.12
+
+// PathEstimate computes the TCP throughput estimate for a transfer whose
+// data flows from src toward dstAddr (the "download" direction when src is
+// the server). Both the forward data path and the reverse ACK path
+// contribute RTT; only the data direction contributes loss and bandwidth.
+func PathEstimate(net *netsim.Network, src *netsim.Node, dstAddr netip.Addr, flowID uint16, at time.Time) (Estimate, bool) {
+	fwd, ok := net.PathLinks(src, dstAddr, flowID)
+	if !ok {
+		return Estimate{}, false
+	}
+	// Reverse path for ACKs: from the destination's node back to src.
+	dstNode := net.NodeByAddr(dstAddr)
+	var rev []netsim.TraversedLink
+	if dstNode != nil && len(src.Ifaces) > 0 {
+		rev, _ = net.PathLinks(dstNode, src.Ifaces[0].Addr, flowID^0x5bd1)
+	}
+
+	var rtt time.Duration
+	loss := 0.0
+	bottleneckMbps := math.Inf(1)
+	var bottleneck *netsim.Link
+	for _, tl := range fwd {
+		rtt += tl.Link.PropDelay + tl.Link.QueueDelay(at, tl.Dir)
+		p := tl.Link.LossProb(at, tl.Dir)
+		loss = 1 - (1-loss)*(1-p)
+
+		util := tl.Link.Utilization(at, tl.Dir)
+		avail := tl.Link.CapacityMbps * math.Max(minShareFrac, 1-util)
+		if avail < bottleneckMbps {
+			bottleneckMbps = avail
+			bottleneck = tl.Link
+		}
+	}
+	for _, tl := range rev {
+		rtt += tl.Link.PropDelay + tl.Link.QueueDelay(at, tl.Dir)
+	}
+	if rtt <= 0 {
+		rtt = time.Millisecond
+	}
+	if loss < 1e-5 {
+		loss = 1e-5 // ambient loss floor keeps the Mathis term finite
+	}
+
+	pFlow := loss * lossDamping
+	if pFlow < 1e-5 {
+		pFlow = 1e-5
+	}
+	mathisMbps := (float64(MSSBytes*8) / rtt.Seconds()) * mathisC / math.Sqrt(pFlow) / 1e6
+	thr := math.Min(bottleneckMbps, mathisMbps)
+	return Estimate{
+		ThroughputMbps: thr,
+		RTT:            rtt,
+		LossProb:       loss,
+		BottleneckLink: bottleneck,
+	}, true
+}
+
+// Transfer models a fixed-duration TCP test (like NDT's 10-second runs):
+// slow start for the first RTTs, then the steady-state estimate, averaged
+// over the test duration and capped by accessMbps (the subscriber plan).
+func Transfer(est Estimate, duration time.Duration, accessMbps float64) float64 {
+	steady := est.ThroughputMbps
+	if accessMbps > 0 && steady > accessMbps {
+		steady = accessMbps
+	}
+	if duration <= 0 {
+		return steady
+	}
+	// Slow start: roughly log2(steady-window/initial-window) RTTs to
+	// reach steady state, transferring ~2x the final-RTT amount overall.
+	rtts := math.Log2(math.Max(2, steady*est.RTT.Seconds()*1e6/(10*MSSBytes*8)))
+	warmup := time.Duration(rtts * float64(est.RTT))
+	if warmup > duration {
+		return steady * float64(duration) / float64(2*warmup)
+	}
+	frac := float64(warmup) / float64(duration)
+	return steady * (1 - frac/2)
+}

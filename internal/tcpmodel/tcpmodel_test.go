@@ -1,0 +1,80 @@
+package tcpmodel_test
+
+import (
+	"testing"
+	"time"
+
+	"interdomain/internal/tcpmodel"
+	"interdomain/internal/testnet"
+)
+
+func TestThroughputDropsDuringCongestion(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 51})
+	vp := n.VPIn("losangeles")
+	content := n.In.ASes[testnet.ContentASN]
+	var cache = content.Hosts[0]
+	for _, h := range content.Hosts {
+		if n.In.Plumb[testnet.ContentASN].HostMetro[h] == "losangeles" {
+			cache = h
+		}
+	}
+
+	// Download direction: cache -> VP.
+	off, ok := tcpmodel.PathEstimate(n.In.Net, cache, vp.Ifaces[0].Addr, 7, testnet.OffPeakTime(1))
+	if !ok {
+		t.Fatal("no path off-peak")
+	}
+	peak, ok := tcpmodel.PathEstimate(n.In.Net, cache, vp.Ifaces[0].Addr, 7, testnet.PeakTime(1))
+	if !ok {
+		t.Fatal("no path at peak")
+	}
+	if off.ThroughputMbps < 100 {
+		t.Fatalf("off-peak throughput %.1f Mbps, want high", off.ThroughputMbps)
+	}
+	if peak.ThroughputMbps > off.ThroughputMbps/3 {
+		t.Fatalf("peak throughput %.1f vs off-peak %.1f: congestion not limiting", peak.ThroughputMbps, off.ThroughputMbps)
+	}
+	if peak.RTT < off.RTT+30*time.Millisecond {
+		t.Fatalf("peak RTT %v not elevated over %v", peak.RTT, off.RTT)
+	}
+	if peak.LossProb <= off.LossProb {
+		t.Fatal("peak loss not elevated")
+	}
+	if peak.BottleneckLink != n.CongestedIC.Link {
+		t.Fatal("bottleneck misattributed")
+	}
+}
+
+func TestUncongestedPathSymmetric(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 51})
+	vp := n.VP // nyc
+	transit := n.In.ASes[testnet.TransitASN]
+	host := transit.Hosts[0]
+	est, ok := tcpmodel.PathEstimate(n.In.Net, vp, host.Ifaces[0].Addr, 9, testnet.OffPeakTime(1))
+	if !ok {
+		t.Fatal("no path")
+	}
+	// A long-RTT path with the ambient 1e-5 loss floor is Mathis-limited
+	// to tens of Mbps — which is exactly the regime NDT tests in the
+	// paper sit in (plan-capped ~25 Mbps).
+	if est.ThroughputMbps < 25 {
+		t.Fatalf("idle path throughput %.0f Mbps, want comfortably above NDT plan rates", est.ThroughputMbps)
+	}
+}
+
+func TestTransferAccessCapAndSlowStart(t *testing.T) {
+	est := tcpmodel.Estimate{ThroughputMbps: 900, RTT: 30 * time.Millisecond, LossProb: 1e-5}
+	got := tcpmodel.Transfer(est, 10*time.Second, 25)
+	if got > 25 {
+		t.Fatalf("transfer %.1f exceeds 25 Mbps plan", got)
+	}
+	if got < 20 {
+		t.Fatalf("transfer %.1f too far below plan (slow start too costly)", got)
+	}
+	// Very short test: slow start dominates.
+	short := tcpmodel.Transfer(est, 100*time.Millisecond, 0)
+	long := tcpmodel.Transfer(est, 10*time.Second, 0)
+	if short >= long {
+		t.Fatalf("short test %.1f should underperform long test %.1f", short, long)
+	}
+}

@@ -1,0 +1,72 @@
+package topology_test
+
+import (
+	"testing"
+
+	"interdomain/internal/testnet"
+	"interdomain/internal/topology"
+)
+
+func TestInternetAccessors(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 150})
+	in := n.In
+
+	list := in.ASList()
+	if len(list) != len(in.ASes) {
+		t.Fatalf("ASList %d vs %d", len(list), len(in.ASes))
+	}
+	for i := 1; i < len(list); i++ {
+		if list[i-1].ASN >= list[i].ASN {
+			t.Fatal("ASList not sorted")
+		}
+	}
+
+	neigh := in.Neighbors(testnet.AccessASN)
+	want := map[int]bool{testnet.TransitASN: true, testnet.ContentASN: true, testnet.Transit2ASN: true}
+	if len(neigh) != len(want) {
+		t.Fatalf("neighbors %v", neigh)
+	}
+	for _, o := range neigh {
+		if !want[o] {
+			t.Fatalf("unexpected neighbor %d", o)
+		}
+	}
+	if got := in.Neighbors(99999); got != nil {
+		t.Fatalf("neighbors of stranger: %v", got)
+	}
+
+	ixps := in.IXPPrefixes()
+	if len(ixps) != 1 {
+		t.Fatalf("IXP prefixes %v", ixps)
+	}
+
+	ic := n.CongestedIC
+	if found := in.FindInterconnect(ic.Link.A.Addr, ic.Link.B.Addr); found != ic {
+		t.Fatal("FindInterconnect forward miss")
+	}
+	if found := in.FindInterconnect(ic.Link.B.Addr, ic.Link.A.Addr); found != ic {
+		t.Fatal("FindInterconnect reverse miss")
+	}
+	if found := in.FindInterconnect(ic.Link.A.Addr, ic.Link.A.Addr); found != nil {
+		t.Fatal("FindInterconnect phantom")
+	}
+
+	if in.String() == "" {
+		t.Fatal("Internet string empty")
+	}
+	if topology.C2P.String() == topology.P2P.String() {
+		t.Fatal("rel strings identical")
+	}
+	for _, k := range []topology.ASKind{topology.AccessISP, topology.Transit, topology.Content, topology.Stub} {
+		if k.String() == "" {
+			t.Fatal("empty kind string")
+		}
+	}
+	access := in.ASes[testnet.AccessASN]
+	if access.Alloc() == nil {
+		t.Fatal("allocator accessor nil")
+	}
+	if in.Siblings(424242) != nil {
+		t.Fatal("siblings of unknown AS")
+	}
+}

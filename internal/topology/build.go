@@ -1,0 +1,402 @@
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"interdomain/internal/netsim"
+)
+
+// Plumbing records the intra-AS interfaces the route installer (package
+// bgp) needs: which interface on a core leads to another metro's core, and
+// which leads to the border router of each interconnect.
+type Plumbing struct {
+	// CoreIface[from][to] is the interface on the from-metro core that
+	// connects to the to-metro core.
+	CoreIface map[string]map[string]*netsim.Interface
+	// ICCore[ic] is the interface on the core at ic.Metro leading to the
+	// AS's border router of that interconnect.
+	ICCore map[*Interconnect]*netsim.Interface
+	// HostMetro records where each destination host lives.
+	HostMetro map[*netsim.Node]string
+}
+
+// Build generates the internetwork described by cfg. The returned Internet
+// has all intra-AS routing installed; call bgp.InstallRoutes to add
+// interdomain routes before probing.
+func Build(cfg Config) (*Internet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net := netsim.NewNetwork(cfg.Seed)
+	in := &Internet{
+		Net:    net,
+		ASes:   make(map[int]*AS),
+		IXPs:   make(map[string]*IXP),
+		Metros: make(map[string]Metro),
+		Plumb:  make(map[int]*Plumbing),
+	}
+	for _, m := range cfg.Metros {
+		in.Metros[m.Name] = m
+	}
+	for i, x := range cfg.IXPs {
+		pfx := netip.PrefixFrom(netip.AddrFrom4([4]byte{198, 18, byte(i), 0}), 24)
+		in.IXPs[x.Name] = &IXP{Name: x.Name, Metro: x.Metro, Prefix: pfx, alloc: netsim.NewAddrAllocator(pfx)}
+	}
+
+	specs := make(map[int]*ASSpec, len(cfg.ASes))
+	for i := range cfg.ASes {
+		spec := &cfg.ASes[i]
+		specs[spec.ASN] = spec
+		if err := buildAS(in, i, spec); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, adj := range cfg.Adjs {
+		if err := buildAdjacency(in, specs, adj); err != nil {
+			return nil, err
+		}
+	}
+
+	installIntraASRoutes(in)
+	in.indexRels()
+	return in, nil
+}
+
+// internal link characteristics
+var (
+	meshParams   = netsim.LinkParams{CapacityMbps: 400000, BufferDelay: 30 * time.Millisecond}
+	borderParams = netsim.LinkParams{CapacityMbps: 100000, PropDelay: 300 * time.Microsecond, BufferDelay: 30 * time.Millisecond}
+	hostParams   = netsim.LinkParams{CapacityMbps: 10000, PropDelay: 200 * time.Microsecond, BufferDelay: 20 * time.Millisecond}
+)
+
+const (
+	routerSlowPathProb  = 0.02
+	routerSlowPathExtra = 0.030 // up to 30ms of slow-path ICMP generation
+)
+
+func newRouter(net *netsim.Network, name string, asn int) *netsim.Node {
+	r := net.AddNode(name, asn, netsim.Router)
+	r.SlowPathProb = routerSlowPathProb
+	r.SlowPathExtra = routerSlowPathExtra
+	return r
+}
+
+func buildAS(in *Internet, idx int, spec *ASSpec) error {
+	block := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(idx), 0, 0}), 16)
+	org := spec.Org
+	if org == "" {
+		org = spec.Name
+	}
+	a := &AS{
+		ASN:    spec.ASN,
+		Name:   spec.Name,
+		Kind:   spec.Kind,
+		Org:    org,
+		Block:  block,
+		Cores:  make(map[string]*netsim.Node),
+		Metros: append([]string(nil), spec.Metros...),
+		alloc:  netsim.NewAddrAllocator(block),
+	}
+	sort.Strings(a.Metros)
+	// Announcements: the covering block plus disjoint more-specifics
+	// (upper /17, then a /18 and /19 within the lower half). Disjoint
+	// bases give bdrmap distinct traceable destinations per announced
+	// prefix, which TSLP's three-destination redundancy feeds on.
+	a.Prefixes = []netip.Prefix{block}
+	extra := spec.ExtraPrefixes
+	if extra == 0 {
+		extra = 1
+	}
+	base := block.Addr().As4()
+	sub := func(offset uint32, bits int) netip.Prefix {
+		return netip.PrefixFrom(netip.AddrFrom4([4]byte{
+			base[0], base[1], byte(offset >> 8), byte(offset),
+		}), bits)
+	}
+	subs := []netip.Prefix{sub(0x8000, 17), sub(0x4000, 18), sub(0x2000, 19)}
+	for k := 0; k < extra && k < len(subs); k++ {
+		a.Prefixes = append(a.Prefixes, subs[k])
+	}
+	infraBlock, err := a.alloc.Subnet(22)
+	if err != nil {
+		return fmt.Errorf("AS%d infra pool: %w", a.ASN, err)
+	}
+	a.infra = netsim.NewAddrAllocator(infraBlock)
+	in.ASes[spec.ASN] = a
+	plumb := &Plumbing{
+		CoreIface: make(map[string]map[string]*netsim.Interface),
+		ICCore:    make(map[*Interconnect]*netsim.Interface),
+		HostMetro: make(map[*netsim.Node]string),
+	}
+	in.Plumb[spec.ASN] = plumb
+
+	for _, m := range a.Metros {
+		a.Cores[m] = newRouter(in.Net, fmt.Sprintf("%s-core-%s", spec.Name, m), spec.ASN)
+		plumb.CoreIface[m] = make(map[string]*netsim.Interface)
+	}
+	// Full mesh between cores, addressed from the infrastructure pool.
+	for i, m1 := range a.Metros {
+		for _, m2 := range a.Metros[i+1:] {
+			x, err := a.infraAddr()
+			var y netip.Addr
+			if err == nil {
+				y, err = a.infraAddr()
+			}
+			if err != nil {
+				return fmt.Errorf("AS%d mesh: %w", a.ASN, err)
+			}
+			p := meshParams
+			p.PropDelay = InterMetroDelay(in.Metros[m1], in.Metros[m2])
+			l, err := in.Net.AddLink(a.Cores[m1], x, a.Cores[m2], y, p)
+			if err != nil {
+				return err
+			}
+			plumb.CoreIface[m1][m2] = l.A
+			plumb.CoreIface[m2][m1] = l.B
+		}
+	}
+	// Destination hosts, round-robin across metros.
+	n := spec.NumHosts
+	if n == 0 {
+		n = len(a.Metros)
+	}
+	for h := 0; h < n; h++ {
+		m := a.Metros[h%len(a.Metros)]
+		host := in.Net.AddNode(fmt.Sprintf("%s-host%d-%s", spec.Name, h, m), spec.ASN, netsim.Host)
+		x, err := a.infraAddr()
+		var y netip.Addr
+		if err == nil {
+			y, err = a.alloc.Addr() // host addresses come from general space
+		}
+		if err != nil {
+			return fmt.Errorf("AS%d hosts: %w", a.ASN, err)
+		}
+		l, err := in.Net.AddLink(a.Cores[m], x, host, y, hostParams)
+		if err != nil {
+			return err
+		}
+		host.FIB.SetDefault(l.B)
+		a.Hosts = append(a.Hosts, host)
+		plumb.HostMetro[host] = m
+	}
+	return nil
+}
+
+func buildAdjacency(in *Internet, specs map[int]*ASSpec, adj AdjSpec) error {
+	asA, asB := in.ASes[adj.A], in.ASes[adj.B]
+	in.Rels = append(in.Rels, Relationship{A: adj.A, B: adj.B, Type: adj.Rel})
+
+	metros := adj.Metros
+	if len(metros) == 0 {
+		if adj.Via != "" {
+			metros = []string{in.IXPs[adj.Via].Metro}
+		} else {
+			common := commonMetros(specs[adj.A], specs[adj.B])
+			if len(common) == 0 {
+				return fmt.Errorf("topology: adjacency %d-%d has no common metro", adj.A, adj.B)
+			}
+			if len(common) > 2 {
+				common = common[:2]
+			}
+			metros = common
+		}
+	}
+	parallel := adj.Parallel
+	if parallel == 0 {
+		parallel = 1
+	}
+	owner := adj.AddrOwner
+	if owner == 0 {
+		owner = adj.B // provider side for C2P; convention for P2P
+	}
+	capMbps := adj.CapacityMbps
+	if capMbps == 0 {
+		capMbps = 10000
+	}
+	bufDelay := adj.BufferDelay
+	if bufDelay == 0 {
+		bufDelay = 50 * time.Millisecond
+	}
+
+	for _, m := range metros {
+		for k := 0; k < parallel; k++ {
+			brA := newRouter(in.Net, fmt.Sprintf("%s-br-%s-%s-%d", asA.Name, m, asB.Name, k), adj.A)
+			brB := newRouter(in.Net, fmt.Sprintf("%s-br-%s-%s-%d", asB.Name, m, asA.Name, k), adj.B)
+
+			// Attach each border to its AS's core at this metro.
+			icA, err := attachBorder(in, asA, m, brA)
+			if err != nil {
+				return err
+			}
+			icB, err := attachBorder(in, asB, m, brB)
+			if err != nil {
+				return err
+			}
+
+			// Address the interdomain link.
+			var aAddr, bAddr netip.Addr
+			var subnet netip.Prefix
+			ownerASN := owner
+			ixpName := ""
+			if adj.Via != "" {
+				x := in.IXPs[adj.Via]
+				_, aAddr, bAddr, err = x.alloc.PointToPoint()
+				if err != nil {
+					return fmt.Errorf("IXP %s: %w", adj.Via, err)
+				}
+				subnet = x.Prefix
+				ownerASN = 0
+				ixpName = adj.Via
+			} else {
+				var oa *AS
+				if owner == adj.A {
+					oa = asA
+				} else {
+					oa = asB
+				}
+				subnet, aAddr, bAddr, err = oa.alloc.PointToPoint()
+				if err != nil {
+					return fmt.Errorf("adjacency %d-%d: %w", adj.A, adj.B, err)
+				}
+			}
+
+			params := netsim.LinkParams{
+				CapacityMbps: capMbps,
+				PropDelay:    700 * time.Microsecond,
+				BufferDelay:  bufDelay,
+			}
+			l, err := in.Net.AddLink(brA, aAddr, brB, bAddr, params)
+			if err != nil {
+				return err
+			}
+			ic := &Interconnect{
+				Link: l, ASA: adj.A, ASB: adj.B,
+				BorderA: brA, BorderB: brB,
+				Metro: m, AddrOwner: ownerASN, IXP: ixpName, Subnet: subnet,
+			}
+			in.Inters = append(in.Inters, ic)
+			in.Plumb[adj.A].ICCore[ic] = icA
+			in.Plumb[adj.B].ICCore[ic] = icB
+		}
+	}
+	return nil
+}
+
+// attachBorder links a border router to its AS core at metro m and returns
+// the core-side interface.
+func attachBorder(in *Internet, a *AS, m string, br *netsim.Node) (*netsim.Interface, error) {
+	core, ok := a.Cores[m]
+	if !ok {
+		return nil, fmt.Errorf("topology: AS%d has no core in %s", a.ASN, m)
+	}
+	x, err := a.infraAddr()
+	var y netip.Addr
+	if err == nil {
+		y, err = a.infraAddr()
+	}
+	if err != nil {
+		return nil, fmt.Errorf("AS%d border: %w", a.ASN, err)
+	}
+	l, err := in.Net.AddLink(core, x, br, y, borderParams)
+	if err != nil {
+		return nil, err
+	}
+	// Border default-routes everything to its core.
+	br.FIB.SetDefault(l.B)
+	return l.A, nil
+}
+
+// installIntraASRoutes fills core and border FIBs with routes for every
+// internal address so that any interface address in the AS is reachable
+// from anywhere inside it (alias-resolution probes target interface
+// addresses directly). Internal addresses come from a shared
+// infrastructure pool, so routing is /32-granular; interdomain /30s route
+// as subnets via the adjacent border.
+func installIntraASRoutes(in *Internet) {
+	// Per-AS: gather prefixes with an "owning" metro, install on cores.
+	type sub struct {
+		prefix netip.Prefix
+		metro  string                       // metro owning the prefix
+		local  map[string]*netsim.Interface // per-metro direct next hop
+	}
+	perAS := make(map[int][]*sub)
+
+	addSub := func(asn int, prefix netip.Prefix, metro string, local map[string]*netsim.Interface) {
+		perAS[asn] = append(perAS[asn], &sub{prefix: prefix, metro: metro, local: local})
+	}
+	host32 := func(a netip.Addr) netip.Prefix {
+		p, _ := a.Prefix(32)
+		return p
+	}
+
+	for asn, a := range in.ASes {
+		plumb := in.Plumb[asn]
+		// Core mesh endpoints: each side's address is owned by the core
+		// it sits on; other cores route toward that metro.
+		for m1, tos := range plumb.CoreIface {
+			for m2, ifc := range tos {
+				if m1 < m2 {
+					other := plumb.CoreIface[m2][m1]
+					addSub(asn, host32(ifc.Addr), m1, nil)
+					addSub(asn, host32(other.Addr), m2, nil)
+				}
+			}
+		}
+		// Host links: the core-side address is on the core; the host
+		// address routes via the core's host-facing interface.
+		for _, h := range a.Hosts {
+			m := plumb.HostMetro[h]
+			hostIfc := h.Ifaces[0]
+			coreIfc := hostIfc.Link.Other(hostIfc)
+			addSub(asn, host32(coreIfc.Addr), m, nil)
+			addSub(asn, host32(hostIfc.Addr), m, map[string]*netsim.Interface{m: coreIfc})
+		}
+	}
+	// Border-core links and interdomain subnets.
+	for _, ic := range in.Inters {
+		for _, asn := range []int{ic.ASA, ic.ASB} {
+			plumb := in.Plumb[asn]
+			coreIfc := plumb.ICCore[ic]
+			borderIfc := coreIfc.Link.Other(coreIfc)
+			addSub(asn, host32(coreIfc.Addr), ic.Metro, nil)
+			addSub(asn, host32(borderIfc.Addr), ic.Metro, map[string]*netsim.Interface{ic.Metro: coreIfc})
+
+			near, far, _ := ic.Side(asn)
+			if ic.IXP == "" {
+				// The /30 routes via the border; the border forwards the
+				// far address across the link.
+				addSub(asn, ic.Subnet, ic.Metro, map[string]*netsim.Interface{ic.Metro: coreIfc})
+				near.Node.FIB.Add(ic.Subnet, near)
+			} else {
+				// IXP LAN: host routes for just this link's two addresses.
+				addSub(asn, host32(near.Addr), ic.Metro, map[string]*netsim.Interface{ic.Metro: coreIfc})
+				addSub(asn, host32(far.Addr), ic.Metro, map[string]*netsim.Interface{ic.Metro: coreIfc})
+				near.Node.FIB.Add(host32(far.Addr), near)
+			}
+		}
+	}
+
+	for asn, subs := range perAS {
+		a := in.ASes[asn]
+		plumb := in.Plumb[asn]
+		for _, s := range subs {
+			for _, m := range a.Metros {
+				core := a.Cores[m]
+				if ifc, ok := s.local[m]; ok {
+					core.FIB.Add(s.prefix, ifc)
+					continue
+				}
+				if m == s.metro {
+					continue // address is on this core itself
+				}
+				if via := plumb.CoreIface[m][s.metro]; via != nil {
+					core.FIB.Add(s.prefix, via)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package topology
+
+import (
+	"fmt"
+	"time"
+)
+
+// ASSpec declares one AS to generate.
+type ASSpec struct {
+	ASN  int
+	Name string
+	Kind ASKind
+	// Org defaults to Name; give several specs the same Org to create
+	// sibling ASes.
+	Org string
+	// Metros lists where the AS has core presence. Interconnects may
+	// only be placed in metros both sides occupy.
+	Metros []string
+	// NumHosts is the number of destination hosts (default: one per
+	// metro).
+	NumHosts int
+	// ExtraPrefixes announces this many sub-prefixes of the block in
+	// addition to the block itself (default 1).
+	ExtraPrefixes int
+}
+
+// AdjSpec declares an adjacency (business relationship plus the physical
+// interconnects realizing it).
+type AdjSpec struct {
+	// A and B are the ASNs; for C2P, A is the customer of B.
+	A, B int
+	Rel  Rel
+	// Metros lists the metros with interconnect instances; when empty,
+	// up to two common metros are chosen automatically.
+	Metros []string
+	// Parallel is the number of parallel links per metro (default 1).
+	Parallel int
+	// Via names an IXP whose LAN addresses the interconnect; empty means
+	// a private interconnect addressed from AddrOwner's space.
+	Via string
+	// AddrOwner is the ASN supplying the point-to-point /30. Zero picks
+	// the provider side for C2P and side B for P2P, mirroring common
+	// practice (and creating the third-party-address cases bdrmap must
+	// handle).
+	AddrOwner int
+	// CapacityMbps defaults to 10000.
+	CapacityMbps float64
+	// BufferDelay defaults to 50ms.
+	BufferDelay time.Duration
+}
+
+// IXPSpec declares an exchange point.
+type IXPSpec struct {
+	Name  string
+	Metro string
+}
+
+// Config describes an internet to generate.
+type Config struct {
+	Seed   uint64
+	Metros []Metro
+	ASes   []ASSpec
+	Adjs   []AdjSpec
+	IXPs   []IXPSpec
+}
+
+// Validate checks the configuration for internal consistency.
+func (c *Config) Validate() error {
+	if len(c.ASes) == 0 {
+		return fmt.Errorf("topology: no ASes configured")
+	}
+	if len(c.ASes) > 200 {
+		return fmt.Errorf("topology: at most 200 ASes supported, got %d", len(c.ASes))
+	}
+	metros := map[string]bool{}
+	for _, m := range c.Metros {
+		metros[m.Name] = true
+	}
+	asns := map[int]*ASSpec{}
+	for i := range c.ASes {
+		s := &c.ASes[i]
+		if s.ASN <= 0 {
+			return fmt.Errorf("topology: AS %q has invalid ASN %d", s.Name, s.ASN)
+		}
+		if _, dup := asns[s.ASN]; dup {
+			return fmt.Errorf("topology: duplicate ASN %d", s.ASN)
+		}
+		asns[s.ASN] = s
+		if len(s.Metros) == 0 {
+			return fmt.Errorf("topology: AS%d has no metros", s.ASN)
+		}
+		for _, m := range s.Metros {
+			if !metros[m] {
+				return fmt.Errorf("topology: AS%d references unknown metro %q", s.ASN, m)
+			}
+		}
+	}
+	ixps := map[string]string{}
+	for _, x := range c.IXPs {
+		if !metros[x.Metro] {
+			return fmt.Errorf("topology: IXP %q in unknown metro %q", x.Name, x.Metro)
+		}
+		ixps[x.Name] = x.Metro
+	}
+	for _, adj := range c.Adjs {
+		sa, oka := asns[adj.A]
+		sb, okb := asns[adj.B]
+		if !oka || !okb {
+			return fmt.Errorf("topology: adjacency %d-%d references unknown AS", adj.A, adj.B)
+		}
+		if adj.A == adj.B {
+			return fmt.Errorf("topology: self adjacency on AS%d", adj.A)
+		}
+		if adj.Via != "" {
+			im, ok := ixps[adj.Via]
+			if !ok {
+				return fmt.Errorf("topology: adjacency %d-%d via unknown IXP %q", adj.A, adj.B, adj.Via)
+			}
+			if len(adj.Metros) > 0 {
+				for _, m := range adj.Metros {
+					if m != im {
+						return fmt.Errorf("topology: adjacency %d-%d via IXP %q must use metro %q", adj.A, adj.B, adj.Via, im)
+					}
+				}
+			}
+		}
+		for _, m := range adj.Metros {
+			if !contains(sa.Metros, m) || !contains(sb.Metros, m) {
+				return fmt.Errorf("topology: adjacency %d-%d at %q: both sides need presence there", adj.A, adj.B, m)
+			}
+		}
+		if adj.AddrOwner != 0 && adj.AddrOwner != adj.A && adj.AddrOwner != adj.B {
+			return fmt.Errorf("topology: adjacency %d-%d addr owner %d is neither side", adj.A, adj.B, adj.AddrOwner)
+		}
+	}
+	return nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// commonMetros returns metros present in both specs, preserving a's order.
+func commonMetros(a, b *ASSpec) []string {
+	var out []string
+	for _, m := range a.Metros {
+		if contains(b.Metros, m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package topology
+
+import (
+	"math"
+	"time"
+)
+
+// Metro is a metropolitan interconnection market. Propagation delays
+// between metros are derived from their time-zone separation, a crude but
+// serviceable proxy for geographic distance within a continent.
+type Metro struct {
+	Name string
+	// TZOffsetHours is the metro's offset from UTC (e.g. -5 for New
+	// York, -8 for Los Angeles).
+	TZOffsetHours float64
+}
+
+// USMetros returns the interconnection metros used by the U.S. broadband
+// scenario.
+func USMetros() []Metro {
+	return []Metro{
+		{Name: "nyc", TZOffsetHours: -5},
+		{Name: "ashburn", TZOffsetHours: -5},
+		{Name: "atlanta", TZOffsetHours: -5},
+		{Name: "chicago", TZOffsetHours: -6},
+		{Name: "dallas", TZOffsetHours: -6},
+		{Name: "denver", TZOffsetHours: -7},
+		{Name: "losangeles", TZOffsetHours: -8},
+		{Name: "seattle", TZOffsetHours: -8},
+	}
+}
+
+// MetroDistance returns an abstract distance between two metros.
+func MetroDistance(a, b Metro) float64 {
+	d := math.Abs(a.TZOffsetHours - b.TZOffsetHours)
+	if a.Name != b.Name && d == 0 {
+		// Same time zone, different city: small but non-zero.
+		d = 0.35
+	}
+	return d
+}
+
+// InterMetroDelay returns the one-way propagation delay of a backbone link
+// between two metros: ~2 ms of local fiber plus ~9 ms per time zone.
+func InterMetroDelay(a, b Metro) time.Duration {
+	d := MetroDistance(a, b)
+	return time.Duration((2 + 9*d) * float64(time.Millisecond))
+}
+
+// nearestMetro returns the name of the metro in candidates closest to
+// from, breaking ties by name for determinism.
+func nearestMetro(metros map[string]Metro, from string, candidates []string) string {
+	if len(candidates) == 0 {
+		return ""
+	}
+	fm := metros[from]
+	best := ""
+	bestD := math.Inf(1)
+	for _, c := range candidates {
+		d := MetroDistance(fm, metros[c])
+		if d < bestD || (d == bestD && c < best) {
+			best, bestD = c, d
+		}
+	}
+	return best
+}

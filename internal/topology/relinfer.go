@@ -1,0 +1,185 @@
+package topology
+
+import (
+	"sort"
+)
+
+// InferRelationships implements a Gao-style AS-relationship inference from
+// a corpus of AS paths, the role CAIDA's AS-relationship algorithm
+// ([20, 50] in the paper) plays for the deployed system: bdrmap and the
+// reactive loss module consume inferred — not ground-truth —
+// relationships, and inference errors are one of the data-quality issues
+// the paper's §3.2 discusses.
+//
+// The algorithm (Gao 2001, simplified): in a valley-free path, the link
+// sequence climbs customer->provider edges, crosses at most one peer
+// edge at the "top", and descends provider->customer edges. For each
+// path, the highest-degree AS is taken as the top; edges before it are
+// voted customer->provider, edges after provider->customer. Edge pairs
+// with balanced votes adjacent to the top are classified peer-peer.
+func InferRelationships(paths [][]int) []Relationship {
+	// Node degrees over the path corpus.
+	degree := map[int]int{}
+	neighbors := map[int]map[int]bool{}
+	addEdge := func(a, b int) {
+		if neighbors[a] == nil {
+			neighbors[a] = map[int]bool{}
+		}
+		if neighbors[b] == nil {
+			neighbors[b] = map[int]bool{}
+		}
+		if !neighbors[a][b] {
+			neighbors[a][b] = true
+			neighbors[b][a] = true
+			degree[a]++
+			degree[b]++
+		}
+	}
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			if p[i] != p[i+1] {
+				addEdge(p[i], p[i+1])
+			}
+		}
+	}
+
+	// Vote on edges: orientation votes (a->b = a is customer of b) plus
+	// peak-peer votes. In each path the highest-degree AS is the peak;
+	// when a path-adjacent neighbor of the peak has comparable degree,
+	// the crossing between them is treated as the peak *edge* — the place
+	// a valley-free path crosses a peering — and receives a peer vote
+	// instead of an orientation vote.
+	type edge struct{ a, b int }
+	up := map[edge]int{}
+	peer := map[edge]int{}
+	canon := func(a, b int) edge {
+		if a > b {
+			a, b = b, a
+		}
+		return edge{a, b}
+	}
+	vote := func(a, b int) { up[edge{a, b}]++ }
+
+	// peakComparable is the degree fraction a peak neighbor needs to be
+	// considered the other side of a peering crossing.
+	const peakComparable = 0.55
+
+	for _, p := range paths {
+		if len(p) < 2 {
+			continue
+		}
+		// Peak = highest-degree AS on the path.
+		top := 0
+		for i, asn := range p {
+			if degree[asn] > degree[p[top]] || (degree[asn] == degree[p[top]] && asn < p[top]) {
+				top = i
+			}
+		}
+		// Peer crossing: the path-adjacent neighbor with the larger
+		// degree, if comparable to the peak's.
+		peerIdx := -1
+		best := -1
+		for _, j := range []int{top - 1, top + 1} {
+			if j < 0 || j >= len(p) {
+				continue
+			}
+			if float64(degree[p[j]]) >= peakComparable*float64(degree[p[top]]) && degree[p[j]] > best {
+				best = degree[p[j]]
+				peerIdx = j
+			}
+		}
+		lo, hi := top, top
+		if peerIdx >= 0 {
+			peer[canon(p[top], p[peerIdx])]++
+			if peerIdx < top {
+				lo = peerIdx
+			} else {
+				hi = peerIdx
+			}
+		}
+		for i := 0; i < lo; i++ {
+			vote(p[i], p[i+1]) // climbing
+		}
+		for i := hi; i+1 < len(p); i++ {
+			vote(p[i+1], p[i]) // descending
+		}
+	}
+
+	// Classify each edge: peer votes dominating, or balanced orientation
+	// votes, mean a peering; otherwise c2p in the majority direction.
+	seen := map[edge]bool{}
+	var out []Relationship
+	classify := func(e edge) {
+		ce := canon(e.a, e.b)
+		if seen[ce] {
+			return
+		}
+		seen[ce] = true
+		n, m := up[edge{ce.a, ce.b}], up[edge{ce.b, ce.a}]
+		pv := peer[ce]
+		loV, hiV := n, m
+		if loV > hiV {
+			loV, hiV = hiV, loV
+		}
+		switch {
+		case pv == 0 && hiV == 0:
+			return
+		case pv > hiV, hiV > 0 && loV*3 >= hiV:
+			out = append(out, Relationship{A: ce.a, B: ce.b, Type: P2P})
+		case n > m:
+			out = append(out, Relationship{A: ce.a, B: ce.b, Type: C2P})
+		default:
+			out = append(out, Relationship{A: ce.b, B: ce.a, Type: C2P})
+		}
+	}
+	for e := range up {
+		classify(e)
+	}
+	for e := range peer {
+		classify(e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// RelationshipAccuracy compares inferred relationships against ground
+// truth, returning (correct, total inferred, truth edges covered). A
+// relationship is correct when the edge exists in truth with the same type
+// and (for C2P) the same orientation.
+func RelationshipAccuracy(inferred, truth []Relationship) (correct, total, covered int) {
+	type key struct{ a, b int }
+	truthMap := map[key]Relationship{}
+	for _, r := range truth {
+		truthMap[key{r.A, r.B}] = r
+	}
+	lookup := func(a, b int) (Relationship, bool, bool) {
+		if r, ok := truthMap[key{a, b}]; ok {
+			return r, false, true
+		}
+		if r, ok := truthMap[key{b, a}]; ok {
+			return r, true, true
+		}
+		return Relationship{}, false, false
+	}
+	coveredSet := map[key]bool{}
+	for _, r := range inferred {
+		total++
+		t, swapped, ok := lookup(r.A, r.B)
+		if !ok {
+			continue
+		}
+		coveredSet[key{t.A, t.B}] = true
+		switch {
+		case r.Type == P2P && t.Type == P2P:
+			correct++
+		case r.Type == C2P && t.Type == C2P && !swapped:
+			correct++
+		}
+	}
+	return correct, total, len(coveredSet)
+}

@@ -1,0 +1,99 @@
+package topology_test
+
+import (
+	"testing"
+
+	"interdomain/internal/bgp"
+	"interdomain/internal/scenario"
+	"interdomain/internal/testnet"
+	"interdomain/internal/topology"
+)
+
+// collectPaths extracts every AS path from the route table, the way the
+// real algorithm consumes RouteViews/RIPE RIS paths.
+func collectPaths(in *topology.Internet, tbl *bgp.Table) [][]int {
+	var paths [][]int
+	for src := range in.ASes {
+		for dst := range in.ASes {
+			if src == dst {
+				continue
+			}
+			if p := tbl.ASPath(src, dst); len(p) >= 2 {
+				paths = append(paths, p)
+			}
+		}
+	}
+	return paths
+}
+
+func TestInferRelationshipsOnFixture(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 91})
+	paths := collectPaths(n.In, n.Table)
+	inferred := topology.InferRelationships(paths)
+	if len(inferred) == 0 {
+		t.Fatal("nothing inferred")
+	}
+	correct, total, covered := topology.RelationshipAccuracy(inferred, n.In.Rels)
+	prec := float64(correct) / float64(total)
+	rec := float64(covered) / float64(len(n.In.Rels))
+	if prec < 0.6 {
+		t.Fatalf("precision %.2f (correct=%d total=%d)", prec, correct, total)
+	}
+	if rec < 0.6 {
+		t.Fatalf("recall %.2f (covered=%d truth=%d)", rec, covered, len(n.In.Rels))
+	}
+}
+
+func TestInferRelationshipsOnScenario(t *testing.T) {
+	in, tbl, err := scenario.Build(92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := collectPaths(in, tbl)
+	inferred := topology.InferRelationships(paths)
+	correct, total, covered := topology.RelationshipAccuracy(inferred, in.Rels)
+	prec := float64(correct) / float64(total)
+	rec := float64(covered) / float64(len(in.Rels))
+	t.Logf("scenario relationship inference: precision=%.2f recall=%.2f (%d inferred, %d truth)",
+		prec, rec, total, len(in.Rels))
+	// The classic algorithm is imperfect (that is the paper's point about
+	// data quality) but must recover the bulk of the graph.
+	if prec < 0.55 || rec < 0.55 {
+		t.Fatalf("precision %.2f recall %.2f below floor", prec, rec)
+	}
+}
+
+func TestInferRelationshipsDirection(t *testing.T) {
+	// Hand-built corpus: 1 is clearly a customer of 2 (2 has much higher
+	// degree and sits above 1 in every path).
+	paths := [][]int{
+		{1, 2, 3},
+		{1, 2, 4},
+		{1, 2, 5},
+		{3, 2, 1},
+		{4, 2, 5},
+		{5, 2, 3},
+	}
+	inferred := topology.InferRelationships(paths)
+	found := false
+	for _, r := range inferred {
+		if r.Type == topology.C2P && r.A == 1 && r.B == 2 {
+			found = true
+		}
+		if r.Type == topology.C2P && r.A == 2 && r.B == 1 {
+			t.Fatal("direction inverted: 2 inferred customer of 1")
+		}
+	}
+	if !found {
+		t.Fatalf("1-2 c2p not inferred: %+v", inferred)
+	}
+}
+
+func TestInferRelationshipsEmpty(t *testing.T) {
+	if out := topology.InferRelationships(nil); len(out) != 0 {
+		t.Fatalf("non-empty inference from empty corpus: %v", out)
+	}
+	if out := topology.InferRelationships([][]int{{7}}); len(out) != 0 {
+		t.Fatalf("single-AS paths produced edges: %v", out)
+	}
+}

@@ -1,0 +1,312 @@
+// Package topology generates the AS-level and router-level topology the
+// measurement system operates on: autonomous systems with address blocks,
+// organizations (sibling AS groups), metros with realistic propagation
+// delays, IXPs with shared peering LANs, and IP-level interdomain
+// interconnects between border routers.
+//
+// The real system consumes CAIDA's AS-relationship and AS-to-organization
+// datasets, IXP prefix lists from PCH/PeeringDB, and RIR delegation files.
+// Here the generator produces all of those views of a synthetic Internet,
+// with ground truth retained so inference accuracy can be evaluated
+// exactly (the paper could only validate against two cooperating
+// operators).
+package topology
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"interdomain/internal/netsim"
+)
+
+// Rel is the business relationship between two ASes.
+type Rel int
+
+const (
+	// C2P means the first AS is a customer of the second.
+	C2P Rel = iota
+	// P2P is a settlement-free peering relationship.
+	P2P
+)
+
+func (r Rel) String() string {
+	if r == C2P {
+		return "c2p"
+	}
+	return "p2p"
+}
+
+// ASKind classifies an AS's role in the ecosystem.
+type ASKind int
+
+const (
+	// AccessISP is a broadband access provider hosting vantage points.
+	AccessISP ASKind = iota
+	// Transit is a transit provider.
+	Transit
+	// Content is a content provider or CDN.
+	Content
+	// Stub is an edge network (enterprise, small ISP) that originates
+	// prefixes but provides no transit.
+	Stub
+)
+
+func (k ASKind) String() string {
+	switch k {
+	case AccessISP:
+		return "access"
+	case Transit:
+		return "transit"
+	case Content:
+		return "content"
+	default:
+		return "stub"
+	}
+}
+
+// AS is one autonomous system with its routers and address space.
+type AS struct {
+	ASN  int
+	Name string
+	Kind ASKind
+	// Org identifies the owning organization; ASes sharing an Org are
+	// siblings (the paper hand-curated these lists from WHOIS).
+	Org string
+
+	// Block is the AS's address allocation; Prefixes are what it
+	// announces in BGP (the block itself plus sub-prefixes).
+	Block    netip.Prefix
+	Prefixes []netip.Prefix
+
+	// Cores maps metro name to the AS's core router there.
+	Cores map[string]*netsim.Node
+	// Hosts are destination hosts inside the AS, keyed by nothing in
+	// particular; TSLP target selection draws from these.
+	Hosts []*netsim.Node
+
+	// Metros lists the metros where the AS has presence, sorted.
+	Metros []string
+
+	alloc *netsim.AddrAllocator
+	// infra is the internal-infrastructure address pool. Internal link
+	// endpoints draw single (odd) addresses from it rather than dedicated
+	// /30s, mirroring the operational convention that lets bdrmap
+	// distinguish internal links from interdomain point-to-point /30s.
+	infra *netsim.AddrAllocator
+}
+
+// infraAddr returns the next odd infrastructure address. Odd addresses
+// never form /30 host pairs with each other, so internal links never look
+// like point-to-point /30s to the border-mapping heuristics.
+func (a *AS) infraAddr() (netip.Addr, error) {
+	for {
+		x, err := a.infra.Addr()
+		if err != nil {
+			return netip.Addr{}, err
+		}
+		if x.As4()[3]%2 == 1 {
+			return x, nil
+		}
+	}
+}
+
+// Alloc returns the AS's address allocator.
+func (a *AS) Alloc() *netsim.AddrAllocator { return a.alloc }
+
+// Relationship is an AS-level business relationship (ground truth).
+type Relationship struct {
+	A, B int // for C2P, A is the customer of B
+	Type Rel
+}
+
+// Interconnect is one IP-level interdomain link instance between border
+// routers of two ASes. This is the unit of measurement in the paper: a
+// single AS pair commonly interconnects at several metros with several
+// parallel links.
+type Interconnect struct {
+	Link *netsim.Link
+	// ASA and ASB are the ASes on the A and B side of the link.
+	ASA, ASB int
+	// BorderA and BorderB are the border routers.
+	BorderA, BorderB *netsim.Node
+	Metro            string
+	// AddrOwner is the ASN whose space the point-to-point /30 came from,
+	// or 0 when the addresses come from an IXP LAN.
+	AddrOwner int
+	// IXP names the exchange when the interconnect is across an IXP LAN.
+	IXP string
+	// Subnet is the /30 (or IXP LAN slice) addressing the link.
+	Subnet netip.Prefix
+}
+
+// Side returns the interface and border router that belong to asn, along
+// with the far interface/router, or ok=false if asn is on neither side.
+func (ic *Interconnect) Side(asn int) (near, far *netsim.Interface, ok bool) {
+	switch asn {
+	case ic.ASA:
+		return ic.Link.A, ic.Link.B, true
+	case ic.ASB:
+		return ic.Link.B, ic.Link.A, true
+	}
+	return nil, nil, false
+}
+
+// Neighbor returns the AS on the other side from asn.
+func (ic *Interconnect) Neighbor(asn int) int {
+	if asn == ic.ASA {
+		return ic.ASB
+	}
+	return ic.ASA
+}
+
+// IXP is an Internet exchange point with a shared peering LAN.
+type IXP struct {
+	Name   string
+	Metro  string
+	Prefix netip.Prefix
+	alloc  *netsim.AddrAllocator
+}
+
+// Internet is the generated internetwork plus all the metadata datasets
+// the inference pipeline consumes.
+type Internet struct {
+	Net    *netsim.Network
+	ASes   map[int]*AS
+	Rels   []Relationship
+	Inters []*Interconnect
+	IXPs   map[string]*IXP
+	Metros map[string]Metro
+	// Plumb exposes per-AS internal wiring to the route installer.
+	Plumb map[int]*Plumbing
+
+	relIndex map[[2]int]Rel
+}
+
+// ASList returns the ASes sorted by ASN.
+func (in *Internet) ASList() []*AS {
+	out := make([]*AS, 0, len(in.ASes))
+	for _, a := range in.ASes {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// Relationship returns the relationship between a and b from a's point of
+// view: C2P if a is b's customer, P2P if peers. The second result encodes
+// provider-ness: rel==C2P with swapped=true means a is b's *provider*.
+func (in *Internet) Relationship(a, b int) (rel Rel, swapped, ok bool) {
+	if r, found := in.relIndex[[2]int{a, b}]; found {
+		return r, false, true
+	}
+	if r, found := in.relIndex[[2]int{b, a}]; found {
+		return r, true, true
+	}
+	return 0, false, false
+}
+
+// Neighbors returns the ASNs adjacent to asn in the relationship graph.
+func (in *Internet) Neighbors(asn int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, r := range in.Rels {
+		var o int
+		switch asn {
+		case r.A:
+			o = r.B
+		case r.B:
+			o = r.A
+		default:
+			continue
+		}
+		if !seen[o] {
+			seen[o] = true
+			out = append(out, o)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Siblings returns the ASNs sharing asn's organization (including asn).
+// This is the "manually curated sibling list" input to bdrmap.
+func (in *Internet) Siblings(asn int) []int {
+	a, ok := in.ASes[asn]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for _, other := range in.ASes {
+		if other.Org == a.Org {
+			out = append(out, other.ASN)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PrefixToAS builds the prefix-to-AS mapping derived from BGP
+// announcements, the same input the real system constructs from
+// RouteViews and RIPE RIS.
+func (in *Internet) PrefixToAS() map[netip.Prefix]int {
+	m := make(map[netip.Prefix]int)
+	for _, a := range in.ASes {
+		for _, p := range a.Prefixes {
+			m[p] = a.ASN
+		}
+	}
+	return m
+}
+
+// IXPPrefixes returns the exchange LAN prefixes (the PCH/PeeringDB
+// substitute).
+func (in *Internet) IXPPrefixes() []netip.Prefix {
+	var out []netip.Prefix
+	for _, x := range in.IXPs {
+		out = append(out, x.Prefix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// InterconnectsOf returns the interconnect instances that asn participates
+// in, optionally filtered to a specific neighbor (neighbor==0 means all).
+func (in *Internet) InterconnectsOf(asn, neighbor int) []*Interconnect {
+	var out []*Interconnect
+	for _, ic := range in.Inters {
+		if ic.ASA != asn && ic.ASB != asn {
+			continue
+		}
+		if neighbor != 0 && ic.Neighbor(asn) != neighbor {
+			continue
+		}
+		out = append(out, ic)
+	}
+	return out
+}
+
+// FindInterconnect locates the interconnect whose link endpoints carry the
+// given near/far addresses (in either order), or nil.
+func (in *Internet) FindInterconnect(x, y netip.Addr) *Interconnect {
+	for _, ic := range in.Inters {
+		a, b := ic.Link.A.Addr, ic.Link.B.Addr
+		if (a == x && b == y) || (a == y && b == x) {
+			return ic
+		}
+	}
+	return nil
+}
+
+func (in *Internet) indexRels() {
+	in.relIndex = make(map[[2]int]Rel, len(in.Rels))
+	for _, r := range in.Rels {
+		in.relIndex[[2]int{r.A, r.B}] = r.Type
+	}
+}
+
+// String summarizes the internet for logs.
+func (in *Internet) String() string {
+	return fmt.Sprintf("internet{ases=%d rels=%d interconnects=%d ixps=%d nodes=%d links=%d}",
+		len(in.ASes), len(in.Rels), len(in.Inters), len(in.IXPs), len(in.Net.Nodes), len(in.Net.Links))
+}

@@ -1,0 +1,179 @@
+package topology_test
+
+import (
+	"testing"
+
+	"interdomain/internal/testnet"
+	"interdomain/internal/topology"
+)
+
+func TestBuildFixture(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 1})
+	in := n.In
+	if len(in.ASes) != 5 {
+		t.Fatalf("got %d ASes, want 5", len(in.ASes))
+	}
+	// acme: c2p nyc+chicago to transit, p2p LA PNI + nyc IXP to content,
+	// p2p chicago to transit2 => 5 interconnects.
+	ics := in.InterconnectsOf(testnet.AccessASN, 0)
+	if len(ics) != 5 {
+		t.Fatalf("access has %d interconnects, want 5", len(ics))
+	}
+	// The IXP link must be addressed from the IXP LAN.
+	var ixpIC *topology.Interconnect
+	for _, ic := range ics {
+		if ic.IXP == "nyiix" {
+			ixpIC = ic
+		}
+	}
+	if ixpIC == nil {
+		t.Fatal("no IXP interconnect found")
+	}
+	lan := in.IXPs["nyiix"].Prefix
+	if !lan.Contains(ixpIC.Link.A.Addr) || !lan.Contains(ixpIC.Link.B.Addr) {
+		t.Fatalf("IXP link %v-%v not inside LAN %v", ixpIC.Link.A.Addr, ixpIC.Link.B.Addr, lan)
+	}
+	if ixpIC.AddrOwner != 0 {
+		t.Fatalf("IXP link owner = %d, want 0", ixpIC.AddrOwner)
+	}
+}
+
+func TestPNIAddressOwnership(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 1})
+	in := n.In
+	// The access-transit adjacency defaults the /30 owner to the provider
+	// (transit), so both endpoint addresses must be inside transit's block.
+	for _, ic := range in.InterconnectsOf(testnet.AccessASN, testnet.TransitASN) {
+		if ic.AddrOwner != testnet.TransitASN {
+			t.Fatalf("owner = %d, want %d", ic.AddrOwner, testnet.TransitASN)
+		}
+		blk := in.ASes[testnet.TransitASN].Block
+		if !blk.Contains(ic.Link.A.Addr) || !blk.Contains(ic.Link.B.Addr) {
+			t.Fatalf("link addrs %v/%v outside owner block %v", ic.Link.A.Addr, ic.Link.B.Addr, blk)
+		}
+	}
+}
+
+func TestSiblingsAndPrefixToAS(t *testing.T) {
+	cfg := topology.Config{
+		Seed:   3,
+		Metros: []topology.Metro{{Name: "m", TZOffsetHours: -5}},
+		ASes: []topology.ASSpec{
+			{ASN: 1, Name: "a1", Org: "bigcorp", Metros: []string{"m"}},
+			{ASN: 2, Name: "a2", Org: "bigcorp", Metros: []string{"m"}},
+			{ASN: 3, Name: "b", Metros: []string{"m"}},
+		},
+		Adjs: []topology.AdjSpec{
+			{A: 1, B: 3, Rel: topology.P2P},
+			{A: 2, B: 1, Rel: topology.C2P},
+		},
+	}
+	in, err := topology.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sib := in.Siblings(1)
+	if len(sib) != 2 || sib[0] != 1 || sib[1] != 2 {
+		t.Fatalf("siblings(1) = %v, want [1 2]", sib)
+	}
+	if got := in.Siblings(3); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("siblings(3) = %v", got)
+	}
+	p2a := in.PrefixToAS()
+	for _, a := range in.ASes {
+		for _, p := range a.Prefixes {
+			if p2a[p] != a.ASN {
+				t.Fatalf("prefix %v maps to %d, want %d", p, p2a[p], a.ASN)
+			}
+		}
+	}
+}
+
+func TestRelationshipLookup(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 1})
+	rel, swapped, ok := n.In.Relationship(testnet.AccessASN, testnet.TransitASN)
+	if !ok || rel != topology.C2P || swapped {
+		t.Fatalf("access->transit rel=%v swapped=%v ok=%v", rel, swapped, ok)
+	}
+	rel, swapped, ok = n.In.Relationship(testnet.TransitASN, testnet.AccessASN)
+	if !ok || rel != topology.C2P || !swapped {
+		t.Fatalf("transit->access rel=%v swapped=%v ok=%v", rel, swapped, ok)
+	}
+	_, _, ok = n.In.Relationship(testnet.AccessASN, testnet.StubASN)
+	if ok {
+		t.Fatal("unrelated ASes should have no relationship")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	m := []topology.Metro{{Name: "m", TZOffsetHours: 0}}
+	cases := []struct {
+		name string
+		cfg  topology.Config
+	}{
+		{"no ases", topology.Config{Metros: m}},
+		{"dup asn", topology.Config{Metros: m, ASes: []topology.ASSpec{
+			{ASN: 1, Name: "x", Metros: []string{"m"}}, {ASN: 1, Name: "y", Metros: []string{"m"}}}}},
+		{"unknown metro", topology.Config{Metros: m, ASes: []topology.ASSpec{
+			{ASN: 1, Name: "x", Metros: []string{"zz"}}}}},
+		{"self adjacency", topology.Config{Metros: m, ASes: []topology.ASSpec{
+			{ASN: 1, Name: "x", Metros: []string{"m"}}},
+			Adjs: []topology.AdjSpec{{A: 1, B: 1, Rel: topology.P2P}}}},
+		{"unknown neighbor", topology.Config{Metros: m, ASes: []topology.ASSpec{
+			{ASN: 1, Name: "x", Metros: []string{"m"}}},
+			Adjs: []topology.AdjSpec{{A: 1, B: 9, Rel: topology.P2P}}}},
+		{"bad owner", topology.Config{Metros: m, ASes: []topology.ASSpec{
+			{ASN: 1, Name: "x", Metros: []string{"m"}}, {ASN: 2, Name: "y", Metros: []string{"m"}}},
+			Adjs: []topology.AdjSpec{{A: 1, B: 2, Rel: topology.P2P, AddrOwner: 7}}}},
+	}
+	for _, c := range cases {
+		if err := c.cfg.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestMetroDistance(t *testing.T) {
+	ms := topology.USMetros()
+	var nyc, la, ash topology.Metro
+	for _, m := range ms {
+		switch m.Name {
+		case "nyc":
+			nyc = m
+		case "losangeles":
+			la = m
+		case "ashburn":
+			ash = m
+		}
+	}
+	if d := topology.MetroDistance(nyc, la); d != 3 {
+		t.Fatalf("nyc-la distance %f, want 3", d)
+	}
+	if d := topology.MetroDistance(nyc, ash); d <= 0 || d >= 1 {
+		t.Fatalf("nyc-ashburn distance %f, want small nonzero", d)
+	}
+	if d := topology.MetroDistance(nyc, nyc); d != 0 {
+		t.Fatalf("self distance %f", d)
+	}
+	if got := topology.InterMetroDelay(nyc, la); got < 25e6 || got > 35e6 {
+		t.Fatalf("nyc-la delay %v, want ~29ms", got)
+	}
+}
+
+func TestInterconnectSide(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 1})
+	ic := n.CongestedIC
+	near, far, ok := ic.Side(testnet.AccessASN)
+	if !ok {
+		t.Fatal("access not on its own interconnect")
+	}
+	if near.Node.ASN != testnet.AccessASN || far.Node.ASN != testnet.ContentASN {
+		t.Fatalf("sides mixed up: near AS%d far AS%d", near.Node.ASN, far.Node.ASN)
+	}
+	if ic.Neighbor(testnet.AccessASN) != testnet.ContentASN {
+		t.Fatal("neighbor lookup wrong")
+	}
+	if _, _, ok := ic.Side(999); ok {
+		t.Fatal("side lookup for stranger AS should fail")
+	}
+}

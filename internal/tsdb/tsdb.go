@@ -1,0 +1,317 @@
+// Package tsdb is the measurement system's time-series store, playing the
+// role InfluxDB plays in the deployed system (§3): the probing modules
+// write latency/loss/throughput points tagged with vantage point, link and
+// probe kind; the analysis and visualization layers query ranges back out.
+//
+// The store is in-memory with binary snapshot/restore, tag-indexed, and
+// safe for concurrent use. Points within one series are kept ordered by
+// time; out-of-order writes are inserted, matching the semantics analysis
+// code expects.
+package tsdb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Point is a single timestamped value.
+type Point struct {
+	Time  time.Time
+	Value float64
+}
+
+// Series is one measurement stream identified by a measurement name and a
+// tag set.
+type Series struct {
+	Measurement string
+	Tags        map[string]string
+	Points      []Point
+}
+
+// Key returns the canonical series key: measurement plus sorted tags.
+func Key(measurement string, tags map[string]string) string {
+	if len(tags) == 0 {
+		return measurement
+	}
+	keys := make([]string, 0, len(tags))
+	for k := range tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(measurement)
+	for _, k := range keys {
+		fmt.Fprintf(&b, ",%s=%s", k, tags[k])
+	}
+	return b.String()
+}
+
+// DB is the store.
+type DB struct {
+	mu     sync.RWMutex
+	series map[string]*Series
+}
+
+// Open returns an empty database.
+func Open() *DB {
+	return &DB{series: make(map[string]*Series)}
+}
+
+// Write appends one point to the series identified by measurement and
+// tags, creating the series on first write.
+func (db *DB) Write(measurement string, tags map[string]string, t time.Time, v float64) {
+	key := Key(measurement, tags)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.series[key]
+	if !ok {
+		tcopy := make(map[string]string, len(tags))
+		for k, val := range tags {
+			tcopy[k] = val
+		}
+		s = &Series{Measurement: measurement, Tags: tcopy}
+		db.series[key] = s
+	}
+	p := Point{Time: t, Value: v}
+	n := len(s.Points)
+	if n == 0 || !s.Points[n-1].Time.After(t) {
+		s.Points = append(s.Points, p)
+		return
+	}
+	// Out-of-order write: insert at the right position.
+	idx := sort.Search(n, func(i int) bool { return s.Points[i].Time.After(t) })
+	s.Points = append(s.Points, Point{})
+	copy(s.Points[idx+1:], s.Points[idx:])
+	s.Points[idx] = p
+}
+
+// SeriesCount returns the number of stored series.
+func (db *DB) SeriesCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.series)
+}
+
+// PointCount returns the total number of stored points.
+func (db *DB) PointCount() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, s := range db.series {
+		n += len(s.Points)
+	}
+	return n
+}
+
+// matches reports whether the series' tags include all of filter.
+func (s *Series) matches(measurement string, filter map[string]string) bool {
+	if s.Measurement != measurement {
+		return false
+	}
+	for k, v := range filter {
+		if s.Tags[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Query returns, for every series of the measurement matching the tag
+// filter, the points within [from, to). The returned series share no
+// memory with the store.
+func (db *DB) Query(measurement string, filter map[string]string, from, to time.Time) []Series {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []Series
+	for _, s := range db.series {
+		if !s.matches(measurement, filter) {
+			continue
+		}
+		lo := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(from) })
+		hi := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(to) })
+		if lo >= hi {
+			continue
+		}
+		cp := Series{Measurement: s.Measurement, Tags: cloneTags(s.Tags), Points: make([]Point, hi-lo)}
+		copy(cp.Points, s.Points[lo:hi])
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return Key(out[i].Measurement, out[i].Tags) < Key(out[j].Measurement, out[j].Tags)
+	})
+	return out
+}
+
+// TagValues returns the sorted distinct values of a tag across a
+// measurement (e.g. all link ids with TSLP data).
+func (db *DB) TagValues(measurement, tag string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	set := map[string]bool{}
+	for _, s := range db.series {
+		if s.Measurement == measurement {
+			if v, ok := s.Tags[tag]; ok {
+				set[v] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Measurements returns the sorted distinct measurement names.
+func (db *DB) Measurements() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	set := map[string]bool{}
+	for _, s := range db.series {
+		set[s.Measurement] = true
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Agg selects the aggregation function for Downsample.
+type Agg int
+
+const (
+	Min Agg = iota
+	Mean
+	Max
+	Count
+)
+
+// Downsample buckets points into fixed bins aligned to start and applies
+// the aggregate. Empty bins yield NaN (or 0 for Count). The result has
+// exactly n bins.
+func Downsample(points []Point, start time.Time, bin time.Duration, n int, agg Agg) []Point {
+	out := make([]Point, n)
+	type acc struct {
+		min, max, sum float64
+		n             int
+	}
+	accs := make([]acc, n)
+	for i := range accs {
+		accs[i].min = math.Inf(1)
+		accs[i].max = math.Inf(-1)
+	}
+	for _, p := range points {
+		idx := int(p.Time.Sub(start) / bin)
+		if idx < 0 || idx >= n {
+			continue
+		}
+		a := &accs[idx]
+		if p.Value < a.min {
+			a.min = p.Value
+		}
+		if p.Value > a.max {
+			a.max = p.Value
+		}
+		a.sum += p.Value
+		a.n++
+	}
+	for i := range out {
+		out[i].Time = start.Add(time.Duration(i) * bin)
+		a := accs[i]
+		switch agg {
+		case Count:
+			out[i].Value = float64(a.n)
+		case Min:
+			if a.n == 0 {
+				out[i].Value = math.NaN()
+			} else {
+				out[i].Value = a.min
+			}
+		case Max:
+			if a.n == 0 {
+				out[i].Value = math.NaN()
+			} else {
+				out[i].Value = a.max
+			}
+		case Mean:
+			if a.n == 0 {
+				out[i].Value = math.NaN()
+			} else {
+				out[i].Value = a.sum / float64(a.n)
+			}
+		}
+	}
+	return out
+}
+
+// Retain drops every point outside [from, to) and removes series left
+// empty. Long-running collection daemons call it to bound memory; the
+// deployed system similarly aged raw data out of InfluxDB. It returns the
+// number of points dropped.
+func (db *DB) Retain(from, to time.Time) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	dropped := 0
+	for key, s := range db.series {
+		lo := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(from) })
+		hi := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(to) })
+		dropped += len(s.Points) - (hi - lo)
+		if hi <= lo {
+			delete(db.series, key)
+			continue
+		}
+		kept := make([]Point, hi-lo)
+		copy(kept, s.Points[lo:hi])
+		s.Points = kept
+	}
+	return dropped
+}
+
+// Snapshot serializes the whole store.
+func (db *DB) Snapshot(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	enc := gob.NewEncoder(w)
+	list := make([]*Series, 0, len(db.series))
+	keys := make([]string, 0, len(db.series))
+	for k := range db.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		list = append(list, db.series[k])
+	}
+	return enc.Encode(list)
+}
+
+// Restore replaces the store contents with a snapshot.
+func (db *DB) Restore(r io.Reader) error {
+	var list []*Series
+	if err := gob.NewDecoder(r).Decode(&list); err != nil {
+		return fmt.Errorf("tsdb: restore: %w", err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.series = make(map[string]*Series, len(list))
+	for _, s := range list {
+		db.series[Key(s.Measurement, s.Tags)] = s
+	}
+	return nil
+}
+
+func cloneTags(t map[string]string) map[string]string {
+	out := make(map[string]string, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package tslp
+
+import (
+	"time"
+
+	"interdomain/internal/analysis"
+	"interdomain/internal/netsim"
+	"interdomain/internal/topology"
+)
+
+// FluidProber synthesizes TSLP series for one interconnect directly from
+// the link's fluid queue state — the fast path for multi-month runs. The
+// queue model is the same one the packet walker samples, so the two modes
+// agree statistically (asserted in tests); what the fluid mode gives up is
+// per-packet effects (ICMP rate limiting, per-hop jitter tails), which the
+// min-filter removes anyway.
+type FluidProber struct {
+	IC *topology.Interconnect
+	// VPASN identifies the side hosting the VP.
+	VPASN int
+	// BaseNearMs/BaseFarMs are the uncongested path RTTs to the near and
+	// far router (calibrate once with packet probes, or set from
+	// topology knowledge).
+	BaseNearMs, BaseFarMs float64
+	// SamplesPerBin mimics the 3-9 raw TSLP samples aggregated into each
+	// 15-minute bin (§4.2).
+	SamplesPerBin int
+	// MissingProb is the chance a whole bin has no data (maintenance,
+	// probe loss bursts).
+	MissingProb float64
+	// Seed decorrelates jitter across (VP, link) pairs.
+	Seed uint64
+
+	// The remaining fields inject the measurement pathologies §5.1
+	// catalogs among its 16 contradicting month-links.
+
+	// MorningBurstProb is the chance a local-morning five-minute window
+	// carries a loss burst of MorningBurstLoss, uncorrelated with
+	// congestion ("episodes of high far-end loss uncorrelated with
+	// latency spikes").
+	MorningBurstProb float64
+	MorningBurstLoss float64
+	// NearCongLoss, when positive, elevates near-side loss during the
+	// local evening peak (congestion inside the access network), which
+	// defeats the localization test.
+	NearCongLoss float64
+}
+
+// Directions returns the forward (VP->neighbor) and reverse directions of
+// the interconnect relative to the VP side.
+func (f *FluidProber) Directions() (fwd, rev netsim.Direction, err error) {
+	near, _, ok := f.IC.Side(f.VPASN)
+	if !ok {
+		return 0, 0, errNotOnLink
+	}
+	if near == f.IC.Link.A {
+		return netsim.AtoB, netsim.BtoA, nil
+	}
+	return netsim.BtoA, netsim.AtoB, nil
+}
+
+var errNotOnLink = errorString("tslp: VP AS is not on the interconnect")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// BinnedSeries produces min-filtered far and near series covering days
+// whole days at the given bin width, starting at start.
+func (f *FluidProber) BinnedSeries(start time.Time, days int, binsPerDay int) (far, near *analysis.BinSeries, err error) {
+	fwd, rev, err := f.Directions()
+	if err != nil {
+		return nil, nil, err
+	}
+	bin := 24 * time.Hour / time.Duration(binsPerDay)
+	n := days * binsPerDay
+	far = analysis.NewBinSeries(start, bin, n)
+	near = analysis.NewBinSeries(start, bin, n)
+
+	k := f.SamplesPerBin
+	if k <= 0 {
+		k = 3
+	}
+	link := f.IC.Link
+	for i := 0; i < n; i++ {
+		t0 := start.Add(time.Duration(i) * bin)
+		rng := netsim.NewRNG(netsim.Hash64(f.Seed, uint64(i)))
+		if f.MissingProb > 0 && rng.Bernoulli(f.MissingProb) {
+			continue
+		}
+		for s := 0; s < k; s++ {
+			ts := t0.Add(time.Duration(rng.Float64() * float64(bin)))
+			jitter := rng.Exp(0.08) // ms
+			// Far probe: crosses the link out and the reply crosses back;
+			// it queues in whichever direction is loaded.
+			qf := link.QueueDelay(ts, fwd).Seconds() * 1e3
+			qr := link.QueueDelay(ts, rev).Seconds() * 1e3
+			far.Observe(ts, f.BaseFarMs+qf+qr+jitter)
+			// Near probe: expires before the interdomain link.
+			near.Observe(ts, f.BaseNearMs+rng.Exp(0.08))
+		}
+	}
+	return far, near, nil
+}
+
+// LossSample reports (sent, lost) counts for probing one side of the link
+// once per second over a window starting at t (§3.3's 300 samples per
+// five-minute window). The far side experiences the link's loss in both
+// directions; the near side only the baseline floor. A far router that
+// rate-limits ICMP shows high loss at all times, reproducing the §5.1
+// measurement artifacts.
+func (f *FluidProber) LossSample(t time.Time, window time.Duration, side string) (sent, lost int) {
+	fwd, rev, err := f.Directions()
+	if err != nil {
+		return 0, 0
+	}
+	sent = int(window / time.Second)
+	rng := netsim.NewRNG(netsim.Hash64(f.Seed, 0x10557, uint64(t.UnixNano()), uint64(len(side))))
+	link := f.IC.Link
+
+	rateLimited := 0.0
+	if side == "far" {
+		if _, far, ok := f.IC.Side(f.VPASN); ok && far.Node.ICMPRateLimit > 0 {
+			// One probe per second against a limiter shared with other
+			// measurement traffic: most responses are suppressed.
+			rateLimited = 0.72
+		}
+	}
+
+	// Artifact windows keyed by the window start for determinism.
+	burst := 0.0
+	if side == "far" && f.MorningBurstProb > 0 {
+		if h := f.localHour(t); h >= 6 && h < 14 {
+			br := netsim.NewRNG(netsim.Hash64(f.Seed, 0xb1157, uint64(t.Unix()/300)))
+			if br.Bernoulli(f.MorningBurstProb) {
+				burst = f.MorningBurstLoss
+			}
+		}
+	}
+	nearElevated := 0.0
+	if side == "near" && f.NearCongLoss > 0 {
+		if h := f.localHour(t); h >= 18 && h < 23 {
+			nearElevated = f.NearCongLoss
+		}
+	}
+
+	// Sample the loss probability at a few instants across the window.
+	const slices = 5
+	per := sent / slices
+	rem := sent - per*slices
+	for s := 0; s < slices; s++ {
+		ts := t.Add(time.Duration(s) * window / slices)
+		var p float64
+		if side == "far" {
+			pf := link.LossProb(ts, fwd)
+			pr := link.LossProb(ts, rev)
+			p = 1 - (1-pf)*(1-pr)
+			p = 1 - (1-p)*(1-rateLimited)
+			p = 1 - (1-p)*(1-burst)
+		} else {
+			p = 5e-5 + nearElevated
+		}
+		nn := per
+		if s == 0 {
+			nn += rem
+		}
+		lost += rng.Binomial(nn, p)
+	}
+	return sent, lost
+}
+
+// localHour returns the hour of day in the link metro's local time.
+func (f *FluidProber) localHour(t time.Time) int {
+	var tz float64
+	for _, dir := range []netsim.Direction{netsim.AtoB, netsim.BtoA} {
+		if p := f.IC.Link.Profile(dir); p != nil {
+			tz = p.TZOffsetHours
+			break
+		}
+	}
+	return t.Add(time.Duration(tz * float64(time.Hour))).Hour()
+}
+
+// CalibrateBaseRTTs estimates uncongested near/far base RTTs from the
+// topology: intra-metro VP-to-border delay plus inter-metro backbone
+// delay, mirroring what a trough-hour packet probe would measure.
+func CalibrateBaseRTTs(in *topology.Internet, vpMetro string, ic *topology.Interconnect) (nearMs, farMs float64) {
+	d := topology.InterMetroDelay(in.Metros[vpMetro], in.Metros[ic.Metro])
+	oneWay := d.Seconds()*1e3 + 0.8 // backbone + local hops
+	nearMs = 2 * oneWay
+	farMs = nearMs + 2*ic.Link.PropDelay.Seconds()*1e3 + 0.2
+	return nearMs, farMs
+}

@@ -1,0 +1,161 @@
+package tslp_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"interdomain/internal/bdrmap"
+	"interdomain/internal/probe"
+	"interdomain/internal/testnet"
+	"interdomain/internal/tsdb"
+	"interdomain/internal/tslp"
+)
+
+// rerouteViaTransit redirects one prefix so the access network egresses it
+// through the transit interconnect instead of the content peering — the
+// "routing change in the network" of §3.2 that costs up to three days of
+// blind probing without reactive maintenance.
+func rerouteViaTransit(n *testnet.Net, prefix netip.Prefix) {
+	access := n.In.ASes[testnet.AccessASN]
+	plumb := n.In.Plumb[testnet.AccessASN]
+	ics := n.In.InterconnectsOf(testnet.AccessASN, testnet.TransitASN)
+	// Route every core toward the chicago transit interconnect.
+	var target = ics[0]
+	for _, ic := range ics {
+		if ic.Metro == "chicago" {
+			target = ic
+		}
+	}
+	for m, core := range access.Cores {
+		if m == target.Metro {
+			core.FIB.Add(prefix, plumb.ICCore[target])
+		} else {
+			core.FIB.Add(prefix, plumb.CoreIface[m][target.Metro])
+		}
+	}
+	near, _, _ := target.Side(testnet.AccessASN)
+	near.Node.FIB.Add(prefix, near)
+}
+
+func TestReactiveProbingSetUpdate(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 120})
+	vp := n.VPIn("losangeles")
+	links := fixtureLinks(n, vp)
+	_, farIfc, _ := n.CongestedIC.Side(testnet.AccessASN)
+	var target *bdrmap.Link
+	for _, l := range links {
+		if l.FarAddr == farIfc.Addr {
+			target = l
+		}
+	}
+	if target == nil {
+		t.Fatal("congested link not mapped")
+	}
+	if len(target.Dests) < 2 {
+		t.Fatalf("need >=2 destinations for rotation, got %d", len(target.Dests))
+	}
+
+	mk := func(reactive bool) *tslp.Prober {
+		p := tslp.NewProber(probe.NewEngine(n.In.Net, vp), tsdb.Open(), "vp")
+		p.Reactive = reactive
+		p.SetLinks([]*bdrmap.Link{target})
+		return p
+	}
+	reactive, lazy := mk(true), mk(false)
+	id := tslp.LinkID(target)
+
+	start := testnet.OffPeakTime(1)
+	round := func(i int) time.Time { return start.Add(time.Duration(i) * tslp.DefaultInterval) }
+	for i := 0; i < 3; i++ {
+		reactive.Round(round(i))
+		lazy.Round(round(i))
+	}
+	if reactive.ReactiveChecks != 0 {
+		t.Fatalf("reactive checks fired with healthy routing: %d", reactive.ReactiveChecks)
+	}
+
+	// Reroute the first active destination's covering /16 away from the
+	// link; the other destination (inside a disjoint more-specific) stays.
+	victim := reactive.ActiveDests(id)[0]
+	pfx, _ := victim.Addr.Prefix(16)
+	rerouteViaTransit(n, pfx)
+
+	for i := 3; i < 10; i++ {
+		reactive.Round(round(i))
+		lazy.Round(round(i))
+	}
+
+	if reactive.ReactiveChecks == 0 {
+		t.Fatal("reactive mode never re-traced the silent destination")
+	}
+	if reactive.ReactiveDrops == 0 {
+		t.Fatal("reactive mode did not rotate the lost destination")
+	}
+	for _, d := range reactive.ActiveDests(id) {
+		if d == victim {
+			t.Fatal("victim destination still active in reactive mode after drop")
+		}
+	}
+	// The lazy prober is still probing the dead destination well past the
+	// reactive drop (it waits the full visibility-loss budget).
+	stillThere := false
+	for _, d := range lazy.ActiveDests(id) {
+		if d == victim {
+			stillThere = true
+		}
+	}
+	if !stillThere && lazy.ReactiveChecks != 0 {
+		t.Fatal("non-reactive prober should not run reactive checks")
+	}
+}
+
+func TestReactiveKeepsTransientLoss(t *testing.T) {
+	// An ICMP-rate-limited far router answers intermittently: the
+	// reactive re-trace sees the link still on the path and must NOT
+	// rotate the destination.
+	n := testnet.Build(testnet.Config{Seed: 121})
+	vp := n.VPIn("losangeles")
+	links := fixtureLinks(n, vp)
+	_, farIfc, _ := n.CongestedIC.Side(testnet.AccessASN)
+	var target *bdrmap.Link
+	for _, l := range links {
+		if l.FarAddr == farIfc.Addr {
+			target = l
+		}
+	}
+	if target == nil {
+		t.Fatal("congested link not mapped")
+	}
+	p := tslp.NewProber(probe.NewEngine(n.In.Net, vp), tsdb.Open(), "vp")
+	p.Reactive = true
+	p.SetLinks([]*bdrmap.Link{target})
+	before := len(p.ActiveDests(tslp.LinkID(target)))
+
+	// Silence the far router for probes but keep forwarding: probes to
+	// the far TTL go unanswered while the path itself is intact.
+	farIfc.Node.ICMPRateLimit = 0
+	farIfc.Node.Unresponsive = true
+	start := testnet.OffPeakTime(2)
+	for i := 0; i < 4; i++ {
+		p.Round(start.Add(time.Duration(i) * tslp.DefaultInterval))
+	}
+	if p.ReactiveChecks == 0 {
+		t.Fatal("no reactive checks despite far silence")
+	}
+	// The re-trace cannot see the pair either (router is silent), so the
+	// destination legitimately rotates; now flip to a responsive router
+	// and verify no further drops happen on a healthy link.
+	farIfc.Node.Unresponsive = false
+	drops := p.ReactiveDrops
+	p.SetLinks([]*bdrmap.Link{target})
+	for i := 4; i < 8; i++ {
+		p.Round(start.Add(time.Duration(i) * tslp.DefaultInterval))
+	}
+	if p.ReactiveDrops != drops {
+		t.Fatalf("healthy link dropped destinations: %d -> %d", drops, p.ReactiveDrops)
+	}
+	if after := len(p.ActiveDests(tslp.LinkID(target))); after < before {
+		t.Fatalf("active destinations shrank on healthy link: %d -> %d", before, after)
+	}
+}

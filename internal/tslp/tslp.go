@@ -1,0 +1,283 @@
+// Package tslp implements Time Series Latency Probing (§3.1): every five
+// minutes, for each interdomain link inferred by bdrmap, send TTL-limited
+// ICMP probes that expire at the near and far ends of the link, using up
+// to three destinations per link and holding each destination's flow
+// identifier constant so per-flow load balancing cannot move the probes
+// off the link.
+//
+// Two execution modes share the same measurement semantics:
+//
+//   - Prober walks real simulated packets; it is exact and is used for
+//     short horizons (validation experiments, Figure 3/6 time series).
+//   - FluidProber draws samples directly from the link's fluid queue
+//     state; it is used for the 22-month longitudinal study where packet
+//     walking would be needless work (the packet walker samples the same
+//     queue state — tests assert the two modes agree).
+package tslp
+
+import (
+	"fmt"
+	"time"
+
+	"interdomain/internal/bdrmap"
+	"interdomain/internal/probe"
+	"interdomain/internal/tsdb"
+)
+
+// DefaultInterval is the probing period (§3.1: five minutes).
+const DefaultInterval = 5 * time.Minute
+
+// MaxDests is the number of destinations probed per link (§3.1: three).
+const MaxDests = 3
+
+// Measurement names written to the store.
+const (
+	// MeasLatency points carry RTT in milliseconds, tagged vp, link,
+	// side (near|far), dest.
+	MeasLatency = "tslp"
+)
+
+// LinkID renders the canonical link identifier used in tags.
+func LinkID(l *bdrmap.Link) string {
+	return fmt.Sprintf("%s-%s", l.NearAddr, l.FarAddr)
+}
+
+// probedLink is the probing state for one link.
+type probedLink struct {
+	link *bdrmap.Link
+	id   string
+	// active destinations (up to MaxDests), kept stable across probing
+	// set updates unless they lose visibility of the link (§3.1).
+	active []bdrmap.DestMeta
+	// lostRounds counts consecutive rounds each active destination
+	// failed to elicit a far-side response.
+	lostRounds map[bdrmap.DestMeta]int
+	// banned holds destinations rotated out for visibility loss; they
+	// only return through the next bdrmap refresh (SetLinks).
+	banned map[bdrmap.DestMeta]bool
+}
+
+// Prober runs TSLP rounds from one vantage point (packet mode).
+type Prober struct {
+	Engine *probe.Engine
+	DB     *tsdb.DB
+	VPName string
+
+	// Reactive enables the probing-set maintenance §3.2 plans as future
+	// work: instead of waiting up to a full bdrmap cycle (1-3 days) after
+	// a destination stops answering far-side probes, the prober
+	// immediately re-traces the destination to check whether the link is
+	// still on its forward path, and rotates it out on loss of
+	// visibility.
+	Reactive bool
+
+	links map[string]*probedLink
+
+	// RoundsRun and Responses/Sent support the >90% response-rate
+	// reporting of §3.2.
+	RoundsRun int
+	Sent      int
+	Responses int
+	// ReactiveChecks counts re-traces triggered by Reactive mode;
+	// ReactiveDrops counts destinations rotated out by them.
+	ReactiveChecks int
+	ReactiveDrops  int
+}
+
+// NewProber returns a prober writing into db under the given VP name.
+func NewProber(e *probe.Engine, db *tsdb.DB, vpName string) *Prober {
+	return &Prober{Engine: e, DB: db, VPName: vpName, links: make(map[string]*probedLink)}
+}
+
+// visibilityLossRounds is how many consecutive unresponsive rounds a
+// destination tolerates before being rotated out.
+const visibilityLossRounds = 6
+
+// SetLinks updates the probing set from a bdrmap run. Existing destination
+// choices are preserved for links that persist, so the forward paths stay
+// constant over time to the extent possible (§3.1).
+func (p *Prober) SetLinks(links []*bdrmap.Link) {
+	next := make(map[string]*probedLink, len(links))
+	for _, l := range links {
+		id := LinkID(l)
+		if old, ok := p.links[id]; ok {
+			old.link = l
+			old.refreshDests(l)
+			next[id] = old
+			continue
+		}
+		pl := &probedLink{link: l, id: id, lostRounds: make(map[bdrmap.DestMeta]int), banned: make(map[bdrmap.DestMeta]bool)}
+		pl.refreshDests(l)
+		next[id] = pl
+	}
+	p.links = next
+}
+
+// refreshDests drops active destinations no longer behind the link and
+// tops back up to MaxDests. A bdrmap refresh clears visibility bans: its
+// traceroutes re-established which destinations actually cross the link.
+func (pl *probedLink) refreshDests(l *bdrmap.Link) {
+	pl.banned = make(map[bdrmap.DestMeta]bool)
+	valid := make(map[bdrmap.DestMeta]bool, len(l.Dests))
+	for _, d := range l.Dests {
+		valid[d] = true
+	}
+	kept := pl.active[:0]
+	for _, d := range pl.active {
+		if valid[d] {
+			kept = append(kept, d)
+		}
+	}
+	pl.active = kept
+	for _, d := range l.Dests {
+		if len(pl.active) >= MaxDests {
+			break
+		}
+		if !containsDest(pl.active, d) {
+			pl.active = append(pl.active, d)
+		}
+	}
+}
+
+func containsDest(ds []bdrmap.DestMeta, d bdrmap.DestMeta) bool {
+	for _, x := range ds {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveDests returns the destinations currently probing a link (for
+// observability and tests).
+func (p *Prober) ActiveDests(linkID string) []bdrmap.DestMeta {
+	pl, ok := p.links[linkID]
+	if !ok {
+		return nil
+	}
+	return append([]bdrmap.DestMeta(nil), pl.active...)
+}
+
+// Links returns the ids of the links currently probed.
+func (p *Prober) Links() []string {
+	out := make([]string, 0, len(p.links))
+	for id := range p.links {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Round executes one TSLP round at virtual time at: for every link and
+// active destination, one probe to the near end and one to the far end
+// with the same flow identifier.
+func (p *Prober) Round(at time.Time) {
+	p.RoundsRun++
+	t := at
+	for _, id := range sortedKeys(p.links) {
+		pl := p.links[id]
+		for _, d := range pl.active {
+			near := p.Engine.Probe(d.Addr, d.NearTTL, d.FlowID, t)
+			t = t.Add(50 * time.Millisecond)
+			far := p.Engine.Probe(d.Addr, d.NearTTL+1, d.FlowID, t)
+			t = t.Add(50 * time.Millisecond)
+
+			p.Sent += 2
+			// A response only counts when it comes from the link's own
+			// interface: after a routing change the TTL-limited probe
+			// still elicits a Time Exceeded, but from a router on the new
+			// path — recording it would attribute another link's latency
+			// to this one.
+			if !near.Lost() && near.From == pl.link.NearAddr {
+				p.Responses++
+				p.write(pl, "near", d, at, near.RTT)
+			}
+			if !far.Lost() && far.From == pl.link.FarAddr {
+				p.Responses++
+				p.write(pl, "far", d, at, far.RTT)
+				pl.lostRounds[d] = 0
+			} else {
+				pl.lostRounds[d]++
+				if p.Reactive && pl.lostRounds[d] == reactiveCheckRounds {
+					if p.reactiveCheck(pl, d, t) {
+						pl.lostRounds[d] = 0 // link still on path: transient loss
+					} else {
+						pl.lostRounds[d] = visibilityLossRounds // rotate now
+						p.ReactiveDrops++
+					}
+				}
+			}
+		}
+		pl.rotateLost()
+	}
+}
+
+// reactiveCheckRounds is how many consecutive silent far probes trigger a
+// reactive re-trace (two rounds = ten minutes, vs up to three days for the
+// periodic bdrmap refresh).
+const reactiveCheckRounds = 2
+
+// reactiveCheck re-traces a destination and reports whether the link's
+// near/far address pair still appears consecutively on the forward path.
+func (p *Prober) reactiveCheck(pl *probedLink, d bdrmap.DestMeta, at time.Time) bool {
+	p.ReactiveChecks++
+	tr := p.Engine.Traceroute(d.Addr, d.FlowID, at)
+	for i := 0; i+1 < len(tr.Hops); i++ {
+		if tr.Hops[i].Addr == pl.link.NearAddr && tr.Hops[i+1].Addr == pl.link.FarAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// rotateLost swaps out destinations that lost visibility of the link.
+func (pl *probedLink) rotateLost() {
+	kept := pl.active[:0]
+	for _, d := range pl.active {
+		if pl.lostRounds[d] < visibilityLossRounds {
+			kept = append(kept, d)
+		} else {
+			delete(pl.lostRounds, d)
+			pl.banned[d] = true
+		}
+	}
+	pl.active = kept
+	for _, d := range pl.link.Dests {
+		if len(pl.active) >= MaxDests {
+			break
+		}
+		if !containsDest(pl.active, d) && !pl.banned[d] && pl.lostRounds[d] == 0 {
+			pl.active = append(pl.active, d)
+		}
+	}
+}
+
+func (p *Prober) write(pl *probedLink, side string, d bdrmap.DestMeta, at time.Time, rtt time.Duration) {
+	p.DB.Write(MeasLatency, map[string]string{
+		"vp":   p.VPName,
+		"link": pl.id,
+		"side": side,
+		"dest": d.Addr.String(),
+	}, at, float64(rtt)/float64(time.Millisecond))
+}
+
+// ResponseRate returns the fraction of probes answered so far.
+func (p *Prober) ResponseRate() float64 {
+	if p.Sent == 0 {
+		return 0
+	}
+	return float64(p.Responses) / float64(p.Sent)
+}
+
+func sortedKeys(m map[string]*probedLink) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// insertion sort: probing sets are small
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

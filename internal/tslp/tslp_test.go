@@ -1,0 +1,271 @@
+package tslp_test
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"time"
+
+	"interdomain/internal/analysis"
+	"interdomain/internal/bdrmap"
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+	"interdomain/internal/testnet"
+	"interdomain/internal/tsdb"
+	"interdomain/internal/tslp"
+)
+
+// fixtureLinks runs bdrmap from the given VP on the fixture.
+func fixtureLinks(n *testnet.Net, vp *netsim.Node) []*bdrmap.Link {
+	e := probe.NewEngine(n.In.Net, vp)
+	var prefixes []netip.Prefix
+	for _, a := range n.In.ASList() {
+		if a.ASN == testnet.AccessASN {
+			continue
+		}
+		prefixes = append(prefixes, a.Prefixes...)
+	}
+	neighbors := map[int]bool{}
+	for _, o := range n.In.Neighbors(testnet.AccessASN) {
+		neighbors[o] = true
+	}
+	res := bdrmap.Run(bdrmap.Input{
+		Engine:      e,
+		VPASN:       testnet.AccessASN,
+		Siblings:    n.In.Siblings(testnet.AccessASN),
+		PrefixToAS:  n.In.PrefixToAS(),
+		IXPPrefixes: n.In.IXPPrefixes(),
+		Neighbors:   neighbors,
+		Targets:     bdrmap.TargetsFromPrefixes(prefixes),
+	}, netsim.Epoch.Add(10*time.Hour))
+	return res.Links
+}
+
+func TestProberWritesNearAndFar(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 31})
+	vp := n.VPIn("losangeles")
+	links := fixtureLinks(n, vp)
+	if len(links) == 0 {
+		t.Fatal("no links from bdrmap")
+	}
+	db := tsdb.Open()
+	p := tslp.NewProber(probe.NewEngine(n.In.Net, vp), db, "vp-la")
+	p.SetLinks(links)
+
+	at := testnet.OffPeakTime(1)
+	for i := 0; i < 3; i++ {
+		p.Round(at.Add(time.Duration(i) * tslp.DefaultInterval))
+	}
+	if p.ResponseRate() < 0.9 {
+		t.Fatalf("response rate %.2f, want > 0.9 (paper reports >90%%)", p.ResponseRate())
+	}
+	for _, side := range []string{"near", "far"} {
+		out := db.Query(tslp.MeasLatency, map[string]string{"vp": "vp-la", "side": side}, at.Add(-time.Hour), at.Add(time.Hour))
+		if len(out) == 0 {
+			t.Fatalf("no %s-side series written", side)
+		}
+	}
+}
+
+func TestTSLPDetectsCongestedLink(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 31})
+	vp := n.VPIn("losangeles")
+	links := fixtureLinks(n, vp)
+	_, farIfc, _ := n.CongestedIC.Side(testnet.AccessASN)
+	var target *bdrmap.Link
+	for _, l := range links {
+		if l.FarAddr == farIfc.Addr {
+			target = l
+		}
+	}
+	if target == nil {
+		t.Fatal("congested link not in bdrmap output")
+	}
+
+	db := tsdb.Open()
+	p := tslp.NewProber(probe.NewEngine(n.In.Net, vp), db, "vp-la")
+	p.SetLinks([]*bdrmap.Link{target})
+
+	// Probe one full day at 5-minute intervals.
+	start := netsim.Day(1)
+	for i := 0; i < 288; i++ {
+		p.Round(start.Add(time.Duration(i) * tslp.DefaultInterval))
+	}
+
+	id := tslp.LinkID(target)
+	fars := db.Query(tslp.MeasLatency, map[string]string{"link": id, "side": "far"}, start, start.AddDate(0, 0, 1))
+	nears := db.Query(tslp.MeasLatency, map[string]string{"link": id, "side": "near"}, start, start.AddDate(0, 0, 1))
+	if len(fars) == 0 || len(nears) == 0 {
+		t.Fatal("missing series")
+	}
+	far := analysis.NewBinSeries(start, 15*time.Minute, 96)
+	near := analysis.NewBinSeries(start, 15*time.Minute, 96)
+	for _, s := range fars {
+		for _, pt := range s.Points {
+			far.Observe(pt.Time, pt.Value)
+		}
+	}
+	for _, s := range nears {
+		for _, pt := range s.Points {
+			near.Observe(pt.Time, pt.Value)
+		}
+	}
+	// Peak is 21:00 LA local = 05:00 UTC (bin 20); trough ~14:00 UTC.
+	peakBin, troughBin := 20, 56
+	if math.IsNaN(far.Values[peakBin]) || math.IsNaN(far.Values[troughBin]) {
+		t.Fatal("missing bins at peak/trough")
+	}
+	if far.Values[peakBin] < far.Values[troughBin]+20 {
+		t.Fatalf("far peak %.1fms not elevated over trough %.1fms", far.Values[peakBin], far.Values[troughBin])
+	}
+	if !math.IsNaN(near.Values[peakBin]) && near.Values[peakBin] > near.Values[troughBin]+5 {
+		t.Fatalf("near side elevated (%.1f vs %.1f): congestion leaked to the near probe", near.Values[peakBin], near.Values[troughBin])
+	}
+}
+
+func TestFluidMatchesPacketMode(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 31})
+	vp := n.VPIn("losangeles")
+	links := fixtureLinks(n, vp)
+	_, farIfc, _ := n.CongestedIC.Side(testnet.AccessASN)
+	var target *bdrmap.Link
+	for _, l := range links {
+		if l.FarAddr == farIfc.Addr {
+			target = l
+		}
+	}
+	if target == nil {
+		t.Fatal("congested link not found")
+	}
+
+	// Packet mode: one day of TSLP.
+	db := tsdb.Open()
+	p := tslp.NewProber(probe.NewEngine(n.In.Net, vp), db, "vp")
+	p.SetLinks([]*bdrmap.Link{target})
+	start := netsim.Day(2)
+	for i := 0; i < 288; i++ {
+		p.Round(start.Add(time.Duration(i) * tslp.DefaultInterval))
+	}
+	pktFar := analysis.NewBinSeries(start, 15*time.Minute, 96)
+	for _, s := range db.Query(tslp.MeasLatency, map[string]string{"side": "far"}, start, start.AddDate(0, 0, 1)) {
+		for _, pt := range s.Points {
+			pktFar.Observe(pt.Time, pt.Value)
+		}
+	}
+
+	// Fluid mode on the same interconnect, calibrated from the packet
+	// data's trough.
+	base := pktFar.Min()
+	f := &tslp.FluidProber{
+		IC: n.CongestedIC, VPASN: testnet.AccessASN,
+		BaseNearMs: base - 1.5, BaseFarMs: base,
+		SamplesPerBin: 3, Seed: 99,
+	}
+	fluidFar, _, err := f.BinnedSeries(start, 1, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The two modes must agree on the shape: correlated bins, similar
+	// peak elevation.
+	var a, b []float64
+	for i := 0; i < 96; i++ {
+		if !math.IsNaN(pktFar.Values[i]) && !math.IsNaN(fluidFar.Values[i]) {
+			a = append(a, pktFar.Values[i])
+			b = append(b, fluidFar.Values[i])
+		}
+	}
+	if len(a) < 80 {
+		t.Fatalf("too few comparable bins: %d", len(a))
+	}
+	corr := correlation(a, b)
+	if corr < 0.9 {
+		t.Fatalf("packet/fluid correlation %.3f, want >= 0.9", corr)
+	}
+	peakDiff := math.Abs(maxOf(a) - maxOf(b))
+	if peakDiff > 10 {
+		t.Fatalf("peak elevation differs by %.1fms between modes", peakDiff)
+	}
+}
+
+func TestProbingSetStability(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 33})
+	vp := n.VPIn("losangeles")
+	links := fixtureLinks(n, vp)
+	db := tsdb.Open()
+	p := tslp.NewProber(probe.NewEngine(n.In.Net, vp), db, "vp")
+	p.SetLinks(links)
+	before := p.Links()
+	// A new bdrmap run produces equivalent links; destinations must not
+	// churn.
+	p.SetLinks(fixtureLinks(n, vp))
+	after := p.Links()
+	if len(before) != len(after) {
+		t.Fatalf("probing set churned: %d -> %d links", len(before), len(after))
+	}
+}
+
+func TestFluidLossSample(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 31})
+	f := &tslp.FluidProber{IC: n.CongestedIC, VPASN: testnet.AccessASN, Seed: 4}
+	// Far side at peak should lose probes; near side should not.
+	sent, lost := f.LossSample(testnet.PeakTime(3), 5*time.Minute, "far")
+	if sent != 300 {
+		t.Fatalf("sent %d, want 300", sent)
+	}
+	if lost < 5 {
+		t.Fatalf("far-side peak loss %d/300, want noticeable", lost)
+	}
+	_, lostNear := f.LossSample(testnet.PeakTime(3), 5*time.Minute, "near")
+	if lostNear > 2 {
+		t.Fatalf("near-side loss %d, want ~0", lostNear)
+	}
+	_, lostOff := f.LossSample(testnet.OffPeakTime(3), 5*time.Minute, "far")
+	if lostOff > 2 {
+		t.Fatalf("off-peak far loss %d, want ~0", lostOff)
+	}
+}
+
+func TestCalibrateBaseRTTs(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 31})
+	nearMs, farMs := tslp.CalibrateBaseRTTs(n.In, "losangeles", n.CongestedIC)
+	if farMs <= nearMs {
+		t.Fatalf("far base %.2f <= near base %.2f", farMs, nearMs)
+	}
+	if nearMs <= 0 || farMs > 50 {
+		t.Fatalf("implausible base RTTs: near=%.2f far=%.2f", nearMs, farMs)
+	}
+}
+
+func correlation(a, b []float64) float64 {
+	ma, mb := mean(a), mean(b)
+	var sxy, sxx, syy float64
+	for i := range a {
+		dx, dy := a[i]-ma, b[i]-mb
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func maxOf(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

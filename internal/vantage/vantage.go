@@ -1,0 +1,151 @@
+// Package vantage manages measurement vantage points: their placement
+// inside access networks, the probing budgets each one enforces, and the
+// churn the paper reports (86 VPs joined over the study; 63 remained by
+// December 2017, because Ark hosting is volunteer-based).
+package vantage
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"interdomain/internal/netsim"
+	"interdomain/internal/probe"
+	"interdomain/internal/topology"
+)
+
+// VP is one vantage point.
+type VP struct {
+	Name  string
+	ASN   int
+	Metro string
+	Node  *netsim.Node
+	// Engine probes from this VP under the TSLP/bdrmap budget (§3.1:
+	// 100 pps).
+	Engine *probe.Engine
+	// LossEngine shares the node but enforces the separate 150 pps loss
+	// budget (§3.3).
+	LossEngine *probe.Engine
+	// Joined and Left bound the VP's lifetime; Left.IsZero() means still
+	// active.
+	Joined, Left time.Time
+}
+
+// Active reports whether the VP is collecting at time t.
+func (v *VP) Active(t time.Time) bool {
+	if t.Before(v.Joined) {
+		return false
+	}
+	return v.Left.IsZero() || t.Before(v.Left)
+}
+
+// Deploy places one VP on an existing host of the given AS in the given
+// metro. It returns an error if the AS has no host there.
+func Deploy(in *topology.Internet, asn int, metro string, joined time.Time) (*VP, error) {
+	a, ok := in.ASes[asn]
+	if !ok {
+		return nil, fmt.Errorf("vantage: unknown AS %d", asn)
+	}
+	plumb := in.Plumb[asn]
+	var host *netsim.Node
+	for _, h := range a.Hosts {
+		if plumb.HostMetro[h] == metro {
+			host = h
+			break
+		}
+	}
+	if host == nil {
+		return nil, fmt.Errorf("vantage: AS%d has no host in %s", asn, metro)
+	}
+	e := probe.NewEngine(in.Net, host)
+	e.Budget = probe.NewRateBudget(100)
+	le := probe.NewEngine(in.Net, host)
+	le.Budget = probe.NewRateBudget(150)
+	return &VP{
+		Name:       fmt.Sprintf("%s-%s", a.Name, metro),
+		ASN:        asn,
+		Metro:      metro,
+		Node:       host,
+		Engine:     e,
+		LossEngine: le,
+		Joined:     joined,
+	}, nil
+}
+
+// VisibleInterconnects returns the interconnect instances a VP in the
+// given metro actually measures: hot-potato routing sends its probes
+// toward each neighbor through the interconnects at the metro nearest to
+// the VP, so only those appear in its traceroutes.
+func VisibleInterconnects(in *topology.Internet, asn int, metro string) []*topology.Interconnect {
+	byNeighbor := map[int][]*topology.Interconnect{}
+	for _, ic := range in.InterconnectsOf(asn, 0) {
+		byNeighbor[ic.Neighbor(asn)] = append(byNeighbor[ic.Neighbor(asn)], ic)
+	}
+	var out []*topology.Interconnect
+	var neighbors []int
+	for n := range byNeighbor {
+		neighbors = append(neighbors, n)
+	}
+	sort.Ints(neighbors)
+	for _, n := range neighbors {
+		ics := byNeighbor[n]
+		metros := map[string]bool{}
+		var metroList []string
+		for _, ic := range ics {
+			if !metros[ic.Metro] {
+				metros[ic.Metro] = true
+				metroList = append(metroList, ic.Metro)
+			}
+		}
+		best := nearestMetro(in, metro, metroList)
+		for _, ic := range ics {
+			if ic.Metro == best {
+				out = append(out, ic)
+			}
+		}
+	}
+	return out
+}
+
+func nearestMetro(in *topology.Internet, from string, candidates []string) string {
+	best := ""
+	bestD := 1e18
+	fm := in.Metros[from]
+	for _, c := range candidates {
+		d := topology.MetroDistance(fm, in.Metros[c])
+		if d < bestD || (d == bestD && c < best) {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// Fleet is a set of VPs with churn.
+type Fleet struct {
+	VPs []*VP
+}
+
+// ActiveAt returns the VPs collecting at time t.
+func (f *Fleet) ActiveAt(t time.Time) []*VP {
+	var out []*VP
+	for _, v := range f.VPs {
+		if v.Active(t) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Networks returns the distinct ASNs with at least one active VP at t.
+func (f *Fleet) Networks(t time.Time) []int {
+	set := map[int]bool{}
+	for _, v := range f.ActiveAt(t) {
+		set[v.ASN] = true
+	}
+	var out []int
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,89 @@
+package vantage_test
+
+import (
+	"testing"
+
+	"interdomain/internal/netsim"
+	"interdomain/internal/testnet"
+	"interdomain/internal/vantage"
+)
+
+func TestDeploySetsBudgets(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 130})
+	vp, err := vantage.Deploy(n.In, testnet.AccessASN, "nyc", netsim.Epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vp.Engine.Budget == nil || vp.Engine.Budget.PerSecond != 100 {
+		t.Fatal("TSLP budget not 100 pps (§3.1)")
+	}
+	if vp.LossEngine.Budget == nil || vp.LossEngine.Budget.PerSecond != 150 {
+		t.Fatal("loss budget not 150 pps (§3.3)")
+	}
+	if vp.Node == nil || vp.Node.ASN != testnet.AccessASN {
+		t.Fatal("VP host wrong")
+	}
+	if vp.Name == "" {
+		t.Fatal("VP unnamed")
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 130})
+	if _, err := vantage.Deploy(n.In, 999, "nyc", netsim.Epoch); err == nil {
+		t.Fatal("unknown AS accepted")
+	}
+	if _, err := vantage.Deploy(n.In, testnet.StubASN, "nyc", netsim.Epoch); err == nil {
+		t.Fatal("metro without host accepted")
+	}
+}
+
+func TestVisibleInterconnectsParallel(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 130, ParallelNYC: 3})
+	ics := vantage.VisibleInterconnects(n.In, testnet.AccessASN, "nyc")
+	// All three parallel nyc transit links are at the nearest metro and
+	// must all be visible (ECMP spreads flows across them).
+	transit := 0
+	for _, ic := range ics {
+		if ic.Neighbor(testnet.AccessASN) == testnet.TransitASN {
+			if ic.Metro != "nyc" {
+				t.Fatalf("transit link at %s visible from nyc", ic.Metro)
+			}
+			transit++
+		}
+	}
+	if transit != 3 {
+		t.Fatalf("%d parallel transit links visible, want 3", transit)
+	}
+}
+
+func TestFleetChurnAccounting(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 131})
+	mk := func(metro string, join, leave int) *vantage.VP {
+		vp, err := vantage.Deploy(n.In, testnet.AccessASN, metro, netsim.Day(join))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leave > 0 {
+			vp.Left = netsim.Day(leave)
+		}
+		return vp
+	}
+	f := vantage.Fleet{VPs: []*vantage.VP{
+		mk("nyc", 0, 0),
+		mk("chicago", 0, 100),
+		mk("losangeles", 50, 0),
+	}}
+	if got := len(f.ActiveAt(netsim.Day(10))); got != 2 {
+		t.Fatalf("day 10 active %d, want 2", got)
+	}
+	if got := len(f.ActiveAt(netsim.Day(75))); got != 3 {
+		t.Fatalf("day 75 active %d, want 3", got)
+	}
+	if got := len(f.ActiveAt(netsim.Day(150))); got != 2 {
+		t.Fatalf("day 150 active %d, want 2", got)
+	}
+	if nets := f.Networks(netsim.Day(75)); len(nets) != 1 || nets[0] != testnet.AccessASN {
+		t.Fatalf("networks %v", nets)
+	}
+}
