@@ -10,10 +10,12 @@
 package bench
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"interdomain/internal/analysis"
+	"interdomain/internal/core"
 	"interdomain/internal/experiments"
 	"interdomain/internal/netsim"
 	"interdomain/internal/probe"
@@ -26,7 +28,7 @@ const benchSeed = 1
 
 func fullStudy(b *testing.B) *experiments.Study {
 	b.Helper()
-	s, err := experiments.CachedStudy(benchSeed, experiments.StudyDays)
+	s, err := experiments.CachedStudy(context.Background(), benchSeed, experiments.StudyDays)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -57,7 +59,7 @@ func BenchmarkTable2NDTThroughput(b *testing.B) {
 	var rows []experiments.Table2Row
 	var err error
 	for i := 0; i < b.N; i++ {
-		rows, err = experiments.Table2(benchSeed)
+		rows, err = experiments.Table2(context.Background(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -113,7 +115,7 @@ func BenchmarkFigure3TimeSeries(b *testing.B) {
 	var d *experiments.TimeSeriesData
 	var err error
 	for i := 0; i < b.N; i++ {
-		d, err = experiments.Figure3(benchSeed)
+		d, err = experiments.Figure3(context.Background(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -128,7 +130,7 @@ func BenchmarkFigure4YouTubeCDF(b *testing.B) {
 	var r *experiments.YouTubeResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.FigureYouTube(benchSeed)
+		r, err = experiments.FigureYouTube(context.Background(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -146,7 +148,7 @@ func BenchmarkFigure5FailureRates(b *testing.B) {
 	var r *experiments.YouTubeResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.FigureYouTube(benchSeed)
+		r, err = experiments.FigureYouTube(context.Background(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +169,7 @@ func BenchmarkFigure6NDTTimeSeries(b *testing.B) {
 	var d *experiments.TimeSeriesData
 	var err error
 	for i := 0; i < b.N; i++ {
-		d, err = experiments.Figure6(benchSeed)
+		d, err = experiments.Figure6(context.Background(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -265,7 +267,7 @@ func BenchmarkAblationFlowID(b *testing.B) {
 	var r experiments.AblationResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.AblationFlowID(benchSeed)
+		r, err = experiments.AblationFlowID(context.Background(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -311,7 +313,7 @@ func BenchmarkAsymmetryDetection(b *testing.B) {
 	var r *experiments.AsymmetryResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.AsymmetryStudy(benchSeed)
+		r, err = experiments.AsymmetryStudy(context.Background(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -327,7 +329,7 @@ func BenchmarkMapitCoverage(b *testing.B) {
 	var r *experiments.MapitResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		r, err = experiments.MapitStudy(benchSeed)
+		r, err = experiments.MapitStudy(context.Background(), benchSeed)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -460,3 +462,30 @@ func BenchmarkScenarioBuild(b *testing.B) {
 		}
 	}
 }
+
+// benchLongitudinal runs a 100-day fluid study over the full scenario at
+// the given worker count; pairing the two benchmarks below measures the
+// speedup of the (VP, interconnect) fan-out. Both produce byte-identical
+// results (TestParallelDeterminism asserts this).
+func benchLongitudinal(b *testing.B, workers int) {
+	in, _, err := scenario.Build(benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vps := scenario.VPs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg, err := core.RunLongitudinal(context.Background(), in, vps, netsim.Epoch, 100,
+			core.LongitudinalConfig{Seed: benchSeed + 1, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(lg.Results) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkRunLongitudinalSequential(b *testing.B) { benchLongitudinal(b, 1) }
+
+func BenchmarkRunLongitudinalParallel(b *testing.B) { benchLongitudinal(b, 0) }

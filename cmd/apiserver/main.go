@@ -10,14 +10,23 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"interdomain/internal/api"
 	"interdomain/internal/tsdb"
 )
+
+// shutdownGrace bounds how long in-flight requests may run after a
+// termination signal before the listener is torn down.
+const shutdownGrace = 5 * time.Second
 
 func main() {
 	inPath := flag.String("in", "", "tsdb snapshot (required)")
@@ -37,9 +46,28 @@ func main() {
 	}
 	f.Close()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Addr: *addr, Handler: api.New(db)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
 	fmt.Printf("apiserver: serving %d series (%d points) on %s\n", db.SeriesCount(), db.PointCount(), *addr)
-	if err := http.ListenAndServe(*addr, api.New(db)); err != nil {
+	select {
+	case err := <-errCh:
 		fatal(err)
+	case <-ctx.Done():
+		// Graceful drain: stop accepting, let in-flight queries finish.
+		fmt.Fprintln(os.Stderr, "apiserver: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			fatal(err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
 	}
 }
 

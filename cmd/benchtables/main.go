@@ -13,10 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"interdomain/internal/experiments"
@@ -28,6 +31,11 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset (table1..4, figure3..9, operator, ablations, asymmetry, mapit)")
 	report := flag.String("report", "", "also write a full Markdown measurement report here")
 	flag.Parse()
+
+	// Interrupts cancel the in-flight experiment instead of killing the
+	// process mid-print; a second signal terminates immediately.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -44,7 +52,7 @@ func main() {
 	if needStudy {
 		t0 := time.Now()
 		var err error
-		study, err = experiments.CachedStudy(*seed, *days)
+		study, err = experiments.CachedStudy(ctx, *seed, *days)
 		if err != nil {
 			fatal(err)
 		}
@@ -60,7 +68,7 @@ func main() {
 	if sel("table2") {
 		section("Table 2 — NDT download throughput, congested vs uncongested",
 			"paper: L1 26.79->7.85 (p<.001), L2 n.s. (reverse-path asymmetry), L3 small but significant")
-		rows, err := experiments.Table2(*seed)
+		rows, err := experiments.Table2(ctx, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -79,7 +87,7 @@ func main() {
 	if sel("figure3") {
 		section("Figure 3 — TSLP latency + loss time series (Verizon-Google)",
 			"paper: evening latency plateaus with loss concentrated in shaded congested windows")
-		d, err := experiments.Figure3(*seed)
+		d, err := experiments.Figure3(ctx, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -88,7 +96,7 @@ func main() {
 	if sel("figure4") || sel("figure5") {
 		section("Figures 4+5 — YouTube streaming under congestion",
 			"paper: ON-throughput -25.4% median, startup +20.0%, failures higher during congestion")
-		r, err := experiments.FigureYouTube(*seed)
+		r, err := experiments.FigureYouTube(ctx, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -97,7 +105,7 @@ func main() {
 	if sel("figure6") {
 		section("Figure 6 — TSLP latency + NDT throughput (Comcast-Tata)",
 			"paper: diurnal congestion with synchronized throughput collapse")
-		d, err := experiments.Figure6(*seed)
+		d, err := experiments.Figure6(ctx, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -125,7 +133,7 @@ func main() {
 	}
 	if sel("ablations") {
 		section("Ablations — design choices called out in DESIGN.md", "")
-		rs, err := experiments.Ablations(*seed)
+		rs, err := experiments.Ablations(ctx, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -134,7 +142,7 @@ func main() {
 	if sel("asymmetry") {
 		section("§7 — asymmetric-path detection techniques",
 			"paper proposes baseline-delay comparison and TSLP time-series correlation")
-		r, err := experiments.AsymmetryStudy(*seed)
+		r, err := experiments.AsymmetryStudy(ctx, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -143,7 +151,7 @@ func main() {
 	if sel("mapit") {
 		section("§9 — MAP-IT: interdomain links beyond the VP's border",
 			"paper proposes combining bdrmap with MAP-IT for links farther than one AS hop")
-		r, err := experiments.MapitStudy(*seed)
+		r, err := experiments.MapitStudy(ctx, *seed)
 		if err != nil {
 			fatal(err)
 		}

@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"interdomain/internal/analysis"
@@ -27,6 +30,11 @@ func main() {
 	days := flag.Int("days", 1, "analysis window in days from the epoch")
 	autocorr := flag.Bool("autocorr", false, "also run the autocorrelation method (needs >= 50 days of data; use -days 50)")
 	flag.Parse()
+
+	// An interrupt stops the per-link analysis loop at the next link
+	// boundary so partial output stays well-formed.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *inPath == "" {
 		fatal(fmt.Errorf("-in is required"))
@@ -51,6 +59,10 @@ func main() {
 	end := start.AddDate(0, 0, *days)
 	bins := *days * 288
 	for _, id := range links {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "congestion: interrupted, stopping after current link")
+			break
+		}
 		if *link != "" && id != *link {
 			continue
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -52,7 +53,10 @@ func main() {
 		{ASN: scenario.Verizon, Metro: "nyc"},
 		{ASN: scenario.Verizon, Metro: "losangeles"},
 	}
-	lg := core.RunLongitudinal(in, vps, netsim.Epoch, 350, core.LongitudinalConfig{Seed: 8})
+	lg, err := core.RunLongitudinal(context.Background(), in, vps, netsim.Epoch, 350, core.LongitudinalConfig{Seed: 8})
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("Verizon-Google inferred congestion by month (fraction of day-links congested):")
 	fmt.Println(strings.Repeat("-", 64))

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -89,7 +90,7 @@ func TestWeekLongCampaign(t *testing.T) {
 	cfg := analysis.DefaultAutocorr()
 	cfg.WindowDays = days
 	cfg.MinPeakDays = 4
-	daysOut, err := sys.AnalyzeMerged(linkID, netsim.Epoch, cfg)
+	daysOut, err := sys.AnalyzeMerged(context.Background(), linkID, netsim.Epoch, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -114,7 +115,10 @@ func TestLongitudinalFixture(t *testing.T) {
 		{ASN: testnet.AccessASN, Metro: "nyc"},
 	}
 	cfg := core.LongitudinalConfig{Seed: 7}
-	lg := core.RunLongitudinal(n.In, vps, netsim.Epoch, 50, cfg)
+	lg, err := core.RunLongitudinal(context.Background(), n.In, vps, netsim.Epoch, 50, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if len(lg.Results) == 0 {
 		t.Fatal("no results")
@@ -206,7 +210,7 @@ func TestAnalyzeMergedTwoVPs(t *testing.T) {
 			sv.TSLP.Round(at)
 		}
 	}
-	days, err := sys.AnalyzeMerged(id, start, cfg)
+	days, err := sys.AnalyzeMerged(context.Background(), id, start, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +223,7 @@ func TestAnalyzeMergedTwoVPs(t *testing.T) {
 	if congested < cfg.WindowDays-1 {
 		t.Fatalf("merged classification found %d/%d congested days", congested, cfg.WindowDays)
 	}
-	if _, err := sys.AnalyzeMerged("no-such-link", start, cfg); err == nil {
+	if _, err := sys.AnalyzeMerged(context.Background(), "no-such-link", start, cfg); err == nil {
 		t.Fatal("unknown link should error")
 	}
 }
@@ -233,7 +237,10 @@ func TestLongitudinalVPChurn(t *testing.T) {
 		{ASN: testnet.AccessASN, Metro: "losangeles", LeaveDay: 50},
 		{ASN: testnet.AccessASN, Metro: "losangeles", JoinDay: 50},
 	}
-	lg := core.RunLongitudinal(n.In, vps, netsim.Epoch, 100, core.LongitudinalConfig{Seed: 9})
+	lg, err := core.RunLongitudinal(context.Background(), n.In, vps, netsim.Epoch, 100, core.LongitudinalConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	var early, late *core.VPLinkResult
 	for _, r := range lg.Results {
@@ -301,7 +308,10 @@ func TestVisibleInterconnectsHotPotato(t *testing.T) {
 func TestPairStatsAndDescribe(t *testing.T) {
 	n := testnet.Build(testnet.Config{Seed: 87})
 	vps := []core.VPSpec{{ASN: testnet.AccessASN, Metro: "losangeles"}}
-	lg := core.RunLongitudinal(n.In, vps, netsim.Epoch, 50, core.LongitudinalConfig{Seed: 3})
+	lg, err := core.RunLongitudinal(context.Background(), n.In, vps, netsim.Epoch, 50, core.LongitudinalConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	st := lg.PairStats(testnet.AccessASN, testnet.ContentASN, 0, 50)
 	if st.Total == 0 {

@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"interdomain/internal/core"
+	"interdomain/internal/netsim"
+	"interdomain/internal/testnet"
+)
+
+// renderLongitudinal serializes everything RunLongitudinal produces into
+// one deterministic string: per-(VP, link) day classifications and
+// elevated bins in result order, then merged day classifications with
+// links ordered by ID. Two runs are equivalent iff their renderings are
+// byte-identical.
+func renderLongitudinal(lg *core.Longitudinal) string {
+	var b strings.Builder
+	for _, r := range lg.Results {
+		fmt.Fprintf(&b, "vp=%d/%s join=%d leave=%d link=%d\n",
+			r.VP.ASN, r.VP.Metro, r.VP.JoinDay, r.VP.LeaveDay, r.IC.Link.ID)
+		for _, d := range r.Days {
+			fmt.Fprintf(&b, "  %s cls=%v cong=%v frac=%.17g\n",
+				d.Day.Format("2006-01-02"), d.Classified, d.Congested, d.Fraction)
+		}
+		for _, t := range r.ElevatedBins {
+			fmt.Fprintf(&b, "  elev %s\n", t.Format("2006-01-02T15:04"))
+		}
+	}
+	type merged struct {
+		id   int
+		body string
+	}
+	var ms []merged
+	for ic, days := range lg.Merged {
+		var mb strings.Builder
+		fmt.Fprintf(&mb, "merged link=%d metro=%s %d-%d\n", ic.Link.ID, ic.Metro, ic.ASA, ic.ASB)
+		for _, d := range days {
+			fmt.Fprintf(&mb, "  %s cls=%v cong=%v frac=%.17g\n",
+				d.Day.Format("2006-01-02"), d.Classified, d.Congested, d.Fraction)
+		}
+		ms = append(ms, merged{ic.Link.ID, mb.String()})
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].id < ms[j].id })
+	for _, m := range ms {
+		b.WriteString(m.body)
+	}
+	return b.String()
+}
+
+// TestParallelDeterminism is the acceptance check for the concurrency
+// refactor: RunLongitudinal must produce byte-identical output at any
+// worker count, because each (VP, interconnect) pair's prober seed is a
+// pure function of the pair and results are collected in job-index
+// order.
+func TestParallelDeterminism(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 83})
+	vps := []core.VPSpec{
+		{ASN: testnet.AccessASN, Metro: "losangeles"},
+		{ASN: testnet.AccessASN, Metro: "nyc"},
+		{ASN: testnet.AccessASN, Metro: "losangeles", JoinDay: 50},
+	}
+	run := func(workers int) string {
+		cfg := core.LongitudinalConfig{Seed: 7, Workers: workers}
+		lg, err := core.RunLongitudinal(context.Background(), n.In, vps, netsim.Epoch, 100, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return renderLongitudinal(lg)
+	}
+	sequential := run(1)
+	if sequential == "" {
+		t.Fatal("sequential run produced nothing")
+	}
+	for _, workers := range []int{0, 2, 8} {
+		if got := run(workers); got != sequential {
+			t.Fatalf("workers=%d output differs from sequential run\n--- sequential ---\n%.400s\n--- workers=%d ---\n%.400s",
+				workers, sequential, workers, got)
+		}
+	}
+}
+
+// TestRunLongitudinalCancel checks that cancellation aborts the fan-out
+// with the context's error instead of returning partial results.
+func TestRunLongitudinalCancel(t *testing.T) {
+	n := testnet.Build(testnet.Config{Seed: 83})
+	vps := []core.VPSpec{{ASN: testnet.AccessASN, Metro: "losangeles"}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	lg, err := core.RunLongitudinal(ctx, n.In, vps, netsim.Epoch, 50, core.LongitudinalConfig{Seed: 7, Workers: 4})
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+	if lg != nil {
+		t.Fatal("cancelled run returned partial results")
+	}
+}

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
 	"interdomain/internal/analysis"
 	"interdomain/internal/netsim"
+	"interdomain/internal/pipeline"
 	"interdomain/internal/topology"
 	"interdomain/internal/tslp"
 	"interdomain/internal/vantage"
@@ -61,12 +63,26 @@ type LongitudinalConfig struct {
 	Autocorr analysis.AutocorrConfig
 	// Seed decorrelates sampling noise.
 	Seed uint64
+	// Workers bounds the parallel fan-out over (VP, interconnect) pairs;
+	// 0 means one worker per CPU. Any worker count produces identical
+	// results: each pair's prober is seeded from a hash of its own
+	// indexes, and results are collected in job-index order.
+	Workers int
+}
+
+// pairJob is one independent unit of the longitudinal fan-out.
+type pairJob struct {
+	vpIdx, icIdx int
+	vp           VPSpec
+	ic           *topology.Interconnect
 }
 
 // RunLongitudinal executes the fluid-mode study: for every VP and every
 // interconnect visible from it, synthesize TSLP series, run the
 // autocorrelation analysis in consecutive windows, and merge per link.
-func RunLongitudinal(in *topology.Internet, vps []VPSpec, start time.Time, days int, cfg LongitudinalConfig) *Longitudinal {
+// The (VP, interconnect) pairs run concurrently on cfg.Workers workers;
+// it returns early with ctx's error when cancelled.
+func RunLongitudinal(ctx context.Context, in *topology.Internet, vps []VPSpec, start time.Time, days int, cfg LongitudinalConfig) (*Longitudinal, error) {
 	ac := cfg.Autocorr
 	if ac.WindowDays == 0 {
 		ac = analysis.DefaultAutocorr()
@@ -79,61 +95,85 @@ func RunLongitudinal(in *topology.Internet, vps []VPSpec, start time.Time, days 
 	}
 	windows := days / ac.WindowDays
 
-	perLink := map[*topology.Interconnect][][]analysis.DayResult{}
+	// Enumerate the fan-out up front, in the same (vpIdx, icIdx) order the
+	// sequential loop used; the job index then defines the result order.
+	var jobs []pairJob
 	for vpIdx, vp := range vps {
-		ics := vantage.VisibleInterconnects(in, vp.ASN, vp.Metro)
-		for icIdx, ic := range ics {
-			f := &tslp.FluidProber{
-				IC:            ic,
-				VPASN:         vp.ASN,
-				SamplesPerBin: 3,
-				MissingProb:   0.01,
-				Seed:          netsim.Hash64(cfg.Seed, uint64(vpIdx), uint64(icIdx), uint64(ic.Link.ID)),
-			}
-			f.BaseNearMs, f.BaseFarMs = tslp.CalibrateBaseRTTs(in, vp.Metro, ic)
-
-			r := &VPLinkResult{VP: vp, IC: ic}
-			for w := 0; w < windows; w++ {
-				if !vp.activeForWindow(w*ac.WindowDays, (w+1)*ac.WindowDays) {
-					// VP not collecting: emit unclassified days so the
-					// merge stage knows the gap.
-					for d := 0; d < ac.WindowDays; d++ {
-						r.Days = append(r.Days, analysis.DayResult{
-							Day: start.AddDate(0, 0, w*ac.WindowDays+d),
-						})
-					}
-					continue
-				}
-				wStart := start.AddDate(0, 0, w*ac.WindowDays)
-				far, near, err := f.BinnedSeries(wStart, ac.WindowDays, ac.BinsPerDay)
-				if err != nil {
-					continue
-				}
-				res, err := analysis.Autocorrelation(far, near, ac)
-				if err != nil {
-					continue
-				}
-				r.Days = append(r.Days, res.Days...)
-				if res.Recurring {
-					bin := 24 * time.Hour / time.Duration(ac.BinsPerDay)
-					for d := range res.Elevated {
-						for b := 0; b < ac.BinsPerDay; b++ {
-							if res.WindowBins[b] && res.Elevated[d][b] {
-								r.ElevatedBins = append(r.ElevatedBins,
-									wStart.AddDate(0, 0, d).Add(time.Duration(b)*bin))
-							}
-						}
-					}
-				}
-			}
-			out.Results = append(out.Results, r)
-			perLink[ic] = append(perLink[ic], r.Days)
+		for icIdx, ic := range vantage.VisibleInterconnects(in, vp.ASN, vp.Metro) {
+			jobs = append(jobs, pairJob{vpIdx: vpIdx, icIdx: icIdx, vp: vp, ic: ic})
 		}
+	}
+	results, err := pipeline.Map(ctx, cfg.Workers, len(jobs), func(ctx context.Context, i int) (*VPLinkResult, error) {
+		return runPair(ctx, in, jobs[i], start, windows, ac, cfg.Seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	perLink := map[*topology.Interconnect][][]analysis.DayResult{}
+	for _, r := range results {
+		out.Results = append(out.Results, r)
+		perLink[r.IC] = append(perLink[r.IC], r.Days)
 	}
 	for ic, sets := range perLink {
 		out.Merged[ic] = analysis.MergeVPResults(sets)
 	}
-	return out
+	return out, nil
+}
+
+// runPair computes the longitudinal result for one (VP, interconnect)
+// pair. It touches no shared mutable state: the prober's seed is
+// Hash64(seed, vpIdx, icIdx, linkID) — a pure function of the pair — so
+// pairs can run on any worker in any order and still produce the exact
+// bytes the sequential run produces.
+func runPair(ctx context.Context, in *topology.Internet, j pairJob, start time.Time, windows int, ac analysis.AutocorrConfig, seed uint64) (*VPLinkResult, error) {
+	f := &tslp.FluidProber{
+		IC:            j.ic,
+		VPASN:         j.vp.ASN,
+		SamplesPerBin: 3,
+		MissingProb:   0.01,
+		Seed:          netsim.Hash64(seed, uint64(j.vpIdx), uint64(j.icIdx), uint64(j.ic.Link.ID)),
+	}
+	f.BaseNearMs, f.BaseFarMs = tslp.CalibrateBaseRTTs(in, j.vp.Metro, j.ic)
+
+	r := &VPLinkResult{VP: j.vp, IC: j.ic}
+	for w := 0; w < windows; w++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !j.vp.activeForWindow(w*ac.WindowDays, (w+1)*ac.WindowDays) {
+			// VP not collecting: emit unclassified days so the merge
+			// stage knows the gap.
+			for d := 0; d < ac.WindowDays; d++ {
+				r.Days = append(r.Days, analysis.DayResult{
+					Day: start.AddDate(0, 0, w*ac.WindowDays+d),
+				})
+			}
+			continue
+		}
+		wStart := start.AddDate(0, 0, w*ac.WindowDays)
+		far, near, err := f.BinnedSeries(wStart, ac.WindowDays, ac.BinsPerDay)
+		if err != nil {
+			continue
+		}
+		res, err := analysis.Autocorrelation(far, near, ac)
+		if err != nil {
+			continue
+		}
+		r.Days = append(r.Days, res.Days...)
+		if res.Recurring {
+			bin := 24 * time.Hour / time.Duration(ac.BinsPerDay)
+			for d := range res.Elevated {
+				for b := 0; b < ac.BinsPerDay; b++ {
+					if res.WindowBins[b] && res.Elevated[d][b] {
+						r.ElevatedBins = append(r.ElevatedBins,
+							wStart.AddDate(0, 0, d).Add(time.Duration(b)*bin))
+					}
+				}
+			}
+		}
+	}
+	return r, nil
 }
 
 // DayLinkStats summarizes merged day-links for one AP-T&CP pair over a day

@@ -14,6 +14,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -23,6 +24,7 @@ import (
 	"interdomain/internal/bdrmap"
 	"interdomain/internal/lossprobe"
 	"interdomain/internal/netsim"
+	"interdomain/internal/pipeline"
 	"interdomain/internal/topology"
 	"interdomain/internal/tsdb"
 	"interdomain/internal/tslp"
@@ -166,16 +168,30 @@ func (s *System) EnableReactiveLoss() {
 // armLossTargets updates the loss target set without re-registering the
 // per-second schedule more than once.
 func (s *System) armLossTargets(sv *SystemVP, linkIDs map[string]bool) {
+	s.armTargets(sv, s.selectLossTargets(sv, linkIDs, s.LossStaticList))
+}
+
+// selectLossTargets expands the congested link ids into loss targets,
+// applying the §3.3 eligibility rule.
+func (s *System) selectLossTargets(sv *SystemVP, linkIDs map[string]bool, staticList map[int]bool) []lossprobe.Target {
 	var targets []lossprobe.Target
 	for _, l := range sv.LastBdrmap.Links {
 		if !linkIDs[tslp.LinkID(l)] {
 			continue
 		}
-		if !s.lossEligible(sv.VP.ASN, l.NeighborAS, s.LossStaticList) {
+		if !s.lossEligible(sv.VP.ASN, l.NeighborAS, staticList) {
 			continue
 		}
 		targets = append(targets, lossprobe.TargetsForLink(l)...)
 	}
+	return targets
+}
+
+// armTargets installs a VP's loss target set and registers its per-second
+// probe schedule at most once (lossScheduled guard): re-arming replaces
+// targets, it must never stack a second schedule that would double-count
+// every loss probe.
+func (s *System) armTargets(sv *SystemVP, targets []lossprobe.Target) {
 	sv.Loss.SetTargets(targets)
 	if len(targets) > 0 && !sv.lossScheduled {
 		sv.lossScheduled = true
@@ -216,25 +232,8 @@ func (s *System) ArmLossProbing(sv *SystemVP, linkIDs map[string]bool, staticLis
 	if sv.LastBdrmap == nil {
 		return 0
 	}
-	var targets []lossprobe.Target
-	for _, l := range sv.LastBdrmap.Links {
-		id := tslp.LinkID(l)
-		if !linkIDs[id] {
-			continue
-		}
-		if !s.lossEligible(sv.VP.ASN, l.NeighborAS, staticList) {
-			continue
-		}
-		targets = append(targets, lossprobe.TargetsForLink(l)...)
-	}
-	sv.Loss.SetTargets(targets)
-	if len(targets) > 0 {
-		s.Sched.Every(s.Sched.Now(), time.Second, func(t time.Time) {
-			if sv.VP.Active(t) {
-				sv.Loss.Second(t)
-			}
-		})
-	}
+	targets := s.selectLossTargets(sv, linkIDs, staticList)
+	s.armTargets(sv, targets)
 	return len(targets)
 }
 
@@ -283,14 +282,18 @@ func (s *System) LinkSeries(vpName, linkID string, start time.Time, bin time.Dur
 // AnalyzeMerged runs the autocorrelation method on one link's stored TSLP
 // data from every VP that probed it and merges the per-VP classifications
 // (§4.2's final stage). start must align to a day boundary; the window is
-// cfg.WindowDays long.
-func (s *System) AnalyzeMerged(linkID string, start time.Time, cfg analysis.AutocorrConfig) ([]analysis.DayResult, error) {
+// cfg.WindowDays long. The per-VP analyses run concurrently (the store's
+// sharded locks make the queries parallel too) and fan in by VP index, so
+// the merge consumes them in the same sorted-VP order as a serial run.
+func (s *System) AnalyzeMerged(ctx context.Context, linkID string, start time.Time, cfg analysis.AutocorrConfig) ([]analysis.DayResult, error) {
 	bin := 24 * time.Hour / time.Duration(cfg.BinsPerDay)
 	n := cfg.WindowDays * cfg.BinsPerDay
 	end := start.Add(time.Duration(n) * bin)
 
-	var perVP [][]analysis.DayResult
-	for _, sv := range s.SortedVPs() {
+	svs := s.SortedVPs()
+	// days stays nil for VPs with no stored data for the link.
+	results, err := pipeline.Map(ctx, 0, len(svs), func(ctx context.Context, i int) ([]analysis.DayResult, error) {
+		sv := svs[i]
 		far := analysis.NewBinSeries(start, bin, n)
 		near := analysis.NewBinSeries(start, bin, n)
 		found := false
@@ -308,13 +311,22 @@ func (s *System) AnalyzeMerged(linkID string, start time.Time, cfg analysis.Auto
 			}
 		}
 		if !found {
-			continue
+			return nil, nil
 		}
 		res, err := analysis.Autocorrelation(far, near, cfg)
 		if err != nil {
 			return nil, err
 		}
-		perVP = append(perVP, res.Days)
+		return res.Days, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var perVP [][]analysis.DayResult
+	for _, days := range results {
+		if days != nil {
+			perVP = append(perVP, days)
+		}
 	}
 	if len(perVP) == 0 {
 		return nil, fmt.Errorf("core: no VP has TSLP data for link %q", linkID)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -35,7 +36,10 @@ func RenderAblations(rs []AblationResult) string {
 // varying-flow-id probe stream across both; the min-filter then reports
 // the uncongested link's latency and the congestion disappears from the
 // signal.
-func AblationFlowID(seed uint64) (AblationResult, error) {
+func AblationFlowID(ctx context.Context, seed uint64) (AblationResult, error) {
+	if err := ctx.Err(); err != nil {
+		return AblationResult{}, err
+	}
 	in, _, err := scenario.Build(seed)
 	if err != nil {
 		return AblationResult{}, err
@@ -189,8 +193,8 @@ func AblationDestinations(seed uint64) AblationResult {
 }
 
 // Ablations runs the full set.
-func Ablations(seed uint64) ([]AblationResult, error) {
-	fid, err := AblationFlowID(seed)
+func Ablations(ctx context.Context, seed uint64) ([]AblationResult, error) {
+	fid, err := AblationFlowID(ctx, seed)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -16,7 +17,7 @@ const testStudyDays = 200
 
 func study(t *testing.T) *Study {
 	t.Helper()
-	s, err := CachedStudy(1, testStudyDays)
+	s, err := CachedStudy(context.Background(), 1, testStudyDays)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +194,7 @@ func TestTable1Correlation(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	rows, err := Table2(1)
+	rows, err := Table2(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestFigure3Shape(t *testing.T) {
-	d, err := Figure3(1)
+	d, err := Figure3(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestFigure6Shape(t *testing.T) {
-	d, err := Figure6(1)
+	d, err := Figure6(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestFigure6Shape(t *testing.T) {
 }
 
 func TestYouTubeShape(t *testing.T) {
-	r, err := FigureYouTube(1)
+	r, err := FigureYouTube(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,7 +335,7 @@ func TestOperatorValidation(t *testing.T) {
 }
 
 func TestAblationsBehave(t *testing.T) {
-	rs, err := Ablations(3)
+	rs, err := Ablations(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,8 +357,11 @@ func TestChurnResilience(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lg := core.RunLongitudinal(in, scenario.VPsWithChurn(testStudyDays), netsimEpoch(), testStudyDays,
+	lg, err := core.RunLongitudinal(context.Background(), in, scenario.VPsWithChurn(testStudyDays), netsimEpoch(), testStudyDays,
 		core.LongitudinalConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	st := pairStatsOf(lg, scenario.CenturyLink, scenario.Google, 0, testStudyDays)
 	if st.Total == 0 {
 		t.Fatal("churned deployment observed nothing")
@@ -375,7 +379,7 @@ func pairStatsOf(lg *core.Longitudinal, ap, tcp, from, to int) core.DayLinkStats
 }
 
 func TestAsymmetryStudy(t *testing.T) {
-	r, err := AsymmetryStudy(5)
+	r, err := AsymmetryStudy(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -394,7 +398,7 @@ func TestAsymmetryStudy(t *testing.T) {
 }
 
 func TestMapitStudy(t *testing.T) {
-	r, err := MapitStudy(5)
+	r, err := MapitStudy(context.Background(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"strings"
@@ -36,7 +37,10 @@ type AsymmetryResult struct {
 }
 
 // AsymmetryStudy exercises both proposed detectors.
-func AsymmetryStudy(seed uint64) (*AsymmetryResult, error) {
+func AsymmetryStudy(ctx context.Context, seed uint64) (*AsymmetryResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	in, _, err := scenario.Build(seed)
 	if err != nil {
 		return nil, err
@@ -114,7 +118,7 @@ type MapitResult struct {
 
 // MapitStudy runs traceroutes from three VPs and infers interdomain links
 // passively, scoring against ground truth.
-func MapitStudy(seed uint64) (*MapitResult, error) {
+func MapitStudy(ctx context.Context, seed uint64) (*MapitResult, error) {
 	in, _, err := scenario.Build(seed)
 	if err != nil {
 		return nil, err
@@ -135,6 +139,9 @@ func MapitStudy(seed uint64) (*MapitResult, error) {
 	inferredInput.IXPPrefixes = in.IXPPrefixes()
 	inferredInput.MinCount = 2
 	for _, v := range vps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		vpASNs[v.asn] = true
 		vp, err := vantage.Deploy(in, v.asn, v.metro, netsim.Epoch)
 		if err != nil {

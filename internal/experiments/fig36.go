@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -42,7 +43,7 @@ var figure3Start = time.Date(2017, time.December, 7, 0, 0, 0, 0, time.UTC)
 // tailored build congests the Verizon-Google nyc link through December
 // 2017, then the packet-level system runs TSLP every five minutes and
 // loss probes once per second for three days.
-func Figure3(seed uint64) (*TimeSeriesData, error) {
+func Figure3(ctx context.Context, seed uint64) (*TimeSeriesData, error) {
 	in, _, err := scenario.Build(seed)
 	if err != nil {
 		return nil, err
@@ -56,13 +57,13 @@ func Figure3(seed uint64) (*TimeSeriesData, error) {
 	congStart := figure3Start.AddDate(0, 0, -60)
 	setControlled(ic, scenario.Verizon, inbound, 0.3, congStart)
 
-	return timeSeries(in, ic, scenario.Verizon, "nyc", figure3Start, 3, true, nil, seed)
+	return timeSeries(ctx, in, ic, scenario.Verizon, "nyc", figure3Start, 3, true, nil, seed)
 }
 
 // Figure6 reproduces the Comcast-Tata latency + NDT throughput series over
 // five days, with NDT tests every 15 minutes during 5-11pm local and
 // hourly otherwise (§3.4's schedule).
-func Figure6(seed uint64) (*TimeSeriesData, error) {
+func Figure6(ctx context.Context, seed uint64) (*TimeSeriesData, error) {
 	in, _, err := scenario.Build(seed)
 	if err != nil {
 		return nil, err
@@ -75,11 +76,13 @@ func Figure6(seed uint64) (*TimeSeriesData, error) {
 	setControlled(ic, scenario.Comcast, inbound, 0.3, congStart)
 
 	server := ndt.Server{Name: "mlab-nyc", Host: hostIn(in, scenario.Tata, "nyc")}
-	return timeSeries(in, ic, scenario.Comcast, "nyc", figure3Start, 5, false, &server, seed)
+	return timeSeries(ctx, in, ic, scenario.Comcast, "nyc", figure3Start, 5, false, &server, seed)
 }
 
-// timeSeries runs the packet-mode collection for one link.
-func timeSeries(in *topology.Internet, ic *topology.Interconnect, vpASN int, vpMetro string,
+// timeSeries runs the packet-mode collection for one link. The
+// per-round/per-second loops dominate the runtime, so cancellation is
+// checked there.
+func timeSeries(ctx context.Context, in *topology.Internet, ic *topology.Interconnect, vpASN int, vpMetro string,
 	start time.Time, days int, withLoss bool, server *ndt.Server, seed uint64) (*TimeSeriesData, error) {
 
 	vp := hostIn(in, vpASN, vpMetro)
@@ -113,6 +116,9 @@ func timeSeries(in *topology.Internet, ic *topology.Interconnect, vpASN int, vpM
 	tp.SetLinks([]*bdrmap.Link{link})
 	end := start.AddDate(0, 0, days)
 	for t := start; t.Before(end); t = t.Add(tslp.DefaultInterval) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tp.Round(t)
 	}
 
@@ -122,6 +128,11 @@ func timeSeries(in *topology.Internet, ic *topology.Interconnect, vpASN int, vpM
 		lp = lossprobe.NewProber(probe.NewEngine(in.Net, vp), db, "fig-vp")
 		lp.SetTargets(lossprobe.TargetsForLink(link))
 		for t := start; t.Before(end); t = t.Add(time.Second) {
+			if t.Second() == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			lp.Second(t)
 		}
 		lp.Flush()

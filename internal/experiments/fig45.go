@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -48,7 +49,7 @@ const ytTestsPerClass = 55
 // window around December 2016 (when the schedule congests Comcast-Google),
 // then stream test videos during congested and uncongested 15-minute
 // periods and compare ON-period throughput, startup delay and failures.
-func FigureYouTube(seed uint64) (*YouTubeResult, error) {
+func FigureYouTube(ctx context.Context, seed uint64) (*YouTubeResult, error) {
 	in, _, err := scenario.Build(seed)
 	if err != nil {
 		return nil, err
@@ -69,6 +70,9 @@ func FigureYouTube(seed uint64) (*YouTubeResult, error) {
 
 	out := &YouTubeResult{}
 	for vi, vp := range vps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		host := hostIn(in, vp.ASN, vp.Metro)
 		tester := &streaming.Tester{
 			Net:        in.Net,

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -33,13 +34,16 @@ type Study struct {
 const StudyDays = 650
 
 // NewStudy builds the scenario and runs the fluid-mode longitudinal
-// pipeline over the given number of days.
-func NewStudy(seed uint64, days int) (*Study, error) {
+// pipeline over the given number of days. Cancelling ctx aborts the run.
+func NewStudy(ctx context.Context, seed uint64, days int) (*Study, error) {
 	in, table, err := scenario.Build(seed)
 	if err != nil {
 		return nil, err
 	}
-	lg := core.RunLongitudinal(in, scenario.VPs(), netsim.Epoch, days, core.LongitudinalConfig{Seed: seed + 1})
+	lg, err := core.RunLongitudinal(ctx, in, scenario.VPs(), netsim.Epoch, days, core.LongitudinalConfig{Seed: seed + 1})
+	if err != nil {
+		return nil, err
+	}
 	return &Study{Seed: seed, Days: days, In: in, Table: table, LG: lg}, nil
 }
 
@@ -49,15 +53,16 @@ var (
 )
 
 // CachedStudy memoizes NewStudy so that the several table/figure
-// benchmarks sharing one longitudinal run pay for it once.
-func CachedStudy(seed uint64, days int) (*Study, error) {
+// benchmarks sharing one longitudinal run pay for it once. A cancelled
+// run is not cached.
+func CachedStudy(ctx context.Context, seed uint64, days int) (*Study, error) {
 	key := [2]uint64{seed, uint64(days)}
 	studyMu.Lock()
 	defer studyMu.Unlock()
 	if s, ok := studyCache[key]; ok {
 		return s, nil
 	}
-	s, err := NewStudy(seed, days)
+	s, err := NewStudy(ctx, seed, days)
 	if err != nil {
 		return nil, err
 	}

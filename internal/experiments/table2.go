@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -46,7 +47,7 @@ const ndtWindowDays = 50
 //     Expect no significant difference.
 //   - Link 3 (CenturyLink-Cogent, chicago): lightly congested; expect a
 //     small but statistically significant drop.
-func Table2(seed uint64) ([]Table2Row, error) {
+func Table2(ctx context.Context, seed uint64) ([]Table2Row, error) {
 	in, _, err := scenario.Build(seed)
 	if err != nil {
 		return nil, err
@@ -90,6 +91,9 @@ func Table2(seed uint64) ([]Table2Row, error) {
 
 	var rows []Table2Row
 	for si, sp := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Classify the window with the production pipeline.
 		f := &tslp.FluidProber{IC: sp.ic, VPASN: sp.vpASN, SamplesPerBin: 3,
 			Seed: netsim.Hash64(seed, 0x7ab1e2, uint64(si))}

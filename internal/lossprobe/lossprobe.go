@@ -60,6 +60,9 @@ type Prober struct {
 
 	targets []Target
 	acc     map[accKey]*counter
+	// pending accumulates flushed window points so each Second/Flush call
+	// commits them in a single WriteBatch.
+	pending []tsdb.BatchPoint
 }
 
 type accKey struct {
@@ -104,6 +107,7 @@ func (p *Prober) Second(at time.Time) {
 			c.lost++
 		}
 	}
+	p.commit()
 }
 
 // Flush forces all pending windows out (call at the end of a collection).
@@ -114,10 +118,23 @@ func (p *Prober) Flush() {
 		}
 		delete(p.acc, key)
 	}
+	p.commit()
 }
 
+// flush stages one completed window's points; commit ships the staged
+// points to the store under one batch.
 func (p *Prober) flush(key accKey, c *counter) {
 	tags := map[string]string{"vp": p.VPName, "link": key.linkID, "side": key.side}
-	p.DB.Write(MeasLossRate, tags, c.windowStart, float64(c.lost)/float64(c.sent))
-	p.DB.Write(MeasLossSent, tags, c.windowStart, float64(c.sent))
+	p.pending = append(p.pending,
+		tsdb.BatchPoint{Measurement: MeasLossRate, Tags: tags, Time: c.windowStart, Value: float64(c.lost) / float64(c.sent)},
+		tsdb.BatchPoint{Measurement: MeasLossSent, Tags: tags, Time: c.windowStart, Value: float64(c.sent)},
+	)
+}
+
+func (p *Prober) commit() {
+	if len(p.pending) == 0 {
+		return
+	}
+	p.DB.WriteBatch(p.pending)
+	p.pending = p.pending[:0]
 }

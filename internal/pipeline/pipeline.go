@@ -1,0 +1,118 @@
+// Package pipeline is the concurrency substrate of the analysis fan-out:
+// a small bounded worker pool over indexed jobs with context
+// cancellation, panic-to-error recovery, and index-ordered fan-in.
+//
+// The longitudinal study and the merged-link analysis are embarrassingly
+// parallel per (VP, link) — every unit of work derives its randomness
+// from a hash of its own indexes, never from shared mutable state — so
+// collecting results by job index makes the parallel output identical to
+// the sequential one regardless of completion order. That property is
+// what lets core run the same code path with 1 or N workers and assert
+// byte-identical results in tests.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the worker count used when a caller passes 0: one
+// worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines (workers <= 0 means DefaultWorkers) and returns the results
+// in index order. The first error — including a recovered panic,
+// converted to an error carrying the job index and stack — cancels the
+// remaining jobs and is returned. When ctx is cancelled, Map stops
+// dispatching and returns ctx's error.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	if workers == 1 {
+		// Sequential fast path: no goroutines, same cancellation and
+		// recovery semantics.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := run(ctx, i, fn)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+		}
+		return results, nil
+	}
+
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		firstErr error
+		errOnce  sync.Once
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				v, err := run(ctx, i, fn)
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						cancel()
+					})
+					return
+				}
+				results[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := parent.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ForEach is Map for jobs that produce no value.
+func ForEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, workers, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
+
+// run invokes one job, converting a panic into an error so a bad unit of
+// work fails the batch instead of killing the process.
+func run[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pipeline: job %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(ctx, i)
+}

@@ -1,0 +1,150 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		got, err := Map(context.Background(), workers, 100, func(_ context.Context, i int) (int, error) {
+			// Finish out of order: later indexes return sooner.
+			time.Sleep(time.Duration(100-i) * time.Microsecond)
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapFirstErrorCancelsRest(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	_, err := Map(context.Background(), 4, 1000, func(ctx context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 5 {
+			return 0, boom
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Millisecond):
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := ran.Load(); n == 1000 {
+		t.Fatal("error did not cancel remaining jobs")
+	}
+}
+
+func TestMapPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		_, err := Map(context.Background(), workers, 10, func(_ context.Context, i int) (int, error) {
+			if i == 3 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic not converted to error", workers)
+		}
+		if !strings.Contains(err.Error(), "job 3 panicked: kaboom") {
+			t.Fatalf("workers=%d: error lacks job context: %v", workers, err)
+		}
+	}
+}
+
+func TestMapContextCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		done := make(chan struct{})
+		var err error
+		go func() {
+			defer close(done)
+			_, err = Map(ctx, workers, 100000, func(_ context.Context, i int) (int, error) {
+				if ran.Add(1) == 10 {
+					cancel()
+				}
+				return i, nil
+			})
+		}()
+		<-done
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n == 100000 {
+			t.Fatalf("workers=%d: cancellation did not stop dispatch", workers)
+		}
+	}
+}
+
+func TestMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 4, 10, func(_ context.Context, i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(context.Background(), 8, 100, func(_ context.Context, i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Load(); got != 4950 {
+		t.Fatalf("sum = %d, want 4950", got)
+	}
+	wantErr := fmt.Errorf("nope")
+	if err := ForEach(context.Background(), 2, 4, func(_ context.Context, i int) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []int {
+		out, err := Map(context.Background(), workers, 500, func(_ context.Context, i int) (int, error) {
+			return i * 31, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := run(1)
+	for _, w := range []int{2, 7, 32} {
+		par := run(w)
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d differs at %d: %d vs %d", w, i, par[i], seq[i])
+			}
+		}
+	}
+}

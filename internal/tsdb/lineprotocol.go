@@ -102,17 +102,21 @@ func (db *DB) IngestLines(r io.Reader) (int, error) {
 // ExportLines writes every stored point as line protocol, series in
 // canonical key order.
 func (db *DB) ExportLines(w io.Writer) (int, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	keys := make([]string, 0, len(db.series))
-	for k := range db.series {
-		keys = append(keys, k)
+	unlock := db.lockAll(false)
+	defer unlock()
+	var keys []string
+	byKey := make(map[string]*Series)
+	for i := range db.shards {
+		for k, s := range db.shards[i].series {
+			keys = append(keys, k)
+			byKey[k] = s
+		}
 	}
 	sort.Strings(keys)
 	bw := bufio.NewWriter(w)
 	n := 0
 	for _, k := range keys {
-		s := db.series[k]
+		s := byKey[k]
 		for _, p := range s.Points {
 			if _, err := bw.WriteString(FormatLine(s.Measurement, s.Tags, p.Time, p.Value) + "\n"); err != nil {
 				return n, err

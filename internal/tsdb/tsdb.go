@@ -3,10 +3,14 @@
 // write latency/loss/throughput points tagged with vantage point, link and
 // probe kind; the analysis and visualization layers query ranges back out.
 //
-// The store is in-memory with binary snapshot/restore, tag-indexed, and
-// safe for concurrent use. Points within one series are kept ordered by
-// time; out-of-order writes are inserted, matching the semantics analysis
-// code expects.
+// The store is in-memory with binary snapshot/restore and safe for
+// concurrent use. Internally the series map is sharded by key hash with a
+// per-shard lock, and an inverted index (measurement and tag=value →
+// series keys) routes queries to only the matching series, so concurrent
+// probers and analyzers scale with cores instead of serializing on one
+// global lock. Points within one series are kept ordered by time;
+// out-of-order writes are inserted, matching the semantics analysis code
+// expects.
 package tsdb
 
 import (
@@ -52,32 +56,167 @@ func Key(measurement string, tags map[string]string) string {
 	return b.String()
 }
 
-// DB is the store.
-type DB struct {
+// NumShards is the number of series-map shards. 32 keeps lock contention
+// negligible for the fan-out the pipeline runs (one goroutine per core)
+// while the per-shard maps stay large enough to amortize hashing.
+const NumShards = 32
+
+// shard holds a slice of the keyspace behind its own lock.
+type shard struct {
 	mu     sync.RWMutex
 	series map[string]*Series
 }
 
-// Open returns an empty database.
-func Open() *DB {
-	return &DB{series: make(map[string]*Series)}
+// DB is the store.
+type DB struct {
+	// global coordinates whole-store operations with per-point mutators:
+	// Write/WriteBatch/Retain share it (RLock) and proceed concurrently,
+	// serializing only on their target shards; Snapshot/Restore/
+	// ExportLines take it exclusively, which both gives them a consistent
+	// point-in-time view and keeps the multi-shard lock acquisition free
+	// of reader/writer cycles (only one multi-shard holder can exist).
+	global sync.RWMutex
+	shards [NumShards]shard
+	idx    tagIndex
 }
 
-// Write appends one point to the series identified by measurement and
-// tags, creating the series on first write.
-func (db *DB) Write(measurement string, tags map[string]string, t time.Time, v float64) {
-	key := Key(measurement, tags)
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	s, ok := db.series[key]
-	if !ok {
-		tcopy := make(map[string]string, len(tags))
-		for k, val := range tags {
-			tcopy[k] = val
-		}
-		s = &Series{Measurement: measurement, Tags: tcopy}
-		db.series[key] = s
+// shardFor routes a series key to its shard (FNV-1a).
+func shardFor(key string) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
 	}
+	return h % NumShards
+}
+
+// tagIndex is the inverted index: posting sets of series keys per
+// measurement and per (measurement, tag, value). Queries intersect the
+// smallest applicable posting set instead of scanning every series.
+type tagIndex struct {
+	mu sync.RWMutex
+	// meas maps measurement -> set of series keys.
+	meas map[string]map[string]struct{}
+	// tag maps measurement \x00 tagKey \x00 tagValue -> set of series keys.
+	tag map[string]map[string]struct{}
+}
+
+func tagPosting(measurement, k, v string) string {
+	return measurement + "\x00" + k + "\x00" + v
+}
+
+func (ix *tagIndex) add(measurement string, tags map[string]string, key string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.meas == nil {
+		ix.meas = make(map[string]map[string]struct{})
+		ix.tag = make(map[string]map[string]struct{})
+	}
+	addTo(ix.meas, measurement, key)
+	for k, v := range tags {
+		addTo(ix.tag, tagPosting(measurement, k, v), key)
+	}
+}
+
+func (ix *tagIndex) remove(measurement string, tags map[string]string, key string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	removeFrom(ix.meas, measurement, key)
+	for k, v := range tags {
+		removeFrom(ix.tag, tagPosting(measurement, k, v), key)
+	}
+}
+
+func addTo(m map[string]map[string]struct{}, posting, key string) {
+	set, ok := m[posting]
+	if !ok {
+		set = make(map[string]struct{})
+		m[posting] = set
+	}
+	set[key] = struct{}{}
+}
+
+func removeFrom(m map[string]map[string]struct{}, posting, key string) {
+	if set, ok := m[posting]; ok {
+		delete(set, key)
+		if len(set) == 0 {
+			delete(m, posting)
+		}
+	}
+}
+
+// candidates returns the series keys that may match (measurement,
+// filter): the smallest posting set among the measurement's and each
+// filter tag's. A filter tag with no posting at all means no series can
+// match. ok=false reports that impossibility so callers can skip the
+// shard walk entirely.
+func (ix *tagIndex) candidates(measurement string, filter map[string]string) (keys []string, ok bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	best, ok := ix.meas[measurement]
+	if !ok {
+		return nil, false
+	}
+	for k, v := range filter {
+		set, ok := ix.tag[tagPosting(measurement, k, v)]
+		if !ok {
+			return nil, false
+		}
+		if len(set) < len(best) {
+			best = set
+		}
+	}
+	keys = make([]string, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	return keys, true
+}
+
+// measurementKeys returns all series keys of one measurement.
+func (ix *tagIndex) measurementKeys(measurement string) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	set := ix.meas[measurement]
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func (ix *tagIndex) measurements() []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]string, 0, len(ix.meas))
+	for m := range ix.meas {
+		out = append(out, m)
+	}
+	return out
+}
+
+func (ix *tagIndex) reset() {
+	ix.mu.Lock()
+	ix.meas = nil
+	ix.tag = nil
+	ix.mu.Unlock()
+}
+
+// Open returns an empty database.
+func Open() *DB {
+	db := &DB{}
+	for i := range db.shards {
+		db.shards[i].series = make(map[string]*Series)
+	}
+	return db
+}
+
+// insertPoint appends or inserts one point keeping the series time-ordered.
+func insertPoint(s *Series, t time.Time, v float64) {
 	p := Point{Time: t, Value: v}
 	n := len(s.Points)
 	if n == 0 || !s.Points[n-1].Time.After(t) {
@@ -91,20 +230,91 @@ func (db *DB) Write(measurement string, tags map[string]string, t time.Time, v f
 	s.Points[idx] = p
 }
 
+// getOrCreate returns the series for key, creating (and indexing) it on
+// first use. The caller must hold sh.mu.
+func (db *DB) getOrCreate(sh *shard, key, measurement string, tags map[string]string) *Series {
+	s, ok := sh.series[key]
+	if !ok {
+		s = &Series{Measurement: measurement, Tags: cloneTags(tags)}
+		sh.series[key] = s
+		db.idx.add(measurement, s.Tags, key)
+	}
+	return s
+}
+
+// Write appends one point to the series identified by measurement and
+// tags, creating the series on first write.
+func (db *DB) Write(measurement string, tags map[string]string, t time.Time, v float64) {
+	db.global.RLock()
+	defer db.global.RUnlock()
+	key := Key(measurement, tags)
+	sh := &db.shards[shardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	insertPoint(db.getOrCreate(sh, key, measurement, tags), t, v)
+}
+
+// BatchPoint is one point of a WriteBatch.
+type BatchPoint struct {
+	Measurement string
+	Tags        map[string]string
+	Time        time.Time
+	Value       float64
+}
+
+// WriteBatch ingests a set of points acquiring each destination shard's
+// lock once, instead of once per point. The probing modules use it to
+// flush a whole round in one go.
+func (db *DB) WriteBatch(points []BatchPoint) {
+	if len(points) == 0 {
+		return
+	}
+	db.global.RLock()
+	defer db.global.RUnlock()
+	// Group by shard so each lock is taken exactly once per batch.
+	var byShard [NumShards][]int
+	keys := make([]string, len(points))
+	for i, p := range points {
+		keys[i] = Key(p.Measurement, p.Tags)
+		s := shardFor(keys[i])
+		byShard[s] = append(byShard[s], i)
+	}
+	for si := range byShard {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		sh := &db.shards[si]
+		sh.mu.Lock()
+		for _, i := range byShard[si] {
+			p := points[i]
+			insertPoint(db.getOrCreate(sh, keys[i], p.Measurement, p.Tags), p.Time, p.Value)
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // SeriesCount returns the number of stored series.
 func (db *DB) SeriesCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.series)
+	n := 0
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		n += len(sh.series)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // PointCount returns the total number of stored points.
 func (db *DB) PointCount() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	n := 0
-	for _, s := range db.series {
-		n += len(s.Points)
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			n += len(s.Points)
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }
@@ -122,25 +332,81 @@ func (s *Series) matches(measurement string, filter map[string]string) bool {
 	return true
 }
 
+// rangeCopy extracts the points of s within [from, to) as an independent
+// Series, or ok=false when the range is empty.
+func (s *Series) rangeCopy(from, to time.Time) (Series, bool) {
+	lo := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(from) })
+	hi := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(to) })
+	if lo >= hi {
+		return Series{}, false
+	}
+	cp := Series{Measurement: s.Measurement, Tags: cloneTags(s.Tags), Points: make([]Point, hi-lo)}
+	copy(cp.Points, s.Points[lo:hi])
+	return cp, true
+}
+
 // Query returns, for every series of the measurement matching the tag
 // filter, the points within [from, to). The returned series share no
-// memory with the store.
+// memory with the store. Candidate series come from the inverted index,
+// so only keys that can match are visited.
 func (db *DB) Query(measurement string, filter map[string]string, from, to time.Time) []Series {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	keys, ok := db.idx.candidates(measurement, filter)
+	if !ok {
+		return nil
+	}
+	out := db.collect(keys, measurement, filter, from, to)
+	sort.Slice(out, func(i, j int) bool {
+		return Key(out[i].Measurement, out[i].Tags) < Key(out[j].Measurement, out[j].Tags)
+	})
+	return out
+}
+
+// collect visits the candidate keys shard by shard (one lock acquisition
+// per shard) and extracts the matching ranges.
+func (db *DB) collect(keys []string, measurement string, filter map[string]string, from, to time.Time) []Series {
+	var byShard [NumShards][]string
+	for _, k := range keys {
+		s := shardFor(k)
+		byShard[s] = append(byShard[s], k)
+	}
 	var out []Series
-	for _, s := range db.series {
-		if !s.matches(measurement, filter) {
+	for si := range byShard {
+		if len(byShard[si]) == 0 {
 			continue
 		}
-		lo := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(from) })
-		hi := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(to) })
-		if lo >= hi {
-			continue
+		sh := &db.shards[si]
+		sh.mu.RLock()
+		for _, k := range byShard[si] {
+			s, ok := sh.series[k]
+			if !ok || !s.matches(measurement, filter) {
+				continue
+			}
+			if cp, ok := s.rangeCopy(from, to); ok {
+				out = append(out, cp)
+			}
 		}
-		cp := Series{Measurement: s.Measurement, Tags: cloneTags(s.Tags), Points: make([]Point, hi-lo)}
-		copy(cp.Points, s.Points[lo:hi])
-		out = append(out, cp)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// queryScan is the pre-index full-scan implementation, kept as the
+// reference the indexed path is benchmarked and equivalence-tested
+// against.
+func (db *DB) queryScan(measurement string, filter map[string]string, from, to time.Time) []Series {
+	var out []Series
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			if !s.matches(measurement, filter) {
+				continue
+			}
+			if cp, ok := s.rangeCopy(from, to); ok {
+				out = append(out, cp)
+			}
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		return Key(out[i].Measurement, out[i].Tags) < Key(out[j].Measurement, out[j].Tags)
@@ -149,17 +415,30 @@ func (db *DB) Query(measurement string, filter map[string]string, from, to time.
 }
 
 // TagValues returns the sorted distinct values of a tag across a
-// measurement (e.g. all link ids with TSLP data).
+// measurement (e.g. all link ids with TSLP data). Only the measurement's
+// own series are visited.
 func (db *DB) TagValues(measurement, tag string) []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	keys := db.idx.measurementKeys(measurement)
+	var byShard [NumShards][]string
+	for _, k := range keys {
+		s := shardFor(k)
+		byShard[s] = append(byShard[s], k)
+	}
 	set := map[string]bool{}
-	for _, s := range db.series {
-		if s.Measurement == measurement {
-			if v, ok := s.Tags[tag]; ok {
-				set[v] = true
+	for si := range byShard {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		sh := &db.shards[si]
+		sh.mu.RLock()
+		for _, k := range byShard[si] {
+			if s, ok := sh.series[k]; ok {
+				if v, ok := s.Tags[tag]; ok {
+					set[v] = true
+				}
 			}
 		}
+		sh.mu.RUnlock()
 	}
 	out := make([]string, 0, len(set))
 	for v := range set {
@@ -171,16 +450,7 @@ func (db *DB) TagValues(measurement, tag string) []string {
 
 // Measurements returns the sorted distinct measurement names.
 func (db *DB) Measurements() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	set := map[string]bool{}
-	for _, s := range db.series {
-		set[s.Measurement] = true
-	}
-	out := make([]string, 0, len(set))
-	for v := range set {
-		out = append(out, v)
-	}
+	out := db.idx.measurements()
 	sort.Strings(out)
 	return out
 }
@@ -258,39 +528,73 @@ func Downsample(points []Point, start time.Time, bin time.Duration, n int, agg A
 // deployed system similarly aged raw data out of InfluxDB. It returns the
 // number of points dropped.
 func (db *DB) Retain(from, to time.Time) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.global.RLock()
+	defer db.global.RUnlock()
 	dropped := 0
-	for key, s := range db.series {
-		lo := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(from) })
-		hi := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(to) })
-		dropped += len(s.Points) - (hi - lo)
-		if hi <= lo {
-			delete(db.series, key)
-			continue
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		for key, s := range sh.series {
+			lo := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(from) })
+			hi := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(to) })
+			dropped += len(s.Points) - (hi - lo)
+			if hi <= lo {
+				delete(sh.series, key)
+				db.idx.remove(s.Measurement, s.Tags, key)
+				continue
+			}
+			kept := make([]Point, hi-lo)
+			copy(kept, s.Points[lo:hi])
+			s.Points = kept
 		}
-		kept := make([]Point, hi-lo)
-		copy(kept, s.Points[lo:hi])
-		s.Points = kept
+		sh.mu.Unlock()
 	}
 	return dropped
 }
 
-// Snapshot serializes the whole store.
+// lockAll freezes the whole store for a consistent point-in-time view:
+// the exclusive global lock keeps every mutator out (they all hold the
+// global read lock while working), so no per-shard locks are needed and
+// no multi-shard acquisition cycle can form. When write is true the
+// shard write locks are additionally taken, excluding concurrent readers
+// too — Restore needs that because it replaces the shard maps.
+func (db *DB) lockAll(write bool) (unlock func()) {
+	db.global.Lock()
+	if write {
+		for i := range db.shards {
+			db.shards[i].mu.Lock()
+		}
+	}
+	return func() {
+		if write {
+			for i := range db.shards {
+				db.shards[i].mu.Unlock()
+			}
+		}
+		db.global.Unlock()
+	}
+}
+
+// Snapshot serializes the whole store. The format — a gob []*Series in
+// canonical key order — is unchanged from the unsharded store, so old
+// snapshots restore and new ones load in old binaries.
 func (db *DB) Snapshot(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	enc := gob.NewEncoder(w)
-	list := make([]*Series, 0, len(db.series))
-	keys := make([]string, 0, len(db.series))
-	for k := range db.series {
-		keys = append(keys, k)
+	unlock := db.lockAll(false)
+	defer unlock()
+	var keys []string
+	byKey := make(map[string]*Series)
+	for i := range db.shards {
+		for k, s := range db.shards[i].series {
+			keys = append(keys, k)
+			byKey[k] = s
+		}
 	}
 	sort.Strings(keys)
+	list := make([]*Series, 0, len(keys))
 	for _, k := range keys {
-		list = append(list, db.series[k])
+		list = append(list, byKey[k])
 	}
-	return enc.Encode(list)
+	return gob.NewEncoder(w).Encode(list)
 }
 
 // Restore replaces the store contents with a snapshot.
@@ -299,11 +603,16 @@ func (db *DB) Restore(r io.Reader) error {
 	if err := gob.NewDecoder(r).Decode(&list); err != nil {
 		return fmt.Errorf("tsdb: restore: %w", err)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.series = make(map[string]*Series, len(list))
+	unlock := db.lockAll(true)
+	defer unlock()
+	for i := range db.shards {
+		db.shards[i].series = make(map[string]*Series)
+	}
+	db.idx.reset()
 	for _, s := range list {
-		db.series[Key(s.Measurement, s.Tags)] = s
+		key := Key(s.Measurement, s.Tags)
+		db.shards[shardFor(key)].series[key] = s
+		db.idx.add(s.Measurement, s.Tags, key)
 	}
 	return nil
 }

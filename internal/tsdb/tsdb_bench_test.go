@@ -1,0 +1,108 @@
+package tsdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchStore builds a multi-thousand-series store shaped like a real
+// deployment: many VPs x links x sides under one measurement, plus a
+// second measurement to pollute the keyspace.
+func benchStore(b *testing.B) *DB {
+	b.Helper()
+	db := Open()
+	t0 := stressEpoch
+	var pts []BatchPoint
+	for vp := 0; vp < 40; vp++ {
+		for link := 0; link < 50; link++ {
+			for _, side := range []string{"near", "far"} {
+				tags := map[string]string{
+					"vp":   fmt.Sprintf("vp%d", vp),
+					"link": fmt.Sprintf("l%d", link),
+					"side": side,
+				}
+				for i := 0; i < 12; i++ {
+					pts = append(pts, BatchPoint{
+						Measurement: "tslp", Tags: tags,
+						Time: t0.Add(time.Duration(i) * 5 * time.Minute), Value: float64(i),
+					})
+				}
+			}
+		}
+	}
+	db.WriteBatch(pts)
+	if db.SeriesCount() < 4000 {
+		b.Fatalf("bench store too small: %d series", db.SeriesCount())
+	}
+	return db
+}
+
+// BenchmarkTSDBQueryIndexed measures the inverted-index query path on a
+// 4000-series store: the candidate set for a fully-tagged filter is one
+// key. Compare with BenchmarkTSDBQueryScan, the pre-sharding full-scan
+// baseline over the same store.
+func BenchmarkTSDBQueryIndexed(b *testing.B) {
+	db := benchStore(b)
+	filter := map[string]string{"vp": "vp7", "link": "l23", "side": "far"}
+	from, to := stressEpoch, stressEpoch.Add(time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := db.Query("tslp", filter, from, to); len(got) != 1 {
+			b.Fatalf("got %d series", len(got))
+		}
+	}
+}
+
+// BenchmarkTSDBQueryScan is the full-scan baseline for the same query.
+func BenchmarkTSDBQueryScan(b *testing.B) {
+	db := benchStore(b)
+	filter := map[string]string{"vp": "vp7", "link": "l23", "side": "far"}
+	from, to := stressEpoch, stressEpoch.Add(time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := db.queryScan("tslp", filter, from, to); len(got) != 1 {
+			b.Fatalf("got %d series", len(got))
+		}
+	}
+}
+
+// BenchmarkTSDBWriteBatch measures one probing round (600 points across
+// 200 series) flushed through the batch path.
+func BenchmarkTSDBWriteBatch(b *testing.B) {
+	db := Open()
+	var pts []BatchPoint
+	for link := 0; link < 100; link++ {
+		for _, side := range []string{"near", "far"} {
+			for d := 0; d < 3; d++ {
+				pts = append(pts, BatchPoint{
+					Measurement: "tslp",
+					Tags: map[string]string{
+						"vp": "v", "link": fmt.Sprintf("l%d", link), "side": side, "dest": fmt.Sprintf("d%d", d),
+					},
+					Value: 12.5,
+				})
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := stressEpoch.Add(time.Duration(i) * 5 * time.Minute)
+		for j := range pts {
+			pts[j].Time = at
+		}
+		db.WriteBatch(pts)
+	}
+}
+
+// BenchmarkTSDBTagValuesIndexed lists tag values on the 4000-series store;
+// the index restricts the walk to the measurement's own keys.
+func BenchmarkTSDBTagValuesIndexed(b *testing.B) {
+	db := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := db.TagValues("tslp", "link"); len(got) != 50 {
+			b.Fatalf("got %d values", len(got))
+		}
+	}
+}

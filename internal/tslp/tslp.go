@@ -82,6 +82,11 @@ type Prober struct {
 	// ReactiveDrops counts destinations rotated out by them.
 	ReactiveChecks int
 	ReactiveDrops  int
+
+	// batch accumulates one round's points so they reach the store in a
+	// single WriteBatch (one lock acquisition per shard instead of one
+	// per point).
+	batch []tsdb.BatchPoint
 }
 
 // NewProber returns a prober writing into db under the given VP name.
@@ -172,6 +177,7 @@ func (p *Prober) Links() []string {
 // with the same flow identifier.
 func (p *Prober) Round(at time.Time) {
 	p.RoundsRun++
+	p.batch = p.batch[:0]
 	t := at
 	for _, id := range sortedKeys(p.links) {
 		pl := p.links[id]
@@ -209,6 +215,7 @@ func (p *Prober) Round(at time.Time) {
 		}
 		pl.rotateLost()
 	}
+	p.DB.WriteBatch(p.batch)
 }
 
 // reactiveCheckRounds is how many consecutive silent far probes trigger a
@@ -252,12 +259,17 @@ func (pl *probedLink) rotateLost() {
 }
 
 func (p *Prober) write(pl *probedLink, side string, d bdrmap.DestMeta, at time.Time, rtt time.Duration) {
-	p.DB.Write(MeasLatency, map[string]string{
-		"vp":   p.VPName,
-		"link": pl.id,
-		"side": side,
-		"dest": d.Addr.String(),
-	}, at, float64(rtt)/float64(time.Millisecond))
+	p.batch = append(p.batch, tsdb.BatchPoint{
+		Measurement: MeasLatency,
+		Tags: map[string]string{
+			"vp":   p.VPName,
+			"link": pl.id,
+			"side": side,
+			"dest": d.Addr.String(),
+		},
+		Time:  at,
+		Value: float64(rtt) / float64(time.Millisecond),
+	})
 }
 
 // ResponseRate returns the fraction of probes answered so far.
