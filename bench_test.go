@@ -489,3 +489,29 @@ func benchLongitudinal(b *testing.B, workers int) {
 func BenchmarkRunLongitudinalSequential(b *testing.B) { benchLongitudinal(b, 1) }
 
 func BenchmarkRunLongitudinalParallel(b *testing.B) { benchLongitudinal(b, 0) }
+
+// benchCampaign runs a packet-mode campaign — concurrent bdrmaps, TSLP
+// rounds, 1 Hz loss probing over the full scenario — on the given
+// scheduler (workers 0 = sequential netsim.Scheduler). Pairing the two
+// benchmarks below measures the sharded scheduler's per-tick VP
+// partitioning; TestParallelDeterminismPacket asserts both produce a
+// bit-identical store. The speedup is bounded by GOMAXPROCS: on a
+// single-CPU runner the pair instead measures pure dispatch overhead
+// (the parallel run should stay within a few percent of sequential).
+func benchCampaign(b *testing.B, workers int) {
+	cfg := experiments.CampaignConfig{Seed: benchSeed, VPs: 8, Hours: 4, Workers: workers}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCampaign(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Points == 0 || res.Targets == 0 {
+			b.Fatalf("campaign measured nothing: %+v", res)
+		}
+		b.ReportMetric(float64(res.Events)/float64(b.Elapsed().Seconds())/float64(b.N), "events/s")
+	}
+}
+
+func BenchmarkCampaignSequential(b *testing.B) { benchCampaign(b, 0) }
+
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, 8) }

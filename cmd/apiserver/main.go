@@ -3,7 +3,10 @@
 //
 // Usage:
 //
-//	apiserver -in snapshot.tsdb [-addr :8080]
+//	apiserver -in snapshot.tsdb [-addr :8080] [-pidfile path]
+//
+// The pid file defaults to apiserver.pid under os.TempDir() and is
+// removed on graceful shutdown; -pidfile "" disables it.
 //
 // Endpoints: /api/v1/measurements, /api/v1/tags, /api/v1/query,
 // /api/v1/congestion, /healthz. See package interdomain/internal/api.
@@ -17,6 +20,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -31,10 +35,18 @@ const shutdownGrace = 5 * time.Second
 func main() {
 	inPath := flag.String("in", "", "tsdb snapshot (required)")
 	addr := flag.String("addr", ":8080", "listen address")
+	pidfile := flag.String("pidfile", filepath.Join(os.TempDir(), "apiserver.pid"),
+		"pid file path (empty disables)")
 	flag.Parse()
 
 	if *inPath == "" {
 		fatal(fmt.Errorf("-in is required"))
+	}
+	if *pidfile != "" {
+		if err := os.WriteFile(*pidfile, []byte(fmt.Sprintf("%d\n", os.Getpid())), 0o644); err != nil {
+			fatal(err)
+		}
+		defer os.Remove(*pidfile)
 	}
 	f, err := os.Open(*inPath)
 	if err != nil {

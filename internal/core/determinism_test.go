@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"interdomain/internal/core"
+	"interdomain/internal/experiments"
 	"interdomain/internal/netsim"
 	"interdomain/internal/testnet"
 )
@@ -79,6 +80,36 @@ func TestParallelDeterminism(t *testing.T) {
 		if got := run(workers); got != sequential {
 			t.Fatalf("workers=%d output differs from sequential run\n--- sequential ---\n%.400s\n--- workers=%d ---\n%.400s",
 				workers, sequential, workers, got)
+		}
+	}
+}
+
+// TestParallelDeterminismPacket is the packet-mode counterpart: the same
+// campaign — concurrent initial bdrmaps, five-minute TSLP rounds, 1 Hz
+// loss probing, and a global scenario mutation mid-run — must leave a
+// bit-identical store whether it runs on the sequential scheduler or on
+// the sharded scheduler at any worker count.
+func TestParallelDeterminismPacket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-VP packet campaign")
+	}
+	cfg := experiments.CampaignConfig{Seed: 5, VPs: 6, Hours: 1, GlobalChurn: true}
+	run := func(workers int) experiments.CampaignResult {
+		cfg := cfg
+		cfg.Workers = workers
+		res, err := experiments.RunCampaign(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	seq := run(0)
+	if seq.Points == 0 || seq.Targets == 0 {
+		t.Fatalf("sequential campaign measured nothing: %+v", seq)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		if got := run(workers); got != seq {
+			t.Fatalf("workers=%d diverged from sequential scheduler:\nsequential: %+v\nsharded:    %+v", workers, seq, got)
 		}
 	}
 }

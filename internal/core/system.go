@@ -37,9 +37,12 @@ const BdrmapInterval = 2 * 24 * time.Hour
 
 // System is the packet-mode measurement system.
 type System struct {
-	In    *topology.Internet
-	DB    *tsdb.DB
-	Sched *netsim.Scheduler
+	In *topology.Internet
+	DB *tsdb.DB
+	// Sched drives the campaign. NewSystem installs the sequential
+	// netsim.Scheduler; NewParallelSystem installs a ShardedScheduler
+	// that runs distinct vantage points' same-tick events concurrently.
+	Sched netsim.EventScheduler
 
 	// ReactiveTSLP enables reactive probing-set maintenance (§9) on every
 	// VP's prober: destinations that lose link visibility are re-traced
@@ -58,6 +61,12 @@ type System struct {
 	LossStaticList map[int]bool
 
 	VPs []*SystemVP
+
+	// sharded is non-nil when Sched is a ShardedScheduler; staged then
+	// holds one write buffer per VP, committed to DB at every tick
+	// barrier (and by Sync).
+	sharded *netsim.ShardedScheduler
+	staged  []*tsdb.Staged
 }
 
 // SystemVP couples a vantage point with its measurement modules.
@@ -71,16 +80,48 @@ type SystemVP struct {
 	lossScheduled bool
 }
 
-// NewSystem creates an empty system over a built internet.
+// NewSystem creates an empty system over a built internet, driven by the
+// sequential virtual-time scheduler.
 func NewSystem(in *topology.Internet, db *tsdb.DB, start time.Time) *System {
 	return &System{In: in, DB: db, Sched: netsim.NewScheduler(start)}
 }
 
-// AddVP deploys a vantage point and wires its probers.
+// NewParallelSystem creates a system whose campaign runs on the sharded
+// scheduler: at every virtual-time tick, the events of vantage points on
+// distinct hosts execute concurrently on up to workers goroutines
+// (workers <= 0 means one per CPU), and each VP's probe writes are
+// staged and committed to the store at the tick barrier. Output is
+// byte-identical to NewSystem's for any worker count; see DESIGN.md,
+// "packet-mode parallelism".
+func NewParallelSystem(in *topology.Internet, db *tsdb.DB, start time.Time, workers int) *System {
+	sh := netsim.NewShardedScheduler(start, workers)
+	s := &System{In: in, DB: db, Sched: sh, sharded: sh}
+	sh.OnBarrier(func(time.Time) { s.Sync() })
+	return s
+}
+
+// Sync commits all staged probe writes to the store. The tick barrier
+// calls it during RunUntil; callers invoking prober methods directly
+// (e.g. a final Loss.Flush at collection end) must call it themselves.
+// On a sequential system it is a no-op — writes commit immediately.
+func (s *System) Sync() {
+	for _, st := range s.staged {
+		st.Commit(s.DB)
+	}
+}
+
+// AddVP deploys a vantage point and wires its probers. VP names are made
+// unique — a second VP of the same AS in the same metro gets a "-2"
+// suffix — because the name tags every stored series and doubles as the
+// observability handle.
 func (s *System) AddVP(asn int, metro string, joined time.Time) (*SystemVP, error) {
 	vp, err := vantage.Deploy(s.In, asn, metro, joined)
 	if err != nil {
 		return nil, err
+	}
+	base := vp.Name
+	for i := 2; s.nameTaken(vp.Name); i++ {
+		vp.Name = fmt.Sprintf("%s-%d", base, i)
 	}
 	sv := &SystemVP{
 		VP:   vp,
@@ -88,9 +129,31 @@ func (s *System) AddVP(asn int, metro string, joined time.Time) (*SystemVP, erro
 		Loss: lossprobe.NewProber(vp.LossEngine, s.DB, vp.Name),
 	}
 	sv.TSLP.Reactive = s.ReactiveTSLP
+	if s.sharded != nil {
+		st := tsdb.NewStaged()
+		s.staged = append(s.staged, st)
+		sv.TSLP.Sink = st
+		sv.Loss.Sink = st
+	}
 	s.VPs = append(s.VPs, sv)
 	return sv, nil
 }
+
+func (s *System) nameTaken(name string) bool {
+	for _, sv := range s.VPs {
+		if sv.VP.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// key returns a VP's scheduler partition key: its host node. Two VPs
+// sharing a host serialize — every piece of order-dependent simulator
+// state a probe touches (IP-ID streams, ICMP rate-limiter windows) is
+// keyed by the probing source node, so partitioning by host makes
+// same-tick events of distinct partitions commute.
+func (s *System) key(sv *SystemVP) string { return sv.VP.Node.Name }
 
 // bdrmapInput assembles the public-data inputs for a VP (§3.2).
 func (s *System) bdrmapInput(sv *SystemVP) bdrmap.Input {
@@ -141,7 +204,10 @@ func (s *System) EnableReactiveLoss() {
 	for _, sv := range s.VPs {
 		sv := sv
 		first := sv.VP.Joined.Add(26 * time.Hour)
-		s.Sched.Every(first, 24*time.Hour, func(t time.Time) {
+		// The scan only reads series the VP itself wrote, over a window
+		// that ends hours before the current tick, so it commutes with
+		// every other partition's same-tick events.
+		s.Sched.EveryKey(s.key(sv), first, 24*time.Hour, func(t time.Time) {
 			if !sv.VP.Active(t) || sv.LastBdrmap == nil {
 				return
 			}
@@ -195,7 +261,7 @@ func (s *System) armTargets(sv *SystemVP, targets []lossprobe.Target) {
 	sv.Loss.SetTargets(targets)
 	if len(targets) > 0 && !sv.lossScheduled {
 		sv.lossScheduled = true
-		s.Sched.Every(s.Sched.Now(), time.Second, func(t time.Time) {
+		s.Sched.EveryKey(s.key(sv), s.Sched.Now(), time.Second, func(t time.Time) {
 			if sv.VP.Active(t) {
 				sv.Loss.Second(t)
 			}
@@ -209,13 +275,14 @@ func (s *System) armTargets(sv *SystemVP, targets []lossprobe.Target) {
 func (s *System) Start() {
 	for _, sv := range s.VPs {
 		sv := sv
-		s.Sched.At(sv.VP.Joined, func(t time.Time) { s.RunBdrmap(sv, t) })
-		s.Sched.Every(sv.VP.Joined.Add(time.Hour), BdrmapInterval, func(t time.Time) {
+		key := s.key(sv)
+		s.Sched.AtKey(key, sv.VP.Joined, func(t time.Time) { s.RunBdrmap(sv, t) })
+		s.Sched.EveryKey(key, sv.VP.Joined.Add(time.Hour), BdrmapInterval, func(t time.Time) {
 			if sv.VP.Active(t) {
 				s.RunBdrmap(sv, t)
 			}
 		})
-		s.Sched.Every(sv.VP.Joined.Add(2*time.Hour), tslp.DefaultInterval, func(t time.Time) {
+		s.Sched.EveryKey(key, sv.VP.Joined.Add(2*time.Hour), tslp.DefaultInterval, func(t time.Time) {
 			if sv.VP.Active(t) {
 				sv.TSLP.Round(t)
 			}

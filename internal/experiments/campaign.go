@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"interdomain/internal/core"
+	"interdomain/internal/netsim"
+	"interdomain/internal/scenario"
+	"interdomain/internal/tsdb"
+)
+
+// CampaignConfig sizes a packet-mode measurement campaign over the §6
+// ecosystem: the paper's actual measurement loop (bdrmap discovery, TSLP
+// rounds every five minutes, loss probing at 1 Hz), driven end to end by
+// the virtual-time scheduler instead of the fluid fast path.
+type CampaignConfig struct {
+	Seed uint64
+	// VPs is the number of vantage points, assigned round-robin across
+	// the eight access providers so every VP lands on a distinct host
+	// (max 29, the paper's §6 deployment list).
+	VPs int
+	// Hours is the probing horizon after the two-hour warmup in which
+	// bdrmap runs and TSLP starts.
+	Hours int
+	// Workers selects the scheduler: 0 runs the sequential
+	// netsim.Scheduler; >= 1 runs the ShardedScheduler with that many
+	// workers (1 = sharded code path, sequential execution).
+	Workers int
+	// GlobalChurn schedules a scenario mutation (an extra congestion
+	// episode on a Comcast-Google interconnect) mid-campaign as a
+	// global, empty-key event, exercising the barrier semantics: it must
+	// run alone between ticks on any scheduler.
+	GlobalChurn bool
+}
+
+// CampaignResult summarizes a campaign run.
+type CampaignResult struct {
+	VPs     int
+	Links   int // TSLP-probed links across all VPs
+	Targets int // armed loss targets across all VPs
+	Events  int // scheduler events executed
+	Points  int // points in the store afterwards
+	// Digest fingerprints the full store content (every series key and
+	// every point, bit-exact values). Two campaigns are equivalent iff
+	// their digests match.
+	Digest uint64
+}
+
+// RunCampaign executes a packet-mode campaign and fingerprints its
+// output. The same configuration must produce the same digest whatever
+// the Workers setting — that is the sharded scheduler's determinism
+// contract, asserted by TestPacketCampaignDeterminism and relied on by
+// BenchmarkCampaignParallel.
+func RunCampaign(ctx context.Context, cfg CampaignConfig) (CampaignResult, error) {
+	in, _, err := scenario.Build(cfg.Seed)
+	if err != nil {
+		return CampaignResult{}, err
+	}
+	db := tsdb.Open()
+	var sys *core.System
+	if cfg.Workers > 0 {
+		sys = core.NewParallelSystem(in, db, netsim.Epoch, cfg.Workers)
+	} else {
+		sys = core.NewSystem(in, db, netsim.Epoch)
+	}
+
+	for _, spec := range campaignVPs(cfg.VPs) {
+		if _, err := sys.AddVP(spec.ASN, spec.Metro, netsim.Epoch); err != nil {
+			return CampaignResult{}, err
+		}
+	}
+	sys.Start()
+
+	if cfg.GlobalChurn {
+		mid := netsim.Epoch.Add(2*time.Hour + time.Duration(cfg.Hours)*time.Hour/2)
+		sys.Sched.At(mid, func(t time.Time) { campaignChurn(sys, t) })
+	}
+
+	// Warmup: every VP's initial bdrmap lands on the first tick (the
+	// heaviest possible concurrent batch), TSLP starts at +2h.
+	events := sys.RunUntil(netsim.Epoch.Add(2*time.Hour + time.Minute))
+	if err := ctx.Err(); err != nil {
+		return CampaignResult{}, err
+	}
+
+	// Arm loss probing on every discovered link; the static list covers
+	// all neighbors so eligibility never filters (§3.3's reactive
+	// trigger needs days of data this horizon doesn't have).
+	static := map[int]bool{}
+	for _, a := range in.ASList() {
+		static[a.ASN] = true
+	}
+	res := CampaignResult{VPs: len(sys.VPs)}
+	for _, sv := range sys.SortedVPs() {
+		all := map[string]bool{}
+		for _, id := range sv.TSLP.Links() {
+			all[id] = true
+		}
+		res.Links += len(all)
+		res.Targets += sys.ArmLossProbing(sv, all, static)
+	}
+
+	events += sys.RunUntil(netsim.Epoch.Add(2*time.Hour + time.Duration(cfg.Hours)*time.Hour))
+	if err := ctx.Err(); err != nil {
+		return CampaignResult{}, err
+	}
+	for _, sv := range sys.SortedVPs() {
+		sv.Loss.Flush()
+	}
+	sys.Sync()
+
+	res.Events = events
+	res.Points = db.PointCount()
+	res.Digest = DBDigest(db, netsim.Epoch, netsim.Epoch.AddDate(0, 0, 2))
+	return res, nil
+}
+
+// campaignVPs picks n VP specs round-robin across the access providers,
+// so consecutive VPs land in different ASes (distinct hosts, distinct
+// scheduler partitions).
+func campaignVPs(n int) []core.VPSpec {
+	byAS := map[int][]core.VPSpec{}
+	var order []int
+	for _, spec := range scenario.VPs() {
+		if len(byAS[spec.ASN]) == 0 {
+			order = append(order, spec.ASN)
+		}
+		byAS[spec.ASN] = append(byAS[spec.ASN], spec)
+	}
+	var out []core.VPSpec
+	for len(out) < n {
+		added := false
+		for _, asn := range order {
+			if len(byAS[asn]) == 0 {
+				continue
+			}
+			out = append(out, byAS[asn][0])
+			byAS[asn] = byAS[asn][1:]
+			added = true
+			if len(out) == n {
+				break
+			}
+		}
+		if !added {
+			break // n exceeds the deployment list
+		}
+	}
+	return out
+}
+
+// campaignChurn applies the mid-campaign global mutation: an immediate
+// extra-load episode on the first Comcast-Google interconnect. It
+// mutates shared link state and drops the cached queue trajectories,
+// which is exactly why it must run alone between tick barriers.
+func campaignChurn(sys *core.System, t time.Time) {
+	ics := sys.In.InterconnectsOf(scenario.Comcast, scenario.Google)
+	if len(ics) == 0 {
+		return
+	}
+	l := ics[0].Link
+	for _, dir := range []netsim.Direction{netsim.AtoB, netsim.BtoA} {
+		if p := l.Profile(dir); p != nil {
+			p.Episodes = append(p.Episodes, netsim.Episode{Start: t, End: t.Add(12 * time.Hour), ExtraPeak: 0.4})
+		}
+	}
+	l.InvalidateQueueCache()
+}
+
+// DBDigest fingerprints the store: every series of every measurement,
+// keys sorted, points in time order with bit-exact values. Campaign
+// equivalence tests compare digests instead of multi-megabyte renderings.
+func DBDigest(db *tsdb.DB, from, to time.Time) uint64 {
+	h := fnv.New64a()
+	for _, m := range db.Measurements() {
+		for _, s := range db.Query(m, nil, from, to) {
+			fmt.Fprintf(h, "%s\n", tsdb.Key(s.Measurement, s.Tags))
+			for _, p := range s.Points {
+				fmt.Fprintf(h, "%d %d\n", p.Time.UnixNano(), math.Float64bits(p.Value))
+			}
+		}
+	}
+	return h.Sum64()
+}

@@ -55,7 +55,10 @@ func TargetsForLink(l *bdrmap.Link) []Target {
 // Prober runs the loss measurement from one VP (packet mode).
 type Prober struct {
 	Engine *probe.Engine
-	DB     *tsdb.DB
+	// Sink receives flushed windows in batches: the store itself by
+	// default, or a per-partition staging buffer under the sharded
+	// campaign scheduler.
+	Sink   tsdb.BatchWriter
 	VPName string
 
 	targets []Target
@@ -76,7 +79,7 @@ type counter struct {
 
 // NewProber returns a loss prober writing into db.
 func NewProber(e *probe.Engine, db *tsdb.DB, vpName string) *Prober {
-	return &Prober{Engine: e, DB: db, VPName: vpName, acc: make(map[accKey]*counter)}
+	return &Prober{Engine: e, Sink: db, VPName: vpName, acc: make(map[accKey]*counter)}
 }
 
 // SetTargets replaces the probed set (reactive selection is the caller's
@@ -135,6 +138,6 @@ func (p *Prober) commit() {
 	if len(p.pending) == 0 {
 		return
 	}
-	p.DB.WriteBatch(p.pending)
+	p.Sink.WriteBatch(p.pending)
 	p.pending = p.pending[:0]
 }

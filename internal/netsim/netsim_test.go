@@ -180,9 +180,9 @@ func TestFIBLongestPrefixMatch(t *testing.T) {
 func TestIPIDMonotonic(t *testing.T) {
 	n := NewNetwork(1)
 	r := n.AddNode("r", 1, Router)
-	prev := r.NextIPID()
+	prev := r.NextIPID(0)
 	for i := 0; i < 100; i++ {
-		cur := r.NextIPID()
+		cur := r.NextIPID(0)
 		if cur <= prev {
 			t.Fatalf("IP-ID not monotonic: %d then %d", prev, cur)
 		}

@@ -50,13 +50,27 @@ type Node struct {
 	Unresponsive bool
 
 	mu sync.Mutex
-	// ipid is a monotonically increasing IP-ID counter shared by all the
-	// node's interfaces; the Ally alias-resolution technique detects
-	// aliases by observing interleaved counter values.
-	ipid uint32
-	// rlSecond/rlCount implement the ICMP rate limiter.
-	rlSecond int64
-	rlCount  int
+	// ipid seeds the node's IP-ID streams. Counters are kept per probing
+	// source (lazily, in ipidBySrc): each source observes its own
+	// monotonically increasing counter shared by all the node's
+	// interfaces — which is what Ally-style alias resolution relies on —
+	// while probes from different sources never perturb each other's
+	// stream. That independence is what lets the sharded scheduler run
+	// distinct vantage points concurrently and still produce results
+	// byte-identical to a sequential run.
+	ipid      uint32
+	ipidBySrc map[int]uint32
+	// rl implements the ICMP rate limiter, also per probing source and
+	// for the same reason: each source independently gets the configured
+	// budget per second, so the limiter's verdicts do not depend on the
+	// order in which concurrent sources' probes arrive.
+	rl map[int]*rlState
+}
+
+// rlState is one source's ICMP rate-limiter window.
+type rlState struct {
+	second int64
+	count  int
 }
 
 // Interface is an attachment point of a node to a link.
@@ -66,31 +80,53 @@ type Interface struct {
 	Link *Link
 }
 
-// NextIPID atomically returns the node's next IP-ID value, a 16-bit
-// counter that wraps like the real IPv4 identification field. Routers use
-// a single shared counter across interfaces, which is the signal
-// Ally-style alias resolution relies on.
-func (n *Node) NextIPID() uint32 {
+// NextIPID atomically returns the node's next IP-ID value toward the
+// given probing source node, a 16-bit counter that wraps like the real
+// IPv4 identification field. Routers use a single counter shared across
+// their interfaces, which is the signal Ally-style alias resolution
+// relies on; the counter is independent per source so that concurrent
+// vantage points observe order-independent values.
+func (n *Node) NextIPID(srcID int) uint32 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.ipid += 1 + uint32(n.ID%3) // per-router stride, still monotonic
-	return n.ipid & 0xffff
+	if n.ipidBySrc == nil {
+		n.ipidBySrc = make(map[int]uint32)
+	}
+	v, ok := n.ipidBySrc[srcID]
+	if !ok {
+		// Each source starts at a pseudo-random offset derived from the
+		// node's base seed, like independent routers do.
+		v = uint32(Hash64(uint64(n.ipid), uint64(srcID)) % 60000)
+	}
+	v += 1 + uint32(n.ID%3) // per-router stride, still monotonic
+	n.ipidBySrc[srcID] = v
+	return v & 0xffff
 }
 
-// allowICMP consults the node's ICMP rate limiter for a response generated
-// at the given absolute time (in whole seconds since the epoch).
-func (n *Node) allowICMP(second int64) bool {
+// allowICMP consults the node's ICMP rate limiter for a response to the
+// given probing source generated at the given absolute time (in whole
+// seconds since the epoch). The budget is accounted per source, keeping
+// the verdicts independent of the order concurrent sources probe in.
+func (n *Node) allowICMP(srcID int, second int64) bool {
 	if n.ICMPRateLimit <= 0 {
 		return true
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if second != n.rlSecond {
-		n.rlSecond = second
-		n.rlCount = 0
+	if n.rl == nil {
+		n.rl = make(map[int]*rlState)
 	}
-	n.rlCount++
-	return n.rlCount <= n.ICMPRateLimit
+	st, ok := n.rl[srcID]
+	if !ok {
+		st = &rlState{}
+		n.rl[srcID] = st
+	}
+	if second != st.second {
+		st.second = second
+		st.count = 0
+	}
+	st.count++
+	return st.count <= n.ICMPRateLimit
 }
 
 // HasAddr reports whether any of the node's interfaces carries addr.

@@ -5,15 +5,50 @@ import (
 	"time"
 )
 
+// EventScheduler is the contract the measurement system drives its
+// campaign through. Two implementations exist: Scheduler executes every
+// event on one goroutine in (time, seq) order; ShardedScheduler runs
+// events with distinct partition keys that fall on the same virtual-time
+// tick concurrently, with a barrier before time advances.
+//
+// The key of an event names the partition whose mutable state the event
+// touches — the measurement system uses the vantage point's host node.
+// The empty key marks a global event (topology churn, scenario
+// mutations): it is never run concurrently with anything else.
+type EventScheduler interface {
+	// Now returns the current virtual time.
+	Now() time.Time
+	// At schedules a global event at the given virtual time.
+	At(t time.Time, fn func(time.Time))
+	// AtKey schedules an event in the given partition.
+	AtKey(key string, t time.Time, fn func(time.Time))
+	// Every schedules a global event at start and then every interval
+	// until the returned cancel function is called.
+	Every(start time.Time, interval time.Duration, fn func(time.Time)) (cancel func())
+	// EveryKey is Every within a partition.
+	EveryKey(key string, start time.Time, interval time.Duration, fn func(time.Time)) (cancel func())
+	// RunUntil executes events in virtual-time order until the queue is
+	// empty or the next event is after deadline, returning the number of
+	// events executed.
+	RunUntil(deadline time.Time) int
+	// Pending returns the number of queued (non-cancelled) events.
+	Pending() int
+}
+
 // Scheduler is a discrete-event scheduler over virtual time. The
 // measurement system uses it to drive periodic tasks — TSLP rounds every
 // five minutes, loss probes every second, bdrmap cycles every one to three
-// days — without any relationship to the wall clock.
+// days — without any relationship to the wall clock. It runs every event
+// on the calling goroutine; partition keys are accepted (so callers can
+// program Scheduler and ShardedScheduler identically) but do not affect
+// execution order.
 type Scheduler struct {
 	now    time.Time
 	events eventHeap
 	seq    int
 }
+
+var _ EventScheduler = (*Scheduler)(nil)
 
 // NewScheduler returns a scheduler whose clock starts at start.
 func NewScheduler(start time.Time) *Scheduler {
@@ -25,30 +60,61 @@ func (s *Scheduler) Now() time.Time { return s.now }
 
 // At schedules fn to run at the given virtual time. Times in the past run
 // at the current time. Events at the same instant run in scheduling order.
-func (s *Scheduler) At(t time.Time, fn func(time.Time)) {
+func (s *Scheduler) At(t time.Time, fn func(time.Time)) { s.AtKey("", t, fn) }
+
+// AtKey schedules fn in the given partition. The sequential scheduler
+// records the key (for observability) but executes strictly in (time,
+// scheduling) order regardless of it.
+func (s *Scheduler) AtKey(key string, t time.Time, fn func(time.Time)) {
+	s.push(key, t, fn)
+}
+
+func (s *Scheduler) push(key string, t time.Time, fn func(time.Time)) *event {
 	if t.Before(s.now) {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fn: fn})
+	ev := &event{at: t, seq: s.seq, key: key, fn: fn}
+	heap.Push(&s.events, ev)
+	return ev
 }
 
 // Every schedules fn to run at start and then every interval, until the
-// returned cancel function is called.
+// returned cancel function is called. Cancelling removes the pending tick
+// from the queue, so Pending reflects reality immediately.
 func (s *Scheduler) Every(start time.Time, interval time.Duration, fn func(time.Time)) (cancel func()) {
-	stopped := false
+	return s.EveryKey("", start, interval, fn)
+}
+
+// EveryKey is Every within a partition.
+func (s *Scheduler) EveryKey(key string, start time.Time, interval time.Duration, fn func(time.Time)) (cancel func()) {
+	r := &repeat{}
 	var tick func(time.Time)
 	tick = func(t time.Time) {
-		if stopped {
+		r.pending = nil
+		if r.stopped {
 			return
 		}
 		fn(t)
-		if !stopped {
-			s.At(t.Add(interval), tick)
+		if !r.stopped {
+			r.pending = s.push(key, t.Add(interval), tick)
 		}
 	}
-	s.At(start, tick)
-	return func() { stopped = true }
+	r.pending = s.push(key, start, tick)
+	return func() {
+		r.stopped = true
+		if r.pending != nil && r.pending.idx >= 0 {
+			heap.Remove(&s.events, r.pending.idx)
+			r.pending = nil
+		}
+	}
+}
+
+// repeat is the shared state of one Every registration: whether it was
+// cancelled and which heap event currently carries its next tick.
+type repeat struct {
+	stopped bool
+	pending *event
 }
 
 // RunUntil executes events in time order until the queue is empty or the
@@ -77,7 +143,12 @@ func (s *Scheduler) Pending() int { return len(s.events) }
 type event struct {
 	at  time.Time
 	seq int
+	key string
 	fn  func(time.Time)
+	// idx is the event's current position in the heap, maintained by the
+	// heap operations; -1 once popped or removed. It lets a cancelled
+	// Every registration delete its pending tick in O(log n).
+	idx int
 }
 
 type eventHeap []*event
@@ -89,13 +160,22 @@ func (h eventHeap) Less(i, j int) bool {
 	}
 	return h[i].at.Before(h[j].at)
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
 func (h *eventHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
+	ev.idx = -1
 	*h = old[:n-1]
 	return ev
 }

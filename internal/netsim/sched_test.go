@@ -1,0 +1,259 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSchedulerSameInstantOrder pins the tiebreak contract: events at the
+// same virtual instant run in scheduling (seq) order, including events
+// scheduled by an event for its own instant (they run after everything
+// already queued there).
+func TestSchedulerSameInstantOrder(t *testing.T) {
+	s := NewScheduler(Epoch)
+	at := Epoch.Add(time.Second)
+	var got []int
+	s.At(at, func(tt time.Time) {
+		got = append(got, 0)
+		// Same-instant follow-up: must run last, after 1 and 2.
+		s.At(at, func(time.Time) { got = append(got, 3) })
+	})
+	s.At(at, func(time.Time) { got = append(got, 1) })
+	s.At(at, func(time.Time) { got = append(got, 2) })
+	if n := s.RunUntil(at); n != 4 {
+		t.Fatalf("executed %d events, want 4", n)
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSchedulerPastTimeClamp pins At's clamping: a time before the
+// current virtual clock is moved up to the clock, never back in time.
+func TestSchedulerPastTimeClamp(t *testing.T) {
+	s := NewScheduler(Epoch)
+	s.RunUntil(Epoch.Add(time.Hour)) // advance the clock with an empty queue
+	if !s.Now().Equal(Epoch.Add(time.Hour)) {
+		t.Fatalf("Now = %v, want %v", s.Now(), Epoch.Add(time.Hour))
+	}
+	var ran time.Time
+	s.At(Epoch, func(tt time.Time) { ran = tt }) // one hour in the past
+	s.RunUntil(s.Now())
+	if !ran.Equal(Epoch.Add(time.Hour)) {
+		t.Fatalf("past event ran at %v, want clamped to %v", ran, Epoch.Add(time.Hour))
+	}
+	if s.Now().Before(Epoch.Add(time.Hour)) {
+		t.Fatalf("clock moved backwards to %v", s.Now())
+	}
+}
+
+// TestEveryCancelRemovesPending is the regression test for the cancel
+// leak: cancelling an Every registration must remove its pending tick
+// from the heap immediately, not leave a dead event to be drained by the
+// next RunUntil.
+func TestEveryCancelRemovesPending(t *testing.T) {
+	s := NewScheduler(Epoch)
+	runs := 0
+	cancel := s.Every(Epoch, time.Second, func(time.Time) { runs++ })
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending = %d after registration, want 1", got)
+	}
+	s.RunUntil(Epoch.Add(2 * time.Second)) // runs at 0s, 1s, 2s
+	if runs != 3 {
+		t.Fatalf("ran %d times, want 3", runs)
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending = %d after RunUntil, want 1 (the 3s tick)", got)
+	}
+	cancel()
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after cancel, want 0 — pending tick leaked", got)
+	}
+	if n := s.RunUntil(Epoch.Add(time.Hour)); n != 0 {
+		t.Fatalf("cancelled registration still executed %d events", n)
+	}
+	if runs != 3 {
+		t.Fatalf("ran %d times after cancel, want 3", runs)
+	}
+	cancel() // second cancel is a no-op, not a crash
+}
+
+// TestShardedDefaults pins the constructor fallback and accessors.
+func TestShardedDefaults(t *testing.T) {
+	s := NewShardedScheduler(Epoch, 0)
+	if s.Workers() < 1 {
+		t.Fatalf("Workers() = %d with default sizing, want >= 1", s.Workers())
+	}
+	if !s.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", s.Now(), Epoch)
+	}
+	ran := false
+	s.Every(Epoch, time.Hour, func(time.Time) { ran = true }) // global repeat
+	s.RunUntil(Epoch)
+	if !ran {
+		t.Fatal("global Every registration never ran")
+	}
+}
+
+// TestShardedEveryCancelRemovesPending mirrors the cancel-leak regression
+// on the sharded scheduler.
+func TestShardedEveryCancelRemovesPending(t *testing.T) {
+	s := NewShardedScheduler(Epoch, 4)
+	var runs atomic.Int64
+	cancel := s.EveryKey("vp", Epoch, time.Second, func(time.Time) { runs.Add(1) })
+	s.RunUntil(Epoch.Add(2 * time.Second))
+	if got := runs.Load(); got != 3 {
+		t.Fatalf("ran %d times, want 3", got)
+	}
+	cancel()
+	if got := s.Pending(); got != 0 {
+		t.Fatalf("Pending = %d after cancel, want 0 — pending tick leaked", got)
+	}
+	if n := s.RunUntil(Epoch.Add(time.Hour)); n != 0 {
+		t.Fatalf("cancelled registration still executed %d events", n)
+	}
+}
+
+// schedRecorder collects per-key execution traces. Keyed events of one
+// key are serialized by both schedulers, and distinct keys write
+// distinct slices, so no locking is needed — exactly the commutativity
+// contract the sharded scheduler requires of its events. Global events
+// run alone and own the global fields.
+type schedRecorder struct {
+	logs   map[string]*[]string
+	epoch  int      // bumped only by global events
+	global []string // appended only by global events
+}
+
+func newSchedRecorder(keys []string) *schedRecorder {
+	r := &schedRecorder{logs: map[string]*[]string{}}
+	for _, k := range keys {
+		r.logs[k] = new([]string)
+	}
+	return r
+}
+
+// programRandom schedules the same randomized mix of keyed events,
+// global events, same-tick follow-ups and cancelled repeats on any
+// EventScheduler, using a fixed-seed RNG so both schedulers get the
+// identical schedule.
+func programRandom(s EventScheduler, rec *schedRecorder, keys []string) {
+	rng := rand.New(rand.NewSource(42))
+	record := func(key string, tag int) func(time.Time) {
+		return func(tt time.Time) {
+			log := rec.logs[key]
+			*log = append(*log, fmt.Sprintf("%s/%d@%d epoch=%d", key, tag, tt.Unix(), rec.epoch))
+		}
+	}
+	for i := 0; i < 400; i++ {
+		at := Epoch.Add(time.Duration(rng.Intn(60)) * time.Second)
+		switch rng.Intn(10) {
+		case 0: // global event: mutates state every keyed event reads
+			s.At(at, func(tt time.Time) {
+				rec.epoch++
+				rec.global = append(rec.global, fmt.Sprintf("global@%d epoch=%d", tt.Unix(), rec.epoch))
+			})
+		case 1: // keyed event that schedules a same-tick follow-up
+			key := keys[rng.Intn(len(keys))]
+			tag := i
+			s.AtKey(key, at, func(tt time.Time) {
+				record(key, tag)(tt)
+				s.AtKey(key, tt, record(key, tag+10000))
+			})
+		default:
+			key := keys[rng.Intn(len(keys))]
+			s.AtKey(key, at, record(key, i))
+		}
+	}
+	// A few repeating registrations, one cancelled mid-flight by a
+	// same-partition event.
+	for ki, key := range keys {
+		key := key
+		cancel := s.EveryKey(key, Epoch.Add(time.Duration(ki)*time.Second), 7*time.Second, record(key, 90000+ki))
+		if ki == 0 {
+			s.AtKey(key, Epoch.Add(30*time.Second), func(time.Time) { cancel() })
+		}
+	}
+}
+
+// TestShardedMatchesSequential runs an identical randomized schedule on
+// the sequential Scheduler and on the ShardedScheduler at several worker
+// counts, and requires byte-identical per-key traces, global trace, event
+// count and final clock — the sharded scheduler's sequential-equivalence
+// contract.
+func TestShardedMatchesSequential(t *testing.T) {
+	keys := []string{"ord", "dfw", "lax", "iad", "sea"}
+	deadline := Epoch.Add(time.Minute)
+
+	run := func(s EventScheduler) (*schedRecorder, int, time.Time) {
+		rec := newSchedRecorder(keys)
+		programRandom(s, rec, keys)
+		n := s.RunUntil(deadline)
+		return rec, n, s.Now()
+	}
+
+	refRec, refN, refNow := run(NewScheduler(Epoch))
+	if refN == 0 {
+		t.Fatal("reference run executed nothing")
+	}
+	for _, workers := range []int{1, 4, 8} {
+		rec, n, now := run(NewShardedScheduler(Epoch, workers))
+		if n != refN {
+			t.Errorf("workers=%d executed %d events, sequential %d", workers, n, refN)
+		}
+		if !now.Equal(refNow) {
+			t.Errorf("workers=%d final clock %v, sequential %v", workers, now, refNow)
+		}
+		for _, k := range keys {
+			if got, want := *rec.logs[k], *refRec.logs[k]; !equalStrings(got, want) {
+				t.Errorf("workers=%d key %q trace diverged:\n got %v\nwant %v", workers, k, got, want)
+			}
+		}
+		if !equalStrings(rec.global, refRec.global) {
+			t.Errorf("workers=%d global trace diverged:\n got %v\nwant %v", workers, rec.global, refRec.global)
+		}
+	}
+}
+
+// TestShardedBarrierOrdering checks the barrier contract: hooks run after
+// every event of a tick and before any event of the next tick.
+func TestShardedBarrierOrdering(t *testing.T) {
+	s := NewShardedScheduler(Epoch, 4)
+	var trace []string
+	var inTick atomic.Int64
+	for _, key := range []string{"a", "b", "c"} {
+		key := key
+		s.EveryKey(key, Epoch, time.Second, func(time.Time) {
+			inTick.Add(1)
+			defer inTick.Add(-1)
+		})
+	}
+	s.OnBarrier(func(tt time.Time) {
+		if inTick.Load() != 0 {
+			t.Errorf("barrier at %v ran with an event in flight", tt)
+		}
+		trace = append(trace, tt.UTC().Format("15:04:05"))
+	})
+	s.RunUntil(Epoch.Add(2 * time.Second))
+	if len(trace) != 3 {
+		t.Fatalf("barrier ran %d times, want 3 (one per tick): %v", len(trace), trace)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,257 @@
+package netsim
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"interdomain/internal/pipeline"
+)
+
+// ShardedScheduler is a discrete-event scheduler that partitions each
+// virtual-time tick by event key and runs distinct partitions
+// concurrently on a worker pool. It exists for the packet-mode
+// measurement campaign: an Ark-scale deployment has tens of vantage
+// points whose per-second loss probes, five-minute TSLP rounds and
+// bdrmap cycles land on the same virtual instants, and events of
+// different VPs touch disjoint mutable state.
+//
+// Execution model, per distinct event time t (one "tick"):
+//
+//   - All events at t are taken in scheduling (seq) order and split into
+//     maximal runs of keyed events; a global event (empty key) ends the
+//     current run and executes alone at its position.
+//   - Within a run, events are grouped by key; groups run concurrently
+//     on the pool, each group's events in seq order.
+//   - Events scheduled during the tick at time t join the same tick
+//     (after everything already taken, matching their larger seq).
+//   - A barrier closes the tick: no event of tick t is in flight when
+//     the first event of a later tick — or a barrier hook — runs.
+//
+// Provided events of distinct keys at one tick commute (see
+// DESIGN.md, "packet-mode parallelism"), the observable outcome is
+// byte-identical to running the same schedule on the sequential
+// Scheduler, for any worker count.
+type ShardedScheduler struct {
+	workers int
+
+	mu     sync.Mutex
+	now    time.Time
+	events eventHeap
+	seq    int
+
+	barriers []func(time.Time)
+
+	// scratch buffers reused across ticks to keep the per-tick constant
+	// cost low (a week-long campaign has ~600k ticks).
+	batch  []*event
+	groups []keyGroup
+}
+
+type keyGroup struct {
+	key string
+	evs []*event
+}
+
+var _ EventScheduler = (*ShardedScheduler)(nil)
+
+// NewShardedScheduler returns a sharded scheduler whose clock starts at
+// start, running up to workers event partitions concurrently per tick
+// (workers <= 0 means one per CPU; workers == 1 degenerates to fully
+// sequential execution on the calling goroutine).
+func NewShardedScheduler(start time.Time, workers int) *ShardedScheduler {
+	if workers <= 0 {
+		workers = pipeline.DefaultWorkers()
+	}
+	return &ShardedScheduler{workers: workers, now: start}
+}
+
+// Workers returns the configured concurrency.
+func (s *ShardedScheduler) Workers() int { return s.workers }
+
+// OnBarrier registers fn to run after every completed tick, with no
+// event in flight, receiving the tick's virtual time. The measurement
+// system uses it to commit the per-VP staged write batches.
+func (s *ShardedScheduler) OnBarrier(fn func(time.Time)) {
+	s.mu.Lock()
+	s.barriers = append(s.barriers, fn)
+	s.mu.Unlock()
+}
+
+// Now returns the current virtual time. Safe to call from events.
+func (s *ShardedScheduler) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// At schedules a global event: it runs alone, never concurrently with
+// any other event. Safe to call from events.
+func (s *ShardedScheduler) At(t time.Time, fn func(time.Time)) { s.AtKey("", t, fn) }
+
+// AtKey schedules an event in the given partition. Safe to call from
+// events.
+func (s *ShardedScheduler) AtKey(key string, t time.Time, fn func(time.Time)) {
+	s.mu.Lock()
+	s.push(key, t, fn)
+	s.mu.Unlock()
+}
+
+// push appends an event; the caller must hold s.mu.
+func (s *ShardedScheduler) push(key string, t time.Time, fn func(time.Time)) *event {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	s.seq++
+	ev := &event{at: t, seq: s.seq, key: key, fn: fn}
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// Every schedules a repeating global event.
+func (s *ShardedScheduler) Every(start time.Time, interval time.Duration, fn func(time.Time)) (cancel func()) {
+	return s.EveryKey("", start, interval, fn)
+}
+
+// EveryKey schedules fn at start and then every interval within a
+// partition, until cancel is called. Cancel removes the pending tick
+// from the queue. Cancel must come from the same partition (or between
+// RunUntil calls): cancelling another partition's registration while its
+// tick is in flight would race with the tick re-scheduling itself.
+func (s *ShardedScheduler) EveryKey(key string, start time.Time, interval time.Duration, fn func(time.Time)) (cancel func()) {
+	r := &repeat{}
+	var tick func(time.Time)
+	tick = func(t time.Time) {
+		s.mu.Lock()
+		r.pending = nil
+		stopped := r.stopped
+		s.mu.Unlock()
+		if stopped {
+			return
+		}
+		fn(t)
+		s.mu.Lock()
+		if !r.stopped {
+			r.pending = s.push(key, t.Add(interval), tick)
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	r.pending = s.push(key, start, tick)
+	s.mu.Unlock()
+	return func() {
+		s.mu.Lock()
+		r.stopped = true
+		if r.pending != nil && r.pending.idx >= 0 {
+			heap.Remove(&s.events, r.pending.idx)
+			r.pending = nil
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *ShardedScheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.events)
+}
+
+// RunUntil executes events in tick order until the queue is empty or the
+// next event is after deadline. It returns the number of events
+// executed. RunUntil itself must not be called concurrently.
+func (s *ShardedScheduler) RunUntil(deadline time.Time) int {
+	pool := pipeline.NewPool(s.workers)
+	defer pool.Close()
+
+	n := 0
+	for {
+		s.mu.Lock()
+		if len(s.events) == 0 || s.events[0].at.After(deadline) {
+			if s.now.Before(deadline) {
+				s.now = deadline
+			}
+			s.mu.Unlock()
+			return n
+		}
+		t := s.events[0].at
+		s.now = t
+		s.mu.Unlock()
+
+		// Drain the tick: events executed at t may schedule more work at
+		// t (with larger seq); each wave takes what is queued so far.
+		for {
+			wave := s.takeAt(t)
+			if len(wave) == 0 {
+				break
+			}
+			n += len(wave)
+			i := 0
+			for i < len(wave) {
+				if wave[i].key == "" {
+					wave[i].fn(t)
+					i++
+					continue
+				}
+				j := i
+				for j < len(wave) && wave[j].key != "" {
+					j++
+				}
+				s.runConcurrent(pool, wave[i:j])
+				i = j
+			}
+		}
+		for _, fn := range s.barriers {
+			fn(t)
+		}
+	}
+}
+
+// takeAt pops every queued event at exactly time t, in seq order, into
+// the reused batch buffer.
+func (s *ShardedScheduler) takeAt(t time.Time) []*event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batch = s.batch[:0]
+	for len(s.events) > 0 && s.events[0].at.Equal(t) {
+		s.batch = append(s.batch, heap.Pop(&s.events).(*event))
+	}
+	return s.batch
+}
+
+// runConcurrent executes a run of keyed events: grouped by key, groups
+// concurrent, within-group order preserved.
+func (s *ShardedScheduler) runConcurrent(pool *pipeline.Pool, evs []*event) {
+	s.groups = s.groups[:0]
+	for _, ev := range evs {
+		found := false
+		for gi := range s.groups {
+			if s.groups[gi].key == ev.key {
+				s.groups[gi].evs = append(s.groups[gi].evs, ev)
+				found = true
+				break
+			}
+		}
+		if !found {
+			s.groups = append(s.groups, keyGroup{key: ev.key, evs: []*event{ev}})
+		}
+	}
+	if len(s.groups) == 1 || pool.Workers() == 1 {
+		for gi := range s.groups {
+			runGroup(s.groups[gi].evs)
+		}
+		return
+	}
+	thunks := make([]func(), len(s.groups))
+	for gi := range s.groups {
+		g := s.groups[gi].evs
+		thunks[gi] = func() { runGroup(g) }
+	}
+	pool.Do(thunks...)
+}
+
+func runGroup(evs []*event) {
+	for _, ev := range evs {
+		ev.fn(ev.at)
+	}
+}

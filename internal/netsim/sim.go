@@ -203,7 +203,7 @@ func (n *Network) Probe(src *Node, dst netip.Addr, ttl int, flowID uint16, at ti
 	res.FwdHops = hops
 
 	// Response generation at the responder.
-	if !responder.allowICMP(t.Unix()) {
+	if !responder.allowICMP(src.ID, t.Unix()) {
 		return res
 	}
 	gen := icmpGenBase
@@ -211,7 +211,7 @@ func (n *Network) Probe(src *Node, dst netip.Addr, ttl int, flowID uint16, at ti
 		gen += rng.Float64() * responder.SlowPathExtra
 	}
 	t = t.Add(time.Duration(gen * float64(time.Second)))
-	ipid := responder.NextIPID()
+	ipid := responder.NextIPID(src.ID)
 
 	// Reverse path: the response routes back toward the probe's source
 	// address using each router's own FIB, so path asymmetry (§7) emerges

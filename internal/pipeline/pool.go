@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
+
+// Pool is a persistent worker pool for fine-grained, repeated fan-outs.
+// Map spins up goroutines per call, which is fine for coarse jobs (one
+// per VP-link pair) but too heavy for the sharded scheduler, which
+// dispatches a small batch of partition groups at every virtual-time tick
+// — hundreds of thousands of ticks per simulated day. Pool keeps its
+// workers alive between batches so a tick costs a few channel operations
+// instead of goroutine churn.
+type Pool struct {
+	workers int
+	jobs    chan poolJob
+
+	closeOnce sync.Once
+}
+
+type poolJob struct {
+	fn   func()
+	done *batch
+}
+
+// batch tracks one Do call: outstanding jobs and the first panic.
+type batch struct {
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	panic interface{}
+}
+
+// NewPool starts a pool of the given size (workers <= 0 means
+// DefaultWorkers). Callers must Close it when done.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	p := &Pool{workers: workers, jobs: make(chan poolJob, workers)}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) worker() {
+	for job := range p.jobs {
+		job.run()
+	}
+}
+
+func (j poolJob) run() {
+	defer j.done.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			j.done.mu.Lock()
+			if j.done.panic == nil {
+				j.done.panic = fmt.Sprintf("%v\n%s", r, debug.Stack())
+			}
+			j.done.mu.Unlock()
+		}
+	}()
+	j.fn()
+}
+
+// Do runs every function and returns when all have finished (a barrier).
+// With one worker the functions run inline on the caller in slice order,
+// giving exact sequential semantics. If any function panics, Do re-panics
+// with the first panic's value after the whole batch has drained.
+func (p *Pool) Do(fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	if p.workers == 1 || len(fns) == 1 {
+		for _, fn := range fns {
+			fn()
+		}
+		return
+	}
+	b := &batch{}
+	b.wg.Add(len(fns))
+	for _, fn := range fns {
+		p.jobs <- poolJob{fn: fn, done: b}
+	}
+	b.wg.Wait()
+	if b.panic != nil {
+		panic(fmt.Sprintf("pipeline: pool job panicked: %v", b.panic))
+	}
+}
+
+// Close shuts the workers down. Do must not be called after Close.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.jobs) })
+}

@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolDoRunsAll checks the barrier: Do returns only after every
+// function has run, across repeated batches on the same pool.
+func TestPoolDoRunsAll(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var n atomic.Int64
+	for batch := 0; batch < 50; batch++ {
+		fns := make([]func(), 9)
+		for i := range fns {
+			fns[i] = func() { n.Add(1) }
+		}
+		p.Do(fns...)
+	}
+	if got := n.Load(); got != 450 {
+		t.Fatalf("ran %d functions, want 450", got)
+	}
+}
+
+// TestPoolSingleWorkerInline checks the sequential degenerate case: one
+// worker runs the batch inline, in slice order.
+func TestPoolSingleWorkerInline(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	var order []int
+	p.Do(
+		func() { order = append(order, 0) },
+		func() { order = append(order, 1) },
+		func() { order = append(order, 2) },
+	)
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("inline order %v, want [0 1 2]", order)
+		}
+	}
+	p.Do() // empty batch is a no-op
+}
+
+// TestPoolPanicPropagates checks that a panicking job does not wedge the
+// barrier: Do drains the batch and re-panics with the first panic value.
+func TestPoolPanicPropagates(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var ran atomic.Int64
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Do did not re-panic")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic value %q does not carry the original panic", r)
+		}
+		if got := ran.Load(); got != 3 {
+			t.Fatalf("batch did not drain before re-panic: ran %d of 3 healthy jobs", got)
+		}
+		// The pool must survive a panicked batch.
+		p.Do(func() { ran.Add(1) })
+		if got := ran.Load(); got != 4 {
+			t.Fatalf("pool wedged after panic: ran %d, want 4", got)
+		}
+	}()
+	p.Do(
+		func() { ran.Add(1) },
+		func() { panic("boom") },
+		func() { ran.Add(1) },
+		func() { ran.Add(1) },
+	)
+}
+
+// TestPoolCloseIdempotent checks Close can be called more than once.
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close()
+}
+
+// TestPoolDefaultWorkers checks the workers<=0 fallback.
+func TestPoolDefaultWorkers(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() < 1 {
+		t.Fatalf("Workers() = %d, want >= 1", p.Workers())
+	}
+}

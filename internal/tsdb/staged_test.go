@@ -1,0 +1,44 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStagedCommit checks the staging buffer: points accumulate without
+// touching the store, Commit ships them in one batch and resets the
+// buffer for the next tick.
+func TestStagedCommit(t *testing.T) {
+	db := Open()
+	st := NewStaged()
+	base := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 3; i++ {
+		st.WriteBatch([]BatchPoint{{
+			Measurement: "m",
+			Tags:        map[string]string{"vp": "a"},
+			Time:        base.Add(time.Duration(i) * time.Minute),
+			Value:       float64(i),
+		}})
+	}
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d before commit, want 3", st.Len())
+	}
+	if db.PointCount() != 0 {
+		t.Fatalf("store has %d points before commit, want 0", db.PointCount())
+	}
+	st.Commit(db)
+	if st.Len() != 0 {
+		t.Fatalf("Len = %d after commit, want 0", st.Len())
+	}
+	if db.PointCount() != 3 {
+		t.Fatalf("store has %d points after commit, want 3", db.PointCount())
+	}
+	st.Commit(db) // empty commit is a no-op
+	if db.PointCount() != 3 {
+		t.Fatalf("empty commit changed the store: %d points", db.PointCount())
+	}
+	series := db.Query("m", nil, base, base.Add(time.Hour))
+	if len(series) != 1 || len(series[0].Points) != 3 {
+		t.Fatalf("query returned %d series, want 1 with 3 points", len(series))
+	}
+}

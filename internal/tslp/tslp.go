@@ -60,7 +60,10 @@ type probedLink struct {
 // Prober runs TSLP rounds from one vantage point (packet mode).
 type Prober struct {
 	Engine *probe.Engine
-	DB     *tsdb.DB
+	// Sink receives each round's points in one batch. It is the store
+	// itself by default; the sharded campaign scheduler swaps in a
+	// per-partition staging buffer committed at the tick barrier.
+	Sink   tsdb.BatchWriter
 	VPName string
 
 	// Reactive enables the probing-set maintenance §3.2 plans as future
@@ -91,7 +94,7 @@ type Prober struct {
 
 // NewProber returns a prober writing into db under the given VP name.
 func NewProber(e *probe.Engine, db *tsdb.DB, vpName string) *Prober {
-	return &Prober{Engine: e, DB: db, VPName: vpName, links: make(map[string]*probedLink)}
+	return &Prober{Engine: e, Sink: db, VPName: vpName, links: make(map[string]*probedLink)}
 }
 
 // visibilityLossRounds is how many consecutive unresponsive rounds a
@@ -215,7 +218,7 @@ func (p *Prober) Round(at time.Time) {
 		}
 		pl.rotateLost()
 	}
-	p.DB.WriteBatch(p.batch)
+	p.Sink.WriteBatch(p.batch)
 }
 
 // reactiveCheckRounds is how many consecutive silent far probes trigger a
