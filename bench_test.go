@@ -10,7 +10,11 @@
 package bench
 
 import (
+	"bytes"
 	"context"
+	"fmt"
+	"io"
+	"sync"
 	"testing"
 	"time"
 
@@ -429,6 +433,99 @@ func BenchmarkLevelShiftDay(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		analysis.DetectLevelShifts(s, analysis.DefaultLevelShift())
+	}
+}
+
+// persistDB lazily builds the store the persistence benchmarks share:
+// several hundred series spanning five segment windows, the shape a
+// week of campaign data has. Pairing BenchmarkSnapshotStream with
+// BenchmarkSnapshotDirParallel (and the restore pair) measures what the
+// segmented layer buys: encode/decode fanned out per (shard, window)
+// on the pipeline pool versus one gob stream (docs/PERSISTENCE.md §7).
+// Like the campaign pair, the achievable speedup is bounded by
+// GOMAXPROCS — on a single-CPU runner the dir path instead bounds the
+// per-segment overhead (extra gob streams and file operations).
+var persistDB = struct {
+	once sync.Once
+	db   *tsdb.DB
+}{}
+
+func persistStore(b *testing.B) *tsdb.DB {
+	b.Helper()
+	persistDB.once.Do(func() {
+		db := tsdb.Open()
+		batch := make([]tsdb.BatchPoint, 0, 4096)
+		for s := 0; s < 400; s++ {
+			tags := map[string]string{
+				"vp":   fmt.Sprintf("vp-%02d", s%16),
+				"link": fmt.Sprintf("l-%03d", s),
+				"side": []string{"near", "far"}[s%2],
+			}
+			for p := 0; p < 600; p++ {
+				batch = append(batch, tsdb.BatchPoint{
+					Measurement: "tslp",
+					Tags:        tags,
+					Time:        netsim.Epoch.Add(time.Duration(p) * 12 * time.Minute),
+					Value:       float64(s*600 + p),
+				})
+				if len(batch) == cap(batch) {
+					db.WriteBatch(batch)
+					batch = batch[:0]
+				}
+			}
+		}
+		db.WriteBatch(batch)
+		persistDB.db = db
+	})
+	return persistDB.db
+}
+
+func BenchmarkSnapshotStream(b *testing.B) {
+	db := persistStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Snapshot(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotDirParallel(b *testing.B) {
+	db := persistStore(b)
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.SnapshotDir(dir, tsdb.DirOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRestoreStream(b *testing.B) {
+	db := persistStore(b)
+	var buf bytes.Buffer
+	if err := db.Snapshot(&buf); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tsdb.Open().Restore(bytes.NewReader(buf.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRestoreDirParallel(b *testing.B) {
+	db := persistStore(b)
+	dir := b.TempDir()
+	if _, err := db.SnapshotDir(dir, tsdb.DirOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tsdb.Open().RestoreDir(dir, tsdb.DirOptions{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	apiserver -in snapshot.tsdb [-addr :8080] [-pidfile path]
+//	apiserver -in snapshot.tsdb|datadir/ [-addr :8080] [-pidfile path]
+//
+// -in accepts either a single-stream snapshot file or a segment
+// directory written by tslpd -datadir (docs/PERSISTENCE.md); a
+// directory is opened read-only, its shards decoded in parallel.
 //
 // The pid file defaults to apiserver.pid under os.TempDir() and is
 // removed on graceful shutdown; -pidfile "" disables it.
@@ -33,7 +37,7 @@ import (
 const shutdownGrace = 5 * time.Second
 
 func main() {
-	inPath := flag.String("in", "", "tsdb snapshot (required)")
+	inPath := flag.String("in", "", "tsdb snapshot file or segment directory (required)")
 	addr := flag.String("addr", ":8080", "listen address")
 	pidfile := flag.String("pidfile", filepath.Join(os.TempDir(), "apiserver.pid"),
 		"pid file path (empty disables)")
@@ -48,15 +52,10 @@ func main() {
 		}
 		defer os.Remove(*pidfile)
 	}
-	f, err := os.Open(*inPath)
+	db, err := openStore(*inPath)
 	if err != nil {
 		fatal(err)
 	}
-	db := tsdb.Open()
-	if err := db.Restore(f); err != nil {
-		fatal(err)
-	}
-	f.Close()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -81,6 +80,22 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// openStore loads either persistence format: a segment directory
+// (tslpd -datadir) is restored shard-parallel and read-only, anything
+// else is treated as a single-stream snapshot file.
+func openStore(path string) (*tsdb.DB, error) {
+	db := tsdb.Open()
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		return db, db.RestoreDir(path, tsdb.DirOptions{})
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return db, db.Restore(f)
 }
 
 func fatal(err error) {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -24,12 +25,14 @@ import (
 	"time"
 
 	"interdomain/internal/experiments"
+	"interdomain/internal/netsim"
+	"interdomain/internal/tsdb"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "determinism seed")
 	days := flag.Int("days", experiments.StudyDays, "longitudinal study length in days")
-	only := flag.String("only", "", "comma-separated subset (table1..4, figure3..9, operator, ablations, asymmetry, mapit, campaign)")
+	only := flag.String("only", "", "comma-separated subset (table1..4, figure3..9, operator, ablations, asymmetry, mapit, campaign, persist)")
 	report := flag.String("report", "", "also write a full Markdown measurement report here")
 	flag.Parse()
 
@@ -156,6 +159,13 @@ func main() {
 			fatal(err)
 		}
 	}
+	if sel("persist") {
+		section("Persistence — single-stream vs segmented snapshot/restore",
+			"per-(shard,window) segments on the pipeline pool; equivalence checked by canonical digest")
+		if err := runPersistSection(); err != nil {
+			fatal(err)
+		}
+	}
 	if sel("mapit") {
 		section("§9 — MAP-IT: interdomain links beyond the VP's border",
 			"paper proposes combining bdrmap with MAP-IT for links farther than one AS hop")
@@ -215,6 +225,94 @@ func runCampaignSection(ctx context.Context, seed uint64) error {
 		return fmt.Errorf("campaign stores diverged: sequential digest %016x, sharded %016x", seq.Digest, par.Digest)
 	}
 	fmt.Printf("store digests match: %016x\n", seq.Digest)
+	return nil
+}
+
+// runPersistSection times the single-stream snapshot/restore against
+// the segmented directory path (docs/PERSISTENCE.md) on a synthetic
+// store shaped like a week of campaign data, proves the two restores
+// agree through the canonical digest, and demonstrates segment-drop
+// retention. Like the campaign section, the dir path's speedup is
+// bounded by GOMAXPROCS.
+func runPersistSection() error {
+	db := tsdb.Open()
+	batch := make([]tsdb.BatchPoint, 0, 4096)
+	for s := 0; s < 400; s++ {
+		tags := map[string]string{
+			"vp":   fmt.Sprintf("vp-%02d", s%16),
+			"link": fmt.Sprintf("l-%03d", s),
+			"side": []string{"near", "far"}[s%2],
+		}
+		for p := 0; p < 600; p++ {
+			batch = append(batch, tsdb.BatchPoint{
+				Measurement: "tslp", Tags: tags,
+				Time:  netsim.Epoch.Add(time.Duration(p) * 12 * time.Minute),
+				Value: float64(s*600 + p),
+			})
+			if len(batch) == cap(batch) {
+				db.WriteBatch(batch)
+				batch = batch[:0]
+			}
+		}
+	}
+	db.WriteBatch(batch)
+	want := db.Digest()
+
+	dir, err := os.MkdirTemp("", "benchtables-persist-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	t0 := time.Now()
+	var stream bytes.Buffer
+	if err := db.Snapshot(&stream); err != nil {
+		return err
+	}
+	streamSnap := time.Since(t0)
+
+	t0 = time.Now()
+	st, err := db.SnapshotDir(dir, tsdb.DirOptions{})
+	if err != nil {
+		return err
+	}
+	dirSnap := time.Since(t0)
+
+	t0 = time.Now()
+	viaStream := tsdb.Open()
+	if err := viaStream.Restore(bytes.NewReader(stream.Bytes())); err != nil {
+		return err
+	}
+	streamRestore := time.Since(t0)
+
+	t0 = time.Now()
+	viaDir := tsdb.Open()
+	if err := viaDir.RestoreDir(dir, tsdb.DirOptions{}); err != nil {
+		return err
+	}
+	dirRestore := time.Since(t0)
+
+	if viaStream.Digest() != want || viaDir.Digest() != want {
+		return fmt.Errorf("restore paths diverged: stream %016x, dir %016x, want %016x",
+			viaStream.Digest(), viaDir.Digest(), want)
+	}
+
+	fmt.Printf("%d series, %d points, %d segments, %d workers\n",
+		st.Series, st.Points, st.Segments, runtime.GOMAXPROCS(0))
+	fmt.Printf("snapshot: stream %8.1fms (%d KiB)  |  dir %8.1fms\n",
+		streamSnap.Seconds()*1e3, stream.Len()/1024, dirSnap.Seconds()*1e3)
+	fmt.Printf("restore:  stream %8.1fms             |  dir %8.1fms\n",
+		streamRestore.Seconds()*1e3, dirRestore.Seconds()*1e3)
+
+	cut := netsim.Epoch.Add(48 * time.Hour)
+	t0 = time.Now()
+	removed, dropped, err := tsdb.RetainDir(dir, cut)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("retention to t+48h: %d segment files deleted, %d points dropped in %.1fms (no survivor decoded)\n",
+		removed, dropped, time.Since(t0).Seconds()*1e3)
+	fmt.Printf("restore paths agree: digest %016x\n", want)
 	return nil
 }
 

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	congestion -in snapshot.tsdb [-link <near-far>] [-vp <name>] [-days N]
+//	congestion -in snapshot.tsdb|datadir/ [-link <near-far>] [-vp <name>] [-days N]
+//
+// -in accepts either a single-stream snapshot file or a segment
+// directory written by tslpd -datadir (docs/PERSISTENCE.md), opened
+// read-only.
 package main
 
 import (
@@ -24,7 +28,7 @@ import (
 )
 
 func main() {
-	inPath := flag.String("in", "", "tsdb snapshot (required)")
+	inPath := flag.String("in", "", "tsdb snapshot file or segment directory (required)")
 	link := flag.String("link", "", "link id (default: all)")
 	vp := flag.String("vp", "", "vantage point filter")
 	days := flag.Int("days", 1, "analysis window in days from the epoch")
@@ -39,15 +43,21 @@ func main() {
 	if *inPath == "" {
 		fatal(fmt.Errorf("-in is required"))
 	}
-	f, err := os.Open(*inPath)
-	if err != nil {
-		fatal(err)
-	}
 	db := tsdb.Open()
-	if err := db.Restore(f); err != nil {
-		fatal(err)
+	if fi, err := os.Stat(*inPath); err == nil && fi.IsDir() {
+		if err := db.RestoreDir(*inPath, tsdb.DirOptions{}); err != nil {
+			fatal(err)
+		}
+	} else {
+		f, err := os.Open(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.Restore(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
-	f.Close()
 
 	links := db.TagValues(tslp.MeasLatency, "link")
 	if len(links) == 0 {

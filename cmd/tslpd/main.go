@@ -2,18 +2,29 @@
 // simulated U.S. broadband ecosystem: it deploys vantage points, runs
 // bdrmap to discover interdomain links, probes them with TSLP every five
 // minutes of virtual time, arms reactive loss probing on links with
-// level-shift episodes, and finally writes a tsdb snapshot for the
+// level-shift episodes, and persists the collected series for the
 // congestion analyzer and API server.
 //
 // Usage:
 //
-//	tslpd [-seed N] [-hours H] [-vps comcast-nyc,verizon-nyc] [-out snapshot.tsdb]
+//	tslpd [-seed N] [-hours H] [-vps comcast-nyc,verizon-nyc]
+//	      [-datadir dir] [-snapshot-every 6h] [-retain 0]
+//	      [-out snapshot.tsdb]
+//
+// With -datadir the store persists as a segment directory (one file per
+// shard and time window; see docs/PERSISTENCE.md): tslpd restores from
+// it on startup if it holds a snapshot, takes an incremental snapshot
+// every -snapshot-every of virtual time — rewriting only segments whose
+// (shard, window) changed — and, with -retain > 0, first ages out data
+// older than the retention horizon. -out keeps writing the legacy
+// single-stream snapshot at exit; the two formats restore identically.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -28,9 +39,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "determinism seed")
 	hours := flag.Int("hours", 26, "virtual hours to run")
 	vpsFlag := flag.String("vps", "comcast-nyc,verizon-nyc", "comma-separated <provider>-<metro> vantage points")
-	out := flag.String("out", "", "write a tsdb snapshot here when done")
+	out := flag.String("out", "", "write a single-stream tsdb snapshot here when done")
 	lineOut := flag.String("lineout", "", "also export the data as InfluxDB line protocol (the public-release format)")
 	reactive := flag.Bool("reactive", false, "enable reactive probing-set maintenance")
+	datadir := flag.String("datadir", "", "segment directory for periodic incremental snapshots (docs/PERSISTENCE.md)")
+	snapEvery := flag.Duration("snapshot-every", 6*time.Hour, "virtual-time cadence of -datadir snapshots")
+	retain := flag.Duration("retain", 0, "drop data older than this horizon at each snapshot (0 keeps everything)")
 	flag.Parse()
 
 	in, _, err := scenario.Build(*seed)
@@ -38,6 +52,14 @@ func main() {
 		fatal(err)
 	}
 	db := tsdb.Open()
+	if *datadir != "" {
+		if _, err := os.Stat(filepath.Join(*datadir, tsdb.ManifestName)); err == nil {
+			if err := db.RestoreDir(*datadir, tsdb.DirOptions{}); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("tslpd: resumed %d series (%d points) from %s\n", db.SeriesCount(), db.PointCount(), *datadir)
+		}
+	}
 	sys := core.NewSystem(in, db, netsim.Epoch)
 	sys.ReactiveTSLP = *reactive
 
@@ -64,6 +86,26 @@ func main() {
 	fmt.Printf("tslpd: %s\n", in)
 	sys.Start()
 	deadline := netsim.Epoch.Add(time.Duration(*hours) * time.Hour)
+
+	// Periodic persistence: a global event (it runs alone, between tick
+	// partitions) that ages the store out and takes an incremental
+	// snapshot — only dirty (shard, window) segments are rewritten.
+	if *datadir != "" {
+		snapshot := func(t time.Time) {
+			if *retain > 0 {
+				if n := db.Retain(t.Add(-*retain), t.AddDate(100, 0, 0)); n > 0 {
+					fmt.Printf("tslpd: %s retention dropped %d points\n", t.Format("01-02 15:04"), n)
+				}
+			}
+			st, err := db.SnapshotDir(*datadir, tsdb.DirOptions{Incremental: true})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("tslpd: %s snapshot gen %d: %d segments (%d written, %d reused, %d removed)\n",
+				t.Format("01-02 15:04"), st.Generation, st.Segments, st.Written, st.Reused, st.Removed)
+		}
+		sys.Sched.Every(netsim.Epoch.Add(*snapEvery), *snapEvery, snapshot)
+	}
 	t0 := time.Now()
 	events := sys.RunUntil(deadline)
 	fmt.Printf("tslpd: ran %d virtual hours (%d events) in %.1fs wall\n", *hours, events, time.Since(t0).Seconds())
@@ -95,6 +137,14 @@ func main() {
 	}
 	fmt.Printf("tslpd: store holds %d series, %d points\n", db.SeriesCount(), db.PointCount())
 
+	if *datadir != "" {
+		st, err := db.SnapshotDir(*datadir, tsdb.DirOptions{Incremental: true})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tslpd: final snapshot gen %d: %d segments (%d written, %d reused) in %s\n",
+			st.Generation, st.Segments, st.Written, st.Reused, *datadir)
+	}
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {

@@ -39,6 +39,7 @@ const (
 	ProviderRoute
 )
 
+// String names the route type for logs and test output.
 func (t RouteType) String() string {
 	switch t {
 	case Origin:

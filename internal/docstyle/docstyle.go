@@ -1,0 +1,168 @@
+// Package docstyle enforces the repository's godoc contract: every
+// exported identifier under internal/... carries a doc comment, and
+// every package has a package comment. The rules mirror revive's
+// `exported` rule / staticcheck's ST1000 family; running them as an
+// ordinary test (see docstyle_test.go) keeps the check inside plain
+// `go test ./...` so the CI doc-lint job cannot drift from local runs.
+package docstyle
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+)
+
+// Violation is one breach of the doc-comment contract.
+type Violation struct {
+	// Pos locates the undocumented identifier.
+	Pos token.Position
+	// Ident is the exported identifier missing documentation, or the
+	// package name for a missing package comment.
+	Ident string
+	// Problem says what is missing.
+	Problem string
+}
+
+// String renders the violation as file:line prose.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", v.Pos.Filename, v.Pos.Line, v.Ident, v.Problem)
+}
+
+// Check walks every non-test Go file under root and returns all
+// doc-comment violations, in file order. Vendor and testdata
+// directories are skipped.
+func Check(root string) ([]Violation, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", "vendor":
+				return filepath.SkipDir
+			}
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Violation
+	for _, dir := range dirs {
+		vs, err := checkDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	return out, nil
+}
+
+// checkDir parses one directory's non-test files and applies the rules.
+func checkDir(dir string) ([]Violation, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Violation
+	for _, pkg := range pkgs {
+		hasPkgDoc := false
+		var firstFile *ast.File
+		for _, f := range pkg.Files {
+			if firstFile == nil {
+				firstFile = f
+			}
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc && firstFile != nil {
+			out = append(out, Violation{
+				Pos:     fset.Position(firstFile.Package),
+				Ident:   pkg.Name,
+				Problem: "package has no package comment on any file",
+			})
+		}
+		for _, f := range pkg.Files {
+			out = append(out, checkFile(fset, f)...)
+		}
+	}
+	return out, nil
+}
+
+// checkFile applies the per-declaration rules to one file.
+func checkFile(fset *token.FileSet, f *ast.File) []Violation {
+	var out []Violation
+	flag := func(pos token.Pos, ident, problem string) {
+		out = append(out, Violation{Pos: fset.Position(pos), Ident: ident, Problem: problem})
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil {
+				recv := receiverTypeName(d.Recv)
+				if !ast.IsExported(recv) {
+					continue // method on an unexported type: not godoc surface
+				}
+				flag(d.Pos(), recv+"."+d.Name.Name, "exported method has no doc comment")
+				continue
+			}
+			flag(d.Pos(), d.Name.Name, "exported function has no doc comment")
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						flag(s.Pos(), s.Name.Name, "exported type has no doc comment")
+					}
+				case *ast.ValueSpec:
+					// A doc comment on the const/var block covers its
+					// members, matching godoc's rendering.
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, name := range s.Names {
+						if name.IsExported() {
+							flag(name.Pos(), name.Name, "exported const/var has no doc comment")
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverTypeName unwraps a method receiver to its base type name.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}

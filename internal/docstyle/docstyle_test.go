@@ -1,0 +1,91 @@
+package docstyle
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestInternalTreeIsDocumented is the repository's doc-lint gate: every
+// exported identifier under internal/... must carry a doc comment and
+// every package a package comment. CI runs this test in the docs-lint
+// job; it is deliberately an ordinary test so `go test ./...` enforces
+// the same contract locally.
+func TestInternalTreeIsDocumented(t *testing.T) {
+	vs, err := Check("..") // internal/
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	for _, v := range vs {
+		t.Errorf("%s", v)
+	}
+	if len(vs) > 0 {
+		t.Fatalf("%d undocumented exported identifiers under internal/", len(vs))
+	}
+}
+
+// TestCheckFlagsMissingDocs verifies the checker itself catches each
+// rule it claims to enforce, using a synthetic package.
+func TestCheckFlagsMissingDocs(t *testing.T) {
+	dir := t.TempDir()
+	src := `package bad
+
+func Exported() {}
+
+type Thing struct{}
+
+func (t Thing) Method() {}
+
+func (t Thing) Documented() {} // not a doc comment (trailing)
+
+const Loose = 1
+
+// Blockdoc covers members.
+const (
+	A = 1
+	B = 2
+)
+
+type hidden struct{}
+
+func (h hidden) Exempt() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := Check(dir)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	want := []string{
+		"bad: package has no package comment",
+		"Exported: exported function",
+		"Thing: exported type",
+		"Thing.Method: exported method",
+		"Thing.Documented: exported method",
+		"Loose: exported const/var",
+	}
+	if len(vs) != len(want) {
+		t.Fatalf("got %d violations, want %d:\n%s", len(vs), len(want), joinViolations(vs))
+	}
+	for i, w := range want {
+		if !strings.Contains(vs[i].String(), strings.SplitN(w, ":", 2)[0]) {
+			t.Errorf("violation %d = %q, want mention of %q", i, vs[i], w)
+		}
+	}
+	for _, v := range vs {
+		if strings.Contains(v.Ident, "hidden") || v.Ident == "A" || v.Ident == "B" {
+			t.Errorf("checker flagged exempt identifier: %s", v)
+		}
+	}
+}
+
+func joinViolations(vs []Violation) string {
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteString(v.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -16,6 +16,7 @@ const (
 	BtoA
 )
 
+// String names the direction for logs and test output.
 func (d Direction) String() string {
 	if d == AtoB {
 		return "A->B"

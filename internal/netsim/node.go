@@ -11,10 +11,13 @@ import (
 type NodeKind int
 
 const (
+	// Router forwards packets and emits ICMP Time Exceeded.
 	Router NodeKind = iota
+	// Host terminates probes and answers echo requests.
 	Host
 )
 
+// String names the node kind for logs and test output.
 func (k NodeKind) String() string {
 	if k == Router {
 		return "router"

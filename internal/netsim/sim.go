@@ -19,6 +19,7 @@ const (
 	TimeExceeded
 )
 
+// String names the ICMP response type for logs and test output.
 func (t ICMPType) String() string {
 	switch t {
 	case EchoReply:

@@ -93,6 +93,32 @@ func (p *Pool) Do(fns ...func()) {
 	}
 }
 
+// DoErr runs every function and returns the first error in slice order
+// after all have finished — like Do, it is a barrier, runs inline with
+// one worker or one function, and re-panics if any function panics.
+// Returning the lowest-indexed error (not the first to occur in wall
+// time) keeps the reported failure independent of worker scheduling;
+// the tsdb segment encoders and decoders rely on that for deterministic
+// error messages.
+func (p *Pool) DoErr(fns ...func() error) error {
+	if len(fns) == 0 {
+		return nil
+	}
+	errs := make([]error, len(fns))
+	wrapped := make([]func(), len(fns))
+	for i, fn := range fns {
+		i, fn := i, fn
+		wrapped[i] = func() { errs[i] = fn() }
+	}
+	p.Do(wrapped...)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Close shuts the workers down. Do must not be called after Close.
 func (p *Pool) Close() {
 	p.closeOnce.Do(func() { close(p.jobs) })

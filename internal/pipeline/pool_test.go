@@ -1,9 +1,11 @@
 package pipeline
 
 import (
+	"errors"
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestPoolDoRunsAll checks the barrier: Do returns only after every
@@ -87,5 +89,32 @@ func TestPoolDefaultWorkers(t *testing.T) {
 	defer p.Close()
 	if p.Workers() < 1 {
 		t.Fatalf("Workers() = %d, want >= 1", p.Workers())
+	}
+}
+
+// TestPoolDoErrFirstByIndex checks DoErr runs every function and
+// returns the lowest-indexed error regardless of completion order.
+func TestPoolDoErrFirstByIndex(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var ran atomic.Int32
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := p.DoErr(
+		func() error { ran.Add(1); time.Sleep(10 * time.Millisecond); return errA },
+		func() error { ran.Add(1); return errB },
+		func() error { ran.Add(1); return nil },
+	)
+	if err != errA {
+		t.Fatalf("DoErr = %v, want the lowest-indexed error %v", err, errA)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("DoErr stopped early: ran %d of 3", got)
+	}
+	if err := p.DoErr(); err != nil {
+		t.Fatalf("empty DoErr = %v, want nil", err)
+	}
+	if err := p.DoErr(func() error { return nil }); err != nil {
+		t.Fatalf("DoErr = %v, want nil", err)
 	}
 }

@@ -30,6 +30,7 @@ const (
 	P2P
 )
 
+// String names the relationship in CAIDA serial-1 vocabulary.
 func (r Rel) String() string {
 	if r == C2P {
 		return "c2p"
@@ -52,6 +53,7 @@ const (
 	Stub
 )
 
+// String names the AS role for logs and test output.
 func (k ASKind) String() string {
 	switch k {
 	case AccessISP:

@@ -1,0 +1,125 @@
+package tsdb
+
+// The manifest is the commit record of a segment directory: a snapshot
+// or retention pass becomes visible exactly when the new manifest is
+// renamed over the old one. Schema, versioning and crash-safety rules
+// are specified normatively in docs/PERSISTENCE.md §3; this file is the
+// implementation.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ManifestName is the manifest's file name inside a segment directory.
+const ManifestName = "MANIFEST.json"
+
+// ManifestVersion is the manifest schema version this package writes.
+// Readers reject manifests with a larger version (docs/PERSISTENCE.md
+// §3, "Versioning").
+const ManifestVersion = 1
+
+// SegmentMeta is one manifest entry: the identity and integrity data of
+// one segment file. Every field is redundant with the segment's own
+// header; RestoreDir cross-checks the two and rejects any mismatch.
+type SegmentMeta struct {
+	// File is the segment's file name, relative to the directory.
+	File string `json:"file"`
+	// Shard is the store shard the segment belongs to (0..NumShards-1).
+	Shard int `json:"shard"`
+	// WindowStart is the window's inclusive lower bound, Unix nanoseconds.
+	WindowStart int64 `json:"window_start"`
+	// WindowEnd is the window's exclusive upper bound, Unix nanoseconds.
+	WindowEnd int64 `json:"window_end"`
+	// Series is the number of series slices encoded in the segment.
+	Series int `json:"series"`
+	// Points is the number of points encoded in the segment.
+	Points int `json:"points"`
+	// CRC is the CRC-32C (Castagnoli) of the segment's gob payload.
+	CRC uint32 `json:"crc"`
+}
+
+// Manifest describes a complete segment directory. A directory is valid
+// iff its .seg files and the manifest's Segments list match exactly —
+// RestoreDir treats a missing or unlisted segment file as corruption,
+// never as something to skip silently.
+type Manifest struct {
+	// Version is the manifest schema version (ManifestVersion).
+	Version int `json:"version"`
+	// Generation increments on every successful SnapshotDir or RetainDir
+	// into the directory; incremental snapshots require the on-disk
+	// generation to equal the one the store last wrote.
+	Generation uint64 `json:"generation"`
+	// WindowNanos is the segment window length in nanoseconds.
+	WindowNanos int64 `json:"window_nanos"`
+	// StoreSeries is the number of distinct series in the snapshotted
+	// store (a series split across windows counts once).
+	StoreSeries int `json:"store_series"`
+	// TotalPoints is the sum of Points over Segments.
+	TotalPoints int `json:"total_points"`
+	// Segments lists every segment file, sorted by (shard, window start).
+	Segments []SegmentMeta `json:"segments"`
+}
+
+// sortSegments puts the manifest entries in canonical (shard, window)
+// order so repeated snapshots of identical content produce identical
+// manifests.
+func (m *Manifest) sortSegments() {
+	sort.Slice(m.Segments, func(i, j int) bool {
+		a, b := m.Segments[i], m.Segments[j]
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.WindowStart < b.WindowStart
+	})
+}
+
+// writeManifest atomically publishes m as dir's manifest: encode to a
+// temp file, then rename over ManifestName (docs/PERSISTENCE.md §4).
+func writeManifest(dir string, m *Manifest) error {
+	m.sortSegments()
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("tsdb: encode manifest: %w", err)
+	}
+	tmp := filepath.Join(dir, ManifestName+tmpSuffix)
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("tsdb: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
+		return fmt.Errorf("tsdb: publish manifest: %w", err)
+	}
+	return nil
+}
+
+// readManifest loads and validates dir's manifest.
+func readManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("tsdb: parse manifest: %w", err)
+	}
+	if m.Version > ManifestVersion {
+		return nil, fmt.Errorf("tsdb: manifest version %d newer than supported %d (see docs/PERSISTENCE.md)", m.Version, ManifestVersion)
+	}
+	if m.WindowNanos <= 0 {
+		return nil, fmt.Errorf("tsdb: manifest window %d is not positive", m.WindowNanos)
+	}
+	seen := make(map[string]bool, len(m.Segments))
+	for _, sm := range m.Segments {
+		if sm.Shard < 0 || sm.Shard >= NumShards {
+			return nil, fmt.Errorf("tsdb: manifest entry %s: shard %d out of range", sm.File, sm.Shard)
+		}
+		if seen[sm.File] {
+			return nil, fmt.Errorf("tsdb: manifest lists %s twice", sm.File)
+		}
+		seen[sm.File] = true
+	}
+	return &m, nil
+}

@@ -1,0 +1,442 @@
+package tsdb
+
+// Tests for the segmented persistence layer. The segment file format,
+// manifest schema and crash-safety rules these tests enforce are
+// specified in docs/PERSISTENCE.md; each test cites the section it
+// holds the implementation to.
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// maxTime is an upper bound far past any test data, for Retain's
+// half-open [from, to) interval.
+var maxTime = t0.AddDate(100, 0, 0)
+
+// buildSegStore fills a store with deterministic pseudo-random data
+// spanning several segment windows: multiple measurements, tag sets,
+// out-of-order writes and duplicate timestamps (the shapes the probing
+// modules actually produce).
+func buildSegStore(window time.Duration) *DB {
+	db := Open()
+	db.SetSegmentWindow(window)
+	rng := rand.New(rand.NewSource(7))
+	links := []string{"l1", "l2", "l3", "l4"}
+	vps := []string{"vp-a", "vp-b"}
+	for i := 0; i < 4000; i++ {
+		tags := map[string]string{
+			"link": links[rng.Intn(len(links))],
+			"vp":   vps[rng.Intn(len(vps))],
+			"side": []string{"near", "far"}[rng.Intn(2)],
+		}
+		at := t0.Add(time.Duration(rng.Int63n(int64(6 * window))))
+		m := []string{"tslp", "loss"}[rng.Intn(2)]
+		db.Write(m, tags, at, rng.Float64()*40)
+		if i%97 == 0 {
+			// Duplicate timestamp on the same series: order must survive
+			// the per-window split (docs/PERSISTENCE.md §5).
+			db.Write(m, tags, at, rng.Float64()*40)
+		}
+	}
+	return db
+}
+
+// allSeries deep-copies every series for structural comparison.
+func allSeries(db *DB) []Series {
+	var out []Series
+	for _, m := range db.Measurements() {
+		out = append(out, db.Query(m, nil, t0.AddDate(-1, 0, 0), maxTime)...)
+	}
+	return out
+}
+
+// TestSnapshotDirRoundTrip proves the equivalence oracle of
+// docs/PERSISTENCE.md §7: a directory snapshot restored at any worker
+// count yields a store with the same canonical digest — and the same
+// stream-snapshot behaviour — as the source.
+func TestSnapshotDirRoundTrip(t *testing.T) {
+	db := buildSegStore(time.Hour)
+	want := db.Digest()
+	wantSeries := allSeries(db)
+
+	for _, workers := range []int{1, 4, 8} {
+		dir := t.TempDir()
+		st, err := db.SnapshotDir(dir, DirOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: SnapshotDir: %v", workers, err)
+		}
+		if st.Segments < NumShards/2 {
+			t.Fatalf("workers=%d: suspiciously few segments: %+v", workers, st)
+		}
+		if st.Points != db.PointCount() || st.Series != db.SeriesCount() {
+			t.Fatalf("workers=%d: stats %+v disagree with store (%d series, %d points)",
+				workers, st, db.SeriesCount(), db.PointCount())
+		}
+
+		got := Open()
+		if err := got.RestoreDir(dir, DirOptions{Workers: workers}); err != nil {
+			t.Fatalf("workers=%d: RestoreDir: %v", workers, err)
+		}
+		if d := got.Digest(); d != want {
+			t.Fatalf("workers=%d: digest mismatch: got %016x want %016x", workers, d, want)
+		}
+		if !reflect.DeepEqual(allSeries(got), wantSeries) {
+			t.Fatalf("workers=%d: restored series differ structurally", workers)
+		}
+
+		// The restored store must be indistinguishable from one restored
+		// off the single-stream compatibility path.
+		var stream bytes.Buffer
+		if err := db.Snapshot(&stream); err != nil {
+			t.Fatal(err)
+		}
+		viaStream := Open()
+		if err := viaStream.Restore(&stream); err != nil {
+			t.Fatal(err)
+		}
+		if viaStream.Digest() != got.Digest() {
+			t.Fatalf("workers=%d: segmented and stream restore disagree", workers)
+		}
+	}
+}
+
+// TestSnapshotDirIncremental exercises the dirty-window tracking: an
+// unchanged store rewrites nothing, a localized write rewrites only its
+// (shard, window) segments, and in-memory Retain propagates as segment
+// deletions — with every intermediate directory restoring to the
+// store's exact digest.
+func TestSnapshotDirIncremental(t *testing.T) {
+	window := time.Hour
+	db := buildSegStore(window)
+	dir := t.TempDir()
+
+	first, err := db.SnapshotDir(dir, DirOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Reused != 0 || first.Written != first.Segments {
+		t.Fatalf("first snapshot should write everything: %+v", first)
+	}
+
+	// No writes since: everything is reused, nothing rewritten.
+	idle, err := db.SnapshotDir(dir, DirOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle.Written != 0 || idle.Reused != first.Segments {
+		t.Fatalf("idle snapshot rewrote segments: %+v", idle)
+	}
+	if idle.Generation != first.Generation+1 {
+		t.Fatalf("generation did not advance: %+v then %+v", first, idle)
+	}
+
+	// One write dirties exactly one (shard, window).
+	db.Write("tslp", map[string]string{"link": "l1", "vp": "vp-a", "side": "far"}, t0.Add(30*time.Minute), 99)
+	after, err := db.SnapshotDir(dir, DirOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Written != 1 || after.Reused != after.Segments-1 {
+		t.Fatalf("localized write should rewrite one segment: %+v", after)
+	}
+	assertRestoresTo(t, dir, db)
+
+	// Retention drops whole windows: the next incremental snapshot
+	// deletes their segment files.
+	cut := t0.Add(2 * window)
+	db.Retain(cut, maxTime)
+	retained, err := db.SnapshotDir(dir, DirOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if retained.Removed == 0 {
+		t.Fatalf("retention should delete expired segments: %+v", retained)
+	}
+	assertRestoresTo(t, dir, db)
+}
+
+// TestRestoreDirResumesIncremental covers the daemon-restart path of
+// docs/PERSISTENCE.md §5: RestoreDir adopts the directory's window and
+// generation, so the next incremental snapshot reuses clean segments
+// instead of falling back to a full rewrite.
+func TestRestoreDirResumesIncremental(t *testing.T) {
+	db := buildSegStore(time.Hour)
+	dir := t.TempDir()
+	if _, err := db.SnapshotDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	restarted := Open()
+	if err := restarted.RestoreDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	restarted.Write("tslp", map[string]string{"link": "l2", "vp": "vp-b", "side": "near"}, t0.Add(10*time.Minute), 7)
+	st, err := restarted.SnapshotDir(dir, DirOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reused == 0 || st.Written == 0 || st.Written > 2 {
+		t.Fatalf("restart did not resume incrementally: %+v", st)
+	}
+	assertRestoresTo(t, dir, restarted)
+}
+
+// assertRestoresTo fails unless restoring dir yields want's digest.
+func assertRestoresTo(t *testing.T, dir string, want *DB) {
+	t.Helper()
+	got := Open()
+	if err := got.RestoreDir(dir, DirOptions{}); err != nil {
+		t.Fatalf("RestoreDir: %v", err)
+	}
+	if got.Digest() != want.Digest() {
+		t.Fatalf("directory does not restore to the source store")
+	}
+}
+
+// TestRetainDirEquivalence: aging a directory out with RetainDir is
+// equivalent to aging the store in memory with Retain and snapshotting
+// (docs/PERSISTENCE.md §6).
+func TestRetainDirEquivalence(t *testing.T) {
+	window := time.Hour
+	db := buildSegStore(window)
+	dir := t.TempDir()
+	if _, err := db.SnapshotDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut mid-window so there is a boundary segment to trim.
+	cut := t0.Add(2*window + 17*time.Minute)
+	removed, dropped, err := RetainDir(dir, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 || dropped == 0 {
+		t.Fatalf("nothing aged out: removed=%d dropped=%d", removed, dropped)
+	}
+	wantDropped := db.Retain(cut, maxTime)
+	if dropped != wantDropped {
+		t.Fatalf("RetainDir dropped %d points, in-memory Retain dropped %d", dropped, wantDropped)
+	}
+	assertRestoresTo(t, dir, db)
+}
+
+// TestRetainDirDoesNotDecodeSurvivors corrupts the payload of a segment
+// safely past the retention boundary and expects RetainDir to succeed
+// anyway: expired windows are file deletes and survivors are never read
+// (docs/PERSISTENCE.md §6).
+func TestRetainDirDoesNotDecodeSurvivors(t *testing.T) {
+	window := time.Hour
+	db := buildSegStore(window)
+	dir := t.TempDir()
+	if _, err := db.SnapshotDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	cut := t0.Add(2 * window) // window-aligned: no boundary decode either
+	survivor := segmentAt(t, dir, func(sm SegmentMeta) bool { return sm.WindowStart >= cut.UnixNano()+int64(window) })
+	corruptPayloadByte(t, filepath.Join(dir, survivor))
+
+	if _, _, err := RetainDir(dir, cut); err != nil {
+		t.Fatalf("RetainDir decoded a surviving segment: %v", err)
+	}
+	m, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range m.Segments {
+		if sm.WindowEnd <= cut.UnixNano() {
+			t.Fatalf("expired segment %s survived retention", sm.File)
+		}
+	}
+}
+
+// segmentAt returns the file name of some manifest entry matching pick.
+func segmentAt(t *testing.T, dir string, pick func(SegmentMeta) bool) string {
+	t.Helper()
+	m, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range m.Segments {
+		if pick(sm) {
+			return sm.File
+		}
+	}
+	t.Fatal("no segment matches")
+	return ""
+}
+
+// corruptPayloadByte flips one byte of the segment's gob payload,
+// leaving the header (and therefore the stored checksum) intact.
+func corruptPayloadByte(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreDirRejectsDamage holds RestoreDir to the fail-loudly
+// contract of docs/PERSISTENCE.md §5: every class of damage is a
+// descriptive error naming the offending file, never a silent skip.
+func TestRestoreDirRejectsDamage(t *testing.T) {
+	newDir := func(t *testing.T) (string, string) {
+		db := buildSegStore(time.Hour)
+		dir := t.TempDir()
+		if _, err := db.SnapshotDir(dir, DirOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		return dir, segmentAt(t, dir, func(SegmentMeta) bool { return true })
+	}
+	expectErr := func(t *testing.T, dir string, wantSub ...string) {
+		t.Helper()
+		err := Open().RestoreDir(dir, DirOptions{})
+		if err == nil {
+			t.Fatal("RestoreDir accepted a damaged directory")
+		}
+		for _, sub := range wantSub {
+			if !strings.Contains(err.Error(), sub) {
+				t.Fatalf("error %q does not mention %q", err, sub)
+			}
+		}
+	}
+
+	t.Run("bad checksum", func(t *testing.T) {
+		dir, seg := newDir(t)
+		corruptPayloadByte(t, filepath.Join(dir, seg))
+		expectErr(t, dir, seg, "checksum")
+	})
+	t.Run("truncated segment", func(t *testing.T) {
+		dir, seg := newDir(t)
+		path := filepath.Join(dir, seg)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectErr(t, dir, seg, "truncated")
+	})
+	t.Run("future segment version", func(t *testing.T) {
+		dir, seg := newDir(t)
+		path := filepath.Join(dir, seg)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[11] = 0xfe // version field, docs/PERSISTENCE.md §2 field 2
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectErr(t, dir, seg, seg, "newer than supported")
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		dir, seg := newDir(t)
+		path := filepath.Join(dir, seg)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		copy(data, "NOTASEGM")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectErr(t, dir, seg, seg, "magic")
+	})
+	t.Run("missing segment", func(t *testing.T) {
+		dir, seg := newDir(t)
+		if err := os.Remove(filepath.Join(dir, seg)); err != nil {
+			t.Fatal(err)
+		}
+		expectErr(t, dir, seg)
+	})
+	t.Run("unlisted segment", func(t *testing.T) {
+		dir, seg := newDir(t)
+		data, err := os.ReadFile(filepath.Join(dir, seg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stray := "seg-99-0.seg"
+		if err := os.WriteFile(filepath.Join(dir, stray), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectErr(t, dir, stray, "not in the manifest")
+	})
+	t.Run("future manifest version", func(t *testing.T) {
+		dir, _ := newDir(t)
+		m, err := readManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Version = ManifestVersion + 1
+		if err := writeManifest(dir, m); err != nil {
+			t.Fatal(err)
+		}
+		expectErr(t, dir, "newer than supported")
+	})
+	t.Run("missing manifest", func(t *testing.T) {
+		dir, _ := newDir(t)
+		if err := os.Remove(filepath.Join(dir, ManifestName)); err != nil {
+			t.Fatal(err)
+		}
+		expectErr(t, dir, ManifestName)
+	})
+}
+
+// TestSnapshotDirCrashRecovery: temp files left by a crashed writer are
+// invisible to RestoreDir and reaped by the next SnapshotDir
+// (docs/PERSISTENCE.md §4).
+func TestSnapshotDirCrashRecovery(t *testing.T) {
+	db := buildSegStore(time.Hour)
+	dir := t.TempDir()
+	if _, err := db.SnapshotDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, "seg-03-12345.seg"+tmpSuffix)
+	if err := os.WriteFile(stray, []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	assertRestoresTo(t, dir, db) // tmp file ignored on read
+
+	if _, err := db.SnapshotDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatalf("stale temp file survived SnapshotDir: %v", err)
+	}
+}
+
+// TestSegmentWindowAlignment pins the floor semantics of the window
+// computation (docs/PERSISTENCE.md §1), including pre-epoch times.
+func TestSegmentWindowAlignment(t *testing.T) {
+	w := time.Hour
+	cases := []struct {
+		at   time.Time
+		want int64
+	}{
+		{time.Unix(0, 0), 0},
+		{time.Unix(0, 1), 0},
+		{time.Unix(3599, 999999999), 0},
+		{time.Unix(3600, 0), int64(time.Hour)},
+		{time.Unix(0, -1), -int64(time.Hour)},
+		{time.Unix(-3600, 0), -int64(time.Hour)},
+	}
+	for _, c := range cases {
+		if got := windowStartNanos(c.at, w); got != c.want {
+			t.Errorf("windowStartNanos(%v) = %d, want %d", c.at, got, c.want)
+		}
+	}
+}

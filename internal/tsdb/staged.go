@@ -35,7 +35,10 @@ func (st *Staged) WriteBatch(points []BatchPoint) {
 func (st *Staged) Len() int { return len(st.points) }
 
 // Commit ships every staged point to db in one WriteBatch and resets the
-// buffer (retaining its capacity for the next tick).
+// buffer (retaining its capacity for the next tick). Because it flows
+// through WriteBatch, each committed point also marks its (shard,
+// window) dirty for the next incremental SnapshotDir — staged commits
+// need no extra persistence bookkeeping.
 func (st *Staged) Commit(db *DB) {
 	if len(st.points) == 0 {
 		return

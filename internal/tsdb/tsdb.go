@@ -16,6 +16,7 @@ package tsdb
 import (
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"sort"
@@ -65,6 +66,11 @@ const NumShards = 32
 type shard struct {
 	mu     sync.RWMutex
 	series map[string]*Series
+	// dirty is the set of segment windows (window-start Unix
+	// nanoseconds) whose points changed since the store's last
+	// SnapshotDir; incremental snapshots rewrite exactly these. Guarded
+	// by mu; nil until the first write after a snapshot.
+	dirty map[int64]struct{}
 }
 
 // DB is the store.
@@ -78,6 +84,17 @@ type DB struct {
 	global sync.RWMutex
 	shards [NumShards]shard
 	idx    tagIndex
+
+	// window is the segment window length used by the dirty tracker and
+	// the segmented persistence layer (segment.go). Set by Open and
+	// SetSegmentWindow; read without a lock on the write path, so it
+	// must not change while the store is shared.
+	window time.Duration
+	// snapDir/snapGen record the directory and manifest generation of
+	// the store's last successful SnapshotDir, gating incremental
+	// snapshots. Guarded by the exclusive global lock.
+	snapDir string
+	snapGen uint64
 }
 
 // shardFor routes a series key to its shard (FNV-1a).
@@ -206,9 +223,10 @@ func (ix *tagIndex) reset() {
 	ix.mu.Unlock()
 }
 
-// Open returns an empty database.
+// Open returns an empty database with the default segment window
+// (DefaultWindow; see SetSegmentWindow).
 func Open() *DB {
-	db := &DB{}
+	db := &DB{window: DefaultWindow}
 	for i := range db.shards {
 		db.shards[i].series = make(map[string]*Series)
 	}
@@ -252,6 +270,7 @@ func (db *DB) Write(measurement string, tags map[string]string, t time.Time, v f
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	insertPoint(db.getOrCreate(sh, key, measurement, tags), t, v)
+	db.markDirtyLocked(sh, t)
 }
 
 // BatchPoint is one point of a WriteBatch.
@@ -288,6 +307,7 @@ func (db *DB) WriteBatch(points []BatchPoint) {
 		for _, i := range byShard[si] {
 			p := points[i]
 			insertPoint(db.getOrCreate(sh, keys[i], p.Measurement, p.Tags), p.Time, p.Value)
+			db.markDirtyLocked(sh, p.Time)
 		}
 		sh.mu.Unlock()
 	}
@@ -458,10 +478,16 @@ func (db *DB) Measurements() []string {
 // Agg selects the aggregation function for Downsample.
 type Agg int
 
+// The aggregation functions understood by Downsample.
 const (
+	// Min keeps the smallest value in each bin (the paper's choice for
+	// RTT level-shift analysis: minimum RTT tracks baseline latency).
 	Min Agg = iota
+	// Mean averages the bin's values.
 	Mean
+	// Max keeps the largest value in each bin.
 	Max
+	// Count reports how many points fell in the bin.
 	Count
 )
 
@@ -538,6 +564,14 @@ func (db *DB) Retain(from, to time.Time) int {
 			lo := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(from) })
 			hi := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(to) })
 			dropped += len(s.Points) - (hi - lo)
+			// Windows losing points must be rewritten (or deleted) by
+			// the next incremental snapshot.
+			for _, p := range s.Points[:lo] {
+				db.markDirtyLocked(sh, p.Time)
+			}
+			for _, p := range s.Points[hi:] {
+				db.markDirtyLocked(sh, p.Time)
+			}
 			if hi <= lo {
 				delete(sh.series, key)
 				db.idx.remove(s.Measurement, s.Tags, key)
@@ -614,7 +648,39 @@ func (db *DB) Restore(r io.Reader) error {
 		db.shards[shardFor(key)].series[key] = s
 		db.idx.add(s.Measurement, s.Tags, key)
 	}
+	// The stream format carries no window/generation bookkeeping, so a
+	// later incremental SnapshotDir must start from a full snapshot.
+	db.resetPersistenceLocked()
 	return nil
+}
+
+// Digest is the canonical whole-store fingerprint: FNV-64a over every
+// series in sorted key order, each point contributing its Unix-nanosecond
+// timestamp and bit-exact value. Two stores with equal digests hold the
+// same data in the same per-series order — the segmented and stream
+// persistence paths are proven equivalent against it (docs/PERSISTENCE.md
+// §7), and the campaign determinism tests rely on the same construction.
+func (db *DB) Digest() uint64 {
+	unlock := db.lockAll(false)
+	defer unlock()
+	var keys []string
+	byKey := make(map[string]*Series)
+	for i := range db.shards {
+		for k, s := range db.shards[i].series {
+			keys = append(keys, k)
+			byKey[k] = s
+		}
+	}
+	sort.Strings(keys)
+	h := fnv.New64a()
+	for _, k := range keys {
+		s := byKey[k]
+		fmt.Fprintf(h, "%s\n", k)
+		for _, p := range s.Points {
+			fmt.Fprintf(h, "%d %d\n", p.Time.UnixNano(), math.Float64bits(p.Value))
+		}
+	}
+	return h.Sum64()
 }
 
 func cloneTags(t map[string]string) map[string]string {
