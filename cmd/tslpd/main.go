@@ -16,8 +16,12 @@
 // it on startup if it holds a snapshot, takes an incremental snapshot
 // every -snapshot-every of virtual time — rewriting only segments whose
 // (shard, window) changed — and, with -retain > 0, first ages out data
-// older than the retention horizon. -out keeps writing the legacy
-// single-stream snapshot at exit; the two formats restore identically.
+// older than the retention horizon. Because the simulation replays
+// deterministically from the epoch, a restart with the same -seed sets
+// a write floor at the restored maximum timestamp: the replayed prefix
+// is dropped instead of inserted twice, so a resumed run's store equals
+// an uninterrupted one. -out keeps writing the legacy single-stream
+// snapshot at exit; the two formats restore identically.
 package main
 
 import (
@@ -58,6 +62,15 @@ func main() {
 				fatal(err)
 			}
 			fmt.Printf("tslpd: resumed %d series (%d points) from %s\n", db.SeriesCount(), db.PointCount(), *datadir)
+			// The simulation below re-runs deterministically from the
+			// epoch, regenerating every point the restored snapshot
+			// already holds; the write floor drops that replayed prefix
+			// so a restart cannot double-insert it.
+			if floor := db.MaxTime(); !floor.IsZero() {
+				db.SetWriteFloor(floor)
+				fmt.Printf("tslpd: replaying virtual time up to %s (points at or before it are already persisted)\n",
+					floor.UTC().Format(time.RFC3339))
+			}
 		}
 	}
 	sys := core.NewSystem(in, db, netsim.Epoch)

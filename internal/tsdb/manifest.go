@@ -77,22 +77,58 @@ func (m *Manifest) sortSegments() {
 	})
 }
 
-// writeManifest atomically publishes m as dir's manifest: encode to a
-// temp file, then rename over ManifestName (docs/PERSISTENCE.md §4).
+// writeManifest atomically publishes m as dir's manifest — the commit
+// point of a snapshot or retention pass: fsync the directory so every
+// segment rename this manifest relies on is durable, write the manifest
+// to a temp file, fsync it, rename it over ManifestName, and fsync the
+// directory again so the commit itself survives power loss
+// (docs/PERSISTENCE.md §4).
 func writeManifest(dir string, m *Manifest) error {
 	m.sortSegments()
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("tsdb: encode manifest: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("tsdb: sync segment dir: %w", err)
+	}
 	tmp := filepath.Join(dir, ManifestName+tmpSuffix)
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("tsdb: write manifest: %w", err)
+	}
+	if _, err = f.Write(append(data, '\n')); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("tsdb: write manifest: %w", err)
+	}
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("tsdb: write manifest: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, ManifestName)); err != nil {
 		return fmt.Errorf("tsdb: publish manifest: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("tsdb: sync segment dir: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so renames inside it are durable, not just
+// ordered (docs/PERSISTENCE.md §4).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // readManifest loads and validates dir's manifest.
@@ -115,6 +151,18 @@ func readManifest(dir string) (*Manifest, error) {
 	for _, sm := range m.Segments {
 		if sm.Shard < 0 || sm.Shard >= NumShards {
 			return nil, fmt.Errorf("tsdb: manifest entry %s: shard %d out of range", sm.File, sm.Shard)
+		}
+		// Every entry's window must be consistent with the directory-wide
+		// window length: exactly window_nanos long and aligned to it
+		// (docs/PERSISTENCE.md §3). Per-segment header checks alone would
+		// accept a manifest whose window_nanos disagrees with its entries.
+		if sm.WindowEnd-sm.WindowStart != m.WindowNanos {
+			return nil, fmt.Errorf("tsdb: manifest entry %s: window [%d,%d) spans %d ns, manifest window is %d ns",
+				sm.File, sm.WindowStart, sm.WindowEnd, sm.WindowEnd-sm.WindowStart, m.WindowNanos)
+		}
+		if sm.WindowStart%m.WindowNanos != 0 {
+			return nil, fmt.Errorf("tsdb: manifest entry %s: window start %d is not aligned to the %d ns window",
+				sm.File, sm.WindowStart, m.WindowNanos)
 		}
 		if seen[sm.File] {
 			return nil, fmt.Errorf("tsdb: manifest lists %s twice", sm.File)

@@ -21,6 +21,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -84,7 +85,9 @@ type DirStats struct {
 	Written int
 	// Reused is how many were carried over unchanged (incremental path).
 	Reused int
-	// Removed is the number of stale segment files deleted.
+	// Removed is the number of segment files deleted: replaced and stale
+	// files of the previous generation (deleted after the manifest
+	// commit) plus reaped leftovers of crashed attempts.
 	Removed int
 	// Series is the store's series count at snapshot time.
 	Series int
@@ -107,11 +110,35 @@ func windowStartNanos(t time.Time, window time.Duration) int64 {
 }
 
 // segmentFileName is the canonical segment file name for a (shard,
-// window) pair: "seg-SS-<windowStartNanos>.seg". The name is
-// informative only — the manifest, not the name, binds a file to its
-// identity (docs/PERSISTENCE.md §3).
-func segmentFileName(shard int, winStart int64) string {
-	return fmt.Sprintf("seg-%02d-%d%s", shard, winStart, segmentSuffix)
+// window) pair written at manifest generation gen:
+// "seg-SS-<windowStartNanos>-g<gen>.seg". The manifest, not the name,
+// binds a file to its identity (docs/PERSISTENCE.md §3) — but the
+// generation suffix is load-bearing for crash safety: a writer never
+// renames over a previous generation's file, so every file the
+// committed manifest references stays intact until a NEW manifest that
+// no longer references it has been published (docs/PERSISTENCE.md §4).
+func segmentFileName(shard int, winStart int64, gen uint64) string {
+	return fmt.Sprintf("seg-%02d-%d-g%d%s", shard, winStart, gen, segmentSuffix)
+}
+
+// parseSegmentGen extracts the generation from a segment file name. A
+// name without a parseable "-g<gen>" suffix (gen >= 1) reports ok =
+// false; readers must then treat the file as corruption, not as a
+// leftover (docs/PERSISTENCE.md §4).
+func parseSegmentGen(name string) (gen uint64, ok bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, false
+	}
+	base := strings.TrimSuffix(name, segmentSuffix)
+	i := strings.LastIndex(base, "-g")
+	if i < 0 {
+		return 0, false
+	}
+	gen, err := strconv.ParseUint(base[i+2:], 10, 64)
+	if err != nil || gen == 0 {
+		return 0, false
+	}
+	return gen, true
 }
 
 // segPlan is one segment to persist: the series slices (views into the
@@ -207,13 +234,16 @@ func (db *DB) planSegments() []*segPlan {
 }
 
 // encodeSegment writes one segment file (docs/PERSISTENCE.md §2) under
-// a temp name, renames it into place, and fills p.meta.
-func encodeSegment(dir string, window time.Duration, p *segPlan) error {
+// a temp name, fsyncs it, renames it into its gen-qualified place, and
+// fills p.meta. It never touches a previous generation's file; until a
+// manifest referencing the new name is published, the file is an inert
+// leftover (docs/PERSISTENCE.md §4).
+func encodeSegment(dir string, window time.Duration, gen uint64, p *segPlan) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(p.series); err != nil {
 		return fmt.Errorf("tsdb: encode segment shard %d window %d: %w", p.shard, p.winStart, err)
 	}
-	name := segmentFileName(p.shard, p.winStart)
+	name := segmentFileName(p.shard, p.winStart, gen)
 	crc := crc32.Checksum(payload.Bytes(), crcTable)
 
 	hdr := make([]byte, 0, segmentHeaderSize)
@@ -234,6 +264,12 @@ func encodeSegment(dir string, window time.Duration, p *segPlan) error {
 	}
 	if _, err := f.Write(hdr); err == nil {
 		_, err = f.Write(payload.Bytes())
+	}
+	if err == nil {
+		// Content must be durable before the rename can be: a rename
+		// surviving power loss without its bytes would give a committed
+		// manifest a bad segment (docs/PERSISTENCE.md §4).
+		err = f.Sync()
 	}
 	if err != nil {
 		f.Close()
@@ -264,8 +300,10 @@ func encodeSegment(dir string, window time.Duration, p *segPlan) error {
 // windows dirtied since the previous SnapshotDir into the same dir and
 // deletes windows that no longer hold data; otherwise (and whenever the
 // directory does not match the store's bookkeeping) every segment is
-// written. The manifest rename at the end is the commit point: a crash
-// mid-snapshot leaves the previous snapshot intact
+// written. The manifest rename is the commit point: every file of the
+// committed snapshot is left untouched until a new manifest no longer
+// referencing it has been published, so a crash — or an error return —
+// at any moment leaves the previous snapshot fully restorable
 // (docs/PERSISTENCE.md §4).
 func (db *DB) SnapshotDir(dir string, opts DirOptions) (DirStats, error) {
 	var st DirStats
@@ -276,7 +314,21 @@ func (db *DB) SnapshotDir(dir string, opts DirOptions) (DirStats, error) {
 	unlock := db.lockAll(false)
 	defer unlock()
 
-	// Reap temp files from a crashed writer (docs/PERSISTENCE.md §4).
+	// The on-disk manifest is the directory's commit record; read it
+	// first so committed segments can be told apart from leftovers of a
+	// crashed attempt.
+	prev, prevErr := readManifest(dir) // fails on the first snapshot into dir
+	listed := make(map[string]bool)
+	if prevErr == nil {
+		for _, sm := range prev.Segments {
+			listed[sm.File] = true
+		}
+	}
+
+	// Reap leftovers from a crashed writer: .tmp files and segment files
+	// the committed manifest does not reference (docs/PERSISTENCE.md §4).
+	// Reaping unlisted segments up front also guarantees this attempt's
+	// generation-qualified names are free.
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return st, fmt.Errorf("tsdb: snapshotdir: %w", err)
@@ -287,24 +339,25 @@ func (db *DB) SnapshotDir(dir string, opts DirOptions) (DirStats, error) {
 		case strings.HasSuffix(e.Name(), tmpSuffix):
 			os.Remove(filepath.Join(dir, e.Name()))
 		case strings.HasSuffix(e.Name(), segmentSuffix):
+			if !listed[e.Name()] {
+				if os.Remove(filepath.Join(dir, e.Name())) == nil {
+					st.Removed++
+				}
+				continue
+			}
 			onDisk[e.Name()] = true
 		}
 	}
 
-	// Decide the snapshot mode and the reusable entries.
-	var prev *Manifest
-	incremental := false
-	if opts.Incremental && db.snapDir == dir && db.snapGen > 0 {
-		if m, err := readManifest(dir); err == nil &&
-			m.Generation == db.snapGen && m.WindowNanos == int64(db.window) {
-			prev, incremental = m, true
-		}
-	}
-	prevMeta := make(map[string]SegmentMeta)
+	// Decide the snapshot mode, the reusable entries, and this attempt's
+	// generation (segment file names embed it, so it is fixed up front).
+	incremental := opts.Incremental && db.snapDir == dir && db.snapGen > 0 &&
+		prevErr == nil && prev.Generation == db.snapGen && prev.WindowNanos == int64(db.window)
+	prevByID := make(map[[2]int64]SegmentMeta)
 	if incremental {
 		for _, sm := range prev.Segments {
 			if onDisk[sm.File] {
-				prevMeta[sm.File] = sm
+				prevByID[[2]int64{int64(sm.Shard), sm.WindowStart}] = sm
 			}
 		}
 	}
@@ -315,15 +368,16 @@ func (db *DB) SnapshotDir(dir string, opts DirOptions) (DirStats, error) {
 		_, ok := db.shards[shard].dirty[win]
 		return ok
 	}
+	gen := uint64(1)
+	if prevErr == nil {
+		gen = prev.Generation + 1
+	}
 
 	plans := db.planSegments()
 	var toWrite []*segPlan
-	next := &Manifest{Version: ManifestVersion, WindowNanos: int64(db.window)}
-	needed := make(map[string]bool, len(plans))
+	next := &Manifest{Version: ManifestVersion, Generation: gen, WindowNanos: int64(db.window)}
 	for _, p := range plans {
-		name := segmentFileName(p.shard, p.winStart)
-		needed[name] = true
-		if sm, ok := prevMeta[name]; ok && !dirty(p.shard, p.winStart) {
+		if sm, ok := prevByID[[2]int64{int64(p.shard), p.winStart}]; ok && !dirty(p.shard, p.winStart) {
 			next.Segments = append(next.Segments, sm)
 			st.Reused++
 			st.Points += sm.Points
@@ -334,12 +388,15 @@ func (db *DB) SnapshotDir(dir string, opts DirOptions) (DirStats, error) {
 
 	// Encode the dirty segments concurrently; the plans alias store
 	// memory, which is safe because the store lock is held throughout.
+	// On error the files already renamed into place are unreferenced
+	// gen-qualified leftovers — invisible to RestoreDir, reaped by the
+	// next SnapshotDir — and the committed snapshot is untouched.
 	pool := pipeline.NewPool(opts.Workers)
 	defer pool.Close()
 	jobs := make([]func() error, len(toWrite))
 	for i, p := range toWrite {
 		p := p
-		jobs[i] = func() error { return encodeSegment(dir, db.window, p) }
+		jobs[i] = func() error { return encodeSegment(dir, db.window, gen, p) }
 	}
 	if err := pool.DoErr(jobs...); err != nil {
 		return st, fmt.Errorf("tsdb: snapshotdir: %w", err)
@@ -350,29 +407,31 @@ func (db *DB) SnapshotDir(dir string, opts DirOptions) (DirStats, error) {
 		st.Points += p.points
 	}
 
-	// Delete stale segments: on disk but not part of this snapshot.
-	for name := range onDisk {
-		if !needed[name] {
-			if err := os.Remove(filepath.Join(dir, name)); err != nil {
-				return st, fmt.Errorf("tsdb: snapshotdir: remove stale %s: %w", name, err)
-			}
-			st.Removed++
-		}
-	}
-
-	gen := uint64(1)
-	if prev != nil {
-		gen = prev.Generation + 1
-	} else if m, err := readManifest(dir); err == nil {
-		gen = m.Generation + 1
-	}
-	next.Generation = gen
 	for i := range db.shards {
 		next.StoreSeries += len(db.shards[i].series)
 	}
 	next.TotalPoints = st.Points
+
+	// Commit point: the new manifest makes this snapshot the directory's
+	// committed state.
 	if err := writeManifest(dir, next); err != nil {
 		return st, fmt.Errorf("tsdb: snapshotdir: %w", err)
+	}
+
+	// Only now are the previous generation's replaced and stale files
+	// dead; delete them best-effort — a failure just leaves a leftover
+	// for the next call to reap.
+	dead := make(map[string]bool, len(onDisk))
+	for name := range onDisk {
+		dead[name] = true
+	}
+	for _, sm := range next.Segments {
+		delete(dead, sm.File)
+	}
+	for name := range dead {
+		if os.Remove(filepath.Join(dir, name)) == nil {
+			st.Removed++
+		}
 	}
 
 	// Success: future incremental snapshots may trust the directory.
@@ -460,9 +519,19 @@ func (db *DB) RestoreDir(dir string, opts DirOptions) error {
 		listed[sm.File] = true
 	}
 	for _, e := range entries {
-		if strings.HasSuffix(e.Name(), segmentSuffix) && !listed[e.Name()] {
-			return fmt.Errorf("tsdb: restoredir: segment %s present on disk but not in the manifest", e.Name())
+		name := e.Name()
+		if !strings.HasSuffix(name, segmentSuffix) || listed[name] {
+			continue
 		}
+		// An unlisted segment carrying a generation other than the
+		// committed one is a leftover from an interrupted snapshot or
+		// retention pass: ignored like a .tmp file, reaped by the next
+		// writer (docs/PERSISTENCE.md §4). Anything else unlisted is
+		// corruption, never skipped silently.
+		if gen, ok := parseSegmentGen(name); ok && gen != m.Generation {
+			continue
+		}
+		return fmt.Errorf("tsdb: restoredir: segment %s present on disk but not in the manifest", name)
 	}
 
 	// Group the manifest's entries per shard, ascending window order, so
@@ -546,13 +615,17 @@ func (db *DB) RestoreDir(dir string, opts DirOptions) error {
 }
 
 // RetainDir ages a segment directory out in place: every segment whose
-// window ends at or before olderThan is deleted without being decoded,
+// window ends at or before olderThan is dropped without being decoded,
 // the one boundary window containing olderThan is decoded, trimmed and
 // rewritten, and the manifest is republished with a bumped generation.
 // Surviving segments past the boundary are not read at all. It returns
-// the number of segment files removed and points dropped. RetainDir is
-// the on-disk mirror of (*DB).Retain — the deployed system's InfluxDB
-// retention policy dropped whole TSM shards the same way.
+// the number of segment files removed and points dropped. Like
+// SnapshotDir, the manifest rename is the commit point: expired and
+// replaced files are deleted only after the new manifest is published,
+// so a crash or error mid-pass leaves the previous snapshot fully
+// restorable (docs/PERSISTENCE.md §4). RetainDir is the on-disk mirror
+// of (*DB).Retain — the deployed system's InfluxDB retention policy
+// dropped whole TSM shards the same way.
 func RetainDir(dir string, olderThan time.Time) (segmentsRemoved, pointsDropped int, err error) {
 	m, err := readManifest(dir)
 	if err != nil {
@@ -560,27 +633,46 @@ func RetainDir(dir string, olderThan time.Time) (segmentsRemoved, pointsDropped 
 	}
 	window := time.Duration(m.WindowNanos)
 	cut := olderThan.UnixNano()
+	gen := m.Generation + 1
+
+	// Reap leftovers of a crashed earlier attempt so this pass's
+	// gen-qualified names are free (docs/PERSISTENCE.md §4).
+	listed := make(map[string]bool, len(m.Segments))
+	for _, sm := range m.Segments {
+		listed[sm.File] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("tsdb: retaindir: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), tmpSuffix) ||
+			(strings.HasSuffix(e.Name(), segmentSuffix) && !listed[e.Name()]) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 
 	var kept []SegmentMeta
+	var dead []string // committed files to delete after the manifest publish
 	for _, sm := range m.Segments {
 		switch {
 		case sm.WindowEnd <= cut:
 			// Fully expired: a file delete, no decode (docs/PERSISTENCE.md §6).
-			if err := os.Remove(filepath.Join(dir, sm.File)); err != nil {
-				return segmentsRemoved, pointsDropped, fmt.Errorf("tsdb: retaindir: %w", err)
-			}
+			dead = append(dead, sm.File)
 			segmentsRemoved++
 			pointsDropped += sm.Points
 		case sm.WindowStart < cut:
-			// Boundary window: decode, drop points before the cut, rewrite.
+			// Boundary window: decode, drop points before the cut, rewrite
+			// under this generation's name (the old file dies at commit).
 			list, err := readSegment(dir, sm)
 			if err != nil {
-				return segmentsRemoved, pointsDropped, fmt.Errorf("tsdb: retaindir: %w", err)
+				return 0, 0, fmt.Errorf("tsdb: retaindir: %w", err)
 			}
 			p := &segPlan{shard: sm.Shard, winStart: sm.WindowStart}
+			trimmed := 0
 			for _, s := range list {
 				lo := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].Time.UnixNano() >= cut })
-				pointsDropped += lo
+				trimmed += lo
 				if lo == len(s.Points) {
 					continue
 				}
@@ -588,15 +680,14 @@ func RetainDir(dir string, olderThan time.Time) (segmentsRemoved, pointsDropped 
 				p.series = append(p.series, s)
 				p.points += len(s.Points)
 			}
+			pointsDropped += trimmed
+			dead = append(dead, sm.File)
 			if len(p.series) == 0 {
-				if err := os.Remove(filepath.Join(dir, sm.File)); err != nil {
-					return segmentsRemoved, pointsDropped, fmt.Errorf("tsdb: retaindir: %w", err)
-				}
 				segmentsRemoved++
 				continue
 			}
-			if err := encodeSegment(dir, window, p); err != nil {
-				return segmentsRemoved, pointsDropped, fmt.Errorf("tsdb: retaindir: %w", err)
+			if err := encodeSegment(dir, window, gen, p); err != nil {
+				return 0, 0, fmt.Errorf("tsdb: retaindir: %w", err)
 			}
 			kept = append(kept, p.meta)
 		default:
@@ -610,7 +701,7 @@ func RetainDir(dir string, olderThan time.Time) (segmentsRemoved, pointsDropped 
 	// to its per-segment checks (docs/PERSISTENCE.md §3, store_series).
 	next := &Manifest{
 		Version:     ManifestVersion,
-		Generation:  m.Generation + 1,
+		Generation:  gen,
 		WindowNanos: m.WindowNanos,
 		StoreSeries: 0,
 		Segments:    kept,
@@ -618,8 +709,14 @@ func RetainDir(dir string, olderThan time.Time) (segmentsRemoved, pointsDropped 
 	for _, sm := range kept {
 		next.TotalPoints += sm.Points
 	}
+	// Commit point; only afterwards are the expired and replaced files
+	// dead. Deletion is best-effort — a failure leaves a leftover the
+	// next writer reaps.
 	if err := writeManifest(dir, next); err != nil {
-		return segmentsRemoved, pointsDropped, fmt.Errorf("tsdb: retaindir: %w", err)
+		return 0, 0, fmt.Errorf("tsdb: retaindir: %w", err)
+	}
+	for _, name := range dead {
+		os.Remove(filepath.Join(dir, name))
 	}
 	return segmentsRemoved, pointsDropped, nil
 }

@@ -362,7 +362,7 @@ func TestRestoreDirRejectsDamage(t *testing.T) {
 		}
 		expectErr(t, dir, seg)
 	})
-	t.Run("unlisted segment", func(t *testing.T) {
+	t.Run("unlisted segment without a generation", func(t *testing.T) {
 		dir, seg := newDir(t)
 		data, err := os.ReadFile(filepath.Join(dir, seg))
 		if err != nil {
@@ -373,6 +373,48 @@ func TestRestoreDirRejectsDamage(t *testing.T) {
 			t.Fatal(err)
 		}
 		expectErr(t, dir, stray, "not in the manifest")
+	})
+	t.Run("unlisted segment of the committed generation", func(t *testing.T) {
+		// Same generation as the manifest: cannot be a leftover of an
+		// interrupted writer, so it is corruption, not ignorable
+		// (docs/PERSISTENCE.md §4).
+		dir, _ := newDir(t)
+		m, err := readManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stray := segmentFileName(99, 0, m.Generation)
+		if err := os.WriteFile(filepath.Join(dir, stray), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		expectErr(t, dir, stray, "not in the manifest")
+	})
+	t.Run("inconsistent manifest window", func(t *testing.T) {
+		// window_nanos must agree with every entry's bounds even when the
+		// per-segment headers are self-consistent (docs/PERSISTENCE.md §3).
+		dir, _ := newDir(t)
+		m, err := readManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.WindowNanos *= 2
+		if err := writeManifest(dir, m); err != nil {
+			t.Fatal(err)
+		}
+		expectErr(t, dir, "window")
+	})
+	t.Run("misaligned manifest window start", func(t *testing.T) {
+		dir, _ := newDir(t)
+		m, err := readManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Segments[0].WindowStart += 7
+		m.Segments[0].WindowEnd += 7
+		if err := writeManifest(dir, m); err != nil {
+			t.Fatal(err)
+		}
+		expectErr(t, dir, "aligned")
 	})
 	t.Run("future manifest version", func(t *testing.T) {
 		dir, _ := newDir(t)
@@ -416,6 +458,92 @@ func TestSnapshotDirCrashRecovery(t *testing.T) {
 	}
 	if _, err := os.Stat(stray); !os.IsNotExist(err) {
 		t.Fatalf("stale temp file survived SnapshotDir: %v", err)
+	}
+}
+
+// TestSnapshotDirLeftoverSegments: segment files renamed into place by
+// a crashed snapshot attempt — generation-qualified but never claimed
+// by a committed manifest — are invisible to RestoreDir and reaped by
+// the next SnapshotDir, leaving the committed snapshot fully
+// restorable (docs/PERSISTENCE.md §4).
+func TestSnapshotDirLeftoverSegments(t *testing.T) {
+	db := buildSegStore(time.Hour)
+	dir := t.TempDir()
+	st, err := db.SnapshotDir(dir, DirOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash between the segment renames and the manifest
+	// publish of the next generation. Garbage content proves a leftover
+	// is never even opened.
+	leftover := segmentFileName(5, 12345, st.Generation+1)
+	if err := os.WriteFile(filepath.Join(dir, leftover), []byte("half a crashed snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	assertRestoresTo(t, dir, db) // leftover ignored on read
+
+	st2, err := db.SnapshotDir(dir, DirOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, leftover)); !os.IsNotExist(err) {
+		t.Fatalf("crashed-attempt leftover survived SnapshotDir: %v", err)
+	}
+	if st2.Removed == 0 {
+		t.Fatalf("reaped leftover not reported in stats: %+v", st2)
+	}
+	assertRestoresTo(t, dir, db)
+}
+
+// TestWriteFloorReplay models the daemon-restart deduplication path: a
+// deterministic writer replayed from the beginning against a restored
+// store must not double-insert the already-persisted prefix, and the
+// resumed store must end up identical to an uninterrupted run.
+func TestWriteFloorReplay(t *testing.T) {
+	writeRange := func(db *DB, lo, hi int) {
+		var batch []BatchPoint
+		for i := lo; i < hi; i++ {
+			tags := map[string]string{"link": []string{"l1", "l2", "l3"}[i%3]}
+			at := t0.Add(time.Duration(i) * time.Minute)
+			if i%2 == 0 {
+				db.Write("tslp", tags, at, float64(i))
+			} else {
+				batch = append(batch, BatchPoint{Measurement: "tslp", Tags: tags, Time: at, Value: float64(i)})
+			}
+		}
+		db.WriteBatch(batch)
+	}
+
+	uninterrupted := Open()
+	writeRange(uninterrupted, 0, 300)
+
+	first := Open()
+	writeRange(first, 0, 200)
+	dir := t.TempDir()
+	if _, err := first.SnapshotDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed := Open()
+	if err := resumed.RestoreDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := resumed.MaxTime(), t0.Add(199*time.Minute); !got.Equal(want) {
+		t.Fatalf("MaxTime = %v, want %v", got, want)
+	}
+	resumed.SetWriteFloor(resumed.MaxTime())
+	writeRange(resumed, 0, 300) // full deterministic replay
+
+	if resumed.PointCount() != uninterrupted.PointCount() {
+		t.Fatalf("replay duplicated points: %d, want %d", resumed.PointCount(), uninterrupted.PointCount())
+	}
+	if resumed.Digest() != uninterrupted.Digest() {
+		t.Fatal("resumed store differs from an uninterrupted run")
+	}
+	if !Open().MaxTime().IsZero() {
+		t.Fatal("MaxTime of an empty store is not zero")
 	}
 }
 

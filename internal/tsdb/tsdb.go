@@ -95,6 +95,12 @@ type DB struct {
 	// snapshots. Guarded by the exclusive global lock.
 	snapDir string
 	snapGen uint64
+
+	// floor, when nonzero, makes Write and WriteBatch drop every point
+	// whose timestamp is at or before it (SetWriteFloor). Like window it
+	// is read without a lock on the write path, so it must not change
+	// while the store is shared.
+	floor time.Time
 }
 
 // shardFor routes a series key to its shard (FNV-1a).
@@ -260,11 +266,53 @@ func (db *DB) getOrCreate(sh *shard, key, measurement string, tags map[string]st
 	return s
 }
 
+// SetWriteFloor makes the store drop, in Write and WriteBatch, every
+// point whose timestamp is at or before t. A daemon that restores a
+// snapshot and then deterministically replays its input from the
+// beginning (tslpd restarting with the same seed) sets the floor to
+// MaxTime() so the already-persisted prefix is not inserted a second
+// time. Like SetSegmentWindow it must be called before the store is
+// shared between goroutines; the zero time clears the floor.
+func (db *DB) SetWriteFloor(t time.Time) {
+	unlock := db.lockAll(true)
+	defer unlock()
+	db.floor = t
+}
+
+// MaxTime returns the latest point timestamp held by the store, or the
+// zero time when the store is empty.
+func (db *DB) MaxTime() time.Time {
+	db.global.RLock()
+	defer db.global.RUnlock()
+	var max time.Time
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.series {
+			// Points are kept time-ordered, so the last one is the newest.
+			if n := len(s.Points); n > 0 && s.Points[n-1].Time.After(max) {
+				max = s.Points[n-1].Time
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return max
+}
+
+// belowFloor reports whether a point at t must be dropped (SetWriteFloor).
+func (db *DB) belowFloor(t time.Time) bool {
+	return !db.floor.IsZero() && !t.After(db.floor)
+}
+
 // Write appends one point to the series identified by measurement and
-// tags, creating the series on first write.
+// tags, creating the series on first write. Points at or below the
+// write floor are dropped (SetWriteFloor).
 func (db *DB) Write(measurement string, tags map[string]string, t time.Time, v float64) {
 	db.global.RLock()
 	defer db.global.RUnlock()
+	if db.belowFloor(t) {
+		return
+	}
 	key := Key(measurement, tags)
 	sh := &db.shards[shardFor(key)]
 	sh.mu.Lock()
@@ -283,17 +331,22 @@ type BatchPoint struct {
 
 // WriteBatch ingests a set of points acquiring each destination shard's
 // lock once, instead of once per point. The probing modules use it to
-// flush a whole round in one go.
+// flush a whole round in one go. Points at or below the write floor are
+// dropped (SetWriteFloor).
 func (db *DB) WriteBatch(points []BatchPoint) {
 	if len(points) == 0 {
 		return
 	}
 	db.global.RLock()
 	defer db.global.RUnlock()
-	// Group by shard so each lock is taken exactly once per batch.
+	// Group by shard so each lock is taken exactly once per batch;
+	// points at or below the write floor are dropped here.
 	var byShard [NumShards][]int
 	keys := make([]string, len(points))
 	for i, p := range points {
+		if db.belowFloor(p.Time) {
+			continue
+		}
 		keys[i] = Key(p.Measurement, p.Tags)
 		s := shardFor(keys[i])
 		byShard[s] = append(byShard[s], i)
