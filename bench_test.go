@@ -14,11 +14,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
 	"interdomain/internal/analysis"
+	"interdomain/internal/api"
 	"interdomain/internal/core"
 	"interdomain/internal/experiments"
 	"interdomain/internal/netsim"
@@ -612,3 +615,143 @@ func benchCampaign(b *testing.B, workers int) {
 func BenchmarkCampaignSequential(b *testing.B) { benchCampaign(b, 0) }
 
 func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, 8) }
+
+// --- Serving-tier benchmarks (docs/SERVING.md §6) -----------------------
+
+// serveStore lazily builds the store the serving benchmarks share: 8
+// links with 50 days of far/near TSLP each, the working set one
+// /api/v1/congestion analysis reads. serveLinks names them.
+var serveStore = struct {
+	once sync.Once
+	db   *tsdb.DB
+}{}
+
+var serveLinks = []string{"l-0", "l-1", "l-2", "l-3", "l-4", "l-5", "l-6", "l-7"}
+
+func serveDB(b *testing.B) *tsdb.DB {
+	b.Helper()
+	serveStore.once.Do(func() {
+		db := tsdb.Open()
+		rng := netsim.NewRNG(9)
+		batch := make([]tsdb.BatchPoint, 0, 4096)
+		flush := func() {
+			db.WriteBatch(batch)
+			batch = batch[:0]
+		}
+		for _, link := range serveLinks {
+			farTags := map[string]string{"vp": "v", "link": link, "side": "far"}
+			nearTags := map[string]string{"vp": "v", "link": link, "side": "near"}
+			for d := 0; d < 50; d++ {
+				for bin := 0; bin < 96; bin++ {
+					at := netsim.Day(d).Add(time.Duration(bin) * 15 * time.Minute)
+					far := 20 + rng.Float64()
+					if bin >= 80 && bin < 90 {
+						far += 30
+					}
+					batch = append(batch,
+						tsdb.BatchPoint{Measurement: "tslp", Tags: farTags, Time: at, Value: far},
+						tsdb.BatchPoint{Measurement: "tslp", Tags: nearTags, Time: at, Value: 5 + rng.Float64()})
+					if len(batch) >= cap(batch)-2 {
+						flush()
+					}
+				}
+			}
+		}
+		flush()
+		serveStore.db = db
+	})
+	return serveStore.db
+}
+
+func congestionRequest(link string) *http.Request {
+	return httptest.NewRequest("GET",
+		"/api/v1/congestion?link="+link+"&vp=v&from="+netsim.Epoch.Format(time.RFC3339)+"&days=50", nil)
+}
+
+func serveOne(b *testing.B, srv *api.Server, req *http.Request) {
+	b.Helper()
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != 200 {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkCongestionEndpointCold measures the uncached path: every
+// iteration purges the read cache, so each request runs the full
+// QueryView -> BinSeries -> autocorrelation pipeline and re-encodes.
+func BenchmarkCongestionEndpointCold(b *testing.B) {
+	srv := api.New(serveDB(b))
+	defer srv.Close()
+	req := congestionRequest("l-0")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv.PurgeCache()
+		serveOne(b, srv, req)
+	}
+}
+
+// BenchmarkCongestionEndpointWarm measures the cached path: after one
+// priming request every iteration serves the memoized body. The
+// cold/warm pair is the headline number of the versioned read path.
+func BenchmarkCongestionEndpointWarm(b *testing.B) {
+	srv := api.New(serveDB(b))
+	defer srv.Close()
+	req := congestionRequest("l-0")
+	serveOne(b, srv, req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveOne(b, srv, req)
+	}
+	b.StopTimer()
+	if n := srv.CongestionComputes(); n != 1 {
+		b.Fatalf("warm benchmark ran the detector %d times", n)
+	}
+}
+
+// BenchmarkCongestionEndpointParallel hammers a warm server from every
+// proc at once, rotating across the links: the concurrent-load shape a
+// public dashboard produces. Coalescing plus the cache should keep
+// detector runs at one per link regardless of client count.
+func BenchmarkCongestionEndpointParallel(b *testing.B) {
+	srv := api.New(serveDB(b))
+	defer srv.Close()
+	for _, l := range serveLinks {
+		serveOne(b, srv, congestionRequest(l))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, congestionRequest(serveLinks[i%len(serveLinks)]))
+			if w.Code != 200 {
+				b.Fatalf("status %d", w.Code)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	if n := srv.CongestionComputes(); n != uint64(len(serveLinks)) {
+		b.Fatalf("parallel benchmark ran the detector %d times, want %d", n, len(serveLinks))
+	}
+}
+
+// BenchmarkQueryEndpointWarm measures the memoized raw-series query
+// path (zero-copy views + cached encoded body).
+func BenchmarkQueryEndpointWarm(b *testing.B) {
+	srv := api.New(serveDB(b))
+	defer srv.Close()
+	url := "/api/v1/query?m=tslp&link=l-0&side=far&from=" + netsim.Epoch.Format(time.RFC3339) +
+		"&to=" + netsim.Day(2).Format(time.RFC3339)
+	req := httptest.NewRequest("GET", url, nil)
+	serveOne(b, srv, req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		serveOne(b, srv, req)
+	}
+}

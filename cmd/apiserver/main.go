@@ -12,8 +12,15 @@
 // The pid file defaults to apiserver.pid under os.TempDir() and is
 // removed on graceful shutdown; -pidfile "" disables it.
 //
+// -debug-addr starts a second listener (loopback by default) exposing
+// net/http/pprof under /debug/pprof/ for CPU/heap/mutex profiling of
+// the serving tier; see docs/SERVING.md §5 for a profiling walkthrough.
+// It is off unless the flag is set, so profiling never shares a port
+// with — or is reachable through — the public API.
+//
 // Endpoints: /api/v1/measurements, /api/v1/tags, /api/v1/query,
-// /api/v1/congestion, /healthz. See package interdomain/internal/api.
+// /api/v1/congestion, /api/v1/stats, /healthz. See package
+// interdomain/internal/api.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -39,6 +47,8 @@ const shutdownGrace = 5 * time.Second
 func main() {
 	inPath := flag.String("in", "", "tsdb snapshot file or segment directory (required)")
 	addr := flag.String("addr", ":8080", "listen address")
+	debugAddr := flag.String("debug-addr", "",
+		"pprof listen address, e.g. localhost:6060 (empty disables)")
 	pidfile := flag.String("pidfile", filepath.Join(os.TempDir(), "apiserver.pid"),
 		"pid file path (empty disables)")
 	flag.Parse()
@@ -63,6 +73,15 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: api.New(db)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, debugMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "apiserver: debug listener:", err)
+			}
+		}()
+		fmt.Printf("apiserver: pprof on http://%s/debug/pprof/\n", *debugAddr)
+	}
 
 	fmt.Printf("apiserver: serving %d series (%d points) on %s\n", db.SeriesCount(), db.PointCount(), *addr)
 	select {
@@ -96,6 +115,20 @@ func openStore(path string) (*tsdb.DB, error) {
 	}
 	defer f.Close()
 	return db, db.Restore(f)
+}
+
+// debugMux builds the pprof handler tree on a private mux rather than
+// relying on net/http/pprof's DefaultServeMux registrations, so the
+// profiler is reachable only through the -debug-addr listener even if
+// some future code serves DefaultServeMux.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func fatal(err error) {

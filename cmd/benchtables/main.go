@@ -17,13 +17,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"interdomain/internal/api"
 	"interdomain/internal/experiments"
 	"interdomain/internal/netsim"
 	"interdomain/internal/tsdb"
@@ -32,7 +35,7 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "determinism seed")
 	days := flag.Int("days", experiments.StudyDays, "longitudinal study length in days")
-	only := flag.String("only", "", "comma-separated subset (table1..4, figure3..9, operator, ablations, asymmetry, mapit, campaign, persist)")
+	only := flag.String("only", "", "comma-separated subset (table1..4, figure3..9, operator, ablations, asymmetry, mapit, campaign, persist, serve)")
 	report := flag.String("report", "", "also write a full Markdown measurement report here")
 	flag.Parse()
 
@@ -163,6 +166,13 @@ func main() {
 		section("Persistence — single-stream vs segmented snapshot/restore",
 			"per-(shard,window) segments on the pipeline pool; equivalence checked by canonical digest")
 		if err := runPersistSection(); err != nil {
+			fatal(err)
+		}
+	}
+	if sel("serve") {
+		section("Serving tier — cold vs cached vs concurrent congestion queries",
+			"versioned read path (docs/SERVING.md): zero-copy views, epoch-keyed cache, coalescing")
+		if err := runServeSection(); err != nil {
 			fatal(err)
 		}
 	}
@@ -313,6 +323,105 @@ func runPersistSection() error {
 	fmt.Printf("retention to t+48h: %d segment files deleted, %d points dropped in %.1fms (no survivor decoded)\n",
 		removed, dropped, time.Since(t0).Seconds()*1e3)
 	fmt.Printf("restore paths agree: digest %016x\n", want)
+	return nil
+}
+
+// runServeSection exercises the serving tier's versioned read path on a
+// synthetic 8-link, 50-day store: one cold /api/v1/congestion analysis
+// per link, the same requests again against the warm cache, then a
+// concurrent load of GOMAXPROCS clients rotating across the links. The
+// final line proves the detector ran exactly once per link no matter
+// how many requests were served.
+func runServeSection() error {
+	db := tsdb.Open()
+	rng := netsim.NewRNG(9)
+	links := []string{"l-0", "l-1", "l-2", "l-3", "l-4", "l-5", "l-6", "l-7"}
+	batch := make([]tsdb.BatchPoint, 0, 4096)
+	for _, link := range links {
+		farTags := map[string]string{"vp": "v", "link": link, "side": "far"}
+		nearTags := map[string]string{"vp": "v", "link": link, "side": "near"}
+		for d := 0; d < 50; d++ {
+			for b := 0; b < 96; b++ {
+				at := netsim.Day(d).Add(time.Duration(b) * 15 * time.Minute)
+				far := 20 + rng.Float64()
+				if b >= 80 && b < 90 {
+					far += 30
+				}
+				batch = append(batch,
+					tsdb.BatchPoint{Measurement: "tslp", Tags: farTags, Time: at, Value: far},
+					tsdb.BatchPoint{Measurement: "tslp", Tags: nearTags, Time: at, Value: 5 + rng.Float64()})
+				if len(batch) >= cap(batch)-2 {
+					db.WriteBatch(batch)
+					batch = batch[:0]
+				}
+			}
+		}
+	}
+	db.WriteBatch(batch)
+
+	srv := api.New(db)
+	defer srv.Close()
+	get := func(link string) error {
+		w := httptest.NewRecorder()
+		req := httptest.NewRequest("GET",
+			"/api/v1/congestion?link="+link+"&vp=v&from="+netsim.Epoch.Format(time.RFC3339)+"&days=50", nil)
+		srv.ServeHTTP(w, req)
+		if w.Code != 200 {
+			return fmt.Errorf("congestion %s: status %d: %s", link, w.Code, w.Body.String())
+		}
+		return nil
+	}
+
+	t0 := time.Now()
+	for _, l := range links {
+		if err := get(l); err != nil {
+			return err
+		}
+	}
+	cold := time.Since(t0)
+
+	t0 = time.Now()
+	for _, l := range links {
+		if err := get(l); err != nil {
+			return err
+		}
+	}
+	warm := time.Since(t0)
+
+	clients := runtime.GOMAXPROCS(0)
+	const perClient = 500
+	var wg sync.WaitGroup
+	t0 = time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if err := get(links[(c+i)%len(links)]); err != nil {
+					fmt.Fprintln(os.Stderr, "benchtables:", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	loadWall := time.Since(t0)
+	total := clients * perClient
+
+	st := srv.CacheStats()
+	fmt.Printf("%d links, 50 days each (%d points), cache %d entries\n",
+		len(links), db.PointCount(), st.Entries)
+	fmt.Printf("cold:  %8.2fms for %d analyses (%.2fms each)\n",
+		cold.Seconds()*1e3, len(links), cold.Seconds()*1e3/float64(len(links)))
+	fmt.Printf("warm:  %8.2fms for %d cached responses (%.0fx faster)\n",
+		warm.Seconds()*1e3, len(links), cold.Seconds()/warm.Seconds())
+	fmt.Printf("load:  %d clients x %d requests in %.2fs -> %.0f req/s\n",
+		clients, perClient, loadWall.Seconds(), float64(total)/loadWall.Seconds())
+	fmt.Printf("cache: %d hits, %d misses, %d coalesced; detector runs: %d (want %d)\n",
+		st.Hits, st.Misses, st.Coalesced, srv.CongestionComputes(), len(links))
+	if n := srv.CongestionComputes(); n != uint64(len(links)) {
+		return fmt.Errorf("detector ran %d times, want %d", n, len(links))
+	}
 	return nil
 }
 

@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"time"
 )
@@ -26,6 +28,28 @@ type AutocorrConfig struct {
 	// MinDayCoverage is the minimum fraction of bins with data a day
 	// needs to be classified (default 0.5).
 	MinDayCoverage float64
+}
+
+// Hash fingerprints the configuration for cache keys: two configs hash
+// equal exactly when every field is bit-equal, so the serving tier's
+// memoized detector results (internal/readcache, docs/SERVING.md §2)
+// can never be served under a different tuning than they were computed
+// with.
+func (c AutocorrConfig) Hash() uint64 {
+	h := fnv.New64a()
+	for _, v := range []uint64{
+		uint64(c.WindowDays),
+		uint64(c.BinsPerDay),
+		math.Float64bits(c.ThresholdMs),
+		uint64(c.MinPeakDays),
+		math.Float64bits(c.SufficientFrac),
+		math.Float64bits(c.MinDayCoverage),
+	} {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	return h.Sum64()
 }
 
 // DefaultAutocorr returns the paper's tuning.

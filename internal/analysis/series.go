@@ -52,6 +52,22 @@ func (s *BinSeries) Observe(t time.Time, v float64) {
 	}
 }
 
+// ObserveNanos folds one sample given as a Unix-nanosecond timestamp
+// into its bin, keeping the minimum. It is the allocation-free fast
+// path the serving tier uses when filling a series from a columnar
+// tsdb.SeriesView, where timestamps are already int64 nanoseconds.
+func (s *BinSeries) ObserveNanos(ns int64, v float64) {
+	// Same truncating division as Observe/IndexOf, so the two paths bin
+	// every sample — including pre-Start edge cases — identically.
+	idx := int((ns - s.Start.UnixNano()) / int64(s.Interval))
+	if idx < 0 || idx >= len(s.Values) {
+		return
+	}
+	if math.IsNaN(s.Values[idx]) || v < s.Values[idx] {
+		s.Values[idx] = v
+	}
+}
+
 // IndexOf returns the bin index containing t (possibly out of range).
 func (s *BinSeries) IndexOf(t time.Time) int {
 	return int(t.Sub(s.Start) / s.Interval)

@@ -9,55 +9,199 @@
 //	GET /api/v1/query?m=<meas>&from=<rfc3339>&to=<rfc3339>&<tagK>=<tagV>...
 //	GET /api/v1/congestion?m=tslp&link=...&vp=...&from=...&days=N
 //	     run the autocorrelation pipeline over stored TSLP data
+//	GET /api/v1/stats                        cache + endpoint metrics
 //	GET /healthz
+//
+// The read path is versioned (docs/SERVING.md): query and congestion
+// responses are computed from zero-copy tsdb views, memoized in an
+// internal/readcache keyed by the contributing series' write-versions,
+// and concurrent identical requests coalesce onto one computation — so
+// repeat traffic against an unchanged store serves cached bytes and a
+// write to any contributing series invalidates exactly the affected
+// results.
 package api
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"interdomain/internal/analysis"
+	"interdomain/internal/pipeline"
+	"interdomain/internal/readcache"
 	"interdomain/internal/tsdb"
 )
 
 // Server wires the store into an http.Handler.
 type Server struct {
-	DB  *tsdb.DB
-	mux *http.ServeMux
+	// DB is the store the server reads from.
+	DB *tsdb.DB
+
+	mux   *http.ServeMux
+	cache *readcache.Cache
+	pool  *pipeline.Pool
+	met   *metrics
+	// computes counts actual detector runs behind /api/v1/congestion;
+	// with coalescing and caching it grows strictly slower than the
+	// request count, and the stats endpoint exposes it so tests (and
+	// operators) can verify that.
+	computes atomic.Uint64
+
+	closeOnce sync.Once
 }
 
-// New returns a server over db.
-func New(db *tsdb.DB) *Server {
-	s := &Server{DB: db, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/api/v1/measurements", s.handleMeasurements)
-	s.mux.HandleFunc("/api/v1/tags", s.handleTags)
-	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
-	s.mux.HandleFunc("/api/v1/congestion", s.handleCongestion)
-	s.mux.HandleFunc(dashboardPath, s.handleDashboard)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+// Option customizes New.
+type Option func(*serverConfig)
+
+type serverConfig struct {
+	cacheSize int
+	workers   int
+}
+
+// WithCacheSize bounds the read cache to n entries (<= 0 keeps the
+// readcache default).
+func WithCacheSize(n int) Option {
+	return func(c *serverConfig) { c.cacheSize = n }
+}
+
+// WithWorkers sets the worker count of the pool the dashboard's
+// per-link index analyses fan out on (<= 0 means one per CPU).
+func WithWorkers(n int) Option {
+	return func(c *serverConfig) { c.workers = n }
+}
+
+// New returns a server over db. Callers that create servers in a loop
+// should Close them to release the analysis worker pool.
+func New(db *tsdb.DB, opts ...Option) *Server {
+	var cfg serverConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := &Server{
+		DB:    db,
+		mux:   http.NewServeMux(),
+		cache: readcache.New(cfg.cacheSize),
+		pool:  pipeline.NewPool(cfg.workers),
+		met:   newMetrics(),
+	}
+	s.handle("/api/v1/measurements", "measurements", s.handleMeasurements)
+	s.handle("/api/v1/tags", "tags", s.handleTags)
+	s.handle("/api/v1/query", "query", s.handleQuery)
+	s.handle("/api/v1/congestion", "congestion", s.handleCongestion)
+	s.handle("/api/v1/stats", "stats", s.handleStats)
+	s.handle(dashboardPath, "dashboard", s.handleDashboard)
+	s.handle("/healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
 	return s
 }
 
+// handle registers a handler wrapped with per-endpoint request counting
+// and latency observation (docs/SERVING.md §4).
+func (s *Server) handle(pattern, name string, h http.HandlerFunc) {
+	em := s.met.endpoint(name)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		em.observe(time.Since(t0), sw.code)
+	})
+}
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Close releases the server's worker pool. The server must not serve
+// requests after Close.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { s.pool.Close() })
+}
+
+// CacheStats returns the read cache's counters; benchmarks and tests
+// use it alongside /api/v1/stats.
+func (s *Server) CacheStats() readcache.Stats { return s.cache.Stats() }
+
+// PurgeCache drops every cached read-path result. Benchmarks use it to
+// measure the cold path on a warm process.
+func (s *Server) PurgeCache() { s.cache.Purge() }
+
+// CongestionComputes reports how many detector runs the congestion
+// endpoint has actually executed (as opposed to served from cache or a
+// coalesced flight).
+func (s *Server) CongestionComputes() uint64 { return s.computes.Load() }
+
+// bufPool recycles encode buffers across requests so steady-state
+// serving does not grow a fresh buffer per response.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeJSON encodes v into a pooled buffer first and only then touches
+// the ResponseWriter: an encoding failure yields a clean 500 instead of
+// an error body trailing a 200 header and half-written JSON.
 func writeJSON(w http.ResponseWriter, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(v); err != nil {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+}
+
+// encodeBody marshals v exactly like writeJSON (trailing newline
+// included) into a standalone byte slice the cache can hold.
+func encodeBody(v interface{}) ([]byte, error) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	defer bufPool.Put(buf)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// writeJSONBody writes an already-encoded JSON body.
+func writeJSONBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// statusError carries an HTTP status code out of a cached computation;
+// the handler unwraps it into httpError. Never cached (readcache drops
+// errored computations), so an error response is recomputed — and may
+// succeed — on the next request.
+type statusError struct {
+	code int
+	msg  string
+}
+
+// Error returns the message.
+func (e statusError) Error() string { return e.msg }
+
+// writeComputeError renders an error coming out of cache.Do.
+func writeComputeError(w http.ResponseWriter, err error) {
+	var se statusError
+	if errors.As(err, &se) {
+		httpError(w, se.code, "%s", se.Error())
+		return
+	}
+	httpError(w, http.StatusInternalServerError, "%v", err)
 }
 
 func (s *Server) handleMeasurements(w http.ResponseWriter, r *http.Request) {
@@ -108,16 +252,39 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			filter[k] = vs[0]
 		}
 	}
-	var out []QuerySeries
-	for _, series := range s.DB.Query(m, filter, from, to) {
-		qs := QuerySeries{Tags: series.Tags}
-		for _, p := range series.Points {
-			qs.Times = append(qs.Times, p.Time)
-			qs.Values = append(qs.Values, p.Value)
-		}
-		out = append(out, qs)
+	key := readcache.Key{
+		Kind:  "query",
+		ID:    tsdb.Key(m, filter),
+		From:  from.UnixNano(),
+		To:    to.UnixNano(),
+		Stamp: s.DB.ViewStamp(m, filter),
 	}
-	writeJSON(w, map[string]interface{}{"series": out})
+	v, _, err := s.cache.Do(key, func() (any, error) {
+		views := s.DB.QueryView(m, filter, from, to)
+		var out []QuerySeries
+		if len(views) > 0 {
+			out = make([]QuerySeries, 0, len(views))
+		}
+		for _, view := range views {
+			qs := QuerySeries{
+				Tags: view.Tags,
+				// Filled by index into exact-size slices; Values aliases
+				// the store's immutable columnar snapshot (zero-copy).
+				Times:  make([]time.Time, len(view.Times)),
+				Values: view.Values,
+			}
+			for i, ns := range view.Times {
+				qs.Times[i] = time.Unix(0, ns).UTC()
+			}
+			out = append(out, qs)
+		}
+		return encodeBody(map[string]interface{}{"series": out})
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeJSONBody(w, v.([]byte))
 }
 
 // CongestionResponse reports the autocorrelation analysis over stored TSLP
@@ -133,6 +300,26 @@ type DayJSON struct {
 	Day       string  `json:"day"`
 	Congested bool    `json:"congested"`
 	Fraction  float64 `json:"fraction"`
+}
+
+// congestionEntry is one memoized congestion analysis: the detector
+// result, the far/near series it was computed from, and the response
+// body served to repeat requests.
+type congestionEntry struct {
+	result    *analysis.AutocorrResult
+	far, near *analysis.BinSeries
+	body      []byte
+}
+
+// congestionFilter is the tag filter selecting every series that
+// contributes to a congestion analysis of (link, vp): both sides, one
+// vp or all of them. Its ViewStamp is the cache-invalidation handle.
+func congestionFilter(link, vp string) map[string]string {
+	f := map[string]string{"link": link}
+	if vp != "" {
+		f["vp"] = vp
+	}
+	return f
 }
 
 func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
@@ -157,8 +344,33 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg := analysis.DefaultAutocorr()
 	cfg.WindowDays = days
+
+	key := readcache.Key{
+		Kind:    "congestion",
+		ID:      link + "\x00" + vp,
+		From:    from.UnixNano(),
+		Days:    days,
+		CfgHash: cfg.Hash(),
+		Stamp:   s.DB.ViewStamp("tslp", congestionFilter(link, vp)),
+	}
+	v, _, err := s.cache.Do(key, func() (any, error) {
+		return s.computeCongestion(link, vp, from, cfg)
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	writeJSONBody(w, v.(*congestionEntry).body)
+}
+
+// computeCongestion runs the full detector for one (link, vp, from,
+// cfg) request: it builds the far/near min-filtered series from
+// zero-copy store views and runs the §4.2 autocorrelation. Exactly the
+// work the cache and coalescing exist to avoid repeating.
+func (s *Server) computeCongestion(link, vp string, from time.Time, cfg analysis.AutocorrConfig) (*congestionEntry, error) {
+	s.computes.Add(1)
 	bin := 24 * time.Hour / time.Duration(cfg.BinsPerDay)
-	n := days * cfg.BinsPerDay
+	n := cfg.WindowDays * cfg.BinsPerDay
 	to := from.Add(time.Duration(n) * bin)
 
 	build := func(side string) *analysis.BinSeries {
@@ -167,9 +379,9 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
 		if vp != "" {
 			filter["vp"] = vp
 		}
-		for _, ser := range s.DB.Query("tslp", filter, from, to) {
-			for _, p := range ser.Points {
-				series.Observe(p.Time, p.Value)
+		for _, view := range s.DB.QueryView("tslp", filter, from, to) {
+			for i, ns := range view.Times {
+				series.ObserveNanos(ns, view.Values[i])
 			}
 		}
 		return series
@@ -177,10 +389,10 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
 	far, near := build("far"), build("near")
 	res, err := analysis.Autocorrelation(far, near, cfg)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "analysis: %v", err)
-		return
+		return nil, statusError{http.StatusUnprocessableEntity, fmt.Sprintf("analysis: %v", err)}
 	}
 	resp := CongestionResponse{Recurring: res.Recurring, Reject: res.RejectReason}
+	resp.Days = make([]DayJSON, 0, len(res.Days))
 	for _, d := range res.Days {
 		resp.Days = append(resp.Days, DayJSON{
 			Day:       d.Day.Format("2006-01-02"),
@@ -188,5 +400,33 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
 			Fraction:  d.Fraction,
 		})
 	}
-	writeJSON(w, resp)
+	body, err := encodeBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	return &congestionEntry{result: res, far: far, near: near, body: body}, nil
+}
+
+// StatsResponse is the /api/v1/stats payload: read-cache counters,
+// detector-run count, the store's modification counter, and
+// per-endpoint request metrics (docs/SERVING.md §4).
+type StatsResponse struct {
+	// Cache holds the read cache's hit/miss/eviction/coalesce counters.
+	Cache readcache.Stats `json:"cache"`
+	// CongestionComputes counts actual detector runs (cache misses that
+	// executed, not coalesced joiners).
+	CongestionComputes uint64 `json:"congestion_computes"`
+	// StoreVersion is tsdb.StoreVersion: moves on every store mutation.
+	StoreVersion uint64 `json:"store_version"`
+	// Endpoints maps endpoint name to its request metrics.
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, StatsResponse{
+		Cache:              s.cache.Stats(),
+		CongestionComputes: s.computes.Load(),
+		StoreVersion:       s.DB.StoreVersion(),
+		Endpoints:          s.met.snapshot(),
+	})
 }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -15,11 +16,18 @@ import (
 )
 
 func newServer(t *testing.T) (*httptest.Server, *tsdb.DB) {
+	ts, db, _ := newServerAPI(t)
+	return ts, db
+}
+
+func newServerAPI(t *testing.T) (*httptest.Server, *tsdb.DB, *api.Server) {
 	t.Helper()
 	db := tsdb.Open()
-	ts := httptest.NewServer(api.New(db))
+	srv := api.New(db, api.WithCacheSize(128), api.WithWorkers(2))
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return ts, db
+	return ts, db, srv
 }
 
 func getJSON(t *testing.T, url string, out interface{}) int {
@@ -206,5 +214,214 @@ func TestCongestionEndpoint(t *testing.T) {
 	}
 	if code := getJSON(t, ts.URL+"/api/v1/congestion?from=bad", nil); code != 400 {
 		t.Fatalf("missing link should 400, got %d", code)
+	}
+}
+
+// seedCongestion writes `days` days of far/near TSLP for link L from vp v
+// with a daily evening plateau, so the autocorrelation detector fires.
+func seedCongestion(db *tsdb.DB, days int) {
+	rng := netsim.NewRNG(5)
+	for d := 0; d < days; d++ {
+		for b := 0; b < 96; b++ {
+			at := netsim.Day(d).Add(time.Duration(b) * 15 * time.Minute)
+			far := 20 + rng.Float64()
+			if b >= 80 && b < 90 {
+				far += 30
+			}
+			db.Write("tslp", map[string]string{"vp": "v", "link": "L", "side": "far"}, at, far)
+			db.Write("tslp", map[string]string{"vp": "v", "link": "L", "side": "near"}, at, 5+rng.Float64())
+		}
+	}
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, readAll(t, resp)
+}
+
+// TestCongestionCacheServesAndInvalidates checks the three cache
+// properties the serving tier promises: repeat requests against an
+// unchanged store are byte-identical and run the detector once; a write
+// to a contributing series invalidates the entry (no stale serve); a
+// write to an unrelated series does not.
+func TestCongestionCacheServesAndInvalidates(t *testing.T) {
+	ts, db, srv := newServerAPI(t)
+	seedCongestion(db, 50)
+	url := fmt.Sprintf("%s/api/v1/congestion?link=L&vp=v&from=%s&days=50",
+		ts.URL, netsim.Epoch.Format(time.RFC3339))
+
+	code, body1 := getBody(t, url)
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body1)
+	}
+	code, body2 := getBody(t, url)
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if body1 != body2 {
+		t.Fatal("cached response not byte-identical to uncached")
+	}
+	if got := srv.CongestionComputes(); got != 1 {
+		t.Fatalf("computes = %d after repeat request, want 1", got)
+	}
+	if st := srv.CacheStats(); st.Hits == 0 {
+		t.Fatalf("no cache hit recorded: %+v", st)
+	}
+
+	// A write to an unrelated link must not invalidate the entry.
+	db.Write("tslp", map[string]string{"vp": "v", "link": "other", "side": "far"}, netsim.Day(1), 99)
+	if _, body := getBody(t, url); body != body1 {
+		t.Fatal("unrelated write changed the response")
+	}
+	if got := srv.CongestionComputes(); got != 1 {
+		t.Fatalf("computes = %d after unrelated write, want 1", got)
+	}
+
+	// New points for the cached link: the next response must reflect
+	// them, not a stale cache entry. Flood day 10 with a plateau-sized
+	// floor so its minimum filter output (and classification) changes.
+	for b := 0; b < 96; b++ {
+		at := netsim.Day(10).Add(time.Duration(b) * 15 * time.Minute)
+		db.Write("tslp", map[string]string{"vp": "v", "link": "L", "side": "far"}, at, 0.001)
+	}
+	code, body3 := getBody(t, url)
+	if code != 200 {
+		t.Fatalf("status %d after write", code)
+	}
+	if body3 == body1 {
+		t.Fatal("stale cached response served after writes to the link")
+	}
+	if got := srv.CongestionComputes(); got != 2 {
+		t.Fatalf("computes = %d after invalidating write, want 2", got)
+	}
+
+	// PurgeCache drops every entry: the same request recomputes.
+	srv.PurgeCache()
+	if _, body := getBody(t, url); body != body3 {
+		t.Fatal("recompute after purge changed the response")
+	}
+	if got := srv.CongestionComputes(); got != 3 {
+		t.Fatalf("computes = %d after purge, want 3", got)
+	}
+}
+
+// TestCongestionCoalescing proves (under -race) that concurrent
+// identical requests coalesce onto a single detector run and all see the
+// same bytes.
+func TestCongestionCoalescing(t *testing.T) {
+	ts, db, srv := newServerAPI(t)
+	seedCongestion(db, 50)
+	url := fmt.Sprintf("%s/api/v1/congestion?link=L&vp=v&from=%s&days=50",
+		ts.URL, netsim.Epoch.Format(time.RFC3339))
+
+	const clients = 16
+	bodies := make([]string, clients)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if resp.StatusCode != 200 {
+				t.Errorf("status %d", resp.StatusCode)
+			}
+			bodies[i] = readAll(t, resp)
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	if got := srv.CongestionComputes(); got != 1 {
+		t.Fatalf("detector ran %d times for %d concurrent identical requests, want 1", got, clients)
+	}
+	for i := 1; i < clients; i++ {
+		if bodies[i] != bodies[0] {
+			t.Fatalf("client %d saw different bytes", i)
+		}
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts, db := newServer(t)
+	seedCongestion(db, 50)
+	url := fmt.Sprintf("%s/api/v1/congestion?link=L&vp=v&from=%s&days=50",
+		ts.URL, netsim.Epoch.Format(time.RFC3339))
+	for i := 0; i < 2; i++ {
+		if code, _ := getBody(t, url); code != 200 {
+			t.Fatalf("status %d", code)
+		}
+	}
+	var out api.StatsResponse
+	if code := getJSON(t, ts.URL+"/api/v1/stats", &out); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	if out.CongestionComputes != 1 {
+		t.Fatalf("congestion_computes = %d, want 1", out.CongestionComputes)
+	}
+	if out.Cache.Hits == 0 || out.Cache.Misses == 0 {
+		t.Fatalf("cache counters not populated: %+v", out.Cache)
+	}
+	if out.StoreVersion == 0 {
+		t.Fatal("store_version = 0 after writes")
+	}
+	em, ok := out.Endpoints["congestion"]
+	if !ok || em.Count != 2 {
+		t.Fatalf("endpoint metrics for congestion: %+v (ok=%v)", em, ok)
+	}
+	total := uint64(0)
+	for _, b := range em.LatencyMs {
+		total += b.Count
+	}
+	if total != em.Count {
+		t.Fatalf("histogram counts %d != request count %d", total, em.Count)
+	}
+}
+
+// TestQueryCacheInvalidation checks the /api/v1/query read path: repeat
+// requests are byte-identical, and a write inside the queried series
+// shows up on the next request.
+func TestQueryCacheInvalidation(t *testing.T) {
+	ts, db := newServer(t)
+	for i := 0; i < 10; i++ {
+		db.Write("tslp", map[string]string{"vp": "a", "side": "far"}, netsim.Epoch.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+	url := fmt.Sprintf("%s/api/v1/query?m=tslp&from=%s&to=%s&vp=a", ts.URL,
+		netsim.Epoch.Format(time.RFC3339),
+		netsim.Epoch.Add(time.Hour).Format(time.RFC3339))
+
+	_, body1 := getBody(t, url)
+	if _, body2 := getBody(t, url); body2 != body1 {
+		t.Fatal("cached query response differs")
+	}
+	db.Write("tslp", map[string]string{"vp": "a", "side": "far"}, netsim.Epoch.Add(30*time.Minute), 123.5)
+	_, body3 := getBody(t, url)
+	if body3 == body1 {
+		t.Fatal("stale query served after write")
+	}
+	if !contains(body3, "123.5") {
+		t.Fatal("new point missing from response")
+	}
+}
+
+func TestDashboardIndexStatus(t *testing.T) {
+	ts, db := newServer(t)
+	seedCongestion(db, 2)
+	resp, err := http.Get(ts.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if !contains(body, "coverage") || !contains(body, "episode") {
+		t.Fatalf("index missing per-link status: %s", body)
 	}
 }

@@ -10,13 +10,17 @@ import (
 	"time"
 
 	"interdomain/internal/analysis"
+	"interdomain/internal/readcache"
 )
 
 // This file provides the visualization front-end of the system (the
 // Grafana role in §3): /dashboard renders an HTML page with an inline SVG
 // of a link's far/near latency series and, when enough data exists, the
 // inferred recurring-congestion windows shaded — the same presentation as
-// the paper's Figures 3 and 6.
+// the paper's Figures 3 and 6. Rendered pages are memoized in the read
+// cache keyed by the link's series versions, and the link index fans its
+// per-link status analyses out on the server's worker pool
+// (docs/SERVING.md §3).
 
 const dashboardPath = "/dashboard"
 
@@ -41,6 +45,27 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	key := readcache.Key{
+		Kind:  "dashboard",
+		ID:    link + "\x00" + vp,
+		From:  from.UnixNano(),
+		Days:  days,
+		Stamp: s.DB.ViewStamp("tslp", congestionFilter(link, vp)),
+	}
+	v, _, err := s.cache.Do(key, func() (any, error) {
+		return s.renderLinkPage(link, vp, from, days)
+	})
+	if err != nil {
+		writeComputeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write(v.([]byte))
+}
+
+// renderLinkPage builds one link's dashboard HTML: far/near series from
+// zero-copy store views, level-shift episode shading, inline SVG.
+func (s *Server) renderLinkPage(link, vp string, from time.Time, days int) ([]byte, error) {
 	bin := 15 * time.Minute
 	n := days * 96
 	to := from.Add(time.Duration(n) * bin)
@@ -50,17 +75,16 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		if vp != "" {
 			filter["vp"] = vp
 		}
-		for _, ser := range s.DB.Query("tslp", filter, from, to) {
-			for _, p := range ser.Points {
-				series.Observe(p.Time, p.Value)
+		for _, view := range s.DB.QueryView("tslp", filter, from, to) {
+			for i, ns := range view.Times {
+				series.ObserveNanos(ns, view.Values[i])
 			}
 		}
 		return series
 	}
 	far, near := build("far"), build("near")
 	if far.Coverage() == 0 {
-		httpError(w, http.StatusNotFound, "no TSLP data for link %q in range", link)
-		return
+		return nil, statusError{http.StatusNotFound, fmt.Sprintf("no TSLP data for link %q in range", link)}
 	}
 
 	// Congestion shading via the level-shift detector (works on short
@@ -72,23 +96,105 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		From: from.Format("2006-01-02 15:04"), Days: days,
 		SVG: template.HTML(renderSVG(far, near, shifts.Episodes, from, bin)),
 	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if err := dashboardTmpl.Execute(w, page); err != nil {
-		httpError(w, http.StatusInternalServerError, "render: %v", err)
+	var b strings.Builder
+	if err := dashboardTmpl.Execute(&b, page); err != nil {
+		return nil, statusError{http.StatusInternalServerError, fmt.Sprintf("render: %v", err)}
 	}
+	return []byte(b.String()), nil
 }
 
+// linkStatus is one link's row in the index: a cheap analysis over the
+// link's most recent day of data.
+type linkStatus struct {
+	// Link is the link id.
+	Link string
+	// HasData reports whether any TSLP point exists for the link.
+	HasData bool
+	// Coverage is the fraction of the last day's 15-minute bins with
+	// far-side data.
+	Coverage float64
+	// Episodes is the number of level-shift congestion episodes
+	// detected in the last day.
+	Episodes int
+	// Through is the timestamp of the link's newest point.
+	Through time.Time
+}
+
+// renderLinkIndex lists every link with TSLP data together with a
+// status badge — coverage and level-shift episodes over the link's most
+// recent day. The per-link analyses are independent, so they fan out on
+// the server's worker pool, and each is memoized keyed by the link's
+// series versions: an index render against an unchanged store costs one
+// cache lookup per link.
 func (s *Server) renderLinkIndex(w http.ResponseWriter) {
 	links := s.DB.TagValues("tslp", "link")
+	statuses := make([]linkStatus, len(links))
+	jobs := make([]func(), len(links))
+	for i, l := range links {
+		i, l := i, l
+		jobs[i] = func() { statuses[i] = s.linkStatusCached(l) }
+	}
+	s.pool.Do(jobs...)
+
 	var b strings.Builder
 	b.WriteString("<!doctype html><title>interdomain links</title><h1>Links with TSLP data</h1><ul>")
-	for _, l := range links {
-		fmt.Fprintf(&b, `<li><a href="%s?link=%s&from=2016-03-01T00:00:00Z&days=1">%s</a></li>`,
-			dashboardPath, template.URLQueryEscaper(l), template.HTMLEscapeString(l))
+	for _, st := range statuses {
+		fmt.Fprintf(&b, `<li><a href="%s?link=%s&from=2016-03-01T00:00:00Z&days=1">%s</a>`,
+			dashboardPath, template.URLQueryEscaper(st.Link), template.HTMLEscapeString(st.Link))
+		if st.HasData {
+			fmt.Fprintf(&b, ` — last day: %.0f%% coverage, %d congestion episode(s), data through %s`,
+				100*st.Coverage, st.Episodes, st.Through.UTC().Format("2006-01-02 15:04"))
+		}
+		b.WriteString("</li>")
 	}
 	b.WriteString("</ul>")
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprint(w, b.String())
+}
+
+// linkStatusCached computes (or serves from cache) one link's index
+// status.
+func (s *Server) linkStatusCached(link string) linkStatus {
+	filter := map[string]string{"link": link}
+	key := readcache.Key{
+		Kind:  "linkstatus",
+		ID:    link,
+		Stamp: s.DB.ViewStamp("tslp", filter),
+	}
+	v, _, err := s.cache.Do(key, func() (any, error) {
+		return s.computeLinkStatus(link), nil
+	})
+	if err != nil {
+		return linkStatus{Link: link}
+	}
+	return v.(linkStatus)
+}
+
+// computeLinkStatus analyzes the link's most recent day: far-side
+// coverage at 15-minute bins and level-shift episodes.
+func (s *Server) computeLinkStatus(link string) linkStatus {
+	st := linkStatus{Link: link}
+	_, max, ok := s.DB.TimeBounds("tslp", map[string]string{"link": link})
+	if !ok {
+		return st
+	}
+	st.HasData, st.Through = true, max
+	const bin = 15 * time.Minute
+	// The day ending at the newest point, bin-aligned so repeated
+	// renders of an unchanged store bin identically.
+	end := max.Truncate(bin).Add(bin)
+	start := end.Add(-24 * time.Hour)
+	series := analysis.NewBinSeries(start, bin, 96)
+	for _, view := range s.DB.QueryView("tslp", map[string]string{"link": link, "side": "far"}, start, end) {
+		for i, ns := range view.Times {
+			series.ObserveNanos(ns, view.Values[i])
+		}
+	}
+	st.Coverage = series.Coverage()
+	if st.Coverage > 0 {
+		st.Episodes = len(analysis.DetectLevelShifts(series, analysis.DefaultLevelShift()).Episodes)
+	}
+	return st
 }
 
 type dashboardData struct {

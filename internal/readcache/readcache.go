@@ -1,0 +1,230 @@
+// Package readcache memoizes the serving tier's expensive read-path
+// computations — the autocorrelation detector runs, query encodings and
+// dashboard renderings internal/api serves — keyed by the request's
+// parameters plus a tsdb.ViewStamp, so a result is computed once per
+// data epoch and reused until any contributing series' write-version
+// moves (docs/SERVING.md §2-§3).
+//
+// The cache is a bounded LRU with singleflight request coalescing:
+// concurrent lookups of the same key share one in-flight computation
+// instead of racing N detector runs, the way the paper's InfluxDB/
+// Grafana backend relies on Grafana's query result cache to survive
+// dashboard fan-in. Hit, miss, eviction and coalesce counters are
+// exposed for the /api/v1/stats endpoint.
+package readcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Key identifies one memoizable read-path computation. It is a plain
+// comparable struct so it can index a map directly; the zero value of
+// unused fields is fine (a query result has no Days, a congestion run
+// no To).
+type Key struct {
+	// Kind discriminates the endpoint ("congestion", "query",
+	// "dashboard", ...), keeping keys from different handlers disjoint.
+	Kind string
+	// ID is the canonical request identity within the kind: the
+	// link\x00vp pair for congestion, the canonical tsdb series key for
+	// queries.
+	ID string
+	// From and To bound the request's time range in Unix nanoseconds.
+	From, To int64
+	// Days is the congestion analysis window length.
+	Days int
+	// CfgHash fingerprints the analysis configuration
+	// (analysis.AutocorrConfig.Hash), so a retuned detector never
+	// serves results computed under the old tuning.
+	CfgHash uint64
+	// Stamp is the tsdb.ViewStamp over the request's contributing
+	// series. A write to any of them moves the stamp, making the next
+	// lookup miss — this field alone carries cache invalidation.
+	Stamp uint64
+}
+
+// Stats is a point-in-time snapshot of the cache's counters.
+type Stats struct {
+	// Hits counts lookups served from a stored entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that ran the compute function.
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Coalesced counts lookups that joined another caller's in-flight
+	// computation instead of starting their own.
+	Coalesced uint64 `json:"coalesced"`
+	// Entries is the current number of stored entries.
+	Entries int `json:"entries"`
+}
+
+// DefaultMaxEntries bounds the cache when New is given n <= 0. Sized
+// for a dashboard fleet: hundreds of (link, vp, window) combinations,
+// each entry a few hundred KB of detector output at paper scale.
+const DefaultMaxEntries = 256
+
+// flight is one in-flight computation other callers can wait on.
+type flight struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// entry is one stored result.
+type entry struct {
+	key Key
+	val any
+}
+
+// Cache is a bounded LRU memo table with singleflight coalescing. The
+// zero value is not usable; call New.
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used; values are *entry
+	entries map[Key]*list.Element
+	inFly   map[Key]*flight
+
+	hits, misses, evictions, coalesced uint64
+}
+
+// New returns an empty cache bounded to max entries (<= 0 means
+// DefaultMaxEntries).
+func New(max int) *Cache {
+	if max <= 0 {
+		max = DefaultMaxEntries
+	}
+	return &Cache{
+		max:     max,
+		ll:      list.New(),
+		entries: make(map[Key]*list.Element),
+		inFly:   make(map[Key]*flight),
+	}
+}
+
+// Do returns the cached value for key, or runs compute to produce it.
+// Concurrent Do calls with the same key coalesce: exactly one runs
+// compute, the rest block and share its result (hit=true for them, and
+// for lookups served from the store). Errors are returned to every
+// coalesced caller but never cached — the next lookup recomputes.
+// compute runs without the cache lock held, so unrelated keys never
+// serialize on one slow computation.
+func (c *Cache) Do(key Key, compute func() (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		val = el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, true, nil
+	}
+	if f, ok := c.inFly[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		f.wg.Wait()
+		return f.val, true, f.err
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	c.inFly[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	// Release waiters and clear the flight even if compute panics, so a
+	// panicking handler cannot deadlock every coalesced request behind
+	// it; the panic itself propagates on this caller after the flight
+	// is torn down.
+	defer func() {
+		r := recover()
+		if r != nil {
+			f.err = errPanicked
+		}
+		c.mu.Lock()
+		delete(c.inFly, key)
+		if f.err == nil {
+			c.storeLocked(key, f.val)
+		}
+		c.mu.Unlock()
+		f.wg.Done()
+		if r != nil {
+			panic(r)
+		}
+	}()
+	f.val, f.err = compute()
+	return f.val, false, f.err
+}
+
+// errPanicked is handed to coalesced waiters whose leader panicked.
+var errPanicked = panicError{}
+
+// panicError is the error coalesced waiters receive when the computing
+// caller panicked; the panic itself propagates on the leader.
+type panicError struct{}
+
+// Error describes the failure.
+func (panicError) Error() string { return "readcache: coalesced computation panicked" }
+
+// storeLocked inserts a computed value, evicting from the LRU tail when
+// over the bound. The caller must hold c.mu.
+func (c *Cache) storeLocked(key Key, val any) {
+	if el, ok := c.entries[key]; ok {
+		// A concurrent writer (same key, different flight epoch) beat
+		// us; refresh rather than duplicate.
+		el.Value.(*entry).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&entry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.entries, tail.Value.(*entry).key)
+		c.evictions++
+	}
+}
+
+// Get returns the cached value for key without computing, for tests and
+// introspection. It counts as a hit or miss like Do.
+func (c *Cache) Get(key Key) (val any, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).val, true
+}
+
+// Purge drops every stored entry (in-flight computations are
+// unaffected) without touching the hit/miss counters. Benchmarks use it
+// to measure the cold path on a warm process.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.entries = make(map[Key]*list.Element)
+}
+
+// Len returns the number of stored entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Coalesced: c.coalesced,
+		Entries:   c.ll.Len(),
+	}
+}

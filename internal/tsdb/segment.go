@@ -611,6 +611,10 @@ func (db *DB) RestoreDir(dir string, opts DirOptions) error {
 	db.window = time.Duration(m.WindowNanos)
 	db.snapDir = dir
 	db.snapGen = m.Generation
+	// Like the stream Restore: the decoded series restart at version
+	// zero, so the epoch must move for ViewStamp to notice the
+	// replacement (docs/SERVING.md §2).
+	db.epoch++
 	return nil
 }
 

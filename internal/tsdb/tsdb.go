@@ -37,6 +37,17 @@ type Series struct {
 	Measurement string
 	Tags        map[string]string
 	Points      []Point
+
+	// version counts mutations of Points since the series was created
+	// (or since the whole store was last replaced). It is the unit the
+	// versioned read path is built on: QueryView captures it into each
+	// view and ViewStamp folds it into the cache-invalidation stamp
+	// (docs/SERVING.md §2). Unexported so the gob snapshot formats are
+	// unchanged.
+	version uint64
+	// col is the lazily built columnar snapshot of Points at
+	// col.version; see view.go. Unexported for the same reason.
+	col *colSeries
 }
 
 // Key returns the canonical series key: measurement plus sorted tags.
@@ -71,6 +82,9 @@ type shard struct {
 	// SnapshotDir; incremental snapshots rewrite exactly these. Guarded
 	// by mu; nil until the first write after a snapshot.
 	dirty map[int64]struct{}
+	// version counts mutations of any series in the shard; it moves in
+	// lockstep with the per-series versions. Guarded by mu.
+	version uint64
 }
 
 // DB is the store.
@@ -101,6 +115,13 @@ type DB struct {
 	// is read without a lock on the write path, so it must not change
 	// while the store is shared.
 	floor time.Time
+
+	// epoch counts whole-store replacements (Restore, RestoreDir).
+	// Per-series versions restart from zero after a restore, so the
+	// epoch is folded into every ViewStamp to keep stamps from before
+	// and after a replacement distinct (docs/SERVING.md §2). Guarded by
+	// the global lock (written only under the exclusive lock).
+	epoch uint64
 }
 
 // shardFor routes a series key to its shard (FNV-1a).
@@ -317,7 +338,10 @@ func (db *DB) Write(measurement string, tags map[string]string, t time.Time, v f
 	sh := &db.shards[shardFor(key)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	insertPoint(db.getOrCreate(sh, key, measurement, tags), t, v)
+	s := db.getOrCreate(sh, key, measurement, tags)
+	insertPoint(s, t, v)
+	s.version++
+	sh.version++
 	db.markDirtyLocked(sh, t)
 }
 
@@ -359,7 +383,10 @@ func (db *DB) WriteBatch(points []BatchPoint) {
 		sh.mu.Lock()
 		for _, i := range byShard[si] {
 			p := points[i]
-			insertPoint(db.getOrCreate(sh, keys[i], p.Measurement, p.Tags), p.Time, p.Value)
+			s := db.getOrCreate(sh, keys[i], p.Measurement, p.Tags)
+			insertPoint(s, p.Time, p.Value)
+			s.version++
+			sh.version++
 			db.markDirtyLocked(sh, p.Time)
 		}
 		sh.mu.Unlock()
@@ -617,6 +644,12 @@ func (db *DB) Retain(from, to time.Time) int {
 			lo := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(from) })
 			hi := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(to) })
 			dropped += len(s.Points) - (hi - lo)
+			if hi-lo < len(s.Points) {
+				// The series loses points: its version must move so
+				// cached views over it invalidate (docs/SERVING.md §2).
+				s.version++
+				sh.version++
+			}
 			// Windows losing points must be rewritten (or deleted) by
 			// the next incremental snapshot.
 			for _, p := range s.Points[:lo] {
@@ -704,6 +737,9 @@ func (db *DB) Restore(r io.Reader) error {
 	// The stream format carries no window/generation bookkeeping, so a
 	// later incremental SnapshotDir must start from a full snapshot.
 	db.resetPersistenceLocked()
+	// Restored series restart at version zero; bumping the epoch keeps
+	// ViewStamps from before the restore distinct from stamps after it.
+	db.epoch++
 	return nil
 }
 

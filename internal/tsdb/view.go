@@ -1,0 +1,290 @@
+package tsdb
+
+// Versioned zero-copy read path (docs/SERVING.md §1-§2): QueryView
+// serves range reads as columnar views into per-series snapshots owned
+// by the store, instead of the Point-by-Point deep copies Query makes,
+// and ViewStamp condenses the versions of a filter's matching series
+// into one cache-invalidation stamp. Together they let the serving tier
+// (internal/readcache + internal/api) do O(changed-data) work per
+// request instead of O(full-detector).
+
+import (
+	"hash/fnv"
+	"sort"
+	"time"
+)
+
+// colSeries is one series' columnar snapshot: Points transposed into
+// parallel time/value arrays at a specific series version. A snapshot
+// is immutable once published — a later write builds a fresh one rather
+// than mutating this one — which is what makes handing its subslices to
+// callers safe without copying (docs/SERVING.md §1, validity contract).
+type colSeries struct {
+	version uint64
+	times   []int64
+	values  []float64
+}
+
+// colLocked returns the series' columnar snapshot for its current
+// version, building it if the cached one is stale. The caller must hold
+// the shard's write lock.
+func (s *Series) colLocked() *colSeries {
+	if s.col != nil && s.col.version == s.version {
+		return s.col
+	}
+	c := &colSeries{
+		version: s.version,
+		times:   make([]int64, len(s.Points)),
+		values:  make([]float64, len(s.Points)),
+	}
+	for i, p := range s.Points {
+		c.times[i] = p.Time.UnixNano()
+		c.values[i] = p.Value
+	}
+	s.col = c
+	return c
+}
+
+// colFreshLocked reports whether the series' columnar snapshot is
+// already current. The caller must hold the shard lock (read suffices).
+func (s *Series) colFreshLocked() bool {
+	return len(s.Points) == 0 || (s.col != nil && s.col.version == s.version)
+}
+
+// SeriesView is a copy-free columnar range view of one series: Times
+// (Unix nanoseconds, ascending) and Values are parallel subslices of a
+// store-owned immutable snapshot taken at Version.
+//
+// Validity contract (docs/SERVING.md §1):
+//
+//   - Times and Values are immutable. The store never writes into a
+//     published snapshot — a later Write/WriteBatch/Retain/Restore
+//     builds a new snapshot — so a view stays internally consistent for
+//     as long as the caller holds it, surviving any concurrent writes.
+//   - A view is a snapshot, not a live cursor: points written after
+//     QueryView returned are not visible through it. Re-query (or
+//     compare ViewStamp) to observe new data.
+//   - Tags is the store's own map, shared to avoid a per-series copy.
+//     It is never mutated after the series is created; callers must
+//     treat it as read-only.
+type SeriesView struct {
+	// Measurement is the series' measurement name.
+	Measurement string
+	// Tags is the store-owned tag set; read-only for callers.
+	Tags map[string]string
+	// Times holds the view's timestamps in Unix nanoseconds, ascending.
+	Times []int64
+	// Values holds one value per entry of Times.
+	Values []float64
+	// Version is the series' write-version the snapshot was taken at.
+	Version uint64
+}
+
+// Len returns the number of points in the view.
+func (v SeriesView) Len() int { return len(v.Times) }
+
+// QueryView returns, for every series of the measurement matching the
+// tag filter, a columnar view of the points within [from, to), in
+// canonical key order — the same series Query returns, without copying
+// any point data (see SeriesView for the validity contract). The first
+// view of a series after a write pays one O(points) transposition to
+// refresh that series' columnar snapshot; subsequent views of an
+// unchanged series only binary-search the range.
+func (db *DB) QueryView(measurement string, filter map[string]string, from, to time.Time) []SeriesView {
+	keys, ok := db.idx.candidates(measurement, filter)
+	if !ok {
+		return nil
+	}
+	var byShard [NumShards][]string
+	for _, k := range keys {
+		s := shardFor(k)
+		byShard[s] = append(byShard[s], k)
+	}
+	fromNs, toNs := from.UnixNano(), to.UnixNano()
+	var out []SeriesView
+	for si := range byShard {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		sh := &db.shards[si]
+		// Optimistic read-locked pass: if every matching series already
+		// has a fresh columnar snapshot (the steady state of a serving
+		// tier), views are built without ever taking the write lock.
+		sh.mu.RLock()
+		fresh := true
+		for _, k := range byShard[si] {
+			if s, ok := sh.series[k]; ok && s.matches(measurement, filter) && !s.colFreshLocked() {
+				fresh = false
+				break
+			}
+		}
+		if fresh {
+			out = appendViews(out, sh, byShard[si], measurement, filter, fromNs, toNs)
+			sh.mu.RUnlock()
+			continue
+		}
+		sh.mu.RUnlock()
+		// Some snapshot is stale: refresh under the write lock, then
+		// build the views in the same critical section.
+		sh.mu.Lock()
+		for _, k := range byShard[si] {
+			if s, ok := sh.series[k]; ok && s.matches(measurement, filter) && len(s.Points) > 0 {
+				s.colLocked()
+			}
+		}
+		out = appendViews(out, sh, byShard[si], measurement, filter, fromNs, toNs)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return Key(out[i].Measurement, out[i].Tags) < Key(out[j].Measurement, out[j].Tags)
+	})
+	return out
+}
+
+// appendViews slices each matching series' fresh columnar snapshot to
+// [fromNs, toNs) and appends the non-empty views. The caller must hold
+// the shard lock and have ensured every matching non-empty series has a
+// fresh snapshot.
+func appendViews(out []SeriesView, sh *shard, keys []string, measurement string, filter map[string]string, fromNs, toNs int64) []SeriesView {
+	for _, k := range keys {
+		s, ok := sh.series[k]
+		if !ok || !s.matches(measurement, filter) || len(s.Points) == 0 {
+			continue
+		}
+		c := s.col
+		lo := sort.Search(len(c.times), func(i int) bool { return c.times[i] >= fromNs })
+		hi := sort.Search(len(c.times), func(i int) bool { return c.times[i] >= toNs })
+		if lo >= hi {
+			continue
+		}
+		out = append(out, SeriesView{
+			Measurement: s.Measurement,
+			Tags:        s.Tags,
+			Times:       c.times[lo:hi],
+			Values:      c.values[lo:hi],
+			Version:     s.version,
+		})
+	}
+	return out
+}
+
+// ViewStamp condenses the identity and write-versions of every series
+// matching (measurement, filter) — plus the store epoch — into one
+// stamp. Two calls return the same stamp exactly when the matching
+// series set and each member's contents are unchanged in between: any
+// Write/WriteBatch/Staged-commit into a matching series, any Retain
+// that trims one, the creation or removal of a matching series, and any
+// whole-store Restore/RestoreDir all move the stamp. The serving tier
+// keys its memoized analysis results on it (docs/SERVING.md §2), so a
+// moved stamp is what invalidates a cached result. The stamp reads only
+// index postings and per-series version counters, never point data.
+func (db *DB) ViewStamp(measurement string, filter map[string]string) uint64 {
+	db.global.RLock()
+	epoch := db.epoch
+	db.global.RUnlock()
+	h := fnv.New64a()
+	var buf [8]byte
+	putUint64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (56 - 8*i))
+		}
+		h.Write(buf[:])
+	}
+	putUint64(epoch)
+
+	keys, ok := db.idx.candidates(measurement, filter)
+	if !ok {
+		return h.Sum64()
+	}
+	var byShard [NumShards][]string
+	for _, k := range keys {
+		s := shardFor(k)
+		byShard[s] = append(byShard[s], k)
+	}
+	// Per-series contributions are combined by XOR so the stamp is
+	// independent of map-iteration order without sorting keys.
+	var acc uint64
+	n := 0
+	for si := range byShard {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		sh := &db.shards[si]
+		sh.mu.RLock()
+		for _, k := range byShard[si] {
+			s, ok := sh.series[k]
+			if !ok || !s.matches(measurement, filter) {
+				continue
+			}
+			sub := fnv.New64a()
+			sub.Write([]byte(k))
+			var b [8]byte
+			for i := 0; i < 8; i++ {
+				b[i] = byte(s.version >> (56 - 8*i))
+			}
+			sub.Write(b[:])
+			acc ^= sub.Sum64()
+			n++
+		}
+		sh.mu.RUnlock()
+	}
+	putUint64(acc)
+	putUint64(uint64(n))
+	return h.Sum64()
+}
+
+// StoreVersion returns the sum of all shard write-versions plus the
+// store epoch: a cheap whole-store modification counter that moves on
+// every mutation anywhere. The serving tier reports it in /api/v1/stats
+// so operators can see at a glance whether a store is being written.
+func (db *DB) StoreVersion() uint64 {
+	db.global.RLock()
+	v := db.epoch
+	db.global.RUnlock()
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		v += sh.version
+		sh.mu.RUnlock()
+	}
+	return v
+}
+
+// TimeBounds returns the earliest and latest point timestamps across
+// every series matching (measurement, filter), or ok=false when no
+// matching series holds a point. The dashboard's link index uses it to
+// anchor per-link status analyses to the data actually present.
+func (db *DB) TimeBounds(measurement string, filter map[string]string) (min, max time.Time, ok bool) {
+	keys, found := db.idx.candidates(measurement, filter)
+	if !found {
+		return time.Time{}, time.Time{}, false
+	}
+	var byShard [NumShards][]string
+	for _, k := range keys {
+		s := shardFor(k)
+		byShard[s] = append(byShard[s], k)
+	}
+	for si := range byShard {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		sh := &db.shards[si]
+		sh.mu.RLock()
+		for _, k := range byShard[si] {
+			s, sok := sh.series[k]
+			if !sok || !s.matches(measurement, filter) || len(s.Points) == 0 {
+				continue
+			}
+			// Points are time-ordered: first and last bound the series.
+			if first := s.Points[0].Time; !ok || first.Before(min) {
+				min = first
+			}
+			if last := s.Points[len(s.Points)-1].Time; !ok || last.After(max) {
+				max = last
+			}
+			ok = true
+		}
+		sh.mu.RUnlock()
+	}
+	return min, max, ok
+}
