@@ -4,10 +4,24 @@
 // Usage:
 //
 //	apiserver -in snapshot.tsdb|datadir/ [-addr :8080] [-pidfile path]
+//	          [-follow http://leader:8081] [-tail-every 30s]
+//	          [-replica-addr :8081]
 //
 // -in accepts either a single-stream snapshot file or a segment
 // directory written by tslpd -datadir (docs/PERSISTENCE.md); a
 // directory is opened read-only, its shards decoded in parallel.
+//
+// With -follow the server is a replication follower (docs/REPLICATION.md):
+// -in names the local replica directory (created if absent), and the
+// server tails the leader's manifest every -tail-every, fetches new
+// segments, and hot-swaps the serving store after each committed
+// generation. /api/v1/health reports the replication lag and answers
+// 503 until the first leader snapshot has been applied.
+//
+// -replica-addr starts a second listener exporting this server's own
+// segment directory to downstream followers — on a leader, point it at
+// the tslpd datadir; on a follower it re-exports the replica directory
+// for chained fan-out. It requires -in to be a directory.
 //
 // The pid file defaults to apiserver.pid under os.TempDir() and is
 // removed on graceful shutdown; -pidfile "" disables it.
@@ -19,8 +33,8 @@
 // with — or is reachable through — the public API.
 //
 // Endpoints: /api/v1/measurements, /api/v1/tags, /api/v1/query,
-// /api/v1/congestion, /api/v1/stats, /healthz. See package
-// interdomain/internal/api.
+// /api/v1/congestion, /api/v1/stats, /api/v1/health, /healthz. See
+// package interdomain/internal/api.
 package main
 
 import (
@@ -28,6 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -37,6 +52,7 @@ import (
 	"time"
 
 	"interdomain/internal/api"
+	"interdomain/internal/replication"
 	"interdomain/internal/tsdb"
 )
 
@@ -45,8 +61,11 @@ import (
 const shutdownGrace = 5 * time.Second
 
 func main() {
-	inPath := flag.String("in", "", "tsdb snapshot file or segment directory (required)")
+	inPath := flag.String("in", "", "tsdb snapshot file or segment directory (required; the replica directory with -follow)")
 	addr := flag.String("addr", ":8080", "listen address")
+	follow := flag.String("follow", "", "leader base URL to replicate from, e.g. http://leader:8081 (docs/REPLICATION.md)")
+	tailEvery := flag.Duration("tail-every", replication.DefaultInterval, "manifest tail cadence with -follow")
+	replicaAddr := flag.String("replica-addr", "", "listen address exporting -in (a directory) to downstream followers")
 	debugAddr := flag.String("debug-addr", "",
 		"pprof listen address, e.g. localhost:6060 (empty disables)")
 	pidfile := flag.String("pidfile", filepath.Join(os.TempDir(), "apiserver.pid"),
@@ -62,15 +81,50 @@ func main() {
 		}
 		defer os.Remove(*pidfile)
 	}
-	db, err := openStore(*inPath)
-	if err != nil {
-		fatal(err)
-	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{Addr: *addr, Handler: api.New(db)}
+	var opts []api.Option
+	var db *tsdb.DB
+	var err error
+	if *follow != "" {
+		// Follower mode: -in is the replica directory. It may not exist
+		// yet (first start) or may hold a committed generation (restart);
+		// either way the follower resumes from whatever is there.
+		db, err = openReplicaDir(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		f := replication.New(*follow, *inPath, db, replication.Options{
+			Interval: *tailEvery,
+			Logf:     log.Printf,
+		})
+		go f.Run(ctx)
+		opts = append(opts, api.WithReplication(func() api.ReplicationHealth {
+			return replicationHealth(f)
+		}))
+		fmt.Printf("apiserver: following %s into %s every %s\n", *follow, *inPath, *tailEvery)
+	} else {
+		db, err = openStore(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if *replicaAddr != "" {
+		if fi, err := os.Stat(*inPath); *follow == "" && (err != nil || !fi.IsDir()) {
+			fatal(fmt.Errorf("-replica-addr requires -in to be a segment directory"))
+		}
+		go func() {
+			if err := http.ListenAndServe(*replicaAddr, replication.NewExporter(*inPath)); err != nil {
+				fmt.Fprintln(os.Stderr, "apiserver: replica listener:", err)
+			}
+		}()
+		fmt.Printf("apiserver: exporting %s to followers on %s\n", *inPath, *replicaAddr)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: api.New(db, opts...)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 
@@ -115,6 +169,43 @@ func openStore(path string) (*tsdb.DB, error) {
 	}
 	defer f.Close()
 	return db, db.Restore(f)
+}
+
+// openReplicaDir opens the follower's local replica directory: restore
+// from it when it holds a committed manifest (a restart resumes
+// serving immediately at the applied generation), start empty when it
+// does not (health answers 503 until the first tail cycle lands).
+func openReplicaDir(dir string) (*tsdb.DB, error) {
+	db := tsdb.Open()
+	if _, err := os.Stat(filepath.Join(dir, tsdb.ManifestName)); err == nil {
+		if err := db.RestoreDir(dir, tsdb.DirOptions{}); err != nil {
+			return nil, err
+		}
+		fmt.Printf("apiserver: resumed replica generation %d (%d series, %d points) from %s\n",
+			db.SnapshotGeneration(), db.SeriesCount(), db.PointCount(), dir)
+	}
+	return db, nil
+}
+
+// replicationHealth converts a follower's status into the API's
+// replication-health shape, computing the generation lag and the
+// wall-clock age of the last successful sync.
+func replicationHealth(f *replication.Follower) api.ReplicationHealth {
+	st := f.Status()
+	rh := api.ReplicationHealth{
+		Leader:             st.Leader,
+		LeaderGeneration:   st.LeaderGeneration,
+		AppliedGeneration:  st.AppliedGeneration,
+		LastSyncAgeSeconds: -1,
+		LastError:          st.LastError,
+	}
+	if st.LeaderGeneration > st.AppliedGeneration {
+		rh.LagGenerations = st.LeaderGeneration - st.AppliedGeneration
+	}
+	if !st.LastSync.IsZero() {
+		rh.LastSyncAgeSeconds = time.Since(st.LastSync).Seconds()
+	}
+	return rh
 }
 
 // debugMux builds the pprof handler tree on a private mux rather than

@@ -9,7 +9,7 @@
 //
 //	tslpd [-seed N] [-hours H] [-vps comcast-nyc,verizon-nyc]
 //	      [-datadir dir] [-snapshot-every 6h] [-retain 0]
-//	      [-out snapshot.tsdb]
+//	      [-replica-addr :8081] [-out snapshot.tsdb]
 //
 // With -datadir the store persists as a segment directory (one file per
 // shard and time window; see docs/PERSISTENCE.md): tslpd restores from
@@ -22,18 +22,28 @@
 // is dropped instead of inserted twice, so a resumed run's store equals
 // an uninterrupted one. -out keeps writing the legacy single-stream
 // snapshot at exit; the two formats restore identically.
+//
+// With -replica-addr (requires -datadir) tslpd is a replication leader
+// (docs/REPLICATION.md): it exports the datadir's committed manifest
+// and segments over HTTP while the run writes new snapshots, and keeps
+// exporting after the final snapshot until interrupted, so followers
+// started with apiserver -follow can converge at any time.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"interdomain/internal/core"
 	"interdomain/internal/netsim"
+	"interdomain/internal/replication"
 	"interdomain/internal/scenario"
 	"interdomain/internal/tsdb"
 	"interdomain/internal/tslp"
@@ -49,7 +59,12 @@ func main() {
 	datadir := flag.String("datadir", "", "segment directory for periodic incremental snapshots (docs/PERSISTENCE.md)")
 	snapEvery := flag.Duration("snapshot-every", 6*time.Hour, "virtual-time cadence of -datadir snapshots")
 	retain := flag.Duration("retain", 0, "drop data older than this horizon at each snapshot (0 keeps everything)")
+	replicaAddr := flag.String("replica-addr", "", "export -datadir to replication followers on this address (docs/REPLICATION.md)")
 	flag.Parse()
+
+	if *replicaAddr != "" && *datadir == "" {
+		fatal(fmt.Errorf("-replica-addr requires -datadir"))
+	}
 
 	in, _, err := scenario.Build(*seed)
 	if err != nil {
@@ -73,6 +88,19 @@ func main() {
 			}
 		}
 	}
+	// Leader-side replication: export the datadir over HTTP for the
+	// whole run. The exporter serves whatever manifest is committed —
+	// 503 before the first snapshot, then each generation as it lands —
+	// so it can start before any data exists.
+	if *replicaAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*replicaAddr, replication.NewExporter(*datadir)); err != nil {
+				fatal(fmt.Errorf("replica listener: %w", err))
+			}
+		}()
+		fmt.Printf("tslpd: exporting %s to followers on %s\n", *datadir, *replicaAddr)
+	}
+
 	sys := core.NewSystem(in, db, netsim.Epoch)
 	sys.ReactiveTSLP = *reactive
 
@@ -184,6 +212,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("tslpd: %d line-protocol points written to %s\n", n, *lineOut)
+	}
+
+	// Keep exporting the final generation so late-starting followers can
+	// still converge; the run's data is already durable at this point.
+	if *replicaAddr != "" {
+		fmt.Printf("tslpd: run complete; still exporting %s on %s (interrupt to exit)\n", *datadir, *replicaAddr)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 }
 

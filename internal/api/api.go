@@ -10,6 +10,7 @@
 //	GET /api/v1/congestion?m=tslp&link=...&vp=...&from=...&days=N
 //	     run the autocorrelation pipeline over stored TSLP data
 //	GET /api/v1/stats                        cache + endpoint metrics
+//	GET /api/v1/health                       readiness + replication lag
 //	GET /healthz
 //
 // The read path is versioned (docs/SERVING.md): query and congestion
@@ -19,12 +20,17 @@
 // repeat traffic against an unchanged store serves cached bytes and a
 // write to any contributing series invalidates exactly the affected
 // results.
+//
+// The HTTP contract (docs/SERVING.md §7) is uniform: every error is
+// the {"error":{"code","message"}} envelope with a stable code;
+// cacheable responses carry a strong ETag derived from their cache key
+// and honor If-None-Match with 304; /api/v1/query responses are
+// bounded by limit/offset with total/truncated metadata.
 package api
 
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -47,6 +53,9 @@ type Server struct {
 	cache *readcache.Cache
 	pool  *pipeline.Pool
 	met   *metrics
+	// replication, when set (WithReplication), reports the follower's
+	// position for /api/v1/health and /api/v1/stats.
+	replication func() ReplicationHealth
 	// computes counts actual detector runs behind /api/v1/congestion;
 	// with coalescing and caching it grows strictly slower than the
 	// request count, and the stats endpoint exposes it so tests (and
@@ -60,8 +69,9 @@ type Server struct {
 type Option func(*serverConfig)
 
 type serverConfig struct {
-	cacheSize int
-	workers   int
+	cacheSize   int
+	workers     int
+	replication func() ReplicationHealth
 }
 
 // WithCacheSize bounds the read cache to n entries (<= 0 keeps the
@@ -74,6 +84,14 @@ func WithCacheSize(n int) Option {
 // per-link index analyses fan out on (<= 0 means one per CPU).
 func WithWorkers(n int) Option {
 	return func(c *serverConfig) { c.workers = n }
+}
+
+// WithReplication marks the server as a replication follower: fn is
+// polled on every /api/v1/health and /api/v1/stats request for the
+// follower's position, and health answers 503 until a leader snapshot
+// has been applied (docs/SERVING.md §8).
+func WithReplication(fn func() ReplicationHealth) Option {
+	return func(c *serverConfig) { c.replication = fn }
 }
 
 // New returns a server over db. Callers that create servers in a loop
@@ -90,11 +108,13 @@ func New(db *tsdb.DB, opts ...Option) *Server {
 		pool:  pipeline.NewPool(cfg.workers),
 		met:   newMetrics(),
 	}
+	s.replication = cfg.replication
 	s.handle("/api/v1/measurements", "measurements", s.handleMeasurements)
 	s.handle("/api/v1/tags", "tags", s.handleTags)
 	s.handle("/api/v1/query", "query", s.handleQuery)
 	s.handle("/api/v1/congestion", "congestion", s.handleCongestion)
 	s.handle("/api/v1/stats", "stats", s.handleStats)
+	s.handle("/api/v1/health", "health", s.handleHealth)
 	s.handle(dashboardPath, "dashboard", s.handleDashboard)
 	s.handle("/healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -149,7 +169,7 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	defer bufPool.Put(buf)
 	buf.Reset()
 	if err := json.NewEncoder(buf).Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -176,34 +196,6 @@ func writeJSONBody(w http.ResponseWriter, body []byte) {
 	_, _ = w.Write(body)
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
-}
-
-// statusError carries an HTTP status code out of a cached computation;
-// the handler unwraps it into httpError. Never cached (readcache drops
-// errored computations), so an error response is recomputed — and may
-// succeed — on the next request.
-type statusError struct {
-	code int
-	msg  string
-}
-
-// Error returns the message.
-func (e statusError) Error() string { return e.msg }
-
-// writeComputeError renders an error coming out of cache.Do.
-func writeComputeError(w http.ResponseWriter, err error) {
-	var se statusError
-	if errors.As(err, &se) {
-		httpError(w, se.code, "%s", se.Error())
-		return
-	}
-	httpError(w, http.StatusInternalServerError, "%v", err)
-}
-
 func (s *Server) handleMeasurements(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]interface{}{"measurements": s.DB.Measurements()})
 }
@@ -212,7 +204,7 @@ func (s *Server) handleTags(w http.ResponseWriter, r *http.Request) {
 	m := r.URL.Query().Get("m")
 	tag := r.URL.Query().Get("tag")
 	if m == "" || tag == "" {
-		httpError(w, http.StatusBadRequest, "need m and tag parameters")
+		writeError(w, http.StatusBadRequest, "need m and tag parameters")
 		return
 	}
 	writeJSON(w, map[string]interface{}{"values": s.DB.TagValues(m, tag)})
@@ -225,27 +217,85 @@ type QuerySeries struct {
 	Values []float64         `json:"values"`
 }
 
+// Pagination bounds for /api/v1/query (docs/SERVING.md §7). Every
+// response is capped: a request naming no limit gets DefaultQueryLimit
+// series, and no request gets more than MaxQueryLimit.
+const (
+	// DefaultQueryLimit is the series-per-response cap applied when the
+	// request names no limit.
+	DefaultQueryLimit = 500
+	// MaxQueryLimit is the hard cap; larger requested limits are
+	// clamped to it, not rejected.
+	MaxQueryLimit = 5000
+)
+
+// QueryResponse is the /api/v1/query payload: one page of matching
+// series plus enough pagination metadata (total, truncated) for a
+// client to walk the full result set (docs/SERVING.md §7).
+type QueryResponse struct {
+	// Series is the page of matching series; never null (an empty page
+	// marshals as []).
+	Series []QuerySeries `json:"series"`
+	// Total is the number of matching series before paging.
+	Total int `json:"total"`
+	// Limit and Offset echo the page bounds the response was built
+	// with, after defaulting and clamping.
+	Limit  int `json:"limit"`
+	Offset int `json:"offset"`
+	// Truncated reports whether series beyond this page exist
+	// (offset+len(series) < total).
+	Truncated bool `json:"truncated"`
+}
+
+// parsePage extracts limit and offset from query parameters, applying
+// the default and the clamp. limit=0 is valid — a metadata-only
+// response; negative or non-integer values are rejected.
+func parsePage(q map[string][]string) (limit, offset int, err error) {
+	limit = DefaultQueryLimit
+	if vs := q["limit"]; len(vs) > 0 {
+		limit, err = strconv.Atoi(vs[0])
+		if err != nil || limit < 0 {
+			return 0, 0, fmt.Errorf("bad limit %q: need a non-negative integer", vs[0])
+		}
+		if limit > MaxQueryLimit {
+			limit = MaxQueryLimit
+		}
+	}
+	if vs := q["offset"]; len(vs) > 0 {
+		offset, err = strconv.Atoi(vs[0])
+		if err != nil || offset < 0 {
+			return 0, 0, fmt.Errorf("bad offset %q: need a non-negative integer", vs[0])
+		}
+	}
+	return limit, offset, nil
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	m := q.Get("m")
 	if m == "" {
-		httpError(w, http.StatusBadRequest, "need m parameter")
+		writeError(w, http.StatusBadRequest, "need m parameter")
 		return
 	}
 	from, err := time.Parse(time.RFC3339, q.Get("from"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad from: %v", err)
+		writeError(w, http.StatusBadRequest, "bad from: %v", err)
 		return
 	}
 	to, err := time.Parse(time.RFC3339, q.Get("to"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad to: %v", err)
+		writeError(w, http.StatusBadRequest, "bad to: %v", err)
+		return
+	}
+	limit, offset, err := parsePage(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	filter := map[string]string{}
 	for k, vs := range q {
 		switch k {
-		case "m", "from", "to":
+		case "m", "from", "to", "limit", "offset":
 			continue
 		}
 		if len(vs) > 0 {
@@ -253,19 +303,35 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	key := readcache.Key{
-		Kind:  "query",
-		ID:    tsdb.Key(m, filter),
-		From:  from.UnixNano(),
-		To:    to.UnixNano(),
-		Stamp: s.DB.ViewStamp(m, filter),
+		Kind:   "query",
+		ID:     tsdb.Key(m, filter),
+		From:   from.UnixNano(),
+		To:     to.UnixNano(),
+		Stamp:  s.DB.ViewStamp(m, filter),
+		Limit:  limit,
+		Offset: offset,
+	}
+	// The ETag is derived from the key alone, so an If-None-Match hit
+	// costs neither a cache lookup nor a store read (docs/SERVING.md §7).
+	etag := etagFor(key)
+	if clientHasCurrent(r, etag) {
+		writeNotModified(w, etag)
+		return
 	}
 	v, _, err := s.cache.Do(key, func() (any, error) {
 		views := s.DB.QueryView(m, filter, from, to)
-		var out []QuerySeries
-		if len(views) > 0 {
-			out = make([]QuerySeries, 0, len(views))
+		total := len(views)
+		page := views
+		if offset >= total {
+			page = nil
+		} else {
+			page = views[offset:]
 		}
-		for _, view := range views {
+		if len(page) > limit {
+			page = page[:limit]
+		}
+		out := make([]QuerySeries, 0, len(page))
+		for _, view := range page {
 			qs := QuerySeries{
 				Tags: view.Tags,
 				// Filled by index into exact-size slices; Values aliases
@@ -278,12 +344,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 			out = append(out, qs)
 		}
-		return encodeBody(map[string]interface{}{"series": out})
+		return encodeBody(QueryResponse{
+			Series:    out,
+			Total:     total,
+			Limit:     limit,
+			Offset:    offset,
+			Truncated: offset+len(out) < total,
+		})
 	})
 	if err != nil {
 		writeComputeError(w, err)
 		return
 	}
+	w.Header().Set("ETag", etag)
 	writeJSONBody(w, v.([]byte))
 }
 
@@ -326,19 +399,19 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	link, vp := q.Get("link"), q.Get("vp")
 	if link == "" {
-		httpError(w, http.StatusBadRequest, "need link parameter")
+		writeError(w, http.StatusBadRequest, "need link parameter")
 		return
 	}
 	from, err := time.Parse(time.RFC3339, q.Get("from"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad from: %v", err)
+		writeError(w, http.StatusBadRequest, "bad from: %v", err)
 		return
 	}
 	days := 50
 	if d := q.Get("days"); d != "" {
 		days, err = strconv.Atoi(d)
 		if err != nil || days <= 0 {
-			httpError(w, http.StatusBadRequest, "bad days")
+			writeError(w, http.StatusBadRequest, "bad days")
 			return
 		}
 	}
@@ -353,6 +426,13 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
 		CfgHash: cfg.Hash(),
 		Stamp:   s.DB.ViewStamp("tslp", congestionFilter(link, vp)),
 	}
+	// Checked before cache.Do: an If-None-Match hit never runs the
+	// detector, never touches the cache (docs/SERVING.md §7).
+	etag := etagFor(key)
+	if clientHasCurrent(r, etag) {
+		writeNotModified(w, etag)
+		return
+	}
 	v, _, err := s.cache.Do(key, func() (any, error) {
 		return s.computeCongestion(link, vp, from, cfg)
 	})
@@ -360,6 +440,7 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
 		writeComputeError(w, err)
 		return
 	}
+	w.Header().Set("ETag", etag)
 	writeJSONBody(w, v.(*congestionEntry).body)
 }
 
@@ -418,15 +499,104 @@ type StatsResponse struct {
 	CongestionComputes uint64 `json:"congestion_computes"`
 	// StoreVersion is tsdb.StoreVersion: moves on every store mutation.
 	StoreVersion uint64 `json:"store_version"`
+	// Generation is the manifest generation of the store's last
+	// snapshot or restore (0 if never persisted).
+	Generation uint64 `json:"generation"`
+	// Replication reports the follower's replication position; absent
+	// on a leader or standalone server.
+	Replication *ReplicationHealth `json:"replication,omitempty"`
 	// Endpoints maps endpoint name to its request metrics.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, StatsResponse{
+	resp := StatsResponse{
 		Cache:              s.cache.Stats(),
 		CongestionComputes: s.computes.Load(),
 		StoreVersion:       s.DB.StoreVersion(),
+		Generation:         s.DB.SnapshotGeneration(),
 		Endpoints:          s.met.snapshot(),
-	})
+	}
+	if s.replication != nil {
+		rh := s.replication()
+		resp.Replication = &rh
+	}
+	writeJSON(w, resp)
+}
+
+// ReplicationHealth reports a replication follower's position relative
+// to its leader, served in /api/v1/health and /api/v1/stats
+// (docs/SERVING.md §8, docs/REPLICATION.md §6). The serving binary
+// fills it from replication.Follower.Status.
+type ReplicationHealth struct {
+	// Leader is the leader base URL the follower tails.
+	Leader string `json:"leader"`
+	// LeaderGeneration is the newest manifest generation observed on
+	// the leader; AppliedGeneration is the generation this store last
+	// committed and serves.
+	LeaderGeneration  uint64 `json:"leader_generation"`
+	AppliedGeneration uint64 `json:"applied_generation"`
+	// LagGenerations is max(0, leader-applied): how many snapshot
+	// commits behind the leader this follower serves.
+	LagGenerations uint64 `json:"lag_generations"`
+	// LastSyncAgeSeconds is the wall-clock age of the last successful
+	// tail cycle, or -1 when none has succeeded yet.
+	LastSyncAgeSeconds float64 `json:"last_sync_age_seconds"`
+	// LastError is the most recent tail-cycle failure, cleared by the
+	// next success.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// HealthResponse is the /api/v1/health payload: a readiness verdict
+// plus the store identity a load balancer (or operator) needs to judge
+// staleness (docs/SERVING.md §8).
+type HealthResponse struct {
+	// Status is "ok" when the server is ready to serve reads, or
+	// "starting" (with HTTP 503) on a follower that has not applied a
+	// leader snapshot yet.
+	Status string `json:"status"`
+	// StoreVersion is the store's modification counter.
+	StoreVersion uint64 `json:"store_version"`
+	// Generation is the manifest generation of the last snapshot or
+	// restore (on a follower: the applied generation).
+	Generation uint64 `json:"generation"`
+	// Series and Points size the store.
+	Series int `json:"series"`
+	Points int `json:"points"`
+	// Replication reports the follower position; absent on a leader or
+	// standalone server.
+	Replication *ReplicationHealth `json:"replication,omitempty"`
+	// Error carries the not-ready reason when Status is not "ok", in
+	// the standard error-detail shape.
+	Error *ErrorDetail `json:"error,omitempty"`
+}
+
+// handleHealth serves readiness: 200 with the store identity when the
+// server can answer reads, 503 with Status "starting" on a follower
+// that has not applied any leader snapshot — so a load balancer keeps
+// a cold follower out of rotation without special-casing replication.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:       "ok",
+		StoreVersion: s.DB.StoreVersion(),
+		Generation:   s.DB.SnapshotGeneration(),
+		Series:       s.DB.SeriesCount(),
+		Points:       s.DB.PointCount(),
+	}
+	if s.replication != nil {
+		rh := s.replication()
+		resp.Replication = &rh
+		if rh.AppliedGeneration == 0 {
+			resp.Status = "starting"
+			resp.Error = &ErrorDetail{
+				Code:    CodeUnavailable,
+				Message: "follower has not applied a leader snapshot yet",
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(resp)
+			return
+		}
+	}
+	writeJSON(w, resp)
 }

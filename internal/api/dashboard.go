@@ -28,19 +28,40 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	link := q.Get("link")
 	if link == "" {
-		s.renderLinkIndex(w)
+		// The index depends on every tslp series, so its ViewStamp over
+		// the unfiltered measurement is the invalidation (and ETag)
+		// handle: any tslp write moves it.
+		key := readcache.Key{
+			Kind:  "dashindex",
+			Stamp: s.DB.ViewStamp("tslp", nil),
+		}
+		etag := etagFor(key)
+		if clientHasCurrent(r, etag) {
+			writeNotModified(w, etag)
+			return
+		}
+		v, _, err := s.cache.Do(key, func() (any, error) {
+			return s.renderLinkIndex(), nil
+		})
+		if err != nil {
+			writeComputeError(w, err)
+			return
+		}
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write(v.([]byte))
 		return
 	}
 	vp := q.Get("vp")
 	from, err := time.Parse(time.RFC3339, q.Get("from"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad from: %v", err)
+		writeError(w, http.StatusBadRequest, "bad from: %v", err)
 		return
 	}
 	days := 1
 	if d := q.Get("days"); d != "" {
 		if days, err = strconv.Atoi(d); err != nil || days <= 0 || days > 60 {
-			httpError(w, http.StatusBadRequest, "bad days")
+			writeError(w, http.StatusBadRequest, "bad days")
 			return
 		}
 	}
@@ -52,6 +73,11 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		Days:  days,
 		Stamp: s.DB.ViewStamp("tslp", congestionFilter(link, vp)),
 	}
+	etag := etagFor(key)
+	if clientHasCurrent(r, etag) {
+		writeNotModified(w, etag)
+		return
+	}
 	v, _, err := s.cache.Do(key, func() (any, error) {
 		return s.renderLinkPage(link, vp, from, days)
 	})
@@ -59,6 +85,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		writeComputeError(w, err)
 		return
 	}
+	w.Header().Set("ETag", etag)
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	_, _ = w.Write(v.([]byte))
 }
@@ -120,13 +147,14 @@ type linkStatus struct {
 	Through time.Time
 }
 
-// renderLinkIndex lists every link with TSLP data together with a
-// status badge — coverage and level-shift episodes over the link's most
-// recent day. The per-link analyses are independent, so they fan out on
-// the server's worker pool, and each is memoized keyed by the link's
-// series versions: an index render against an unchanged store costs one
-// cache lookup per link.
-func (s *Server) renderLinkIndex(w http.ResponseWriter) {
+// renderLinkIndex builds the index page bytes: every link with TSLP
+// data together with a status badge — coverage and level-shift episodes
+// over the link's most recent day. The per-link analyses are
+// independent, so they fan out on the server's worker pool, and each is
+// memoized keyed by the link's series versions; the whole page is in
+// turn memoized keyed by the measurement-wide stamp, so an index render
+// against an unchanged store serves cached bytes.
+func (s *Server) renderLinkIndex() []byte {
 	links := s.DB.TagValues("tslp", "link")
 	statuses := make([]linkStatus, len(links))
 	jobs := make([]func(), len(links))
@@ -148,8 +176,7 @@ func (s *Server) renderLinkIndex(w http.ResponseWriter) {
 		b.WriteString("</li>")
 	}
 	b.WriteString("</ul>")
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, b.String())
+	return []byte(b.String())
 }
 
 // linkStatusCached computes (or serves from cache) one link's index

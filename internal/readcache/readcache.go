@@ -42,6 +42,9 @@ type Key struct {
 	// series. A write to any of them moves the stamp, making the next
 	// lookup miss — this field alone carries cache invalidation.
 	Stamp uint64
+	// Limit and Offset carry /api/v1/query pagination (docs/SERVING.md
+	// §7), so differently paged responses never share an entry.
+	Limit, Offset int
 }
 
 // Stats is a point-in-time snapshot of the cache's counters.

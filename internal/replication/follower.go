@@ -1,0 +1,409 @@
+package replication
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"interdomain/internal/pipeline"
+	"interdomain/internal/tsdb"
+)
+
+// DefaultInterval is the tail cadence Run uses when Options.Interval
+// is zero. The TSLP signal changes at most once per 5-minute round
+// (paper §3.1), so 30 seconds keeps follower staleness a small
+// fraction of the signal's own period without hammering the leader.
+const DefaultInterval = 30 * time.Second
+
+// Options configures a Follower.
+type Options struct {
+	// Interval is the cadence of Run's tail cycles (0 means
+	// DefaultInterval).
+	Interval time.Duration
+	// Client is the HTTP client used against the leader (nil means a
+	// client with a 30-second overall timeout).
+	Client *http.Client
+	// Workers bounds concurrent segment downloads per cycle and the
+	// parallel decode of the post-commit RestoreDir (0 means one per
+	// CPU).
+	Workers int
+	// Logf, when set, receives one line per completed tail cycle and
+	// per failure (e.g. log.Printf). Nil disables logging; Status
+	// always carries the same information.
+	Logf func(format string, args ...interface{})
+}
+
+// CycleStats reports what one TailOnce did.
+type CycleStats struct {
+	// Generation is the leader manifest generation this cycle observed
+	// (and, unless Unchanged or failed, committed).
+	Generation uint64
+	// Unchanged reports that the leader's generation already matched
+	// the follower's: nothing was fetched, committed or swapped.
+	Unchanged bool
+	// SegmentsFetched counts segment files downloaded this cycle.
+	SegmentsFetched int
+	// SegmentsReused counts manifest entries satisfied byte-for-byte
+	// by files already on the follower's disk.
+	SegmentsReused int
+	// BytesFetched is the total segment payload bytes downloaded;
+	// zero for an Unchanged cycle by construction.
+	BytesFetched int64
+	// Removed counts local files reaped after the commit (superseded
+	// segments and stray temp files).
+	Removed int
+}
+
+// Status is a point-in-time snapshot of a follower's replication
+// state, surfaced through /api/v1/health and /api/v1/stats
+// (docs/REPLICATION.md §6).
+type Status struct {
+	// Leader is the leader's base URL.
+	Leader string
+	// LeaderGeneration is the newest manifest generation seen on the
+	// leader, even if the cycle that saw it later failed.
+	LeaderGeneration uint64
+	// AppliedGeneration is the generation last committed locally (and
+	// serving, when a DB is attached). Leader minus applied is the
+	// follower's staleness in generations.
+	AppliedGeneration uint64
+	// LastSync is the wall-clock time of the last successful cycle
+	// (zero if none succeeded yet).
+	LastSync time.Time
+	// LastError is the last cycle's error message, empty after a
+	// success.
+	LastError string
+	// Cycles counts tail cycles attempted; Failures those that errored.
+	Cycles, Failures uint64
+	// SegmentsFetched and BytesFetched accumulate transfer totals
+	// across all successful cycles.
+	SegmentsFetched, BytesFetched uint64
+}
+
+// Follower tails a leader's segment directory into a local directory
+// and (optionally) hot-swaps a serving store after each commit. Safe
+// for concurrent use: Status may be called from any goroutine while
+// Run tails. Cycles themselves are serialized — TailOnce holds an
+// internal gate — so two overlapping callers cannot interleave
+// half-written directories.
+type Follower struct {
+	leader   string
+	dir      string
+	db       *tsdb.DB
+	client   *http.Client
+	interval time.Duration
+	workers  int
+	logf     func(format string, args ...interface{})
+
+	// gate serializes tail cycles.
+	gate sync.Mutex
+	// mu guards st and etag.
+	mu   sync.Mutex
+	st   Status
+	etag string
+}
+
+// New returns a follower tailing leaderURL into dir, swapping db (may
+// be nil for a mirror-only follower) after each committed generation.
+// If dir already holds a committed manifest — a restart — the follower
+// resumes from its generation instead of refetching, and the caller is
+// expected to have restored db from it.
+func New(leaderURL, dir string, db *tsdb.DB, opts Options) *Follower {
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	interval := opts.Interval
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	f := &Follower{
+		leader:   strings.TrimRight(leaderURL, "/"),
+		dir:      dir,
+		db:       db,
+		client:   client,
+		interval: interval,
+		workers:  opts.Workers,
+		logf:     opts.Logf,
+	}
+	f.st.Leader = f.leader
+	if m, err := tsdb.LoadManifest(dir); err == nil {
+		f.st.AppliedGeneration = m.Generation
+		f.st.LeaderGeneration = m.Generation
+	}
+	return f
+}
+
+// Status returns a snapshot of the follower's replication state.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// Run tails the leader on the configured interval until ctx is
+// cancelled, starting with an immediate cycle. Errors are recorded in
+// Status (and logged via Options.Logf) and the loop keeps going — a
+// follower outlives leader restarts and network blips.
+func (f *Follower) Run(ctx context.Context) {
+	t := time.NewTicker(f.interval)
+	defer t.Stop()
+	f.tailLogged(ctx)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			f.tailLogged(ctx)
+		}
+	}
+}
+
+// tailLogged runs one cycle and narrates it through Options.Logf.
+func (f *Follower) tailLogged(ctx context.Context) {
+	cs, err := f.TailOnce(ctx)
+	if f.logf == nil {
+		return
+	}
+	switch {
+	case err != nil:
+		f.logf("replication: tail failed: %v", err)
+	case cs.Unchanged:
+		// Steady state: say nothing.
+	default:
+		f.logf("replication: applied generation %d (%d fetched, %d reused, %d bytes)",
+			cs.Generation, cs.SegmentsFetched, cs.SegmentsReused, cs.BytesFetched)
+	}
+}
+
+// TailOnce runs one tail cycle: fetch the manifest; if its generation
+// is new, fetch the missing segments (verifying each against its
+// manifest entry), commit the manifest atomically, reap superseded
+// local files, and hot-swap the attached store via RestoreDir. Any
+// error leaves the local directory at its previously committed
+// generation and the serving store untouched (docs/REPLICATION.md §4).
+func (f *Follower) TailOnce(ctx context.Context) (CycleStats, error) {
+	f.gate.Lock()
+	defer f.gate.Unlock()
+	cs, err := f.tail(ctx)
+
+	f.mu.Lock()
+	f.st.Cycles++
+	if cs.Generation > f.st.LeaderGeneration {
+		f.st.LeaderGeneration = cs.Generation
+	}
+	if err != nil {
+		f.st.Failures++
+		f.st.LastError = err.Error()
+	} else {
+		f.st.LastError = ""
+		f.st.LastSync = time.Now()
+		if !cs.Unchanged {
+			f.st.AppliedGeneration = cs.Generation
+		}
+		f.st.SegmentsFetched += uint64(cs.SegmentsFetched)
+		f.st.BytesFetched += uint64(cs.BytesFetched)
+	}
+	f.mu.Unlock()
+	return cs, err
+}
+
+// applied returns the last committed generation.
+func (f *Follower) applied() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st.AppliedGeneration
+}
+
+// lastETag returns the manifest ETag of the last successful cycle.
+func (f *Follower) lastETag() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.etag
+}
+
+// setETag records the manifest ETag after a successful cycle.
+func (f *Follower) setETag(etag string) {
+	f.mu.Lock()
+	f.etag = etag
+	f.mu.Unlock()
+}
+
+// tail is one cycle's work; TailOnce wraps it with status accounting.
+func (f *Follower) tail(ctx context.Context) (CycleStats, error) {
+	var cs CycleStats
+	applied := f.applied()
+
+	// 1. Fetch the manifest, conditionally: an unchanged leader costs
+	// one 304 and the cycle is over.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.leader+ManifestPath, nil)
+	if err != nil {
+		return cs, fmt.Errorf("replication: %w", err)
+	}
+	if etag := f.lastETag(); etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return cs, fmt.Errorf("replication: fetch manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		cs.Generation, cs.Unchanged = applied, true
+		return cs, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return cs, fmt.Errorf("replication: fetch manifest: leader answered %s", resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return cs, fmt.Errorf("replication: read manifest: %w", err)
+	}
+	m, err := tsdb.ParseManifest(data)
+	if err != nil {
+		return cs, fmt.Errorf("replication: leader manifest: %w", err)
+	}
+	cs.Generation = m.Generation
+
+	// 2. Generation checks: equal means nothing to do; lower is a
+	// regression — a leader serving an older directory than the one we
+	// committed — and is refused loudly rather than rolled back
+	// (docs/REPLICATION.md §5).
+	if m.Generation == applied {
+		cs.Unchanged = true
+		f.setETag(resp.Header.Get("ETag"))
+		return cs, nil
+	}
+	if m.Generation < applied {
+		return cs, fmt.Errorf("replication: leader generation %d regressed below applied generation %d — refusing to roll back",
+			m.Generation, applied)
+	}
+
+	// 3. Plan transfers: a manifest entry satisfied byte-for-byte by a
+	// local file (committed earlier, or left by an interrupted cycle)
+	// is reused without touching the network — the incremental-snapshot
+	// property, across the wire.
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return cs, fmt.Errorf("replication: %w", err)
+	}
+	var toFetch []tsdb.SegmentMeta
+	for _, sm := range m.Segments {
+		if tsdb.VerifySegmentFile(filepath.Join(f.dir, sm.File), sm) == nil {
+			cs.SegmentsReused++
+			continue
+		}
+		toFetch = append(toFetch, sm)
+	}
+
+	// 4. Fetch the rest concurrently; every download is verified
+	// against its manifest entry before being renamed into place.
+	var fetched atomic.Int64
+	pool := pipeline.NewPool(f.workers)
+	defer pool.Close()
+	jobs := make([]func() error, len(toFetch))
+	for i, sm := range toFetch {
+		sm := sm
+		jobs[i] = func() error {
+			n, err := f.fetchSegment(ctx, sm)
+			fetched.Add(n)
+			return err
+		}
+	}
+	if err := pool.DoErr(jobs...); err != nil {
+		return cs, err
+	}
+	cs.SegmentsFetched = len(toFetch)
+	cs.BytesFetched = fetched.Load()
+
+	// 5. Commit: rename the leader's exact manifest bytes into place.
+	// Before this line the directory still restores to the previous
+	// generation; after it, to the new one (docs/PERSISTENCE.md §4).
+	if _, err := tsdb.CommitManifest(f.dir, data); err != nil {
+		return cs, fmt.Errorf("replication: %w", err)
+	}
+
+	// 6. Reap superseded local files, mirroring the leader's
+	// post-commit deletion: unlisted segments and stray temp files.
+	// Best-effort — a leftover is reused or reaped next cycle.
+	listed := make(map[string]bool, len(m.Segments))
+	for _, sm := range m.Segments {
+		listed[sm.File] = true
+	}
+	if entries, err := os.ReadDir(f.dir); err == nil {
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasSuffix(name, ".tmp") ||
+				(strings.HasSuffix(name, ".seg") && !listed[name]) {
+				if os.Remove(filepath.Join(f.dir, name)) == nil {
+					cs.Removed++
+				}
+			}
+		}
+	}
+
+	// 7. Hot-swap the serving store. RestoreDir decodes and
+	// cross-checks everything before mutating the store, so a failure
+	// here — a bug, not an expected mode, since every file was just
+	// verified — leaves the old data serving.
+	if f.db != nil {
+		if err := f.db.RestoreDir(f.dir, tsdb.DirOptions{Workers: f.workers}); err != nil {
+			return cs, fmt.Errorf("replication: restore committed generation %d: %w", m.Generation, err)
+		}
+	}
+	f.setETag(resp.Header.Get("ETag"))
+	return cs, nil
+}
+
+// fetchSegment downloads one segment to a temp file, verifies it
+// against its manifest entry (header fields + CRC-32C), fsyncs it and
+// renames it into place. It returns the bytes read off the wire. A
+// verification failure deletes the temp file and fails the cycle —
+// nothing invalid ever carries a committed name.
+func (f *Follower) fetchSegment(ctx context.Context, sm tsdb.SegmentMeta) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.leader+SegmentPathPrefix+sm.File, nil)
+	if err != nil {
+		return 0, fmt.Errorf("replication: %w", err)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("replication: fetch segment %s: %w", sm.File, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("replication: fetch segment %s: leader answered %s", sm.File, resp.Status)
+	}
+	tmp := filepath.Join(f.dir, sm.File+".tmp")
+	file, err := os.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("replication: %w", err)
+	}
+	n, err := io.Copy(file, resp.Body)
+	if err == nil {
+		// Durable before the rename, like the leader's own segment
+		// writes (docs/PERSISTENCE.md §4).
+		err = file.Sync()
+	}
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return n, fmt.Errorf("replication: write segment %s: %w", sm.File, err)
+	}
+	if err := tsdb.VerifySegmentFile(tmp, sm); err != nil {
+		os.Remove(tmp)
+		return n, fmt.Errorf("replication: fetched segment rejected: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(f.dir, sm.File)); err != nil {
+		os.Remove(tmp)
+		return n, fmt.Errorf("replication: %w", err)
+	}
+	return n, nil
+}

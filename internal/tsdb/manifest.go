@@ -78,17 +78,23 @@ func (m *Manifest) sortSegments() {
 }
 
 // writeManifest atomically publishes m as dir's manifest — the commit
-// point of a snapshot or retention pass: fsync the directory so every
-// segment rename this manifest relies on is durable, write the manifest
-// to a temp file, fsync it, rename it over ManifestName, and fsync the
-// directory again so the commit itself survives power loss
-// (docs/PERSISTENCE.md §4).
+// point of a snapshot or retention pass (docs/PERSISTENCE.md §4).
 func writeManifest(dir string, m *Manifest) error {
 	m.sortSegments()
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return fmt.Errorf("tsdb: encode manifest: %w", err)
 	}
+	return publishManifest(dir, append(data, '\n'))
+}
+
+// publishManifest runs the §4 commit dance on raw manifest bytes:
+// fsync the directory so every segment rename the manifest relies on
+// is durable, write the bytes to a temp file, fsync it, rename it over
+// ManifestName, and fsync the directory again so the commit itself
+// survives power loss (docs/PERSISTENCE.md §4). Callers must have
+// validated the bytes first.
+func publishManifest(dir string, data []byte) error {
 	if err := syncDir(dir); err != nil {
 		return fmt.Errorf("tsdb: sync segment dir: %w", err)
 	}
@@ -97,7 +103,7 @@ func writeManifest(dir string, m *Manifest) error {
 	if err != nil {
 		return fmt.Errorf("tsdb: write manifest: %w", err)
 	}
-	if _, err = f.Write(append(data, '\n')); err == nil {
+	if _, err = f.Write(data); err == nil {
 		err = f.Sync()
 	}
 	if err != nil {
@@ -137,6 +143,16 @@ func readManifest(dir string) (*Manifest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("tsdb: read manifest: %w", err)
 	}
+	return ParseManifest(data)
+}
+
+// ParseManifest parses and validates raw manifest bytes against the
+// schema of docs/PERSISTENCE.md §3: supported version, positive and
+// self-consistent window bounds per entry, in-range shards, no
+// duplicate file names. The replication follower uses it to vet a
+// manifest fetched over HTTP before acting on it; every on-disk read
+// goes through the same checks.
+func ParseManifest(data []byte) (*Manifest, error) {
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("tsdb: parse manifest: %w", err)

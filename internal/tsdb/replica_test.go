@@ -1,0 +1,174 @@
+package tsdb
+
+// Tests for the exported replication handles (replica.go): the parse/
+// verify/commit primitives internal/replication builds the wire
+// protocol on. The on-disk rules they enforce are docs/PERSISTENCE.md
+// §2-§4; the protocol built on them is docs/REPLICATION.md.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestCommitManifestRoundTrip(t *testing.T) {
+	src, dst := t.TempDir(), t.TempDir()
+	db := buildSegStore(24 * time.Hour)
+	if _, err := db.SnapshotDir(src, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(src, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifest(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Copy every segment byte-for-byte, then commit the leader's exact
+	// manifest bytes — the follower's sequence.
+	for _, sm := range m.Segments {
+		b, err := os.ReadFile(filepath.Join(src, sm.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, sm.File), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cm, err := CommitManifest(dst, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Generation != m.Generation {
+		t.Fatalf("committed generation %d, want %d", cm.Generation, m.Generation)
+	}
+	got, err := os.ReadFile(filepath.Join(dst, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatal("committed manifest bytes differ from the source's")
+	}
+
+	// The equivalence oracle: the mirrored directory restores to the
+	// same store.
+	re := Open()
+	if err := re.RestoreDir(dst, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if re.Digest() != db.Digest() {
+		t.Fatalf("digest mismatch: restored %x, source %x", re.Digest(), db.Digest())
+	}
+	if re.SnapshotGeneration() != m.Generation {
+		t.Fatalf("restored generation %d, want %d", re.SnapshotGeneration(), m.Generation)
+	}
+}
+
+func TestCommitManifestRejectsInvalid(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := CommitManifest(dir, []byte("not json")); err == nil {
+		t.Fatal("garbage manifest committed")
+	}
+	if _, err := CommitManifest(dir, []byte(`{"version":99}`)); err == nil {
+		t.Fatal("future-versioned manifest committed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestName)); !os.IsNotExist(err) {
+		t.Fatal("rejected commit left a manifest behind")
+	}
+}
+
+func TestVerifySegmentFile(t *testing.T) {
+	dir := t.TempDir()
+	db := buildSegStore(24 * time.Hour)
+	if _, err := db.SnapshotDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := m.Segments[0]
+	path := filepath.Join(dir, sm.File)
+	if err := VerifySegmentFile(path, sm); err != nil {
+		t.Fatalf("clean segment rejected: %v", err)
+	}
+
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One flipped payload byte must fail the CRC.
+	bad := append([]byte(nil), orig...)
+	bad[len(bad)-1] ^= 0x01
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySegmentFile(path, sm); err == nil {
+		t.Fatal("corrupt segment verified")
+	}
+	// Truncation must fail before the CRC is even checked.
+	if err := os.WriteFile(path, orig[:len(orig)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySegmentFile(path, sm); err == nil {
+		t.Fatal("truncated segment verified")
+	}
+	// A valid file against the wrong manifest entry must fail too.
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wrong := sm
+	wrong.CRC ^= 1
+	if err := VerifySegmentFile(path, wrong); err == nil {
+		t.Fatal("segment verified against a mismatched manifest entry")
+	}
+}
+
+func TestValidSegmentName(t *testing.T) {
+	valid := []string{"seg-00-1456790400000000000-g1.seg", "seg-15-0-g42.seg"}
+	invalid := []string{
+		"", "MANIFEST.json", "seg-00-0-g1.seg.tmp", "notaseg.seg",
+		"../seg-00-0-g1.seg", "a/seg-00-0-g1.seg", "seg-00-0.seg",
+	}
+	for _, n := range valid {
+		if !ValidSegmentName(n) {
+			t.Errorf("ValidSegmentName(%q) = false, want true", n)
+		}
+	}
+	for _, n := range invalid {
+		if ValidSegmentName(n) {
+			t.Errorf("ValidSegmentName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestSnapshotGeneration(t *testing.T) {
+	db := buildSegStore(24 * time.Hour)
+	if g := db.SnapshotGeneration(); g != 0 {
+		t.Fatalf("fresh store generation %d, want 0", g)
+	}
+	dir := t.TempDir()
+	if _, err := db.SnapshotDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if g := db.SnapshotGeneration(); g != 1 {
+		t.Fatalf("after first snapshot generation %d, want 1", g)
+	}
+	db.Write("tslp", map[string]string{"link": "l1"}, t0.Add(time.Hour), 1)
+	if _, err := db.SnapshotDir(dir, DirOptions{Incremental: true}); err != nil {
+		t.Fatal(err)
+	}
+	if g := db.SnapshotGeneration(); g != 2 {
+		t.Fatalf("after second snapshot generation %d, want 2", g)
+	}
+	re := Open()
+	if err := re.RestoreDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if g := re.SnapshotGeneration(); g != 2 {
+		t.Fatalf("restored store generation %d, want 2", g)
+	}
+}

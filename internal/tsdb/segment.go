@@ -446,15 +446,13 @@ func (db *DB) SnapshotDir(dir string, opts DirOptions) (DirStats, error) {
 	return st, nil
 }
 
-// readSegment loads and fully validates one segment file against its
-// manifest entry: magic, version, identity fields, payload checksum
-// (docs/PERSISTENCE.md §2). It returns the decoded series slices.
-func readSegment(dir string, sm SegmentMeta) ([]*Series, error) {
-	path := filepath.Join(dir, sm.File)
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("tsdb: segment %s: %w", sm.File, err)
-	}
+// verifySegmentBytes checks a segment file's bytes against its
+// manifest entry — header length, magic, version, identity fields,
+// payload length, CRC-32C (docs/PERSISTENCE.md §2, reader
+// obligations) — and returns the payload. The gob decode and the
+// decoded-count checks stay with the caller; VerifySegmentFile and
+// readSegment share everything up to that point.
+func verifySegmentBytes(data []byte, sm SegmentMeta) ([]byte, error) {
 	if len(data) < segmentHeaderSize {
 		return nil, fmt.Errorf("tsdb: segment %s: truncated header (%d bytes)", sm.File, len(data))
 	}
@@ -483,6 +481,23 @@ func readSegment(dir string, sm SegmentMeta) ([]*Series, error) {
 	if got := crc32.Checksum(payload, crcTable); got != crc {
 		return nil, fmt.Errorf("tsdb: segment %s: checksum mismatch (got %08x, want %08x)", sm.File, got, crc)
 	}
+	return payload, nil
+}
+
+// readSegment loads and fully validates one segment file against its
+// manifest entry: magic, version, identity fields, payload checksum
+// (docs/PERSISTENCE.md §2). It returns the decoded series slices.
+func readSegment(dir string, sm SegmentMeta) ([]*Series, error) {
+	path := filepath.Join(dir, sm.File)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: segment %s: %w", sm.File, err)
+	}
+	payload, err := verifySegmentBytes(data, sm)
+	if err != nil {
+		return nil, err
+	}
+	series, points := sm.Series, sm.Points
 	var list []*Series
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&list); err != nil {
 		return nil, fmt.Errorf("tsdb: segment %s: decode: %w", sm.File, err)
