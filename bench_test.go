@@ -504,6 +504,39 @@ func BenchmarkSnapshotDirParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkSegmentCompression is self-checking: each iteration
+// snapshots the persist fixture in both segment payload formats and
+// fails unless the columnar v2 encoding (docs/PERSISTENCE.md §8) is at
+// least 2x smaller on disk than gob v1 — the acceptance floor for the
+// storage engine. bench-smoke runs it under -benchtime=1x in CI.
+func BenchmarkSegmentCompression(b *testing.B) {
+	db := persistStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gobDir, v2Dir := b.TempDir(), b.TempDir()
+		if _, err := db.SnapshotDir(gobDir, tsdb.DirOptions{FormatVersion: tsdb.SegmentVersionGob}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.SnapshotDir(v2Dir, tsdb.DirOptions{}); err != nil {
+			b.Fatal(err)
+		}
+		gobInfo, err := tsdb.ReadDirInfo(gobDir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v2Info, err := tsdb.ReadDirInfo(v2Dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio := float64(gobInfo.Bytes) / float64(v2Info.Bytes)
+		if ratio < 2 {
+			b.Fatalf("v2 compression ratio %.2fx below the 2x floor (gob %d B, v2 %d B)",
+				ratio, gobInfo.Bytes, v2Info.Bytes)
+		}
+		b.ReportMetric(ratio, "x-compression")
+	}
+}
+
 func BenchmarkRestoreStream(b *testing.B) {
 	db := persistStore(b)
 	var buf bytes.Buffer

@@ -101,14 +101,23 @@ func main() {
 			Logf:     log.Printf,
 		})
 		go f.Run(ctx)
-		opts = append(opts, api.WithReplication(func() api.ReplicationHealth {
-			return replicationHealth(f)
-		}))
+		opts = append(opts,
+			api.WithReplication(func() api.ReplicationHealth {
+				return replicationHealth(f)
+			}),
+			// The replica directory is the serving store's disk identity:
+			// stats and health report its size, segment count and format
+			// versions (docs/SERVING.md §4).
+			api.WithStorageDir(*inPath),
+		)
 		fmt.Printf("apiserver: following %s into %s every %s\n", *follow, *inPath, *tailEvery)
 	} else {
 		db, err = openStore(*inPath)
 		if err != nil {
 			fatal(err)
+		}
+		if fi, err := os.Stat(*inPath); err == nil && fi.IsDir() {
+			opts = append(opts, api.WithStorageDir(*inPath))
 		}
 	}
 

@@ -29,13 +29,14 @@ import (
 	"interdomain/internal/api"
 	"interdomain/internal/experiments"
 	"interdomain/internal/netsim"
+	"interdomain/internal/replication"
 	"interdomain/internal/tsdb"
 )
 
 func main() {
 	seed := flag.Uint64("seed", 1, "determinism seed")
 	days := flag.Int("days", experiments.StudyDays, "longitudinal study length in days")
-	only := flag.String("only", "", "comma-separated subset (table1..4, figure3..9, operator, ablations, asymmetry, mapit, campaign, persist, serve)")
+	only := flag.String("only", "", "comma-separated subset (table1..4, figure3..9, operator, ablations, asymmetry, mapit, campaign, persist, serve, storage)")
 	report := flag.String("report", "", "also write a full Markdown measurement report here")
 	flag.Parse()
 
@@ -169,6 +170,13 @@ func main() {
 			fatal(err)
 		}
 	}
+	if sel("storage") {
+		section("Storage engine — gob v1 vs columnar v2 segments + compaction",
+			"delta-of-delta timestamps, Gorilla XOR values (docs/PERSISTENCE.md §8); same digest, fewer bytes")
+		if err := runStorageSection(); err != nil {
+			fatal(err)
+		}
+	}
 	if sel("serve") {
 		section("Serving tier — cold vs cached vs concurrent congestion queries",
 			"versioned read path (docs/SERVING.md): zero-copy views, epoch-keyed cache, coalescing")
@@ -245,27 +253,7 @@ func runCampaignSection(ctx context.Context, seed uint64) error {
 // retention. Like the campaign section, the dir path's speedup is
 // bounded by GOMAXPROCS.
 func runPersistSection() error {
-	db := tsdb.Open()
-	batch := make([]tsdb.BatchPoint, 0, 4096)
-	for s := 0; s < 400; s++ {
-		tags := map[string]string{
-			"vp":   fmt.Sprintf("vp-%02d", s%16),
-			"link": fmt.Sprintf("l-%03d", s),
-			"side": []string{"near", "far"}[s%2],
-		}
-		for p := 0; p < 600; p++ {
-			batch = append(batch, tsdb.BatchPoint{
-				Measurement: "tslp", Tags: tags,
-				Time:  netsim.Epoch.Add(time.Duration(p) * 12 * time.Minute),
-				Value: float64(s*600 + p),
-			})
-			if len(batch) == cap(batch) {
-				db.WriteBatch(batch)
-				batch = batch[:0]
-			}
-		}
-	}
-	db.WriteBatch(batch)
+	db := persistFixture()
 	want := db.Digest()
 
 	dir, err := os.MkdirTemp("", "benchtables-persist-*")
@@ -323,6 +311,145 @@ func runPersistSection() error {
 	fmt.Printf("retention to t+48h: %d segment files deleted, %d points dropped in %.1fms (no survivor decoded)\n",
 		removed, dropped, time.Since(t0).Seconds()*1e3)
 	fmt.Printf("restore paths agree: digest %016x\n", want)
+	return nil
+}
+
+// persistFixture builds the synthetic store shared by the persist and
+// storage sections: 400 series shaped like a week of campaign data, 600
+// points each on a fixed 12-minute cadence.
+func persistFixture() *tsdb.DB {
+	db := tsdb.Open()
+	batch := make([]tsdb.BatchPoint, 0, 4096)
+	for s := 0; s < 400; s++ {
+		tags := map[string]string{
+			"vp":   fmt.Sprintf("vp-%02d", s%16),
+			"link": fmt.Sprintf("l-%03d", s),
+			"side": []string{"near", "far"}[s%2],
+		}
+		for p := 0; p < 600; p++ {
+			batch = append(batch, tsdb.BatchPoint{
+				Measurement: "tslp", Tags: tags,
+				Time:  netsim.Epoch.Add(time.Duration(p) * 12 * time.Minute),
+				Value: float64(s*600 + p),
+			})
+			if len(batch) == cap(batch) {
+				db.WriteBatch(batch)
+				batch = batch[:0]
+			}
+		}
+	}
+	db.WriteBatch(batch)
+	return db
+}
+
+// runStorageSection compares the gob v1 and columnar v2 segment formats
+// on the persist fixture: bytes on disk, snapshot/restore wall-clock,
+// and replication transfer volume, then compacts the v2 directory and
+// reports what the merged segments cost. Digest equality across every
+// path is the equivalence proof (ISSUE 6 acceptance).
+func runStorageSection() error {
+	db := persistFixture()
+	want := db.Digest()
+
+	type formatRun struct {
+		name          string
+		version       int
+		bytes         int64
+		segments      int
+		snap, restore time.Duration
+		transferred   int64
+		dir           string
+	}
+	runs := []*formatRun{
+		{name: "gob v1", version: tsdb.SegmentVersionGob},
+		{name: "columnar v2", version: 0}, // 0 = current default (v2)
+	}
+
+	for _, r := range runs {
+		dir, err := os.MkdirTemp("", "benchtables-storage-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		r.dir = dir
+
+		t0 := time.Now()
+		if _, err := db.SnapshotDir(dir, tsdb.DirOptions{FormatVersion: r.version}); err != nil {
+			return err
+		}
+		r.snap = time.Since(t0)
+
+		info, err := tsdb.ReadDirInfo(dir)
+		if err != nil {
+			return err
+		}
+		r.bytes, r.segments = info.Bytes, info.Segments
+
+		t0 = time.Now()
+		restored := tsdb.Open()
+		if err := restored.RestoreDir(dir, tsdb.DirOptions{}); err != nil {
+			return err
+		}
+		r.restore = time.Since(t0)
+		if restored.Digest() != want {
+			return fmt.Errorf("storage: %s restore diverged: %016x want %016x", r.name, restored.Digest(), want)
+		}
+
+		// Replication transfer volume: a cold follower fetching the whole
+		// directory moves exactly the committed segment payloads.
+		ts := httptest.NewServer(replication.NewExporter(dir))
+		fdir, err := os.MkdirTemp("", "benchtables-replica-*")
+		if err != nil {
+			ts.Close()
+			return err
+		}
+		fdb := tsdb.Open()
+		cs, err := replication.New(ts.URL, fdir, fdb, replication.Options{}).TailOnce(context.Background())
+		ts.Close()
+		os.RemoveAll(fdir)
+		if err != nil {
+			return err
+		}
+		if fdb.Digest() != want {
+			return fmt.Errorf("storage: %s replication diverged", r.name)
+		}
+		r.transferred = cs.BytesFetched
+	}
+
+	gob, v2 := runs[0], runs[1]
+	fmt.Printf("%d series x 600 points, %d segments per snapshot\n", 400, v2.segments)
+	for _, r := range runs {
+		fmt.Printf("%-12s %8d KiB on disk | snapshot %6.1fms restore %6.1fms | replication %8d KiB\n",
+			r.name, r.bytes/1024, r.snap.Seconds()*1e3, r.restore.Seconds()*1e3, r.transferred/1024)
+	}
+	ratio := float64(gob.bytes) / float64(v2.bytes)
+	fmt.Printf("compression ratio v1/v2: %.2fx bytes on disk, %.2fx transfer volume\n",
+		ratio, float64(gob.transferred)/float64(v2.transferred))
+
+	// Compaction on the v2 directory: merge everything cold into
+	// multi-window level-1 segments and report the effect.
+	t0 := time.Now()
+	cstats, err := tsdb.CompactDir(v2.dir, tsdb.CompactOptions{ColdBefore: netsim.Epoch.AddDate(1, 0, 0)})
+	if err != nil {
+		return err
+	}
+	info, err := tsdb.ReadDirInfo(v2.dir)
+	if err != nil {
+		return err
+	}
+	compacted := tsdb.Open()
+	if err := compacted.RestoreDir(v2.dir, tsdb.DirOptions{}); err != nil {
+		return err
+	}
+	if compacted.Digest() != want {
+		return fmt.Errorf("storage: compacted restore diverged")
+	}
+	fmt.Printf("compaction:  %d -> %d segments (level %d) in %.1fms, %d KiB, digest preserved\n",
+		cstats.Merged, cstats.Written, info.MaxLevel, time.Since(t0).Seconds()*1e3, info.Bytes/1024)
+	if ratio < 2 {
+		return fmt.Errorf("storage: v2 compression ratio %.2fx below the 2x acceptance floor", ratio)
+	}
+	fmt.Printf("all digests match: %016x\n", want)
 	return nil
 }
 

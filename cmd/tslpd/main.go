@@ -9,6 +9,7 @@
 //
 //	tslpd [-seed N] [-hours H] [-vps comcast-nyc,verizon-nyc]
 //	      [-datadir dir] [-snapshot-every 6h] [-retain 0]
+//	      [-compact-after 24h] [-compact-windows 7]
 //	      [-replica-addr :8081] [-out snapshot.tsdb]
 //
 // With -datadir the store persists as a segment directory (one file per
@@ -22,6 +23,11 @@
 // is dropped instead of inserted twice, so a resumed run's store equals
 // an uninterrupted one. -out keeps writing the legacy single-stream
 // snapshot at exit; the two formats restore identically.
+//
+// With -compact-after > 0 each snapshot is followed by a background
+// level-compaction pass (docs/PERSISTENCE.md §8.4): windows colder
+// than the horizon are merged, up to -compact-windows base windows per
+// output segment, shrinking the file count without changing content.
 //
 // With -replica-addr (requires -datadir) tslpd is a replication leader
 // (docs/REPLICATION.md): it exports the datadir's committed manifest
@@ -59,6 +65,8 @@ func main() {
 	datadir := flag.String("datadir", "", "segment directory for periodic incremental snapshots (docs/PERSISTENCE.md)")
 	snapEvery := flag.Duration("snapshot-every", 6*time.Hour, "virtual-time cadence of -datadir snapshots")
 	retain := flag.Duration("retain", 0, "drop data older than this horizon at each snapshot (0 keeps everything)")
+	compactAfter := flag.Duration("compact-after", 0, "merge segment windows colder than this horizon after each snapshot (0 disables compaction)")
+	compactWindows := flag.Int("compact-windows", tsdb.DefaultCompactWindows, "max base windows per compacted segment")
 	replicaAddr := flag.String("replica-addr", "", "export -datadir to replication followers on this address (docs/REPLICATION.md)")
 	flag.Parse()
 
@@ -132,6 +140,22 @@ func main() {
 	// partitions) that ages the store out and takes an incremental
 	// snapshot — only dirty (shard, window) segments are rewritten.
 	if *datadir != "" {
+		compact := func(t time.Time) {
+			if *compactAfter <= 0 {
+				return
+			}
+			cs, err := db.Compact(*datadir, tsdb.CompactOptions{
+				ColdBefore: t.Add(-*compactAfter),
+				MaxWindows: *compactWindows,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			if cs.Merged > 0 {
+				fmt.Printf("tslpd: %s compaction gen %d: merged %d segments into %d (%d -> %d bytes)\n",
+					t.Format("01-02 15:04"), cs.Generation, cs.Merged, cs.Written, cs.BytesIn, cs.BytesOut)
+			}
+		}
 		snapshot := func(t time.Time) {
 			if *retain > 0 {
 				if n := db.Retain(t.Add(-*retain), t.AddDate(100, 0, 0)); n > 0 {
@@ -144,6 +168,7 @@ func main() {
 			}
 			fmt.Printf("tslpd: %s snapshot gen %d: %d segments (%d written, %d reused, %d removed)\n",
 				t.Format("01-02 15:04"), st.Generation, st.Segments, st.Written, st.Reused, st.Removed)
+			compact(t)
 		}
 		sys.Sched.Every(netsim.Epoch.Add(*snapEvery), *snapEvery, snapshot)
 	}
@@ -185,6 +210,19 @@ func main() {
 		}
 		fmt.Printf("tslpd: final snapshot gen %d: %d segments (%d written, %d reused) in %s\n",
 			st.Generation, st.Segments, st.Written, st.Reused, *datadir)
+		if *compactAfter > 0 {
+			cs, err := db.Compact(*datadir, tsdb.CompactOptions{
+				ColdBefore: deadline.Add(-*compactAfter),
+				MaxWindows: *compactWindows,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			if cs.Merged > 0 {
+				fmt.Printf("tslpd: final compaction gen %d: merged %d segments into %d (%d -> %d bytes)\n",
+					cs.Generation, cs.Merged, cs.Written, cs.BytesIn, cs.BytesOut)
+			}
+		}
 	}
 	if *out != "" {
 		f, err := os.Create(*out)

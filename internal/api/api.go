@@ -56,6 +56,9 @@ type Server struct {
 	// replication, when set (WithReplication), reports the follower's
 	// position for /api/v1/health and /api/v1/stats.
 	replication func() ReplicationHealth
+	// storageDir, when set (WithStorageDir), is summarized into the
+	// Storage field of /api/v1/health and /api/v1/stats responses.
+	storageDir string
 	// computes counts actual detector runs behind /api/v1/congestion;
 	// with coalescing and caching it grows strictly slower than the
 	// request count, and the stats endpoint exposes it so tests (and
@@ -72,6 +75,7 @@ type serverConfig struct {
 	cacheSize   int
 	workers     int
 	replication func() ReplicationHealth
+	storageDir  string
 }
 
 // WithCacheSize bounds the read cache to n entries (<= 0 keeps the
@@ -94,6 +98,17 @@ func WithReplication(fn func() ReplicationHealth) Option {
 	return func(c *serverConfig) { c.replication = fn }
 }
 
+// WithStorageDir names the segment directory the serving store was
+// restored from (or a follower replicates into). /api/v1/stats and
+// /api/v1/health then report what is on disk — bytes, segment count,
+// format versions, compaction depth — next to the generation they
+// already expose. The directory is summarized per request, so a
+// snapshot, retention or compaction pass landing between requests is
+// visible immediately.
+func WithStorageDir(dir string) Option {
+	return func(c *serverConfig) { c.storageDir = dir }
+}
+
 // New returns a server over db. Callers that create servers in a loop
 // should Close them to release the analysis worker pool.
 func New(db *tsdb.DB, opts ...Option) *Server {
@@ -109,6 +124,7 @@ func New(db *tsdb.DB, opts ...Option) *Server {
 		met:   newMetrics(),
 	}
 	s.replication = cfg.replication
+	s.storageDir = cfg.storageDir
 	s.handle("/api/v1/measurements", "measurements", s.handleMeasurements)
 	s.handle("/api/v1/tags", "tags", s.handleTags)
 	s.handle("/api/v1/query", "query", s.handleQuery)
@@ -505,8 +521,29 @@ type StatsResponse struct {
 	// Replication reports the follower's replication position; absent
 	// on a leader or standalone server.
 	Replication *ReplicationHealth `json:"replication,omitempty"`
+	// Storage summarizes the on-disk segment directory (bytes, segment
+	// count, format versions, compaction depth); absent when the server
+	// was not given one (WithStorageDir) or the directory holds no
+	// committed manifest yet.
+	Storage *tsdb.DirInfo `json:"storage,omitempty"`
 	// Endpoints maps endpoint name to its request metrics.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
+}
+
+// storageInfo summarizes the configured segment directory, or nil when
+// none is configured or it has no committed manifest yet (a follower
+// before its first applied generation). Errors are deliberately folded
+// into nil: stats and health must answer even when the disk state is
+// mid-commit.
+func (s *Server) storageInfo() *tsdb.DirInfo {
+	if s.storageDir == "" {
+		return nil
+	}
+	info, err := tsdb.ReadDirInfo(s.storageDir)
+	if err != nil {
+		return nil
+	}
+	return &info
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -515,6 +552,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		CongestionComputes: s.computes.Load(),
 		StoreVersion:       s.DB.StoreVersion(),
 		Generation:         s.DB.SnapshotGeneration(),
+		Storage:            s.storageInfo(),
 		Endpoints:          s.met.snapshot(),
 	}
 	if s.replication != nil {
@@ -566,6 +604,9 @@ type HealthResponse struct {
 	// Replication reports the follower position; absent on a leader or
 	// standalone server.
 	Replication *ReplicationHealth `json:"replication,omitempty"`
+	// Storage summarizes the on-disk segment directory; absent without
+	// WithStorageDir or before the first committed manifest.
+	Storage *tsdb.DirInfo `json:"storage,omitempty"`
 	// Error carries the not-ready reason when Status is not "ok", in
 	// the standard error-detail shape.
 	Error *ErrorDetail `json:"error,omitempty"`
@@ -582,6 +623,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Generation:   s.DB.SnapshotGeneration(),
 		Series:       s.DB.SeriesCount(),
 		Points:       s.DB.PointCount(),
+		Storage:      s.storageInfo(),
 	}
 	if s.replication != nil {
 		rh := s.replication()

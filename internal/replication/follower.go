@@ -114,7 +114,11 @@ type Follower struct {
 // be nil for a mirror-only follower) after each committed generation.
 // If dir already holds a committed manifest — a restart — the follower
 // resumes from its generation instead of refetching, and the caller is
-// expected to have restored db from it.
+// expected to have restored db from it. Orphaned .tmp download files
+// left by a fetch that crashed mid-cycle are reaped immediately: the
+// post-commit reap of step 6 only runs on changed-generation cycles,
+// so without this a crashed download against an idle leader would sit
+// in the replica dir forever.
 func New(leaderURL, dir string, db *tsdb.DB, opts Options) *Follower {
 	client := opts.Client
 	if client == nil {
@@ -134,11 +138,28 @@ func New(leaderURL, dir string, db *tsdb.DB, opts Options) *Follower {
 		logf:     opts.Logf,
 	}
 	f.st.Leader = f.leader
+	reapTempFiles(dir)
 	if m, err := tsdb.LoadManifest(dir); err == nil {
 		f.st.AppliedGeneration = m.Generation
 		f.st.LeaderGeneration = m.Generation
 	}
 	return f
+}
+
+// reapTempFiles removes .tmp download leftovers from a replica dir.
+// Best-effort: a .tmp file is by definition uncommitted (the rename
+// into a committed name happens only after verification), so deleting
+// one can never lose replicated data.
+func reapTempFiles(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return // no dir yet — nothing to reap
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
 }
 
 // Status returns a snapshot of the follower's replication state.

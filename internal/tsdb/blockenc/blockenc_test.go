@@ -1,0 +1,296 @@
+package blockenc
+
+// Round-trip and corruption tests for the v2 block encodings
+// (docs/PERSISTENCE.md §8). The round-trip suite covers every shape
+// the probing modules emit — fixed cadences, jittered cadences,
+// duplicate timestamps, constant values, NaN/Inf, denormals — and the
+// corruption suite is fuzz-style: byte flips and truncations at every
+// position must produce a descriptive error or a clean value change,
+// never a panic or runaway allocation.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// column is one synthetic time/value column pair.
+type column struct {
+	name   string
+	times  []int64
+	values []float64
+}
+
+// testColumns builds the column shapes the encoders must handle.
+func testColumns() []column {
+	rng := rand.New(rand.NewSource(42))
+	base := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+
+	fixed := column{name: "fixed cadence"}
+	for i := 0; i < 3000; i++ {
+		fixed.times = append(fixed.times, base+int64(i)*int64(5*time.Minute))
+		fixed.values = append(fixed.values, 20+math.Sin(float64(i)/96)*5)
+	}
+
+	jitter := column{name: "jittered cadence"}
+	at := base
+	for i := 0; i < 2500; i++ {
+		at += int64(5*time.Minute) + rng.Int63n(int64(time.Second)) - int64(time.Second)/2
+		jitter.times = append(jitter.times, at)
+		jitter.values = append(jitter.values, rng.NormFloat64()*30)
+	}
+
+	dup := column{name: "duplicate timestamps"}
+	for i := 0; i < 500; i++ {
+		t := base + int64(i/3)*int64(time.Minute) // every timestamp three times
+		dup.times = append(dup.times, t)
+		dup.values = append(dup.values, float64(i))
+	}
+
+	constant := column{name: "constant values"}
+	for i := 0; i < 1000; i++ {
+		constant.times = append(constant.times, base+int64(i)*int64(time.Hour))
+		constant.values = append(constant.values, 7.25)
+	}
+
+	nasty := column{
+		name:  "special values",
+		times: []int64{-5, -1, 0, 1, 2, 3, 4, 5, 6, 7},
+		values: []float64{
+			0, math.Copysign(0, -1), math.NaN(), math.Inf(1), math.Inf(-1),
+			math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64,
+			-math.SmallestNonzeroFloat64, 1e-300,
+		},
+	}
+
+	single := column{name: "single point", times: []int64{base}, values: []float64{3.14}}
+
+	return []column{fixed, jitter, dup, constant, nasty, single}
+}
+
+// sameFloats compares bit-exactly so NaNs count as equal to themselves.
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestColumnRoundTrip: AppendTimes/DecodeTimes and
+// AppendValues/DecodeValues are exact inverses for every column shape,
+// bit-for-bit including NaN payloads (docs/PERSISTENCE.md §8.2, §8.3).
+func TestColumnRoundTrip(t *testing.T) {
+	for _, c := range testColumns() {
+		ts, err := DecodeTimes(AppendTimes(nil, c.times), len(c.times))
+		if err != nil {
+			t.Fatalf("%s: DecodeTimes: %v", c.name, err)
+		}
+		if !reflect.DeepEqual(ts, c.times) {
+			t.Fatalf("%s: timestamps did not round-trip", c.name)
+		}
+		vs, err := DecodeValues(AppendValues(nil, c.values), len(c.values))
+		if err != nil {
+			t.Fatalf("%s: DecodeValues: %v", c.name, err)
+		}
+		if !sameFloats(vs, c.values) {
+			t.Fatalf("%s: values did not round-trip", c.name)
+		}
+	}
+}
+
+// TestBuildBlocks: long columns split at MaxBlockPoints, summaries are
+// exact, and Decode reassembles the original columns.
+func TestBuildBlocks(t *testing.T) {
+	c := testColumns()[0] // 3000 points -> 3 blocks
+	blocks := BuildBlocks(c.times, c.values)
+	if want := (len(c.times) + MaxBlockPoints - 1) / MaxBlockPoints; len(blocks) != want {
+		t.Fatalf("got %d blocks, want %d", len(blocks), want)
+	}
+	var ts []int64
+	var vs []float64
+	for _, b := range blocks {
+		if b.Count == 0 || b.Count > MaxBlockPoints {
+			t.Fatalf("block count %d out of range", b.Count)
+		}
+		bts, bvs, err := b.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.MinT != bts[0] || b.MaxT != bts[len(bts)-1] {
+			t.Fatalf("summary time bounds [%d,%d] disagree with decoded [%d,%d]",
+				b.MinT, b.MaxT, bts[0], bts[len(bts)-1])
+		}
+		for _, v := range bvs {
+			if v < b.Min || v > b.Max {
+				t.Fatalf("value %v outside summary [%v,%v]", v, b.Min, b.Max)
+			}
+		}
+		ts = append(ts, bts...)
+		vs = append(vs, bvs...)
+	}
+	if !reflect.DeepEqual(ts, c.times) || !sameFloats(vs, c.values) {
+		t.Fatal("blocks did not reassemble the original columns")
+	}
+}
+
+// payloadFixture builds a multi-series payload from the test columns.
+func payloadFixture() []Series {
+	var series []Series
+	for i, c := range testColumns() {
+		series = append(series, Series{
+			Measurement: "tslp",
+			Tags:        map[string]string{"link": c.name, "side": []string{"near", "far"}[i%2]},
+			Blocks:      BuildBlocks(c.times, c.values),
+		})
+	}
+	return series
+}
+
+// TestPayloadRoundTrip: EncodePayload/DecodePayload preserve series
+// identity and every point, and identical content encodes to identical
+// bytes (the canonical-encoding property incremental snapshots and
+// replication reuse rely on).
+func TestPayloadRoundTrip(t *testing.T) {
+	series := payloadFixture()
+	data := EncodePayload(series)
+	if !reflect.DeepEqual(data, EncodePayload(series)) {
+		t.Fatal("encoding is not deterministic")
+	}
+
+	got, err := DecodePayload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(series) {
+		t.Fatalf("got %d series, want %d", len(got), len(series))
+	}
+	for i, s := range got {
+		want := series[i]
+		if s.Measurement != want.Measurement || !reflect.DeepEqual(s.Tags, want.Tags) {
+			t.Fatalf("series %d identity mismatch", i)
+		}
+		if len(s.Blocks) != len(want.Blocks) {
+			t.Fatalf("series %d: got %d blocks, want %d", i, len(s.Blocks), len(want.Blocks))
+		}
+		for bi, b := range s.Blocks {
+			gts, gvs, err := b.Decode()
+			if err != nil {
+				t.Fatalf("series %d block %d: %v", i, bi, err)
+			}
+			wts, wvs, err := want.Blocks[bi].Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gts, wts) || !sameFloats(gvs, wvs) {
+				t.Fatalf("series %d block %d: points did not round-trip", i, bi)
+			}
+		}
+	}
+}
+
+// TestDecodeCorruptionSafety is the fuzz-style robustness gate: for a
+// real payload, every single-byte flip and every truncation must
+// either fail with an error wrapping ErrCorrupt or decode without a
+// panic (the payload-level CRC catches silent changes; this package
+// only owes memory safety and bounded work).
+func TestDecodeCorruptionSafety(t *testing.T) {
+	data := EncodePayload(payloadFixture())
+
+	decodeAll := func(data []byte) error {
+		series, err := DecodePayload(data)
+		if err != nil {
+			return err
+		}
+		for _, s := range series {
+			for _, b := range s.Blocks {
+				if _, _, err := b.Decode(); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	if err := decodeAll(data); err != nil {
+		t.Fatalf("pristine payload rejected: %v", err)
+	}
+
+	// Truncations at every length.
+	step := 1
+	if len(data) > 4096 {
+		step = len(data) / 4096
+	}
+	for n := 0; n < len(data); n += step {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("truncation to %d bytes panicked: %v", n, r)
+				}
+			}()
+			if err := decodeAll(data[:n]); err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("truncation to %d bytes: error does not wrap ErrCorrupt: %v", n, err)
+			}
+		}()
+	}
+
+	// Byte flips at every (sampled) position, several patterns each.
+	rng := rand.New(rand.NewSource(99))
+	for pos := 0; pos < len(data); pos += step {
+		for _, mask := range []byte{0xff, 1 << (rng.Intn(8))} {
+			mut := make([]byte, len(data))
+			copy(mut, data)
+			mut[pos] ^= mask
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("flip at %d panicked: %v", pos, r)
+					}
+				}()
+				if err := decodeAll(mut); err != nil && !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("flip at %d: error does not wrap ErrCorrupt: %v", pos, err)
+				}
+			}()
+		}
+	}
+}
+
+// TestDecodeRejectsAbsurdCounts: corrupt counts cannot drive
+// allocation — a tiny buffer claiming millions of series or points is
+// rejected quickly.
+func TestDecodeRejectsAbsurdCounts(t *testing.T) {
+	// Huge series count followed by nothing.
+	data := []byte{0xff, 0xff, 0xff, 0xff, 0x07} // uvarint ~2^31
+	if _, err := DecodePayload(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("absurd series count accepted: %v", err)
+	}
+	// A block claiming more than MaxBlockPoints. Hand-built: series
+	// count 1, measurement "m", 0 tags, 1 block, minT 0, maxT 0,
+	// min/max bits, count 1<<30.
+	bad := []byte{1, 1, 'm', 0, 1, 0, 0}
+	bad = append(bad, make([]byte, 16)...)          // min/max
+	bad = append(bad, 0x80, 0x80, 0x80, 0x80, 0x04) // uvarint 1<<30
+	if _, err := DecodePayload(bad); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("absurd block count accepted: %v", err)
+	}
+}
+
+// TestCompressionOnCadenceData pins the reason v2 exists: a
+// fixed-cadence column must encode far below the 16 bytes/point of
+// raw (time, value) pairs.
+func TestCompressionOnCadenceData(t *testing.T) {
+	c := testColumns()[0]
+	enc := len(AppendTimes(nil, c.times)) + len(AppendValues(nil, c.values))
+	raw := 16 * len(c.times)
+	if enc*2 > raw {
+		t.Fatalf("fixed-cadence column compressed only %dx (%d of %d raw bytes)",
+			raw/enc, enc, raw)
+	}
+}

@@ -1,0 +1,306 @@
+package tsdb
+
+// Background level compaction for segment directories
+// (docs/PERSISTENCE.md §8.4): adjacent cold windows of the same shard
+// are merged into one wider generation-qualified segment, cutting the
+// file count — and, for v2 inputs, without ever decoding a point,
+// because a merged span's blocks are the concatenation of its inputs'
+// blocks in window order. The pass runs under the same atomic
+// manifest-rename commit protocol as SnapshotDir and RetainDir, so a
+// crash at any moment leaves the previous snapshot fully restorable,
+// and it preserves the manifest's series and point totals — content is
+// reorganized, never changed, which is what keeps DB.Digest the
+// equivalence oracle across compactions.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"interdomain/internal/pipeline"
+	"interdomain/internal/tsdb/blockenc"
+)
+
+// DefaultCompactWindows is the default cap on how many base windows
+// one compacted segment may span (CompactOptions.MaxWindows): a week
+// of daily windows, mirroring the weekly rollup shards the deployed
+// system's backend used.
+const DefaultCompactWindows = 7
+
+// CompactOptions configures CompactDir.
+type CompactOptions struct {
+	// ColdBefore bounds what may be merged: only segments whose window
+	// ends at or before it are candidates. Windows still receiving
+	// writes should stay out of compaction, or the next incremental
+	// snapshot rewrites the whole merged span.
+	ColdBefore time.Time
+	// MaxWindows caps the number of base windows one output segment may
+	// span. 0 means DefaultCompactWindows; 1 (or less than 0) disables
+	// merging entirely.
+	MaxWindows int
+	// Workers bounds the concurrent span merges. 0 means one per CPU; 1
+	// runs fully sequentially on the calling goroutine.
+	Workers int
+}
+
+// CompactStats reports what a CompactDir call did.
+type CompactStats struct {
+	// Merged is the number of input segment files merged away.
+	Merged int
+	// Written is the number of merged output segments written.
+	Written int
+	// Generation is the manifest generation the call published; equal
+	// to the previous generation when there was nothing to do.
+	Generation uint64
+	// BytesIn and BytesOut are the on-disk sizes of the merged inputs
+	// and of the outputs that replaced them.
+	BytesIn, BytesOut int64
+}
+
+// compactRun is one group of adjacent cold segments to merge.
+type compactRun struct {
+	inputs []SegmentMeta
+	meta   SegmentMeta // filled by the merge
+	in     int64       // input bytes on disk
+	out    int64       // output bytes on disk
+}
+
+// planCompaction groups each shard's cold segments into runs of two or
+// more whose combined span stays within maxWindows base windows.
+// Segments in a run need not be contiguous in time — a span may cover
+// empty windows — but they never overlap (windows partition time).
+func planCompaction(m *Manifest, cut int64, maxWindows int) []*compactRun {
+	byShard := make(map[int][]SegmentMeta)
+	for _, sm := range m.Segments {
+		if sm.WindowEnd <= cut {
+			byShard[sm.Shard] = append(byShard[sm.Shard], sm)
+		}
+	}
+	shards := make([]int, 0, len(byShard))
+	for s := range byShard {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+
+	var runs []*compactRun
+	for _, s := range shards {
+		sms := byShard[s]
+		sort.Slice(sms, func(i, j int) bool { return sms[i].WindowStart < sms[j].WindowStart })
+		var cur []SegmentMeta
+		flush := func() {
+			if len(cur) >= 2 {
+				runs = append(runs, &compactRun{inputs: cur})
+			}
+			cur = nil
+		}
+		for _, sm := range sms {
+			if len(cur) > 0 {
+				span := sm.WindowEnd - cur[0].WindowStart
+				if span > int64(maxWindows)*m.WindowNanos {
+					flush()
+				}
+			}
+			cur = append(cur, sm)
+		}
+		flush()
+	}
+	return runs
+}
+
+// mergeRun merges one run's inputs into a single v2 segment spanning
+// [first.WindowStart, last.WindowEnd). v2 inputs contribute their
+// blocks verbatim — no point decode — while v1 (gob) inputs are
+// decoded and re-encoded as v2 blocks, upgrading them in passing. The
+// output's level is one above the deepest input (docs/PERSISTENCE.md
+// §8.4).
+func mergeRun(dir string, gen uint64, r *compactRun) error {
+	type acc struct {
+		measurement string
+		tags        map[string]string
+		blocks      []blockenc.Block
+	}
+	byKey := make(map[string]*acc)
+	var keys []string
+	add := func(measurement string, tags map[string]string, blocks []blockenc.Block) {
+		key := Key(measurement, tags)
+		a, ok := byKey[key]
+		if !ok {
+			a = &acc{measurement: measurement, tags: tags}
+			byKey[key] = a
+			keys = append(keys, key)
+		}
+		a.blocks = append(a.blocks, blocks...)
+	}
+
+	points, level := 0, 0
+	for _, sm := range r.inputs {
+		payload, version, err := loadSegmentPayload(dir, sm)
+		if err != nil {
+			return err
+		}
+		r.in += segmentHeaderSize + int64(len(payload))
+		if sm.Level > level {
+			level = sm.Level
+		}
+		points += sm.Points
+		switch version {
+		case SegmentVersionGob:
+			list, err := decodeGobPayload(payload, sm)
+			if err != nil {
+				return err
+			}
+			for _, bs := range toBlockSeries(list) {
+				add(bs.Measurement, bs.Tags, bs.Blocks)
+			}
+		default:
+			list, err := decodeBlockPayload(payload, sm)
+			if err != nil {
+				return err
+			}
+			for i := range list {
+				add(list[i].Measurement, list[i].Tags, list[i].Blocks)
+			}
+		}
+	}
+
+	// Inputs are processed in ascending window order and windows
+	// partition time, so each key's concatenated blocks stay
+	// time-ordered. Sorting by key keeps the payload canonical.
+	sort.Strings(keys)
+	out := make([]blockenc.Series, 0, len(keys))
+	for _, key := range keys {
+		a := byKey[key]
+		out = append(out, blockenc.Series{Measurement: a.measurement, Tags: a.tags, Blocks: a.blocks})
+	}
+
+	first, last := r.inputs[0], r.inputs[len(r.inputs)-1]
+	payload := blockenc.EncodePayload(out)
+	meta, err := writeSegmentFile(dir, gen, SegmentVersion, first.Shard,
+		first.WindowStart, last.WindowEnd, len(out), points, level+1, payload)
+	if err != nil {
+		return err
+	}
+	r.meta = meta
+	r.out = segmentHeaderSize + int64(len(payload))
+	return nil
+}
+
+// CompactDir merges adjacent cold segments of a committed directory in
+// place and republishes the manifest with a bumped generation. It
+// never touches segments whose window reaches past opts.ColdBefore,
+// preserves the manifest's series and point totals, and commits with
+// the §4 manifest-rename protocol — input files are deleted only after
+// the new manifest no longer references them, so a crash mid-pass
+// leaves the previous snapshot fully restorable. A directory with
+// nothing to merge is left untouched at its current generation.
+func CompactDir(dir string, opts CompactOptions) (CompactStats, error) {
+	var st CompactStats
+	m, err := readManifest(dir)
+	if err != nil {
+		return st, fmt.Errorf("tsdb: compactdir: %w", err)
+	}
+	st.Generation = m.Generation
+	maxWindows := opts.MaxWindows
+	if maxWindows == 0 {
+		maxWindows = DefaultCompactWindows
+	}
+	if maxWindows <= 1 {
+		return st, nil
+	}
+
+	runs := planCompaction(m, opts.ColdBefore.UnixNano(), maxWindows)
+	if len(runs) == 0 {
+		return st, nil
+	}
+	gen := m.Generation + 1
+
+	// Reap leftovers of a crashed earlier attempt so this pass's
+	// gen-qualified names are free (docs/PERSISTENCE.md §4).
+	listed := make(map[string]bool, len(m.Segments))
+	for _, sm := range m.Segments {
+		listed[sm.File] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return st, fmt.Errorf("tsdb: compactdir: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), tmpSuffix) ||
+			(strings.HasSuffix(e.Name(), segmentSuffix) && !listed[e.Name()]) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+
+	// Merge the runs concurrently; each writes its own output file, and
+	// nothing is visible until the manifest commit below. Two runs of
+	// the same shard never collide on a name because their window
+	// starts differ.
+	pool := pipeline.NewPool(opts.Workers)
+	defer pool.Close()
+	jobs := make([]func() error, len(runs))
+	for i, r := range runs {
+		r := r
+		jobs[i] = func() error { return mergeRun(dir, gen, r) }
+	}
+	if err := pool.DoErr(jobs...); err != nil {
+		return st, fmt.Errorf("tsdb: compactdir: %w", err)
+	}
+
+	merged := make(map[string]bool)
+	var dead []string
+	next := &Manifest{
+		Version:     ManifestVersion,
+		Generation:  gen,
+		WindowNanos: m.WindowNanos,
+		StoreSeries: m.StoreSeries,
+		TotalPoints: m.TotalPoints,
+	}
+	for _, r := range runs {
+		next.Segments = append(next.Segments, r.meta)
+		for _, sm := range r.inputs {
+			merged[sm.File] = true
+			dead = append(dead, sm.File)
+		}
+		st.Merged += len(r.inputs)
+		st.Written++
+		st.BytesIn += r.in
+		st.BytesOut += r.out
+	}
+	for _, sm := range m.Segments {
+		if !merged[sm.File] {
+			next.Segments = append(next.Segments, sm)
+		}
+	}
+
+	// Commit point; only afterwards are the merged inputs dead.
+	// Deletion is best-effort — a failure leaves a leftover the next
+	// writer reaps.
+	if err := writeManifest(dir, next); err != nil {
+		return st, fmt.Errorf("tsdb: compactdir: %w", err)
+	}
+	for _, name := range dead {
+		os.Remove(filepath.Join(dir, name))
+	}
+	st.Generation = gen
+	return st, nil
+}
+
+// Compact runs CompactDir on the store's behalf: it holds the store
+// lock for the duration, so the pass serializes with SnapshotDir, and
+// on success it advances the store's snapshot-generation bookkeeping —
+// the next incremental snapshot then reuses the freshly merged
+// segments instead of demoting to a full rewrite. dir is typically the
+// directory the store last snapshotted into.
+func (db *DB) Compact(dir string, opts CompactOptions) (CompactStats, error) {
+	unlock := db.lockAll(false)
+	defer unlock()
+	prevGen := db.snapGen
+	st, err := CompactDir(dir, opts)
+	if err == nil && db.snapDir == dir && db.snapGen == prevGen && prevGen > 0 {
+		db.snapGen = st.Generation
+	}
+	return st, err
+}

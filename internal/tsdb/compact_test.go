@@ -1,0 +1,383 @@
+package tsdb
+
+// Tests for the v2 columnar segment format and the level-compaction
+// pass (docs/PERSISTENCE.md §8): format-version selection, mixed v1/v2
+// directories, the named version error, digest-preserving compaction,
+// and the interplay of compaction with incremental snapshots,
+// retention and crash leftovers.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// segmentVersions reads every committed segment's header version.
+func segmentVersions(t *testing.T, dir string) map[int]int {
+	t.Helper()
+	m, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	versions := make(map[int]int)
+	for _, sm := range m.Segments {
+		_, v, err := loadSegmentPayload(dir, sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		versions[v]++
+	}
+	return versions
+}
+
+// dirBytes sums the committed segment files' sizes.
+func dirBytes(t *testing.T, dir string) int64 {
+	t.Helper()
+	m, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	for _, sm := range m.Segments {
+		fi, err := os.Stat(filepath.Join(dir, sm.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += fi.Size()
+	}
+	return n
+}
+
+// TestSnapshotDirFormatVersions: the default snapshot writes v2, the
+// legacy option writes v1, and both restore to the same digest
+// (docs/PERSISTENCE.md §8 — the format changes, the content cannot).
+func TestSnapshotDirFormatVersions(t *testing.T) {
+	db := buildSegStore(time.Hour)
+	for _, tc := range []struct {
+		format, want int
+	}{
+		{format: 0, want: SegmentVersion},
+		{format: SegmentVersion, want: SegmentVersion},
+		{format: SegmentVersionGob, want: SegmentVersionGob},
+	} {
+		dir := t.TempDir()
+		if _, err := db.SnapshotDir(dir, DirOptions{FormatVersion: tc.format}); err != nil {
+			t.Fatalf("format %d: %v", tc.format, err)
+		}
+		versions := segmentVersions(t, dir)
+		if len(versions) != 1 || versions[tc.want] == 0 {
+			t.Fatalf("format %d: segment versions %v, want only v%d", tc.format, versions, tc.want)
+		}
+		assertRestoresTo(t, dir, db)
+	}
+	if _, err := db.SnapshotDir(t.TempDir(), DirOptions{FormatVersion: SegmentVersion + 1}); err == nil {
+		t.Fatal("SnapshotDir accepted an unknown format version")
+	}
+}
+
+// TestMixedVersionRestore: a directory holding v1 and v2 segments side
+// by side — the state of a store mid-migration — restores to exactly
+// the digest of an all-v1 and an all-v2 snapshot of the same store.
+func TestMixedVersionRestore(t *testing.T) {
+	db := buildSegStore(time.Hour)
+	want := db.Digest()
+	dir := t.TempDir()
+	if _, err := db.SnapshotDir(dir, DirOptions{FormatVersion: SegmentVersionGob, Incremental: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dirty a few windows, then snapshot incrementally in v2: clean v1
+	// segments are reused byte-for-byte, dirty windows are rewritten v2.
+	db.Write("tslp", map[string]string{"link": "l1", "vp": "vp-a", "side": "far"}, t0.Add(30*time.Minute), 99)
+	db.Write("loss", map[string]string{"link": "l3", "vp": "vp-b", "side": "near"}, t0.Add(4*time.Hour), 1)
+	want = db.Digest()
+	st, err := db.SnapshotDir(dir, DirOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reused == 0 || st.Written == 0 {
+		t.Fatalf("expected a mix of reused and rewritten segments: %+v", st)
+	}
+	versions := segmentVersions(t, dir)
+	if versions[SegmentVersionGob] == 0 || versions[SegmentVersion] == 0 {
+		t.Fatalf("directory is not mixed-version: %v", versions)
+	}
+
+	got := Open()
+	if err := got.RestoreDir(dir, DirOptions{}); err != nil {
+		t.Fatalf("RestoreDir on mixed-version dir: %v", err)
+	}
+	if got.Digest() != want {
+		t.Fatal("mixed-version directory does not restore to the source digest")
+	}
+}
+
+// TestUnknownSegmentVersionNamedError: a future format version is
+// rejected with an error wrapping ErrSegmentVersion, so callers can
+// distinguish version skew from corruption programmatically.
+func TestUnknownSegmentVersionNamedError(t *testing.T) {
+	db := buildSegStore(time.Hour)
+	dir := t.TempDir()
+	if _, err := db.SnapshotDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	seg := segmentAt(t, dir, func(SegmentMeta) bool { return true })
+	path := filepath.Join(dir, seg)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[11] = byte(SegmentVersion + 1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = Open().RestoreDir(dir, DirOptions{})
+	if !errors.Is(err, ErrSegmentVersion) {
+		t.Fatalf("error does not wrap ErrSegmentVersion: %v", err)
+	}
+}
+
+// TestCompactDirEquivalence is the §8.4 oracle: compaction merges
+// files but must not change content — the directory restores to the
+// same digest before and after, series totals survive, and the merged
+// segments carry bumped levels and multi-window spans.
+func TestCompactDirEquivalence(t *testing.T) {
+	window := time.Hour
+	db := buildSegStore(window)
+	want := db.Digest()
+	dir := t.TempDir()
+	if _, err := db.SnapshotDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := CompactDir(dir, CompactOptions{ColdBefore: maxTime, MaxWindows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Merged == 0 || st.Written == 0 || st.Merged <= st.Written {
+		t.Fatalf("compaction merged nothing: %+v", st)
+	}
+	if st.Generation != before.Generation+1 {
+		t.Fatalf("generation %d, want %d", st.Generation, before.Generation+1)
+	}
+
+	after, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Segments) >= len(before.Segments) {
+		t.Fatalf("segment count did not drop: %d -> %d", len(before.Segments), len(after.Segments))
+	}
+	if after.TotalPoints != before.TotalPoints || after.StoreSeries != before.StoreSeries {
+		t.Fatalf("compaction changed the manifest totals: %+v -> %+v", before, after)
+	}
+	sawMerged := false
+	for _, sm := range after.Segments {
+		span := sm.WindowEnd - sm.WindowStart
+		if span > 3*int64(window) {
+			t.Fatalf("segment %s spans %d windows, cap is 3", sm.File, span/int64(window))
+		}
+		if span > int64(window) {
+			sawMerged = true
+			if sm.Level == 0 {
+				t.Fatalf("merged segment %s kept level 0", sm.File)
+			}
+		}
+	}
+	if !sawMerged {
+		t.Fatal("no multi-window segment in the compacted manifest")
+	}
+
+	got := Open()
+	if err := got.RestoreDir(dir, DirOptions{}); err != nil {
+		t.Fatalf("RestoreDir after compaction: %v", err)
+	}
+	if got.Digest() != want {
+		t.Fatal("compaction changed the restored digest")
+	}
+
+	// Idempotence: a second pass over fully merged spans does nothing
+	// and does not bump the generation.
+	again, err := CompactDir(dir, CompactOptions{ColdBefore: maxTime, MaxWindows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Merged != 0 || again.Generation != st.Generation {
+		t.Fatalf("second compaction was not a no-op: %+v", again)
+	}
+}
+
+// TestCompactDirUpgradesGob: compacting a v1 directory rewrites the
+// merged spans as v2 — the migration path from a pre-v2 data
+// directory — while preserving the digest and shrinking bytes on disk.
+func TestCompactDirUpgradesGob(t *testing.T) {
+	db := buildSegStore(time.Hour)
+	want := db.Digest()
+	dir := t.TempDir()
+	if _, err := db.SnapshotDir(dir, DirOptions{FormatVersion: SegmentVersionGob}); err != nil {
+		t.Fatal(err)
+	}
+	bytesBefore := dirBytes(t, dir)
+
+	st, err := CompactDir(dir, CompactOptions{ColdBefore: maxTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Merged == 0 {
+		t.Fatalf("nothing merged: %+v", st)
+	}
+	versions := segmentVersions(t, dir)
+	if versions[SegmentVersion] == 0 {
+		t.Fatalf("no v2 segment after compacting a gob directory: %v", versions)
+	}
+	if got := dirBytes(t, dir); got >= bytesBefore {
+		t.Fatalf("compaction did not shrink the directory: %d -> %d bytes", bytesBefore, got)
+	}
+	got := Open()
+	if err := got.RestoreDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != want {
+		t.Fatal("gob-to-v2 compaction changed the restored digest")
+	}
+}
+
+// TestCompactRespectsColdBoundary: windows reaching past ColdBefore
+// are never merged.
+func TestCompactRespectsColdBoundary(t *testing.T) {
+	window := time.Hour
+	db := buildSegStore(window)
+	dir := t.TempDir()
+	if _, err := db.SnapshotDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cold := t0.Add(3 * window)
+	if _, err := CompactDir(dir, CompactOptions{ColdBefore: cold}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sm := range m.Segments {
+		if sm.WindowEnd > cold.UnixNano() && sm.WindowEnd-sm.WindowStart != int64(window) {
+			t.Fatalf("hot segment %s was merged", sm.File)
+		}
+	}
+	assertRestoresTo(t, dir, db)
+}
+
+// TestIncrementalSnapshotAfterCompact: DB.Compact keeps the store's
+// bookkeeping in step, so the next incremental snapshot reuses the
+// merged segments instead of demoting to a full rewrite; a write into
+// a merged span rewrites that one span whole, keeping compaction
+// sticky (docs/PERSISTENCE.md §8.4).
+func TestIncrementalSnapshotAfterCompact(t *testing.T) {
+	window := time.Hour
+	db := buildSegStore(window)
+	dir := t.TempDir()
+	if _, err := db.SnapshotDir(dir, DirOptions{Incremental: true}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Compact(dir, CompactOptions{ColdBefore: maxTime, MaxWindows: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Merged == 0 {
+		t.Fatalf("nothing merged: %+v", st)
+	}
+
+	idle, err := db.SnapshotDir(dir, DirOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idle.Written != 0 || idle.Reused != idle.Segments {
+		t.Fatalf("idle snapshot after compaction rewrote segments: %+v", idle)
+	}
+	assertRestoresTo(t, dir, db)
+
+	// Dirty one window inside a merged span: exactly one segment (the
+	// span) is rewritten, and it keeps its merged bounds.
+	db.Write("tslp", map[string]string{"link": "l1", "vp": "vp-a", "side": "far"}, t0.Add(30*time.Minute), 123)
+	after, err := db.SnapshotDir(dir, DirOptions{Incremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Written != 1 || after.Reused != after.Segments-1 {
+		t.Fatalf("write into a merged span should rewrite one segment: %+v", after)
+	}
+	m, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSpan := false
+	for _, sm := range m.Segments {
+		if sm.WindowEnd-sm.WindowStart > int64(window) {
+			sawSpan = true
+		}
+	}
+	if !sawSpan {
+		t.Fatal("rewrite dissolved the merged spans")
+	}
+	assertRestoresTo(t, dir, db)
+}
+
+// TestRetainDirOnCompacted: retention on a compacted directory drops
+// expired merged segments wholesale and block-trims the one straddling
+// the cut, staying equivalent to in-memory Retain.
+func TestRetainDirOnCompacted(t *testing.T) {
+	window := time.Hour
+	db := buildSegStore(window)
+	dir := t.TempDir()
+	if _, err := db.SnapshotDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompactDir(dir, CompactOptions{ColdBefore: maxTime, MaxWindows: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	cut := t0.Add(2*window + 17*time.Minute) // mid-span and mid-window
+	_, dropped, err := RetainDir(dir, cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := db.Retain(cut, maxTime); dropped != want {
+		t.Fatalf("RetainDir on compacted dir dropped %d points, in-memory Retain dropped %d", dropped, want)
+	}
+	assertRestoresTo(t, dir, db)
+}
+
+// TestCompactDirCrashLeftovers: a gen-qualified segment abandoned by a
+// crashed compaction attempt is invisible to RestoreDir and reaped by
+// the next pass (docs/PERSISTENCE.md §4).
+func TestCompactDirCrashLeftovers(t *testing.T) {
+	db := buildSegStore(time.Hour)
+	dir := t.TempDir()
+	if _, err := db.SnapshotDir(dir, DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := readManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leftover := segmentFileName(7, 0, m.Generation+1)
+	if err := os.WriteFile(filepath.Join(dir, leftover), []byte("half a crashed compaction"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	assertRestoresTo(t, dir, db) // leftover ignored on read
+
+	if _, err := CompactDir(dir, CompactOptions{ColdBefore: maxTime}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, leftover)); !os.IsNotExist(err) {
+		t.Fatalf("crashed-attempt leftover survived CompactDir: %v", err)
+	}
+	assertRestoresTo(t, dir, db)
+}

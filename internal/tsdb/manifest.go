@@ -38,8 +38,13 @@ type SegmentMeta struct {
 	Series int `json:"series"`
 	// Points is the number of points encoded in the segment.
 	Points int `json:"points"`
-	// CRC is the CRC-32C (Castagnoli) of the segment's gob payload.
+	// CRC is the CRC-32C (Castagnoli) of the segment's payload.
 	CRC uint32 `json:"crc"`
+	// Level is the compaction level: 0 for segments written directly by
+	// a snapshot or retention pass, k+1 for a segment produced by
+	// merging level-<=k inputs (docs/PERSISTENCE.md §8.4). Informational
+	// — the window bounds, not the level, define the segment's identity.
+	Level int `json:"level,omitempty"`
 }
 
 // Manifest describes a complete segment directory. A directory is valid
@@ -169,12 +174,15 @@ func ParseManifest(data []byte) (*Manifest, error) {
 			return nil, fmt.Errorf("tsdb: manifest entry %s: shard %d out of range", sm.File, sm.Shard)
 		}
 		// Every entry's window must be consistent with the directory-wide
-		// window length: exactly window_nanos long and aligned to it
-		// (docs/PERSISTENCE.md §3). Per-segment header checks alone would
-		// accept a manifest whose window_nanos disagrees with its entries.
-		if sm.WindowEnd-sm.WindowStart != m.WindowNanos {
-			return nil, fmt.Errorf("tsdb: manifest entry %s: window [%d,%d) spans %d ns, manifest window is %d ns",
-				sm.File, sm.WindowStart, sm.WindowEnd, sm.WindowEnd-sm.WindowStart, m.WindowNanos)
+		// window length: a positive whole number of base windows, aligned
+		// to the window grid (docs/PERSISTENCE.md §3). Freshly written
+		// segments span exactly one window; compaction merges adjacent
+		// windows into wider spans (docs/PERSISTENCE.md §8.4). Per-segment
+		// header checks alone would accept a manifest whose window_nanos
+		// disagrees with its entries.
+		if span := sm.WindowEnd - sm.WindowStart; span <= 0 || span%m.WindowNanos != 0 {
+			return nil, fmt.Errorf("tsdb: manifest entry %s: window [%d,%d) spans %d ns, not a positive multiple of the %d ns window",
+				sm.File, sm.WindowStart, sm.WindowEnd, span, m.WindowNanos)
 		}
 		if sm.WindowStart%m.WindowNanos != 0 {
 			return nil, fmt.Errorf("tsdb: manifest entry %s: window start %d is not aligned to the %d ns window",

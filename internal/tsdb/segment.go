@@ -16,6 +16,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"interdomain/internal/pipeline"
+	"interdomain/internal/tsdb/blockenc"
 )
 
 const (
@@ -33,11 +35,19 @@ const (
 	// field 1). Eight bytes so a corrupt or foreign file fails fast.
 	SegmentMagic = "ITSDBSEG"
 
-	// SegmentVersion is the segment format version this package writes.
-	// Readers accept any version <= SegmentVersion; a larger version is
-	// a descriptive error, never a silent skip (docs/PERSISTENCE.md §2,
-	// "Versioning").
-	SegmentVersion = 1
+	// SegmentVersion is the newest segment format version this package
+	// writes and the default for new snapshots: columnar per-series
+	// blocks of delta-of-delta varint timestamps and Gorilla
+	// XOR-compressed values (docs/PERSISTENCE.md §8). Readers accept any
+	// version <= SegmentVersion; a larger version is a descriptive error
+	// wrapping ErrSegmentVersion, never a silent skip
+	// (docs/PERSISTENCE.md §2, "Versioning").
+	SegmentVersion = 2
+
+	// SegmentVersionGob is the legacy v1 payload encoding — one
+	// encoding/gob stream of the segment's series. Still written on
+	// request (DirOptions.FormatVersion) and read forever.
+	SegmentVersionGob = 1
 
 	// segmentHeaderSize is the fixed byte length of the header laid out
 	// in docs/PERSISTENCE.md §2: magic(8) + version(4) + shard(4) +
@@ -62,6 +72,12 @@ const DefaultWindow = 24 * time.Hour
 // readers (docs/PERSISTENCE.md §2, field 9).
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// ErrSegmentVersion is wrapped by every "segment format version newer
+// than supported" error, so readers that must distinguish a
+// version-skewed directory from plain corruption can errors.Is against
+// it (docs/PERSISTENCE.md §2, "Versioning").
+var ErrSegmentVersion = errors.New("segment format version newer than supported")
+
 // DirOptions configures SnapshotDir and RestoreDir.
 type DirOptions struct {
 	// Workers bounds the concurrent segment encoders (SnapshotDir) or
@@ -75,6 +91,14 @@ type DirOptions struct {
 	// store's bookkeeping (first snapshot, foreign directory, or a
 	// RetainDir ran in between).
 	Incremental bool
+	// FormatVersion selects the payload encoding SnapshotDir writes: 0
+	// means the current default (SegmentVersion, the columnar v2
+	// format), SegmentVersionGob forces the legacy gob payload. It has
+	// no effect on reads — RestoreDir decodes every supported version,
+	// and incremental snapshots reuse clean segments of any version
+	// byte-for-byte, so mixed-version directories are normal
+	// (docs/PERSISTENCE.md §8).
+	FormatVersion int
 }
 
 // DirStats reports what a SnapshotDir call did.
@@ -143,11 +167,15 @@ func parseSegmentGen(name string) (gen uint64, ok bool) {
 
 // segPlan is one segment to persist: the series slices (views into the
 // store, valid only while the snapshot holds the store lock) falling
-// into one (shard, window).
+// into one (shard, window span). Freshly planned segments span exactly
+// one window; rewrites of compacted segments keep the merged span
+// (docs/PERSISTENCE.md §8.4).
 type segPlan struct {
 	shard    int
 	winStart int64
-	series   []*Series // point slices alias the store; sorted by key
+	winEnd   int64
+	level    int
+	series   []*Series // point slices alias the store; time-ascending per key
 	points   int
 	meta     SegmentMeta // filled by the encoder
 }
@@ -210,7 +238,7 @@ func (db *DB) planSegments() []*segPlan {
 				id := [2]int64{int64(si), win}
 				p, ok := plans[id]
 				if !ok {
-					p = &segPlan{shard: si, winStart: win}
+					p = &segPlan{shard: si, winStart: win, winEnd: win + int64(w)}
 					plans[id] = p
 					order = append(order, id)
 				}
@@ -233,37 +261,92 @@ func (db *DB) planSegments() []*segPlan {
 	return out
 }
 
-// encodeSegment writes one segment file (docs/PERSISTENCE.md §2) under
-// a temp name, fsyncs it, renames it into its gen-qualified place, and
-// fills p.meta. It never touches a previous generation's file; until a
-// manifest referencing the new name is published, the file is an inert
-// leftover (docs/PERSISTENCE.md §4).
-func encodeSegment(dir string, window time.Duration, gen uint64, p *segPlan) error {
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(p.series); err != nil {
-		return fmt.Errorf("tsdb: encode segment shard %d window %d: %w", p.shard, p.winStart, err)
+// toBlockSeries converts store series slices into the canonical v2
+// payload form: one blockenc.Series per distinct key, points
+// concatenated in slice order (callers keep per-key slices
+// time-ascending), sorted by key so identical content encodes to
+// identical bytes.
+func toBlockSeries(list []*Series) []blockenc.Series {
+	type acc struct {
+		measurement string
+		tags        map[string]string
+		times       []int64
+		values      []float64
 	}
-	name := segmentFileName(p.shard, p.winStart, gen)
-	crc := crc32.Checksum(payload.Bytes(), crcTable)
+	byKey := make(map[string]*acc)
+	var keys []string
+	for _, s := range list {
+		key := Key(s.Measurement, s.Tags)
+		a, ok := byKey[key]
+		if !ok {
+			a = &acc{measurement: s.Measurement, tags: s.Tags}
+			byKey[key] = a
+			keys = append(keys, key)
+		}
+		for _, pt := range s.Points {
+			a.times = append(a.times, pt.Time.UnixNano())
+			a.values = append(a.values, pt.Value)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]blockenc.Series, 0, len(keys))
+	for _, key := range keys {
+		a := byKey[key]
+		out = append(out, blockenc.Series{
+			Measurement: a.measurement,
+			Tags:        a.tags,
+			Blocks:      blockenc.BuildBlocks(a.times, a.values),
+		})
+	}
+	return out
+}
+
+// encodeSegmentPayload produces the payload bytes for one segment in
+// the requested format version and reports how many series entries the
+// payload holds (distinct keys for v2, series slices for gob v1).
+func encodeSegmentPayload(version int, list []*Series) (payload []byte, seriesCount int, err error) {
+	switch version {
+	case SegmentVersionGob:
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(list); err != nil {
+			return nil, 0, fmt.Errorf("encode gob payload: %w", err)
+		}
+		return buf.Bytes(), len(list), nil
+	case SegmentVersion:
+		bs := toBlockSeries(list)
+		return blockenc.EncodePayload(bs), len(bs), nil
+	default:
+		return nil, 0, fmt.Errorf("unsupported segment format version %d", version)
+	}
+}
+
+// writeSegmentFile writes one segment file (docs/PERSISTENCE.md §2)
+// under a temp name, fsyncs it, renames it into its gen-qualified
+// place, and returns its manifest entry. It never touches a previous
+// generation's file; until a manifest referencing the new name is
+// published, the file is an inert leftover (docs/PERSISTENCE.md §4).
+func writeSegmentFile(dir string, gen uint64, version, shard int, winStart, winEnd int64, seriesCount, points, level int, payload []byte) (SegmentMeta, error) {
+	name := segmentFileName(shard, winStart, gen)
+	crc := crc32.Checksum(payload, crcTable)
 
 	hdr := make([]byte, 0, segmentHeaderSize)
 	hdr = append(hdr, SegmentMagic...)
-	hdr = binary.BigEndian.AppendUint32(hdr, SegmentVersion)
-	hdr = binary.BigEndian.AppendUint32(hdr, uint32(p.shard))
-	hdr = binary.BigEndian.AppendUint64(hdr, uint64(p.winStart))
-	hdr = binary.BigEndian.AppendUint64(hdr, uint64(p.winStart+int64(window)))
-	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(p.series)))
-	hdr = binary.BigEndian.AppendUint64(hdr, uint64(p.points))
-	hdr = binary.BigEndian.AppendUint64(hdr, uint64(payload.Len()))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(version))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(shard))
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(winStart))
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(winEnd))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(seriesCount))
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(points))
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(len(payload)))
 	hdr = binary.BigEndian.AppendUint32(hdr, crc)
 
 	tmp := filepath.Join(dir, name+tmpSuffix)
 	f, err := os.Create(tmp)
 	if err != nil {
-		return fmt.Errorf("tsdb: create segment: %w", err)
+		return SegmentMeta{}, fmt.Errorf("tsdb: create segment: %w", err)
 	}
 	if _, err := f.Write(hdr); err == nil {
-		_, err = f.Write(payload.Bytes())
+		_, err = f.Write(payload)
 	}
 	if err == nil {
 		// Content must be durable before the rename can be: a rename
@@ -274,23 +357,38 @@ func encodeSegment(dir string, window time.Duration, gen uint64, p *segPlan) err
 	if err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return fmt.Errorf("tsdb: write segment %s: %w", name, err)
+		return SegmentMeta{}, fmt.Errorf("tsdb: write segment %s: %w", name, err)
 	}
 	if err := f.Close(); err != nil {
-		return fmt.Errorf("tsdb: close segment %s: %w", name, err)
+		return SegmentMeta{}, fmt.Errorf("tsdb: close segment %s: %w", name, err)
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
-		return fmt.Errorf("tsdb: publish segment %s: %w", name, err)
+		return SegmentMeta{}, fmt.Errorf("tsdb: publish segment %s: %w", name, err)
 	}
-	p.meta = SegmentMeta{
+	return SegmentMeta{
 		File:        name,
-		Shard:       p.shard,
-		WindowStart: p.winStart,
-		WindowEnd:   p.winStart + int64(window),
-		Series:      len(p.series),
-		Points:      p.points,
+		Shard:       shard,
+		WindowStart: winStart,
+		WindowEnd:   winEnd,
+		Series:      seriesCount,
+		Points:      points,
 		CRC:         crc,
+		Level:       level,
+	}, nil
+}
+
+// encodeSegment encodes a plan's payload in the requested format
+// version, writes the segment file, and fills p.meta.
+func encodeSegment(dir string, gen uint64, version int, p *segPlan) error {
+	payload, seriesCount, err := encodeSegmentPayload(version, p.series)
+	if err != nil {
+		return fmt.Errorf("tsdb: encode segment shard %d window %d: %w", p.shard, p.winStart, err)
 	}
+	meta, err := writeSegmentFile(dir, gen, version, p.shard, p.winStart, p.winEnd, seriesCount, p.points, p.level, payload)
+	if err != nil {
+		return err
+	}
+	p.meta = meta
 	return nil
 }
 
@@ -353,20 +451,39 @@ func (db *DB) SnapshotDir(dir string, opts DirOptions) (DirStats, error) {
 	// generation (segment file names embed it, so it is fixed up front).
 	incremental := opts.Incremental && db.snapDir == dir && db.snapGen > 0 &&
 		prevErr == nil && prev.Generation == db.snapGen && prev.WindowNanos == int64(db.window)
-	prevByID := make(map[[2]int64]SegmentMeta)
+	version := opts.FormatVersion
+	if version == 0 {
+		version = SegmentVersion
+	}
+	if version < SegmentVersionGob || version > SegmentVersion {
+		return st, fmt.Errorf("tsdb: snapshotdir: unsupported segment format version %d", version)
+	}
+
+	// Committed segments may span several base windows after compaction
+	// (docs/PERSISTENCE.md §8.4), so incremental reuse works per span:
+	// map every base window a previous segment covers back to it, reuse
+	// the segment whole when none of its windows is dirty, and rewrite
+	// it as one merged plan over the same span otherwise — compaction
+	// stays sticky across snapshots.
+	var prevSegs []SegmentMeta
+	covered := make(map[[2]int64]int)
+	var spanDirty []bool
 	if incremental {
 		for _, sm := range prev.Segments {
-			if onDisk[sm.File] {
-				prevByID[[2]int64{int64(sm.Shard), sm.WindowStart}] = sm
+			if !onDisk[sm.File] {
+				continue
 			}
+			i := len(prevSegs)
+			prevSegs = append(prevSegs, sm)
+			dirty := false
+			for win := sm.WindowStart; win < sm.WindowEnd; win += prev.WindowNanos {
+				covered[[2]int64{int64(sm.Shard), win}] = i
+				if _, ok := db.shards[sm.Shard].dirty[win]; ok {
+					dirty = true
+				}
+			}
+			spanDirty = append(spanDirty, dirty)
 		}
-	}
-	dirty := func(shard int, win int64) bool {
-		if !incremental {
-			return true
-		}
-		_, ok := db.shards[shard].dirty[win]
-		return ok
 	}
 	gen := uint64(1)
 	if prevErr == nil {
@@ -375,15 +492,36 @@ func (db *DB) SnapshotDir(dir string, opts DirOptions) (DirStats, error) {
 
 	plans := db.planSegments()
 	var toWrite []*segPlan
+	usedPrev := make(map[int]bool)
+	rewrite := make(map[int]*segPlan)
 	next := &Manifest{Version: ManifestVersion, Generation: gen, WindowNanos: int64(db.window)}
 	for _, p := range plans {
-		if sm, ok := prevByID[[2]int64{int64(p.shard), p.winStart}]; ok && !dirty(p.shard, p.winStart) {
-			next.Segments = append(next.Segments, sm)
-			st.Reused++
-			st.Points += sm.Points
+		i, ok := covered[[2]int64{int64(p.shard), p.winStart}]
+		if !ok {
+			toWrite = append(toWrite, p)
 			continue
 		}
-		toWrite = append(toWrite, p)
+		sm := prevSegs[i]
+		if !spanDirty[i] {
+			if !usedPrev[i] {
+				usedPrev[i] = true
+				next.Segments = append(next.Segments, sm)
+				st.Reused++
+				st.Points += sm.Points
+			}
+			continue
+		}
+		// Dirty span: fold this base window's plan into the span's single
+		// rewrite plan. Plans arrive in ascending window order, so each
+		// key's points stay time-ordered across the merged span.
+		g, ok := rewrite[i]
+		if !ok {
+			g = &segPlan{shard: p.shard, winStart: sm.WindowStart, winEnd: sm.WindowEnd, level: sm.Level}
+			rewrite[i] = g
+			toWrite = append(toWrite, g)
+		}
+		g.series = append(g.series, p.series...)
+		g.points += p.points
 	}
 
 	// Encode the dirty segments concurrently; the plans alias store
@@ -396,7 +534,7 @@ func (db *DB) SnapshotDir(dir string, opts DirOptions) (DirStats, error) {
 	jobs := make([]func() error, len(toWrite))
 	for i, p := range toWrite {
 		p := p
-		jobs[i] = func() error { return encodeSegment(dir, db.window, gen, p) }
+		jobs[i] = func() error { return encodeSegment(dir, gen, version, p) }
 	}
 	if err := pool.DoErr(jobs...); err != nil {
 		return st, fmt.Errorf("tsdb: snapshotdir: %w", err)
@@ -449,19 +587,20 @@ func (db *DB) SnapshotDir(dir string, opts DirOptions) (DirStats, error) {
 // verifySegmentBytes checks a segment file's bytes against its
 // manifest entry — header length, magic, version, identity fields,
 // payload length, CRC-32C (docs/PERSISTENCE.md §2, reader
-// obligations) — and returns the payload. The gob decode and the
-// decoded-count checks stay with the caller; VerifySegmentFile and
-// readSegment share everything up to that point.
-func verifySegmentBytes(data []byte, sm SegmentMeta) ([]byte, error) {
+// obligations) — and returns the payload plus the header's format
+// version. The payload decode and the decoded-count checks stay with
+// the caller; VerifySegmentFile and readSegment share everything up to
+// that point.
+func verifySegmentBytes(data []byte, sm SegmentMeta) ([]byte, int, error) {
 	if len(data) < segmentHeaderSize {
-		return nil, fmt.Errorf("tsdb: segment %s: truncated header (%d bytes)", sm.File, len(data))
+		return nil, 0, fmt.Errorf("tsdb: segment %s: truncated header (%d bytes)", sm.File, len(data))
 	}
 	if string(data[:8]) != SegmentMagic {
-		return nil, fmt.Errorf("tsdb: segment %s: bad magic %q", sm.File, data[:8])
+		return nil, 0, fmt.Errorf("tsdb: segment %s: bad magic %q", sm.File, data[:8])
 	}
 	version := binary.BigEndian.Uint32(data[8:12])
 	if version > SegmentVersion {
-		return nil, fmt.Errorf("tsdb: segment %s: format version %d newer than supported %d (see docs/PERSISTENCE.md)", sm.File, version, SegmentVersion)
+		return nil, 0, fmt.Errorf("tsdb: segment %s: %w: format version %d, supported <= %d (see docs/PERSISTENCE.md)", sm.File, ErrSegmentVersion, version, SegmentVersion)
 	}
 	shard := int(binary.BigEndian.Uint32(data[12:16]))
 	winStart := int64(binary.BigEndian.Uint64(data[16:24]))
@@ -472,32 +611,33 @@ func verifySegmentBytes(data []byte, sm SegmentMeta) ([]byte, error) {
 	crc := binary.BigEndian.Uint32(data[52:56])
 	if shard != sm.Shard || winStart != sm.WindowStart || winEnd != sm.WindowEnd ||
 		series != sm.Series || points != sm.Points || crc != sm.CRC {
-		return nil, fmt.Errorf("tsdb: segment %s: header disagrees with manifest entry", sm.File)
+		return nil, 0, fmt.Errorf("tsdb: segment %s: header disagrees with manifest entry", sm.File)
 	}
 	payload := data[segmentHeaderSize:]
 	if len(payload) != payloadLen {
-		return nil, fmt.Errorf("tsdb: segment %s: truncated payload (%d of %d bytes)", sm.File, len(payload), payloadLen)
+		return nil, 0, fmt.Errorf("tsdb: segment %s: truncated payload (%d of %d bytes)", sm.File, len(payload), payloadLen)
 	}
 	if got := crc32.Checksum(payload, crcTable); got != crc {
-		return nil, fmt.Errorf("tsdb: segment %s: checksum mismatch (got %08x, want %08x)", sm.File, got, crc)
+		return nil, 0, fmt.Errorf("tsdb: segment %s: checksum mismatch (got %08x, want %08x)", sm.File, got, crc)
 	}
-	return payload, nil
+	return payload, int(version), nil
 }
 
-// readSegment loads and fully validates one segment file against its
-// manifest entry: magic, version, identity fields, payload checksum
-// (docs/PERSISTENCE.md §2). It returns the decoded series slices.
-func readSegment(dir string, sm SegmentMeta) ([]*Series, error) {
-	path := filepath.Join(dir, sm.File)
-	data, err := os.ReadFile(path)
+// loadSegmentPayload reads one segment file from disk and verifies it
+// against its manifest entry, returning the raw payload and its format
+// version without decoding it. readSegment, RetainDir's block-level
+// boundary trim and CompactDir's zero-decode merge all start here.
+func loadSegmentPayload(dir string, sm SegmentMeta) ([]byte, int, error) {
+	data, err := os.ReadFile(filepath.Join(dir, sm.File))
 	if err != nil {
-		return nil, fmt.Errorf("tsdb: segment %s: %w", sm.File, err)
+		return nil, 0, fmt.Errorf("tsdb: segment %s: %w", sm.File, err)
 	}
-	payload, err := verifySegmentBytes(data, sm)
-	if err != nil {
-		return nil, err
-	}
-	series, points := sm.Series, sm.Points
+	return verifySegmentBytes(data, sm)
+}
+
+// decodeGobPayload decodes a v1 (gob) payload into series slices and
+// cross-checks the decoded counts against the manifest entry.
+func decodeGobPayload(payload []byte, sm SegmentMeta) ([]*Series, error) {
 	var list []*Series
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&list); err != nil {
 		return nil, fmt.Errorf("tsdb: segment %s: decode: %w", sm.File, err)
@@ -506,10 +646,77 @@ func readSegment(dir string, sm SegmentMeta) ([]*Series, error) {
 	for _, s := range list {
 		n += len(s.Points)
 	}
-	if len(list) != series || n != points {
-		return nil, fmt.Errorf("tsdb: segment %s: payload holds %d series/%d points, header says %d/%d", sm.File, len(list), n, series, points)
+	if len(list) != sm.Series || n != sm.Points {
+		return nil, fmt.Errorf("tsdb: segment %s: payload holds %d series/%d points, header says %d/%d", sm.File, len(list), n, sm.Series, sm.Points)
 	}
 	return list, nil
+}
+
+// decodeBlockPayload structurally decodes a v2 payload and cross-checks
+// the series and (summary) point counts against the manifest entry.
+// Blocks stay encoded — callers that only reorganize blocks (compaction,
+// retention trim) never pay for a point decode (docs/PERSISTENCE.md §8).
+func decodeBlockPayload(payload []byte, sm SegmentMeta) ([]blockenc.Series, error) {
+	list, err := blockenc.DecodePayload(payload)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: segment %s: decode: %w", sm.File, err)
+	}
+	n := 0
+	for _, s := range list {
+		for _, b := range s.Blocks {
+			n += b.Count
+		}
+	}
+	if len(list) != sm.Series || n != sm.Points {
+		return nil, fmt.Errorf("tsdb: segment %s: payload holds %d series/%d points, header says %d/%d", sm.File, len(list), n, sm.Series, sm.Points)
+	}
+	return list, nil
+}
+
+// blockSeriesToSeries fully decodes v2 payload series into store form.
+func blockSeriesToSeries(list []blockenc.Series, sm SegmentMeta) ([]*Series, error) {
+	out := make([]*Series, 0, len(list))
+	for i := range list {
+		bs := &list[i]
+		var pts []Point
+		for _, b := range bs.Blocks {
+			ts, vs, err := b.Decode()
+			if err != nil {
+				return nil, fmt.Errorf("tsdb: segment %s: series %q: %w", sm.File, Key(bs.Measurement, bs.Tags), err)
+			}
+			for j := range ts {
+				pts = append(pts, Point{Time: time.Unix(0, ts[j]).UTC(), Value: vs[j]})
+			}
+		}
+		out = append(out, &Series{Measurement: bs.Measurement, Tags: bs.Tags, Points: pts})
+	}
+	return out, nil
+}
+
+// readSegment loads and fully validates one segment file against its
+// manifest entry: magic, version, identity fields, payload checksum
+// (docs/PERSISTENCE.md §2), then decodes the payload in whichever
+// format version the header declares. It returns the decoded series
+// slices.
+func readSegment(dir string, sm SegmentMeta) ([]*Series, error) {
+	payload, version, err := loadSegmentPayload(dir, sm)
+	if err != nil {
+		return nil, err
+	}
+	switch version {
+	case SegmentVersionGob:
+		return decodeGobPayload(payload, sm)
+	case SegmentVersion:
+		list, err := decodeBlockPayload(payload, sm)
+		if err != nil {
+			return nil, err
+		}
+		return blockSeriesToSeries(list, sm)
+	default:
+		// Unreachable: verifySegmentBytes rejects versions above
+		// SegmentVersion and no release wrote other versions.
+		return nil, fmt.Errorf("tsdb: segment %s: %w: format version %d", sm.File, ErrSegmentVersion, version)
+	}
 }
 
 // RestoreDir replaces the store contents with the segment directory's
@@ -650,7 +857,6 @@ func RetainDir(dir string, olderThan time.Time) (segmentsRemoved, pointsDropped 
 	if err != nil {
 		return 0, 0, fmt.Errorf("tsdb: retaindir: %w", err)
 	}
-	window := time.Duration(m.WindowNanos)
 	cut := olderThan.UnixNano()
 	gen := m.Generation + 1
 
@@ -681,34 +887,23 @@ func RetainDir(dir string, olderThan time.Time) (segmentsRemoved, pointsDropped 
 			segmentsRemoved++
 			pointsDropped += sm.Points
 		case sm.WindowStart < cut:
-			// Boundary window: decode, drop points before the cut, rewrite
+			// Boundary window: drop points before the cut and rewrite
 			// under this generation's name (the old file dies at commit).
-			list, err := readSegment(dir, sm)
+			// v2 segments trim at block granularity — whole blocks before
+			// the cut are dropped and whole blocks past it are carried
+			// over verbatim, so only the one straddling block per series
+			// is ever decoded (docs/PERSISTENCE.md §8.1).
+			meta, trimmed, err := trimBoundarySegment(dir, sm, cut, gen)
 			if err != nil {
 				return 0, 0, fmt.Errorf("tsdb: retaindir: %w", err)
 			}
-			p := &segPlan{shard: sm.Shard, winStart: sm.WindowStart}
-			trimmed := 0
-			for _, s := range list {
-				lo := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].Time.UnixNano() >= cut })
-				trimmed += lo
-				if lo == len(s.Points) {
-					continue
-				}
-				s.Points = s.Points[lo:]
-				p.series = append(p.series, s)
-				p.points += len(s.Points)
-			}
 			pointsDropped += trimmed
 			dead = append(dead, sm.File)
-			if len(p.series) == 0 {
+			if meta.File == "" {
 				segmentsRemoved++
 				continue
 			}
-			if err := encodeSegment(dir, window, gen, p); err != nil {
-				return 0, 0, fmt.Errorf("tsdb: retaindir: %w", err)
-			}
-			kept = append(kept, p.meta)
+			kept = append(kept, meta)
 		default:
 			kept = append(kept, sm)
 		}
@@ -738,4 +933,83 @@ func RetainDir(dir string, olderThan time.Time) (segmentsRemoved, pointsDropped 
 		os.Remove(filepath.Join(dir, name))
 	}
 	return segmentsRemoved, pointsDropped, nil
+}
+
+// trimBoundarySegment rewrites the one segment whose window contains
+// the retention cut, dropping every point before cut. The rewritten
+// segment keeps the original format version, window span and level. A
+// zero-valued meta (File == "") means no point survived and the
+// segment is simply removed; trimmed reports the points dropped.
+func trimBoundarySegment(dir string, sm SegmentMeta, cut int64, gen uint64) (meta SegmentMeta, trimmed int, err error) {
+	payload, version, err := loadSegmentPayload(dir, sm)
+	if err != nil {
+		return SegmentMeta{}, 0, err
+	}
+
+	if version == SegmentVersionGob {
+		list, err := decodeGobPayload(payload, sm)
+		if err != nil {
+			return SegmentMeta{}, 0, err
+		}
+		var kept []*Series
+		points := 0
+		for _, s := range list {
+			lo := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].Time.UnixNano() >= cut })
+			trimmed += lo
+			if lo == len(s.Points) {
+				continue
+			}
+			s.Points = s.Points[lo:]
+			kept = append(kept, s)
+			points += len(s.Points)
+		}
+		if len(kept) == 0 {
+			return SegmentMeta{}, trimmed, nil
+		}
+		out, seriesCount, err := encodeSegmentPayload(version, kept)
+		if err != nil {
+			return SegmentMeta{}, 0, fmt.Errorf("tsdb: segment %s: %w", sm.File, err)
+		}
+		meta, err = writeSegmentFile(dir, gen, version, sm.Shard, sm.WindowStart, sm.WindowEnd, seriesCount, points, sm.Level, out)
+		return meta, trimmed, err
+	}
+
+	list, err := decodeBlockPayload(payload, sm)
+	if err != nil {
+		return SegmentMeta{}, 0, err
+	}
+	var kept []blockenc.Series
+	points := 0
+	for i := range list {
+		s := &list[i]
+		var blocks []blockenc.Block
+		for _, b := range s.Blocks {
+			switch {
+			case b.MaxT < cut:
+				trimmed += b.Count
+			case b.MinT >= cut:
+				blocks = append(blocks, b)
+				points += b.Count
+			default:
+				ts, vs, err := b.Decode()
+				if err != nil {
+					return SegmentMeta{}, 0, fmt.Errorf("tsdb: segment %s: series %q: %w", sm.File, Key(s.Measurement, s.Tags), err)
+				}
+				lo := sort.Search(len(ts), func(j int) bool { return ts[j] >= cut })
+				trimmed += lo
+				if lo < len(ts) {
+					blocks = append(blocks, blockenc.BuildBlocks(ts[lo:], vs[lo:])...)
+					points += len(ts) - lo
+				}
+			}
+		}
+		if len(blocks) > 0 {
+			kept = append(kept, blockenc.Series{Measurement: s.Measurement, Tags: s.Tags, Blocks: blocks})
+		}
+	}
+	if len(kept) == 0 {
+		return SegmentMeta{}, trimmed, nil
+	}
+	meta, err = writeSegmentFile(dir, gen, version, sm.Shard, sm.WindowStart, sm.WindowEnd, len(kept), points, sm.Level, blockenc.EncodePayload(kept))
+	return meta, trimmed, err
 }
