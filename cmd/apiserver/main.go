@@ -5,11 +5,15 @@
 //
 //	apiserver -in snapshot.tsdb|datadir/ [-addr :8080] [-pidfile path]
 //	          [-follow http://leader:8081] [-tail-every 30s]
-//	          [-replica-addr :8081]
+//	          [-replica-addr :8081] [-lazy]
 //
 // -in accepts either a single-stream snapshot file or a segment
 // directory written by tslpd -datadir (docs/PERSISTENCE.md); a
-// directory is opened read-only, its shards decoded in parallel.
+// directory is opened read-only, its shards decoded in parallel. With
+// -lazy a directory is mapped instead of decoded: queries prune whole
+// blocks by their summaries and decode only survivors on demand
+// (docs/PERSISTENCE.md §9), /api/v1/stats reports the blocks scanned
+// vs skipped, and follower hot-swaps reopen only changed segments.
 //
 // With -follow the server is a replication follower (docs/REPLICATION.md):
 // -in names the local replica directory (created if absent), and the
@@ -66,6 +70,8 @@ func main() {
 	follow := flag.String("follow", "", "leader base URL to replicate from, e.g. http://leader:8081 (docs/REPLICATION.md)")
 	tailEvery := flag.Duration("tail-every", replication.DefaultInterval, "manifest tail cadence with -follow")
 	replicaAddr := flag.String("replica-addr", "", "listen address exporting -in (a directory) to downstream followers")
+	lazy := flag.Bool("lazy", false,
+		"open segment directories in block-pruned lazy mode: segments are mapped, not decoded, and queries decode only the blocks that survive summary pruning (docs/PERSISTENCE.md §9)")
 	debugAddr := flag.String("debug-addr", "",
 		"pprof listen address, e.g. localhost:6060 (empty disables)")
 	pidfile := flag.String("pidfile", filepath.Join(os.TempDir(), "apiserver.pid"),
@@ -92,12 +98,15 @@ func main() {
 		// Follower mode: -in is the replica directory. It may not exist
 		// yet (first start) or may hold a committed generation (restart);
 		// either way the follower resumes from whatever is there.
-		db, err = openReplicaDir(*inPath)
+		db, err = openReplicaDir(*inPath, *lazy)
 		if err != nil {
 			fatal(err)
 		}
+		// With -lazy the post-commit hot-swap maps only the segments each
+		// cycle fetched instead of re-decoding the whole directory.
 		f := replication.New(*follow, *inPath, db, replication.Options{
 			Interval: *tailEvery,
+			Lazy:     *lazy,
 			Logf:     log.Printf,
 		})
 		go f.Run(ctx)
@@ -112,7 +121,7 @@ func main() {
 		)
 		fmt.Printf("apiserver: following %s into %s every %s\n", *follow, *inPath, *tailEvery)
 	} else {
-		db, err = openStore(*inPath)
+		db, err = openStore(*inPath, *lazy)
 		if err != nil {
 			fatal(err)
 		}
@@ -165,12 +174,14 @@ func main() {
 }
 
 // openStore loads either persistence format: a segment directory
-// (tslpd -datadir) is restored shard-parallel and read-only, anything
-// else is treated as a single-stream snapshot file.
-func openStore(path string) (*tsdb.DB, error) {
+// (tslpd -datadir) is restored shard-parallel and read-only — or, with
+// lazy, mapped without decoding so startup is O(metadata) — anything
+// else is treated as a single-stream snapshot file (-lazy does not
+// apply to stream snapshots).
+func openStore(path string, lazy bool) (*tsdb.DB, error) {
 	db := tsdb.Open()
 	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
-		return db, db.RestoreDir(path, tsdb.DirOptions{})
+		return db, db.RestoreDir(path, tsdb.DirOptions{Lazy: lazy})
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -184,10 +195,10 @@ func openStore(path string) (*tsdb.DB, error) {
 // from it when it holds a committed manifest (a restart resumes
 // serving immediately at the applied generation), start empty when it
 // does not (health answers 503 until the first tail cycle lands).
-func openReplicaDir(dir string) (*tsdb.DB, error) {
+func openReplicaDir(dir string, lazy bool) (*tsdb.DB, error) {
 	db := tsdb.Open()
 	if _, err := os.Stat(filepath.Join(dir, tsdb.ManifestName)); err == nil {
-		if err := db.RestoreDir(dir, tsdb.DirOptions{}); err != nil {
+		if err := db.RestoreDir(dir, tsdb.DirOptions{Lazy: lazy}); err != nil {
 			return nil, err
 		}
 		fmt.Printf("apiserver: resumed replica generation %d (%d series, %d points) from %s\n",

@@ -15,6 +15,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http/httptest"
@@ -36,8 +37,10 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "determinism seed")
 	days := flag.Int("days", experiments.StudyDays, "longitudinal study length in days")
-	only := flag.String("only", "", "comma-separated subset (table1..4, figure3..9, operator, ablations, asymmetry, mapit, campaign, persist, serve, storage)")
+	only := flag.String("only", "", "comma-separated subset (table1..4, figure3..9, operator, ablations, asymmetry, mapit, campaign, persist, serve, storage, readpath)")
 	report := flag.String("report", "", "also write a full Markdown measurement report here")
+	jsonOut := flag.String("json", "", "write the machine-independent benchmark ratios as JSON here (needs the storage and readpath sections)")
+	baseline := flag.String("baseline", "", "compare the ratios against this baseline JSON and fail on >20% regression")
 	flag.Parse()
 
 	// Interrupts cancel the in-flight experiment instead of killing the
@@ -177,6 +180,13 @@ func main() {
 			fatal(err)
 		}
 	}
+	if sel("readpath") {
+		section("Read path — eager decode vs lazy block-pruned open (docs/PERSISTENCE.md §9)",
+			"segments mapped, not decoded; queries prune whole blocks by summary and decode survivors on demand")
+		if err := runReadpathSection(); err != nil {
+			fatal(err)
+		}
+	}
 	if sel("serve") {
 		section("Serving tier — cold vs cached vs concurrent congestion queries",
 			"versioned read path (docs/SERVING.md): zero-copy views, epoch-keyed cache, coalescing")
@@ -206,6 +216,80 @@ func main() {
 		}
 		fmt.Printf("report written to %s\n", *report)
 	}
+	if *jsonOut != "" || *baseline != "" {
+		if err := finishBench(*jsonOut, *baseline); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// benchRatios collects the machine-independent ratios measured by the
+// storage and readpath sections. Ratios — not absolute wall-clock or
+// byte counts — are what -json persists and -baseline compares, so the
+// regression gate is meaningful across machines of different speed.
+var benchRatios = map[string]float64{}
+
+// benchRegressionSlack is how far below the committed baseline a ratio
+// may fall before -baseline fails the run: 20%, absorbing scheduler
+// noise in the wall-clock-derived ratios while still catching a real
+// regression (the structural ratios are deterministic and never move).
+const benchRegressionSlack = 0.20
+
+// benchReport is the schema of the -json artifact and of
+// bench/baseline.json: a flat name -> ratio map, higher is better.
+type benchReport struct {
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// finishBench writes the measured ratios to jsonOut and/or gates them
+// against a committed baseline, failing when any baseline metric is
+// missing from this run or regressed more than benchRegressionSlack.
+func finishBench(jsonOut, baseline string) error {
+	for _, k := range []string{"compression_ratio", "block_skip_ratio", "cold_open_speedup"} {
+		if _, ok := benchRatios[k]; !ok {
+			return fmt.Errorf("bench gate needs the storage and readpath sections (missing %s); run with -only \"\" or -only storage,readpath", k)
+		}
+	}
+	if jsonOut != "" {
+		buf, err := json.MarshalIndent(benchReport{Metrics: benchRatios}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonOut, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("bench ratios written to %s\n", jsonOut)
+	}
+	if baseline != "" {
+		raw, err := os.ReadFile(baseline)
+		if err != nil {
+			return err
+		}
+		var base benchReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("parse %s: %w", baseline, err)
+		}
+		var failed []string
+		for name, want := range base.Metrics {
+			got, ok := benchRatios[name]
+			floor := want * (1 - benchRegressionSlack)
+			switch {
+			case !ok:
+				failed = append(failed, fmt.Sprintf("%s: not measured (baseline %.2f)", name, want))
+			case got < floor:
+				failed = append(failed, fmt.Sprintf("%s: %.2f < %.2f (baseline %.2f - %.0f%% slack)",
+					name, got, floor, want, 100*benchRegressionSlack))
+			default:
+				fmt.Printf("bench gate: %-20s %8.2f  (baseline %.2f, floor %.2f) ok\n", name, got, want, floor)
+			}
+		}
+		if len(failed) > 0 {
+			return fmt.Errorf("bench regression vs %s:\n  %s", baseline, strings.Join(failed, "\n  "))
+		}
+		fmt.Printf("bench gate: all %d metrics within %.0f%% of %s\n",
+			len(base.Metrics), 100*benchRegressionSlack, baseline)
+	}
+	return nil
 }
 
 // runCampaignSection times the same packet-mode campaign on the
@@ -423,6 +507,7 @@ func runStorageSection() error {
 			r.name, r.bytes/1024, r.snap.Seconds()*1e3, r.restore.Seconds()*1e3, r.transferred/1024)
 	}
 	ratio := float64(gob.bytes) / float64(v2.bytes)
+	benchRatios["compression_ratio"] = ratio
 	fmt.Printf("compression ratio v1/v2: %.2fx bytes on disk, %.2fx transfer volume\n",
 		ratio, float64(gob.transferred)/float64(v2.transferred))
 
@@ -450,6 +535,129 @@ func runStorageSection() error {
 		return fmt.Errorf("storage: v2 compression ratio %.2fx below the 2x acceptance floor", ratio)
 	}
 	fmt.Printf("all digests match: %016x\n", want)
+	return nil
+}
+
+// runReadpathSection compares a cold eager restore of the persist
+// fixture against a lazy block-pruned open (docs/PERSISTENCE.md §9):
+// open wall-clock, heap resident after open, and the first one-day
+// query. The fixture spans five 24h windows, one 120-point block per
+// (series, window), so a one-day query must decode exactly a fifth of
+// the blocks — the section fails below a 5x block-skip ratio, if an
+// out-of-range query decodes anything, or if the lazy store's digest
+// ever diverges from the eager one (ISSUE 7 acceptance).
+func runReadpathSection() error {
+	db := persistFixture()
+	want := db.Digest()
+
+	dir, err := os.MkdirTemp("", "benchtables-readpath-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := db.SnapshotDir(dir, tsdb.DirOptions{}); err != nil {
+		return err
+	}
+	qFrom, qTo := netsim.Epoch, netsim.Epoch.Add(24*time.Hour)
+
+	// One cold run: restore the directory, measure the heap the restored
+	// store holds (mapped-but-undecoded segments do not count), then run
+	// the first query against it. Best-of-3 for the wall-clock numbers;
+	// the heap delta is stable so the minimum is just noise rejection.
+	type coldRun struct {
+		open, query time.Duration
+		heap        int64
+		db          *tsdb.DB
+	}
+	cold := func(lazy bool) (coldRun, error) {
+		r := coldRun{open: time.Hour, query: time.Hour, heap: 1 << 62}
+		for i := 0; i < 3; i++ {
+			r.db = nil
+			runtime.GC()
+			var m0 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+
+			d := tsdb.Open()
+			t0 := time.Now()
+			if err := d.RestoreDir(dir, tsdb.DirOptions{Lazy: lazy}); err != nil {
+				return r, err
+			}
+			open := time.Since(t0)
+
+			runtime.GC()
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			if h := int64(m1.HeapAlloc) - int64(m0.HeapAlloc); h < r.heap {
+				r.heap = h
+			}
+
+			t0 = time.Now()
+			views := d.QueryView("tslp", nil, qFrom, qTo)
+			query := time.Since(t0)
+			if len(views) != 400 {
+				return r, fmt.Errorf("readpath: one-day query returned %d series, want 400", len(views))
+			}
+			if open < r.open {
+				r.open = open
+			}
+			if query < r.query {
+				r.query = query
+			}
+			r.db = d
+		}
+		return r, nil
+	}
+
+	eager, err := cold(false)
+	if err != nil {
+		return err
+	}
+	lazy, err := cold(true)
+	if err != nil {
+		return err
+	}
+
+	ls, ok := lazy.db.LazyReadStats()
+	if !ok {
+		return fmt.Errorf("readpath: lazy-opened store reports no lazy stats")
+	}
+	if ls.BlocksDecoded == 0 {
+		return fmt.Errorf("readpath: one-day query decoded no blocks")
+	}
+	skipRatio := float64(ls.Blocks) / float64(ls.BlocksDecoded)
+
+	// Out-of-range probe: a window before any data must be answered from
+	// summaries alone.
+	lazy.db.QueryView("tslp", nil, netsim.Epoch.Add(-48*time.Hour), netsim.Epoch.Add(-24*time.Hour))
+	ls2, _ := lazy.db.LazyReadStats()
+	if extra := ls2.BlocksDecoded - ls.BlocksDecoded; extra != 0 {
+		return fmt.Errorf("readpath: out-of-range query decoded %d blocks, want 0", extra)
+	}
+
+	// Digest equality is the correctness oracle; on the lazy store it
+	// decodes every block (through the cache), so it runs last.
+	if eager.db.Digest() != want || lazy.db.Digest() != want {
+		return fmt.Errorf("readpath: restores diverged: eager %016x, lazy %016x, want %016x",
+			eager.db.Digest(), lazy.db.Digest(), want)
+	}
+
+	speedup := eager.open.Seconds() / lazy.open.Seconds()
+	benchRatios["cold_open_speedup"] = speedup
+	benchRatios["block_skip_ratio"] = skipRatio
+
+	fmt.Printf("%d series x 600 points, %d v2 segments, %d blocks, one-day query over a five-day store\n",
+		400, ls.Segments, ls.Blocks)
+	fmt.Printf("cold open:   eager %8.1fms | lazy %8.1fms  (%.1fx faster)\n",
+		eager.open.Seconds()*1e3, lazy.open.Seconds()*1e3, speedup)
+	fmt.Printf("resident:    eager %8d KiB | lazy %8d KiB after open\n",
+		eager.heap/1024, lazy.heap/1024)
+	fmt.Printf("first query: eager %8.2fms | lazy %8.2fms  (decoded %d, skipped %d of %d blocks)\n",
+		eager.query.Seconds()*1e3, lazy.query.Seconds()*1e3, ls.BlocksDecoded, ls.BlocksSkipped, ls.Blocks)
+	fmt.Printf("block-skip ratio: %.2fx; out-of-range query decoded 0 blocks\n", skipRatio)
+	if skipRatio < 5 {
+		return fmt.Errorf("readpath: block-skip ratio %.2fx below the 5x acceptance floor", skipRatio)
+	}
+	fmt.Printf("digests match: %016x\n", want)
 	return nil
 }
 

@@ -32,7 +32,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
+	"net/url"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -286,6 +288,38 @@ func parsePage(q map[string][]string) (limit, offset int, err error) {
 	return limit, offset, nil
 }
 
+// parseValueBound reads the optional vmin/vmax query parameters into a
+// tsdb.ValueBound (docs/SERVING.md §3). Either end may be given alone;
+// the missing end defaults to the matching infinity. Nil means no bound
+// — the query behaves exactly as before the parameters existed. On a
+// lazily opened store the bound prunes whole blocks by their value
+// summaries before any decode (docs/PERSISTENCE.md §9).
+func parseValueBound(q url.Values) (*tsdb.ValueBound, error) {
+	vminS, vmaxS := q.Get("vmin"), q.Get("vmax")
+	if vminS == "" && vmaxS == "" {
+		return nil, nil
+	}
+	vb := &tsdb.ValueBound{Min: math.Inf(-1), Max: math.Inf(1)}
+	if vminS != "" {
+		v, err := strconv.ParseFloat(vminS, 64)
+		if err != nil || math.IsNaN(v) {
+			return nil, fmt.Errorf("bad vmin %q: need a number", vminS)
+		}
+		vb.Min = v
+	}
+	if vmaxS != "" {
+		v, err := strconv.ParseFloat(vmaxS, 64)
+		if err != nil || math.IsNaN(v) {
+			return nil, fmt.Errorf("bad vmax %q: need a number", vmaxS)
+		}
+		vb.Max = v
+	}
+	if vb.Min > vb.Max {
+		return nil, fmt.Errorf("vmin %g exceeds vmax %g", vb.Min, vb.Max)
+	}
+	return vb, nil
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	m := q.Get("m")
@@ -308,19 +342,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	vb, err := parseValueBound(q)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	filter := map[string]string{}
 	for k, vs := range q {
 		switch k {
-		case "m", "from", "to", "limit", "offset":
+		case "m", "from", "to", "limit", "offset", "vmin", "vmax":
 			continue
 		}
 		if len(vs) > 0 {
 			filter[k] = vs[0]
 		}
 	}
+	// A value bound participates in the cache identity but not in the
+	// tag filter; an unbounded query keeps its pre-bound key bytes.
+	id := tsdb.Key(m, filter)
+	if vb != nil {
+		id += fmt.Sprintf("|v[%g,%g]", vb.Min, vb.Max)
+	}
 	key := readcache.Key{
 		Kind:   "query",
-		ID:     tsdb.Key(m, filter),
+		ID:     id,
 		From:   from.UnixNano(),
 		To:     to.UnixNano(),
 		Stamp:  s.DB.ViewStamp(m, filter),
@@ -335,7 +380,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v, _, err := s.cache.Do(key, func() (any, error) {
-		views := s.DB.QueryView(m, filter, from, to)
+		views := s.DB.QueryViewWhere(m, filter, from, to, vb)
 		total := len(views)
 		page := views
 		if offset >= total {
@@ -526,6 +571,11 @@ type StatsResponse struct {
 	// was not given one (WithStorageDir) or the directory holds no
 	// committed manifest yet.
 	Storage *tsdb.DirInfo `json:"storage,omitempty"`
+	// LazyRead reports the lazy read path's block-prune and cache
+	// counters (blocks scanned vs skipped, decodes, segment reuse across
+	// hot-swaps); absent unless the store is lazily open
+	// (docs/PERSISTENCE.md §9, docs/SERVING.md §4).
+	LazyRead *tsdb.LazyStats `json:"lazy_read,omitempty"`
 	// Endpoints maps endpoint name to its request metrics.
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 }
@@ -554,6 +604,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Generation:         s.DB.SnapshotGeneration(),
 		Storage:            s.storageInfo(),
 		Endpoints:          s.met.snapshot(),
+	}
+	if ls, ok := s.DB.LazyReadStats(); ok {
+		resp.LazyRead = &ls
 	}
 	if s.replication != nil {
 		rh := s.replication()

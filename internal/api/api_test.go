@@ -425,3 +425,100 @@ func TestDashboardIndexStatus(t *testing.T) {
 		t.Fatalf("index missing per-link status: %s", body)
 	}
 }
+
+// TestQueryValueBoundAndLazyStats covers the vmin/vmax query
+// parameters and the lazy_read stats block: the bound filters points
+// without being mistaken for a tag filter, bound and unbound queries
+// cache under distinct identities, malformed bounds 400, and a lazily
+// opened store surfaces its prune counters on /api/v1/stats (absent on
+// an eager store).
+func TestQueryValueBoundAndLazyStats(t *testing.T) {
+	ts, db := newServer(t)
+	for i := 0; i < 10; i++ {
+		db.Write("tslp", map[string]string{"vp": "a", "side": "far"}, netsim.Epoch.Add(time.Duration(i)*time.Minute), float64(i))
+	}
+
+	// Eager store: no lazy_read block.
+	var st api.StatsResponse
+	if code := getJSON(t, ts.URL+"/api/v1/stats", &st); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.LazyRead != nil {
+		t.Fatal("eager store reported lazy_read stats")
+	}
+
+	// Reopen the serving store lazily from its own snapshot.
+	dir := t.TempDir()
+	if _, err := db.SnapshotDir(dir, tsdb.DirOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RestoreDir(dir, tsdb.DirOptions{Lazy: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	from := netsim.Epoch.Format(time.RFC3339)
+	to := netsim.Epoch.Add(time.Hour).Format(time.RFC3339)
+	var out struct {
+		Series []api.QuerySeries `json:"series"`
+	}
+	base := fmt.Sprintf("%s/api/v1/query?m=tslp&from=%s&to=%s&vp=a", ts.URL, from, to)
+	if code := getJSON(t, base, &out); code != 200 {
+		t.Fatalf("unbounded status %d", code)
+	}
+	if len(out.Series) != 1 || len(out.Series[0].Values) != 10 {
+		t.Fatalf("unbounded query returned %+v", out.Series)
+	}
+
+	// Bounded: only values in [3, 6]. Must not collide with the cached
+	// unbounded result, and vmin/vmax must not act as tag filters.
+	out.Series = nil
+	if code := getJSON(t, base+"&vmin=3&vmax=6", &out); code != 200 {
+		t.Fatalf("bounded status %d", code)
+	}
+	if len(out.Series) != 1 || len(out.Series[0].Values) != 4 {
+		t.Fatalf("bounded query returned %+v", out.Series)
+	}
+	for _, v := range out.Series[0].Values {
+		if v < 3 || v > 6 {
+			t.Fatalf("value %g escaped the bound", v)
+		}
+	}
+	// One-sided bound defaults the other end to infinity.
+	out.Series = nil
+	if code := getJSON(t, base+"&vmin=8", &out); code != 200 {
+		t.Fatalf("one-sided status %d", code)
+	}
+	if len(out.Series) != 1 || len(out.Series[0].Values) != 2 {
+		t.Fatalf("vmin=8 returned %+v", out.Series)
+	}
+	// A bound matching nothing returns an empty page, not an error.
+	out.Series = nil
+	if code := getJSON(t, base+"&vmin=100&vmax=200", &out); code != 200 {
+		t.Fatalf("empty-bound status %d", code)
+	}
+	if len(out.Series) != 0 {
+		t.Fatalf("impossible bound matched %+v", out.Series)
+	}
+
+	for _, bad := range []string{"&vmin=abc", "&vmax=NaN", "&vmin=5&vmax=2"} {
+		if code := getJSON(t, base+bad, nil); code != 400 {
+			t.Fatalf("%s should 400, got %d", bad, code)
+		}
+	}
+
+	// The lazy store now reports its read-path counters, and the
+	// value-pruned query above skipped blocks by summary.
+	st = api.StatsResponse{}
+	if code := getJSON(t, ts.URL+"/api/v1/stats", &st); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.LazyRead == nil {
+		t.Fatal("lazy store reported no lazy_read stats")
+	}
+	if st.LazyRead.Segments == 0 || st.LazyRead.Blocks == 0 {
+		t.Fatalf("lazy_read empty: %+v", st.LazyRead)
+	}
+	if st.LazyRead.BlocksScanned == 0 || st.LazyRead.BlocksSkipped == 0 {
+		t.Fatalf("queries left no prune trace: %+v", st.LazyRead)
+	}
+}

@@ -38,6 +38,12 @@ type Options struct {
 	// per failure (e.g. log.Printf). Nil disables logging; Status
 	// always carries the same information.
 	Logf func(format string, args ...interface{})
+	// Lazy makes the post-commit hot-swap open the directory in block-
+	// pruned lazy mode (tsdb.DirOptions.Lazy): the swap maps only the
+	// segments the cycle changed — unchanged files stay held by the
+	// serving store — so a tail commit costs O(changed segments)
+	// instead of a full directory re-decode (docs/PERSISTENCE.md §9).
+	Lazy bool
 }
 
 // CycleStats reports what one TailOnce did.
@@ -100,6 +106,7 @@ type Follower struct {
 	client   *http.Client
 	interval time.Duration
 	workers  int
+	lazy     bool
 	logf     func(format string, args ...interface{})
 
 	// gate serializes tail cycles.
@@ -135,6 +142,7 @@ func New(leaderURL, dir string, db *tsdb.DB, opts Options) *Follower {
 		client:   client,
 		interval: interval,
 		workers:  opts.Workers,
+		lazy:     opts.Lazy,
 		logf:     opts.Logf,
 	}
 	f.st.Leader = f.leader
@@ -372,9 +380,11 @@ func (f *Follower) tail(ctx context.Context) (CycleStats, error) {
 	// 7. Hot-swap the serving store. RestoreDir decodes and
 	// cross-checks everything before mutating the store, so a failure
 	// here — a bug, not an expected mode, since every file was just
-	// verified — leaves the old data serving.
+	// verified — leaves the old data serving. In lazy mode the swap
+	// reuses every segment the store already holds, so its cost tracks
+	// this cycle's SegmentsFetched, not the directory size.
 	if f.db != nil {
-		if err := f.db.RestoreDir(f.dir, tsdb.DirOptions{Workers: f.workers}); err != nil {
+		if err := f.db.RestoreDir(f.dir, tsdb.DirOptions{Workers: f.workers, Lazy: f.lazy}); err != nil {
 			return cs, fmt.Errorf("replication: restore committed generation %d: %w", m.Generation, err)
 		}
 	}

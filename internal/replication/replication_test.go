@@ -431,3 +431,71 @@ func TestExporterRejectsBadNames(t *testing.T) {
 		t.Fatal("path traversal served a file outside the directory")
 	}
 }
+
+// TestFollowerLazyHotSwapReusesSegments is the decode-count regression
+// guard for lazy followers: with Options.Lazy the post-commit hot-swap
+// maps exactly the segments the cycle fetched, carries every unchanged
+// one over from the serving store, and decodes zero blocks itself —
+// O(changed segments) instead of a full directory re-decode — while
+// the digest oracle still proves convergence.
+func TestFollowerLazyHotSwapReusesSegments(t *testing.T) {
+	lf := newLeader(t)
+	fdir := t.TempDir()
+	fdb := tsdb.Open()
+	f := replication.New(lf.ts.URL, fdir, fdb, replication.Options{Lazy: true})
+
+	cs1, err := f.TailOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1, ok := fdb.LazyReadStats()
+	if !ok {
+		t.Fatal("follower store is not lazily open")
+	}
+	if st1.SegmentsOpened != uint64(cs1.SegmentsFetched) || st1.SegmentsReused != 0 {
+		t.Fatalf("cold swap: lazy stats %+v, cycle %+v", st1, cs1)
+	}
+	if st1.BlocksDecoded != 0 {
+		t.Fatalf("cold swap decoded %d blocks before any read", st1.BlocksDecoded)
+	}
+	if fdb.Digest() != lf.db.Digest() {
+		t.Fatalf("follower digest %x != leader digest %x", fdb.Digest(), lf.db.Digest())
+	}
+	afterDigest, _ := fdb.LazyReadStats()
+
+	// Leader advances one generation; only the new day's segments move,
+	// and only those may be mapped by the swap.
+	lf.advance(t, 1)
+	cs2, err := f.TailOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs2.SegmentsReused == 0 {
+		t.Fatalf("fixture is not incremental: %+v", cs2)
+	}
+	st2, ok := fdb.LazyReadStats()
+	if !ok {
+		t.Fatal("hot swap dropped lazy mode")
+	}
+	if opened := st2.SegmentsOpened - st1.SegmentsOpened; opened != uint64(cs2.SegmentsFetched) {
+		t.Fatalf("hot swap mapped %d segments, want the %d fetched", opened, cs2.SegmentsFetched)
+	}
+	if reused := st2.SegmentsReused - st1.SegmentsReused; reused != uint64(cs2.SegmentsReused) {
+		t.Fatalf("hot swap reused %d held segments, want %d", reused, cs2.SegmentsReused)
+	}
+	// The swap itself decodes nothing — cost is mapping, not decoding.
+	if st2.BlocksDecoded != afterDigest.BlocksDecoded {
+		t.Fatalf("hot swap decoded %d blocks", st2.BlocksDecoded-afterDigest.BlocksDecoded)
+	}
+	if fdb.Digest() != lf.db.Digest() {
+		t.Fatal("digests diverged after lazy hot swap")
+	}
+	// Unchanged segments' blocks were still cached across the swap.
+	final, _ := fdb.LazyReadStats()
+	if final.CacheHits <= afterDigest.CacheHits {
+		t.Fatalf("post-swap digest hit the cache %d times, want > %d", final.CacheHits, afterDigest.CacheHits)
+	}
+	if got := fdb.SnapshotGeneration(); got != 2 {
+		t.Fatalf("applied generation %d, want 2", got)
+	}
+}

@@ -47,8 +47,10 @@ type Block struct {
 	// block against a time cut without decoding it.
 	MinT, MaxT int64
 	// Min and Max summarize the block's values (NaNs excluded), so
-	// value-threshold scans can skip blocks. Advisory: correctness
-	// never depends on them.
+	// value-threshold scans can skip blocks. The lazy read path prunes
+	// on them (docs/PERSISTENCE.md §9), so they are load-bearing:
+	// Decode cross-checks every summary field against the decoded
+	// columns and reports a lying summary as ErrCorrupt.
 	Min, Max float64
 	// Count is the number of points encoded in the block.
 	Count int
@@ -303,8 +305,14 @@ func summarize(vs []float64) (min, max float64) {
 	return min, max
 }
 
-// Decode expands the block back into its time and value columns,
-// cross-checking both against the summary's count.
+// Decode expands the block back into its time and value columns and
+// verifies the summary against them: the columns must hold exactly
+// Count points in non-decreasing time order, MinT/MaxT must equal the
+// first and last timestamps, and Min/Max must equal the NaN-excluding
+// extrema of the values. Readers prune whole blocks on these fields
+// without decoding them (docs/PERSISTENCE.md §9), so a summary that
+// disagrees with its block's contents is corruption and fails loud
+// here rather than silently mis-pruning.
 func (b Block) Decode() (times []int64, values []float64, err error) {
 	times, err = DecodeTimes(b.Times, b.Count)
 	if err != nil {
@@ -314,7 +322,29 @@ func (b Block) Decode() (times []int64, values []float64, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	if len(times) == 0 {
+		return times, values, nil
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			return nil, nil, fmt.Errorf("%w: timestamps out of order at index %d (%d after %d)", ErrCorrupt, i, times[i], times[i-1])
+		}
+	}
+	if times[0] != b.MinT || times[len(times)-1] != b.MaxT {
+		return nil, nil, fmt.Errorf("%w: summary time bounds [%d,%d] disagree with decoded [%d,%d]",
+			ErrCorrupt, b.MinT, b.MaxT, times[0], times[len(times)-1])
+	}
+	if min, max := summarize(values); !sameFloat(min, b.Min) || !sameFloat(max, b.Max) {
+		return nil, nil, fmt.Errorf("%w: summary value bounds [%v,%v] disagree with decoded [%v,%v]",
+			ErrCorrupt, b.Min, b.Max, min, max)
+	}
 	return times, values, nil
+}
+
+// sameFloat is float equality with NaN equal to NaN, matching how
+// summaries of all-NaN columns are written.
+func sameFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
 }
 
 // ---------------------------------------------------------------------------

@@ -294,3 +294,69 @@ func TestCompressionOnCadenceData(t *testing.T) {
 			raw/enc, enc, raw)
 	}
 }
+
+// TestDecodeVerifiesSummary: the lazy read path prunes whole blocks on
+// summary fields without decoding them (docs/PERSISTENCE.md §9), so a
+// summary that lies about its block's contents must be reported as
+// ErrCorrupt by Decode, not silently accepted. Every summary field is
+// tampered in turn; the columns themselves stay valid throughout.
+func TestDecodeVerifiesSummary(t *testing.T) {
+	base := time.Date(2016, 3, 1, 0, 0, 0, 0, time.UTC).UnixNano()
+	times := make([]int64, 100)
+	values := make([]float64, 100)
+	for i := range times {
+		times[i] = base + int64(i)*int64(5*time.Minute)
+		values[i] = 10 + float64(i%7)
+	}
+	good := BuildBlocks(times, values)[0]
+	if _, _, err := good.Decode(); err != nil {
+		t.Fatalf("honest summary rejected: %v", err)
+	}
+
+	tampers := []struct {
+		name string
+		mut  func(*Block)
+	}{
+		{"minT shifted", func(b *Block) { b.MinT++ }},
+		{"maxT shifted", func(b *Block) { b.MaxT -= int64(time.Minute) }},
+		{"min lowered", func(b *Block) { b.Min -= 5 }},
+		{"min raised", func(b *Block) { b.Max += 1 }},
+		{"max NaN", func(b *Block) { b.Max = math.NaN() }},
+	}
+	for _, tc := range tampers {
+		b := good
+		tc.mut(&b)
+		if _, _, err := b.Decode(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: tampered summary accepted (err=%v)", tc.name, err)
+		}
+	}
+
+	// All-NaN columns summarize as (NaN, NaN); that must still verify.
+	nan := BuildBlocks([]int64{1, 2, 3}, []float64{math.NaN(), math.NaN(), math.NaN()})[0]
+	if !math.IsNaN(nan.Min) || !math.IsNaN(nan.Max) {
+		t.Fatalf("all-NaN summary = [%v,%v], want NaNs", nan.Min, nan.Max)
+	}
+	if _, _, err := nan.Decode(); err != nil {
+		t.Fatalf("all-NaN summary rejected: %v", err)
+	}
+	nan.Min = 0
+	if _, _, err := nan.Decode(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("NaN->0 min tamper accepted (err=%v)", err)
+	}
+}
+
+// TestDecodeRejectsDisorderedTimes: a hand-built time column that
+// decodes to out-of-order timestamps is corruption — the block index
+// and range pruning assume non-decreasing order inside every block.
+func TestDecodeRejectsDisorderedTimes(t *testing.T) {
+	ts := []int64{100, 50, 200}
+	b := Block{
+		MinT: 100, MaxT: 200, Count: 3,
+		Times:  AppendTimes(nil, ts),
+		Values: AppendValues(nil, []float64{1, 2, 3}),
+	}
+	b.Min, b.Max = 1, 3
+	if _, _, err := b.Decode(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("disordered timestamps accepted (err=%v)", err)
+	}
+}

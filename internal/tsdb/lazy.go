@@ -1,0 +1,737 @@
+package tsdb
+
+// Lazy block-pruned read path (docs/PERSISTENCE.md §9). A directory
+// restored with DirOptions.Lazy is mapped, not decoded: every v2
+// segment's payload is structurally parsed into its per-series blocks
+// (summaries + still-encoded columns aliasing the mapping) and each
+// series becomes a stub holding block references instead of Points.
+// Queries prune whole blocks against the summaries' [minT,maxT] and
+// [min,max] ranges and decode only the survivors, on demand, through a
+// small decoded-block LRU — so cold opens are O(metadata), query cost
+// is O(blocks touched), and resident memory tracks the working set
+// rather than the directory.
+//
+// Invariants (enforced by tests against the DB.Digest oracle):
+//
+//   - Open mode is invisible to readers: every query, view, digest,
+//     export and snapshot returns byte-identical results for eager and
+//     lazy opens of the same directory.
+//   - Pruning is conservative: a block is skipped only when its
+//     summary proves no point can match; NaN value summaries are kept.
+//   - gob v1 segments fall back to eager decode transparently and are
+//     never pruned.
+//   - Mutation materializes: a write or trim into a lazy series first
+//     decodes it fully, so the mutable path never sees block refs.
+//   - Block summaries are verified against decoded contents on every
+//     decode (blockenc.Block.Decode); a summary that lied — which
+//     open-time CRC verification cannot catch when the corruption was
+//     encoded in — fails loud instead of mis-pruning.
+
+import (
+	"container/list"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"interdomain/internal/pipeline"
+	"interdomain/internal/tsdb/blockenc"
+)
+
+// DefaultBlockCacheBlocks is the decoded-block LRU capacity a lazy
+// restore installs when DirOptions.BlockCacheBlocks is zero. At the
+// encoder's MaxBlockPoints a full cache holds about 1M points — small
+// next to an eagerly decoded directory, large enough that a dashboard
+// fanning out over the hot window never decodes a block twice.
+const DefaultBlockCacheBlocks = 1024
+
+// LazyStats is a point-in-time snapshot of a lazily opened store's
+// read-path counters, surfaced on /api/v1/stats (docs/SERVING.md §4).
+// Cumulative counters survive hot-swaps (RestoreDir onto the same
+// directory), which is what makes "a tail commit reopened only the
+// changed segments" observable.
+type LazyStats struct {
+	// Segments is the number of v2 segment files currently mapped.
+	Segments int `json:"segments"`
+	// EagerSegments is the number of gob v1 segment files that were
+	// decoded eagerly at open (the transparent fallback).
+	EagerSegments int `json:"eager_segments"`
+	// Blocks is the number of encoded blocks currently indexed.
+	Blocks int `json:"blocks"`
+	// SegmentsOpened counts segment files mapped and parsed since the
+	// store first went lazy; a hot-swap that reuses a held file does
+	// not increment it.
+	SegmentsOpened uint64 `json:"segments_opened"`
+	// SegmentsReused counts manifest entries satisfied by an
+	// already-held file across hot-swaps.
+	SegmentsReused uint64 `json:"segments_reused"`
+	// BlocksScanned counts encoded blocks whose summaries were
+	// consulted by queries.
+	BlocksScanned uint64 `json:"blocks_scanned"`
+	// BlocksSkipped counts encoded blocks pruned by summary alone —
+	// never decoded for that query.
+	BlocksSkipped uint64 `json:"blocks_skipped"`
+	// BlocksDecoded counts block decodes actually performed (cache
+	// misses).
+	BlocksDecoded uint64 `json:"blocks_decoded"`
+	// CacheHits counts decoded-block cache hits.
+	CacheHits uint64 `json:"cache_hits"`
+	// CacheEvictions counts LRU evictions from the decoded-block cache.
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// CachedBlocks is the number of decoded blocks currently cached.
+	CachedBlocks int `json:"cached_blocks"`
+}
+
+// blockKey identifies one encoded block for the decoded-block cache:
+// segment file names are generation-qualified and immutable, so (file,
+// ordinal within file) is stable for the file's lifetime.
+type blockKey struct {
+	file string
+	ord  int
+}
+
+// decodedBlock is one block's decoded columns. The slices are fresh
+// heap allocations (never aliases of a mapping), immutable once built,
+// so they may outlive the segment file they came from — views hand
+// them out, and unmapping at swap time cannot invalidate them.
+type decodedBlock struct {
+	times  []int64
+	values []float64
+}
+
+// lazyFile is one held segment file: either a mapped v2 payload whose
+// blocks alias data, or an eagerly decoded gob v1 file kept as
+// pre-decoded synthetic series (data nil, mapping already released).
+type lazyFile struct {
+	name   string
+	data   []byte
+	unmap  func()
+	series []blockenc.Series // v2: blocks alias data
+	synth  []synthSeries     // v1: decoded at open
+	blocks int               // encoded block count (v2), 0 for v1
+}
+
+// synthSeries is one gob v1 series in lazy form: already decoded, so
+// its ref pins dec and is exempt from pruning (v1 is never pruned).
+type synthSeries struct {
+	measurement string
+	tags        map[string]string
+	dec         *decodedBlock
+}
+
+// close releases the file's mapping, if any.
+func (lf *lazyFile) close() {
+	if lf.unmap != nil {
+		lf.unmap()
+		lf.unmap = nil
+	}
+	lf.data, lf.series = nil, nil
+}
+
+// lazyStore owns everything a lazily opened directory shares across
+// its series stubs: the held files, the decoded-block cache, and the
+// read-path counters. It persists across RestoreDir calls onto the
+// same directory — that reuse is what makes a follower hot-swap
+// O(changed segments). The files map is mutated only under the store's
+// exclusive all-shard lock (restore/drop); readers reach it through
+// immutable lazySeries refs.
+type lazyStore struct {
+	dir   string
+	files map[string]*lazyFile
+	cache *blockCache
+
+	// Current-state gauges, recomputed at each swap under the
+	// exclusive lock.
+	segments  int
+	eagerSegs int
+	blocks    int
+
+	// Cumulative counters; atomic because queries bump them under
+	// shard read locks.
+	segmentsOpened atomic.Uint64
+	segmentsReused atomic.Uint64
+	blocksScanned  atomic.Uint64
+	blocksSkipped  atomic.Uint64
+	blocksDecoded  atomic.Uint64
+}
+
+func newLazyStore(dir string, cacheBlocks int) *lazyStore {
+	if cacheBlocks <= 0 {
+		cacheBlocks = DefaultBlockCacheBlocks
+	}
+	return &lazyStore{
+		dir:   dir,
+		files: make(map[string]*lazyFile),
+		cache: newBlockCache(cacheBlocks),
+	}
+}
+
+// close unmaps every held file. The caller must guarantee no reader
+// can still reach the store's refs (all series materialized, or all
+// shard maps replaced under the exclusive lock).
+func (ls *lazyStore) close() {
+	for _, lf := range ls.files {
+		lf.close()
+	}
+	ls.files = make(map[string]*lazyFile)
+}
+
+// stats snapshots the store's counters.
+func (ls *lazyStore) stats() LazyStats {
+	hits, evictions, cached := ls.cache.stats()
+	return LazyStats{
+		Segments:       ls.segments,
+		EagerSegments:  ls.eagerSegs,
+		Blocks:         ls.blocks,
+		SegmentsOpened: ls.segmentsOpened.Load(),
+		SegmentsReused: ls.segmentsReused.Load(),
+		BlocksScanned:  ls.blocksScanned.Load(),
+		BlocksSkipped:  ls.blocksSkipped.Load(),
+		BlocksDecoded:  ls.blocksDecoded.Load(),
+		CacheHits:      hits,
+		CacheEvictions: evictions,
+		CachedBlocks:   cached,
+	}
+}
+
+// decode returns the decoded columns for an encoded ref, through the
+// cache. Decode failure after open-time CRC verification means the
+// summary lies about the block's contents (corruption encoded before
+// the checksum) or the bytes changed underneath the mapping; the
+// query paths have no error channel, so it fails loud (docs/
+// PERSISTENCE.md §9) rather than silently serving or dropping data.
+func (ls *lazyStore) decode(r *lazyBlockRef) *decodedBlock {
+	if d, ok := ls.cache.get(r.key); ok {
+		return d
+	}
+	ts, vs, err := r.enc.Decode()
+	if err != nil {
+		panic(fmt.Sprintf("tsdb: lazy read of segment %s block %d: %v (payload passed CRC verification at open; the block summary disagrees with its contents)",
+			r.key.file, r.key.ord, err))
+	}
+	ls.blocksDecoded.Add(1)
+	d := &decodedBlock{times: ts, values: vs}
+	ls.cache.put(r.key, d)
+	return d
+}
+
+// lazySeries is a series stub's view of its data: time-ordered block
+// references into the shared store. Immutable after the restore that
+// built it; materialization swaps the whole stub out under the shard
+// write lock.
+type lazySeries struct {
+	store  *lazyStore
+	blocks []lazyBlockRef
+	points int
+}
+
+// lazyBlockRef is one block of a lazy series: the summary fields
+// needed for pruning plus either the encoded block (enc, v2) or the
+// pinned pre-decoded columns (dec, v1 synthetic).
+type lazyBlockRef struct {
+	key        blockKey
+	enc        *blockenc.Block
+	dec        *decodedBlock
+	minT, maxT int64
+	min, max   float64
+	count      int
+}
+
+// decodeRef resolves a ref to decoded columns: pinned for synthetic
+// v1 refs, via the store's cache for encoded ones.
+func (l *lazySeries) decodeRef(r *lazyBlockRef) *decodedBlock {
+	if r.dec != nil {
+		return r.dec
+	}
+	return l.store.decode(r)
+}
+
+// selectRefs returns the refs that may hold points in [fromNs, toNs)
+// — and, with vb non-nil, whose value summary intersects the bound —
+// bumping the store's scanned/skipped counters for the encoded blocks
+// consulted. Synthetic v1 refs are never pruned (their per-point range
+// checks happen at decode-free cost downstream); NaN value summaries
+// are conservatively kept.
+func (l *lazySeries) selectRefs(fromNs, toNs int64, vb *ValueBound) []*lazyBlockRef {
+	var out []*lazyBlockRef
+	var scanned, skipped uint64
+	for i := range l.blocks {
+		r := &l.blocks[i]
+		if r.enc == nil {
+			out = append(out, r)
+			continue
+		}
+		scanned++
+		if r.maxT < fromNs || r.minT >= toNs {
+			skipped++
+			continue
+		}
+		if vb != nil && !vb.intersects(r.min, r.max) {
+			skipped++
+			continue
+		}
+		out = append(out, r)
+	}
+	l.store.blocksScanned.Add(scanned)
+	l.store.blocksSkipped.Add(skipped)
+	return out
+}
+
+// timeBounds returns the series' overall [minT, maxT] from summaries
+// alone, ok=false for an empty stub.
+func (l *lazySeries) timeBounds() (minT, maxT int64, ok bool) {
+	for i := range l.blocks {
+		r := &l.blocks[i]
+		if !ok || r.minT < minT {
+			minT = r.minT
+		}
+		if !ok || r.maxT > maxT {
+			maxT = r.maxT
+		}
+		ok = true
+	}
+	return minT, maxT, ok
+}
+
+// lazyRangeCopy is rangeCopy for a lazy series: prune by summary,
+// decode survivors, binary-search the decoded columns. Equivalent to
+// the eager path point for point.
+func (s *Series) lazyRangeCopy(from, to time.Time) (Series, bool) {
+	l := s.lazy
+	fromNs, toNs := from.UnixNano(), to.UnixNano()
+	var pts []Point
+	for _, r := range l.selectRefs(fromNs, toNs, nil) {
+		d := l.decodeRef(r)
+		lo := sort.Search(len(d.times), func(i int) bool { return d.times[i] >= fromNs })
+		hi := sort.Search(len(d.times), func(i int) bool { return d.times[i] >= toNs })
+		for j := lo; j < hi; j++ {
+			pts = append(pts, Point{Time: time.Unix(0, d.times[j]).UTC(), Value: d.values[j]})
+		}
+	}
+	if len(pts) == 0 {
+		return Series{}, false
+	}
+	return Series{Measurement: s.Measurement, Tags: cloneTags(s.Tags), Points: pts}, true
+}
+
+// materializeLocked decodes a lazy series fully into Points and drops
+// the stub, so the mutable write/trim paths and the raw-Points walkers
+// see an ordinary series. Not a data mutation: the series version does
+// not move. The caller must hold the shard write lock.
+func (s *Series) materializeLocked() {
+	if s.lazy == nil {
+		return
+	}
+	l := s.lazy
+	pts := make([]Point, 0, l.points)
+	for i := range l.blocks {
+		d := l.decodeRef(&l.blocks[i])
+		for j := range d.times {
+			pts = append(pts, Point{Time: time.Unix(0, d.times[j]).UTC(), Value: d.values[j]})
+		}
+	}
+	s.Points = pts
+	s.lazy = nil
+}
+
+// materializeAllLocked decodes every lazily held series into Points
+// and releases the lazy store. Whole-store operations that walk raw
+// Points (stream snapshots, line-protocol export, segment planning)
+// call it first so their output cannot depend on open mode. The caller
+// must hold the exclusive global lock but no shard locks; each shard's
+// write lock is taken in turn, so in-flight queries drain before their
+// shard flips and no reader can reach a mapping once this returns.
+func (db *DB) materializeAllLocked() {
+	if db.lazy == nil {
+		return
+	}
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.series {
+			s.materializeLocked()
+		}
+		sh.mu.Unlock()
+	}
+	db.dropLazyLocked()
+}
+
+// dropLazyLocked unmaps and forgets the lazy store. The caller must
+// hold the exclusive global lock and guarantee no series stub still
+// references the store: either every series was materialized, or every
+// shard map is being replaced while all shard locks are held.
+func (db *DB) dropLazyLocked() {
+	if db.lazy == nil {
+		return
+	}
+	db.lazy.close()
+	db.lazy = nil
+}
+
+// LazyReadStats reports the lazy read path's counters, ok=false when
+// the store is not lazily open (never restored with DirOptions.Lazy,
+// or fully materialized since).
+func (db *DB) LazyReadStats() (LazyStats, bool) {
+	db.global.RLock()
+	defer db.global.RUnlock()
+	if db.lazy == nil {
+		return LazyStats{}, false
+	}
+	return db.lazy.stats(), true
+}
+
+// ---------------------------------------------------------------------------
+// Lazy open.
+
+// openLazyFile maps one committed segment and prepares it for lazy
+// serving: v2 payloads are verified (header identity + CRC) and
+// structurally decoded so their blocks alias the mapping; gob v1
+// payloads are decoded eagerly into synthetic pre-decoded series and
+// the mapping is released immediately.
+func openLazyFile(dir string, sm SegmentMeta) (*lazyFile, error) {
+	data, unmap, err := mapFile(filepath.Join(dir, sm.File))
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: segment %s: %w", sm.File, err)
+	}
+	payload, version, err := verifySegmentBytes(data, sm)
+	if err != nil {
+		unmap()
+		return nil, err
+	}
+	switch version {
+	case SegmentVersion:
+		list, err := decodeBlockPayload(payload, sm)
+		if err != nil {
+			unmap()
+			return nil, err
+		}
+		blocks := 0
+		for i := range list {
+			blocks += len(list[i].Blocks)
+		}
+		return &lazyFile{name: sm.File, data: data, unmap: unmap, series: list, blocks: blocks}, nil
+	case SegmentVersionGob:
+		list, err := decodeGobPayload(payload, sm)
+		unmap()
+		if err != nil {
+			return nil, err
+		}
+		lf := &lazyFile{name: sm.File}
+		for _, s := range list {
+			if len(s.Points) == 0 {
+				continue
+			}
+			d := &decodedBlock{
+				times:  make([]int64, len(s.Points)),
+				values: make([]float64, len(s.Points)),
+			}
+			for i, p := range s.Points {
+				d.times[i] = p.Time.UnixNano()
+				d.values[i] = p.Value
+			}
+			lf.synth = append(lf.synth, synthSeries{measurement: s.Measurement, tags: s.Tags, dec: d})
+		}
+		return lf, nil
+	default:
+		// Unreachable: verifySegmentBytes rejects newer versions and no
+		// release wrote other versions.
+		return nil, fmt.Errorf("tsdb: segment %s: %w: format version %d", sm.File, ErrSegmentVersion, version)
+	}
+}
+
+// appendRefs adds the file's series to a shard map under construction
+// as lazy stubs, checking shard ownership. Callers feed files in
+// ascending window order, which keeps each stub's refs time-ordered
+// (windows partition time; blocks within a payload are time-ordered).
+func (lf *lazyFile) appendRefs(series map[string]*Series, ls *lazyStore, si int) error {
+	add := func(measurement string, tags map[string]string, ref lazyBlockRef, points int) error {
+		key := Key(measurement, tags)
+		if shardFor(key) != uint32(si) {
+			return fmt.Errorf("tsdb: segment %s: series %q does not belong to shard %d", lf.name, key, si)
+		}
+		s, ok := series[key]
+		if !ok {
+			s = &Series{Measurement: measurement, Tags: tags, lazy: &lazySeries{store: ls}}
+			series[key] = s
+		}
+		s.lazy.blocks = append(s.lazy.blocks, ref)
+		s.lazy.points += points
+		return nil
+	}
+	ord := 0
+	for i := range lf.series {
+		bs := &lf.series[i]
+		for bi := range bs.Blocks {
+			b := &bs.Blocks[bi]
+			ref := lazyBlockRef{
+				key:  blockKey{file: lf.name, ord: ord},
+				enc:  b,
+				minT: b.MinT, maxT: b.MaxT,
+				min: b.Min, max: b.Max,
+				count: b.Count,
+			}
+			ord++
+			if err := add(bs.Measurement, bs.Tags, ref, b.Count); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range lf.synth {
+		ss := &lf.synth[i]
+		d := ss.dec
+		min, max := valueBounds(d.values)
+		ref := lazyBlockRef{
+			dec:  d,
+			minT: d.times[0], maxT: d.times[len(d.times)-1],
+			min: min, max: max,
+			count: len(d.times),
+		}
+		if err := add(ss.measurement, ss.tags, ref, len(d.times)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// valueBounds is the NaN-excluding min/max used for synthetic v1
+// refs, mirroring blockenc's summary convention.
+func valueBounds(vs []float64) (min, max float64) {
+	min, max = nan(), nan()
+	for _, v := range vs {
+		if v != v { // NaN
+			continue
+		}
+		if min != min || v < min {
+			min = v
+		}
+		if max != max || v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+// restoreDirLazy is RestoreDir's lazy mode: reuse or create the lazy
+// store, map only the manifest entries not already held, build the
+// shard maps as stubs from summaries alone, and swap. On a store
+// already lazy over the same directory (a follower hot-swap) the work
+// is O(changed segments) — unchanged files, their parsed block lists
+// and their cached decoded blocks all carry over.
+func (db *DB) restoreDirLazy(dir string, m *Manifest, opts DirOptions) error {
+	unlock := db.lockAll(true)
+	defer unlock()
+
+	ls := db.lazy
+	if ls != nil && ls.dir != dir {
+		db.dropLazyLocked()
+		ls = nil
+	}
+	fresh := ls == nil
+	if fresh {
+		ls = newLazyStore(dir, opts.BlockCacheBlocks)
+	}
+
+	var toOpen []SegmentMeta
+	for _, sm := range m.Segments {
+		if _, ok := ls.files[sm.File]; !ok {
+			toOpen = append(toOpen, sm)
+		}
+	}
+	opened := make([]*lazyFile, len(toOpen))
+	installed := false
+	defer func() {
+		if installed {
+			return
+		}
+		// Failed restore: roll the newly opened files back out so a
+		// reused store is exactly as before, and a fresh one is empty.
+		for _, lf := range opened {
+			if lf != nil {
+				delete(ls.files, lf.name)
+				lf.close()
+			}
+		}
+		if fresh {
+			ls.close()
+		}
+	}()
+
+	pool := pipeline.NewPool(opts.Workers)
+	defer pool.Close()
+	jobs := make([]func() error, len(toOpen))
+	for i := range toOpen {
+		i := i
+		jobs[i] = func() error {
+			lf, err := openLazyFile(dir, toOpen[i])
+			if err != nil {
+				return err
+			}
+			opened[i] = lf
+			return nil
+		}
+	}
+	if err := pool.DoErr(jobs...); err != nil {
+		return fmt.Errorf("tsdb: restoredir: %w", err)
+	}
+	for _, lf := range opened {
+		ls.files[lf.name] = lf
+	}
+
+	// Build the new shard maps from summaries alone, in ascending
+	// window order per shard (same merge order as the eager path).
+	byShard := make([][]SegmentMeta, NumShards)
+	for _, sm := range m.Segments {
+		byShard[sm.Shard] = append(byShard[sm.Shard], sm)
+	}
+	newShards := make([]map[string]*Series, NumShards)
+	storeSeries, totalPoints := 0, 0
+	for si := range byShard {
+		sms := byShard[si]
+		sort.Slice(sms, func(i, j int) bool { return sms[i].WindowStart < sms[j].WindowStart })
+		series := make(map[string]*Series)
+		for _, sm := range sms {
+			if err := ls.files[sm.File].appendRefs(series, ls, si); err != nil {
+				return fmt.Errorf("tsdb: restoredir: %w", err)
+			}
+		}
+		newShards[si] = series
+		storeSeries += len(series)
+		for _, s := range series {
+			totalPoints += s.lazy.points
+		}
+	}
+	if totalPoints != m.TotalPoints {
+		return fmt.Errorf("tsdb: restoredir: indexed %d points, manifest says %d", totalPoints, m.TotalPoints)
+	}
+	if m.StoreSeries != 0 && storeSeries != m.StoreSeries {
+		return fmt.Errorf("tsdb: restoredir: indexed %d series, manifest says %d", storeSeries, m.StoreSeries)
+	}
+
+	// Swap. All shard locks are held, so no reader can be mid-flight
+	// on the old stubs while stale files are unmapped below.
+	db.idx.reset()
+	for si := range db.shards {
+		db.shards[si].series = newShards[si]
+		db.shards[si].dirty = nil
+		for key, s := range newShards[si] {
+			db.idx.add(s.Measurement, s.Tags, key)
+		}
+	}
+	db.window = time.Duration(m.WindowNanos)
+	db.snapDir = dir
+	db.snapGen = m.Generation
+	db.epoch++
+
+	// Drop files the new manifest no longer references.
+	listed := make(map[string]bool, len(m.Segments))
+	for _, sm := range m.Segments {
+		listed[sm.File] = true
+	}
+	for name, lf := range ls.files {
+		if listed[name] {
+			continue
+		}
+		ls.cache.purgeFile(name)
+		lf.close()
+		delete(ls.files, name)
+	}
+	ls.segments, ls.eagerSegs, ls.blocks = 0, 0, 0
+	for _, lf := range ls.files {
+		if lf.data == nil && lf.series == nil {
+			ls.eagerSegs++
+		} else {
+			ls.segments++
+		}
+		ls.blocks += lf.blocks
+	}
+	ls.segmentsOpened.Add(uint64(len(toOpen)))
+	ls.segmentsReused.Add(uint64(len(m.Segments) - len(toOpen)))
+	db.lazy = ls
+	installed = true
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Decoded-block LRU.
+
+// blockCache is the decoded-block LRU shared by a lazy store's
+// readers. Entries are immutable decoded columns; eviction only drops
+// the cache's reference, so views handed out earlier stay valid.
+type blockCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recent; values are *cacheEntry
+	entries   map[blockKey]*list.Element
+	hits      uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key blockKey
+	dec *decodedBlock
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{
+		cap:     capacity,
+		ll:      list.New(),
+		entries: make(map[blockKey]*list.Element),
+	}
+}
+
+func (c *blockCache) get(k blockKey) (*decodedBlock, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).dec, true
+}
+
+func (c *blockCache) put(k blockKey, d *decodedBlock) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		// A concurrent reader decoded the same block; keep the first.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, dec: d})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// purgeFile drops every cached block of one segment file (called when
+// a hot-swap retires the file).
+func (c *blockCache) purgeFile(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.key.file == name {
+			c.ll.Remove(el)
+			delete(c.entries, e.key)
+		}
+		el = next
+	}
+}
+
+func (c *blockCache) stats() (hits, evictions uint64, cached int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.evictions, c.ll.Len()
+}

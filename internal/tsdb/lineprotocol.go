@@ -104,6 +104,9 @@ func (db *DB) IngestLines(r io.Reader) (int, error) {
 func (db *DB) ExportLines(w io.Writer) (int, error) {
 	unlock := db.lockAll(false)
 	defer unlock()
+	// The export walks raw Points; a lazily open store is materialized
+	// first so output cannot depend on open mode (docs/PERSISTENCE.md §9).
+	db.materializeAllLocked()
 	var keys []string
 	byKey := make(map[string]*Series)
 	for i := range db.shards {

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package tsdb
+
+// Portable fallback for platforms without syscall.Mmap: the lazy read
+// path still defers decoding (the CPU win and the block-skip pruning
+// survive intact), but segment bytes live on the Go heap instead of in
+// kernel-managed mappings.
+
+import "os"
+
+// mapFile reads path whole; unmap is a no-op and the GC owns the
+// bytes. See mmap_unix.go for the mapped variant.
+func mapFile(path string) (data []byte, unmap func(), err error) {
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

@@ -1,0 +1,49 @@
+//go:build unix
+
+package tsdb
+
+// Memory mapping for the lazy read path (docs/PERSISTENCE.md §9). A
+// lazily opened segment is mapped read-only instead of being read onto
+// the heap: the kernel pages encoded blocks in on first touch and can
+// evict them under memory pressure, so a directory larger than RAM is
+// servable and the Go heap holds only the block index plus whatever
+// the decoded-block cache retains.
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only and returns its bytes plus the unmap
+// function that releases the mapping. Callers must not touch data
+// after calling unmap. Filesystems that refuse mmap fall back to a
+// plain read, where unmap is a no-op and the GC owns the bytes.
+func mapFile(path string) (data []byte, unmap func(), err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("file too large to map (%d bytes)", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, fmt.Errorf("mmap: %v; read fallback: %w", err, rerr)
+		}
+		return b, func() {}, nil
+	}
+	m := data
+	return data, func() { _ = syscall.Munmap(m) }, nil
+}

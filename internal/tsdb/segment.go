@@ -99,6 +99,18 @@ type DirOptions struct {
 	// byte-for-byte, so mixed-version directories are normal
 	// (docs/PERSISTENCE.md §8).
 	FormatVersion int
+	// Lazy makes RestoreDir map committed v2 segments without decoding
+	// their points: series become block-index stubs and queries decode
+	// only the blocks that survive summary pruning, on demand, through
+	// a small LRU (docs/PERSISTENCE.md §9). Reads are byte-identical to
+	// an eager open; gob v1 segments fall back to eager decode
+	// transparently. A store already lazy over the same directory
+	// reuses held segments, making a repeat RestoreDir (a follower
+	// hot-swap) O(changed segments). Ignored by SnapshotDir.
+	Lazy bool
+	// BlockCacheBlocks bounds the decoded-block LRU a lazy restore
+	// installs; 0 means DefaultBlockCacheBlocks. Ignored unless Lazy.
+	BlockCacheBlocks int
 }
 
 // DirStats reports what a SnapshotDir call did.
@@ -412,6 +424,11 @@ func (db *DB) SnapshotDir(dir string, opts DirOptions) (DirStats, error) {
 	unlock := db.lockAll(false)
 	defer unlock()
 
+	// Segment planning walks raw Points, so a lazily open store is
+	// fully materialized first — snapshots must not depend on open mode
+	// (docs/PERSISTENCE.md §9).
+	db.materializeAllLocked()
+
 	// The on-disk manifest is the directory's commit record; read it
 	// first so committed segments can be told apart from leftovers of a
 	// crashed attempt.
@@ -693,6 +710,41 @@ func blockSeriesToSeries(list []blockenc.Series, sm SegmentMeta) ([]*Series, err
 	return out, nil
 }
 
+// loadCommittedDir reads and validates a directory's committed state:
+// the manifest plus the check that every on-disk segment is either
+// listed by it or an ignorable other-generation leftover
+// (docs/PERSISTENCE.md §4, §5). Both RestoreDir modes start here.
+func loadCommittedDir(dir string) (*Manifest, error) {
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	listed := make(map[string]bool, len(m.Segments))
+	for _, sm := range m.Segments {
+		listed[sm.File] = true
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, segmentSuffix) || listed[name] {
+			continue
+		}
+		// An unlisted segment carrying a generation other than the
+		// committed one is a leftover from an interrupted snapshot or
+		// retention pass: ignored like a .tmp file, reaped by the next
+		// writer (docs/PERSISTENCE.md §4). Anything else unlisted is
+		// corruption, never skipped silently.
+		if gen, ok := parseSegmentGen(name); ok && gen != m.Generation {
+			continue
+		}
+		return nil, fmt.Errorf("segment %s present on disk but not in the manifest", name)
+	}
+	return m, nil
+}
+
 // readSegment loads and fully validates one segment file against its
 // manifest entry: magic, version, identity fields, payload checksum
 // (docs/PERSISTENCE.md §2), then decodes the payload in whichever
@@ -728,32 +780,12 @@ func readSegment(dir string, sm SegmentMeta) ([]*Series, error) {
 // window and generation, so a daemon restarting from its data directory
 // continues with incremental snapshots.
 func (db *DB) RestoreDir(dir string, opts DirOptions) error {
-	m, err := readManifest(dir)
+	m, err := loadCommittedDir(dir)
 	if err != nil {
 		return fmt.Errorf("tsdb: restoredir: %w", err)
 	}
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return fmt.Errorf("tsdb: restoredir: %w", err)
-	}
-	listed := make(map[string]bool, len(m.Segments))
-	for _, sm := range m.Segments {
-		listed[sm.File] = true
-	}
-	for _, e := range entries {
-		name := e.Name()
-		if !strings.HasSuffix(name, segmentSuffix) || listed[name] {
-			continue
-		}
-		// An unlisted segment carrying a generation other than the
-		// committed one is a leftover from an interrupted snapshot or
-		// retention pass: ignored like a .tmp file, reaped by the next
-		// writer (docs/PERSISTENCE.md §4). Anything else unlisted is
-		// corruption, never skipped silently.
-		if gen, ok := parseSegmentGen(name); ok && gen != m.Generation {
-			continue
-		}
-		return fmt.Errorf("tsdb: restoredir: segment %s present on disk but not in the manifest", name)
+	if opts.Lazy {
+		return db.restoreDirLazy(dir, m, opts)
 	}
 
 	// Group the manifest's entries per shard, ascending window order, so
@@ -822,6 +854,10 @@ func (db *DB) RestoreDir(dir string, opts DirOptions) error {
 		return fmt.Errorf("tsdb: restoredir: decoded %d series, manifest says %d", storeSeries, m.StoreSeries)
 	}
 
+	// An eager restore over a lazily open store retires the mappings:
+	// all shard maps are replaced while every shard lock is held, so no
+	// reader can still reach the old stubs.
+	db.dropLazyLocked()
 	db.idx.reset()
 	for si := range db.shards {
 		db.shards[si].series = newShards[si]

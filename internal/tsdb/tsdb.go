@@ -48,6 +48,12 @@ type Series struct {
 	// col is the lazily built columnar snapshot of Points at
 	// col.version; see view.go. Unexported for the same reason.
 	col *colSeries
+	// lazy, when non-nil, marks a block-index stub of a lazily opened
+	// directory: Points is empty and reads go through the stub's block
+	// refs instead (lazy.go, docs/PERSISTENCE.md §9). Mutators
+	// materialize the series — decode it fully into Points and clear
+	// lazy — before touching it.
+	lazy *lazySeries
 }
 
 // Key returns the canonical series key: measurement plus sorted tags.
@@ -122,6 +128,12 @@ type DB struct {
 	// and after a replacement distinct (docs/SERVING.md §2). Guarded by
 	// the global lock (written only under the exclusive lock).
 	epoch uint64
+
+	// lazy is the shared state of a lazily opened directory — mapped
+	// segment files, block cache, read-path counters (lazy.go). Nil
+	// unless the store was restored with DirOptions.Lazy; written only
+	// under the exclusive global lock.
+	lazy *lazyStore
 }
 
 // shardFor routes a series key to its shard (FNV-1a).
@@ -310,6 +322,15 @@ func (db *DB) MaxTime() time.Time {
 		sh := &db.shards[i]
 		sh.mu.RLock()
 		for _, s := range sh.series {
+			if s.lazy != nil {
+				// Summaries carry the bound; no decode.
+				if _, maxT, ok := s.lazy.timeBounds(); ok {
+					if t := time.Unix(0, maxT).UTC(); t.After(max) {
+						max = t
+					}
+				}
+				continue
+			}
 			// Points are kept time-ordered, so the last one is the newest.
 			if n := len(s.Points); n > 0 && s.Points[n-1].Time.After(max) {
 				max = s.Points[n-1].Time
@@ -339,6 +360,9 @@ func (db *DB) Write(measurement string, tags map[string]string, t time.Time, v f
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	s := db.getOrCreate(sh, key, measurement, tags)
+	// A write into a lazy stub decodes it fully first; the mutable
+	// insert path never sees block refs (docs/PERSISTENCE.md §9).
+	s.materializeLocked()
 	insertPoint(s, t, v)
 	s.version++
 	sh.version++
@@ -384,6 +408,7 @@ func (db *DB) WriteBatch(points []BatchPoint) {
 		for _, i := range byShard[si] {
 			p := points[i]
 			s := db.getOrCreate(sh, keys[i], p.Measurement, p.Tags)
+			s.materializeLocked()
 			insertPoint(s, p.Time, p.Value)
 			s.version++
 			sh.version++
@@ -412,6 +437,10 @@ func (db *DB) PointCount() int {
 		sh := &db.shards[i]
 		sh.mu.RLock()
 		for _, s := range sh.series {
+			if s.lazy != nil {
+				n += s.lazy.points
+				continue
+			}
 			n += len(s.Points)
 		}
 		sh.mu.RUnlock()
@@ -433,8 +462,13 @@ func (s *Series) matches(measurement string, filter map[string]string) bool {
 }
 
 // rangeCopy extracts the points of s within [from, to) as an independent
-// Series, or ok=false when the range is empty.
+// Series, or ok=false when the range is empty. Lazy stubs prune blocks
+// by summary and decode only survivors (lazy.go); both paths return
+// identical points.
 func (s *Series) rangeCopy(from, to time.Time) (Series, bool) {
+	if s.lazy != nil {
+		return s.lazyRangeCopy(from, to)
+	}
 	lo := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(from) })
 	hi := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(to) })
 	if lo >= hi {
@@ -641,6 +675,17 @@ func (db *DB) Retain(from, to time.Time) int {
 		sh := &db.shards[i]
 		sh.mu.Lock()
 		for key, s := range sh.series {
+			if s.lazy != nil {
+				// Summaries decide for free when the trim is a no-op —
+				// the common case for a serving-tier store inside its
+				// retention horizon; only a series actually losing
+				// points pays for materialization.
+				if minT, maxT, ok := s.lazy.timeBounds(); ok &&
+					minT >= from.UnixNano() && maxT < to.UnixNano() {
+					continue
+				}
+				s.materializeLocked()
+			}
 			lo := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(from) })
 			hi := sort.Search(len(s.Points), func(i int) bool { return !s.Points[i].Time.Before(to) })
 			dropped += len(s.Points) - (hi - lo)
@@ -701,6 +746,9 @@ func (db *DB) lockAll(write bool) (unlock func()) {
 func (db *DB) Snapshot(w io.Writer) error {
 	unlock := db.lockAll(false)
 	defer unlock()
+	// The gob stream serializes raw Points; a lazily open store is
+	// materialized first so the snapshot cannot depend on open mode.
+	db.materializeAllLocked()
 	var keys []string
 	byKey := make(map[string]*Series)
 	for i := range db.shards {
@@ -725,6 +773,9 @@ func (db *DB) Restore(r io.Reader) error {
 	}
 	unlock := db.lockAll(true)
 	defer unlock()
+	// Replacing every shard map under all shard locks retires any lazy
+	// mappings safely.
+	db.dropLazyLocked()
 	for i := range db.shards {
 		db.shards[i].series = make(map[string]*Series)
 	}
@@ -765,6 +816,19 @@ func (db *DB) Digest() uint64 {
 	for _, k := range keys {
 		s := byKey[k]
 		fmt.Fprintf(h, "%s\n", k)
+		if s.lazy != nil {
+			// Transient decode through the block cache: the digest of a
+			// lazy store must equal its eager twin's (the §9 oracle)
+			// without permanently materializing anything.
+			l := s.lazy
+			for i := range l.blocks {
+				d := l.decodeRef(&l.blocks[i])
+				for j := range d.times {
+					fmt.Fprintf(h, "%d %d\n", d.times[j], math.Float64bits(d.values[j]))
+				}
+			}
+			continue
+		}
 		for _, p := range s.Points {
 			fmt.Fprintf(h, "%d %d\n", p.Time.UnixNano(), math.Float64bits(p.Value))
 		}

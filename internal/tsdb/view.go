@@ -47,7 +47,12 @@ func (s *Series) colLocked() *colSeries {
 
 // colFreshLocked reports whether the series' columnar snapshot is
 // already current. The caller must hold the shard lock (read suffices).
+// Lazy stubs are always fresh: they never transpose — views decode
+// straight from surviving blocks (lazy.go).
 func (s *Series) colFreshLocked() bool {
+	if s.lazy != nil {
+		return true
+	}
 	return len(s.Points) == 0 || (s.col != nil && s.col.version == s.version)
 }
 
@@ -91,6 +96,38 @@ func (v SeriesView) Len() int { return len(v.Times) }
 // refresh that series' columnar snapshot; subsequent views of an
 // unchanged series only binary-search the range.
 func (db *DB) QueryView(measurement string, filter map[string]string, from, to time.Time) []SeriesView {
+	return db.QueryViewWhere(measurement, filter, from, to, nil)
+}
+
+// ValueBound restricts a bounded query (QueryViewWhere) to points
+// whose value lies in [Min, Max], both inclusive. NaN values never
+// match a bound.
+type ValueBound struct {
+	// Min is the inclusive lower value bound.
+	Min float64
+	// Max is the inclusive upper value bound.
+	Max float64
+}
+
+// contains reports whether v satisfies the bound; NaN never does.
+func (vb ValueBound) contains(v float64) bool { return v >= vb.Min && v <= vb.Max }
+
+// intersects reports whether a block whose value summary is [min, max]
+// could hold a matching point. NaN summaries (all-NaN blocks) compare
+// false and are conservatively kept — the point filter excludes their
+// points.
+func (vb ValueBound) intersects(min, max float64) bool {
+	return !(max < vb.Min || min > vb.Max)
+}
+
+// QueryViewWhere is QueryView with an optional value bound: with vb
+// non-nil only points vb contains are returned. On a lazily opened
+// store the bound prunes at block granularity first — blocks whose
+// [min, max] summary cannot intersect vb are skipped without being
+// decoded (docs/PERSISTENCE.md §9) — and the surviving blocks' points
+// are then filtered identically to the eager path, so both open modes
+// return the same views. A nil vb is exactly QueryView.
+func (db *DB) QueryViewWhere(measurement string, filter map[string]string, from, to time.Time, vb *ValueBound) []SeriesView {
 	keys, ok := db.idx.candidates(measurement, filter)
 	if !ok {
 		return nil
@@ -119,20 +156,21 @@ func (db *DB) QueryView(measurement string, filter map[string]string, from, to t
 			}
 		}
 		if fresh {
-			out = appendViews(out, sh, byShard[si], measurement, filter, fromNs, toNs)
+			out = appendViews(out, sh, byShard[si], measurement, filter, fromNs, toNs, vb)
 			sh.mu.RUnlock()
 			continue
 		}
 		sh.mu.RUnlock()
 		// Some snapshot is stale: refresh under the write lock, then
-		// build the views in the same critical section.
+		// build the views in the same critical section. Lazy stubs are
+		// never stale (colFreshLocked) and must not be transposed here.
 		sh.mu.Lock()
 		for _, k := range byShard[si] {
 			if s, ok := sh.series[k]; ok && s.matches(measurement, filter) && len(s.Points) > 0 {
 				s.colLocked()
 			}
 		}
-		out = appendViews(out, sh, byShard[si], measurement, filter, fromNs, toNs)
+		out = appendViews(out, sh, byShard[si], measurement, filter, fromNs, toNs, vb)
 		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -142,13 +180,21 @@ func (db *DB) QueryView(measurement string, filter map[string]string, from, to t
 }
 
 // appendViews slices each matching series' fresh columnar snapshot to
-// [fromNs, toNs) and appends the non-empty views. The caller must hold
-// the shard lock and have ensured every matching non-empty series has a
-// fresh snapshot.
-func appendViews(out []SeriesView, sh *shard, keys []string, measurement string, filter map[string]string, fromNs, toNs int64) []SeriesView {
+// [fromNs, toNs), applies the optional value bound, and appends the
+// non-empty views. Lazy stubs route through appendLazyView. The caller
+// must hold the shard lock and have ensured every matching non-empty
+// eager series has a fresh snapshot.
+func appendViews(out []SeriesView, sh *shard, keys []string, measurement string, filter map[string]string, fromNs, toNs int64, vb *ValueBound) []SeriesView {
 	for _, k := range keys {
 		s, ok := sh.series[k]
-		if !ok || !s.matches(measurement, filter) || len(s.Points) == 0 {
+		if !ok || !s.matches(measurement, filter) {
+			continue
+		}
+		if s.lazy != nil {
+			out = appendLazyView(out, s, fromNs, toNs, vb)
+			continue
+		}
+		if len(s.Points) == 0 {
 			continue
 		}
 		c := s.col
@@ -157,15 +203,104 @@ func appendViews(out []SeriesView, sh *shard, keys []string, measurement string,
 		if lo >= hi {
 			continue
 		}
+		if vb == nil {
+			out = append(out, SeriesView{
+				Measurement: s.Measurement,
+				Tags:        s.Tags,
+				Times:       c.times[lo:hi],
+				Values:      c.values[lo:hi],
+				Version:     s.version,
+			})
+			continue
+		}
+		ts, vs := filterBound(c.times[lo:hi], c.values[lo:hi], vb)
+		if len(ts) == 0 {
+			continue
+		}
 		out = append(out, SeriesView{
 			Measurement: s.Measurement,
 			Tags:        s.Tags,
-			Times:       c.times[lo:hi],
-			Values:      c.values[lo:hi],
+			Times:       ts,
+			Values:      vs,
 			Version:     s.version,
 		})
 	}
 	return out
+}
+
+// appendLazyView builds one lazy series' view: prune blocks by
+// summary, decode survivors through the cache, then slice or
+// copy-assemble. A view over exactly one surviving block with no value
+// bound aliases the cached decoded columns zero-copy; everything else
+// assembles fresh slices (decoded columns are immutable heap data, so
+// either form satisfies the SeriesView validity contract).
+func appendLazyView(out []SeriesView, s *Series, fromNs, toNs int64, vb *ValueBound) []SeriesView {
+	l := s.lazy
+	refs := l.selectRefs(fromNs, toNs, vb)
+	if len(refs) == 0 {
+		return out
+	}
+	type slice struct {
+		d      *decodedBlock
+		lo, hi int
+	}
+	slices := make([]slice, 0, len(refs))
+	total := 0
+	for _, r := range refs {
+		d := l.decodeRef(r)
+		lo := sort.Search(len(d.times), func(i int) bool { return d.times[i] >= fromNs })
+		hi := sort.Search(len(d.times), func(i int) bool { return d.times[i] >= toNs })
+		if lo >= hi {
+			continue
+		}
+		slices = append(slices, slice{d, lo, hi})
+		total += hi - lo
+	}
+	if total == 0 {
+		return out
+	}
+	v := SeriesView{Measurement: s.Measurement, Tags: s.Tags, Version: s.version}
+	if vb == nil && len(slices) == 1 {
+		sl := slices[0]
+		v.Times = sl.d.times[sl.lo:sl.hi]
+		v.Values = sl.d.values[sl.lo:sl.hi]
+		return append(out, v)
+	}
+	times := make([]int64, 0, total)
+	values := make([]float64, 0, total)
+	for _, sl := range slices {
+		if vb == nil {
+			times = append(times, sl.d.times[sl.lo:sl.hi]...)
+			values = append(values, sl.d.values[sl.lo:sl.hi]...)
+			continue
+		}
+		for i := sl.lo; i < sl.hi; i++ {
+			if vb.contains(sl.d.values[i]) {
+				times = append(times, sl.d.times[i])
+				values = append(values, sl.d.values[i])
+			}
+		}
+	}
+	if len(times) == 0 {
+		return out
+	}
+	v.Times, v.Values = times, values
+	return append(out, v)
+}
+
+// filterBound copies the entries of a column range that satisfy vb
+// into fresh slices (the zero-copy subslice form is only possible for
+// contiguous ranges).
+func filterBound(times []int64, values []float64, vb *ValueBound) ([]int64, []float64) {
+	ts := make([]int64, 0, len(times))
+	vs := make([]float64, 0, len(values))
+	for i, v := range values {
+		if vb.contains(v) {
+			ts = append(ts, times[i])
+			vs = append(vs, v)
+		}
+	}
+	return ts, vs
 }
 
 // ViewStamp condenses the identity and write-versions of every series
@@ -272,14 +407,28 @@ func (db *DB) TimeBounds(measurement string, filter map[string]string) (min, max
 		sh.mu.RLock()
 		for _, k := range byShard[si] {
 			s, sok := sh.series[k]
-			if !sok || !s.matches(measurement, filter) || len(s.Points) == 0 {
+			if !sok || !s.matches(measurement, filter) {
 				continue
 			}
-			// Points are time-ordered: first and last bound the series.
-			if first := s.Points[0].Time; !ok || first.Before(min) {
+			var first, last time.Time
+			if s.lazy != nil {
+				// Block summaries bound the series without a decode.
+				minT, maxT, lok := s.lazy.timeBounds()
+				if !lok {
+					continue
+				}
+				first, last = time.Unix(0, minT).UTC(), time.Unix(0, maxT).UTC()
+			} else {
+				if len(s.Points) == 0 {
+					continue
+				}
+				// Points are time-ordered: first and last bound the series.
+				first, last = s.Points[0].Time, s.Points[len(s.Points)-1].Time
+			}
+			if !ok || first.Before(min) {
 				min = first
 			}
-			if last := s.Points[len(s.Points)-1].Time; !ok || last.After(max) {
+			if !ok || last.After(max) {
 				max = last
 			}
 			ok = true
