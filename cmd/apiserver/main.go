@@ -5,7 +5,7 @@
 //
 //	apiserver -in snapshot.tsdb|datadir/ [-addr :8080] [-pidfile path]
 //	          [-follow http://leader:8081] [-tail-every 30s]
-//	          [-replica-addr :8081] [-lazy]
+//	          [-replica-addr :8081] [-lazy] [-swr] [-swr-budget 5m]
 //
 // -in accepts either a single-stream snapshot file or a segment
 // directory written by tslpd -datadir (docs/PERSISTENCE.md); a
@@ -29,6 +29,15 @@
 //
 // The pid file defaults to apiserver.pid under os.TempDir() and is
 // removed on graceful shutdown; -pidfile "" disables it.
+//
+// With -swr the congestion endpoint serves stale-while-revalidate
+// (docs/DETECTION.md §7): a request invalidated by new writes is
+// answered with the superseded cached body immediately — marked by an
+// X-Stale header, a Warning header, and the predecessor's ETag — while
+// the incremental detector refreshes in the background. -swr-budget
+// bounds how old a superseded body may be served (0 means unbounded);
+// /api/v1/stats counts stale serves and background refreshes under
+// detector_incremental (docs/DETECTION.md §6).
 //
 // -debug-addr starts a second listener (loopback by default) exposing
 // net/http/pprof under /debug/pprof/ for CPU/heap/mutex profiling of
@@ -72,6 +81,10 @@ func main() {
 	replicaAddr := flag.String("replica-addr", "", "listen address exporting -in (a directory) to downstream followers")
 	lazy := flag.Bool("lazy", false,
 		"open segment directories in block-pruned lazy mode: segments are mapped, not decoded, and queries decode only the blocks that survive summary pruning (docs/PERSISTENCE.md §9)")
+	swr := flag.Bool("swr", false,
+		"serve stale-while-revalidate: answer invalidated congestion requests with the superseded body while recomputing in the background (docs/DETECTION.md §7)")
+	swrBudget := flag.Duration("swr-budget", 5*time.Minute,
+		"staleness budget with -swr: bodies older than this are never served stale (0 means unbounded)")
 	debugAddr := flag.String("debug-addr", "",
 		"pprof listen address, e.g. localhost:6060 (empty disables)")
 	pidfile := flag.String("pidfile", filepath.Join(os.TempDir(), "apiserver.pid"),
@@ -92,6 +105,10 @@ func main() {
 	defer stop()
 
 	var opts []api.Option
+	if *swr {
+		opts = append(opts, api.WithStaleWhileRevalidate(*swrBudget))
+		fmt.Printf("apiserver: stale-while-revalidate on, budget %s\n", *swrBudget)
+	}
 	var db *tsdb.DB
 	var err error
 	if *follow != "" {

@@ -124,7 +124,10 @@ func (r *AutocorrResult) CongestedAt(t time.Time, start time.Time, interval time
 
 // Autocorrelation runs the §4.2 method. far and near are min-filtered
 // series at BinsPerDay resolution covering cfg.WindowDays whole days and
-// sharing Start/Interval.
+// sharing Start/Interval. The batch path rebuilds the elevation state
+// from scratch on every call; Incremental (docs/DETECTION.md §3)
+// maintains the same state across advances and shares the derivation,
+// which is what makes the two paths result-identical by construction.
 func Autocorrelation(far, near *BinSeries, cfg AutocorrConfig) (*AutocorrResult, error) {
 	B, D := cfg.BinsPerDay, cfg.WindowDays
 	if far.Len() < B*D {
@@ -133,53 +136,142 @@ func Autocorrelation(far, near *BinSeries, cfg AutocorrConfig) (*AutocorrResult,
 	if near != nil && near.Len() < B*D {
 		return nil, fmt.Errorf("analysis: near series has %d bins, need %d", near.Len(), B*D)
 	}
+	st := newElevState(B, D, cfg.ThresholdMs)
+	st.rebuild(far, near)
+	return st.derive(far.Start, cfg), nil
+}
+
+// elevState is the §4.2 elevation bookkeeping shared by the batch
+// Autocorrelation entry point and the Incremental accumulator
+// (docs/DETECTION.md §3): the per-side window minima the thresholds
+// derive from, the elevation matrix with near-side exclusion, the
+// per-bin elevated-day counts, and the per-day presence counts. Every
+// field is a pure function of the far/near min-filter bins, which is
+// what lets the incremental path patch individual bins and still derive
+// a result byte-identical to a batch rebuild.
+type elevState struct {
+	B, D        int
+	thresholdMs float64
+	// minFar and minNear are the per-side window minima (+Inf while a
+	// side has no data at all).
+	minFar, minNear float64
+	elevated        [][]bool
+	dayCounts       []int // elevated-day count per bin-of-day
+	present         []int // non-missing far bins per day
+}
+
+func newElevState(B, D int, thresholdMs float64) *elevState {
+	st := &elevState{
+		B: B, D: D, thresholdMs: thresholdMs,
+		minFar:    math.Inf(1),
+		minNear:   math.Inf(1),
+		elevated:  make([][]bool, D),
+		dayCounts: make([]int, B),
+		present:   make([]int, D),
+	}
+	for d := range st.elevated {
+		st.elevated[d] = make([]bool, B)
+	}
+	return st
+}
+
+// isElevated applies the §4.2 elevation rule to absolute bin i holding
+// far value v: above the far threshold and not excluded by an elevated
+// near side (elevated latency to the near side indicates congestion
+// inside the access network; those intervals are excluded). Days with
+// too little data are left unclassified downstream — "insufficient data
+// to infer congestion periods" is one of the month-link exclusions §5.1
+// applies.
+func (st *elevState) isElevated(v float64, near *BinSeries, i int) bool {
+	if v <= st.minFar+st.thresholdMs {
+		return false
+	}
+	if near != nil {
+		nv := near.Values[i]
+		if !math.IsNaN(nv) && nv > st.minNear+st.thresholdMs {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuild recomputes the whole elevation state from the bins. The batch
+// path always rebuilds; the incremental path falls back to it whenever a
+// window minimum moved, because a threshold change invalidates every
+// bin's elevation at once (docs/DETECTION.md §3).
+func (st *elevState) rebuild(far, near *BinSeries) {
+	st.minFar = far.Min()
+	st.minNear = math.Inf(1)
+	if near != nil {
+		st.minNear = near.Min()
+	}
+	for b := range st.dayCounts {
+		st.dayCounts[b] = 0
+	}
+	for d := 0; d < st.D; d++ {
+		row := st.elevated[d]
+		st.present[d] = 0
+		for b := 0; b < st.B; b++ {
+			i := d*st.B + b
+			v := far.Values[i]
+			if math.IsNaN(v) {
+				row[b] = false
+				continue
+			}
+			st.present[d]++
+			row[b] = st.isElevated(v, near, i)
+			if row[b] {
+				st.dayCounts[b]++
+			}
+		}
+	}
+}
+
+// update recomputes one absolute bin's elevation after its far or near
+// value changed, keeping dayCounts in sync. Only valid while the window
+// minima are unchanged since the last rebuild (the incremental caller
+// checks and rebuilds otherwise). Presence counts are maintained by the
+// folder, which alone sees NaN-to-value transitions.
+func (st *elevState) update(far, near *BinSeries, i int) {
+	d, b := i/st.B, i%st.B
+	was := st.elevated[d][b]
+	now := false
+	if v := far.Values[i]; !math.IsNaN(v) {
+		now = st.isElevated(v, near, i)
+	}
+	if now == was {
+		return
+	}
+	st.elevated[d][b] = now
+	if now {
+		st.dayCounts[b]++
+	} else {
+		st.dayCounts[b]--
+	}
+}
+
+// derive runs the back half of §4.2 — peak finding, circular bin
+// clustering, false-positive rejection, per-day classification — off
+// the current elevation state and assembles a self-contained
+// AutocorrResult. The result deep-copies the mutable state, so callers
+// may retain it across further incremental advances.
+func (st *elevState) derive(start time.Time, cfg AutocorrConfig) *AutocorrResult {
+	B, D := st.B, st.D
 	res := &AutocorrResult{
 		WindowBins: make([]bool, B),
 		DayCounts:  make([]int, B),
 	}
-
-	res.MinRTT = far.Min()
+	res.MinRTT = st.minFar
 	if math.IsInf(res.MinRTT, 1) {
-		return res, nil // no data at all
+		return res // no data at all
 	}
-	res.Threshold = res.MinRTT + cfg.ThresholdMs
-	nearThreshold := math.Inf(1)
-	if near != nil {
-		if nm := near.Min(); !math.IsInf(nm, 1) {
-			nearThreshold = nm + cfg.ThresholdMs
-		}
-	}
-
-	// Elevation matrix with near-side exclusion (§4.2: elevated latency
-	// to the near side indicates congestion inside the access network;
-	// those intervals are excluded). Days with too little data are left
-	// unclassified — "insufficient data to infer congestion periods" is
-	// one of the month-link exclusions §5.1 applies.
+	res.Threshold = res.MinRTT + st.thresholdMs
+	copy(res.DayCounts, st.dayCounts)
 	res.Elevated = make([][]bool, D)
 	res.dayCoverage = make([]float64, D)
 	for d := 0; d < D; d++ {
-		res.Elevated[d] = make([]bool, B)
-		present := 0
-		for b := 0; b < B; b++ {
-			i := d*B + b
-			v := far.Values[i]
-			if math.IsNaN(v) {
-				continue
-			}
-			present++
-			if v <= res.Threshold {
-				continue
-			}
-			if near != nil {
-				nv := near.Values[i]
-				if !math.IsNaN(nv) && nv > nearThreshold {
-					continue
-				}
-			}
-			res.Elevated[d][b] = true
-			res.DayCounts[b]++
-		}
-		res.dayCoverage[d] = float64(present) / float64(B)
+		res.Elevated[d] = append([]bool(nil), st.elevated[d]...)
+		res.dayCoverage[d] = float64(st.present[d]) / float64(B)
 	}
 
 	// Peak interval and recurring window.
@@ -190,8 +282,8 @@ func Autocorrelation(far, near *BinSeries, cfg AutocorrConfig) (*AutocorrResult,
 		}
 	}
 	if peak < cfg.MinPeakDays {
-		res.fillDays(far.Start, B, cfg)
-		return res, nil // no recurrence
+		res.fillDays(start, B, cfg)
+		return res // no recurrence
 	}
 	sufficient := int(math.Ceil(cfg.SufficientFrac * float64(peak)))
 	if sufficient < cfg.MinPeakDays {
@@ -206,8 +298,8 @@ func Autocorrelation(far, near *BinSeries, cfg AutocorrConfig) (*AutocorrResult,
 		}
 	}
 	if main < 0 {
-		res.fillDays(far.Start, B, cfg)
-		return res, nil
+		res.fillDays(start, B, cfg)
+		return res
 	}
 
 	// False-positive rejection (§4.2): multiple comparable clusters
@@ -232,8 +324,8 @@ func Autocorrelation(far, near *BinSeries, cfg AutocorrConfig) (*AutocorrResult,
 		// Comparable far-away peak: same days driving both?
 		if jaccardDays(res.Elevated, clusters[main], cl) < 0.3 {
 			res.RejectReason = "comparable peaks at different times of day driven by different days"
-			res.fillDays(far.Start, B, cfg)
-			return res, nil
+			res.fillDays(start, B, cfg)
+			return res
 		}
 		// Same days: a long congestion period split by the clusterer.
 		clusters[main] = append(clusters[main], cl...)
@@ -243,8 +335,8 @@ func Autocorrelation(far, near *BinSeries, cfg AutocorrConfig) (*AutocorrResult,
 	for _, b := range clusters[main] {
 		res.WindowBins[b] = true
 	}
-	res.fillDays(far.Start, B, cfg)
-	return res, nil
+	res.fillDays(start, B, cfg)
+	return res
 }
 
 // fillDays computes the per-day classification given the recurring window.

@@ -3,6 +3,14 @@
 // probing, and the autocorrelation method that identifies recurring
 // diurnal congestion and produces the day-link congestion percentages the
 // longitudinal study (§6) is built on.
+//
+// The autocorrelation method comes in two result-identical forms: the
+// batch Autocorrelation entry point, which rebuilds everything per
+// call, and the persistent Incremental accumulator, which folds only
+// newly written points between advances. Their shared state, the
+// validity proof behind the incremental fast path, and the advisory
+// online onset detector are specified in docs/DETECTION.md §2-§5; the
+// equivalence contract between the two forms is docs/DETECTION.md §4.
 package analysis
 
 import (
@@ -15,7 +23,9 @@ import (
 // BinSeries is a fixed-interval time series of minimum-filtered values.
 // Both detectors pre-process raw TSLP samples by taking the minimum per
 // bin, which removes slow-path ICMP outliers while preserving sustained
-// queueing delay.
+// queueing delay. The min-fold is idempotent and commutative, which is
+// what lets the Incremental accumulator fold points in write order and
+// still match a batch rebuild bin for bin (docs/DETECTION.md §3).
 type BinSeries struct {
 	Start    time.Time
 	Interval time.Duration

@@ -67,6 +67,26 @@ type Server struct {
 	// operators) can verify that.
 	computes atomic.Uint64
 
+	// det holds the persistent incremental detector accumulators behind
+	// /api/v1/congestion (docs/DETECTION.md §3), with the
+	// detector_incremental counters of /api/v1/stats alongside
+	// (docs/DETECTION.md §6).
+	det               *detRegistry
+	detFolds          atomic.Uint64
+	detPointsFolded   atomic.Uint64
+	detFullRecomputes atomic.Uint64
+	detUnchanged      atomic.Uint64
+
+	// swr reports that stale-while-revalidate serving is enabled
+	// (WithStaleWhileRevalidate): congestion requests go through the
+	// cache's DoStale path (docs/DETECTION.md §7).
+	swr bool
+
+	// started is the construction time, reported as the stats payload's
+	// "since" field so counter rates have a denominator
+	// (docs/SERVING.md §4).
+	started time.Time
+
 	closeOnce sync.Once
 }
 
@@ -78,6 +98,8 @@ type serverConfig struct {
 	workers     int
 	replication func() ReplicationHealth
 	storageDir  string
+	swr         bool
+	swrBudget   time.Duration
 }
 
 // WithCacheSize bounds the read cache to n entries (<= 0 keeps the
@@ -111,6 +133,20 @@ func WithStorageDir(dir string) Option {
 	return func(c *serverConfig) { c.storageDir = dir }
 }
 
+// WithStaleWhileRevalidate turns on stale-while-revalidate serving for
+// /api/v1/congestion (docs/DETECTION.md §7): a stamp-change miss whose
+// predecessor body is still cached and at most budget old is answered
+// with that superseded body immediately — marked with an X-Stale header,
+// a Warning header, and the predecessor's ETag — while one deduplicated
+// background recompute runs on the server's worker pool. budget <= 0
+// means no staleness bound.
+func WithStaleWhileRevalidate(budget time.Duration) Option {
+	return func(c *serverConfig) {
+		c.swr = true
+		c.swrBudget = budget
+	}
+}
+
 // New returns a server over db. Callers that create servers in a loop
 // should Close them to release the analysis worker pool.
 func New(db *tsdb.DB, opts ...Option) *Server {
@@ -119,14 +155,20 @@ func New(db *tsdb.DB, opts ...Option) *Server {
 		o(&cfg)
 	}
 	s := &Server{
-		DB:    db,
-		mux:   http.NewServeMux(),
-		cache: readcache.New(cfg.cacheSize),
-		pool:  pipeline.NewPool(cfg.workers),
-		met:   newMetrics(),
+		DB:      db,
+		mux:     http.NewServeMux(),
+		cache:   readcache.New(cfg.cacheSize),
+		pool:    pipeline.NewPool(cfg.workers),
+		met:     newMetrics(),
+		det:     newDetRegistry(0),
+		started: time.Now(),
 	}
 	s.replication = cfg.replication
 	s.storageDir = cfg.storageDir
+	if cfg.swr {
+		s.swr = true
+		s.cache.EnableSWR(s.pool.Go, cfg.swrBudget)
+	}
 	s.handle("/api/v1/measurements", "measurements", s.handleMeasurements)
 	s.handle("/api/v1/tags", "tags", s.handleTags)
 	s.handle("/api/v1/query", "query", s.handleQuery)
@@ -436,15 +478,6 @@ type DayJSON struct {
 	Fraction  float64 `json:"fraction"`
 }
 
-// congestionEntry is one memoized congestion analysis: the detector
-// result, the far/near series it was computed from, and the response
-// body served to repeat requests.
-type congestionEntry struct {
-	result    *analysis.AutocorrResult
-	far, near *analysis.BinSeries
-	body      []byte
-}
-
 // congestionFilter is the tag filter selecting every series that
 // contributes to a congestion analysis of (link, vp): both sides, one
 // vp or all of them. Its ViewStamp is the cache-invalidation handle.
@@ -494,70 +527,61 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
 		writeNotModified(w, etag)
 		return
 	}
-	v, _, err := s.cache.Do(key, func() (any, error) {
-		return s.computeCongestion(link, vp, from, cfg)
-	})
+	compute := func() (any, error) { return s.computeCongestion(link, vp, from, cfg) }
+	var v any
+	var res readcache.Result
+	if s.swr {
+		v, res, err = s.cache.DoStale(key, compute)
+	} else {
+		v, _, err = s.cache.Do(key, compute)
+		res = readcache.Result{ServedKey: key}
+	}
 	if err != nil {
 		writeComputeError(w, err)
 		return
 	}
-	w.Header().Set("ETag", etag)
-	writeJSONBody(w, v.(*congestionEntry).body)
+	if res.Stale {
+		// A superseded body: advertise the predecessor's ETag (so a
+		// client revalidating against it still matches what it holds)
+		// and mark the response stale (docs/DETECTION.md §7).
+		w.Header().Set("ETag", etagFor(res.ServedKey))
+		w.Header().Set("Warning", `110 - "stale-while-revalidate"`)
+		w.Header().Set("X-Stale", "true")
+	} else {
+		w.Header().Set("ETag", etag)
+	}
+	writeJSONBody(w, v.([]byte))
 }
 
-// computeCongestion runs the full detector for one (link, vp, from,
-// cfg) request: it builds the far/near min-filtered series from
-// zero-copy store views and runs the §4.2 autocorrelation. Exactly the
-// work the cache and coalescing exist to avoid repeating.
-func (s *Server) computeCongestion(link, vp string, from time.Time, cfg analysis.AutocorrConfig) (*congestionEntry, error) {
+// computeCongestion produces the response body for one (link, vp, from,
+// cfg) request by advancing the persistent incremental accumulator for
+// that shape (docs/DETECTION.md §3): only points written since the
+// accumulator's last advance are folded, and an advance that changes
+// nothing reuses the previous encoded body verbatim. Exactly the work
+// the cache and coalescing exist to avoid repeating.
+func (s *Server) computeCongestion(link, vp string, from time.Time, cfg analysis.AutocorrConfig) ([]byte, error) {
 	s.computes.Add(1)
-	bin := 24 * time.Hour / time.Duration(cfg.BinsPerDay)
-	n := cfg.WindowDays * cfg.BinsPerDay
-	to := from.Add(time.Duration(n) * bin)
-
-	build := func(side string) *analysis.BinSeries {
-		series := analysis.NewBinSeries(from, bin, n)
-		filter := map[string]string{"link": link, "side": side}
-		if vp != "" {
-			filter["vp"] = vp
-		}
-		for _, view := range s.DB.QueryView("tslp", filter, from, to) {
-			for i, ns := range view.Times {
-				series.ObserveNanos(ns, view.Values[i])
-			}
-		}
-		return series
-	}
-	far, near := build("far"), build("near")
-	res, err := analysis.Autocorrelation(far, near, cfg)
-	if err != nil {
-		return nil, statusError{http.StatusUnprocessableEntity, fmt.Sprintf("analysis: %v", err)}
-	}
-	resp := CongestionResponse{Recurring: res.Recurring, Reject: res.RejectReason}
-	resp.Days = make([]DayJSON, 0, len(res.Days))
-	for _, d := range res.Days {
-		resp.Days = append(resp.Days, DayJSON{
-			Day:       d.Day.Format("2006-01-02"),
-			Congested: d.Congested,
-			Fraction:  d.Fraction,
-		})
-	}
-	body, err := encodeBody(resp)
-	if err != nil {
-		return nil, err
-	}
-	return &congestionEntry{result: res, far: far, near: near, body: body}, nil
+	return s.advanceDetector(link, vp, from, cfg)
 }
 
 // StatsResponse is the /api/v1/stats payload: read-cache counters,
 // detector-run count, the store's modification counter, and
 // per-endpoint request metrics (docs/SERVING.md §4).
 type StatsResponse struct {
+	// Since is when this server started; every counter in the payload
+	// is cumulative from this instant (docs/SERVING.md §4), so two
+	// samples of the endpoint — or one sample and Since — give rates.
+	Since time.Time `json:"since"`
 	// Cache holds the read cache's hit/miss/eviction/coalesce counters.
 	Cache readcache.Stats `json:"cache"`
 	// CongestionComputes counts actual detector runs (cache misses that
 	// executed, not coalesced joiners).
 	CongestionComputes uint64 `json:"congestion_computes"`
+	// Detector reports the incremental detector registry's counters:
+	// accumulators, folds, points folded, full recomputes, unchanged
+	// advances, and the stale-while-revalidate serve/refresh counts
+	// (docs/DETECTION.md §6).
+	Detector DetectorStats `json:"detector_incremental"`
 	// StoreVersion is tsdb.StoreVersion: moves on every store mutation.
 	StoreVersion uint64 `json:"store_version"`
 	// Generation is the manifest generation of the store's last
@@ -598,8 +622,10 @@ func (s *Server) storageInfo() *tsdb.DirInfo {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
+		Since:              s.started.UTC(),
 		Cache:              s.cache.Stats(),
 		CongestionComputes: s.computes.Load(),
+		Detector:           s.detectorStats(),
 		StoreVersion:       s.DB.StoreVersion(),
 		Generation:         s.DB.SnapshotGeneration(),
 		Storage:            s.storageInfo(),

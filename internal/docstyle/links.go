@@ -1,0 +1,301 @@
+package docstyle
+
+// Link and citation checking (the docs-link-check CI step): every
+// intra-repo markdown link must resolve to a real file (and, when it
+// names a #fragment in a markdown target, to a real heading), and every
+// "docs/<NAME>.md §N" citation — the form comments use to bind
+// implementation to its normative spec — must name a section that
+// exists. Markdown files are checked whole; .go files are checked
+// comment-by-comment (string literals may legitimately mention spec
+// paths that do not exist, e.g. test fixtures). Like the doc-comment
+// gate, the rules run as an ordinary test (links_test.go) so
+// `go test ./...` and CI enforce the same contract.
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LinkViolation is one broken link or stale spec citation.
+type LinkViolation struct {
+	// File is the repo-relative path of the file holding the reference.
+	File string
+	// Line is the 1-indexed line of the reference.
+	Line int
+	// Ref is the link target or citation as written.
+	Ref string
+	// Problem says why it does not resolve.
+	Problem string
+}
+
+// String renders the violation as file:line prose.
+func (v LinkViolation) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", v.File, v.Line, v.Ref, v.Problem)
+}
+
+var (
+	// mdLink matches [text](target) markdown links; images share the
+	// syntax and are checked the same way.
+	mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	// specCite matches a docs/<NAME>.md reference, capturing
+	// the section citations that may follow ("§3", "§3-§4", "§2, §5").
+	specCite = regexp.MustCompile(`docs/([A-Za-z0-9_.-]+\.md)((?:[\s,]|and)*(?:§[0-9]+(?:\.[0-9]+)*(?:-§?[0-9]+(?:\.[0-9]+)*)?(?:[\s,]|and)*)*)`)
+	// secTok extracts one citation token from a citation tail: a single
+	// section number or a range ("§2-§4" cites §2, §3 and §4).
+	secTok = regexp.MustCompile(`§([0-9]+(?:\.[0-9]+)*)(?:-§?([0-9]+(?:\.[0-9]+)*))?`)
+	// mdHeading matches the repo's spec heading form "## §N Title" (and
+	// plain "## Title" headings, captured for anchor slugs).
+	mdHeading = regexp.MustCompile(`(?m)^#{1,6}\s+(.*)$`)
+	// headingSec pulls the section number out of a "§N Title" heading.
+	headingSec = regexp.MustCompile(`^§([0-9]+(?:\.[0-9]+)*)\b`)
+)
+
+// CheckLinks walks every .md and .go file under root (a repository
+// checkout) and returns all broken intra-repo markdown links and stale
+// spec-section citations, in file order. External links (a scheme
+// prefix) are not checked. .git, vendor and testdata directories are
+// skipped.
+func CheckLinks(root string) ([]LinkViolation, error) {
+	var mdFiles, goFiles []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "vendor", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		switch filepath.Ext(d.Name()) {
+		case ".md":
+			// Working notes at the repo root (issue text, paper abstracts,
+			// quoted exemplar snippets) reproduce external material verbatim
+			// and are not part of the documentation contract.
+			if dir, _ := filepath.Rel(root, filepath.Dir(path)); dir == "." {
+				switch d.Name() {
+				case "ISSUE.md", "PAPER.md", "PAPERS.md", "SNIPPETS.md", "CHANGES.md":
+					return nil
+				}
+			}
+			mdFiles = append(mdFiles, path)
+		case ".go":
+			goFiles = append(goFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sections := newSectionIndex(root)
+	var out []LinkViolation
+	for _, path := range mdFiles {
+		vs, err := checkMarkdownFile(root, path, sections)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	for _, path := range goFiles {
+		vs, err := checkGoComments(root, path, sections)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	return out, nil
+}
+
+// sectionIndex lazily loads, per markdown file, the §-numbered sections
+// and the GitHub-style anchor slugs of its headings.
+type sectionIndex struct {
+	root  string
+	files map[string]*mdSections // repo-relative path -> sections, nil if unreadable
+}
+
+type mdSections struct {
+	secs    map[string]bool // "3", "8.1", ...
+	anchors map[string]bool // github heading slugs
+}
+
+func newSectionIndex(root string) *sectionIndex {
+	return &sectionIndex{root: root, files: map[string]*mdSections{}}
+}
+
+// get returns the section table for the repo-relative markdown path, or
+// nil when the file does not exist or cannot be read.
+func (ix *sectionIndex) get(rel string) *mdSections {
+	rel = filepath.ToSlash(rel)
+	if s, ok := ix.files[rel]; ok {
+		return s
+	}
+	raw, err := os.ReadFile(filepath.Join(ix.root, filepath.FromSlash(rel)))
+	if err != nil {
+		ix.files[rel] = nil
+		return nil
+	}
+	s := &mdSections{secs: map[string]bool{}, anchors: map[string]bool{}}
+	for _, m := range mdHeading.FindAllStringSubmatch(string(raw), -1) {
+		title := strings.TrimSpace(m[1])
+		s.anchors[anchorSlug(title)] = true
+		if sm := headingSec.FindStringSubmatch(title); sm != nil {
+			s.secs[sm[1]] = true
+		}
+	}
+	ix.files[rel] = s
+	return s
+}
+
+// anchorSlug reduces a heading to its GitHub anchor: lowercase, spaces
+// to hyphens, everything but letters, digits, hyphens and underscores
+// dropped.
+func anchorSlug(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= '0' && r <= '9'):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// relPath renders path repo-relative with forward slashes.
+func relPath(root, path string) string {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		rel = path
+	}
+	return filepath.ToSlash(rel)
+}
+
+// checkMarkdownFile scans one markdown file for intra-repo links and
+// spec citations.
+func checkMarkdownFile(root, path string, ix *sectionIndex) ([]LinkViolation, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rel := relPath(root, path)
+	var out []LinkViolation
+	for lineNo, line := range strings.Split(string(raw), "\n") {
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			if v := checkMDTarget(root, rel, m[1], ix); v != "" {
+				out = append(out, LinkViolation{File: rel, Line: lineNo + 1, Ref: m[1], Problem: v})
+			}
+		}
+		out = append(out, checkCitations(rel, lineNo+1, line, ix)...)
+	}
+	return out, nil
+}
+
+// checkGoComments scans the comments of one Go source file — and only
+// the comments — for spec citations.
+func checkGoComments(root, path string, ix *sectionIndex) ([]LinkViolation, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		// A file that does not parse is the build's problem, not ours.
+		return nil, nil
+	}
+	rel := relPath(root, path)
+	var out []LinkViolation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			start := fset.Position(c.Pos()).Line
+			for i, line := range strings.Split(c.Text, "\n") {
+				out = append(out, checkCitations(rel, start+i, line, ix)...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// checkCitations flags spec citations on one line whose file or
+// sections do not exist.
+func checkCitations(rel string, lineNo int, line string, ix *sectionIndex) []LinkViolation {
+	var out []LinkViolation
+	for _, m := range specCite.FindAllStringSubmatch(line, -1) {
+		doc := "docs/" + m[1]
+		secs := ix.get(doc)
+		if secs == nil {
+			out = append(out, LinkViolation{File: rel, Line: lineNo, Ref: doc, Problem: "cited spec file does not exist"})
+			continue
+		}
+		for _, n := range citedSections(m[2]) {
+			if !secs.secs[n] {
+				out = append(out, LinkViolation{
+					File: rel, Line: lineNo,
+					Ref:     fmt.Sprintf("%s §%s", doc, n),
+					Problem: "cited section does not exist",
+				})
+			}
+		}
+	}
+	return out
+}
+
+// citedSections lists every section number a citation tail claims,
+// expanding integer ranges: "§3, §5" cites 3 and 5, "§2-§4" cites 2, 3
+// and 4. Dotted endpoints are not expanded — "§2.1-§2.3" cites only its
+// two endpoints, since the in-between subsection numbering is not
+// knowable from the citation alone.
+func citedSections(tail string) []string {
+	var out []string
+	for _, m := range secTok.FindAllStringSubmatch(tail, -1) {
+		out = append(out, m[1])
+		if m[2] == "" {
+			continue
+		}
+		lo, err1 := strconv.Atoi(m[1])
+		hi, err2 := strconv.Atoi(m[2])
+		if err1 == nil && err2 == nil && hi > lo {
+			for n := lo + 1; n <= hi; n++ {
+				out = append(out, strconv.Itoa(n))
+			}
+		} else {
+			out = append(out, m[2])
+		}
+	}
+	return out
+}
+
+// checkMDTarget validates one markdown link target from the file at
+// rel, returning "" when it resolves or a problem description.
+func checkMDTarget(root, rel, target string, ix *sectionIndex) string {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return "" // external
+	}
+	target, frag, _ := strings.Cut(target, "#")
+	var dest string
+	switch {
+	case target == "":
+		dest = rel // pure-fragment link into the same file
+	case strings.HasPrefix(target, "/"):
+		dest = strings.TrimPrefix(target, "/")
+	default:
+		dest = filepath.ToSlash(filepath.Join(filepath.Dir(rel), target))
+	}
+	if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(dest))); err != nil {
+		return "linked file does not exist"
+	}
+	if frag != "" && strings.HasSuffix(dest, ".md") {
+		secs := ix.get(dest)
+		if secs == nil || !secs.anchors[strings.ToLower(frag)] {
+			return fmt.Sprintf("no heading for anchor #%s", frag)
+		}
+	}
+	return ""
+}

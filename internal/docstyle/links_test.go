@@ -1,0 +1,124 @@
+package docstyle
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoLinks is the repo-wide docs-link-check gate: every intra-repo
+// markdown link resolves and every docs/<NAME>.md §N citation — in docs
+// and in code comments alike — names a real section of a real spec.
+func TestRepoLinks(t *testing.T) {
+	vs, err := CheckLinks("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("%s", v)
+	}
+}
+
+// writeTree materialises a fixture repo in a temp dir.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, body := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// checkTree runs CheckLinks over a fixture and returns the rendered
+// violations.
+func checkTree(t *testing.T, files map[string]string) []string {
+	t.Helper()
+	vs, err := CheckLinks(writeTree(t, files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = v.String()
+	}
+	return out
+}
+
+func wantViolation(t *testing.T, got []string, substr string) {
+	t.Helper()
+	for _, g := range got {
+		if strings.Contains(g, substr) {
+			return
+		}
+	}
+	t.Errorf("no violation containing %q; got %v", substr, got)
+}
+
+func TestCheckLinksCleanTree(t *testing.T) {
+	got := checkTree(t, map[string]string{
+		"README.md": "# Spec\n\nSee [the spec](docs/SPEC.md) and [§2](docs/SPEC.md#2-rules),\n" +
+			"plus [upstream](https://example.com/x) and [mail](mailto:a@b.c).\n" +
+			"Inline cite: docs/SPEC.md §1-§2 and docs/SPEC.md §2.1.\n",
+		"docs/SPEC.md": "# Spec\n\n## §1 Overview\n\n## §2 Rules\n\n### §2.1 Detail\n\nBack to [readme](../README.md#spec).\n",
+		"pkg/a.go":     "package a\n\n// Implements docs/SPEC.md §2 (see also docs/SPEC.md §1, §2.1).\nvar X = 1\n",
+	})
+	if len(got) != 0 {
+		t.Errorf("clean tree reported violations: %v", got)
+	}
+}
+
+func TestCheckLinksBrokenFileLink(t *testing.T) {
+	got := checkTree(t, map[string]string{
+		"README.md": "See [missing](docs/GONE.md).\n",
+	})
+	wantViolation(t, got, "docs/GONE.md: linked file does not exist")
+}
+
+func TestCheckLinksBrokenAnchor(t *testing.T) {
+	got := checkTree(t, map[string]string{
+		"README.md":    "See [§9](docs/SPEC.md#9-nowhere).\n",
+		"docs/SPEC.md": "## §1 Overview\n",
+	})
+	wantViolation(t, got, "no heading for anchor #9-nowhere")
+}
+
+func TestCheckLinksStaleCitationInGoComment(t *testing.T) {
+	got := checkTree(t, map[string]string{
+		"docs/SPEC.md": "## §1 Overview\n\n## §2 Rules\n",
+		"pkg/a.go":     "package a\n\n// Implements docs/SPEC.md §2-§4.\nvar X = 1\n",
+		"pkg/b.go":     "package a\n\n// Cites docs/MISSING.md §1.\nvar Y = 1\n",
+	})
+	wantViolation(t, got, "docs/SPEC.md §3: cited section does not exist")
+	wantViolation(t, got, "docs/SPEC.md §4: cited section does not exist")
+	wantViolation(t, got, "docs/MISSING.md: cited spec file does not exist")
+	for _, g := range got {
+		if strings.Contains(g, "§2: cited") {
+			t.Errorf("valid range start flagged: %s", g)
+		}
+	}
+}
+
+func TestCheckLinksStaleCitationInMarkdown(t *testing.T) {
+	got := checkTree(t, map[string]string{
+		"docs/SPEC.md":  "## §1 Overview\n",
+		"docs/OTHER.md": "## §1 Intro\n\nPer docs/SPEC.md §7 the rule holds.\n",
+	})
+	wantViolation(t, got, "docs/SPEC.md §7: cited section does not exist")
+}
+
+func TestCheckLinksSkipsTestdata(t *testing.T) {
+	got := checkTree(t, map[string]string{
+		"pkg/testdata/fixture.md": "[broken](nope.md)\n",
+		"docs/SPEC.md":            "## §1 Overview\n",
+	})
+	if len(got) != 0 {
+		t.Errorf("testdata should be skipped; got %v", got)
+	}
+}

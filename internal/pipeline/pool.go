@@ -55,9 +55,17 @@ func (p *Pool) worker() {
 }
 
 func (j poolJob) run() {
-	defer j.done.wg.Done()
+	if j.done != nil {
+		defer j.done.wg.Done()
+	}
 	defer func() {
 		if r := recover(); r != nil {
+			if j.done == nil {
+				// Fire-and-forget (Go): nobody is waiting to re-panic on;
+				// the submitter observes failures through its own wrapper
+				// (readcache converts them to an error for any waiter).
+				return
+			}
 			j.done.mu.Lock()
 			if j.done.panic == nil {
 				j.done.panic = fmt.Sprintf("%v\n%s", r, debug.Stack())
@@ -117,6 +125,21 @@ func (p *Pool) DoErr(fns ...func() error) error {
 		}
 	}
 	return nil
+}
+
+// Go submits one fire-and-forget job: it returns immediately, never
+// waits for the job, and recovers (rather than propagates) a panic in
+// fn. When every worker is busy the job runs on a fresh goroutine
+// instead of queueing, so submission latency stays bounded — the
+// property the serving tier's stale-while-revalidate refreshes rely on
+// (docs/DETECTION.md §7). Like Do, Go must not be called after Close.
+func (p *Pool) Go(fn func()) {
+	j := poolJob{fn: fn}
+	select {
+	case p.jobs <- j:
+	default:
+		go j.run()
+	}
 }
 
 // Close shuts the workers down. Do must not be called after Close.

@@ -11,11 +11,22 @@
 // Grafana backend relies on Grafana's query result cache to survive
 // dashboard fan-in. Hit, miss, eviction and coalesce counters are
 // exposed for the /api/v1/stats endpoint.
+//
+// With EnableSWR the cache additionally serves stale-while-revalidate
+// (docs/DETECTION.md §7): DoStale answers a stamp-change miss with the
+// superseded predecessor's value immediately — identified by the key
+// with its Stamp zeroed — while one deduplicated background refresh
+// recomputes the current value on the configured runner. A staleness
+// budget bounds how old a predecessor may be served, eviction removes
+// a predecessor from stale service atomically with its entry, and a
+// Purge generation keeps refreshes that started before a Purge from
+// resurrecting dropped state.
 package readcache
 
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // Key identifies one memoizable read-path computation. It is a plain
@@ -47,6 +58,12 @@ type Key struct {
 	Limit, Offset int
 }
 
+// base returns the key with its Stamp zeroed: the identity of "the same
+// request against any data epoch". Stale-while-revalidate uses it to
+// find the superseded predecessor of a stamp-change miss
+// (docs/DETECTION.md §7).
+func (k Key) base() Key { k.Stamp = 0; return k }
+
 // Stats is a point-in-time snapshot of the cache's counters.
 type Stats struct {
 	// Hits counts lookups served from a stored entry.
@@ -58,6 +75,13 @@ type Stats struct {
 	// Coalesced counts lookups that joined another caller's in-flight
 	// computation instead of starting their own.
 	Coalesced uint64 `json:"coalesced"`
+	// StaleServes counts DoStale lookups answered with a superseded
+	// predecessor while a refresh proceeded (docs/DETECTION.md §7).
+	StaleServes uint64 `json:"stale_serves"`
+	// BackgroundRefreshes counts refresh computations DoStale scheduled
+	// on the background runner (deduplicated: a stale serve joining an
+	// in-flight refresh schedules nothing).
+	BackgroundRefreshes uint64 `json:"background_refreshes"`
 	// Entries is the current number of stored entries.
 	Entries int `json:"entries"`
 }
@@ -78,6 +102,9 @@ type flight struct {
 type entry struct {
 	key Key
 	val any
+	// at is the store time, measured against the staleness budget when
+	// the entry is a candidate for stale service.
+	at time.Time
 }
 
 // Cache is a bounded LRU memo table with singleflight coalescing. The
@@ -88,8 +115,27 @@ type Cache struct {
 	ll      *list.List // front = most recently used; values are *entry
 	entries map[Key]*list.Element
 	inFly   map[Key]*flight
+	// base maps a zero-stamp base key to the most recently stored entry
+	// sharing it: the stale-while-revalidate predecessor index. Kept
+	// consistent with entries — eviction or Purge of an entry removes
+	// its base mapping in the same critical section, so a stale body
+	// can never outlive its entry.
+	base map[Key]*list.Element
+
+	// runner executes background refreshes when SWR is enabled
+	// (EnableSWR); nil means DoStale degrades to Do semantics.
+	runner func(func())
+	// budget bounds how old a predecessor may be served stale
+	// (<= 0: no bound).
+	budget time.Duration
+	// now is the clock, injectable for budget tests.
+	now func() time.Time
+	// gen increments on Purge; flights settle their results only into
+	// the generation they started under (no resurrection).
+	gen uint64
 
 	hits, misses, evictions, coalesced uint64
+	staleServes, backgroundRefreshes   uint64
 }
 
 // New returns an empty cache bounded to max entries (<= 0 means
@@ -103,7 +149,24 @@ func New(max int) *Cache {
 		ll:      list.New(),
 		entries: make(map[Key]*list.Element),
 		inFly:   make(map[Key]*flight),
+		base:    make(map[Key]*list.Element),
+		now:     time.Now,
 	}
+}
+
+// EnableSWR turns on stale-while-revalidate service through DoStale:
+// runner executes the deduplicated background refreshes (nil falls back
+// to plain goroutines; the serving tier passes pipeline.Pool.Go), and
+// budget bounds how old a superseded entry may be served stale (<= 0
+// means no bound). Fresh-path behavior (Do, Get) is unchanged.
+func (c *Cache) EnableSWR(runner func(func()), budget time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if runner == nil {
+		runner = func(fn func()) { go fn() }
+	}
+	c.runner = runner
+	c.budget = budget
 }
 
 // Do returns the cached value for key, or runs compute to produce it.
@@ -132,30 +195,131 @@ func (c *Cache) Do(key Key, compute func() (any, error)) (val any, hit bool, err
 	f.wg.Add(1)
 	c.inFly[key] = f
 	c.misses++
+	gen := c.gen
 	c.mu.Unlock()
 
-	// Release waiters and clear the flight even if compute panics, so a
-	// panicking handler cannot deadlock every coalesced request behind
-	// it; the panic itself propagates on this caller after the flight
-	// is torn down.
+	val, err = c.runFlight(key, f, gen, compute)
+	return val, false, err
+}
+
+// Result describes how a DoStale lookup was served.
+type Result struct {
+	// Hit reports whether the value came from the store or an in-flight
+	// computation rather than a foreground compute.
+	Hit bool
+	// Stale reports that the value is a superseded predecessor served
+	// while a background refresh proceeds (docs/DETECTION.md §7).
+	Stale bool
+	// ServedKey is the key the returned value was stored under: the
+	// request key itself, or the predecessor's key when Stale.
+	ServedKey Key
+}
+
+// DoStale is Do with stale-while-revalidate (docs/DETECTION.md §7).
+// An exact hit behaves like Do. On a miss whose base key (Stamp zeroed)
+// matches a stored predecessor within the staleness budget — and SWR is
+// enabled — DoStale returns that superseded value immediately, marked
+// Stale, and schedules one deduplicated background refresh of the
+// current key on the runner. Without SWR, a usable predecessor, or when
+// the predecessor is over budget, it degrades to Do semantics.
+func (c *Cache) DoStale(key Key, compute func() (any, error)) (any, Result, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		val := el.Value.(*entry).val
+		c.mu.Unlock()
+		return val, Result{Hit: true, ServedKey: key}, nil
+	}
+	if c.runner != nil {
+		if el, ok := c.base[key.base()]; ok {
+			e := el.Value.(*entry)
+			if c.budget <= 0 || c.now().Sub(e.at) <= c.budget {
+				// Capture the stale value and its key under the lock:
+				// storeLocked's refresh path mutates e.val, and eviction
+				// can drop the entry the moment we release the mutex.
+				val, served := e.val, e.key
+				if _, inFlight := c.inFly[key]; !inFlight {
+					f := &flight{}
+					f.wg.Add(1)
+					c.inFly[key] = f
+					c.misses++
+					c.backgroundRefreshes++
+					gen := c.gen
+					c.staleServes++
+					c.mu.Unlock()
+					c.runner(func() { c.backgroundFlight(key, f, gen, compute) })
+				} else {
+					c.staleServes++
+					c.mu.Unlock()
+				}
+				return val, Result{Hit: true, Stale: true, ServedKey: served}, nil
+			}
+		}
+	}
+	if f, ok := c.inFly[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		f.wg.Wait()
+		return f.val, Result{Hit: true, ServedKey: key}, f.err
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	c.inFly[key] = f
+	c.misses++
+	gen := c.gen
+	c.mu.Unlock()
+
+	val, err := c.runFlight(key, f, gen, compute)
+	return val, Result{ServedKey: key}, err
+}
+
+// runFlight executes a foreground computation whose flight is already
+// registered, settling the flight even if compute panics, so a
+// panicking handler cannot deadlock every coalesced request behind it;
+// the panic itself propagates on this caller after the flight is torn
+// down.
+func (c *Cache) runFlight(key Key, f *flight, gen uint64, compute func() (any, error)) (val any, err error) {
 	defer func() {
 		r := recover()
 		if r != nil {
 			f.err = errPanicked
 		}
-		c.mu.Lock()
-		delete(c.inFly, key)
-		if f.err == nil {
-			c.storeLocked(key, f.val)
-		}
-		c.mu.Unlock()
-		f.wg.Done()
+		c.settleFlight(key, f, gen)
 		if r != nil {
 			panic(r)
 		}
 	}()
 	f.val, f.err = compute()
-	return f.val, false, f.err
+	return f.val, f.err
+}
+
+// backgroundFlight executes a refresh computation on the SWR runner. A
+// panic settles the flight with errPanicked and is swallowed: nobody is
+// on this call stack to re-panic on, and waiters coalesced onto the
+// flight see the error.
+func (c *Cache) backgroundFlight(key Key, f *flight, gen uint64, compute func() (any, error)) {
+	defer func() {
+		if r := recover(); r != nil {
+			f.err = errPanicked
+		}
+		c.settleFlight(key, f, gen)
+	}()
+	f.val, f.err = compute()
+}
+
+// settleFlight deregisters a finished flight, stores its result if it
+// succeeded and the cache has not been purged since the flight started
+// (so a refresh racing a Purge cannot resurrect dropped state), and
+// releases the waiters.
+func (c *Cache) settleFlight(key Key, f *flight, gen uint64) {
+	c.mu.Lock()
+	delete(c.inFly, key)
+	if f.err == nil && gen == c.gen {
+		c.storeLocked(key, f.val)
+	}
+	c.mu.Unlock()
+	f.wg.Done()
 }
 
 // errPanicked is handed to coalesced waiters whose leader panicked.
@@ -169,20 +333,31 @@ type panicError struct{}
 func (panicError) Error() string { return "readcache: coalesced computation panicked" }
 
 // storeLocked inserts a computed value, evicting from the LRU tail when
-// over the bound. The caller must hold c.mu.
+// over the bound. It also keeps the base (predecessor) index current:
+// the newest entry for a base key owns the mapping, and an evicted
+// entry that still owns its mapping takes it along — stale service
+// never outlives the entry it would serve. The caller must hold c.mu.
 func (c *Cache) storeLocked(key Key, val any) {
 	if el, ok := c.entries[key]; ok {
 		// A concurrent writer (same key, different flight epoch) beat
 		// us; refresh rather than duplicate.
-		el.Value.(*entry).val = val
+		e := el.Value.(*entry)
+		e.val = val
+		e.at = c.now()
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&entry{key: key, val: val})
+	el := c.ll.PushFront(&entry{key: key, val: val, at: c.now()})
+	c.entries[key] = el
+	c.base[key.base()] = el
 	for c.ll.Len() > c.max {
 		tail := c.ll.Back()
 		c.ll.Remove(tail)
-		delete(c.entries, tail.Value.(*entry).key)
+		tk := tail.Value.(*entry).key
+		delete(c.entries, tk)
+		if c.base[tk.base()] == tail {
+			delete(c.base, tk.base())
+		}
 		c.evictions++
 	}
 }
@@ -202,14 +377,19 @@ func (c *Cache) Get(key Key) (val any, ok bool) {
 	return el.Value.(*entry).val, true
 }
 
-// Purge drops every stored entry (in-flight computations are
-// unaffected) without touching the hit/miss counters. Benchmarks use it
-// to measure the cold path on a warm process.
+// Purge drops every stored entry without touching the hit/miss
+// counters. In-flight computations still complete and release their
+// waiters, but their results are not stored: the purge advances a
+// generation counter that pre-purge flights fail, so a background
+// refresh started before the purge cannot resurrect dropped state.
+// Benchmarks use Purge to measure the cold path on a warm process.
 func (c *Cache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll.Init()
 	c.entries = make(map[Key]*list.Element)
+	c.base = make(map[Key]*list.Element)
+	c.gen++
 }
 
 // Len returns the number of stored entries.
@@ -224,10 +404,12 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Coalesced: c.coalesced,
-		Entries:   c.ll.Len(),
+		Hits:                c.hits,
+		Misses:              c.misses,
+		Evictions:           c.evictions,
+		Coalesced:           c.coalesced,
+		StaleServes:         c.staleServes,
+		BackgroundRefreshes: c.backgroundRefreshes,
+		Entries:             c.ll.Len(),
 	}
 }

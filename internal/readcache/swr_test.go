@@ -1,0 +1,269 @@
+package readcache
+
+// Tests for the stale-while-revalidate path (docs/DETECTION.md §7):
+// predecessor lookup by base key, refresh dedup, the staleness budget,
+// and the two lifetime invariants the spec calls out — a stale body
+// never outlives its entry's eviction, and a background refresh that
+// raced a Purge never resurrects dropped state.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// capturedRunner queues refresh functions instead of running them, so a
+// test controls exactly when a background refresh completes.
+type capturedRunner struct {
+	mu  sync.Mutex
+	fns []func()
+}
+
+func (r *capturedRunner) run(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fns = append(r.fns, fn)
+}
+
+func (r *capturedRunner) pending() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.fns)
+}
+
+// drain runs every captured refresh and clears the queue.
+func (r *capturedRunner) drain() {
+	r.mu.Lock()
+	fns := r.fns
+	r.fns = nil
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
+func TestDoStaleServesPredecessorAndRefreshes(t *testing.T) {
+	c := New(8)
+	r := &capturedRunner{}
+	c.EnableSWR(r.run, 0)
+	c.Do(k("a", 1), func() (any, error) { return "old", nil })
+
+	v, res, err := c.DoStale(k("a", 2), func() (any, error) { return "new", nil })
+	if err != nil || !res.Stale || !res.Hit || v != "old" {
+		t.Fatalf("stale serve: v=%v res=%+v err=%v", v, res, err)
+	}
+	if res.ServedKey != k("a", 1) {
+		t.Fatalf("ServedKey = %+v, want the predecessor's key", res.ServedKey)
+	}
+	if r.pending() != 1 {
+		t.Fatalf("%d refreshes scheduled, want 1", r.pending())
+	}
+	r.drain()
+	v, res, err = c.DoStale(k("a", 2), func() (any, error) { return "unused", nil })
+	if err != nil || res.Stale || !res.Hit || v != "new" {
+		t.Fatalf("post-refresh lookup: v=%v res=%+v err=%v", v, res, err)
+	}
+}
+
+// TestDoStaleRefreshDedup proves repeated stale serves of one key share
+// a single in-flight refresh rather than piling up recomputations.
+func TestDoStaleRefreshDedup(t *testing.T) {
+	c := New(8)
+	r := &capturedRunner{}
+	c.EnableSWR(r.run, 0)
+	c.Do(k("a", 1), func() (any, error) { return "old", nil })
+
+	for i := 0; i < 3; i++ {
+		v, res, err := c.DoStale(k("a", 2), func() (any, error) { return "new", nil })
+		if err != nil || !res.Stale || v != "old" {
+			t.Fatalf("serve %d: v=%v res=%+v err=%v", i, v, res, err)
+		}
+	}
+	st := c.Stats()
+	if st.StaleServes != 3 || st.BackgroundRefreshes != 1 {
+		t.Fatalf("stats %+v, want 3 stale serves sharing 1 refresh", st)
+	}
+	if r.pending() != 1 {
+		t.Fatalf("%d refreshes scheduled, want 1", r.pending())
+	}
+}
+
+func TestDoStaleBudget(t *testing.T) {
+	c := New(8)
+	cur := time.Unix(1_000_000, 0)
+	c.now = func() time.Time { return cur }
+	r := &capturedRunner{}
+	c.EnableSWR(r.run, time.Minute)
+	c.Do(k("a", 1), func() (any, error) { return "old", nil })
+
+	// Within budget: stale serve.
+	cur = cur.Add(30 * time.Second)
+	v, res, err := c.DoStale(k("a", 2), func() (any, error) { return "v2", nil })
+	if err != nil || !res.Stale || v != "old" {
+		t.Fatalf("within budget: v=%v res=%+v err=%v", v, res, err)
+	}
+	r.drain()
+
+	// Over budget: the predecessor (a@2, just refreshed) is too old to
+	// serve, so the lookup computes in the foreground.
+	cur = cur.Add(2 * time.Minute)
+	v, res, err = c.DoStale(k("a", 3), func() (any, error) { return "v3", nil })
+	if err != nil || res.Stale || res.Hit || v != "v3" {
+		t.Fatalf("over budget: v=%v res=%+v err=%v", v, res, err)
+	}
+	if r.pending() != 0 {
+		t.Fatalf("over-budget lookup scheduled a refresh")
+	}
+}
+
+// TestDoStaleWithoutSWR proves DoStale degrades to Do semantics when
+// EnableSWR was never called: no stale serves, foreground computes.
+func TestDoStaleWithoutSWR(t *testing.T) {
+	c := New(8)
+	c.Do(k("a", 1), func() (any, error) { return "old", nil })
+	v, res, err := c.DoStale(k("a", 2), func() (any, error) { return "new", nil })
+	if err != nil || res.Stale || res.Hit || v != "new" {
+		t.Fatalf("v=%v res=%+v err=%v", v, res, err)
+	}
+	if st := c.Stats(); st.StaleServes != 0 || st.BackgroundRefreshes != 0 {
+		t.Fatalf("SWR counters moved without EnableSWR: %+v", st)
+	}
+}
+
+// TestStaleBodyDoesNotOutliveEviction: once the LRU evicts the
+// predecessor entry, its body must leave stale service with it — the
+// next stamp-change lookup computes in the foreground.
+func TestStaleBodyDoesNotOutliveEviction(t *testing.T) {
+	c := New(2)
+	r := &capturedRunner{}
+	c.EnableSWR(r.run, 0)
+	c.Do(k("a", 1), func() (any, error) { return "old", nil })
+	// Evict a@1 by filling the two-entry cache with other IDs.
+	c.Do(k("b", 1), func() (any, error) { return "b", nil })
+	c.Do(k("c", 1), func() (any, error) { return "c", nil })
+
+	v, res, err := c.DoStale(k("a", 2), func() (any, error) { return "fresh", nil })
+	if err != nil || res.Stale || v != "fresh" {
+		t.Fatalf("evicted predecessor served stale: v=%v res=%+v err=%v", v, res, err)
+	}
+	if r.pending() != 0 {
+		t.Fatalf("refresh scheduled for an evicted predecessor")
+	}
+}
+
+// TestRefreshCannotResurrectPurged: a background refresh that started
+// before a Purge must not store its result into the purged cache.
+func TestRefreshCannotResurrectPurged(t *testing.T) {
+	c := New(8)
+	r := &capturedRunner{}
+	c.EnableSWR(r.run, 0)
+	c.Do(k("a", 1), func() (any, error) { return "old", nil })
+
+	v, res, err := c.DoStale(k("a", 2), func() (any, error) { return "new", nil })
+	if err != nil || !res.Stale || v != "old" {
+		t.Fatalf("stale serve: v=%v res=%+v err=%v", v, res, err)
+	}
+	c.Purge()
+	r.drain() // the refresh completes after the purge
+	if n := c.Len(); n != 0 {
+		t.Fatalf("%d entries after purge: refresh resurrected state", n)
+	}
+	if _, ok := c.Get(k("a", 2)); ok {
+		t.Fatal("purged key resurrected by in-flight refresh")
+	}
+}
+
+// TestRefreshPanicContained: a panicking background refresh must not
+// crash the process, poison the key, or leak the flight.
+func TestRefreshPanicContained(t *testing.T) {
+	c := New(8)
+	r := &capturedRunner{}
+	c.EnableSWR(r.run, 0)
+	c.Do(k("a", 1), func() (any, error) { return "old", nil })
+	c.DoStale(k("a", 2), func() (any, error) { panic("kaboom") })
+	r.drain() // must not propagate the panic
+	v, res, err := c.DoStale(k("a", 2), func() (any, error) { return "new", nil })
+	if err != nil || v != "old" || !res.Stale {
+		t.Fatalf("after panicked refresh: v=%v res=%+v err=%v", v, res, err)
+	}
+	if r.pending() != 1 {
+		t.Fatalf("key poisoned: %d refreshes scheduled, want a fresh one", r.pending())
+	}
+}
+
+// checkBaseInvariant asserts, under the cache mutex, that every base
+// mapping points at a live stored entry for the same base key — the
+// structural form of "a stale body never outlives its entry".
+func checkBaseInvariant(t *testing.T, c *Cache) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for bk, el := range c.base {
+		e := el.Value.(*entry)
+		if e.key.base() != bk {
+			t.Errorf("base[%+v] holds entry for %+v", bk, e.key)
+		}
+		if c.entries[e.key] != el {
+			t.Errorf("base[%+v] points at an entry absent from the store: stale body outlived eviction", bk)
+		}
+	}
+}
+
+// TestEvictionRaceUnderStampChurn drives concurrent stamp churn through
+// a tiny cache (constant eviction pressure) with real background
+// refreshes, asserting that every served value belongs to the requested
+// ID and that the base index never dangles. Run under -race this is the
+// eviction-vs-stale-serve race probe the spec requires.
+func TestEvictionRaceUnderStampChurn(t *testing.T) {
+	c := New(4)
+	c.EnableSWR(nil, 0) // plain-goroutine refreshes
+	const (
+		workers = 4
+		steps   = 300
+		ids     = 6
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for s := 1; s <= steps; s++ {
+				id := fmt.Sprintf("id%d", (s+w)%ids)
+				stamp := uint64(s)
+				val := fmt.Sprintf("%s@%d", id, stamp)
+				v, res, err := c.DoStale(k(id, stamp), func() (any, error) { return val, nil })
+				if err != nil {
+					t.Errorf("worker %d step %d: %v", w, s, err)
+					return
+				}
+				got, ok := v.(string)
+				if !ok || !strings.HasPrefix(got, id+"@") {
+					t.Errorf("worker %d step %d: got %v for id %s", w, s, v, id)
+					return
+				}
+				if res.Stale && res.ServedKey.base() != k(id, stamp).base() {
+					t.Errorf("worker %d step %d: stale serve from foreign key %+v", w, s, res.ServedKey)
+					return
+				}
+			}
+		}(w)
+	}
+	// Probe the structural invariant while the churn runs, not only
+	// after it settles.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			checkBaseInvariant(t, c)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	<-done
+	checkBaseInvariant(t, c)
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatalf("churn produced no evictions (stats %+v); the race was not exercised", st)
+	}
+}

@@ -5,7 +5,9 @@
 //
 // Everything here is deterministic and allocation-conscious; the analysis
 // pipeline calls these functions once per 15-minute bin across years of
-// simulated data.
+// simulated data, and the online detection path (docs/DETECTION.md §3)
+// re-folds windows through them on every full recompute, so none of them
+// may allocate per sample or depend on call order for their result.
 package stats
 
 import (

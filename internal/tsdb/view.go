@@ -368,6 +368,18 @@ func (db *DB) ViewStamp(measurement string, filter map[string]string) uint64 {
 	return h.Sum64()
 }
 
+// Epoch returns the store's restore epoch: it increments on every
+// whole-store replacement (Restore, RestoreDir), under which per-series
+// write-versions restart and nothing relates a new series snapshot to a
+// pre-restore one. The incremental detector accumulators
+// (analysis.Incremental, docs/DETECTION.md §4) compare it across
+// advances and fall back to a full recompute when it moved.
+func (db *DB) Epoch() uint64 {
+	db.global.RLock()
+	defer db.global.RUnlock()
+	return db.epoch
+}
+
 // StoreVersion returns the sum of all shard write-versions plus the
 // store epoch: a cheap whole-store modification counter that moves on
 // every mutation anywhere. The serving tier reports it in /api/v1/stats
