@@ -5,7 +5,8 @@
 //
 //	apiserver -in snapshot.tsdb|datadir/ [-addr :8080] [-pidfile path]
 //	          [-follow http://leader:8081] [-tail-every 30s]
-//	          [-replica-addr :8081] [-lazy] [-swr] [-swr-budget 5m]
+//	          [-replica-addr :8081] [-lazy] [-block-cache-mb 16]
+//	          [-swr] [-swr-budget 5m]
 //
 // -in accepts either a single-stream snapshot file or a segment
 // directory written by tslpd -datadir (docs/PERSISTENCE.md); a
@@ -14,6 +15,9 @@
 // blocks by their summaries and decode only survivors on demand
 // (docs/PERSISTENCE.md §9), /api/v1/stats reports the blocks scanned
 // vs skipped, and follower hot-swaps reopen only changed segments.
+// -block-cache-mb bounds the lazy mode's decoded-block cache in MiB
+// (docs/PERSISTENCE.md §10.3); 0 keeps the built-in 16 MiB default.
+// The budget applies to follower hot-swaps too.
 //
 // With -follow the server is a replication follower (docs/REPLICATION.md):
 // -in names the local replica directory (created if absent), and the
@@ -81,6 +85,8 @@ func main() {
 	replicaAddr := flag.String("replica-addr", "", "listen address exporting -in (a directory) to downstream followers")
 	lazy := flag.Bool("lazy", false,
 		"open segment directories in block-pruned lazy mode: segments are mapped, not decoded, and queries decode only the blocks that survive summary pruning (docs/PERSISTENCE.md §9)")
+	blockCacheMB := flag.Int64("block-cache-mb", 0,
+		"decoded-block cache budget in MiB with -lazy (0 means the built-in default; docs/PERSISTENCE.md §10.3)")
 	swr := flag.Bool("swr", false,
 		"serve stale-while-revalidate: answer invalidated congestion requests with the superseded body while recomputing in the background (docs/DETECTION.md §7)")
 	swrBudget := flag.Duration("swr-budget", 5*time.Minute,
@@ -109,22 +115,27 @@ func main() {
 		opts = append(opts, api.WithStaleWhileRevalidate(*swrBudget))
 		fmt.Printf("apiserver: stale-while-revalidate on, budget %s\n", *swrBudget)
 	}
+	cacheBytes := *blockCacheMB << 20
+	if cacheBytes < 0 {
+		fatal(fmt.Errorf("-block-cache-mb must be >= 0"))
+	}
 	var db *tsdb.DB
 	var err error
 	if *follow != "" {
 		// Follower mode: -in is the replica directory. It may not exist
 		// yet (first start) or may hold a committed generation (restart);
 		// either way the follower resumes from whatever is there.
-		db, err = openReplicaDir(*inPath, *lazy)
+		db, err = openReplicaDir(*inPath, *lazy, cacheBytes)
 		if err != nil {
 			fatal(err)
 		}
 		// With -lazy the post-commit hot-swap maps only the segments each
 		// cycle fetched instead of re-decoding the whole directory.
 		f := replication.New(*follow, *inPath, db, replication.Options{
-			Interval: *tailEvery,
-			Lazy:     *lazy,
-			Logf:     log.Printf,
+			Interval:   *tailEvery,
+			Lazy:       *lazy,
+			CacheBytes: cacheBytes,
+			Logf:       log.Printf,
 		})
 		go f.Run(ctx)
 		opts = append(opts,
@@ -138,7 +149,7 @@ func main() {
 		)
 		fmt.Printf("apiserver: following %s into %s every %s\n", *follow, *inPath, *tailEvery)
 	} else {
-		db, err = openStore(*inPath, *lazy)
+		db, err = openStore(*inPath, *lazy, cacheBytes)
 		if err != nil {
 			fatal(err)
 		}
@@ -194,11 +205,12 @@ func main() {
 // (tslpd -datadir) is restored shard-parallel and read-only — or, with
 // lazy, mapped without decoding so startup is O(metadata) — anything
 // else is treated as a single-stream snapshot file (-lazy does not
-// apply to stream snapshots).
-func openStore(path string, lazy bool) (*tsdb.DB, error) {
+// apply to stream snapshots). cacheBytes bounds the lazy decoded-block
+// cache (docs/PERSISTENCE.md §10.3); 0 means the tsdb default.
+func openStore(path string, lazy bool, cacheBytes int64) (*tsdb.DB, error) {
 	db := tsdb.Open()
 	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
-		return db, db.RestoreDir(path, tsdb.DirOptions{Lazy: lazy})
+		return db, db.RestoreDir(path, tsdb.DirOptions{Lazy: lazy, BlockCacheBytes: cacheBytes})
 	}
 	f, err := os.Open(path)
 	if err != nil {
@@ -212,10 +224,10 @@ func openStore(path string, lazy bool) (*tsdb.DB, error) {
 // from it when it holds a committed manifest (a restart resumes
 // serving immediately at the applied generation), start empty when it
 // does not (health answers 503 until the first tail cycle lands).
-func openReplicaDir(dir string, lazy bool) (*tsdb.DB, error) {
+func openReplicaDir(dir string, lazy bool, cacheBytes int64) (*tsdb.DB, error) {
 	db := tsdb.Open()
 	if _, err := os.Stat(filepath.Join(dir, tsdb.ManifestName)); err == nil {
-		if err := db.RestoreDir(dir, tsdb.DirOptions{Lazy: lazy}); err != nil {
+		if err := db.RestoreDir(dir, tsdb.DirOptions{Lazy: lazy, BlockCacheBytes: cacheBytes}); err != nil {
 			return nil, err
 		}
 		fmt.Printf("apiserver: resumed replica generation %d (%d series, %d points) from %s\n",

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http/httptest"
 	"os"
 	"os/signal"
@@ -40,7 +41,7 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "determinism seed")
 	days := flag.Int("days", experiments.StudyDays, "longitudinal study length in days")
-	only := flag.String("only", "", "comma-separated subset (table1..4, figure3..9, operator, ablations, asymmetry, mapit, campaign, persist, serve, storage, readpath, detect)")
+	only := flag.String("only", "", "comma-separated subset (table1..4, figure3..9, operator, ablations, asymmetry, mapit, campaign, persist, serve, storage, readpath, aggregate, detect)")
 	report := flag.String("report", "", "also write a full Markdown measurement report here")
 	jsonOut := flag.String("json", "", "write the machine-independent benchmark ratios as JSON here (needs the storage and readpath sections)")
 	baseline := flag.String("baseline", "", "compare the ratios against this baseline JSON and fail on >20% regression")
@@ -177,8 +178,8 @@ func main() {
 		}
 	}
 	if sel("storage") {
-		section("Storage engine — gob v1 vs columnar v2 segments + compaction",
-			"delta-of-delta timestamps, Gorilla XOR values (docs/PERSISTENCE.md §8); same digest, fewer bytes")
+		section("Storage engine — gob v1 vs columnar v3 segments + compaction",
+			"delta-of-delta timestamps, Gorilla XOR values, per-block sums (docs/PERSISTENCE.md §8, §10); same digest, fewer bytes")
 		if err := runStorageSection(); err != nil {
 			fatal(err)
 		}
@@ -187,6 +188,13 @@ func main() {
 		section("Read path — eager decode vs lazy block-pruned open (docs/PERSISTENCE.md §9)",
 			"segments mapped, not decoded; queries prune whole blocks by summary and decode survivors on demand")
 		if err := runReadpathSection(); err != nil {
+			fatal(err)
+		}
+	}
+	if sel("aggregate") {
+		section("Aggregate pushdown — per-point fold vs summary-level buckets (docs/PERSISTENCE.md §10.2)",
+			"aligned dashboard aggregates answered from v3 block summaries without decoding a single block")
+		if err := runAggregateSection(); err != nil {
 			fatal(err)
 		}
 	}
@@ -255,9 +263,9 @@ type benchReport struct {
 // against a committed baseline, failing when any baseline metric is
 // missing from this run or regressed more than benchRegressionSlack.
 func finishBench(jsonOut, baseline string) error {
-	for _, k := range []string{"compression_ratio", "block_skip_ratio", "cold_open_speedup", "detect_update_speedup"} {
+	for _, k := range []string{"compression_ratio", "block_skip_ratio", "cold_open_speedup", "aggregate_pushdown_speedup", "detect_update_speedup"} {
 		if _, ok := benchRatios[k]; !ok {
-			return fmt.Errorf("bench gate needs the storage, readpath and detect sections (missing %s); run with -only \"\" or -only storage,readpath,detect", k)
+			return fmt.Errorf("bench gate needs the storage, readpath, aggregate and detect sections (missing %s); run with -only \"\" or -only storage,readpath,aggregate,detect", k)
 		}
 	}
 	if jsonOut != "" {
@@ -436,9 +444,9 @@ func persistFixture() *tsdb.DB {
 	return db
 }
 
-// runStorageSection compares the gob v1 and columnar v2 segment formats
+// runStorageSection compares the gob v1 and columnar v3 segment formats
 // on the persist fixture: bytes on disk, snapshot/restore wall-clock,
-// and replication transfer volume, then compacts the v2 directory and
+// and replication transfer volume, then compacts the v3 directory and
 // reports what the merged segments cost. Digest equality across every
 // path is the equivalence proof (ISSUE 6 acceptance).
 func runStorageSection() error {
@@ -456,7 +464,7 @@ func runStorageSection() error {
 	}
 	runs := []*formatRun{
 		{name: "gob v1", version: tsdb.SegmentVersionGob},
-		{name: "columnar v2", version: 0}, // 0 = current default (v2)
+		{name: "columnar v3", version: 0}, // 0 = current default (v3)
 	}
 
 	for _, r := range runs {
@@ -510,30 +518,30 @@ func runStorageSection() error {
 		r.transferred = cs.BytesFetched
 	}
 
-	gob, v2 := runs[0], runs[1]
-	fmt.Printf("%d series x 600 points, %d segments per snapshot\n", 400, v2.segments)
+	gob, col := runs[0], runs[1]
+	fmt.Printf("%d series x 600 points, %d segments per snapshot\n", 400, col.segments)
 	for _, r := range runs {
 		fmt.Printf("%-12s %8d KiB on disk | snapshot %6.1fms restore %6.1fms | replication %8d KiB\n",
 			r.name, r.bytes/1024, r.snap.Seconds()*1e3, r.restore.Seconds()*1e3, r.transferred/1024)
 	}
-	ratio := float64(gob.bytes) / float64(v2.bytes)
+	ratio := float64(gob.bytes) / float64(col.bytes)
 	benchRatios["compression_ratio"] = ratio
-	fmt.Printf("compression ratio v1/v2: %.2fx bytes on disk, %.2fx transfer volume\n",
-		ratio, float64(gob.transferred)/float64(v2.transferred))
+	fmt.Printf("compression ratio v1/v3: %.2fx bytes on disk, %.2fx transfer volume\n",
+		ratio, float64(gob.transferred)/float64(col.transferred))
 
-	// Compaction on the v2 directory: merge everything cold into
+	// Compaction on the v3 directory: merge everything cold into
 	// multi-window level-1 segments and report the effect.
 	t0 := time.Now()
-	cstats, err := tsdb.CompactDir(v2.dir, tsdb.CompactOptions{ColdBefore: netsim.Epoch.AddDate(1, 0, 0)})
+	cstats, err := tsdb.CompactDir(col.dir, tsdb.CompactOptions{ColdBefore: netsim.Epoch.AddDate(1, 0, 0)})
 	if err != nil {
 		return err
 	}
-	info, err := tsdb.ReadDirInfo(v2.dir)
+	info, err := tsdb.ReadDirInfo(col.dir)
 	if err != nil {
 		return err
 	}
 	compacted := tsdb.Open()
-	if err := compacted.RestoreDir(v2.dir, tsdb.DirOptions{}); err != nil {
+	if err := compacted.RestoreDir(col.dir, tsdb.DirOptions{}); err != nil {
 		return err
 	}
 	if compacted.Digest() != want {
@@ -542,7 +550,7 @@ func runStorageSection() error {
 	fmt.Printf("compaction:  %d -> %d segments (level %d) in %.1fms, %d KiB, digest preserved\n",
 		cstats.Merged, cstats.Written, info.MaxLevel, time.Since(t0).Seconds()*1e3, info.Bytes/1024)
 	if ratio < 2 {
-		return fmt.Errorf("storage: v2 compression ratio %.2fx below the 2x acceptance floor", ratio)
+		return fmt.Errorf("storage: v3 compression ratio %.2fx below the 2x acceptance floor", ratio)
 	}
 	fmt.Printf("all digests match: %016x\n", want)
 	return nil
@@ -655,7 +663,7 @@ func runReadpathSection() error {
 	benchRatios["cold_open_speedup"] = speedup
 	benchRatios["block_skip_ratio"] = skipRatio
 
-	fmt.Printf("%d series x 600 points, %d v2 segments, %d blocks, one-day query over a five-day store\n",
+	fmt.Printf("%d series x 600 points, %d v3 segments, %d blocks, one-day query over a five-day store\n",
 		400, ls.Segments, ls.Blocks)
 	fmt.Printf("cold open:   eager %8.1fms | lazy %8.1fms  (%.1fx faster)\n",
 		eager.open.Seconds()*1e3, lazy.open.Seconds()*1e3, speedup)
@@ -669,6 +677,230 @@ func runReadpathSection() error {
 	}
 	fmt.Printf("digests match: %016x\n", want)
 	return nil
+}
+
+// runAggregateSection measures the summary-level aggregate pushdown
+// (docs/PERSISTENCE.md §10.2) against the per-point fold it replaces.
+// The fixture holds 64 series of minute-cadence integer samples over
+// three days on one-hour segment windows, so every block sits inside an
+// aligned one-hour bucket: the pushdown path must answer the whole
+// dashboard aggregate from block summaries alone — zero blocks decoded,
+// a 100% decode-free bucket ratio — while the per-point path restores
+// the same lazy directory and folds every decoded point. The section
+// fails on any decoded block, on any value mismatch against the
+// per-point fold (integer fixture values keep bucket sums exactly
+// representable, so equality is bit-for-bit), below a 5x wall-clock
+// speedup, or when the pushdown's resident heap reaches half the bytes
+// the decode path materializes (ISSUE 9 acceptance).
+func runAggregateSection() error {
+	const (
+		nSeries = 64
+		days    = 3
+		step    = time.Hour
+	)
+	buckets := days * 24
+	points := nSeries * days * 24 * 60
+
+	db := tsdb.Open()
+	db.SetSegmentWindow(time.Hour)
+	batch := make([]tsdb.BatchPoint, 0, 4096)
+	for s := 0; s < nSeries; s++ {
+		tags := map[string]string{
+			"vp":   fmt.Sprintf("vp-%02d", s%8),
+			"link": fmt.Sprintf("l-%03d", s/2),
+			"side": []string{"near", "far"}[s%2],
+		}
+		for p := 0; p < days*24*60; p++ {
+			batch = append(batch, tsdb.BatchPoint{
+				Measurement: "tslp", Tags: tags,
+				Time:  netsim.Epoch.Add(time.Duration(p) * time.Minute),
+				Value: float64(s*100000 + p),
+			})
+			if len(batch) == cap(batch) {
+				db.WriteBatch(batch)
+				batch = batch[:0]
+			}
+		}
+	}
+	db.WriteBatch(batch)
+
+	dir, err := os.MkdirTemp("", "benchtables-aggregate-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := db.SnapshotDir(dir, tsdb.DirOptions{}); err != nil {
+		return err
+	}
+	from := netsim.Epoch
+	to := from.Add(days * 24 * time.Hour)
+	openLazy := func() (*tsdb.DB, error) {
+		d := tsdb.Open()
+		return d, d.RestoreDir(dir, tsdb.DirOptions{Lazy: true})
+	}
+
+	// Pushdown path: fresh lazy store per run, best of 3 for wall-clock
+	// and resident heap. Any decode at all fails the run — an aligned
+	// aggregate must live on summaries alone.
+	var (
+		pushWall        = time.Hour
+		pushHeap  int64 = 1 << 62
+		pushRes   []tsdb.AggSeries
+		pushStats tsdb.LazyStats
+	)
+	for i := 0; i < 3; i++ {
+		d, err := openLazy()
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		t0 := time.Now()
+		res, err := d.QueryAggregate("tslp", nil, from, to, step, tsdb.AggAll)
+		if err != nil {
+			return err
+		}
+		wall := time.Since(t0)
+		runtime.GC()
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		st, ok := d.LazyReadStats()
+		if !ok {
+			return fmt.Errorf("aggregate: lazy-opened store reports no lazy stats")
+		}
+		if st.BlocksDecoded != 0 || st.DecodedBytes != 0 {
+			return fmt.Errorf("aggregate: aligned pushdown decoded %d blocks (%d bytes), want 0",
+				st.BlocksDecoded, st.DecodedBytes)
+		}
+		if wall < pushWall {
+			pushWall = wall
+		}
+		if h := int64(m1.HeapAlloc) - int64(m0.HeapAlloc); h < pushHeap {
+			pushHeap = h
+		}
+		pushRes, pushStats = res, st
+		runtime.KeepAlive(res)
+	}
+	wantBuckets := uint64(nSeries * buckets)
+	if pushStats.SummaryOnlyBuckets != wantBuckets {
+		return fmt.Errorf("aggregate: %d summary-only buckets, want %d",
+			pushStats.SummaryOnlyBuckets, wantBuckets)
+	}
+
+	// Per-point path — what the dashboards did before pushdown: decode
+	// every surviving block through QueryView and fold point by point
+	// with the same bucket semantics.
+	var (
+		decWall  = time.Hour
+		decBytes uint64
+		decRes   []tsdb.AggSeries
+	)
+	for i := 0; i < 3; i++ {
+		d, err := openLazy()
+		if err != nil {
+			return err
+		}
+		t0 := time.Now()
+		res := foldAggViews(d.QueryView("tslp", nil, from, to), from, step, buckets)
+		wall := time.Since(t0)
+		st, _ := d.LazyReadStats()
+		if st.BlocksDecoded == 0 {
+			return fmt.Errorf("aggregate: per-point fold decoded no blocks")
+		}
+		decBytes = st.DecodedBytes
+		if wall < decWall {
+			decWall = wall
+		}
+		decRes = res
+	}
+
+	// Equality is the oracle: both paths, same bits.
+	if len(pushRes) != len(decRes) {
+		return fmt.Errorf("aggregate: pushdown returned %d series, per-point fold %d", len(pushRes), len(decRes))
+	}
+	for i := range pushRes {
+		for b := range pushRes[i].Buckets {
+			p, q := pushRes[i].Buckets[b], decRes[i].Buckets[b]
+			if p.Start != q.Start || p.Count != q.Count ||
+				!aggBitsEqual(p.Min, q.Min) || !aggBitsEqual(p.Max, q.Max) ||
+				!aggBitsEqual(p.Sum, q.Sum) || !aggBitsEqual(p.Mean, q.Mean) {
+				return fmt.Errorf("aggregate: series %d bucket %d diverged: pushdown %+v, per-point %+v", i, b, p, q)
+			}
+		}
+	}
+
+	speedup := decWall.Seconds() / pushWall.Seconds()
+	benchRatios["aggregate_pushdown_speedup"] = speedup
+	freeRatio := float64(pushStats.SummaryOnlyBuckets) / float64(wantBuckets)
+	heapCeiling := int64(decBytes) / 2
+
+	fmt.Printf("%d series x %d days at minute cadence (%d points), %d one-hour buckets per series\n",
+		nSeries, days, points, buckets)
+	fmt.Printf("per-point fold: %8.2fms (decoded %d blocks, %d KiB materialized)\n",
+		decWall.Seconds()*1e3, pushStats.Blocks, decBytes/1024)
+	fmt.Printf("pushdown:       %8.2fms (decoded 0 blocks, %d summary-only buckets)\n",
+		pushWall.Seconds()*1e3, pushStats.SummaryOnlyBuckets)
+	fmt.Printf("decode-free bucket ratio: %.2f; resident heap %d KiB (ceiling %d KiB); speedup %.1fx\n",
+		freeRatio, pushHeap/1024, heapCeiling/1024, speedup)
+	if pushHeap >= heapCeiling {
+		return fmt.Errorf("aggregate: pushdown resident heap %d KiB reached the %d KiB ceiling",
+			pushHeap/1024, heapCeiling/1024)
+	}
+	if speedup < 5 {
+		return fmt.Errorf("aggregate: pushdown speedup %.2fx below the 5x acceptance floor", speedup)
+	}
+	fmt.Println("pushdown and per-point results agree bit-for-bit")
+	return nil
+}
+
+// foldAggViews reproduces QueryAggregate's bucket semantics point by
+// point over decoded views (docs/PERSISTENCE.md §10.2): Count includes
+// NaN, Min/Max exclude it, Sum folds sequentially in time order so a
+// NaN poisons the bucket, Mean is Sum/Count.
+func foldAggViews(views []tsdb.SeriesView, from time.Time, step time.Duration, buckets int) []tsdb.AggSeries {
+	fromNs := from.UnixNano()
+	out := make([]tsdb.AggSeries, len(views))
+	for i, v := range views {
+		bs := make([]tsdb.AggBucket, buckets)
+		for b := range bs {
+			bs[b] = tsdb.AggBucket{
+				Start: from.Add(time.Duration(b) * step),
+				Min:   math.NaN(), Max: math.NaN(), Sum: math.NaN(), Mean: math.NaN(),
+			}
+		}
+		for j, ns := range v.Times {
+			b := int(time.Duration(ns-fromNs) / step)
+			bk := &bs[b]
+			if bk.Count == 0 {
+				bk.Sum = 0
+			}
+			bk.Count++
+			val := v.Values[j]
+			bk.Sum += val
+			if !math.IsNaN(val) {
+				if math.IsNaN(bk.Min) || val < bk.Min {
+					bk.Min = val
+				}
+				if math.IsNaN(bk.Max) || val > bk.Max {
+					bk.Max = val
+				}
+			}
+		}
+		for b := range bs {
+			if bs[b].Count > 0 {
+				bs[b].Mean = bs[b].Sum / float64(bs[b].Count)
+			}
+		}
+		out[i] = tsdb.AggSeries{Measurement: v.Measurement, Tags: v.Tags, Buckets: bs}
+	}
+	return out
+}
+
+// aggBitsEqual compares two aggregate values bit-for-bit, treating any
+// NaN as equal to any NaN.
+func aggBitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b) || (math.IsNaN(a) && math.IsNaN(b))
 }
 
 // runServeSection exercises the serving tier's versioned read path on a

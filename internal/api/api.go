@@ -7,6 +7,9 @@
 //	GET /api/v1/measurements                 list measurement names
 //	GET /api/v1/tags?m=<meas>&tag=<key>      distinct tag values
 //	GET /api/v1/query?m=<meas>&from=<rfc3339>&to=<rfc3339>&<tagK>=<tagV>...
+//	     raw series pages; add &agg=count,min,max,sum,mean&step=1h for
+//	     per-bucket aggregates served from block summaries where
+//	     possible (docs/PERSISTENCE.md §10)
 //	GET /api/v1/congestion?m=tslp&link=...&vp=...&from=...&days=N
 //	     run the autocorrelation pipeline over stored TSLP data
 //	GET /api/v1/stats                        cache + endpoint metrics
@@ -384,6 +387,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if q.Get("agg") != "" || q.Get("step") != "" {
+		// Aggregate mode (docs/SERVING.md §7): per-bucket summaries
+		// instead of raw pages. Value bounds would change what the
+		// summary pushdown may answer, so the two modes don't compose.
+		if q.Get("vmin") != "" || q.Get("vmax") != "" {
+			writeError(w, http.StatusBadRequest, "vmin/vmax are not supported with agg")
+			return
+		}
+		s.handleAggregate(w, r, q, m, from, to, limit, offset)
+		return
+	}
 	vb, err := parseValueBound(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -392,7 +406,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	filter := map[string]string{}
 	for k, vs := range q {
 		switch k {
-		case "m", "from", "to", "limit", "offset", "vmin", "vmax":
+		case "m", "from", "to", "limit", "offset", "vmin", "vmax", "agg", "step":
 			continue
 		}
 		if len(vs) > 0 {

@@ -47,6 +47,7 @@ func TestErrorEnvelope(t *testing.T) {
 	ts, db := newServer(t)
 	db.Write("tslp", map[string]string{"vp": "v", "link": "L", "side": "far"}, netsim.Epoch, 1)
 	from := netsim.Epoch.Format(time.RFC3339)
+	to := netsim.Epoch.Add(2 * time.Hour).Format(time.RFC3339)
 
 	cases := []struct {
 		name   string
@@ -61,6 +62,15 @@ func TestErrorEnvelope(t *testing.T) {
 		{"query bad limit", "/api/v1/query?m=tslp&from=" + from + "&to=" + from + "&limit=x", 400, "bad_request"},
 		{"query negative limit", "/api/v1/query?m=tslp&from=" + from + "&to=" + from + "&limit=-1", 400, "bad_request"},
 		{"query negative offset", "/api/v1/query?m=tslp&from=" + from + "&to=" + from + "&offset=-2", 400, "bad_request"},
+		{"agg without step", "/api/v1/query?m=tslp&agg=min&from=" + from + "&to=" + to, 400, "bad_request"},
+		{"step without agg", "/api/v1/query?m=tslp&step=1h&from=" + from + "&to=" + to, 400, "bad_request"},
+		{"agg unknown fn", "/api/v1/query?m=tslp&agg=median&step=1h&from=" + from + "&to=" + to, 400, "bad_request"},
+		{"agg empty fn", "/api/v1/query?m=tslp&agg=min,&step=1h&from=" + from + "&to=" + to, 400, "bad_request"},
+		{"agg bad step", "/api/v1/query?m=tslp&agg=min&step=soon&from=" + from + "&to=" + to, 400, "bad_request"},
+		{"agg zero step", "/api/v1/query?m=tslp&agg=min&step=0s&from=" + from + "&to=" + to, 400, "bad_request"},
+		{"agg negative step", "/api/v1/query?m=tslp&agg=min&step=-5m&from=" + from + "&to=" + to, 400, "bad_request"},
+		{"agg non-multiple range", "/api/v1/query?m=tslp&agg=min&step=7m&from=" + from + "&to=" + to, 400, "bad_request"},
+		{"agg with value bound", "/api/v1/query?m=tslp&agg=min&step=1h&vmin=1&from=" + from + "&to=" + to, 400, "bad_request"},
 		{"congestion missing link", "/api/v1/congestion?from=" + from, 400, "bad_request"},
 		{"congestion bad from", "/api/v1/congestion?link=L&from=never", 400, "bad_request"},
 		{"congestion bad days", "/api/v1/congestion?link=L&from=" + from + "&days=-3", 400, "bad_request"},

@@ -11,6 +11,7 @@ import (
 
 	"interdomain/internal/analysis"
 	"interdomain/internal/readcache"
+	"interdomain/internal/tsdb"
 )
 
 // This file provides the visualization front-end of the system (the
@@ -198,7 +199,12 @@ func (s *Server) linkStatusCached(link string) linkStatus {
 }
 
 // computeLinkStatus analyzes the link's most recent day: far-side
-// coverage at 15-minute bins and level-shift episodes.
+// coverage at 15-minute bins and level-shift episodes. The bins come
+// from QueryAggregate rather than a per-point view fold: the buckets
+// are step-aligned with the bins, so the per-bucket NaN-excluding Min
+// is exactly the min-filter a BinSeries applies — and on a lazily
+// opened v3 store the whole day is answered from block summaries,
+// never decoding a point (docs/PERSISTENCE.md §10.2).
 func (s *Server) computeLinkStatus(link string) linkStatus {
 	st := linkStatus{Link: link}
 	_, max, ok := s.DB.TimeBounds("tslp", map[string]string{"link": link})
@@ -212,9 +218,21 @@ func (s *Server) computeLinkStatus(link string) linkStatus {
 	end := max.Truncate(bin).Add(bin)
 	start := end.Add(-24 * time.Hour)
 	series := analysis.NewBinSeries(start, bin, 96)
-	for _, view := range s.DB.QueryView("tslp", map[string]string{"link": link, "side": "far"}, start, end) {
-		for i, ns := range view.Times {
-			series.ObserveNanos(ns, view.Values[i])
+	aggs, err := s.DB.QueryAggregate("tslp", map[string]string{"link": link, "side": "far"},
+		start, end, bin, tsdb.AggCount|tsdb.AggMin)
+	if err != nil {
+		// Unreachable for this fixed step/range shape; fail closed to
+		// "no data" rather than render a wrong badge.
+		return st
+	}
+	for _, as := range aggs {
+		for _, b := range as.Buckets {
+			if b.Count == 0 || math.IsNaN(b.Min) {
+				continue // empty or all-NaN bucket: no bin data
+			}
+			// Observe keeps the minimum, folding multiple vantage-point
+			// series into the same bin exactly like the per-point path.
+			series.ObserveNanos(b.Start.UnixNano(), b.Min)
 		}
 	}
 	st.Coverage = series.Coverage()

@@ -57,8 +57,8 @@ func TestStatsAndHealthReportStorage(t *testing.T) {
 	if st.Segments == 0 || st.Bytes == 0 || st.Points == 0 {
 		t.Fatalf("storage not populated: %+v", st)
 	}
-	if st.FormatVersions["2"] != st.Segments {
-		t.Fatalf("expected all %d segments at format version 2: %+v",
+	if st.FormatVersions["3"] != st.Segments {
+		t.Fatalf("expected all %d segments at format version 3: %+v",
 			st.Segments, st.FormatVersions)
 	}
 

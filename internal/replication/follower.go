@@ -44,6 +44,12 @@ type Options struct {
 	// serving store — so a tail commit costs O(changed segments)
 	// instead of a full directory re-decode (docs/PERSISTENCE.md §9).
 	Lazy bool
+	// CacheBytes bounds the decoded-block cache of each lazy hot-swap
+	// (tsdb.DirOptions.BlockCacheBytes; 0 means the tsdb default).
+	// Without it a follower restarted with a larger -block-cache-mb
+	// would silently fall back to the default budget on the first
+	// committed generation (docs/PERSISTENCE.md §10.3).
+	CacheBytes int64
 }
 
 // CycleStats reports what one TailOnce did.
@@ -107,6 +113,7 @@ type Follower struct {
 	interval time.Duration
 	workers  int
 	lazy     bool
+	cacheB   int64
 	logf     func(format string, args ...interface{})
 
 	// gate serializes tail cycles.
@@ -143,6 +150,7 @@ func New(leaderURL, dir string, db *tsdb.DB, opts Options) *Follower {
 		interval: interval,
 		workers:  opts.Workers,
 		lazy:     opts.Lazy,
+		cacheB:   opts.CacheBytes,
 		logf:     opts.Logf,
 	}
 	f.st.Leader = f.leader
@@ -384,7 +392,7 @@ func (f *Follower) tail(ctx context.Context) (CycleStats, error) {
 	// reuses every segment the store already holds, so its cost tracks
 	// this cycle's SegmentsFetched, not the directory size.
 	if f.db != nil {
-		if err := f.db.RestoreDir(f.dir, tsdb.DirOptions{Workers: f.workers, Lazy: f.lazy}); err != nil {
+		if err := f.db.RestoreDir(f.dir, tsdb.DirOptions{Workers: f.workers, Lazy: f.lazy, BlockCacheBytes: f.cacheB}); err != nil {
 			return cs, fmt.Errorf("replication: restore committed generation %d: %w", m.Generation, err)
 		}
 	}

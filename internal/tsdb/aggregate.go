@@ -1,0 +1,378 @@
+package tsdb
+
+// Summary-level aggregate pushdown (docs/PERSISTENCE.md §10).
+// QueryAggregate buckets a time range into fixed steps and computes
+// count/min/max/sum/mean per bucket. On a lazily opened store, a block
+// whose [minT, maxT] lies entirely inside one bucket is folded from
+// its summary fields alone — zero decode, zero cache traffic — so a
+// coarse dashboard panel over a compacted v3 directory touches
+// metadata only. Blocks straddling a bucket boundary, blocks whose v2
+// summary predates the Sum field (when a sum is needed), and gob v1
+// series decode through the ordinary block cache. Eager stores fold
+// their columnar snapshots directly.
+//
+// Aggregation semantics, shared by every path:
+//
+//   - Count counts every point in the bucket, NaN values included.
+//   - Min and Max exclude NaN values; a bucket whose points are all
+//     NaN (or empty) reports NaN.
+//   - Sum is a fold of per-block partial sums in time order, each
+//     partial being the sequential left-to-right IEEE-754 sum of the
+//     block's in-bucket values; a NaN value poisons the sum. On an
+//     eager store, which has no block structure, the fold degenerates
+//     to one sequential sum per bucket. The two groupings are equal
+//     for exactly representable values and may differ in the last ulp
+//     otherwise; within a lazy store, the summary path and the decode
+//     path are bit-identical by construction, because a block's stored
+//     Sum is the same sequential fold its decoded values produce.
+//   - Mean is Sum/Count, so it inherits Sum's NaN poisoning.
+//   - Empty buckets report Count 0 and NaN for everything else.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// AggFns is a bitmask selecting which aggregate functions
+// QueryAggregate must be able to answer. Count, min and max come from
+// block summaries of every columnar segment version; sum (and mean,
+// which needs it) additionally requires the v3 Sum summary field, so
+// requesting them is what authorizes decode-for-sum fallbacks on
+// pre-v3 blocks (docs/PERSISTENCE.md §10.2).
+type AggFns uint
+
+// The aggregate functions QueryAggregate computes.
+const (
+	// AggCount selects the per-bucket point count.
+	AggCount AggFns = 1 << iota
+	// AggMin selects the per-bucket NaN-excluding minimum.
+	AggMin
+	// AggMax selects the per-bucket NaN-excluding maximum.
+	AggMax
+	// AggSum selects the per-bucket sum (NaN-poisoning).
+	AggSum
+	// AggMean selects the per-bucket mean, Sum/Count.
+	AggMean
+
+	// AggAll selects every aggregate function.
+	AggAll = AggCount | AggMin | AggMax | AggSum | AggMean
+)
+
+// ErrAggArgs is wrapped by every QueryAggregate argument-validation
+// error (bad step, bad range, unknown function bits), so the API layer
+// can map it to a structured 400 without matching message text.
+var ErrAggArgs = errors.New("tsdb: invalid aggregate query")
+
+// maxAggBuckets bounds the buckets one QueryAggregate call may
+// produce, so a tiny step over a huge range cannot allocate without
+// limit. The API layer enforces its own, tighter paging limits.
+const maxAggBuckets = 1 << 20
+
+// AggBucket is one aggregated time bucket of one series.
+type AggBucket struct {
+	// Start is the bucket's inclusive lower time bound; the bucket
+	// covers [Start, Start+step).
+	Start time.Time
+	// Count is the number of points in the bucket, NaN values
+	// included; 0 marks an empty bucket.
+	Count int
+	// Min and Max are the bucket's NaN-excluding value extrema, NaN
+	// when the bucket is empty or all-NaN.
+	Min, Max float64
+	// Sum is the bucket's value sum (see the package comment for the
+	// fold order); NaN when the bucket is empty, when a NaN value
+	// poisoned it, or when AggSum/AggMean was not requested.
+	Sum float64
+	// Mean is Sum/Count; NaN under the same conditions as Sum.
+	Mean float64
+}
+
+// AggSeries is one series' aggregate result: exactly (to-from)/step
+// buckets in time order.
+type AggSeries struct {
+	// Measurement is the series' measurement name.
+	Measurement string
+	// Tags is the store-owned tag set; read-only for callers.
+	Tags map[string]string
+	// Buckets holds one entry per step of the queried range.
+	Buckets []AggBucket
+}
+
+// aggDisablePushdown is a test-only switch forcing every block through
+// the decode fallback, proving summary folds and decode folds agree
+// bit for bit. Never set outside tsdb tests.
+var aggDisablePushdown bool
+
+// aggAcc accumulates one bucket during a fold.
+type aggAcc struct {
+	count       int
+	min, max    float64 // NaN until a non-NaN value arrives
+	sum         float64
+	usedSummary bool
+	usedDecode  bool
+}
+
+// observe folds one decoded point into the bucket.
+func (a *aggAcc) observe(v float64) {
+	a.count++
+	a.sum += v
+	if math.IsNaN(v) {
+		return
+	}
+	if math.IsNaN(a.min) || v < a.min {
+		a.min = v
+	}
+	if math.IsNaN(a.max) || v > a.max {
+		a.max = v
+	}
+}
+
+// foldSummary folds one fully-contained block's summary into the
+// bucket: the count, the NaN-excluding extrema, and the block's
+// partial sum, exactly what observing each decoded point would have
+// produced (see the package comment on sum grouping).
+func (a *aggAcc) foldSummary(count int, min, max, sum float64) {
+	a.count += count
+	a.sum += sum
+	if !math.IsNaN(min) && (math.IsNaN(a.min) || min < a.min) {
+		a.min = min
+	}
+	if !math.IsNaN(max) && (math.IsNaN(a.max) || max > a.max) {
+		a.max = max
+	}
+}
+
+// QueryAggregate buckets [from, to) into steps of step and returns,
+// for every series of the measurement matching the tag filter that
+// holds at least one point in the range, the per-bucket aggregates
+// selected by fns, in canonical key order. The range must be a whole
+// multiple of step. On a lazily opened store the fold is pushed below
+// the decode boundary wherever block summaries suffice — see the
+// package comment — and /api/v1/stats' lazy_read counters report how
+// many buckets never decoded (docs/SERVING.md §4).
+func (db *DB) QueryAggregate(measurement string, filter map[string]string, from, to time.Time, step time.Duration, fns AggFns) ([]AggSeries, error) {
+	if fns == 0 || fns&^AggAll != 0 {
+		return nil, fmt.Errorf("%w: unknown aggregate functions in mask %#x", ErrAggArgs, uint(fns))
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("%w: step %v, want > 0", ErrAggArgs, step)
+	}
+	span := to.Sub(from)
+	if span <= 0 {
+		return nil, fmt.Errorf("%w: empty range [%v, %v)", ErrAggArgs, from, to)
+	}
+	if span%step != 0 {
+		return nil, fmt.Errorf("%w: range %v is not a whole multiple of step %v", ErrAggArgs, span, step)
+	}
+	n := int(span / step)
+	if n > maxAggBuckets {
+		return nil, fmt.Errorf("%w: %d buckets exceed the limit of %d", ErrAggArgs, n, maxAggBuckets)
+	}
+	needSum := fns&(AggSum|AggMean) != 0
+
+	keys, ok := db.idx.candidates(measurement, filter)
+	if !ok {
+		return nil, nil
+	}
+	var byShard [NumShards][]string
+	for _, k := range keys {
+		s := shardFor(k)
+		byShard[s] = append(byShard[s], k)
+	}
+	fromNs := from.UnixNano()
+	stepNs := int64(step)
+	var out []AggSeries
+	for si := range byShard {
+		if len(byShard[si]) == 0 {
+			continue
+		}
+		sh := &db.shards[si]
+		// Same locking discipline as QueryViewWhere: an optimistic
+		// read-locked pass when every matching eager series has a fresh
+		// columnar snapshot (lazy stubs always do), a write-locked
+		// refresh otherwise.
+		sh.mu.RLock()
+		fresh := true
+		for _, k := range byShard[si] {
+			if s, ok := sh.series[k]; ok && s.matches(measurement, filter) && !s.colFreshLocked() {
+				fresh = false
+				break
+			}
+		}
+		if fresh {
+			out = appendAggSeries(out, sh, byShard[si], measurement, filter, from, fromNs, stepNs, n, needSum)
+			sh.mu.RUnlock()
+			continue
+		}
+		sh.mu.RUnlock()
+		sh.mu.Lock()
+		for _, k := range byShard[si] {
+			if s, ok := sh.series[k]; ok && s.matches(measurement, filter) && len(s.Points) > 0 {
+				s.colLocked()
+			}
+		}
+		out = appendAggSeries(out, sh, byShard[si], measurement, filter, from, fromNs, stepNs, n, needSum)
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return Key(out[i].Measurement, out[i].Tags) < Key(out[j].Measurement, out[j].Tags)
+	})
+	return out, nil
+}
+
+// appendAggSeries folds each matching series of one shard and appends
+// the non-empty results. The caller must hold the shard lock and have
+// ensured every matching non-empty eager series has a fresh snapshot.
+func appendAggSeries(out []AggSeries, sh *shard, keys []string, measurement string, filter map[string]string, from time.Time, fromNs, stepNs int64, n int, needSum bool) []AggSeries {
+	for _, k := range keys {
+		s, ok := sh.series[k]
+		if !ok || !s.matches(measurement, filter) {
+			continue
+		}
+		accs := make([]aggAcc, n)
+		for i := range accs {
+			accs[i].min, accs[i].max = math.NaN(), math.NaN()
+		}
+		switch {
+		case s.lazy != nil:
+			s.lazy.aggregate(accs, fromNs, stepNs, needSum)
+		case len(s.Points) == 0:
+			continue
+		default:
+			c := s.col
+			aggFoldColumn(accs, c.times, c.values, fromNs, stepNs)
+		}
+		any := false
+		for i := range accs {
+			if accs[i].count > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		buckets := make([]AggBucket, n)
+		for i := range accs {
+			a := &accs[i]
+			b := AggBucket{
+				Start: from.Add(time.Duration(int64(i) * stepNs)),
+				Count: a.count,
+				Min:   a.min,
+				Max:   a.max,
+				Sum:   math.NaN(),
+				Mean:  math.NaN(),
+			}
+			if needSum && a.count > 0 {
+				b.Sum = a.sum
+				b.Mean = a.sum / float64(a.count)
+			}
+			buckets[i] = b
+		}
+		out = append(out, AggSeries{Measurement: s.Measurement, Tags: s.Tags, Buckets: buckets})
+	}
+	return out
+}
+
+// aggFoldColumn folds a columnar range into the buckets point by
+// point: the eager path, and the shared tail of every decode fallback.
+func aggFoldColumn(accs []aggAcc, times []int64, values []float64, fromNs, stepNs int64) {
+	toNs := fromNs + stepNs*int64(len(accs))
+	lo := sort.Search(len(times), func(i int) bool { return times[i] >= fromNs })
+	hi := sort.Search(len(times), func(i int) bool { return times[i] >= toNs })
+	for i := lo; i < hi; i++ {
+		accs[(times[i]-fromNs)/stepNs].observe(values[i])
+	}
+}
+
+// aggregate folds a lazy series into the buckets, pushing every
+// fully-contained encoded block down to its summary and decoding only
+// bucket straddlers, sum-less blocks when a sum is needed, and pinned
+// v1 synthetics (docs/PERSISTENCE.md §10.2). Refs are time-ordered, so
+// partial sums fold in time order. The caller must hold the shard lock
+// (read suffices).
+func (l *lazySeries) aggregate(accs []aggAcc, fromNs, stepNs int64, needSum bool) {
+	toNs := fromNs + stepNs*int64(len(accs))
+	var scanned, skipped uint64
+	for i := range l.blocks {
+		r := &l.blocks[i]
+		if r.enc != nil {
+			scanned++
+			if r.maxT < fromNs || r.minT >= toNs {
+				skipped++
+				continue
+			}
+			if b := aggContainedBucket(r, fromNs, toNs, stepNs, needSum); b >= 0 {
+				accs[b].foldSummary(r.count, r.min, r.max, r.sum)
+				accs[b].usedSummary = true
+				continue
+			}
+		} else if r.maxT < fromNs || r.minT >= toNs {
+			continue
+		}
+		// Fallback: decode (cache-mediated for encoded refs, pinned for
+		// v1 synthetics) and fold this block's in-range points. Folding
+		// one block at a time keeps the sum grouping identical to the
+		// summary path: one partial per block, in time order.
+		d := l.decodeRef(r)
+		aggMarkDecoded(accs, r, fromNs, stepNs)
+		aggFoldColumn(accs, d.times, d.values, fromNs, stepNs)
+	}
+	l.store.blocksScanned.Add(scanned)
+	l.store.blocksSkipped.Add(skipped)
+	l.finishAggStats(accs)
+}
+
+// aggContainedBucket returns the single bucket index a block folds
+// into from its summary alone, or -1 when it must decode: the block
+// must lie inside the queried range, start and end in the same bucket,
+// carry a Sum when one is needed, and pushdown must not be disabled.
+func aggContainedBucket(r *lazyBlockRef, fromNs, toNs, stepNs int64, needSum bool) int64 {
+	if aggDisablePushdown {
+		return -1
+	}
+	if r.minT < fromNs || r.maxT >= toNs {
+		return -1
+	}
+	if needSum && !r.hasSum {
+		return -1
+	}
+	b := (r.minT - fromNs) / stepNs
+	if b != (r.maxT-fromNs)/stepNs {
+		return -1
+	}
+	return b
+}
+
+// aggMarkDecoded marks the buckets a decoded block can touch, so the
+// summary-only accounting in finishAggStats stays truthful.
+func aggMarkDecoded(accs []aggAcc, r *lazyBlockRef, fromNs, stepNs int64) {
+	lo := (r.minT - fromNs) / stepNs
+	hi := (r.maxT - fromNs) / stepNs
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= int64(len(accs)) {
+		hi = int64(len(accs)) - 1
+	}
+	for b := lo; b <= hi; b++ {
+		accs[b].usedDecode = true
+	}
+}
+
+// finishAggStats counts the buckets answered entirely from summaries
+// into the store's summary_only_buckets counter.
+func (l *lazySeries) finishAggStats(accs []aggAcc) {
+	var summaryOnly uint64
+	for i := range accs {
+		if accs[i].usedSummary && !accs[i].usedDecode {
+			summaryOnly++
+		}
+	}
+	if summaryOnly > 0 {
+		l.store.summaryOnlyBuckets.Add(summaryOnly)
+	}
+}

@@ -52,6 +52,17 @@ type Block struct {
 	// Decode cross-checks every summary field against the decoded
 	// columns and reports a lying summary as ErrCorrupt.
 	Min, Max float64
+	// Sum is the sequential IEEE-754 sum of every value in the block,
+	// NaNs included — one NaN point poisons the sum to NaN, exactly as
+	// it would poison a decode-and-add fold. Aggregate pushdown
+	// (docs/PERSISTENCE.md §10) folds bucket sums from this field
+	// without decoding. Only meaningful when HasSum is true: blocks
+	// decoded from a v2 payload predate the field.
+	Sum float64
+	// HasSum reports whether Sum was populated (built locally or
+	// decoded from a v3 payload). Readers needing a sum from a
+	// HasSum=false block must decode it.
+	HasSum bool
 	// Count is the number of points encoded in the block.
 	Count int
 	// Times is the delta-of-delta varint encoding of the timestamps.
@@ -277,21 +288,25 @@ func BuildBlocks(times []int64, values []float64) []Block {
 			MinT:   ts[0],
 			MaxT:   ts[n-1],
 			Count:  n,
+			HasSum: true,
 			Times:  AppendTimes(nil, ts),
 			Values: AppendValues(nil, vs),
 		}
-		b.Min, b.Max = summarize(vs)
+		b.Min, b.Max, b.Sum = summarize(vs)
 		out = append(out, b)
 		times, values = times[n:], values[n:]
 	}
 	return out
 }
 
-// summarize returns the min and max of vs ignoring NaNs; all-NaN (or
-// empty) columns summarize as (NaN, NaN).
-func summarize(vs []float64) (min, max float64) {
+// summarize returns the min and max of vs ignoring NaNs — all-NaN (or
+// empty) columns summarize as (NaN, NaN) — plus the sequential sum of
+// every value, NaNs included, so the sum matches what a left-to-right
+// decode-and-add fold over the column would produce.
+func summarize(vs []float64) (min, max, sum float64) {
 	min, max = math.NaN(), math.NaN()
 	for _, v := range vs {
+		sum += v
 		if math.IsNaN(v) {
 			continue
 		}
@@ -302,7 +317,7 @@ func summarize(vs []float64) (min, max float64) {
 			max = v
 		}
 	}
-	return min, max
+	return min, max, sum
 }
 
 // Decode expands the block back into its time and value columns and
@@ -334,11 +349,33 @@ func (b Block) Decode() (times []int64, values []float64, err error) {
 		return nil, nil, fmt.Errorf("%w: summary time bounds [%d,%d] disagree with decoded [%d,%d]",
 			ErrCorrupt, b.MinT, b.MaxT, times[0], times[len(times)-1])
 	}
-	if min, max := summarize(values); !sameFloat(min, b.Min) || !sameFloat(max, b.Max) {
+	min, max, sum := summarize(values)
+	if !sameFloat(min, b.Min) || !sameFloat(max, b.Max) {
 		return nil, nil, fmt.Errorf("%w: summary value bounds [%v,%v] disagree with decoded [%v,%v]",
 			ErrCorrupt, b.Min, b.Max, min, max)
 	}
+	if b.HasSum && !sameFloat(sum, b.Sum) {
+		return nil, nil, fmt.Errorf("%w: summary sum %v disagrees with decoded %v",
+			ErrCorrupt, b.Sum, sum)
+	}
 	return times, values, nil
+}
+
+// FillSum populates a sum-less block's Sum summary by decoding its
+// value column once, so a v2-origin block can be carried into a v3
+// payload (compaction's upgrade path, docs/PERSISTENCE.md §10.2).
+// No-op when the block already has a sum.
+func (b *Block) FillSum() error {
+	if b.HasSum {
+		return nil
+	}
+	_, vs, err := b.Decode()
+	if err != nil {
+		return err
+	}
+	_, _, sum := summarize(vs)
+	b.Sum, b.HasSum = sum, true
+	return nil
 }
 
 // sameFloat is float equality with NaN equal to NaN, matching how
@@ -350,11 +387,17 @@ func sameFloat(a, b float64) bool {
 // ---------------------------------------------------------------------------
 // Payload: []Series <-> bytes.
 
-// EncodePayload serializes series (docs/PERSISTENCE.md §8.1) into a
-// fresh buffer: a series count, then per series its measurement,
-// sorted tags, and blocks — each block its summary followed by the two
-// encoded columns. Content-identical inputs produce identical bytes.
-func EncodePayload(series []Series) []byte {
+// EncodePayload serializes series (docs/PERSISTENCE.md §8.1, §10.1)
+// into a fresh buffer: a series count, then per series its
+// measurement, sorted tags, and blocks — each block its summary
+// followed by the two encoded columns. With withSums the v3 layout is
+// written: a fixed64 Sum follows Max in every block summary, and every
+// block must carry one (HasSum) — encoding a sum-less block into a v3
+// payload is a programming error upstream (compaction backfills sums
+// before concatenating, docs/PERSISTENCE.md §10.2) and panics rather
+// than silently writing garbage. Content-identical inputs produce
+// identical bytes.
+func EncodePayload(series []Series, withSums bool) []byte {
 	var dst []byte
 	dst = binary.AppendUvarint(dst, uint64(len(series)))
 	for _, s := range series {
@@ -375,6 +418,12 @@ func EncodePayload(series []Series) []byte {
 			dst = binary.AppendVarint(dst, b.MaxT)
 			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.Min))
 			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.Max))
+			if withSums {
+				if !b.HasSum {
+					panic("blockenc: encoding a sum-less block into a v3 payload")
+				}
+				dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.Sum))
+			}
 			dst = binary.AppendUvarint(dst, uint64(b.Count))
 			dst = binary.AppendUvarint(dst, uint64(len(b.Times)))
 			dst = append(dst, b.Times...)
@@ -385,12 +434,13 @@ func EncodePayload(series []Series) []byte {
 	return dst
 }
 
-// DecodePayload parses a v2 payload back into series whose blocks
-// alias data. It validates structure only — lengths, counts, string
-// bounds — and leaves point-level decoding to Block.Decode, so callers
-// that merely reshuffle blocks (compaction, retention) never pay for a
-// full decode.
-func DecodePayload(data []byte) ([]Series, error) {
+// DecodePayload parses a v2 (withSums false) or v3 (withSums true)
+// payload back into series whose blocks alias data. It validates
+// structure only — lengths, counts, string bounds — and leaves
+// point-level decoding to Block.Decode, so callers that merely
+// reshuffle blocks (compaction, retention) never pay for a full
+// decode. Blocks from a v3 payload come back with HasSum set.
+func DecodePayload(data []byte, withSums bool) ([]Series, error) {
 	d := payloadReader{buf: data}
 	n, err := d.uvarint("series count")
 	if err != nil {
@@ -440,6 +490,13 @@ func DecodePayload(data []byte) ([]Series, error) {
 				return nil, err
 			}
 			b.Min, b.Max = math.Float64frombits(minBits), math.Float64frombits(maxBits)
+			if withSums {
+				sumBits, err := d.fixed64("block sum")
+				if err != nil {
+					return nil, err
+				}
+				b.Sum, b.HasSum = math.Float64frombits(sumBits), true
+			}
 			count, err := d.uvarint("block count")
 			if err != nil {
 				return nil, err

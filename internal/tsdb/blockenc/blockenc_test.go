@@ -160,12 +160,12 @@ func payloadFixture() []Series {
 // replication reuse rely on).
 func TestPayloadRoundTrip(t *testing.T) {
 	series := payloadFixture()
-	data := EncodePayload(series)
-	if !reflect.DeepEqual(data, EncodePayload(series)) {
+	data := EncodePayload(series, true)
+	if !reflect.DeepEqual(data, EncodePayload(series, true)) {
 		t.Fatal("encoding is not deterministic")
 	}
 
-	got, err := DecodePayload(data)
+	got, err := DecodePayload(data, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,16 +196,133 @@ func TestPayloadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestPayloadVersionLayouts pins the v2/v3 wire difference: the same
+// series encode to different byte lengths (v3 carries a fixed64 sum
+// per block), a v2 decode yields sum-less blocks, and a v3 decode
+// yields sum-carrying blocks whose sums match a fresh summarize of
+// the decoded values bit-for-bit (docs/PERSISTENCE.md §10.1).
+func TestPayloadVersionLayouts(t *testing.T) {
+	series := payloadFixture()
+	v3 := EncodePayload(series, true)
+	v2 := EncodePayload(series, false)
+	var blocks int
+	for _, s := range series {
+		blocks += len(s.Blocks)
+	}
+	if len(v3)-len(v2) != 8*blocks {
+		t.Fatalf("v3 is %d bytes over v2 for %d blocks, want %d", len(v3)-len(v2), blocks, 8*blocks)
+	}
+
+	from2, err := DecodePayload(v2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range from2 {
+		for bi, b := range s.Blocks {
+			if b.HasSum {
+				t.Fatalf("series %d block %d: v2 decode claims a sum", i, bi)
+			}
+		}
+	}
+
+	from3, err := DecodePayload(v3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range from3 {
+		for bi, b := range s.Blocks {
+			if !b.HasSum {
+				t.Fatalf("series %d block %d: v3 decode lost the sum", i, bi)
+			}
+			_, vs, err := b.Decode()
+			if err != nil {
+				t.Fatalf("series %d block %d: %v", i, bi, err)
+			}
+			_, _, sum := summarize(vs)
+			if math.Float64bits(sum) != math.Float64bits(b.Sum) {
+				t.Fatalf("series %d block %d: sum %v != recomputed %v", i, bi, b.Sum, sum)
+			}
+		}
+	}
+}
+
+// TestEncodeSumlessIntoV3Panics: writing a block with no sum into a
+// v3 payload would persist a summary the read path trusts blindly, so
+// the encoder refuses at the call site rather than inventing one.
+func TestEncodeSumlessIntoV3Panics(t *testing.T) {
+	series := payloadFixture()
+	series[0].Blocks[0].HasSum = false
+	defer func() {
+		if recover() == nil {
+			t.Fatal("encoding a sum-less block into a v3 payload did not panic")
+		}
+	}()
+	EncodePayload(series, true)
+}
+
+// TestFillSum backfills sums on sum-less blocks (the v2→v3 compaction
+// upgrade path) and is a no-op on blocks that already carry one.
+func TestFillSum(t *testing.T) {
+	for _, c := range testColumns() {
+		for _, b := range BuildBlocks(c.times, c.values) {
+			want := b.Sum
+			stripped := b
+			stripped.HasSum, stripped.Sum = false, 0
+			if err := stripped.FillSum(); err != nil {
+				t.Fatalf("%s: FillSum: %v", c.name, err)
+			}
+			if !stripped.HasSum || math.Float64bits(stripped.Sum) != math.Float64bits(want) {
+				t.Fatalf("%s: FillSum = (%v,%v), want (%v,true)", c.name, stripped.Sum, stripped.HasSum, want)
+			}
+			// No-op path: an existing (even wrong) sum is left alone.
+			marked := b
+			marked.Sum = -12345
+			if err := marked.FillSum(); err != nil || marked.Sum != -12345 {
+				t.Fatalf("%s: FillSum touched an existing sum (%v, %v)", c.name, marked.Sum, err)
+			}
+		}
+	}
+}
+
+// TestDecodeVerifiesSum: a v3 summary sum that disagrees with the
+// decoded values is corruption, same contract as min/max/time bounds.
+// NaN sums (any NaN in the block poisons the sum) must verify too.
+func TestDecodeVerifiesSum(t *testing.T) {
+	b := BuildBlocks([]int64{1, 2, 3, 4}, []float64{1, 2, 3, 4})[0]
+	if !b.HasSum || b.Sum != 10 {
+		t.Fatalf("sum = %v (has=%v), want 10", b.Sum, b.HasSum)
+	}
+	if _, _, err := b.Decode(); err != nil {
+		t.Fatalf("honest sum rejected: %v", err)
+	}
+	b.Sum++
+	if _, _, err := b.Decode(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tampered sum accepted (err=%v)", err)
+	}
+
+	nan := BuildBlocks([]int64{1, 2, 3}, []float64{1, math.NaN(), 3})[0]
+	if !math.IsNaN(nan.Sum) {
+		t.Fatalf("NaN-poisoned sum = %v, want NaN", nan.Sum)
+	}
+	if _, _, err := nan.Decode(); err != nil {
+		t.Fatalf("NaN sum rejected: %v", err)
+	}
+	nan.Sum = 4
+	if _, _, err := nan.Decode(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("NaN->finite sum tamper accepted (err=%v)", err)
+	}
+}
+
 // TestDecodeCorruptionSafety is the fuzz-style robustness gate: for a
 // real payload, every single-byte flip and every truncation must
 // either fail with an error wrapping ErrCorrupt or decode without a
 // panic (the payload-level CRC catches silent changes; this package
 // only owes memory safety and bounded work).
 func TestDecodeCorruptionSafety(t *testing.T) {
-	data := EncodePayload(payloadFixture())
+	data := EncodePayload(payloadFixture(), true)
 
 	decodeAll := func(data []byte) error {
-		series, err := DecodePayload(data)
+		series, err := DecodePayload(data, true)
 		if err != nil {
 			return err
 		}
@@ -268,7 +385,7 @@ func TestDecodeCorruptionSafety(t *testing.T) {
 func TestDecodeRejectsAbsurdCounts(t *testing.T) {
 	// Huge series count followed by nothing.
 	data := []byte{0xff, 0xff, 0xff, 0xff, 0x07} // uvarint ~2^31
-	if _, err := DecodePayload(data); !errors.Is(err, ErrCorrupt) {
+	if _, err := DecodePayload(data, false); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("absurd series count accepted: %v", err)
 	}
 	// A block claiming more than MaxBlockPoints. Hand-built: series
@@ -277,7 +394,7 @@ func TestDecodeRejectsAbsurdCounts(t *testing.T) {
 	bad := []byte{1, 1, 'm', 0, 1, 0, 0}
 	bad = append(bad, make([]byte, 16)...)          // min/max
 	bad = append(bad, 0x80, 0x80, 0x80, 0x80, 0x04) // uvarint 1<<30
-	if _, err := DecodePayload(bad); !errors.Is(err, ErrCorrupt) {
+	if _, err := DecodePayload(bad, false); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("absurd block count accepted: %v", err)
 	}
 }

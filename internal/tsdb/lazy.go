@@ -40,12 +40,22 @@ import (
 	"interdomain/internal/tsdb/blockenc"
 )
 
-// DefaultBlockCacheBlocks is the decoded-block LRU capacity a lazy
-// restore installs when DirOptions.BlockCacheBlocks is zero. At the
-// encoder's MaxBlockPoints a full cache holds about 1M points — small
-// next to an eagerly decoded directory, large enough that a dashboard
-// fanning out over the hot window never decodes a block twice.
+// DefaultBlockCacheBytes is the decoded-block LRU byte budget a lazy
+// restore installs when neither DirOptions.BlockCacheBytes nor the
+// legacy DirOptions.BlockCacheBlocks is set: 16 MiB of decoded
+// columns, roughly 1M points — small next to an eagerly decoded
+// directory, large enough that a dashboard fanning out over the hot
+// window never decodes a block twice (docs/PERSISTENCE.md §10.3).
+const DefaultBlockCacheBytes = 16 << 20
+
+// DefaultBlockCacheBlocks is the block count DefaultBlockCacheBytes
+// corresponds to at the encoder's MaxBlockPoints, kept as the unit of
+// the legacy DirOptions.BlockCacheBlocks bound.
 const DefaultBlockCacheBlocks = 1024
+
+// decodedBlockBytes is the heap cost the cache charges one decoded
+// point: an int64 timestamp plus a float64 value.
+const decodedBlockBytes = 16
 
 // LazyStats is a point-in-time snapshot of a lazily opened store's
 // read-path counters, surfaced on /api/v1/stats (docs/SERVING.md §4).
@@ -76,12 +86,23 @@ type LazyStats struct {
 	// BlocksDecoded counts block decodes actually performed (cache
 	// misses).
 	BlocksDecoded uint64 `json:"blocks_decoded"`
+	// DecodedBytes counts the decoded-column bytes those decodes
+	// produced (16 bytes per point), the cumulative cost the cache's
+	// byte budget bounds the residency of.
+	DecodedBytes uint64 `json:"decoded_bytes"`
+	// SummaryOnlyBuckets counts aggregate buckets answered entirely
+	// from block summaries — no decode, no cache traffic
+	// (docs/PERSISTENCE.md §10.2).
+	SummaryOnlyBuckets uint64 `json:"summary_only_buckets"`
 	// CacheHits counts decoded-block cache hits.
 	CacheHits uint64 `json:"cache_hits"`
 	// CacheEvictions counts LRU evictions from the decoded-block cache.
 	CacheEvictions uint64 `json:"cache_evictions"`
 	// CachedBlocks is the number of decoded blocks currently cached.
 	CachedBlocks int `json:"cached_blocks"`
+	// CacheBytes is the decoded-column bytes currently cached, always
+	// at or under the configured budget (plus at most one block).
+	CacheBytes int64 `json:"cache_bytes"`
 }
 
 // blockKey identifies one encoded block for the decoded-block cache:
@@ -150,22 +171,37 @@ type lazyStore struct {
 
 	// Cumulative counters; atomic because queries bump them under
 	// shard read locks.
-	segmentsOpened atomic.Uint64
-	segmentsReused atomic.Uint64
-	blocksScanned  atomic.Uint64
-	blocksSkipped  atomic.Uint64
-	blocksDecoded  atomic.Uint64
+	segmentsOpened     atomic.Uint64
+	segmentsReused     atomic.Uint64
+	blocksScanned      atomic.Uint64
+	blocksSkipped      atomic.Uint64
+	blocksDecoded      atomic.Uint64
+	decodedBytes       atomic.Uint64
+	summaryOnlyBuckets atomic.Uint64
 }
 
-func newLazyStore(dir string, cacheBlocks int) *lazyStore {
-	if cacheBlocks <= 0 {
-		cacheBlocks = DefaultBlockCacheBlocks
+func newLazyStore(dir string, cacheBytes int64) *lazyStore {
+	if cacheBytes <= 0 {
+		cacheBytes = DefaultBlockCacheBytes
 	}
 	return &lazyStore{
 		dir:   dir,
 		files: make(map[string]*lazyFile),
-		cache: newBlockCache(cacheBlocks),
+		cache: newBlockCache(cacheBytes),
 	}
+}
+
+// cacheBudget resolves DirOptions' cache bounds to a byte budget: the
+// explicit byte budget wins, the legacy block count converts at full
+// blocks, zero means the default.
+func cacheBudget(opts DirOptions) int64 {
+	if opts.BlockCacheBytes > 0 {
+		return opts.BlockCacheBytes
+	}
+	if opts.BlockCacheBlocks > 0 {
+		return int64(opts.BlockCacheBlocks) * blockenc.MaxBlockPoints * decodedBlockBytes
+	}
+	return DefaultBlockCacheBytes
 }
 
 // close unmaps every held file. The caller must guarantee no reader
@@ -180,19 +216,22 @@ func (ls *lazyStore) close() {
 
 // stats snapshots the store's counters.
 func (ls *lazyStore) stats() LazyStats {
-	hits, evictions, cached := ls.cache.stats()
+	hits, evictions, cached, cacheBytes := ls.cache.stats()
 	return LazyStats{
-		Segments:       ls.segments,
-		EagerSegments:  ls.eagerSegs,
-		Blocks:         ls.blocks,
-		SegmentsOpened: ls.segmentsOpened.Load(),
-		SegmentsReused: ls.segmentsReused.Load(),
-		BlocksScanned:  ls.blocksScanned.Load(),
-		BlocksSkipped:  ls.blocksSkipped.Load(),
-		BlocksDecoded:  ls.blocksDecoded.Load(),
-		CacheHits:      hits,
-		CacheEvictions: evictions,
-		CachedBlocks:   cached,
+		Segments:           ls.segments,
+		EagerSegments:      ls.eagerSegs,
+		Blocks:             ls.blocks,
+		SegmentsOpened:     ls.segmentsOpened.Load(),
+		SegmentsReused:     ls.segmentsReused.Load(),
+		BlocksScanned:      ls.blocksScanned.Load(),
+		BlocksSkipped:      ls.blocksSkipped.Load(),
+		BlocksDecoded:      ls.blocksDecoded.Load(),
+		DecodedBytes:       ls.decodedBytes.Load(),
+		SummaryOnlyBuckets: ls.summaryOnlyBuckets.Load(),
+		CacheHits:          hits,
+		CacheEvictions:     evictions,
+		CachedBlocks:       cached,
+		CacheBytes:         cacheBytes,
 	}
 }
 
@@ -212,6 +251,7 @@ func (ls *lazyStore) decode(r *lazyBlockRef) *decodedBlock {
 			r.key.file, r.key.ord, err))
 	}
 	ls.blocksDecoded.Add(1)
+	ls.decodedBytes.Add(uint64(len(ts)) * decodedBlockBytes)
 	d := &decodedBlock{times: ts, values: vs}
 	ls.cache.put(r.key, d)
 	return d
@@ -228,14 +268,19 @@ type lazySeries struct {
 }
 
 // lazyBlockRef is one block of a lazy series: the summary fields
-// needed for pruning plus either the encoded block (enc, v2) or the
-// pinned pre-decoded columns (dec, v1 synthetic).
+// needed for pruning and aggregate pushdown plus either the encoded
+// block (enc, v2/v3) or the pinned pre-decoded columns (dec, v1
+// synthetic). sum is meaningful only when hasSum (v3 blocks); a
+// sum-needing aggregate over a sum-less ref decodes it instead
+// (docs/PERSISTENCE.md §10.2).
 type lazyBlockRef struct {
 	key        blockKey
 	enc        *blockenc.Block
 	dec        *decodedBlock
 	minT, maxT int64
 	min, max   float64
+	sum        float64
+	hasSum     bool
 	count      int
 }
 
@@ -401,8 +446,8 @@ func openLazyFile(dir string, sm SegmentMeta) (*lazyFile, error) {
 		return nil, err
 	}
 	switch version {
-	case SegmentVersion:
-		list, err := decodeBlockPayload(payload, sm)
+	case SegmentVersionBlocks, SegmentVersion:
+		list, err := decodeBlockPayload(payload, sm, version)
 		if err != nil {
 			unmap()
 			return nil, err
@@ -470,6 +515,7 @@ func (lf *lazyFile) appendRefs(series map[string]*Series, ls *lazyStore, si int)
 				enc:  b,
 				minT: b.MinT, maxT: b.MaxT,
 				min: b.Min, max: b.Max,
+				sum: b.Sum, hasSum: b.HasSum,
 				count: b.Count,
 			}
 			ord++
@@ -535,7 +581,7 @@ func (db *DB) restoreDirLazy(dir string, m *Manifest, opts DirOptions) error {
 	}
 	fresh := ls == nil
 	if fresh {
-		ls = newLazyStore(dir, opts.BlockCacheBlocks)
+		ls = newLazyStore(dir, cacheBudget(opts))
 	}
 
 	var toOpen []SegmentMeta
@@ -661,12 +707,18 @@ func (db *DB) restoreDirLazy(dir string, m *Manifest, opts DirOptions) error {
 // ---------------------------------------------------------------------------
 // Decoded-block LRU.
 
-// blockCache is the decoded-block LRU shared by a lazy store's
-// readers. Entries are immutable decoded columns; eviction only drops
-// the cache's reference, so views handed out earlier stay valid.
+// blockCache is the byte-budgeted decoded-block LRU shared by a lazy
+// store's readers (docs/PERSISTENCE.md §10.3). Each entry is charged
+// the heap its decoded columns occupy (decodedBlockBytes per point);
+// inserts evict from the cold end until the total fits the budget
+// again, always keeping at least the entry just inserted so a block
+// larger than the whole budget is still served from cache while hot.
+// Entries are immutable decoded columns; eviction only drops the
+// cache's reference, so views handed out earlier stay valid.
 type blockCache struct {
 	mu        sync.Mutex
-	cap       int
+	budget    int64      // max bytes of decoded columns to retain
+	bytes     int64      // currently retained
 	ll        *list.List // front = most recent; values are *cacheEntry
 	entries   map[blockKey]*list.Element
 	hits      uint64
@@ -674,13 +726,14 @@ type blockCache struct {
 }
 
 type cacheEntry struct {
-	key blockKey
-	dec *decodedBlock
+	key   blockKey
+	dec   *decodedBlock
+	bytes int64
 }
 
-func newBlockCache(capacity int) *blockCache {
+func newBlockCache(budget int64) *blockCache {
 	return &blockCache{
-		cap:     capacity,
+		budget:  budget,
 		ll:      list.New(),
 		entries: make(map[blockKey]*list.Element),
 	}
@@ -706,11 +759,15 @@ func (c *blockCache) put(k blockKey, d *decodedBlock) {
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[k] = c.ll.PushFront(&cacheEntry{key: k, dec: d})
-	for c.ll.Len() > c.cap {
+	e := &cacheEntry{key: k, dec: d, bytes: int64(len(d.times)) * decodedBlockBytes}
+	c.entries[k] = c.ll.PushFront(e)
+	c.bytes += e.bytes
+	for c.bytes > c.budget && c.ll.Len() > 1 {
 		back := c.ll.Back()
 		c.ll.Remove(back)
-		delete(c.entries, back.Value.(*cacheEntry).key)
+		be := back.Value.(*cacheEntry)
+		delete(c.entries, be.key)
+		c.bytes -= be.bytes
 		c.evictions++
 	}
 }
@@ -725,13 +782,14 @@ func (c *blockCache) purgeFile(name string) {
 		if e := el.Value.(*cacheEntry); e.key.file == name {
 			c.ll.Remove(el)
 			delete(c.entries, e.key)
+			c.bytes -= e.bytes
 		}
 		el = next
 	}
 }
 
-func (c *blockCache) stats() (hits, evictions uint64, cached int) {
+func (c *blockCache) stats() (hits, evictions uint64, cached int, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.evictions, c.ll.Len()
+	return c.hits, c.evictions, c.ll.Len(), c.bytes
 }

@@ -347,13 +347,13 @@ func TestLazyTamperedSummaryFailsLoud(t *testing.T) {
 	if version != SegmentVersion {
 		t.Fatalf("fixture wrote version %d, want %d", version, SegmentVersion)
 	}
-	list, err := blockenc.DecodePayload(payload)
+	list, err := blockenc.DecodePayload(payload, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The summary now claims a minimum no point has.
 	list[0].Blocks[0].Min -= 100
-	tampered := blockenc.EncodePayload(list)
+	tampered := blockenc.EncodePayload(list, true)
 
 	crc := crc32.Checksum(tampered, crcTable)
 	hdr := make([]byte, 0, segmentHeaderSize)
@@ -523,23 +523,29 @@ func TestLazyRetainPrune(t *testing.T) {
 }
 
 // TestLazyBlockCacheLRU pins the decoded-block cache contract: repeat
-// reads of a hot range hit without re-decoding, the cache never holds
-// more than its capacity, and overflow evicts.
+// reads of a hot range hit without re-decoding, resident decoded bytes
+// never exceed the configured budget, and overflow evicts. The legacy
+// BlockCacheBlocks option converts to a byte budget at the encoder's
+// full-block size (docs/PERSISTENCE.md §10.3).
 func TestLazyBlockCacheLRU(t *testing.T) {
 	src := monoStore(3000) // 5 blocks across 3 windows
 	dir := snapToDir(t, src, DirOptions{})
 	lz := lazyOpen(t, dir, DirOptions{BlockCacheBlocks: 2})
+	budget := int64(2) * blockenc.MaxBlockPoints * decodedBlockBytes
 
-	// A full scan needs more blocks than the cache holds: evictions.
+	// A full scan decodes more bytes than the budget holds: evictions.
 	if got, want := lz.Query("m", nil, t0, maxTime), src.Query("m", nil, t0, maxTime); !reflect.DeepEqual(got, want) {
 		t.Fatal("full scan differs from eager store")
 	}
 	st := lazyStats(t, lz)
-	if st.CachedBlocks > 2 {
-		t.Fatalf("cache holds %d blocks, capacity 2", st.CachedBlocks)
+	if st.CacheBytes > budget {
+		t.Fatalf("cache holds %d bytes, budget %d", st.CacheBytes, budget)
 	}
 	if st.CacheEvictions == 0 {
-		t.Fatalf("scanning %d blocks through a 2-block cache evicted nothing: %+v", st.Blocks, st)
+		t.Fatalf("scanning %d blocks through a %d-byte cache evicted nothing: %+v", st.Blocks, budget, st)
+	}
+	if st.DecodedBytes == 0 {
+		t.Fatalf("full scan recorded no decoded bytes: %+v", st)
 	}
 
 	// A hot single-block range: decoded at most once, then pure hits.

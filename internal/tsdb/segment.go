@@ -38,11 +38,20 @@ const (
 	// SegmentVersion is the newest segment format version this package
 	// writes and the default for new snapshots: columnar per-series
 	// blocks of delta-of-delta varint timestamps and Gorilla
-	// XOR-compressed values (docs/PERSISTENCE.md §8). Readers accept any
-	// version <= SegmentVersion; a larger version is a descriptive error
-	// wrapping ErrSegmentVersion, never a silent skip
-	// (docs/PERSISTENCE.md §2, "Versioning").
-	SegmentVersion = 2
+	// XOR-compressed values (docs/PERSISTENCE.md §8), with a per-block
+	// Sum summary field enabling aggregate pushdown
+	// (docs/PERSISTENCE.md §10). Readers accept any version <=
+	// SegmentVersion; a larger version is a descriptive error wrapping
+	// ErrSegmentVersion, never a silent skip (docs/PERSISTENCE.md §2,
+	// "Versioning").
+	SegmentVersion = 3
+
+	// SegmentVersionBlocks is the v2 columnar payload encoding — the
+	// same block layout as v3 minus the Sum summary field. Still
+	// written on request (DirOptions.FormatVersion) and read forever;
+	// readers needing a sum from a v2 block decode it instead
+	// (docs/PERSISTENCE.md §10.2).
+	SegmentVersionBlocks = 2
 
 	// SegmentVersionGob is the legacy v1 payload encoding — one
 	// encoding/gob stream of the segment's series. Still written on
@@ -92,12 +101,13 @@ type DirOptions struct {
 	// RetainDir ran in between).
 	Incremental bool
 	// FormatVersion selects the payload encoding SnapshotDir writes: 0
-	// means the current default (SegmentVersion, the columnar v2
-	// format), SegmentVersionGob forces the legacy gob payload. It has
+	// means the current default (SegmentVersion, the columnar v3
+	// format with block sums), SegmentVersionBlocks the sum-less v2
+	// block format, SegmentVersionGob the legacy gob payload. It has
 	// no effect on reads — RestoreDir decodes every supported version,
 	// and incremental snapshots reuse clean segments of any version
 	// byte-for-byte, so mixed-version directories are normal
-	// (docs/PERSISTENCE.md §8).
+	// (docs/PERSISTENCE.md §8, §10).
 	FormatVersion int
 	// Lazy makes RestoreDir map committed v2 segments without decoding
 	// their points: series become block-index stubs and queries decode
@@ -108,8 +118,15 @@ type DirOptions struct {
 	// reuses held segments, making a repeat RestoreDir (a follower
 	// hot-swap) O(changed segments). Ignored by SnapshotDir.
 	Lazy bool
-	// BlockCacheBlocks bounds the decoded-block LRU a lazy restore
-	// installs; 0 means DefaultBlockCacheBlocks. Ignored unless Lazy.
+	// BlockCacheBytes bounds the decoded-block LRU a lazy restore
+	// installs by the bytes its decoded columns occupy
+	// (docs/PERSISTENCE.md §10.3); 0 means DefaultBlockCacheBytes
+	// (unless BlockCacheBlocks sets a legacy budget). Ignored unless
+	// Lazy.
+	BlockCacheBytes int64
+	// BlockCacheBlocks is the legacy block-count cache bound, kept for
+	// compatibility: when set (and BlockCacheBytes is 0) the byte
+	// budget is BlockCacheBlocks full blocks. Ignored unless Lazy.
 	BlockCacheBlocks int
 }
 
@@ -324,9 +341,9 @@ func encodeSegmentPayload(version int, list []*Series) (payload []byte, seriesCo
 			return nil, 0, fmt.Errorf("encode gob payload: %w", err)
 		}
 		return buf.Bytes(), len(list), nil
-	case SegmentVersion:
+	case SegmentVersionBlocks, SegmentVersion:
 		bs := toBlockSeries(list)
-		return blockenc.EncodePayload(bs), len(bs), nil
+		return blockenc.EncodePayload(bs, version == SegmentVersion), len(bs), nil
 	default:
 		return nil, 0, fmt.Errorf("unsupported segment format version %d", version)
 	}
@@ -669,12 +686,13 @@ func decodeGobPayload(payload []byte, sm SegmentMeta) ([]*Series, error) {
 	return list, nil
 }
 
-// decodeBlockPayload structurally decodes a v2 payload and cross-checks
-// the series and (summary) point counts against the manifest entry.
-// Blocks stay encoded — callers that only reorganize blocks (compaction,
-// retention trim) never pay for a point decode (docs/PERSISTENCE.md §8).
-func decodeBlockPayload(payload []byte, sm SegmentMeta) ([]blockenc.Series, error) {
-	list, err := blockenc.DecodePayload(payload)
+// decodeBlockPayload structurally decodes a v2 or v3 payload (version
+// selects the layout) and cross-checks the series and (summary) point
+// counts against the manifest entry. Blocks stay encoded — callers
+// that only reorganize blocks (compaction, retention trim) never pay
+// for a point decode (docs/PERSISTENCE.md §8).
+func decodeBlockPayload(payload []byte, sm SegmentMeta, version int) ([]blockenc.Series, error) {
+	list, err := blockenc.DecodePayload(payload, version == SegmentVersion)
 	if err != nil {
 		return nil, fmt.Errorf("tsdb: segment %s: decode: %w", sm.File, err)
 	}
@@ -758,8 +776,8 @@ func readSegment(dir string, sm SegmentMeta) ([]*Series, error) {
 	switch version {
 	case SegmentVersionGob:
 		return decodeGobPayload(payload, sm)
-	case SegmentVersion:
-		list, err := decodeBlockPayload(payload, sm)
+	case SegmentVersionBlocks, SegmentVersion:
+		list, err := decodeBlockPayload(payload, sm, version)
 		if err != nil {
 			return nil, err
 		}
@@ -1010,7 +1028,7 @@ func trimBoundarySegment(dir string, sm SegmentMeta, cut int64, gen uint64) (met
 		return meta, trimmed, err
 	}
 
-	list, err := decodeBlockPayload(payload, sm)
+	list, err := decodeBlockPayload(payload, sm, version)
 	if err != nil {
 		return SegmentMeta{}, 0, err
 	}
@@ -1046,6 +1064,6 @@ func trimBoundarySegment(dir string, sm SegmentMeta, cut int64, gen uint64) (met
 	if len(kept) == 0 {
 		return SegmentMeta{}, trimmed, nil
 	}
-	meta, err = writeSegmentFile(dir, gen, version, sm.Shard, sm.WindowStart, sm.WindowEnd, len(kept), points, sm.Level, blockenc.EncodePayload(kept))
+	meta, err = writeSegmentFile(dir, gen, version, sm.Shard, sm.WindowStart, sm.WindowEnd, len(kept), points, sm.Level, blockenc.EncodePayload(kept, version == SegmentVersion))
 	return meta, trimmed, err
 }
