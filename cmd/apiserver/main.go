@@ -7,6 +7,9 @@
 //	          [-follow http://leader:8081] [-tail-every 30s]
 //	          [-replica-addr :8081] [-lazy] [-block-cache-mb 16]
 //	          [-swr] [-swr-budget 5m]
+//	apiserver -front http://r1:8080,http://r2:8080 [-addr :8080]
+//	          [-front-health-every 2s] [-front-staleness 1]
+//	          [-front-hedge-after 0]
 //
 // -in accepts either a single-stream snapshot file or a segment
 // directory written by tslpd -datadir (docs/PERSISTENCE.md); a
@@ -43,6 +46,17 @@
 // /api/v1/stats counts stale serves and background refreshes under
 // detector_incremental (docs/DETECTION.md §6).
 //
+// With -front the server holds no store at all: it is the scatter
+// query front (docs/SERVING.md §9) over a comma-separated list of
+// replica base URLs. It polls each replica's /api/v1/health every
+// -front-health-every, routes reads to healthy replicas whose
+// generation lag is within -front-staleness, hedges a slow primary
+// fetch after -front-hedge-after (0 means adaptive, the p90 of recent
+// latencies), and retries once on a distinct replica when a fetch
+// fails or answers 5xx. Responses carry X-Served-By and X-Replica-Lag;
+// /api/v1/stats gains a "front" block of routing counters. -in is not
+// used in front mode.
+//
 // -debug-addr starts a second listener (loopback by default) exposing
 // net/http/pprof under /debug/pprof/ for CPU/heap/mutex profiling of
 // the serving tier; see docs/SERVING.md §5 for a profiling walkthrough.
@@ -65,6 +79,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -95,8 +110,20 @@ func main() {
 		"pprof listen address, e.g. localhost:6060 (empty disables)")
 	pidfile := flag.String("pidfile", filepath.Join(os.TempDir(), "apiserver.pid"),
 		"pid file path (empty disables)")
+	front := flag.String("front", "",
+		"comma-separated replica base URLs: run as the scatter query front instead of serving a store (docs/SERVING.md §9)")
+	frontHealthEvery := flag.Duration("front-health-every", api.DefaultHealthEvery,
+		"replica health poll cadence with -front")
+	frontStaleness := flag.Uint64("front-staleness", api.DefaultStalenessLag,
+		"generation-lag routing threshold with -front")
+	frontHedgeAfter := flag.Duration("front-hedge-after", 0,
+		"hedge a slow primary fetch after this long with -front (0 means adaptive p90)")
 	flag.Parse()
 
+	if *front != "" {
+		runFront(*front, *addr, *debugAddr, *pidfile, *frontHealthEvery, *frontStaleness, *frontHedgeAfter)
+		return
+	}
 	if *inPath == "" {
 		fatal(fmt.Errorf("-in is required"))
 	}
@@ -201,6 +228,67 @@ func main() {
 	}
 }
 
+// runFront runs the server as a storeless scatter query front over the
+// given comma-separated replica URLs (docs/SERVING.md §9), with the
+// same pid-file, pprof and graceful-shutdown conventions as the
+// serving modes.
+func runFront(replicas, addr, debugAddr, pidfile string, healthEvery time.Duration, staleness uint64, hedgeAfter time.Duration) {
+	var urls []string
+	for _, r := range strings.Split(replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			urls = append(urls, r)
+		}
+	}
+	f, err := api.NewFront(urls, api.FrontOptions{
+		HealthEvery:  healthEvery,
+		StalenessLag: staleness,
+		HedgeAfter:   hedgeAfter,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if pidfile != "" {
+		if err := os.WriteFile(pidfile, []byte(fmt.Sprintf("%d\n", os.Getpid())), 0o644); err != nil {
+			fatal(err)
+		}
+		defer os.Remove(pidfile)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go f.Run(ctx)
+
+	if debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(debugAddr, debugMux()); err != nil {
+				fmt.Fprintln(os.Stderr, "apiserver: debug listener:", err)
+			}
+		}()
+		fmt.Printf("apiserver: pprof on http://%s/debug/pprof/\n", debugAddr)
+	}
+
+	srv := &http.Server{Addr: addr, Handler: f}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("apiserver: fronting %d replica(s) on %s (health every %s, staleness %d)\n",
+		len(urls), addr, healthEvery, staleness)
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "apiserver: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			fatal(err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}
+}
+
 // openStore loads either persistence format: a segment directory
 // (tslpd -datadir) is restored shard-parallel and read-only — or, with
 // lazy, mapped without decoding so startup is O(metadata) — anything
@@ -237,8 +325,10 @@ func openReplicaDir(dir string, lazy bool, cacheBytes int64) (*tsdb.DB, error) {
 }
 
 // replicationHealth converts a follower's status into the API's
-// replication-health shape, computing the generation lag and the
-// wall-clock age of the last successful sync.
+// replication-health shape: the nested peers array (one "leader"
+// entry) plus the deprecated flat fields, kept one release for old
+// monitors (docs/SERVING.md §8). Status.Leader is already userinfo-
+// redacted by the replication package.
 func replicationHealth(f *replication.Follower) api.ReplicationHealth {
 	st := f.Status()
 	rh := api.ReplicationHealth{
@@ -254,6 +344,15 @@ func replicationHealth(f *replication.Follower) api.ReplicationHealth {
 	if !st.LastSync.IsZero() {
 		rh.LastSyncAgeSeconds = time.Since(st.LastSync).Seconds()
 	}
+	rh.Peers = []api.PeerHealth{{
+		Role:               "leader",
+		Address:            st.Leader,
+		Generation:         st.LeaderGeneration,
+		LagGenerations:     rh.LagGenerations,
+		Healthy:            st.LastError == "",
+		LastSyncAgeSeconds: rh.LastSyncAgeSeconds,
+		LastError:          st.LastError,
+	}}
 	return rh
 }
 

@@ -41,7 +41,7 @@ import (
 func main() {
 	seed := flag.Uint64("seed", 1, "determinism seed")
 	days := flag.Int("days", experiments.StudyDays, "longitudinal study length in days")
-	only := flag.String("only", "", "comma-separated subset (table1..4, figure3..9, operator, ablations, asymmetry, mapit, campaign, persist, serve, storage, readpath, aggregate, detect)")
+	only := flag.String("only", "", "comma-separated subset (table1..4, figure3..9, operator, ablations, asymmetry, mapit, campaign, persist, serve, storage, readpath, aggregate, detect, fleet)")
 	report := flag.String("report", "", "also write a full Markdown measurement report here")
 	jsonOut := flag.String("json", "", "write the machine-independent benchmark ratios as JSON here (needs the storage and readpath sections)")
 	baseline := flag.String("baseline", "", "compare the ratios against this baseline JSON and fail on >20% regression")
@@ -212,6 +212,13 @@ func main() {
 			fatal(err)
 		}
 	}
+	if sel("fleet") {
+		section("Follower fleet — delta shipping, relay sync, scatter front (docs/REPLICATION.md §8, docs/SERVING.md §9)",
+			"append generations ship as spliced tails; reads scatter across health-checked replicas")
+		if err := runFleetSection(); err != nil {
+			fatal(err)
+		}
+	}
 	if sel("mapit") {
 		section("§9 — MAP-IT: interdomain links beyond the VP's border",
 			"paper proposes combining bdrmap with MAP-IT for links farther than one AS hop")
@@ -263,9 +270,9 @@ type benchReport struct {
 // against a committed baseline, failing when any baseline metric is
 // missing from this run or regressed more than benchRegressionSlack.
 func finishBench(jsonOut, baseline string) error {
-	for _, k := range []string{"compression_ratio", "block_skip_ratio", "cold_open_speedup", "aggregate_pushdown_speedup", "detect_update_speedup"} {
+	for _, k := range []string{"compression_ratio", "block_skip_ratio", "cold_open_speedup", "aggregate_pushdown_speedup", "detect_update_speedup", "delta_bytes_ratio"} {
 		if _, ok := benchRatios[k]; !ok {
-			return fmt.Errorf("bench gate needs the storage, readpath, aggregate and detect sections (missing %s); run with -only \"\" or -only storage,readpath,aggregate,detect", k)
+			return fmt.Errorf("bench gate needs the storage, readpath, aggregate, detect and fleet sections (missing %s); run with -only \"\" or -only storage,readpath,aggregate,detect,fleet", k)
 		}
 	}
 	if jsonOut != "" {
@@ -1172,6 +1179,191 @@ func runDetectSection() error {
 		stale.Seconds()*1e3, full.Seconds()*1e3, st.StaleServes, st.BackgroundRefreshes, srv.CongestionComputes())
 	if stale > full/2 && stale > time.Millisecond {
 		return fmt.Errorf("detect: stale serve took %.3fms — it waited for the detector", stale.Seconds()*1e3)
+	}
+	return nil
+}
+
+// runFleetSection measures the follower fleet (docs/REPLICATION.md §8,
+// docs/SERVING.md §9): delta shipping's transfer saving on an
+// append-shaped generation against a whole-segment v1 control, relay
+// convergence through a middle tier, and the scatter front's read
+// throughput as replicas are added. The delta bytes ratio feeds the
+// bench gate as delta_bytes_ratio.
+func runFleetSection() error {
+	ctx := context.Background()
+
+	// Leader fixture: 12 dense hours committed as generation 1, then a
+	// one-hour append committed incrementally as generation 2 — the
+	// shape delta shipping exists for.
+	ldb := tsdb.Open()
+	writeHours := func(h0, h1 int) {
+		batch := make([]tsdb.BatchPoint, 0, 4096)
+		for m := h0 * 60; m < h1 * 60; m++ {
+			at := netsim.Epoch.Add(time.Duration(m) * time.Minute)
+			for l := 0; l < 4; l++ {
+				link := fmt.Sprintf("L%d", l)
+				for _, side := range []string{"far", "near"} {
+					batch = append(batch, tsdb.BatchPoint{
+						Measurement: "tslp",
+						Tags:        map[string]string{"link": link, "side": side, "vp": "v"},
+						Time:        at, Value: float64(m % 37),
+					})
+					if len(batch) >= cap(batch)-2 {
+						ldb.WriteBatch(batch)
+						batch = batch[:0]
+					}
+				}
+			}
+		}
+		ldb.WriteBatch(batch)
+	}
+	ldir, err := os.MkdirTemp("", "benchtables-fleet-leader-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(ldir)
+	writeHours(0, 12)
+	if _, err := ldb.SnapshotDir(ldir, tsdb.DirOptions{Incremental: true}); err != nil {
+		return err
+	}
+	ts := httptest.NewServer(replication.NewExporter(ldir))
+	defer ts.Close()
+
+	mkFollower := func(forceV1 bool) (string, *tsdb.DB, *replication.Follower, error) {
+		dir, err := os.MkdirTemp("", "benchtables-fleet-replica-*")
+		if err != nil {
+			return "", nil, nil, err
+		}
+		db := tsdb.Open()
+		return dir, db, replication.New(ts.URL, dir, db, replication.Options{ForceV1: forceV1}), nil
+	}
+	fdir, fdb, delta, err := mkFollower(false)
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(fdir)
+	cdir, cdb, control, err := mkFollower(true)
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(cdir)
+	if _, err := delta.TailOnce(ctx); err != nil {
+		return err
+	}
+	if _, err := control.TailOnce(ctx); err != nil {
+		return err
+	}
+
+	// The append: one more hour, committed incrementally so unchanged
+	// windows keep their files and grown windows carry append cursors.
+	writeHours(12, 13)
+	if _, err := ldb.SnapshotDir(ldir, tsdb.DirOptions{Incremental: true}); err != nil {
+		return err
+	}
+	cs, err := delta.TailOnce(ctx)
+	if err != nil {
+		return err
+	}
+	ccs, err := control.TailOnce(ctx)
+	if err != nil {
+		return err
+	}
+	want := ldb.Digest()
+	if fdb.Digest() != want || cdb.Digest() != want {
+		return fmt.Errorf("fleet: follower diverged from leader after the append generation")
+	}
+	if cs.DeltaSegments == 0 || cs.DeltaFallbacks != 0 {
+		return fmt.Errorf("fleet: delta follower shipped %d deltas with %d fallbacks", cs.DeltaSegments, cs.DeltaFallbacks)
+	}
+	ratio := float64(ccs.BytesFetched) / float64(cs.BytesFetched)
+	benchRatios["delta_bytes_ratio"] = ratio
+	fmt.Printf("append generation: v1 whole-segment %d KiB, v2 delta %d KiB (%d delta segments)\n",
+		ccs.BytesFetched/1024, cs.BytesFetched/1024, cs.DeltaSegments)
+	fmt.Printf("delta bytes ratio: %.2fx\n", ratio)
+	if ratio < 5 {
+		return fmt.Errorf("fleet: delta bytes ratio %.2fx below the 5x acceptance floor", ratio)
+	}
+
+	// Relay: a leaf syncing from the delta follower's re-exported
+	// directory must land on the same digest and generation.
+	rts := httptest.NewServer(replication.NewExporter(fdir))
+	defer rts.Close()
+	leafDir, err := os.MkdirTemp("", "benchtables-fleet-leaf-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(leafDir)
+	leafDB := tsdb.Open()
+	leaf := replication.New(rts.URL, leafDir, leafDB, replication.Options{})
+	if _, err := leaf.TailOnce(ctx); err != nil {
+		return err
+	}
+	if leafDB.Digest() != want {
+		return fmt.Errorf("fleet: relay leaf diverged from leader")
+	}
+	if got, wantGen := leaf.Status().AppliedGeneration, delta.Status().AppliedGeneration; got != wantGen {
+		return fmt.Errorf("fleet: relay leaf at generation %d, relay at %d", got, wantGen)
+	}
+	fmt.Printf("relay chain leader -> follower -> leaf converged at generation %d, digest %016x\n",
+		leaf.Status().AppliedGeneration, want)
+
+	// Scatter front throughput vs replica count: the same store behind
+	// 1, 2 and 4 replicas, a fixed request mix through the front.
+	const workers, reqs = 8, 240
+	q := fmt.Sprintf("/api/v1/query?m=tslp&from=%s&to=%s",
+		netsim.Epoch.Format(time.RFC3339), netsim.Epoch.Add(13*time.Hour).Format(time.RFC3339))
+	for _, n := range []int{1, 2, 4} {
+		urls := make([]string, n)
+		var closers []func()
+		for i := range urls {
+			srv := api.New(ldb)
+			rs := httptest.NewServer(srv)
+			urls[i] = rs.URL
+			closers = append(closers, rs.Close, srv.Close)
+		}
+		front, err := api.NewFront(urls, api.FrontOptions{HedgeAfter: time.Second})
+		if err != nil {
+			return err
+		}
+		front.PollNow(ctx)
+		fs := httptest.NewServer(front)
+		if _, err := fs.Client().Get(fs.URL + q); err != nil { // warm replica caches
+			return err
+		}
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		errCh := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < reqs/workers; i++ {
+					resp, err := fs.Client().Get(fs.URL + q)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != 200 {
+						errCh <- fmt.Errorf("front answered %d", resp.StatusCode)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		fs.Close()
+		for _, c := range closers {
+			c()
+		}
+		select {
+		case err := <-errCh:
+			return fmt.Errorf("fleet: front with %d replicas: %w", n, err)
+		default:
+		}
+		fmt.Printf("front qps: %d replica(s) %8.0f req/s (%d requests, %d workers)\n",
+			n, float64(reqs)/wall.Seconds(), reqs, workers)
 	}
 	return nil
 }

@@ -367,24 +367,15 @@ func parseValueBound(q url.Values) (*tsdb.ValueBound, error) {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	m := q.Get("m")
-	if m == "" {
-		writeError(w, http.StatusBadRequest, "need m parameter")
-		return
-	}
-	from, err := time.Parse(time.RFC3339, q.Get("from"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad from: %v", err)
-		return
-	}
-	to, err := time.Parse(time.RFC3339, q.Get("to"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad to: %v", err)
-		return
-	}
+	p := parseParams(r)
+	m := p.Required("m")
+	from := p.Time("from")
+	to := p.Time("to")
 	limit, offset, err := parsePage(q)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		p.fail("%v", err)
+	}
+	if p.Check(w) {
 		return
 	}
 	if q.Get("agg") != "" || q.Get("step") != "" {
@@ -504,24 +495,12 @@ func congestionFilter(link, vp string) map[string]string {
 }
 
 func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	link, vp := q.Get("link"), q.Get("vp")
-	if link == "" {
-		writeError(w, http.StatusBadRequest, "need link parameter")
+	p := parseParams(r)
+	link, vp := p.Required("link"), p.Get("vp")
+	from := p.Time("from")
+	days := p.PositiveInt("days", 50)
+	if p.Check(w) {
 		return
-	}
-	from, err := time.Parse(time.RFC3339, q.Get("from"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad from: %v", err)
-		return
-	}
-	days := 50
-	if d := q.Get("days"); d != "" {
-		days, err = strconv.Atoi(d)
-		if err != nil || days <= 0 {
-			writeError(w, http.StatusBadRequest, "bad days")
-			return
-		}
 	}
 	cfg := analysis.DefaultAutocorr()
 	cfg.WindowDays = days
@@ -543,6 +522,7 @@ func (s *Server) handleCongestion(w http.ResponseWriter, r *http.Request) {
 	}
 	compute := func() (any, error) { return s.computeCongestion(link, vp, from, cfg) }
 	var v any
+	var err error
 	var res readcache.Result
 	if s.swr {
 		v, res, err = s.cache.DoStale(key, compute)
@@ -655,27 +635,76 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// PeerHealth describes one replication peer — the leader a follower
+// tails, the upstream a relay re-exports, or one replica behind a
+// scatter front — in the nested peers form of /api/v1/health
+// (docs/SERVING.md §8). All roles share the shape, so a fleet
+// dashboard walks trees and fronts with one schema.
+type PeerHealth struct {
+	// Role is the peer's relationship to this server: "leader" for the
+	// upstream a follower or relay tails, "replica" for a replica
+	// behind a front.
+	Role string `json:"role"`
+	// Address is the peer's base URL, with any userinfo stripped.
+	Address string `json:"address"`
+	// Generation is the newest manifest generation attributed to the
+	// peer: what a leader serves, or what a replica has applied.
+	Generation uint64 `json:"generation"`
+	// LagGenerations is how many generations this server (for a leader
+	// peer) or the peer (for a replica peer) trails the freshest known
+	// state.
+	LagGenerations uint64 `json:"lag_generations"`
+	// Healthy reports the peer answered its last probe or sync.
+	Healthy bool `json:"healthy"`
+	// LastSyncAgeSeconds is the age of the last successful exchange
+	// with the peer, or -1 when none has succeeded yet.
+	LastSyncAgeSeconds float64 `json:"last_sync_age_seconds"`
+	// LastError is the most recent failure talking to the peer, empty
+	// after a success.
+	LastError string `json:"last_error,omitempty"`
+}
+
 // ReplicationHealth reports a replication follower's position relative
 // to its leader, served in /api/v1/health and /api/v1/stats
 // (docs/SERVING.md §8, docs/REPLICATION.md §6). The serving binary
 // fills it from replication.Follower.Status.
+//
+// Deprecated fields: the flat Leader/LeaderGeneration/LagGenerations/
+// LastSyncAgeSeconds/LastError fields are superseded by the Peers
+// array, which generalizes to relays and fronts; they remain populated
+// for one release (docs/SERVING.md §8).
 type ReplicationHealth struct {
-	// Leader is the leader base URL the follower tails.
-	Leader string `json:"leader"`
+	// Leader is the leader base URL the follower tails, userinfo
+	// stripped.
+	//
+	// Deprecated: read Peers instead.
+	Leader string `json:"leader,omitempty"`
 	// LeaderGeneration is the newest manifest generation observed on
 	// the leader; AppliedGeneration is the generation this store last
 	// committed and serves.
-	LeaderGeneration  uint64 `json:"leader_generation"`
+	//
+	// Deprecated: read Peers instead (AppliedGeneration stays).
+	LeaderGeneration  uint64 `json:"leader_generation,omitempty"`
 	AppliedGeneration uint64 `json:"applied_generation"`
 	// LagGenerations is max(0, leader-applied): how many snapshot
 	// commits behind the leader this follower serves.
+	//
+	// Deprecated: read Peers instead.
 	LagGenerations uint64 `json:"lag_generations"`
 	// LastSyncAgeSeconds is the wall-clock age of the last successful
 	// tail cycle, or -1 when none has succeeded yet.
+	//
+	// Deprecated: read Peers instead.
 	LastSyncAgeSeconds float64 `json:"last_sync_age_seconds"`
 	// LastError is the most recent tail-cycle failure, cleared by the
 	// next success.
+	//
+	// Deprecated: read Peers instead.
 	LastError string `json:"last_error,omitempty"`
+	// Peers lists every replication peer this server talks to: exactly
+	// one "leader" entry on a follower or relay, one "replica" entry
+	// per replica on a front (docs/SERVING.md §8).
+	Peers []PeerHealth `json:"peers,omitempty"`
 }
 
 // HealthResponse is the /api/v1/health payload: a readiness verdict

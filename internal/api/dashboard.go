@@ -5,7 +5,6 @@ import (
 	"html/template"
 	"math"
 	"net/http"
-	"strconv"
 	"strings"
 	"time"
 
@@ -54,17 +53,11 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	vp := q.Get("vp")
-	from, err := time.Parse(time.RFC3339, q.Get("from"))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad from: %v", err)
+	p := parseParams(r)
+	from := p.Time("from")
+	days := p.IntInRange("days", 1, 1, 60)
+	if p.Check(w) {
 		return
-	}
-	days := 1
-	if d := q.Get("days"); d != "" {
-		if days, err = strconv.Atoi(d); err != nil || days <= 0 || days > 60 {
-			writeError(w, http.StatusBadRequest, "bad days")
-			return
-		}
 	}
 
 	key := readcache.Key{

@@ -1,0 +1,620 @@
+package api
+
+// The scatter query front (docs/SERVING.md §9): a thin routing tier
+// that stands in front of N replica apiservers, polls their
+// /api/v1/health for generation lag, and serves reads from healthy
+// replicas within a staleness threshold — hedging to the next-best
+// replica when the first is slow and retrying once on a distinct
+// replica when one fails. The front holds no store: every data
+// response is a replica's bytes, re-served with routing provenance
+// (X-Served-By, X-Replica-Lag) attached, and every upstream failure is
+// re-wrapped in the §7 error envelope so clients see one contract no
+// matter which tier failed.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"interdomain/internal/replication"
+)
+
+// Front routing defaults; see FrontOptions.
+const (
+	// DefaultHealthEvery is the replica health-poll cadence when
+	// FrontOptions.HealthEvery is zero.
+	DefaultHealthEvery = 2 * time.Second
+	// DefaultStalenessLag is the generation-lag eligibility threshold
+	// when FrontOptions.StalenessLag is zero.
+	DefaultStalenessLag = 1
+	// hedgeFloor is the adaptive hedge timer's minimum, and its value
+	// before enough latency samples exist to estimate a p90.
+	hedgeFloor = 25 * time.Millisecond
+	// latencyWindow is how many recent primary-fetch latencies the
+	// adaptive hedge timer estimates its p90 over.
+	latencyWindow = 64
+)
+
+// ServedByHeader and ReplicaLagHeader carry routing provenance on
+// every front response: which replica's bytes these are (userinfo
+// stripped) and how many generations that replica lagged the freshest
+// known state when chosen (docs/SERVING.md §9).
+const (
+	ServedByHeader   = "X-Served-By"
+	ReplicaLagHeader = "X-Replica-Lag"
+)
+
+// FrontOptions configures NewFront.
+type FrontOptions struct {
+	// HealthEvery is the cadence of the replica health poller (0 means
+	// DefaultHealthEvery).
+	HealthEvery time.Duration
+	// StalenessLag is the routing eligibility threshold: a healthy
+	// replica whose generation lag exceeds it receives no reads while
+	// a fresher replica exists (0 means DefaultStalenessLag).
+	StalenessLag uint64
+	// HedgeAfter fixes the hedge timer: how long the primary fetch may
+	// run before a duplicate request goes to the next-best replica. 0
+	// means adaptive — the p90 of recent fetch latencies.
+	HedgeAfter time.Duration
+	// Client is the HTTP client for replica traffic (nil means a
+	// client with a 30-second overall timeout).
+	Client *http.Client
+	// Logf, when set, receives routing events worth an operator's
+	// attention: replicas turning unhealthy or healthy, all-stale
+	// serving. Nil disables logging.
+	Logf func(format string, args ...interface{})
+}
+
+// replicaState is one replica behind the front: its address, the
+// poller's latest verdict, and the routing counters /api/v1/stats
+// reports.
+type replicaState struct {
+	url   string // raw base URL, for requests
+	shown string // userinfo-stripped, the only form logged or served
+
+	mu         sync.Mutex
+	healthy    bool
+	generation uint64
+	lag        uint64 // generations behind the freshest known state
+	lastPoll   time.Time
+	lastErr    string
+
+	routed    atomic.Uint64 // responses served from this replica
+	hedged    atomic.Uint64 // hedge requests sent to this replica
+	retried   atomic.Uint64 // retry requests sent to this replica
+	unhealthy atomic.Uint64 // failed health polls
+}
+
+// Front is the health-aware scatter query front. Create with NewFront,
+// start the poller with Run (or drive it manually with PollNow), and
+// serve it as an http.Handler.
+type Front struct {
+	replicas []*replicaState
+	client   *http.Client
+	every    time.Duration
+	staleLag uint64
+	hedge    time.Duration
+	logf     func(format string, args ...interface{})
+
+	rr          atomic.Uint64 // round-robin cursor
+	unavailable atomic.Uint64 // requests refused with no usable replica
+
+	// latMu guards the latency ring behind the adaptive hedge timer.
+	latMu   sync.Mutex
+	lats    [latencyWindow]time.Duration
+	latN    int
+	latNext int
+}
+
+// NewFront returns a front over the given replica base URLs. At least
+// one replica is required; duplicates are kept (they count as extra
+// routing weight, which is occasionally useful but usually a mistake).
+func NewFront(replicas []string, opts FrontOptions) (*Front, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("api: front needs at least one replica URL")
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	every := opts.HealthEvery
+	if every <= 0 {
+		every = DefaultHealthEvery
+	}
+	staleLag := opts.StalenessLag
+	if staleLag == 0 {
+		staleLag = DefaultStalenessLag
+	}
+	f := &Front{
+		client:   client,
+		every:    every,
+		staleLag: staleLag,
+		hedge:    opts.HedgeAfter,
+		logf:     opts.Logf,
+	}
+	for _, r := range replicas {
+		r = strings.TrimRight(r, "/")
+		f.replicas = append(f.replicas, &replicaState{
+			url:   r,
+			shown: replication.RedactURL(r),
+		})
+	}
+	return f, nil
+}
+
+// Run polls replica health on the configured cadence until ctx is
+// cancelled, starting with an immediate poll so the front routes
+// correctly from its first request.
+func (f *Front) Run(ctx context.Context) {
+	f.PollNow(ctx)
+	t := time.NewTicker(f.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			f.PollNow(ctx)
+		}
+	}
+}
+
+// PollNow health-checks every replica once, concurrently, and updates
+// the routing state before returning. Tests use it for deterministic
+// routing without a running poller.
+func (f *Front) PollNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, rep := range f.replicas {
+		rep := rep
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.pollReplica(ctx, rep)
+		}()
+	}
+	wg.Wait()
+	f.recomputeLags()
+}
+
+// pollReplica probes one replica's /api/v1/health. A 200 is healthy; a
+// 503 "starting" follower or any error is not. The generation comes
+// from the health body, and the replication block's lag (distance to
+// the replica's own leader) is folded into the front's lag estimate by
+// recomputeLags.
+func (f *Front) pollReplica(ctx context.Context, rep *replicaState) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/api/v1/health", nil)
+	if err != nil {
+		f.markPoll(rep, false, 0, 0, err.Error())
+		return
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		f.markPoll(rep, false, 0, 0, replication.RedactURL(err.Error()))
+		return
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&h); err != nil {
+		f.markPoll(rep, false, 0, 0, fmt.Sprintf("bad health body: %v", err))
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := fmt.Sprintf("health answered %s", resp.Status)
+		if h.Error != nil {
+			msg = h.Error.Message
+		}
+		f.markPoll(rep, false, h.Generation, 0, msg)
+		return
+	}
+	var leaderLag uint64
+	if h.Replication != nil {
+		leaderLag = h.Replication.LagGenerations
+	}
+	f.markPoll(rep, true, h.Generation, leaderLag, "")
+}
+
+// markPoll records one poll result on a replica.
+func (f *Front) markPoll(rep *replicaState, healthy bool, gen, leaderLag uint64, errMsg string) {
+	rep.mu.Lock()
+	was := rep.healthy
+	rep.healthy = healthy
+	rep.generation = gen
+	rep.lag = leaderLag
+	rep.lastPoll = time.Now()
+	rep.lastErr = errMsg
+	rep.mu.Unlock()
+	if !healthy {
+		rep.unhealthy.Add(1)
+	}
+	if f.logf != nil && was != healthy {
+		if healthy {
+			f.logf("front: replica %s healthy at generation %d", rep.shown, gen)
+		} else {
+			f.logf("front: replica %s unhealthy: %s", rep.shown, errMsg)
+		}
+	}
+}
+
+// recomputeLags finalizes each replica's lag after a poll round: a
+// replica reporting its own leader distance keeps it; otherwise lag is
+// its distance to the freshest generation seen across the fleet this
+// round (a front over leaders has no replication block to read).
+func (f *Front) recomputeLags() {
+	var maxGen uint64
+	for _, rep := range f.replicas {
+		rep.mu.Lock()
+		if rep.healthy && rep.generation > maxGen {
+			maxGen = rep.generation
+		}
+		rep.mu.Unlock()
+	}
+	for _, rep := range f.replicas {
+		rep.mu.Lock()
+		if rep.healthy && rep.lag == 0 && rep.generation < maxGen {
+			rep.lag = maxGen - rep.generation
+		}
+		rep.mu.Unlock()
+	}
+}
+
+// replicaSnapshot is one replica's routing-relevant state at pick time.
+type replicaSnapshot struct {
+	rep     *replicaState
+	healthy bool
+	gen     uint64
+	lag     uint64
+}
+
+// pick orders the replicas for one request: the round-robin rotation
+// of the eligible set (healthy, lag within threshold), or — when every
+// healthy replica is over the threshold — all healthy replicas
+// freshest-first with stale=true so the caller attaches the Warning
+// header. An empty slice means no replica can serve at all.
+func (f *Front) pick() (cands []*replicaSnapshot, stale bool) {
+	snaps := make([]*replicaSnapshot, 0, len(f.replicas))
+	for _, rep := range f.replicas {
+		rep.mu.Lock()
+		s := &replicaSnapshot{rep: rep, healthy: rep.healthy, gen: rep.generation, lag: rep.lag}
+		rep.mu.Unlock()
+		if s.healthy {
+			snaps = append(snaps, s)
+		}
+	}
+	if len(snaps) == 0 {
+		return nil, false
+	}
+	eligible := snaps[:0:0]
+	for _, s := range snaps {
+		if s.lag <= f.staleLag {
+			eligible = append(eligible, s)
+		}
+	}
+	if len(eligible) == 0 {
+		// Every healthy replica is over the staleness threshold: serve
+		// the freshest anyway, flagged (docs/SERVING.md §9).
+		sort.Slice(snaps, func(i, j int) bool { return snaps[i].gen > snaps[j].gen })
+		return snaps, true
+	}
+	start := int(f.rr.Add(1)) % len(eligible)
+	return append(eligible[start:len(eligible):len(eligible)], eligible[:start]...), false
+}
+
+// upstream is one buffered replica response: the front only ever
+// serves fully read bodies, so a replica dying mid-body is a retryable
+// transport error here, never truncated bytes on the client's wire.
+type upstream struct {
+	snap   *replicaSnapshot
+	status int
+	header http.Header
+	body   []byte
+}
+
+// fetch performs one buffered GET against a replica.
+func (f *Front) fetch(ctx context.Context, snap *replicaSnapshot, r *http.Request) (*upstream, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, snap.rep.url+r.URL.RequestURI(), nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range []string{"If-None-Match", "Accept", "Accept-Encoding"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// Mid-body death: Content-Length promised more than arrived.
+		return nil, fmt.Errorf("reading body from %s: %w", snap.rep.shown, err)
+	}
+	return &upstream{snap: snap, status: resp.StatusCode, header: resp.Header.Clone(), body: body}, nil
+}
+
+// hedgeDelay returns the current hedge timer: the fixed FrontOptions
+// value, or the p90 of recent primary-fetch latencies (bounded below
+// by hedgeFloor) when adapting.
+func (f *Front) hedgeDelay() time.Duration {
+	if f.hedge > 0 {
+		return f.hedge
+	}
+	f.latMu.Lock()
+	defer f.latMu.Unlock()
+	if f.latN < 8 {
+		return hedgeFloor
+	}
+	tmp := make([]time.Duration, f.latN)
+	copy(tmp, f.lats[:f.latN])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	d := tmp[(len(tmp)*9)/10]
+	if d < hedgeFloor {
+		d = hedgeFloor
+	}
+	return d
+}
+
+// observeLatency feeds the adaptive hedge timer.
+func (f *Front) observeLatency(d time.Duration) {
+	f.latMu.Lock()
+	f.lats[f.latNext] = d
+	f.latNext = (f.latNext + 1) % latencyWindow
+	if f.latN < latencyWindow {
+		f.latN++
+	}
+	f.latMu.Unlock()
+}
+
+// route serves one read through the candidate list: primary fetch,
+// hedge to the next candidate after the hedge delay, retry once on a
+// distinct candidate when a fetch fails outright or a replica answers
+// 5xx. 4xx and 3xx answers pass through — they are the replica
+// speaking the API contract, not a replica failure. Returns nil when
+// every attempt failed.
+func (f *Front) route(r *http.Request, cands []*replicaSnapshot) *upstream {
+	ctx, cancel := context.WithCancel(r.Context())
+	// Cancelling here reels in whichever in-flight fetch lost the race;
+	// the winner's body is already fully buffered.
+	defer cancel()
+
+	type outcome struct {
+		res *upstream
+		err error
+	}
+	ch := make(chan outcome, 3)
+	next := 0
+	launch := func(kind string) bool {
+		if next >= len(cands) {
+			return false
+		}
+		snap := cands[next]
+		next++
+		switch kind {
+		case "hedge":
+			snap.rep.hedged.Add(1)
+		case "retry":
+			snap.rep.retried.Add(1)
+		}
+		go func() {
+			t0 := time.Now()
+			res, err := f.fetch(ctx, snap, r)
+			if err == nil && kind == "primary" {
+				f.observeLatency(time.Since(t0))
+			}
+			ch <- outcome{res, err}
+		}()
+		return true
+	}
+	launch("primary")
+	hedgeTimer := time.NewTimer(f.hedgeDelay())
+	defer hedgeTimer.Stop()
+
+	inFlight, retried, hedged := 1, false, false
+	for inFlight > 0 {
+		select {
+		case o := <-ch:
+			inFlight--
+			if o.err == nil && o.res.status < 500 {
+				return o.res
+			}
+			if f.logf != nil {
+				if o.err != nil {
+					f.logf("front: fetch failed: %s", replication.RedactURL(o.err.Error()))
+				} else {
+					f.logf("front: replica %s answered %d", o.res.snap.rep.shown, o.res.status)
+				}
+			}
+			// One retry on a replica that has not seen this request yet
+			// (docs/SERVING.md §9).
+			if !retried && launch("retry") {
+				retried = true
+				inFlight++
+			}
+		case <-hedgeTimer.C:
+			if !hedged && launch("hedge") {
+				hedged = true
+				inFlight++
+			}
+		}
+	}
+	return nil
+}
+
+// ServeHTTP implements http.Handler: the front's own health and the
+// stats interception are served locally, everything else is routed to
+// a replica.
+func (f *Front) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/api/v1/health" {
+		f.serveHealth(w)
+		return
+	}
+	cands, stale := f.pick()
+	if len(cands) == 0 {
+		f.unavailable.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "no healthy replica behind the front")
+		return
+	}
+	res := f.route(r, cands)
+	if res == nil {
+		f.unavailable.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "every routed replica failed")
+		return
+	}
+	res.snap.rep.routed.Add(1)
+	if r.URL.Path == "/api/v1/stats" && res.status == http.StatusOK {
+		f.serveStats(w, res)
+		return
+	}
+	for k, vs := range res.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.Header().Set(ServedByHeader, res.snap.rep.shown)
+	w.Header().Set(ReplicaLagHeader, strconv.FormatUint(res.snap.lag, 10))
+	if stale {
+		w.Header().Set("Warning", `110 - "all replicas beyond staleness threshold"`)
+		if f.logf != nil {
+			f.logf("front: all replicas stale, serving freshest (%s at lag %d)", res.snap.rep.shown, res.snap.lag)
+		}
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// FrontReplicaStats is one replica's row in the stats front block.
+type FrontReplicaStats struct {
+	// Replica is the replica's base URL, userinfo stripped.
+	Replica string `json:"replica"`
+	// Healthy, Generation and LagGenerations mirror the poller's last
+	// verdict.
+	Healthy        bool   `json:"healthy"`
+	Generation     uint64 `json:"generation"`
+	LagGenerations uint64 `json:"lag_generations"`
+	// Routed counts responses served from this replica; Hedged and
+	// Retried count extra requests sent to it by the hedge timer and
+	// the failure retry; Unhealthy counts failed health polls.
+	Routed    uint64 `json:"routed"`
+	Hedged    uint64 `json:"hedged"`
+	Retried   uint64 `json:"retried"`
+	Unhealthy uint64 `json:"unhealthy"`
+	// LastError is the replica's most recent poll failure, empty while
+	// healthy.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// FrontStats is the "front" block the front injects into /api/v1/stats
+// responses (docs/SERVING.md §9).
+type FrontStats struct {
+	// Replicas lists per-replica routing counters.
+	Replicas []FrontReplicaStats `json:"replicas"`
+	// Unavailable counts requests refused because no replica could
+	// serve them.
+	Unavailable uint64 `json:"unavailable"`
+	// HedgeAfterMs is the hedge timer currently in force (fixed or
+	// adaptive).
+	HedgeAfterMs float64 `json:"hedge_after_ms"`
+	// StalenessLag is the routing eligibility threshold.
+	StalenessLag uint64 `json:"staleness_lag"`
+}
+
+// frontStats snapshots the front's routing counters.
+func (f *Front) frontStats() FrontStats {
+	fs := FrontStats{
+		Unavailable:  f.unavailable.Load(),
+		HedgeAfterMs: float64(f.hedgeDelay()) / float64(time.Millisecond),
+		StalenessLag: f.staleLag,
+	}
+	for _, rep := range f.replicas {
+		rep.mu.Lock()
+		row := FrontReplicaStats{
+			Replica:        rep.shown,
+			Healthy:        rep.healthy,
+			Generation:     rep.generation,
+			LagGenerations: rep.lag,
+			LastError:      rep.lastErr,
+		}
+		rep.mu.Unlock()
+		row.Routed = rep.routed.Load()
+		row.Hedged = rep.hedged.Load()
+		row.Retried = rep.retried.Load()
+		row.Unhealthy = rep.unhealthy.Load()
+		fs.Replicas = append(fs.Replicas, row)
+	}
+	return fs
+}
+
+// serveStats re-serves a replica's stats body with the front's routing
+// block injected, so one scrape of the front covers both tiers.
+func (f *Front) serveStats(w http.ResponseWriter, res *upstream) {
+	var doc map[string]interface{}
+	if err := json.Unmarshal(res.body, &doc); err != nil {
+		writeError(w, http.StatusInternalServerError, "replica stats body: %v", err)
+		return
+	}
+	doc["front"] = f.frontStats()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(ServedByHeader, res.snap.rep.shown)
+	w.Header().Set(ReplicaLagHeader, strconv.FormatUint(res.snap.lag, 10))
+	_ = json.NewEncoder(w).Encode(doc)
+}
+
+// serveHealth reports the front's own readiness: ok while at least one
+// replica is routable, 503 otherwise, with one "replica" peer per
+// replica in the nested peers array (docs/SERVING.md §8, §9).
+func (f *Front) serveHealth(w http.ResponseWriter) {
+	rh := &ReplicationHealth{LastSyncAgeSeconds: -1}
+	var healthy int
+	var maxGen uint64
+	for _, rep := range f.replicas {
+		rep.mu.Lock()
+		peer := PeerHealth{
+			Role:               "replica",
+			Address:            rep.shown,
+			Generation:         rep.generation,
+			LagGenerations:     rep.lag,
+			Healthy:            rep.healthy,
+			LastSyncAgeSeconds: -1,
+			LastError:          rep.lastErr,
+		}
+		if !rep.lastPoll.IsZero() {
+			peer.LastSyncAgeSeconds = time.Since(rep.lastPoll).Seconds()
+		}
+		if rep.healthy {
+			healthy++
+			if rep.generation > maxGen {
+				maxGen = rep.generation
+			}
+		}
+		rep.mu.Unlock()
+		rh.Peers = append(rh.Peers, peer)
+	}
+	rh.AppliedGeneration = maxGen
+	resp := HealthResponse{
+		Status:      "ok",
+		Generation:  maxGen,
+		Replication: rh,
+	}
+	if healthy == 0 {
+		resp.Status = "unavailable"
+		resp.Error = &ErrorDetail{
+			Code:    CodeUnavailable,
+			Message: "no healthy replica behind the front",
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(resp)
+		return
+	}
+	writeJSON(w, resp)
+}

@@ -1,0 +1,108 @@
+package api
+
+// Shared query-parameter validation for the read endpoints. Before
+// this helper, /api/v1/query, /api/v1/congestion and the dashboard
+// each hand-rolled the same required-string / RFC 3339 / bounded-int
+// checks with slightly different error wording. parseParams gives the
+// three one vocabulary: every violation becomes a structured
+// bad_request envelope (docs/SERVING.md §7) naming the parameter, the
+// rejected value and what was expected, and handlers read like the
+// contract they implement.
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// reqParams is one request's query parameters with accumulated
+// validation state: the first violation sticks, later accessors still
+// return usable zero values, and the handler checks once at the end.
+type reqParams struct {
+	q   url.Values
+	err error
+}
+
+// parseParams wraps a request's query values for validated access.
+// Accessors record the first violation; the handler finishes with
+// Check, which writes the bad_request envelope and reports whether it
+// did.
+func parseParams(r *http.Request) *reqParams {
+	return &reqParams{q: r.URL.Query()}
+}
+
+// fail records the first violation.
+func (p *reqParams) fail(format string, args ...interface{}) {
+	if p.err == nil {
+		p.err = fmt.Errorf(format, args...)
+	}
+}
+
+// Get returns the parameter's raw value ("" when absent).
+func (p *reqParams) Get(name string) string { return p.q.Get(name) }
+
+// Required returns a parameter that must be present and non-empty.
+func (p *reqParams) Required(name string) string {
+	v := p.q.Get(name)
+	if v == "" {
+		p.fail("need %s parameter", name)
+	}
+	return v
+}
+
+// Time returns a required RFC 3339 timestamp parameter.
+func (p *reqParams) Time(name string) time.Time {
+	v := p.q.Get(name)
+	if v == "" {
+		p.fail("need %s parameter (RFC 3339 timestamp)", name)
+		return time.Time{}
+	}
+	t, err := time.Parse(time.RFC3339, v)
+	if err != nil {
+		p.fail("bad %s %q: need an RFC 3339 timestamp", name, v)
+		return time.Time{}
+	}
+	return t
+}
+
+// IntInRange returns an optional integer parameter defaulting to def
+// and required to lie in [min, max].
+func (p *reqParams) IntInRange(name string, def, min, max int) int {
+	v := p.q.Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < min || n > max {
+		p.fail("bad %s %q: need an integer in [%d, %d]", name, v, min, max)
+		return def
+	}
+	return n
+}
+
+// PositiveInt returns an optional integer parameter defaulting to def
+// and required to be positive.
+func (p *reqParams) PositiveInt(name string, def int) int {
+	v := p.q.Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n <= 0 {
+		p.fail("bad %s %q: need a positive integer", name, v)
+		return def
+	}
+	return n
+}
+
+// Check writes the accumulated violation, if any, as a bad_request
+// envelope and reports whether the handler must stop.
+func (p *reqParams) Check(w http.ResponseWriter) bool {
+	if p.err == nil {
+		return false
+	}
+	writeError(w, http.StatusBadRequest, "%v", p.err)
+	return true
+}

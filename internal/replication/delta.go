@@ -1,0 +1,129 @@
+package replication
+
+// The /replica/v2 surface: capability negotiation and the delta frame
+// format (docs/REPLICATION.md §8). v2 serves the same manifest and
+// segment endpoints as v1 plus two additions — GET /replica/v2/caps
+// advertising what the exporter can do, and GET
+// /replica/v2/delta/<seg>?from=<offset> shipping only the payload tail
+// an append-extended segment gained over its predecessor. A follower
+// that never probes caps, or talks to a v1-only leader, keeps working
+// over whole-segment fetches; the delta path is strictly an
+// optimization, guarded end-to-end by the manifest entry's full
+// CRC-32C.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"interdomain/internal/tsdb"
+)
+
+const (
+	// CapsPath is the v2 capability endpoint: GET returns a Caps JSON
+	// document. A 404 here is how a follower learns it is talking to a
+	// v1-only leader and downgrades gracefully (docs/REPLICATION.md §8).
+	CapsPath = "/replica/v2/caps"
+
+	// ManifestPathV2 is the v2 manifest endpoint, byte-identical in
+	// behavior to ManifestPath — same body, ETag and generation header.
+	ManifestPathV2 = "/replica/v2/manifest"
+
+	// SegmentPathPrefixV2 prefixes the v2 whole-segment endpoint,
+	// byte-identical in behavior to SegmentPathPrefix.
+	SegmentPathPrefixV2 = "/replica/v2/segment/"
+
+	// DeltaPathPrefix prefixes the delta endpoint: GET
+	// /replica/v2/delta/<name>?from=<offset> returns a delta frame
+	// carrying the segment's header and its payload bytes from the
+	// requested offset on (docs/REPLICATION.md §8).
+	DeltaPathPrefix = "/replica/v2/delta/"
+
+	// CapDelta is the capability token advertising the delta endpoint.
+	CapDelta = "delta"
+)
+
+// Caps is the body of GET /replica/v2/caps: the exporter's protocol
+// version and capability tokens. Unknown tokens must be ignored by
+// followers so future exporters can advertise more.
+type Caps struct {
+	// Version is the newest replica protocol version the exporter
+	// serves (2 for this package).
+	Version int `json:"version"`
+	// Capabilities lists optional endpoint tokens, e.g. CapDelta.
+	Capabilities []string `json:"capabilities"`
+}
+
+// Has reports whether the capability token is advertised.
+func (c Caps) Has(token string) bool {
+	for _, t := range c.Capabilities {
+		if t == token {
+			return true
+		}
+	}
+	return false
+}
+
+// deltaMagic opens every delta frame on the wire.
+const deltaMagic = "ITSDBDLT"
+
+// deltaFrameVersion is the frame layout version this package speaks.
+const deltaFrameVersion = 1
+
+// deltaFrameHeaderSize is the fixed frame prelude: magic (8), version
+// (u32), from offset (u64), tail length (u64), CRC-32C (u32) — all
+// big-endian, followed by the segment header and the tail bytes.
+const deltaFrameHeaderSize = 8 + 4 + 8 + 8 + 4
+
+// encodeDeltaFrame wraps a segment header and payload tail in a delta
+// frame. The CRC-32C covers hdr||tail so transport corruption is
+// caught before the follower attempts a splice; the spliced file's
+// full-payload CRC remains the commit authority.
+func encodeDeltaFrame(from int64, hdr, tail []byte) []byte {
+	out := make([]byte, 0, deltaFrameHeaderSize+len(hdr)+len(tail))
+	out = append(out, deltaMagic...)
+	out = binary.BigEndian.AppendUint32(out, deltaFrameVersion)
+	out = binary.BigEndian.AppendUint64(out, uint64(from))
+	out = binary.BigEndian.AppendUint64(out, uint64(len(tail)))
+	crc := crc32.Update(crc32.Checksum(hdr, etagTable), etagTable, tail)
+	out = binary.BigEndian.AppendUint32(out, crc)
+	out = append(out, hdr...)
+	out = append(out, tail...)
+	return out
+}
+
+// decodeDeltaFrame parses and integrity-checks a delta frame, returning
+// the offset the leader cut at, the successor's segment header, and the
+// payload tail. Any structural or checksum problem is an error — the
+// caller treats it like any other failed delta attempt and falls back
+// to a whole-segment fetch.
+func decodeDeltaFrame(data []byte) (from int64, hdr, tail []byte, err error) {
+	if len(data) < deltaFrameHeaderSize+tsdb.SegmentHeaderSize {
+		return 0, nil, nil, fmt.Errorf("replication: delta frame truncated (%d bytes)", len(data))
+	}
+	if string(data[:8]) != deltaMagic {
+		return 0, nil, nil, fmt.Errorf("replication: delta frame bad magic %q", data[:8])
+	}
+	if v := binary.BigEndian.Uint32(data[8:12]); v != deltaFrameVersion {
+		return 0, nil, nil, fmt.Errorf("replication: delta frame version %d, want %d", v, deltaFrameVersion)
+	}
+	from = int64(binary.BigEndian.Uint64(data[12:20]))
+	tailLen := binary.BigEndian.Uint64(data[20:28])
+	crc := binary.BigEndian.Uint32(data[28:32])
+	rest := data[deltaFrameHeaderSize:]
+	if uint64(len(rest)) != uint64(tsdb.SegmentHeaderSize)+tailLen {
+		return 0, nil, nil, fmt.Errorf("replication: delta frame body is %d bytes, want %d", len(rest), uint64(tsdb.SegmentHeaderSize)+tailLen)
+	}
+	hdr, tail = rest[:tsdb.SegmentHeaderSize], rest[tsdb.SegmentHeaderSize:]
+	if got := crc32.Update(crc32.Checksum(hdr, etagTable), etagTable, tail); got != crc {
+		return 0, nil, nil, fmt.Errorf("replication: delta frame checksum mismatch (got %08x, want %08x)", got, crc)
+	}
+	return from, hdr, tail, nil
+}
+
+// marshalCaps renders the exporter's capability document.
+func marshalCaps() []byte {
+	data, _ := json.Marshal(Caps{Version: 2, Capabilities: []string{CapDelta}})
+	return append(data, '\n')
+}

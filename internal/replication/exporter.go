@@ -77,6 +77,13 @@ func NewExporter(dir string) *Exporter {
 	e := &Exporter{dir: dir, mux: http.NewServeMux()}
 	e.mux.HandleFunc(ManifestPath, e.handleManifest)
 	e.mux.HandleFunc(SegmentPathPrefix, e.handleSegment)
+	// The v2 surface (docs/REPLICATION.md §8): manifest and segment are
+	// byte-identical to v1 — only the caps and delta endpoints are new —
+	// so a follower may mix versions freely within one cycle.
+	e.mux.HandleFunc(ManifestPathV2, e.handleManifest)
+	e.mux.HandleFunc(SegmentPathPrefixV2, e.handleSegmentV2)
+	e.mux.HandleFunc(CapsPath, e.handleCaps)
+	e.mux.HandleFunc(DeltaPathPrefix, e.handleDelta)
 	return e
 }
 
@@ -137,6 +144,64 @@ func (e *Exporter) handleSegment(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
 	_, _ = io.Copy(w, f)
+}
+
+// handleSegmentV2 is handleSegment under the v2 path prefix.
+func (e *Exporter) handleSegmentV2(w http.ResponseWriter, r *http.Request) {
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = SegmentPathPrefix + strings.TrimPrefix(r.URL.Path, SegmentPathPrefixV2)
+	e.handleSegment(w, r2)
+}
+
+// handleCaps serves the exporter's capability document
+// (docs/REPLICATION.md §8). Its very existence is the version signal: a
+// v1-only leader 404s here and the follower downgrades to
+// whole-segment fetches.
+func (e *Exporter) handleCaps(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(marshalCaps())
+}
+
+// handleDelta serves the tail of a segment's payload from a
+// follower-chosen offset, framed with the segment's header and a
+// transport checksum (docs/REPLICATION.md §8). The exporter makes no
+// promise that the offset is meaningful — the follower derived it from
+// its own local predecessor, and the spliced file's full CRC is the
+// only authority — so the handler's checks are purely structural: a
+// valid segment name and an offset inside the payload. Anything else
+// is the follower's cue to fall back to a whole-segment fetch.
+func (e *Exporter) handleDelta(w http.ResponseWriter, r *http.Request) {
+	name := strings.TrimPrefix(r.URL.Path, DeltaPathPrefix)
+	if !tsdb.ValidSegmentName(name) {
+		http.Error(w, "not a segment file name", http.StatusBadRequest)
+		return
+	}
+	from, err := strconv.ParseInt(r.URL.Query().Get("from"), 10, 64)
+	if err != nil || from <= 0 {
+		http.Error(w, "from must be a positive payload byte offset", http.StatusBadRequest)
+		return
+	}
+	data, err := os.ReadFile(filepath.Join(e.dir, name))
+	if err != nil {
+		http.Error(w, "segment not present (superseded or never committed)", http.StatusNotFound)
+		return
+	}
+	if len(data) < tsdb.SegmentHeaderSize {
+		http.Error(w, "segment file truncated", http.StatusInternalServerError)
+		return
+	}
+	payload := data[tsdb.SegmentHeaderSize:]
+	if from >= int64(len(payload)) {
+		// The local copy the follower derived its offset from is not a
+		// strict prefix of this segment — e.g. the leader rewrote the
+		// window. 416 tells the follower precisely that.
+		http.Error(w, "offset at or beyond payload end", http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	frame := encodeDeltaFrame(from, data[:tsdb.SegmentHeaderSize], payload[from:])
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	_, _ = w.Write(frame)
 }
 
 // inmMatches reports whether an If-None-Match header value matches the

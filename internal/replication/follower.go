@@ -2,11 +2,14 @@ package replication
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,6 +53,11 @@ type Options struct {
 	// would silently fall back to the default budget on the first
 	// committed generation (docs/PERSISTENCE.md §10.3).
 	CacheBytes int64
+	// ForceV1 disables the /replica/v2 capability probe and the delta
+	// path, pinning the follower to whole-segment v1 fetches. Mainly for
+	// tests and for drills proving the downgrade path still converges
+	// (docs/REPLICATION.md §8).
+	ForceV1 bool
 }
 
 // CycleStats reports what one TailOnce did.
@@ -71,6 +79,14 @@ type CycleStats struct {
 	// Removed counts local files reaped after the commit (superseded
 	// segments and stray temp files).
 	Removed int
+	// DeltaSegments counts segments of this cycle satisfied by a delta
+	// splice instead of a whole-segment download
+	// (docs/REPLICATION.md §8); they are included in SegmentsFetched.
+	DeltaSegments int
+	// DeltaFallbacks counts delta attempts this cycle that failed and
+	// fell back to a whole-segment fetch. A fallback is not an error —
+	// the cycle converges either way.
+	DeltaFallbacks int
 }
 
 // Status is a point-in-time snapshot of a follower's replication
@@ -97,6 +113,9 @@ type Status struct {
 	// SegmentsFetched and BytesFetched accumulate transfer totals
 	// across all successful cycles.
 	SegmentsFetched, BytesFetched uint64
+	// DeltaSegments and DeltaFallbacks accumulate the per-cycle delta
+	// counters of the same names (docs/REPLICATION.md §8).
+	DeltaSegments, DeltaFallbacks uint64
 }
 
 // Follower tails a leader's segment directory into a local directory
@@ -106,23 +125,39 @@ type Status struct {
 // internal gate — so two overlapping callers cannot interleave
 // half-written directories.
 type Follower struct {
-	leader   string
-	dir      string
-	db       *tsdb.DB
-	client   *http.Client
-	interval time.Duration
-	workers  int
-	lazy     bool
-	cacheB   int64
-	logf     func(format string, args ...interface{})
+	leader string
+	// leaderShown is the leader URL with any userinfo stripped — the
+	// only form that may appear in logs, errors and health output
+	// (docs/REPLICATION.md §8).
+	leaderShown string
+	dir         string
+	db          *tsdb.DB
+	client      *http.Client
+	interval    time.Duration
+	workers     int
+	lazy        bool
+	cacheB      int64
+	forceV1     bool
+	logf        func(format string, args ...interface{})
 
 	// gate serializes tail cycles.
 	gate sync.Mutex
-	// mu guards st and etag.
+	// mu guards st, etag and caps.
 	mu   sync.Mutex
 	st   Status
 	etag string
+	caps capsState
 }
+
+// capsState tracks what the follower knows about the leader's protocol
+// version: unknown until the first successful probe, then pinned.
+type capsState int
+
+const (
+	capsUnknown capsState = iota
+	capsV2
+	capsV1
+)
 
 // New returns a follower tailing leaderURL into dir, swapping db (may
 // be nil for a mirror-only follower) after each committed generation.
@@ -151,15 +186,41 @@ func New(leaderURL, dir string, db *tsdb.DB, opts Options) *Follower {
 		workers:  opts.Workers,
 		lazy:     opts.Lazy,
 		cacheB:   opts.CacheBytes,
+		forceV1:  opts.ForceV1,
 		logf:     opts.Logf,
 	}
-	f.st.Leader = f.leader
+	f.leaderShown = RedactURL(f.leader)
+	f.st.Leader = f.leaderShown
 	reapTempFiles(dir)
 	if m, err := tsdb.LoadManifest(dir); err == nil {
 		f.st.AppliedGeneration = m.Generation
 		f.st.LeaderGeneration = m.Generation
 	}
 	return f
+}
+
+// RedactURL strips the userinfo component from a URL string, so
+// credentials embedded in a leader or replica URL (https://user:pw@host)
+// never reach logs, error strings or health responses. Strings that do
+// not parse as URLs are returned unchanged.
+func RedactURL(s string) string {
+	u, err := url.Parse(s)
+	if err != nil || u.User == nil {
+		return s
+	}
+	u.User = nil
+	return u.String()
+}
+
+// redact rewrites any occurrence of the raw leader URL in a message
+// with its userinfo-stripped form. HTTP client errors embed the full
+// request URL, so every error string that might carry credentials is
+// passed through here before it is logged or stored in Status.
+func (f *Follower) redact(msg string) string {
+	if f.leader == f.leaderShown {
+		return msg
+	}
+	return strings.ReplaceAll(msg, f.leader, f.leaderShown)
 }
 
 // reapTempFiles removes .tmp download leftovers from a replica dir.
@@ -211,12 +272,12 @@ func (f *Follower) tailLogged(ctx context.Context) {
 	}
 	switch {
 	case err != nil:
-		f.logf("replication: tail failed: %v", err)
+		f.logf("replication: tail failed: %s", f.redact(err.Error()))
 	case cs.Unchanged:
 		// Steady state: say nothing.
 	default:
-		f.logf("replication: applied generation %d (%d fetched, %d reused, %d bytes)",
-			cs.Generation, cs.SegmentsFetched, cs.SegmentsReused, cs.BytesFetched)
+		f.logf("replication: applied generation %d (%d fetched, %d delta, %d fallback, %d reused, %d bytes)",
+			cs.Generation, cs.SegmentsFetched, cs.DeltaSegments, cs.DeltaFallbacks, cs.SegmentsReused, cs.BytesFetched)
 	}
 }
 
@@ -238,7 +299,7 @@ func (f *Follower) TailOnce(ctx context.Context) (CycleStats, error) {
 	}
 	if err != nil {
 		f.st.Failures++
-		f.st.LastError = err.Error()
+		f.st.LastError = f.redact(err.Error())
 	} else {
 		f.st.LastError = ""
 		f.st.LastSync = time.Now()
@@ -247,6 +308,8 @@ func (f *Follower) TailOnce(ctx context.Context) (CycleStats, error) {
 		}
 		f.st.SegmentsFetched += uint64(cs.SegmentsFetched)
 		f.st.BytesFetched += uint64(cs.BytesFetched)
+		f.st.DeltaSegments += uint64(cs.DeltaSegments)
+		f.st.DeltaFallbacks += uint64(cs.DeltaFallbacks)
 	}
 	f.mu.Unlock()
 	return cs, err
@@ -339,15 +402,44 @@ func (f *Follower) tail(ctx context.Context) (CycleStats, error) {
 		toFetch = append(toFetch, sm)
 	}
 
+	// 3b. Map the previously committed generation's entries by segment
+	// identity: a new entry carrying an append cursor whose (shard,
+	// window span) we already hold is a delta-splice candidate
+	// (docs/REPLICATION.md §8). Only consulted on v2 leaders.
+	prevFiles := map[string]string{}
+	if len(toFetch) > 0 && f.deltaCapable(ctx) {
+		if pm, err := tsdb.LoadManifest(f.dir); err == nil {
+			for _, sm := range pm.Segments {
+				prevFiles[segmentIdentity(sm)] = sm.File
+			}
+		}
+	}
+
 	// 4. Fetch the rest concurrently; every download is verified
-	// against its manifest entry before being renamed into place.
+	// against its manifest entry before being renamed into place. Delta
+	// candidates try the splice first and fall back to the whole
+	// segment on any failure — the fallback is load-bearing, not an
+	// edge case: it is what makes a wrong prefix guess merely slow.
 	var fetched atomic.Int64
+	var deltas, fallbacks atomic.Int64
 	pool := pipeline.NewPool(f.workers)
 	defer pool.Close()
 	jobs := make([]func() error, len(toFetch))
 	for i, sm := range toFetch {
 		sm := sm
 		jobs[i] = func() error {
+			if prevFile, ok := prevFiles[segmentIdentity(sm)]; ok && sm.AppendCursor > 0 && prevFile != sm.File {
+				n, err := f.fetchDelta(ctx, sm, prevFile)
+				fetched.Add(n)
+				if err == nil {
+					deltas.Add(1)
+					return nil
+				}
+				fallbacks.Add(1)
+				if f.logf != nil {
+					f.logf("replication: delta fetch %s failed (%s), falling back to whole segment", sm.File, f.redact(err.Error()))
+				}
+			}
 			n, err := f.fetchSegment(ctx, sm)
 			fetched.Add(n)
 			return err
@@ -358,6 +450,8 @@ func (f *Follower) tail(ctx context.Context) (CycleStats, error) {
 	}
 	cs.SegmentsFetched = len(toFetch)
 	cs.BytesFetched = fetched.Load()
+	cs.DeltaSegments = int(deltas.Load())
+	cs.DeltaFallbacks = int(fallbacks.Load())
 
 	// 5. Commit: rename the leader's exact manifest bytes into place.
 	// Before this line the directory still restores to the previous
@@ -398,6 +492,130 @@ func (f *Follower) tail(ctx context.Context) (CycleStats, error) {
 	}
 	f.setETag(resp.Header.Get("ETag"))
 	return cs, nil
+}
+
+// segmentIdentity keys a manifest entry by what survives generations:
+// shard and window span. Two entries with equal identity describe the
+// same logical data at different generations.
+func segmentIdentity(sm tsdb.SegmentMeta) string {
+	return fmt.Sprintf("%d/%d/%d", sm.Shard, sm.WindowStart, sm.WindowEnd)
+}
+
+// deltaCapable reports whether the leader serves the delta endpoint,
+// probing GET /replica/v2/caps once and pinning the answer
+// (docs/REPLICATION.md §8). A definitive answer — any HTTP status —
+// settles the question for the follower's lifetime: 200 with the delta
+// token means v2, anything else means v1-only. A transport error keeps
+// the state unknown so the next cycle probes again, and this cycle
+// proceeds over v1 fetches.
+func (f *Follower) deltaCapable(ctx context.Context) bool {
+	if f.forceV1 {
+		return false
+	}
+	f.mu.Lock()
+	state := f.caps
+	f.mu.Unlock()
+	switch state {
+	case capsV2:
+		return true
+	case capsV1:
+		return false
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.leader+CapsPath, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	decided := capsV1
+	if resp.StatusCode == http.StatusOK {
+		var c Caps
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&c) == nil && c.Has(CapDelta) {
+			decided = capsV2
+		}
+	}
+	f.mu.Lock()
+	f.caps = decided
+	f.mu.Unlock()
+	if f.logf != nil {
+		if decided == capsV2 {
+			f.logf("replication: leader %s speaks /replica/v2 with delta shipping", f.leaderShown)
+		} else {
+			f.logf("replication: leader %s is v1-only, using whole-segment fetches", f.leaderShown)
+		}
+	}
+	return decided == capsV2
+}
+
+// fetchDelta satisfies one manifest entry by splicing a shipped payload
+// tail onto the local predecessor file (docs/REPLICATION.md §8): open
+// and self-verify the local base, request the tail from the offset the
+// base dictates, assemble and CRC-verify the full segment in memory,
+// then run the same temp-file/fsync/verify/rename dance as a whole
+// fetch. It returns the bytes read off the wire; any error makes the
+// caller fall back to fetchSegment.
+func (f *Follower) fetchDelta(ctx context.Context, sm tsdb.SegmentMeta, prevFile string) (int64, error) {
+	base, err := tsdb.OpenDeltaBase(filepath.Join(f.dir, prevFile), sm)
+	if err != nil {
+		return 0, err
+	}
+	u := f.leader + DeltaPathPrefix + sm.File + "?from=" + strconv.FormatInt(base.From, 10)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("replication: delta %s: leader answered %s", sm.File, resp.Status)
+	}
+	data, err := io.ReadAll(resp.Body)
+	n := int64(len(data))
+	if err != nil {
+		return n, err
+	}
+	from, hdr, tail, err := decodeDeltaFrame(data)
+	if err != nil {
+		return n, err
+	}
+	if from != base.From {
+		return n, fmt.Errorf("replication: delta %s: leader cut at %d, asked for %d", sm.File, from, base.From)
+	}
+	full, err := tsdb.AssembleDelta(sm, base, hdr, tail)
+	if err != nil {
+		return n, err
+	}
+	tmp := filepath.Join(f.dir, sm.File+".tmp")
+	file, err := os.Create(tmp)
+	if err != nil {
+		return n, err
+	}
+	_, werr := file.Write(full)
+	if werr == nil {
+		werr = file.Sync()
+	}
+	if cerr := file.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return n, fmt.Errorf("replication: write spliced segment %s: %w", sm.File, werr)
+	}
+	if err := tsdb.VerifySegmentFile(tmp, sm); err != nil {
+		os.Remove(tmp)
+		return n, fmt.Errorf("replication: spliced segment rejected: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(f.dir, sm.File)); err != nil {
+		os.Remove(tmp)
+		return n, err
+	}
+	return n, nil
 }
 
 // fetchSegment downloads one segment to a temp file, verifies it

@@ -401,37 +401,63 @@ func EncodePayload(series []Series, withSums bool) []byte {
 	var dst []byte
 	dst = binary.AppendUvarint(dst, uint64(len(series)))
 	for _, s := range series {
-		dst = appendString(dst, s.Measurement)
-		keys := make([]string, 0, len(s.Tags))
-		for k := range s.Tags {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		dst = binary.AppendUvarint(dst, uint64(len(keys)))
-		for _, k := range keys {
-			dst = appendString(dst, k)
-			dst = appendString(dst, s.Tags[k])
-		}
-		dst = binary.AppendUvarint(dst, uint64(len(s.Blocks)))
-		for _, b := range s.Blocks {
-			dst = binary.AppendVarint(dst, b.MinT)
-			dst = binary.AppendVarint(dst, b.MaxT)
-			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.Min))
-			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.Max))
-			if withSums {
-				if !b.HasSum {
-					panic("blockenc: encoding a sum-less block into a v3 payload")
-				}
-				dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.Sum))
-			}
-			dst = binary.AppendUvarint(dst, uint64(b.Count))
-			dst = binary.AppendUvarint(dst, uint64(len(b.Times)))
-			dst = append(dst, b.Times...)
-			dst = binary.AppendUvarint(dst, uint64(len(b.Values)))
-			dst = append(dst, b.Values...)
-		}
+		dst = AppendSeries(dst, s, withSums)
 	}
 	return dst
+}
+
+// AppendSeries appends the payload encoding of one series entry —
+// measurement, sorted tags, blocks — to dst and returns the extended
+// slice. It is the per-entry half of EncodePayload, exported so the
+// append-extend snapshot path can grow an existing payload's entries
+// region without re-encoding the entries already on disk
+// (docs/REPLICATION.md §8). The withSums rules of EncodePayload apply
+// unchanged.
+func AppendSeries(dst []byte, s Series, withSums bool) []byte {
+	dst = appendString(dst, s.Measurement)
+	keys := make([]string, 0, len(s.Tags))
+	for k := range s.Tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendString(dst, k)
+		dst = appendString(dst, s.Tags[k])
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s.Blocks)))
+	for _, b := range s.Blocks {
+		dst = binary.AppendVarint(dst, b.MinT)
+		dst = binary.AppendVarint(dst, b.MaxT)
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.Min))
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.Max))
+		if withSums {
+			if !b.HasSum {
+				panic("blockenc: encoding a sum-less block into a v3 payload")
+			}
+			dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(b.Sum))
+		}
+		dst = binary.AppendUvarint(dst, uint64(b.Count))
+		dst = binary.AppendUvarint(dst, uint64(len(b.Times)))
+		dst = append(dst, b.Times...)
+		dst = binary.AppendUvarint(dst, uint64(len(b.Values)))
+		dst = append(dst, b.Values...)
+	}
+	return dst
+}
+
+// PayloadHead parses just a payload's leading series count and reports
+// it together with the byte length of its uvarint encoding — the split
+// between a payload's head and its entries region. The append-extend
+// delta path (docs/REPLICATION.md §8) uses it to carry an existing
+// payload's entries region into a successor payload whose head may
+// encode a different count (and hence occupy a different byte length).
+func PayloadHead(data []byte) (count int, headLen int, err error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("%w: bad series count", ErrCorrupt)
+	}
+	return int(v), n, nil
 }
 
 // DecodePayload parses a v2 (withSums false) or v3 (withSums true)

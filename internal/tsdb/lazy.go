@@ -666,6 +666,7 @@ func (db *DB) restoreDirLazy(dir string, m *Manifest, opts DirOptions) error {
 	for si := range db.shards {
 		db.shards[si].series = newShards[si]
 		db.shards[si].dirty = nil
+		db.shards[si].trimmed = nil
 		for key, s := range newShards[si] {
 			db.idx.add(s.Measurement, s.Tags, key)
 		}

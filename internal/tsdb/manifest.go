@@ -45,6 +45,16 @@ type SegmentMeta struct {
 	// merging level-<=k inputs (docs/PERSISTENCE.md §8.4). Informational
 	// — the window bounds, not the level, define the segment's identity.
 	Level int `json:"level,omitempty"`
+	// AppendCursor, when positive, records that this segment was
+	// produced by append-extending its predecessor for the same (shard,
+	// window span): payload bytes [0, AppendCursor) are the new series
+	// count followed by the predecessor's entries region verbatim, and
+	// everything from AppendCursor on is newly appended
+	// (docs/REPLICATION.md §8). Zero means no such relationship is
+	// promised. Purely an optimization hint for delta shipping — the
+	// segment file is complete and self-contained either way, and v1
+	// readers ignore the field.
+	AppendCursor int64 `json:"append_cursor,omitempty"`
 }
 
 // Manifest describes a complete segment directory. A directory is valid
@@ -187,6 +197,9 @@ func ParseManifest(data []byte) (*Manifest, error) {
 		if sm.WindowStart%m.WindowNanos != 0 {
 			return nil, fmt.Errorf("tsdb: manifest entry %s: window start %d is not aligned to the %d ns window",
 				sm.File, sm.WindowStart, m.WindowNanos)
+		}
+		if sm.AppendCursor < 0 {
+			return nil, fmt.Errorf("tsdb: manifest entry %s: negative append cursor %d", sm.File, sm.AppendCursor)
 		}
 		if seen[sm.File] {
 			return nil, fmt.Errorf("tsdb: manifest lists %s twice", sm.File)

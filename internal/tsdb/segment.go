@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -207,6 +208,13 @@ type segPlan struct {
 	series   []*Series // point slices alias the store; time-ascending per key
 	points   int
 	meta     SegmentMeta // filled by the encoder
+	// prev, when set, is the committed predecessor segment for the same
+	// (shard, window span) whose windows were dirtied by inserts only:
+	// the encoder may append-extend it — reuse its payload bytes as a
+	// verbatim prefix and encode only the appended tail — recording the
+	// splice point in the manifest's append cursor
+	// (docs/REPLICATION.md §8). Nil forces a full re-encode.
+	prev *SegmentMeta
 }
 
 // SetSegmentWindow changes the segment window length used by the dirty
@@ -229,6 +237,7 @@ func (db *DB) SetSegmentWindow(window time.Duration) {
 func (db *DB) resetPersistenceLocked() {
 	for i := range db.shards {
 		db.shards[i].dirty = nil
+		db.shards[i].trimmed = nil
 	}
 	db.snapDir = ""
 	db.snapGen = 0
@@ -242,6 +251,17 @@ func (db *DB) markDirtyLocked(sh *shard, t time.Time) {
 		sh.dirty = make(map[int64]struct{})
 	}
 	sh.dirty[win] = struct{}{}
+}
+
+// markTrimmedLocked records that the shard's window containing t lost
+// points, disqualifying it from append-extend persistence until the
+// next snapshot (docs/REPLICATION.md §8). Callers must hold sh.mu.
+func (db *DB) markTrimmedLocked(sh *shard, t time.Time) {
+	win := windowStartNanos(t, db.window)
+	if sh.trimmed == nil {
+		sh.trimmed = make(map[int64]struct{})
+	}
+	sh.trimmed[win] = struct{}{}
 }
 
 // planSegments splits every series' points by window and groups the
@@ -406,9 +426,161 @@ func writeSegmentFile(dir string, gen uint64, version, shard int, winStart, winE
 	}, nil
 }
 
+// appendExtendMaxFragmentation bounds how many payload entries an
+// append-extended segment may accumulate per distinct series key before
+// the encoder forces a full re-encode. Every append-extend generation
+// adds up to one entry per appended key (duplicates merge on read,
+// docs/PERSISTENCE.md §8.1), so without a cap a hot window extended
+// every tick would make structural decodes linear in tick count.
+const appendExtendMaxFragmentation = 64
+
+// appendExtendSegment tries to persist a dirty-span plan by reusing the
+// committed predecessor's payload bytes as a verbatim prefix and
+// encoding only the newly appended points as extra entries — the
+// sub-segment checkpoint the delta-shipping protocol rides on
+// (docs/REPLICATION.md §8). It reports ok = false whenever the plan is
+// not a pure append of the predecessor (backfill, changed keys,
+// version mismatch, excessive fragmentation, or any read error), in
+// which case the caller falls back to the full encoder. On success the
+// returned meta carries the append cursor: the byte offset into the new
+// payload where the appended entries begin.
+func appendExtendSegment(dir string, gen uint64, version int, p *segPlan) (SegmentMeta, bool) {
+	prev := *p.prev
+	payload, prevVersion, err := loadSegmentPayload(dir, prev)
+	if err != nil || prevVersion != version {
+		return SegmentMeta{}, false
+	}
+	oldList, err := decodeBlockPayload(payload, prev, version)
+	if err != nil {
+		return SegmentMeta{}, false
+	}
+	_, headLen, err := blockenc.PayloadHead(payload)
+	if err != nil {
+		return SegmentMeta{}, false
+	}
+
+	// Aggregate the old payload per key: entry duplicates from earlier
+	// append-extends merge here in payload order, exactly as every
+	// reader merges them.
+	type oldAgg struct {
+		count int
+		maxT  int64
+	}
+	old := make(map[string]*oldAgg, len(oldList))
+	for i := range oldList {
+		s := &oldList[i]
+		key := Key(s.Measurement, s.Tags)
+		a, ok := old[key]
+		if !ok {
+			a = &oldAgg{maxT: math.MinInt64}
+			old[key] = a
+		}
+		for _, b := range s.Blocks {
+			a.count += b.Count
+			if b.MaxT > a.maxT {
+				a.maxT = b.MaxT
+			}
+		}
+	}
+	if len(oldList) >= appendExtendMaxFragmentation*len(old) {
+		return SegmentMeta{}, false
+	}
+
+	// Group the plan's slices per key like toBlockSeries, keeping raw
+	// columns so each key's appended tail can be cut out.
+	type acc struct {
+		measurement string
+		tags        map[string]string
+		times       []int64
+		values      []float64
+	}
+	byKey := make(map[string]*acc)
+	var keys []string
+	points := 0
+	for _, s := range p.series {
+		key := Key(s.Measurement, s.Tags)
+		a, ok := byKey[key]
+		if !ok {
+			a = &acc{measurement: s.Measurement, tags: s.Tags}
+			byKey[key] = a
+			keys = append(keys, key)
+		}
+		for _, pt := range s.Points {
+			a.times = append(a.times, pt.Time.UnixNano())
+			a.values = append(a.values, pt.Value)
+		}
+		points += len(s.Points)
+	}
+	sort.Strings(keys)
+
+	// The pure-append proof: store writes are insert-only and no window
+	// of this span was trimmed since the previous snapshot (segPlan.prev
+	// is only set then), so a key's persisted prefix is unchanged exactly
+	// when the number of points at or before its old last timestamp still
+	// equals its old count — any insert at or before that timestamp moves
+	// the count past it.
+	appended := make([]blockenc.Series, 0, len(keys))
+	tail := 0
+	for _, key := range keys {
+		a := byKey[key]
+		o, ok := old[key]
+		if !ok {
+			// A key new to this window: its whole column is appended.
+			appended = append(appended, blockenc.Series{
+				Measurement: a.measurement, Tags: a.tags,
+				Blocks: blockenc.BuildBlocks(a.times, a.values),
+			})
+			tail += len(a.times)
+			continue
+		}
+		idx := sort.Search(len(a.times), func(i int) bool { return a.times[i] > o.maxT })
+		if idx != o.count {
+			return SegmentMeta{}, false
+		}
+		if idx < len(a.times) {
+			appended = append(appended, blockenc.Series{
+				Measurement: a.measurement, Tags: a.tags,
+				Blocks: blockenc.BuildBlocks(a.times[idx:], a.values[idx:]),
+			})
+			tail += len(a.times) - idx
+		}
+		delete(old, key)
+	}
+	if len(old) != 0 || tail == 0 {
+		// A key vanished from the window, or nothing was appended at
+		// all: neither is a pure append worth a cursor.
+		return SegmentMeta{}, false
+	}
+
+	// Assemble: new entry count, old entries region verbatim, appended
+	// entries. The cursor marks where the verbatim prefix ends.
+	oldEntries := payload[headLen:]
+	newCount := len(oldList) + len(appended)
+	out := binary.AppendUvarint(make([]byte, 0, len(payload)+64+32*tail), uint64(newCount))
+	cursor := int64(len(out) + len(oldEntries))
+	out = append(out, oldEntries...)
+	for _, s := range appended {
+		out = blockenc.AppendSeries(out, s, version == SegmentVersion)
+	}
+	meta, err := writeSegmentFile(dir, gen, version, p.shard, p.winStart, p.winEnd, newCount, points, p.level, out)
+	if err != nil {
+		return SegmentMeta{}, false
+	}
+	meta.AppendCursor = cursor
+	return meta, true
+}
+
 // encodeSegment encodes a plan's payload in the requested format
-// version, writes the segment file, and fills p.meta.
+// version, writes the segment file, and fills p.meta. A plan carrying
+// an append-extend candidate (segPlan.prev) tries the cheap path first
+// and falls back to the full encoder whenever it does not apply.
 func encodeSegment(dir string, gen uint64, version int, p *segPlan) error {
+	if p.prev != nil && version != SegmentVersionGob {
+		if meta, ok := appendExtendSegment(dir, gen, version, p); ok {
+			p.meta = meta
+			return nil
+		}
+	}
 	payload, seriesCount, err := encodeSegmentPayload(version, p.series)
 	if err != nil {
 		return fmt.Errorf("tsdb: encode segment shard %d window %d: %w", p.shard, p.winStart, err)
@@ -551,6 +723,20 @@ func (db *DB) SnapshotDir(dir string, opts DirOptions) (DirStats, error) {
 		g, ok := rewrite[i]
 		if !ok {
 			g = &segPlan{shard: p.shard, winStart: sm.WindowStart, winEnd: sm.WindowEnd, level: sm.Level}
+			// Insert-only dirt makes the span a candidate for an
+			// append-extend of its committed predecessor; any trimmed
+			// window in the span forces a full re-encode because the old
+			// payload stops being a prefix (docs/REPLICATION.md §8).
+			trimmedSpan := false
+			for win := sm.WindowStart; win < sm.WindowEnd; win += prev.WindowNanos {
+				if _, ok := db.shards[sm.Shard].trimmed[win]; ok {
+					trimmedSpan = true
+				}
+			}
+			if !trimmedSpan {
+				smCopy := sm
+				g.prev = &smCopy
+			}
 			rewrite[i] = g
 			toWrite = append(toWrite, g)
 		}
@@ -611,6 +797,7 @@ func (db *DB) SnapshotDir(dir string, opts DirOptions) (DirStats, error) {
 	db.snapGen = gen
 	for i := range db.shards {
 		db.shards[i].dirty = nil
+		db.shards[i].trimmed = nil
 	}
 	st.Segments = len(next.Segments)
 	st.Series = next.StoreSeries
@@ -880,6 +1067,7 @@ func (db *DB) RestoreDir(dir string, opts DirOptions) error {
 	for si := range db.shards {
 		db.shards[si].series = newShards[si]
 		db.shards[si].dirty = nil
+		db.shards[si].trimmed = nil
 		for key, s := range newShards[si] {
 			db.idx.add(s.Measurement, s.Tags, key)
 		}

@@ -88,6 +88,13 @@ type shard struct {
 	// SnapshotDir; incremental snapshots rewrite exactly these. Guarded
 	// by mu; nil until the first write after a snapshot.
 	dirty map[int64]struct{}
+	// trimmed is the subset of dirty windows that LOST points (a Retain
+	// pass) since the last SnapshotDir. Insert-only dirty windows may be
+	// persisted by append-extending the previous segment; a trimmed
+	// window must be fully re-encoded because its old payload is no
+	// longer a prefix of the new one (docs/REPLICATION.md §8). Guarded
+	// by mu; cleared together with dirty.
+	trimmed map[int64]struct{}
 	// version counts mutations of any series in the shard; it moves in
 	// lockstep with the per-series versions. Guarded by mu.
 	version uint64
@@ -696,12 +703,15 @@ func (db *DB) Retain(from, to time.Time) int {
 				sh.version++
 			}
 			// Windows losing points must be rewritten (or deleted) by
-			// the next incremental snapshot.
+			// the next incremental snapshot — and never append-extended,
+			// since their on-disk payload stops being a prefix.
 			for _, p := range s.Points[:lo] {
 				db.markDirtyLocked(sh, p.Time)
+				db.markTrimmedLocked(sh, p.Time)
 			}
 			for _, p := range s.Points[hi:] {
 				db.markDirtyLocked(sh, p.Time)
+				db.markTrimmedLocked(sh, p.Time)
 			}
 			if hi <= lo {
 				delete(sh.series, key)
